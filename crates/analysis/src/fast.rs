@@ -1,0 +1,297 @@
+//! Compact fixed-size game representation for exhaustive state-space
+//! work (`n ≤ 5`): strategies as bitmasks, shortest paths on stack
+//! matrices, exact best responses by subset enumeration.
+//!
+//! Shared by the exhaustive Nash scanner and the best-response graph
+//! analyser; cross-validated against the general-purpose `sp-core`
+//! machinery by tests.
+
+use sp_core::{CoreError, Game, StrategyProfile};
+
+/// Maximum peer count (the profile space is `2^{n(n-1)}`).
+pub const FAST_LIMIT: usize = 5;
+
+pub(crate) const MAXN: usize = FAST_LIMIT;
+
+/// A game compiled into flat arrays for exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct FastGame {
+    n: usize,
+    alpha: f64,
+    d: [[f64; MAXN]; MAXN],
+    /// candidates[i][k] = the k-th possible link target of peer i.
+    candidates: [[usize; MAXN - 1]; MAXN],
+}
+
+impl FastGame {
+    /// Compiles a game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InstanceTooLarge`] for more than
+    /// [`FAST_LIMIT`] peers.
+    pub fn new(game: &Game) -> Result<Self, CoreError> {
+        let n = game.n();
+        if n > FAST_LIMIT {
+            return Err(CoreError::InstanceTooLarge { n, limit: FAST_LIMIT });
+        }
+        let mut d = [[0.0f64; MAXN]; MAXN];
+        for i in 0..n {
+            for j in 0..n {
+                d[i][j] = game.distance(i, j);
+            }
+        }
+        let mut candidates = [[0usize; MAXN - 1]; MAXN];
+        for (i, row) in candidates.iter_mut().enumerate().take(n) {
+            let mut k = 0;
+            for j in 0..n {
+                if j != i {
+                    row[k] = j;
+                    k += 1;
+                }
+            }
+        }
+        Ok(FastGame { n, alpha: game.alpha(), d, candidates })
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Strategy bits per peer.
+    #[must_use]
+    pub fn bits_per_peer(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Total number of strategy profiles, `2^{n(n-1)}`.
+    #[must_use]
+    pub fn profile_count(&self) -> u64 {
+        1u64 << (self.n * (self.n - 1))
+    }
+
+    /// Splits a profile code into per-peer strategy masks.
+    #[must_use]
+    pub fn unpack(&self, code: u64) -> [u32; MAXN] {
+        let cbits = self.bits_per_peer();
+        let mut masks = [0u32; MAXN];
+        for (i, m) in masks.iter_mut().enumerate().take(self.n) {
+            *m = ((code >> (cbits * i)) & ((1 << cbits) - 1)) as u32;
+        }
+        masks
+    }
+
+    /// Packs per-peer masks into a profile code.
+    #[must_use]
+    pub fn pack(&self, masks: &[u32; MAXN]) -> u64 {
+        let cbits = self.bits_per_peer();
+        let mut code = 0u64;
+        for i in 0..self.n {
+            code |= u64::from(masks[i]) << (cbits * i);
+        }
+        code
+    }
+
+    /// Decodes a profile code into a [`StrategyProfile`].
+    #[must_use]
+    pub fn decode(&self, code: u64) -> StrategyProfile {
+        let masks = self.unpack(code);
+        let mut links = Vec::new();
+        for i in 0..self.n {
+            for k in 0..self.bits_per_peer() {
+                if masks[i] & (1 << k) != 0 {
+                    links.push((i, self.candidates[i][k]));
+                }
+            }
+        }
+        StrategyProfile::from_links(self.n, &links).expect("masks encode valid links")
+    }
+
+    /// Encodes a [`StrategyProfile`] into its code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile size does not match.
+    #[must_use]
+    pub fn encode(&self, profile: &StrategyProfile) -> u64 {
+        assert_eq!(profile.n(), self.n, "profile size mismatch");
+        let mut masks = [0u32; MAXN];
+        for i in 0..self.n {
+            for k in 0..self.bits_per_peer() {
+                if profile.has_link(i.into(), self.candidates[i][k].into()) {
+                    masks[i] |= 1 << k;
+                }
+            }
+        }
+        self.pack(&masks)
+    }
+
+    /// Residual distances `D[v][j]` in `G_{-i}` (peer `i`'s out-links
+    /// removed) via Floyd–Warshall on the stack.
+    fn residual_distances(&self, masks: &[u32; MAXN], i: usize) -> [[f64; MAXN]; MAXN] {
+        let n = self.n;
+        let cbits = self.bits_per_peer();
+        let mut dd = [[f64::INFINITY; MAXN]; MAXN];
+        for (v, row) in dd.iter_mut().enumerate().take(n) {
+            row[v] = 0.0;
+        }
+        for u in 0..n {
+            if u == i {
+                continue;
+            }
+            for k in 0..cbits {
+                if masks[u] & (1 << k) != 0 {
+                    let v = self.candidates[u][k];
+                    if self.d[u][v] < dd[u][v] {
+                        dd[u][v] = self.d[u][v];
+                    }
+                }
+            }
+        }
+        for m in 0..n {
+            for a in 0..n {
+                let dam = dd[a][m];
+                if dam.is_infinite() {
+                    continue;
+                }
+                for b in 0..n {
+                    let via = dam + dd[m][b];
+                    if via < dd[a][b] {
+                        dd[a][b] = via;
+                    }
+                }
+            }
+        }
+        dd
+    }
+
+    /// Exact best response of `peer` against `masks`: returns
+    /// `(best_mask, best_cost, current_cost)`. Ties prefer fewer links,
+    /// then the smaller mask — fully deterministic.
+    #[must_use]
+    pub fn best_response(&self, masks: &[u32; MAXN], peer: usize) -> (u32, f64, f64) {
+        let n = self.n;
+        let cbits = self.bits_per_peer();
+        let dd = self.residual_distances(masks, peer);
+        // assign[client][facility]
+        let mut assign = [[f64::INFINITY; MAXN - 1]; MAXN - 1];
+        for k in 0..cbits {
+            let v = self.candidates[peer][k];
+            for (jj, arow) in assign.iter_mut().enumerate().take(cbits) {
+                let j = self.candidates[peer][jj];
+                arow[k] = (self.d[peer][v] + dd[v][j]) / self.d[peer][j];
+            }
+        }
+        let _ = n;
+        let eval = |mask: u32| -> f64 {
+            let mut cost = self.alpha * f64::from(mask.count_ones());
+            for arow in assign.iter().take(cbits) {
+                let mut best = f64::INFINITY;
+                let mut m = mask;
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if arow[k] < best {
+                        best = arow[k];
+                    }
+                }
+                cost += best;
+                if cost.is_infinite() {
+                    return f64::INFINITY;
+                }
+            }
+            cost
+        };
+        let current = eval(masks[peer]);
+        let mut best_mask = masks[peer];
+        let mut best_cost = current;
+        let mut best_pop = masks[peer].count_ones();
+        for mask in 0u32..(1 << cbits) {
+            if mask == masks[peer] {
+                continue;
+            }
+            let c = eval(mask);
+            let pop = mask.count_ones();
+            let better = c < best_cost
+                || (c == best_cost && (pop < best_pop || (pop == best_pop && mask < best_mask)));
+            if better {
+                best_cost = c;
+                best_mask = mask;
+                best_pop = pop;
+            }
+        }
+        (best_mask, best_cost, current)
+    }
+
+    /// Is the profile a Nash equilibrium (relative tolerance as in
+    /// `sp-core`)?
+    #[must_use]
+    pub fn is_nash(&self, masks: &[u32; MAXN], tolerance: f64) -> bool {
+        for i in 0..self.n {
+            let (_, best, current) = self.best_response(masks, i);
+            if best.is_finite() {
+                if current.is_infinite() {
+                    return false;
+                }
+                if best < current - tolerance * (1.0 + current.abs()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{best_response as slow_br, BestResponseMethod, PeerId};
+    use sp_metric::LineSpace;
+
+    fn game() -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.5, 4.0]).unwrap(), 1.2).unwrap()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let fg = FastGame::new(&game()).unwrap();
+        for code in [0u64, 1, 100, fg.profile_count() - 1] {
+            let profile = fg.decode(code);
+            assert_eq!(fg.encode(&profile), code);
+        }
+    }
+
+    #[test]
+    fn fast_best_response_matches_general_machinery() {
+        let g = game();
+        let fg = FastGame::new(&g).unwrap();
+        for code in (0..fg.profile_count()).step_by(97) {
+            let masks = fg.unpack(code);
+            let profile = fg.decode(code);
+            for peer in 0..4 {
+                let (_, fast_cost, fast_cur) = fg.best_response(&masks, peer);
+                let br =
+                    slow_br(&g, &profile, PeerId::new(peer), BestResponseMethod::Exact).unwrap();
+                assert!(
+                    (fast_cost - br.cost).abs() < 1e-9
+                        || (fast_cost.is_infinite() && br.cost.is_infinite()),
+                    "code {code} peer {peer}: fast {fast_cost} vs slow {}",
+                    br.cost
+                );
+                assert!(
+                    (fast_cur - br.current_cost).abs() < 1e-9
+                        || (fast_cur.is_infinite() && br.current_cost.is_infinite())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_large_games() {
+        let pos: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let g = Game::from_space(&LineSpace::new(pos).unwrap(), 1.0).unwrap();
+        assert!(FastGame::new(&g).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Price-of-Anarchy bracketing.
+//!
+//! `PoA = C(worst NE) / C(OPT)` is not directly computable (OPT is
+//! NP-hard, and the *worst* equilibrium is elusive), so experiments report
+//! a bracket:
+//!
+//! * `poa_lower = C(NE) / C(best baseline)` — a certified lower bound on
+//!   the instance's PoA contribution, because the baseline's cost
+//!   upper-bounds OPT;
+//! * `poa_upper = C(NE) / LB(OPT)` — an upper estimate from the universal
+//!   lower bound `αn + n(n−1)`.
+//!
+//! The true ratio for the tested equilibrium lies in between.
+
+use sp_constructions::baselines;
+use sp_core::poa::opt_lower_bound;
+use sp_core::{social_cost, CoreError, Game, StrategyProfile};
+
+/// The bracketed Price-of-Anarchy estimate for one equilibrium profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoaBracket {
+    /// Social cost of the (equilibrium) profile.
+    pub ne_cost: f64,
+    /// Cheapest baseline cost (OPT upper bound) and its name.
+    pub opt_upper: f64,
+    /// Name of the baseline achieving `opt_upper`.
+    pub opt_upper_name: String,
+    /// Universal OPT lower bound `αn + n(n−1)`.
+    pub opt_lower: f64,
+}
+
+impl PoaBracket {
+    /// Certified lower bound on the PoA contribution: `C(NE)/C(baseline)`.
+    #[must_use]
+    pub fn poa_lower(&self) -> f64 {
+        self.ne_cost / self.opt_upper
+    }
+
+    /// Upper estimate `C(NE)/LB(OPT)`.
+    #[must_use]
+    pub fn poa_upper(&self) -> f64 {
+        if self.opt_lower == 0.0 {
+            1.0
+        } else {
+            self.ne_cost / self.opt_lower
+        }
+    }
+}
+
+/// Computes Price-of-Anarchy brackets for equilibrium profiles of a game.
+///
+/// # Example
+///
+/// ```
+/// use sp_analysis::poa::PoaEstimator;
+/// use sp_core::{Game, StrategyProfile};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0]).unwrap(), 1.0).unwrap();
+/// let est = PoaEstimator::new(&game);
+/// let chain = StrategyProfile::from_links(3, &[(0,1),(1,0),(1,2),(2,1)]).unwrap();
+/// let bracket = est.bracket(&chain).unwrap();
+/// assert!(bracket.poa_lower() <= bracket.poa_upper() + 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct PoaEstimator<'g> {
+    game: &'g Game,
+    opt_upper: f64,
+    opt_upper_name: String,
+    opt_lower: f64,
+}
+
+impl<'g> PoaEstimator<'g> {
+    /// Prepares the baselines for `game`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the game has no peers.
+    #[must_use]
+    pub fn new(game: &'g Game) -> Self {
+        let best = baselines::best_baseline(game);
+        PoaEstimator {
+            game,
+            opt_upper: best.cost.total(),
+            opt_upper_name: best.name,
+            opt_lower: opt_lower_bound(game),
+        }
+    }
+
+    /// The cheapest baseline name and cost used as the OPT upper bound.
+    #[must_use]
+    pub fn opt_upper(&self) -> (&str, f64) {
+        (&self.opt_upper_name, self.opt_upper)
+    }
+
+    /// Brackets the PoA contribution of `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileSizeMismatch`] on size disagreement.
+    pub fn bracket(&self, profile: &StrategyProfile) -> Result<PoaBracket, CoreError> {
+        let ne_cost = social_cost(self.game, profile)?.total();
+        Ok(PoaBracket {
+            ne_cost,
+            opt_upper: self.opt_upper,
+            opt_upper_name: self.opt_upper_name.clone(),
+            opt_lower: self.opt_lower,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metric::LineSpace;
+
+    fn game() -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap(), 2.0).unwrap()
+    }
+
+    #[test]
+    fn bracket_orders_correctly() {
+        let g = game();
+        let est = PoaEstimator::new(&g);
+        let chain = StrategyProfile::from_links(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        let b = est.bracket(&chain).unwrap();
+        assert!(b.poa_lower() <= b.poa_upper());
+        // The chain *is* the best baseline on a line, so lower bound is 1.
+        assert!((b.poa_lower() - 1.0).abs() < 1e-9);
+        assert!(b.poa_upper() >= 1.0);
+    }
+
+    #[test]
+    fn estimator_reports_baseline() {
+        let g = game();
+        let est = PoaEstimator::new(&g);
+        let (name, cost) = est.opt_upper();
+        assert!(!name.is_empty());
+        assert!(cost.is_finite());
+        assert!(cost >= sp_core::poa::opt_lower_bound(&g) - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lower_bound_handled() {
+        let single =
+            Game::from_space(&LineSpace::new(vec![0.0]).unwrap(), 1.0).unwrap();
+        let est = PoaEstimator::new(&single);
+        let b = est.bracket(&StrategyProfile::empty(1)).unwrap();
+        assert_eq!(b.poa_upper(), 1.0);
+    }
+}

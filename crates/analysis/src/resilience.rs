@@ -1,0 +1,198 @@
+//! Failure injection: how robust is a topology to a peer crashing?
+//!
+//! The paper's cost model charges maintenance because links must survive
+//! churn (footnote 1: "the maintenance of a link may involve periodic
+//! pings"). This module quantifies the flip side: when a peer abruptly
+//! disappears, how much lookup performance do the survivors lose before
+//! anyone rewires? Selfish equilibria, optimized for individual cost,
+//! can concentrate transit on few peers and fail much harder than
+//! collaborative designs with the same link budget.
+
+use sp_core::{CoreError, Game, StrategyProfile};
+use sp_dynamics::churn::{project_profile, subgame};
+use sp_graph::apsp;
+
+/// The immediate impact of one peer's failure (before any rewiring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureImpact {
+    /// The failed peer.
+    pub removed: usize,
+    /// Ordered survivor pairs that lost connectivity entirely.
+    pub disconnected_pairs: usize,
+    /// Mean stretch among still-connected survivor pairs
+    /// (`1.0` when no pairs remain).
+    pub mean_stretch: f64,
+    /// Max stretch among still-connected survivor pairs.
+    pub max_stretch: f64,
+}
+
+/// Computes the impact of removing `removed` from a topology: survivors
+/// keep exactly their remaining links (no rewiring), and stretches are
+/// re-measured in the surviving sub-metric.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PeerOutOfBounds`] /
+/// [`CoreError::ProfileSizeMismatch`] for malformed inputs.
+pub fn single_failure_impact(
+    game: &Game,
+    profile: &StrategyProfile,
+    removed: usize,
+) -> Result<FailureImpact, CoreError> {
+    let n = game.n();
+    if removed >= n {
+        return Err(CoreError::PeerOutOfBounds { peer: removed, n });
+    }
+    if profile.n() != n {
+        return Err(CoreError::ProfileSizeMismatch { expected: n, actual: profile.n() });
+    }
+    let alive: Vec<usize> = (0..n).filter(|&i| i != removed).collect();
+    let sub = subgame(game, &alive);
+    let sub_profile = project_profile(profile, &alive);
+    let overlay = sp_core::topology(&sub, &sub_profile)?;
+    let dist = apsp(&overlay);
+    let m = alive.len();
+    let mut disconnected = 0usize;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    let mut max = 1.0f64;
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            if dist[(i, j)].is_finite() {
+                let stretch = dist[(i, j)] / sub.distance(i, j);
+                sum += stretch;
+                max = max.max(stretch);
+                count += 1;
+            } else {
+                disconnected += 1;
+            }
+        }
+    }
+    Ok(FailureImpact {
+        removed,
+        disconnected_pairs: disconnected,
+        mean_stretch: if count == 0 { 1.0 } else { sum / count as f64 },
+        max_stretch: if count == 0 { 1.0 } else { max },
+    })
+}
+
+/// Aggregated single-failure behaviour of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceSummary {
+    /// Impacts, one per removed peer.
+    pub impacts: Vec<FailureImpact>,
+}
+
+impl ResilienceSummary {
+    /// Fraction of failures that disconnect no survivor pair.
+    #[must_use]
+    pub fn robust_fraction(&self) -> f64 {
+        if self.impacts.is_empty() {
+            return 1.0;
+        }
+        self.impacts.iter().filter(|f| f.disconnected_pairs == 0).count() as f64
+            / self.impacts.len() as f64
+    }
+
+    /// Worst number of disconnected pairs over all failures.
+    #[must_use]
+    pub fn worst_disconnections(&self) -> usize {
+        self.impacts.iter().map(|f| f.disconnected_pairs).max().unwrap_or(0)
+    }
+
+    /// Mean over failures of the survivors' mean stretch.
+    #[must_use]
+    pub fn mean_mean_stretch(&self) -> f64 {
+        if self.impacts.is_empty() {
+            return 1.0;
+        }
+        self.impacts.iter().map(|f| f.mean_stretch).sum::<f64>() / self.impacts.len() as f64
+    }
+}
+
+/// Computes the impact of every single-peer failure.
+///
+/// # Errors
+///
+/// Propagates errors from [`single_failure_impact`].
+pub fn failure_sweep(
+    game: &Game,
+    profile: &StrategyProfile,
+) -> Result<ResilienceSummary, CoreError> {
+    let impacts = (0..game.n())
+        .map(|r| single_failure_impact(game, profile, r))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ResilienceSummary { impacts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metric::LineSpace;
+
+    fn game() -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap(), 1.0).unwrap()
+    }
+
+    #[test]
+    fn star_center_failure_disconnects_everything() {
+        let g = game();
+        let star = StrategyProfile::from_links(
+            4,
+            &[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
+        )
+        .unwrap();
+        let center = single_failure_impact(&g, &star, 0).unwrap();
+        assert_eq!(center.disconnected_pairs, 6); // all survivor pairs
+        let leaf = single_failure_impact(&g, &star, 3).unwrap();
+        assert_eq!(leaf.disconnected_pairs, 0);
+        // Survivors 1, 2 still route through centre 0 at the line's end:
+        // 1 -> 0 -> 2 has length 3 against direct distance 1.
+        assert_eq!(leaf.max_stretch, 3.0);
+        let summary = failure_sweep(&g, &star).unwrap();
+        assert_eq!(summary.worst_disconnections(), 6);
+        assert!((summary.robust_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_tolerates_any_single_failure() {
+        let g = game();
+        let summary = failure_sweep(&g, &StrategyProfile::complete(4)).unwrap();
+        assert_eq!(summary.worst_disconnections(), 0);
+        assert_eq!(summary.robust_fraction(), 1.0);
+        assert_eq!(summary.mean_mean_stretch(), 1.0);
+    }
+
+    #[test]
+    fn chain_interior_failure_splits_the_line() {
+        let g = game();
+        let chain = StrategyProfile::from_links(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        let mid = single_failure_impact(&g, &chain, 1).unwrap();
+        // Survivors 0 | 2, 3: the pairs (0,2), (2,0), (0,3), (3,0) break.
+        assert_eq!(mid.disconnected_pairs, 4);
+        let end = single_failure_impact(&g, &chain, 0).unwrap();
+        assert_eq!(end.disconnected_pairs, 0);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let g = game();
+        assert!(single_failure_impact(&g, &StrategyProfile::complete(4), 9).is_err());
+        assert!(single_failure_impact(&g, &StrategyProfile::complete(3), 0).is_err());
+    }
+
+    #[test]
+    fn empty_summary_degenerates_gracefully() {
+        let s = ResilienceSummary { impacts: vec![] };
+        assert_eq!(s.robust_fraction(), 1.0);
+        assert_eq!(s.worst_disconnections(), 0);
+        assert_eq!(s.mean_mean_stretch(), 1.0);
+    }
+}

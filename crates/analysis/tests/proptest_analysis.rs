@@ -1,0 +1,101 @@
+//! Property tests tying the analysis layers together: the response graph,
+//! the exhaustive scanner, and the general-purpose equilibrium machinery
+//! must tell one consistent story on random tiny games.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
+use sp_analysis::fast::FastGame;
+use sp_analysis::resilience::failure_sweep;
+use sp_analysis::response_graph::ResponseGraph;
+use sp_core::{is_nash, Game, NashTest, StrategyProfile};
+use sp_metric::generators;
+
+fn arb_tiny_game() -> impl Strategy<Value = Game> {
+    (3usize..=4, 0u64..10_000, 0.3f64..8.0).prop_map(|(n, seed, alpha)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = generators::uniform_square(n, 20.0, &mut rng);
+        Game::from_space(&space, alpha).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn response_graph_sinks_match_exhaustive_scan(game in arb_tiny_game()) {
+        let rg = ResponseGraph::build(&game, 1e-9).unwrap();
+        let scan = exhaustive_nash_scan(&game, 1e-9).unwrap();
+        match scan {
+            ExhaustiveResult::NoEquilibrium { .. } => {
+                prop_assert_eq!(rg.equilibrium_count(), 0);
+            }
+            ExhaustiveResult::FoundEquilibrium { .. } => {
+                prop_assert!(rg.equilibrium_count() > 0);
+            }
+        }
+        // Every sink verifies with the general machinery.
+        for profile in rg.equilibria() {
+            prop_assert!(is_nash(&game, &profile, &NashTest::exact()).unwrap().is_nash());
+        }
+    }
+
+    #[test]
+    fn response_graph_edges_strictly_reduce_the_movers_cost(game in arb_tiny_game()) {
+        let rg = ResponseGraph::build(&game, 1e-9).unwrap();
+        let fast = FastGame::new(&game).unwrap();
+        // Sample some profiles and verify edge semantics via peer costs.
+        for code in (0..rg.profile_count() as u32).step_by(131) {
+            let profile = fast.decode(u64::from(code));
+            for &next_code in rg.successors(code) {
+                let next = fast.decode(u64::from(next_code));
+                let mover = (0..game.n())
+                    .find(|&i| {
+                        profile.strategy(i.into()) != next.strategy(i.into())
+                    })
+                    .expect("edge changes a peer");
+                let before =
+                    sp_core::peer_cost(&game, &profile, mover.into()).unwrap();
+                let after = sp_core::peer_cost(&game, &next, mover.into()).unwrap();
+                prop_assert!(
+                    after < before || (before.is_infinite() && after.is_finite()),
+                    "edge does not improve mover {mover}: {before} -> {after}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sink_reachability_is_total_when_acyclic(game in arb_tiny_game()) {
+        let rg = ResponseGraph::build(&game, 1e-9).unwrap();
+        if !rg.has_best_response_cycle() && rg.equilibrium_count() > 0 {
+            // An acyclic finite graph whose sinks are the equilibria:
+            // every path must end in a sink.
+            prop_assert!(rg.is_weakly_acyclic());
+        }
+    }
+
+    #[test]
+    fn failure_sweep_is_consistent_with_connectivity(game in arb_tiny_game()) {
+        // On the complete profile no failure disconnects anything.
+        let summary = failure_sweep(&game, &StrategyProfile::complete(game.n())).unwrap();
+        prop_assert_eq!(summary.worst_disconnections(), 0);
+        prop_assert_eq!(summary.robust_fraction(), 1.0);
+        // Stretches of survivors remain exactly 1 (they keep direct links).
+        prop_assert!((summary.mean_mean_stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_is_nash_matches_reference_on_random_profiles(
+        game in arb_tiny_game(),
+        mask_seed in 0u64..1_000_000,
+    ) {
+        let fast = FastGame::new(&game).unwrap();
+        let code = mask_seed % fast.profile_count();
+        let profile = fast.decode(code);
+        let fast_verdict = fast.is_nash(&fast.unpack(code), 1e-9);
+        let slow_verdict =
+            is_nash(&game, &profile, &NashTest::exact()).unwrap().is_nash();
+        prop_assert_eq!(fast_verdict, slow_verdict);
+    }
+}

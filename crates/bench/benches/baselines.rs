@@ -1,0 +1,44 @@
+//! Benchmarks of the baseline overlays (experiment E9 kernel) and the
+//! exhaustive scanner (experiment E5 kernel).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_analysis::exhaustive::exhaustive_nash_scan;
+use sp_constructions::baselines;
+use sp_core::Game;
+use sp_metric::generators;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_baselines");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = generators::uniform_square(n, 100.0, &mut rng);
+        let game = Game::from_space(&space, (n as f64).sqrt()).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
+            b.iter(|| black_box(baselines::all_baselines(game)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_scan");
+    group.sample_size(10);
+    // A 4-peer line (2^12 profiles, finds an equilibrium) — the full
+    // 5-peer no-NE scan is benchmarked implicitly by exp_no_ne.
+    let game = Game::from_space(
+        &sp_metric::LineSpace::new(vec![0.0, 1.0, 2.5, 4.0]).unwrap(),
+        1.0,
+    )
+    .expect("valid");
+    group.bench_function("line_n4", |b| {
+        b.iter(|| black_box(exhaustive_nash_scan(&game, 1e-9).expect("in range")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_exhaustive_scan);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of the best-response solvers (E1/E4 kernel): the facility
+//! location reduction under each solve strategy.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_core::{best_response, BestResponseMethod, Game, PeerId, StrategyProfile};
+use sp_metric::generators;
+
+fn setup(n: usize) -> (Game, StrategyProfile) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let space = generators::uniform_square(n, 100.0, &mut rng);
+    let game = Game::from_space(&space, 4.0).expect("valid");
+    // A plausible mid-dynamics profile: directed ring plus shortcuts.
+    let mut links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    links.extend((0..n).map(|i| (i, (i + n / 2) % n)));
+    let profile = StrategyProfile::from_links(n, &links).expect("valid");
+    (game, profile)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_response");
+    for n in [12usize, 16, 24] {
+        let (game, profile) = setup(n);
+        for (name, method) in [
+            ("exact_bb", BestResponseMethod::Exact),
+            ("greedy", BestResponseMethod::Greedy),
+            ("local_search", BestResponseMethod::LocalSearch),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(&game, &profile),
+                |b, (game, profile)| {
+                    b.iter(|| {
+                        black_box(
+                            best_response(game, profile, PeerId::new(0), method)
+                                .expect("valid"),
+                        )
+                    });
+                },
+            );
+        }
+        // Enumeration only fits the smaller sizes.
+        if n <= 16 {
+            group.bench_with_input(
+                BenchmarkId::new("exact_enumeration", n),
+                &(&game, &profile),
+                |b, (game, profile)| {
+                    b.iter(|| {
+                        black_box(
+                            best_response(
+                                game,
+                                profile,
+                                PeerId::new(0),
+                                BestResponseMethod::ExactEnumeration,
+                            )
+                            .expect("valid"),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of full dynamics runs (E4/E7 kernel): empty profile to
+//! convergence under different response rules.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_core::{Game, StrategyProfile};
+use sp_dynamics::{DynamicsConfig, DynamicsRunner, ResponseRule};
+use sp_metric::generators;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics_to_convergence");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let space = generators::uniform_square(n, 100.0, &mut rng);
+        let game = Game::from_space(&space, 4.0).expect("valid");
+        for (name, rule) in [
+            ("best_response", ResponseRule::BestResponse),
+            ("better_response", ResponseRule::BetterResponse),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &game, |b, game| {
+                b.iter(|| {
+                    let config = DynamicsConfig { rule, ..DynamicsConfig::default() };
+                    let mut runner = DynamicsRunner::new(game, config);
+                    black_box(runner.run(StrategyProfile::empty(game.n())))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

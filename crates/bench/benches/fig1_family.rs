@@ -1,0 +1,54 @@
+//! Benchmarks of the Figure 1 pipeline (experiments E1–E3): instance
+//! construction, social-cost evaluation, and exact Nash verification.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_constructions::line::LineLowerBound;
+use sp_core::{is_nash, NashTest};
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_social_cost");
+    for n in [32usize, 64, 128, 256] {
+        let lb = LineLowerBound::new(n, 3.4).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lb, |b, lb| {
+            b.iter(|| black_box(lb.equilibrium_cost()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nash_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_nash_verification");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let lb = LineLowerBound::new(n, 3.4).expect("valid");
+        let game = lb.game();
+        let profile = lb.equilibrium_profile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&game, &profile),
+            |b, (game, profile)| {
+                b.iter(|| black_box(is_nash(game, profile, &NashTest::exact()).expect("valid")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_poa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_poa_point");
+    group.sample_size(20);
+    for n in [41usize, 81] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let lb = LineLowerBound::new(n, 10.0).expect("valid");
+                black_box(lb.poa_lower_bound())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost, bench_nash_verification, bench_poa);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the graph substrate's shortest-path kernels — the inner
+//! loop of every cost and best-response computation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_graph::{apsp, dijkstra, floyd_warshall, CsrGraph, DiGraph};
+
+fn random_graph(n: usize, avg_degree: usize, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for _ in 0..avg_degree {
+            let v = rng.random_range(0..n);
+            if v != u {
+                g.add_edge(u, v, rng.random_range(0.1..100.0));
+            }
+        }
+    }
+    g
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    for n in [64usize, 256, 1024] {
+        let g = random_graph(n, 8, 42);
+        let csr = CsrGraph::from_digraph(&g);
+        group.bench_with_input(BenchmarkId::new("adjacency", n), &g, |b, g| {
+            b.iter(|| black_box(dijkstra(g, 0)));
+        });
+        group.bench_with_input(BenchmarkId::new("csr", n), &csr, |b, csr| {
+            let mut buf = vec![f64::INFINITY; csr.node_count()];
+            b.iter(|| {
+                csr.dijkstra_into(0, &mut buf);
+                black_box(buf[csr.node_count() - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    group.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let g = random_graph(n, 6, 7);
+        group.bench_with_input(BenchmarkId::new("repeated_dijkstra", n), &g, |b, g| {
+            b.iter(|| black_box(apsp(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("floyd_warshall", n), &g, |b, g| {
+            b.iter(|| black_box(floyd_warshall(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_apsp);
+criterion_main!(benches);

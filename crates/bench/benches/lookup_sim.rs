@@ -1,0 +1,51 @@
+//! Benchmarks of the lookup simulator (E14 kernel): table construction
+//! and all-pairs workloads under both routing strategies.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_core::{Game, StrategyProfile};
+use sp_metric::generators;
+use sp_sim::{workload, LookupSimulator, Routing, SimConfig};
+
+fn setup(n: usize) -> (Game, StrategyProfile) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let space = generators::uniform_square(n, 100.0, &mut rng);
+    let game = Game::from_space(&space, 4.0).expect("valid");
+    let mut links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    links.extend((0..n).map(|i| (i, (i + n / 3).max(i + 1) % n)).filter(|&(a, b)| a != b));
+    let profile = StrategyProfile::from_links(n, &links).expect("valid");
+    (game, profile)
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_all_pairs");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let (game, profile) = setup(n);
+        let pairs = workload::all_pairs(n);
+        for (name, routing) in [
+            ("shortest_path", Routing::ShortestPath),
+            ("greedy", Routing::GreedyMetric),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(&game, &profile, &pairs),
+                |b, (game, profile, pairs)| {
+                    let sim = LookupSimulator::new(
+                        game,
+                        profile,
+                        SimConfig { routing, ..SimConfig::default() },
+                    )
+                    .expect("valid");
+                    b.iter(|| black_box(sim.run_workload(pairs)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

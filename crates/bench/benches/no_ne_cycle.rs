@@ -1,0 +1,42 @@
+//! Benchmarks of the Theorem 5.1 pipeline (experiments E5/E6): cycle
+//! detection on `I_k` and single-profile Nash checks on `I_1`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_constructions::no_ne::{CandidateState, NoEquilibriumInstance};
+use sp_core::{is_nash, NashTest, StrategyProfile};
+use sp_dynamics::{DynamicsConfig, DynamicsRunner};
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("no_ne_cycle_detection");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        let inst = NoEquilibriumInstance::paper(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| {
+                let config =
+                    DynamicsConfig { max_rounds: 400, ..DynamicsConfig::default() };
+                let mut runner = DynamicsRunner::new(inst.game(), config);
+                black_box(runner.run(StrategyProfile::empty(inst.n())))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_checks(c: &mut Criterion) {
+    let inst = NoEquilibriumInstance::paper(1);
+    let profiles: Vec<_> =
+        CandidateState::ALL.iter().map(|&s| inst.candidate_profile(s)).collect();
+    c.bench_function("no_ne_candidate_nash_checks", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(is_nash(inst.game(), p, &NashTest::exact()).expect("valid"));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_cycle_detection, bench_candidate_checks);
+criterion_main!(benches);

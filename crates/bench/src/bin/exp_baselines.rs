@@ -1,0 +1,8 @@
+//! E9 — footnote 2: which collaborative overlay wins at which `α`
+//! (complete / star / chain / MST / `√n`-hub).
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_baselines(args.quick);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,8 @@
+//! E7 — extension: convergence statistics of selfish dynamics on random
+//! instances across schedules and response rules.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_convergence(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,8 @@
+//! E10 — ε-stability: with a large enough indifference threshold even the
+//! no-equilibrium instance `I_1` settles into an ε-equilibrium.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_epsilon_stability(args.quick);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,8 @@
+//! E8 — related work: the Fabrikant et al. hop-count game compared with
+//! the selfish-peers stretch game.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_fabrikant(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,7 @@
+//! E2 — Lemma 4.3: the Figure 1 equilibrium costs `Θ(αn²)`.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_fig1_cost(args.quick);
+    sp_bench::emit(&report, args);
+}

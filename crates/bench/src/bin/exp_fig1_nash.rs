@@ -1,0 +1,8 @@
+//! E1 — Lemma 4.2: the Figure 1 construction is a Nash equilibrium for
+//! `α ≥ 3.4` (exact verification).
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_fig1_nash(args.quick);
+    sp_bench::emit(&report, args);
+}

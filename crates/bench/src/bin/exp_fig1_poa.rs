@@ -1,0 +1,7 @@
+//! E3 — Theorem 4.4: the Price of Anarchy grows as `Θ(min(α, n))`.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_fig1_poa(args.quick);
+    sp_bench::emit(&report, args);
+}

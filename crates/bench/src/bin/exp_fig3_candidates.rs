@@ -1,0 +1,8 @@
+//! E6 — Figure 3: the six candidate topologies and their improving
+//! deviations (the endless improvement cycle).
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_fig3_candidates();
+    sp_bench::emit(&report, args);
+}

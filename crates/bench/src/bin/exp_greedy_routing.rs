@@ -1,0 +1,7 @@
+//! E14 — greedy routability of equilibrium overlays vs baselines.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_greedy_routing(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,9 @@
+//! E5 — Theorem 5.1: the instance `I_k` has no pure Nash equilibrium
+//! (exhaustive certificate for k = 1; provable dynamics cycles for
+//! k = 1, 2, 3).
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_no_ne(args.quick);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,8 @@
+//! E12 — failure injection: single-peer crashes on selfish equilibria vs
+//! collaborative baselines.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_resilience(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

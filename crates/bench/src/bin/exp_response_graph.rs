@@ -1,0 +1,8 @@
+//! E15 — best-response graph structure: equilibria as sinks, weak
+//! acyclicity, best-response cycles.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_response_graph(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

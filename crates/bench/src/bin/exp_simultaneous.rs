@@ -1,0 +1,7 @@
+//! E13 — update timing: simultaneous vs sequential best responses.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_simultaneous(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

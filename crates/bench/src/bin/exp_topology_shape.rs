@@ -1,0 +1,8 @@
+//! E11 — how α shapes equilibrium topologies: degree, weighted diameter,
+//! betweenness concentration, clustering, mean stretch.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_topology_shape(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

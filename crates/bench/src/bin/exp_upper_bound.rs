@@ -1,0 +1,8 @@
+//! E4 — Theorem 4.1: equilibrium stretches never exceed `α + 1`; PoA is
+//! `O(min(α, n))` on arbitrary metrics.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let report = sp_analysis::experiments::exp_upper_bound(args.quick, args.seed);
+    sp_bench::emit(&report, args);
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment (E1–E15) and prints all reports; regenerates the
+//! full `EXPERIMENTS.md` data set.
+
+fn main() {
+    let args = sp_bench::ExpArgs::parse();
+    let reports = vec![
+        sp_analysis::experiments::exp_fig1_nash(args.quick),
+        sp_analysis::experiments::exp_fig1_cost(args.quick),
+        sp_analysis::experiments::exp_fig1_poa(args.quick),
+        sp_analysis::experiments::exp_upper_bound(args.quick, args.seed),
+        sp_analysis::experiments::exp_no_ne(args.quick),
+        sp_analysis::experiments::exp_fig3_candidates(),
+        sp_analysis::experiments::exp_convergence(args.quick, args.seed),
+        sp_analysis::experiments::exp_fabrikant(args.quick, args.seed),
+        sp_analysis::experiments::exp_baselines(args.quick),
+        sp_analysis::experiments::exp_epsilon_stability(args.quick),
+        sp_analysis::experiments::exp_topology_shape(args.quick, args.seed),
+        sp_analysis::experiments::exp_resilience(args.quick, args.seed),
+        sp_analysis::experiments::exp_simultaneous(args.quick, args.seed),
+        sp_analysis::experiments::exp_greedy_routing(args.quick, args.seed),
+        sp_analysis::experiments::exp_response_graph(args.quick, args.seed),
+    ];
+    for r in &reports {
+        sp_bench::emit(r, args);
+        println!();
+    }
+}

@@ -1,0 +1,83 @@
+//! Wide randomized search for k = 1 no-equilibrium placements (dev tool).
+
+use rand::prelude::*;
+use sp_analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
+use sp_constructions::no_ne::{NoEquilibriumInstance, NoNeParams};
+use sp_core::StrategyProfile;
+use sp_dynamics::{DynamicsConfig, DynamicsRunner, Termination};
+use sp_metric::Point2;
+
+fn dynamics_cycles_everywhere(inst: &NoEquilibriumInstance) -> bool {
+    let n = inst.game().n();
+    let starts = vec![
+        StrategyProfile::empty(n),
+        StrategyProfile::complete(n),
+        inst.candidate_profile(sp_constructions::no_ne::CandidateState::S1),
+        inst.candidate_profile(sp_constructions::no_ne::CandidateState::S4),
+    ];
+    for start in starts {
+        let mut runner = DynamicsRunner::new(
+            inst.game(),
+            DynamicsConfig { max_rounds: 80, ..DynamicsConfig::default() },
+        );
+        if matches!(runner.run(start).termination, Termination::Converged { .. }) {
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12345);
+    let alpha_lo: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.6);
+    let alpha_hi: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.6);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed_filter = 0usize;
+    let mut certified = 0usize;
+    for i in 0..samples {
+        let alpha_factor = if alpha_hi > alpha_lo {
+            rng.random_range(alpha_lo..alpha_hi)
+        } else {
+            alpha_lo
+        };
+        let params = NoNeParams {
+            alpha_factor,
+            centers: [
+                Point2::new(0.0, 0.0),
+                Point2::new(0.98, 0.0),
+                Point2::new(rng.random_range(-1.0..0.8), rng.random_range(0.6..2.2)),
+                Point2::new(rng.random_range(0.2..2.4), rng.random_range(0.6..2.2)),
+                Point2::new(rng.random_range(1.0..3.6), rng.random_range(0.6..2.2)),
+            ],
+            ..NoNeParams::paper(1)
+        };
+        let Ok(inst) = NoEquilibriumInstance::new(params.clone()) else { continue };
+        if !dynamics_cycles_everywhere(&inst) {
+            continue;
+        }
+        passed_filter += 1;
+        println!("[{i}] dynamics cycles for a={:?} b={:?} c={:?} alpha={alpha_factor:.3} — scanning...",
+            params.centers[2], params.centers[3], params.centers[4]);
+        match exhaustive_nash_scan(inst.game(), 1e-9) {
+            Ok(ExhaustiveResult::NoEquilibrium { profiles_checked }) => {
+                certified += 1;
+                println!(
+                    "  CERTIFIED no-NE ({profiles_checked} profiles): a=({:.4},{:.4}) b=({:.4},{:.4}) c=({:.4},{:.4}) alpha={alpha_factor:.4}",
+                    params.centers[2].x, params.centers[2].y,
+                    params.centers[3].x, params.centers[3].y,
+                    params.centers[4].x, params.centers[4].y,
+                );
+                if certified >= 5 {
+                    break;
+                }
+            }
+            Ok(ExhaustiveResult::FoundEquilibrium { profiles_checked, .. }) => {
+                println!("  equilibrium exists (found after {profiles_checked})");
+            }
+            Err(e) => println!("  scan error: {e}"),
+        }
+    }
+    println!("done: {passed_filter} passed dynamics filter, {certified} certified");
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! The actual experiment logic lives in `sp-analysis::experiments`; this
+//! crate hosts the runnable entry points (`src/bin/exp_*`) and the
+//! performance benchmarks (`benches/`).
+
+#![forbid(unsafe_code)]
+
+/// Parses the common experiment flags from `std::env::args`.
+///
+/// Supported flags: `--quick` (smaller parameter sweep), `--json` (emit
+/// the machine-readable report instead of tables), `--seed <u64>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Run the reduced-size sweep (used by integration smoke tests).
+    pub quick: bool,
+    /// Emit JSON instead of human-readable tables.
+    pub json: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parses flags from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed `--seed` values.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = ExpArgs { quick: false, json: false, seed: 42 };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--json" => args.json = true,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--seed requires a value"));
+                    args.seed = v.parse().unwrap_or_else(|_| panic!("bad seed: {v}"));
+                }
+                other => panic!("unknown flag {other}; supported: --quick --json --seed <u64>"),
+            }
+        }
+        args
+    }
+}
+
+/// Prints a report as tables or JSON per the flags.
+pub fn emit(report: &sp_analysis::Report, args: ExpArgs) {
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+}

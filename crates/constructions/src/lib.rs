@@ -1,0 +1,30 @@
+//! The paper's explicit constructions and the baselines they are measured
+//! against.
+//!
+//! * [`mod@line`] — the Figure 1 family: peers on a 1-D Euclidean line with
+//!   exponentially growing gaps whose natural link structure is a Nash
+//!   equilibrium of social cost `Θ(αn²)` (Lemmas 4.2/4.3), witnessing the
+//!   `Θ(min(α, n))` Price-of-Anarchy lower bound (Theorem 4.4).
+//! * [`no_ne`] — the Figure 2 instance `I_k`: five clusters in the plane
+//!   with `α = 0.6k` admitting **no pure Nash equilibrium**
+//!   (Theorem 5.1), plus the six Figure 3 candidate states and the
+//!   improvement cycle `1 → 3 → 4 → 2 → 1`.
+//! * [`baselines`] — collaborative reference topologies (complete, star,
+//!   chain `G̃`, MST, `√n`-hub overlay) used to upper-bound the optimum.
+//! * [`fabrikant`] — the hop-count network creation game of Fabrikant
+//!   et al. (PODC 2003), the related-work baseline the paper builds on.
+
+#![forbid(unsafe_code)]
+// Index loops over small fixed-size numeric tables are clearer than
+// iterator chains in this codebase's shortest-path/game kernels.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod fabrikant;
+pub mod line;
+pub mod no_ne;
+
+pub use fabrikant::FabrikantGame;
+pub use line::LineLowerBound;
+pub use no_ne::NoEquilibriumInstance;

@@ -1,0 +1,107 @@
+//! Property tests for the paper constructions across their parameter
+//! ranges.
+
+use proptest::prelude::*;
+use sp_constructions::line::LineLowerBound;
+use sp_constructions::no_ne::{CandidateState, NoEquilibriumInstance, NoNeParams};
+use sp_core::{social_cost, topology};
+use sp_graph::is_strongly_connected;
+use sp_metric::validate_metric;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fig1_positions_increase_and_metric_is_valid(
+        n in 2usize..40, alpha in 2.05f64..20.0
+    ) {
+        let Ok(lb) = LineLowerBound::new(n, alpha) else { return Ok(()); };
+        let pos = lb.positions();
+        for w in pos.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Positions grow like α^n, so the metric tolerance must scale
+        // with the diameter (floating-point subtraction error is
+        // relative, not absolute).
+        let tol = 1e-12 * pos.last().unwrap();
+        prop_assert!(validate_metric(&lb.space(), tol.max(1e-12)).is_ok());
+    }
+
+    #[test]
+    fn fig1_equilibrium_profile_is_strongly_connected(
+        n in 2usize..60, alpha in 2.05f64..10.0
+    ) {
+        let Ok(lb) = LineLowerBound::new(n, alpha) else { return Ok(()); };
+        let g = topology(&lb.game(), &lb.equilibrium_profile()).unwrap();
+        prop_assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn fig1_link_cost_identity(n in 2usize..50, alpha in 2.05f64..10.0) {
+        // C_E must equal α · |E| exactly.
+        let Ok(lb) = LineLowerBound::new(n, alpha) else { return Ok(()); };
+        let profile = lb.equilibrium_profile();
+        let c = lb.equilibrium_cost();
+        prop_assert!((c.link_cost - alpha * profile.link_count() as f64).abs() < 1e-9);
+        prop_assert!(c.is_connected());
+    }
+
+    #[test]
+    fn fig1_reference_chain_unit_stretch(n in 2usize..40, alpha in 2.05f64..10.0) {
+        let Ok(lb) = LineLowerBound::new(n, alpha) else { return Ok(()); };
+        let c = lb.reference_cost();
+        // On a line the chain's stretches are all exactly 1.
+        prop_assert!((c.stretch_cost - (n * (n - 1)) as f64).abs() < 1e-6);
+        // The ratio C(G)/C(G̃) is positive and finite; it may dip below 1
+        // for tiny n where the equilibrium uses fewer links than the
+        // chain — the Θ(min(α, n)) growth is asymptotic.
+        let poa = lb.poa_lower_bound();
+        prop_assert!(poa.is_finite() && poa > 0.0);
+    }
+
+    #[test]
+    fn no_ne_instances_scale_with_k(k in 1usize..6) {
+        let inst = NoEquilibriumInstance::paper(k);
+        prop_assert_eq!(inst.n(), 5 * k);
+        prop_assert!(validate_metric(inst.space(), 1e-9).is_ok());
+        // Every candidate profile is strongly connected.
+        for s in CandidateState::ALL {
+            let g = topology(inst.game(), &inst.candidate_profile(s)).unwrap();
+            prop_assert!(is_strongly_connected(&g), "k={} case {}", k, s.case_number());
+        }
+    }
+
+    #[test]
+    fn no_ne_candidate_costs_are_finite_and_consistent(k in 1usize..4) {
+        let inst = NoEquilibriumInstance::paper(k);
+        for s in CandidateState::ALL {
+            let p = inst.candidate_profile(s);
+            let c = social_cost(inst.game(), &p).unwrap();
+            prop_assert!(c.total().is_finite());
+            prop_assert!(
+                (c.link_cost - inst.game().alpha() * p.link_count() as f64).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn no_ne_classification_is_injective(k in 1usize..4) {
+        let inst = NoEquilibriumInstance::paper(k);
+        let profiles: Vec<_> =
+            CandidateState::ALL.iter().map(|&s| inst.candidate_profile(s)).collect();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                prop_assert_ne!(&profiles[i], &profiles[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn no_ne_epsilon_scales_cluster_diameter(eps in 1e-6f64..1e-2) {
+        let params = NoNeParams { epsilon: eps, ..NoNeParams::paper(3) };
+        let inst = NoEquilibriumInstance::new(params).unwrap();
+        // Intra-cluster diameter is eps / n.
+        let d = inst.game().distance(0, 2); // two peers of Π1 (k = 3)
+        prop_assert!(d <= eps / 15.0 + 1e-12);
+    }
+}

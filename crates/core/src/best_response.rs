@@ -1,0 +1,447 @@
+use sp_facility::{
+    solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
+    FacilityProblem,
+};
+use sp_graph::CsrGraph;
+
+use crate::{
+    peer_cost, topology_without_peer, CoreError, Game, LinkSet, PeerId, StrategyProfile,
+};
+
+/// How a peer's best response is computed.
+///
+/// The reduction to facility location (see [`best_response`]) is exact;
+/// the method determines how the resulting UFL instance is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BestResponseMethod {
+    /// Exact, by branch-and-bound. The default: exact at any size the
+    /// experiments use.
+    #[default]
+    Exact,
+    /// Exact, by subset enumeration. Limited to 24 candidate neighbours
+    /// (i.e. `n <= 25`); used to cross-validate the branch-and-bound.
+    ExactEnumeration,
+    /// Greedy marginal-gain heuristic (`O(log)`-approximate).
+    Greedy,
+    /// Add/drop/swap local search seeded by greedy (locally optimal).
+    LocalSearch,
+}
+
+impl BestResponseMethod {
+    /// Returns `true` when the method guarantees an optimal response.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        matches!(self, BestResponseMethod::Exact | BestResponseMethod::ExactEnumeration)
+    }
+}
+
+/// The outcome of a best-response computation for one peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponse {
+    /// The responding peer.
+    pub peer: PeerId,
+    /// The (near-)optimal strategy found.
+    pub links: LinkSet,
+    /// Cost of playing [`BestResponse::links`] against the fixed rest.
+    pub cost: f64,
+    /// Cost of the peer's current strategy in the same profile.
+    pub current_cost: f64,
+    /// Whether the method guarantees `links` is exactly optimal.
+    pub exact: bool,
+}
+
+impl BestResponse {
+    /// `current_cost − cost`, the incentive to deviate. Positive iff the
+    /// response strictly improves. (`+∞` when the response connects a peer
+    /// that currently cannot reach everyone.)
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if self.current_cost.is_infinite() && self.cost.is_infinite() {
+            0.0
+        } else {
+            self.current_cost - self.cost
+        }
+    }
+
+    /// Returns `true` if the response improves by more than a relative
+    /// tolerance `tol · (1 + |current_cost|)` — the standard test used by
+    /// equilibrium checks to absorb floating-point noise.
+    #[must_use]
+    pub fn improves(&self, tol: f64) -> bool {
+        if self.cost.is_infinite() {
+            return false;
+        }
+        if self.current_cost.is_infinite() {
+            return true;
+        }
+        self.cost < self.current_cost - tol * (1.0 + self.current_cost.abs())
+    }
+}
+
+/// The best-response reduction: candidate links as facilities, other peers
+/// as clients. Built once per (profile, peer) and reusable for evaluating
+/// arbitrary candidate strategies cheaply.
+pub(crate) struct ResponseOracle {
+    /// Candidate link targets, in ascending peer order; facility `k`
+    /// corresponds to `candidates[k]`.
+    candidates: Vec<usize>,
+    problem: FacilityProblem,
+}
+
+impl ResponseOracle {
+    pub(crate) fn build(
+        game: &Game,
+        profile: &StrategyProfile,
+        peer: PeerId,
+    ) -> Result<Self, CoreError> {
+        let n = game.n();
+        if peer.index() >= n {
+            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n });
+        }
+        let i = peer.index();
+        let g_minus = topology_without_peer(game, profile, peer)?;
+        let csr = CsrGraph::from_digraph(&g_minus);
+        let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
+        let mut assignment = Vec::with_capacity(candidates.len());
+        let mut buf = vec![f64::INFINITY; n];
+        for &v in &candidates {
+            csr.dijkstra_into(v, &mut buf);
+            let d_iv = game.distance(i, v);
+            let row: Vec<f64> = candidates
+                .iter()
+                .map(|&j| (d_iv + buf[j]) / game.distance(i, j))
+                .collect();
+            assignment.push(row);
+        }
+        let problem = FacilityProblem::with_uniform_open_cost(game.alpha(), assignment)
+            .expect("reduction produces non-negative costs by construction");
+        Ok(ResponseOracle { candidates, problem })
+    }
+
+    /// Cost of `peer` playing `links` against the fixed rest — identical
+    /// to [`peer_cost`] on the deviated profile (asserted by tests), but
+    /// `O(n·|links|)` instead of a Dijkstra.
+    pub(crate) fn eval(&self, links: &LinkSet) -> f64 {
+        let open: Vec<usize> = links
+            .iter()
+            .map(|p| {
+                self.candidates
+                    .binary_search(&p.index())
+                    .expect("link target must be a valid candidate")
+            })
+            .collect();
+        self.problem.cost_of(&open)
+    }
+
+    pub(crate) fn solve(&self, method: BestResponseMethod) -> Result<(LinkSet, f64), CoreError> {
+        let sol = match method {
+            BestResponseMethod::Exact => solve_branch_and_bound(&self.problem),
+            BestResponseMethod::ExactEnumeration => {
+                solve_enumeration(&self.problem).map_err(|e| match e {
+                    FacilityError::TooManyFacilities { facilities, limit } => {
+                        CoreError::InstanceTooLarge { n: facilities + 1, limit: limit + 1 }
+                    }
+                    other => panic!("unexpected facility error: {other}"),
+                })?
+            }
+            BestResponseMethod::Greedy => solve_greedy(&self.problem),
+            BestResponseMethod::LocalSearch => solve_local_search(&self.problem, None),
+        };
+        let links: LinkSet = sol.open.iter().map(|&f| self.candidates[f]).collect();
+        Ok((links, sol.cost))
+    }
+
+    pub(crate) fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+}
+
+/// Computes `peer`'s best response to `profile` (all other strategies
+/// fixed).
+///
+/// The computation removes `peer`'s out-links, computes residual shortest
+/// paths `D(v, j)`, and solves the facility-location instance with opening
+/// cost `α` and assignment costs `(d(i,v) + D(v,j)) / d(i,j)` — an *exact*
+/// reformulation of the peer's strategy space (shortest paths never
+/// revisit the source).
+///
+/// # Errors
+///
+/// * [`CoreError::ProfileSizeMismatch`] / [`CoreError::PeerOutOfBounds`]
+///   for malformed inputs;
+/// * [`CoreError::InstanceTooLarge`] if
+///   [`BestResponseMethod::ExactEnumeration`] is asked for more than 25
+///   peers.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{best_response, BestResponseMethod, Game, PeerId, StrategyProfile};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0]).unwrap(), 0.5).unwrap();
+/// let p = StrategyProfile::empty(3);
+/// let br = best_response(&game, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+/// // From the empty profile the peer must link everyone it wants to reach.
+/// assert_eq!(br.links.len(), 2);
+/// assert!(br.improves(1e-9));
+/// ```
+pub fn best_response(
+    game: &Game,
+    profile: &StrategyProfile,
+    peer: PeerId,
+    method: BestResponseMethod,
+) -> Result<BestResponse, CoreError> {
+    let current_cost = peer_cost(game, profile, peer)?;
+    if game.n() <= 1 {
+        return Ok(BestResponse {
+            peer,
+            links: LinkSet::new(),
+            cost: 0.0,
+            current_cost,
+            exact: true,
+        });
+    }
+    let oracle = ResponseOracle::build(game, profile, peer)?;
+    let (links, cost) = oracle.solve(method)?;
+    // Exact solvers can only tie or beat the current strategy; heuristics
+    // may come out worse, in which case keeping the current strategy *is*
+    // a valid (better) response.
+    if cost > current_cost {
+        return Ok(BestResponse {
+            peer,
+            links: profile.strategy(peer).clone(),
+            cost: current_cost,
+            current_cost,
+            exact: method.is_exact(),
+        });
+    }
+    Ok(BestResponse { peer, links, cost, current_cost, exact: method.is_exact() })
+}
+
+/// Finds the first strictly improving **single-link** move (drop, add, or
+/// swap, in that order, targets in ascending order) for `peer`, or `None`
+/// if no such move improves by more than the relative tolerance.
+///
+/// This is the "better response" used by better-response dynamics; it is
+/// much cheaper than a full best response and produces the small,
+/// incremental topology changes discussed in the paper's Section 5.
+///
+/// # Errors
+///
+/// Same conditions as [`best_response`].
+pub fn first_improving_move(
+    game: &Game,
+    profile: &StrategyProfile,
+    peer: PeerId,
+    tol: f64,
+) -> Result<Option<BestResponse>, CoreError> {
+    if game.n() <= 1 {
+        if peer.index() >= game.n() {
+            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: game.n() });
+        }
+        return Ok(None);
+    }
+    let oracle = ResponseOracle::build(game, profile, peer)?;
+    let current = profile.strategy(peer).clone();
+    let current_cost = oracle.eval(&current);
+    let improves = |cost: f64| -> bool {
+        if cost.is_infinite() {
+            return false;
+        }
+        if current_cost.is_infinite() {
+            return true;
+        }
+        cost < current_cost - tol * (1.0 + current_cost.abs())
+    };
+    let wrap = |links: LinkSet, cost: f64| BestResponse {
+        peer,
+        links,
+        cost,
+        current_cost,
+        exact: false,
+    };
+
+    // Drops.
+    for j in current.iter() {
+        let cand = current.without(j);
+        let c = oracle.eval(&cand);
+        if improves(c) {
+            return Ok(Some(wrap(cand, c)));
+        }
+    }
+    // Adds.
+    for &v in oracle.candidates() {
+        let vp = PeerId::new(v);
+        if current.contains(vp) {
+            continue;
+        }
+        let cand = current.with(vp);
+        let c = oracle.eval(&cand);
+        if improves(c) {
+            return Ok(Some(wrap(cand, c)));
+        }
+    }
+    // Swaps.
+    for j in current.iter() {
+        for &v in oracle.candidates() {
+            let vp = PeerId::new(v);
+            if current.contains(vp) {
+                continue;
+            }
+            let cand = current.without(j).with(vp);
+            let c = oracle.eval(&cand);
+            if improves(c) {
+                return Ok(Some(wrap(cand, c)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social_cost;
+    use sp_metric::LineSpace;
+
+    fn line_game(alpha: f64) -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn oracle_eval_matches_peer_cost() {
+        let game = line_game(1.3);
+        let p = StrategyProfile::from_links(4, &[(1, 0), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let peer = PeerId::new(0);
+        let oracle = ResponseOracle::build(&game, &p, peer).unwrap();
+        for links in [
+            LinkSet::new(),
+            [1usize].into_iter().collect::<LinkSet>(),
+            [1usize, 3].into_iter().collect::<LinkSet>(),
+            LinkSet::all_except(4, peer),
+        ] {
+            let via_oracle = oracle.eval(&links);
+            let deviated = p.with_strategy(peer, links.clone()).unwrap();
+            let direct = peer_cost(&game, &deviated, peer).unwrap();
+            assert!(
+                (via_oracle - direct).abs() < 1e-9
+                    || (via_oracle.is_infinite() && direct.is_infinite()),
+                "links {links}: oracle {via_oracle} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_methods_agree() {
+        let game = line_game(0.8);
+        let p = StrategyProfile::from_links(4, &[(1, 0), (2, 1), (3, 2)]).unwrap();
+        for peer in 0..4 {
+            let a = best_response(&game, &p, PeerId::new(peer), BestResponseMethod::Exact)
+                .unwrap();
+            let b = best_response(
+                &game,
+                &p,
+                PeerId::new(peer),
+                BestResponseMethod::ExactEnumeration,
+            )
+            .unwrap();
+            assert!((a.cost - b.cost).abs() < 1e-9, "peer {peer}: {} vs {}", a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn best_response_cost_is_deviated_profile_cost() {
+        let game = line_game(2.0);
+        let p = StrategyProfile::empty(4);
+        let br = best_response(&game, &p, PeerId::new(2), BestResponseMethod::Exact).unwrap();
+        let deviated = p.with_strategy(PeerId::new(2), br.links.clone()).unwrap();
+        let direct = peer_cost(&game, &deviated, PeerId::new(2)).unwrap();
+        assert!((br.cost - direct).abs() < 1e-9);
+        assert!(br.exact);
+        assert!(br.improvement().is_infinite());
+    }
+
+    #[test]
+    fn heuristics_never_beat_exact() {
+        let game = line_game(1.0);
+        let p = StrategyProfile::from_links(4, &[(0, 3), (3, 0), (1, 2), (2, 1)]).unwrap();
+        for peer in 0..4 {
+            let exact =
+                best_response(&game, &p, PeerId::new(peer), BestResponseMethod::Exact).unwrap();
+            for m in [BestResponseMethod::Greedy, BestResponseMethod::LocalSearch] {
+                let h = best_response(&game, &p, PeerId::new(peer), m).unwrap();
+                assert!(h.cost >= exact.cost - 1e-9);
+                assert!(!h.exact);
+                // Heuristic responses never exceed the current cost.
+                assert!(h.cost <= h.current_cost + 1e-9 || h.current_cost.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn single_peer_game_trivial_response() {
+        let game = Game::from_space(&LineSpace::new(vec![0.0]).unwrap(), 1.0).unwrap();
+        let p = StrategyProfile::empty(1);
+        let br = best_response(&game, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        assert!(br.links.is_empty());
+        assert_eq!(br.cost, 0.0);
+    }
+
+    #[test]
+    fn first_improving_move_connects_isolated_peer() {
+        let game = line_game(0.5);
+        let p = StrategyProfile::from_links(4, &[(1, 0), (1, 2), (2, 3), (3, 1), (0, 1)]).unwrap();
+        // Remove peer 0's link: it becomes disconnected.
+        let mut q = p.clone();
+        q.set_strategy(PeerId::new(0), LinkSet::new()).unwrap();
+        let mv = first_improving_move(&game, &q, PeerId::new(0), 1e-9).unwrap();
+        let mv = mv.expect("an isolated peer must want to add a link");
+        assert_eq!(mv.links.len(), 1);
+        assert!(mv.cost.is_finite());
+    }
+
+    #[test]
+    fn no_improving_move_in_clear_equilibrium() {
+        // Two peers: each must link the other; any change disconnects or
+        // adds nothing.
+        let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0]).unwrap(), 1.0).unwrap();
+        let p = StrategyProfile::complete(2);
+        for i in 0..2 {
+            assert!(first_improving_move(&game, &p, PeerId::new(i), 1e-9)
+                .unwrap()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn improvement_and_improves_edge_cases() {
+        let br = BestResponse {
+            peer: PeerId::new(0),
+            links: LinkSet::new(),
+            cost: f64::INFINITY,
+            current_cost: f64::INFINITY,
+            exact: true,
+        };
+        assert_eq!(br.improvement(), 0.0);
+        assert!(!br.improves(1e-9));
+        let br2 = BestResponse { cost: 5.0, current_cost: f64::INFINITY, ..br.clone() };
+        assert!(br2.improves(1e-9));
+        assert!(br2.improvement().is_infinite());
+        let br3 = BestResponse { cost: 5.0, current_cost: 5.0 + 1e-12, ..br.clone() };
+        assert!(!br3.improves(1e-9));
+    }
+
+    #[test]
+    fn best_response_reduces_social_cost_when_played() {
+        // Sanity: a strictly improving response strictly lowers the
+        // deviating peer's cost (social cost may move either way).
+        let game = line_game(0.5);
+        let p = StrategyProfile::empty(4);
+        let br = best_response(&game, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        assert!(br.improves(1e-9));
+        let q = p.with_strategy(PeerId::new(0), br.links.clone()).unwrap();
+        let _ = social_cost(&game, &q).unwrap();
+        assert!(peer_cost(&game, &q, PeerId::new(0)).unwrap() < f64::INFINITY);
+    }
+}

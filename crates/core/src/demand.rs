@@ -1,0 +1,528 @@
+//! Traffic-weighted cost variant — the extension the paper's conclusion
+//! calls for ("incorporate aspects such as overlay routing and
+//! congestion into our model").
+//!
+//! Instead of every destination counting equally, peer `i` weights the
+//! stretch to `j` by a demand `w_ij ≥ 0` (lookups per unit time):
+//!
+//! ```text
+//! c_i(s) = α·|s_i| + Σ_{j≠i} w_ij · stretch_G(i, j)
+//! ```
+//!
+//! The uniform demand `w ≡ 1` recovers the paper's game exactly
+//! (property-tested). Zero-demand destinations may legally be left
+//! unreachable — the peer simply does not care about them — which changes
+//! equilibrium structure in interesting ways (hot peers attract links,
+//! cold peers are served indirectly or not at all).
+
+use sp_graph::{dijkstra, CsrGraph, DistanceMatrix};
+
+use crate::{
+    topology, topology_without_peer, BestResponse, BestResponseMethod, CoreError, Game, LinkSet,
+    PeerId, SocialCost, StrategyProfile,
+};
+use sp_facility::{
+    solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
+    FacilityProblem,
+};
+
+/// A non-negative traffic demand matrix; `w[(i, j)]` is how much peer `i`
+/// cares about reaching `j`. The diagonal is ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDemands {
+    weights: DistanceMatrix,
+}
+
+impl TrafficDemands {
+    /// Validates and wraps a demand matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Metric`] if any entry is negative, NaN or
+    /// infinite.
+    pub fn new(weights: DistanceMatrix) -> Result<Self, CoreError> {
+        let n = weights.len();
+        for i in 0..n {
+            for j in 0..n {
+                let w = weights[(i, j)];
+                if !w.is_finite() || w < 0.0 {
+                    return Err(CoreError::Metric(sp_metric::MetricError::NonFiniteValue {
+                        context: "traffic demand",
+                    }));
+                }
+            }
+        }
+        Ok(TrafficDemands { weights })
+    }
+
+    /// The uniform demand (`w ≡ 1`), reproducing the unweighted game.
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        TrafficDemands { weights: DistanceMatrix::new_filled(n, 1.0) }
+    }
+
+    /// A "hotspot" demand: everyone wants `hot_weight` traffic to `hot`,
+    /// and 1.0 to everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot >= n` or `hot_weight` is not finite non-negative.
+    #[must_use]
+    pub fn hotspot(n: usize, hot: usize, hot_weight: f64) -> Self {
+        assert!(hot < n, "hot peer {hot} out of bounds");
+        assert!(
+            hot_weight.is_finite() && hot_weight >= 0.0,
+            "hot weight must be finite non-negative"
+        );
+        let mut m = DistanceMatrix::new_filled(n, 1.0);
+        for i in 0..n {
+            if i != hot {
+                m[(i, hot)] = hot_weight;
+            }
+        }
+        TrafficDemands { weights: m }
+    }
+
+    /// Number of peers the matrix covers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The demand from `i` to `j` (0.0 on the diagonal by convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[must_use]
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            0.0
+        } else {
+            self.weights[(i, j)]
+        }
+    }
+}
+
+/// The demand-weighted selfish-peers game.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::demand::{DemandGame, TrafficDemands};
+/// use sp_core::{Game, StrategyProfile, PeerId, BestResponseMethod};
+/// use sp_metric::LineSpace;
+///
+/// let base = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 5.0]).unwrap(), 1.0).unwrap();
+/// // Peer 0 only cares about peer 1.
+/// let mut w = sp_graph::DistanceMatrix::new_filled(3, 1.0);
+/// w[(0, 2)] = 0.0;
+/// let game = DemandGame::new(base, TrafficDemands::new(w).unwrap()).unwrap();
+/// let p = StrategyProfile::empty(3);
+/// let br = game.best_response(&p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+/// // 0 links only to 1; leaving 2 unreachable is free under zero demand.
+/// assert_eq!(br.links.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandGame {
+    base: Game,
+    demands: TrafficDemands,
+}
+
+impl DemandGame {
+    /// Combines a base game with a demand matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileSizeMismatch`] if the sizes disagree.
+    pub fn new(base: Game, demands: TrafficDemands) -> Result<Self, CoreError> {
+        if base.n() != demands.n() {
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: base.n(),
+                actual: demands.n(),
+            });
+        }
+        Ok(DemandGame { base, demands })
+    }
+
+    /// The underlying metric game.
+    #[must_use]
+    pub fn base(&self) -> &Game {
+        &self.base
+    }
+
+    /// The demand matrix.
+    #[must_use]
+    pub fn demands(&self) -> &TrafficDemands {
+        &self.demands
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Demand-weighted individual cost of `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::peer_cost`].
+    pub fn peer_cost(&self, profile: &StrategyProfile, peer: PeerId) -> Result<f64, CoreError> {
+        if peer.index() >= self.n() {
+            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: self.n() });
+        }
+        let g = topology(&self.base, profile)?;
+        let dist = dijkstra(&g, peer.index());
+        Ok(self.cost_from_distances(profile, peer, &dist))
+    }
+
+    fn cost_from_distances(
+        &self,
+        profile: &StrategyProfile,
+        peer: PeerId,
+        overlay: &[f64],
+    ) -> f64 {
+        let i = peer.index();
+        let mut sum = 0.0;
+        for j in 0..self.n() {
+            if j == i {
+                continue;
+            }
+            let w = self.demands.weight(i, j);
+            if w == 0.0 {
+                continue; // unreachable-but-unwanted is free
+            }
+            sum += w * overlay[j] / self.base.distance(i, j);
+            if sum.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        self.base.alpha() * profile.strategy(peer).len() as f64 + sum
+    }
+
+    /// Demand-weighted social cost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::social_cost`].
+    pub fn social_cost(&self, profile: &StrategyProfile) -> Result<SocialCost, CoreError> {
+        let g = topology(&self.base, profile)?;
+        let csr = CsrGraph::from_digraph(&g);
+        let n = self.n();
+        let mut buf = vec![f64::INFINITY; n];
+        let mut stretch_cost = 0.0f64;
+        for i in 0..n {
+            csr.dijkstra_into(i, &mut buf);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let w = self.demands.weight(i, j);
+                if w > 0.0 {
+                    stretch_cost += w * buf[j] / self.base.distance(i, j);
+                }
+            }
+            if stretch_cost.is_infinite() {
+                break;
+            }
+        }
+        Ok(SocialCost {
+            link_cost: self.base.alpha() * profile.link_count() as f64,
+            stretch_cost,
+        })
+    }
+
+    /// Exact or heuristic best response under weighted demands.
+    ///
+    /// Identical reduction to facility location as the unweighted game,
+    /// with client `j`'s assignment costs scaled by `w_ij` and
+    /// zero-demand clients dropped from the instance (they impose no
+    /// constraint; links to them remain available as transit facilities).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::best_response`].
+    pub fn best_response(
+        &self,
+        profile: &StrategyProfile,
+        peer: PeerId,
+        method: BestResponseMethod,
+    ) -> Result<BestResponse, CoreError> {
+        let current_cost = self.peer_cost(profile, peer)?;
+        let n = self.n();
+        if n <= 1 {
+            return Ok(BestResponse {
+                peer,
+                links: LinkSet::new(),
+                cost: 0.0,
+                current_cost,
+                exact: true,
+            });
+        }
+        let i = peer.index();
+        let g_minus = topology_without_peer(&self.base, profile, peer)?;
+        let csr = CsrGraph::from_digraph(&g_minus);
+        let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
+        let clients: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&j| self.demands.weight(i, j) > 0.0)
+            .collect();
+        let mut assignment = Vec::with_capacity(candidates.len());
+        let mut buf = vec![f64::INFINITY; n];
+        for &v in &candidates {
+            csr.dijkstra_into(v, &mut buf);
+            let d_iv = self.base.distance(i, v);
+            let row: Vec<f64> = clients
+                .iter()
+                .map(|&j| {
+                    self.demands.weight(i, j) * (d_iv + buf[j]) / self.base.distance(i, j)
+                })
+                .collect();
+            assignment.push(row);
+        }
+        let problem = FacilityProblem::with_uniform_open_cost(self.base.alpha(), assignment)
+            .expect("reduction produces valid costs");
+        let sol = match method {
+            BestResponseMethod::Exact => solve_branch_and_bound(&problem),
+            BestResponseMethod::ExactEnumeration => {
+                solve_enumeration(&problem).map_err(|e| match e {
+                    FacilityError::TooManyFacilities { facilities, limit } => {
+                        CoreError::InstanceTooLarge { n: facilities + 1, limit: limit + 1 }
+                    }
+                    other => panic!("unexpected facility error: {other}"),
+                })?
+            }
+            BestResponseMethod::Greedy => solve_greedy(&problem),
+            BestResponseMethod::LocalSearch => solve_local_search(&problem, None),
+        };
+        let links: LinkSet = sol.open.iter().map(|&f| candidates[f]).collect();
+        let cost = sol.cost;
+        if cost > current_cost {
+            return Ok(BestResponse {
+                peer,
+                links: profile.strategy(peer).clone(),
+                cost: current_cost,
+                current_cost,
+                exact: method.is_exact(),
+            });
+        }
+        Ok(BestResponse { peer, links, cost, current_cost, exact: method.is_exact() })
+    }
+
+    /// Round-robin exact best-response dynamics for the weighted game;
+    /// returns the final profile and whether it converged within
+    /// `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the best-response computation.
+    pub fn best_response_dynamics(
+        &self,
+        start: StrategyProfile,
+        max_rounds: usize,
+    ) -> Result<(StrategyProfile, bool), CoreError> {
+        if start.n() != self.n() {
+            return Err(CoreError::ProfileSizeMismatch { expected: self.n(), actual: start.n() });
+        }
+        let mut profile = start;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for i in 0..self.n() {
+                let p = PeerId::new(i);
+                let br = self.best_response(&profile, p, BestResponseMethod::Exact)?;
+                if br.improves(1e-9) && &br.links != profile.strategy(p) {
+                    profile.set_strategy(p, br.links)?;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok((profile, true));
+            }
+        }
+        Ok((profile, false))
+    }
+
+    /// Returns the first peer with a profitable deviation, or `None` if
+    /// `profile` is a Nash equilibrium of the weighted game.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the best-response computation.
+    pub fn find_deviation(
+        &self,
+        profile: &StrategyProfile,
+    ) -> Result<Option<(PeerId, LinkSet, f64, f64)>, CoreError> {
+        for i in 0..self.n() {
+            let p = PeerId::new(i);
+            let br = self.best_response(profile, p, BestResponseMethod::Exact)?;
+            if br.improves(1e-9) {
+                return Ok(Some((p, br.links, br.current_cost, br.cost)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_response, peer_cost, social_cost};
+    use sp_metric::LineSpace;
+
+    fn base_game() -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 3.0, 4.5]).unwrap(), 1.5).unwrap()
+    }
+
+    #[test]
+    fn uniform_demands_recover_the_paper_game() {
+        let base = base_game();
+        let dg = DemandGame::new(base.clone(), TrafficDemands::uniform(4)).unwrap();
+        let profiles = [
+            StrategyProfile::complete(4),
+            StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap(),
+            StrategyProfile::empty(4),
+        ];
+        for p in profiles {
+            for i in 0..4 {
+                let a = dg.peer_cost(&p, PeerId::new(i)).unwrap();
+                let b = peer_cost(&base, &p, PeerId::new(i)).unwrap();
+                assert!((a - b).abs() < 1e-12 || (a.is_infinite() && b.is_infinite()));
+            }
+            let sa = dg.social_cost(&p).unwrap();
+            let sb = social_cost(&base, &p).unwrap();
+            assert!(
+                (sa.total() - sb.total()).abs() < 1e-9
+                    || (sa.total().is_infinite() && sb.total().is_infinite())
+            );
+            // Best responses agree too.
+            let bra = dg
+                .best_response(&p, PeerId::new(0), BestResponseMethod::Exact)
+                .unwrap();
+            let brb =
+                best_response(&base, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+            assert!((bra.cost - brb.cost).abs() < 1e-9
+                || (bra.cost.is_infinite() && brb.cost.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn zero_demand_destinations_may_stay_unreachable() {
+        let base = base_game();
+        let mut w = DistanceMatrix::new_filled(4, 0.0);
+        w[(0, 1)] = 1.0; // peer 0 only cares about peer 1
+        let dg = DemandGame::new(base, TrafficDemands::new(w).unwrap()).unwrap();
+        let p = StrategyProfile::empty(4);
+        let br = dg.best_response(&p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        assert_eq!(br.links.len(), 1);
+        assert!(br.links.contains(PeerId::new(1)));
+        assert!(br.cost.is_finite());
+        // Peer 1 has zero demand everywhere: its best response is no links.
+        let br1 = dg.best_response(&p, PeerId::new(1), BestResponseMethod::Exact).unwrap();
+        assert!(br1.links.is_empty());
+        assert_eq!(br1.cost, 0.0);
+    }
+
+    #[test]
+    fn hotspot_demand_attracts_direct_links() {
+        // An arc of peers where routing 0 -> 1 -> 2 -> 3 carries stretch
+        // ≈ 1.4 to peer 3. Under uniform demand that detour is cheaper
+        // than a dedicated link (α = 1.5); once peer 3 is hot the same
+        // detour is intolerable and peer 0 links it directly.
+        use sp_metric::{Euclidean2D, Point2};
+        let space = Euclidean2D::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.9, 1.2),
+            Point2::new(2.1, 1.2),
+            Point2::new(3.0, 0.0),
+        ])
+        .unwrap();
+        let base = Game::from_space(&space, 1.5).unwrap();
+        let chain = StrategyProfile::from_links(4, &[(1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+            .unwrap();
+
+        let uniform = DemandGame::new(base.clone(), TrafficDemands::uniform(4)).unwrap();
+        let br_uniform = uniform
+            .best_response(&chain, PeerId::new(0), BestResponseMethod::Exact)
+            .unwrap();
+        assert!(
+            !br_uniform.links.contains(PeerId::new(3)),
+            "uniform demand should route via the chain, got {}",
+            br_uniform.links
+        );
+
+        let hot = DemandGame::new(base, TrafficDemands::hotspot(4, 3, 50.0)).unwrap();
+        let br_hot =
+            hot.best_response(&chain, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        assert!(
+            br_hot.links.contains(PeerId::new(3)),
+            "hot destination should be linked directly, got {}",
+            br_hot.links
+        );
+    }
+
+    #[test]
+    fn demand_weighted_social_cost_sums_peer_costs() {
+        let base = base_game();
+        let dg = DemandGame::new(base, TrafficDemands::hotspot(4, 0, 3.0)).unwrap();
+        let p = StrategyProfile::from_links(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        let total = dg.social_cost(&p).unwrap().total();
+        let sum: f64 =
+            (0..4).map(|i| dg.peer_cost(&p, PeerId::new(i)).unwrap()).sum();
+        assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn find_deviation_and_equilibrium() {
+        let base = base_game();
+        let dg = DemandGame::new(base, TrafficDemands::uniform(4)).unwrap();
+        // The chain is a Nash equilibrium on a line under uniform demand.
+        let chain = StrategyProfile::from_links(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        assert!(dg.find_deviation(&chain).unwrap().is_none());
+        // The empty profile is not.
+        let dev = dg.find_deviation(&StrategyProfile::empty(4)).unwrap();
+        assert!(dev.is_some());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let base = base_game();
+        assert!(DemandGame::new(base.clone(), TrafficDemands::uniform(3)).is_err());
+        let mut w = DistanceMatrix::new_filled(4, 1.0);
+        w[(0, 1)] = -1.0;
+        assert!(TrafficDemands::new(w).is_err());
+        let mut w2 = DistanceMatrix::new_filled(4, 1.0);
+        w2[(0, 1)] = f64::INFINITY;
+        assert!(TrafficDemands::new(w2).is_err());
+    }
+
+    #[test]
+    fn weighted_dynamics_converges_and_is_weighted_nash() {
+        let base = base_game();
+        let dg = DemandGame::new(base, TrafficDemands::hotspot(4, 0, 5.0)).unwrap();
+        let (profile, converged) =
+            dg.best_response_dynamics(StrategyProfile::empty(4), 100).unwrap();
+        assert!(converged);
+        assert!(dg.find_deviation(&profile).unwrap().is_none());
+        assert!(dg.social_cost(&profile).unwrap().total().is_finite());
+    }
+
+    #[test]
+    fn hotspot_constructor_shape() {
+        let d = TrafficDemands::hotspot(3, 2, 9.0);
+        assert_eq!(d.weight(0, 2), 9.0);
+        assert_eq!(d.weight(1, 2), 9.0);
+        assert_eq!(d.weight(0, 1), 1.0);
+        assert_eq!(d.weight(2, 2), 0.0);
+        assert_eq!(d.weight(2, 0), 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+use sp_graph::DistanceMatrix;
+use sp_metric::{MetricError, MetricSpace};
+
+use crate::CoreError;
+
+/// A selfish-peers game instance: `n` peers with pairwise latencies and the
+/// link-maintenance parameter `α`.
+///
+/// `α` expresses the relative importance of degree cost versus stretch
+/// cost (paper, Section 2): large `α` models archival systems where links
+/// are expensive relative to lookup latency; small `α` models
+/// lookup-intensive systems.
+///
+/// The distance matrix must be a valid finite metric restricted to what can
+/// be checked in `O(n²)`: symmetric, zero diagonal, positive finite
+/// off-diagonal. (The triangle inequality is `O(n³)` to check; call
+/// [`sp_metric::validate_metric`] on the source space when in doubt —
+/// constructors here trust it.)
+///
+/// # Example
+///
+/// ```
+/// use sp_core::Game;
+/// use sp_metric::LineSpace;
+///
+/// let space = LineSpace::new(vec![0.0, 1.0, 4.0]).unwrap();
+/// let game = Game::from_space(&space, 2.5).unwrap();
+/// assert_eq!(game.n(), 3);
+/// assert_eq!(game.alpha(), 2.5);
+/// assert_eq!(game.distance(0, 2), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Game {
+    dist: DistanceMatrix,
+    alpha: f64,
+}
+
+impl Game {
+    /// Creates a game from an explicit distance matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidAlpha`] unless `α` is finite and `> 0`;
+    /// * [`CoreError::Metric`] if the matrix is asymmetric (tolerance
+    ///   `1e-9` relative to the entry magnitude), has a non-zero diagonal,
+    ///   or non-positive/non-finite off-diagonal entries.
+    pub fn new(dist: DistanceMatrix, alpha: f64) -> Result<Self, CoreError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(CoreError::InvalidAlpha { alpha });
+        }
+        let n = dist.len();
+        for i in 0..n {
+            if dist[(i, i)] != 0.0 {
+                return Err(CoreError::Metric(MetricError::NonZeroDiagonal { i }));
+            }
+            for j in (i + 1)..n {
+                let dij = dist[(i, j)];
+                let dji = dist[(j, i)];
+                if !dij.is_finite() || !dji.is_finite() {
+                    return Err(CoreError::Metric(MetricError::NonFiniteValue {
+                        context: "pairwise distance",
+                    }));
+                }
+                if dij <= 0.0 {
+                    if dij == 0.0 {
+                        return Err(CoreError::Metric(MetricError::CoincidentPoints { i, j }));
+                    }
+                    return Err(CoreError::Metric(MetricError::NegativeDistance { i, j }));
+                }
+                let tol = 1e-9 * (1.0 + dij.abs());
+                if (dij - dji).abs() > tol {
+                    return Err(CoreError::Metric(MetricError::Asymmetric { i, j }));
+                }
+            }
+        }
+        Ok(Game { dist, alpha })
+    }
+
+    /// Creates a game by materialising the distance matrix of a metric
+    /// space.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Game::new`].
+    pub fn from_space<M: MetricSpace + ?Sized>(space: &M, alpha: f64) -> Result<Self, CoreError> {
+        Game::new(space.to_matrix(), alpha)
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// The trade-off parameter `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Underlying latency between peers `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[(i, j)]
+    }
+
+    /// The full latency matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// A copy of this game with a different `α` (same metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidAlpha`] unless `α` is finite positive.
+    pub fn with_alpha(&self, alpha: f64) -> Result<Self, CoreError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(CoreError::InvalidAlpha { alpha });
+        }
+        Ok(Game { dist: self.dist.clone(), alpha })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metric::LineSpace;
+
+    fn line_game() -> Game {
+        let s = LineSpace::new(vec![0.0, 1.0, 3.0, 7.0]).unwrap();
+        Game::from_space(&s, 1.5).unwrap()
+    }
+
+    #[test]
+    fn construction_from_space() {
+        let g = line_game();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.alpha(), 1.5);
+        assert_eq!(g.distance(1, 3), 6.0);
+        assert_eq!(g.matrix()[(0, 3)], 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        let s = LineSpace::new(vec![0.0, 1.0]).unwrap();
+        for alpha in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Game::from_space(&s, alpha),
+                Err(CoreError::InvalidAlpha { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_matrix() {
+        let mut m = DistanceMatrix::new_filled(2, 0.0);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 2.0;
+        assert!(matches!(Game::new(m, 1.0), Err(CoreError::Metric(_))));
+    }
+
+    #[test]
+    fn rejects_zero_distance_pairs() {
+        let m = DistanceMatrix::new_filled(2, 0.0);
+        assert!(matches!(
+            Game::new(m, 1.0),
+            Err(CoreError::Metric(MetricError::CoincidentPoints { i: 0, j: 1 }))
+        ));
+    }
+
+    #[test]
+    fn rejects_nonzero_diagonal() {
+        let mut m = DistanceMatrix::new_filled(2, 1.0);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        assert!(matches!(
+            Game::new(m, 1.0),
+            Err(CoreError::Metric(MetricError::NonZeroDiagonal { i: 0 }))
+        ));
+    }
+
+    #[test]
+    fn with_alpha_preserves_metric() {
+        let g = line_game();
+        let g2 = g.with_alpha(9.0).unwrap();
+        assert_eq!(g2.alpha(), 9.0);
+        assert_eq!(g2.distance(0, 1), g.distance(0, 1));
+        assert!(g.with_alpha(-3.0).is_err());
+    }
+
+    #[test]
+    fn empty_game_is_fine() {
+        let g = Game::new(DistanceMatrix::new_filled(0, 0.0), 1.0).unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

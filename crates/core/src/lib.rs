@@ -1,0 +1,80 @@
+//! The selfish-peers network creation game (Moscibroda, Schmid &
+//! Wattenhofer, PODC 2006).
+//!
+//! Peers are points in a metric space. Each peer `i` unilaterally selects a
+//! set `s_i` of peers to maintain **directed** links to; the profile
+//! `s = (s_0, …, s_{n-1})` induces the overlay `G[s]` whose edge `(i, j)`
+//! has weight `d(i, j)`. Peer `i`'s individual cost is
+//!
+//! ```text
+//! c_i(s) = α·|s_i| + Σ_{j≠i} stretch_{G[s]}(i, j),
+//! stretch_G(i, j) = d_G(i, j) / d(i, j),
+//! ```
+//!
+//! and the social cost is `C(G) = α|E| + Σ_{i≠j} stretch(i, j)`.
+//!
+//! This crate provides:
+//!
+//! * [`Game`] — the metric (as a distance matrix) plus the trade-off
+//!   parameter `α`;
+//! * [`StrategyProfile`] / [`LinkSet`] / [`PeerId`] — strategy bookkeeping;
+//! * [`topology`](fn@topology) / [`overlay_distances`] / [`stretch_matrix`]
+//!   — the induced overlay and its stretches;
+//! * [`peer_cost`] / [`social_cost`] — the paper's cost functions;
+//! * [`best_response`] — a peer's optimal deviation, computed *exactly* by
+//!   reduction to uncapacitated facility location (see `sp-facility`), or
+//!   approximately via greedy/local-search;
+//! * [`is_nash`] / [`nash_gap`] — (exact) Nash-equilibrium verification;
+//! * [`poa`] — bounds used for Price-of-Anarchy bracketing.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_core::{Game, StrategyProfile, social_cost, is_nash, NashTest};
+//! use sp_metric::LineSpace;
+//!
+//! let space = LineSpace::new(vec![0.0, 1.0, 3.0]).unwrap();
+//! let game = Game::from_space(&space, 1.0).unwrap();
+//!
+//! // The bidirectional chain: on a line every stretch is 1.
+//! let chain = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+//! let c = social_cost(&game, &chain).unwrap();
+//! assert_eq!(c.link_cost, 4.0);    // α · |E| = 1 · 4
+//! assert_eq!(c.stretch_cost, 6.0); // n(n-1) stretches of 1
+//!
+//! // The chain is a Nash equilibrium here: dropping a link disconnects,
+//! // and extra links cost α without reducing any stretch below 1.
+//! let report = is_nash(&game, &chain, &NashTest::exact()).unwrap();
+//! assert!(report.is_nash());
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops over small fixed-size numeric tables are clearer than
+// iterator chains in this codebase's shortest-path/game kernels.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod best_response;
+mod cost;
+pub mod demand;
+mod error;
+mod game;
+mod peer;
+pub mod poa;
+mod strategy;
+mod topology;
+
+pub use best_response::{
+    best_response, first_improving_move, BestResponse, BestResponseMethod,
+};
+pub use cost::{all_peer_costs, peer_cost, social_cost, SocialCost};
+pub use error::CoreError;
+pub use game::Game;
+pub use peer::{LinkSet, PeerId};
+pub use strategy::StrategyProfile;
+pub use topology::{
+    max_stretch, overlay_distances, stretch_matrix, topology, topology_without_peer,
+};
+
+mod equilibrium;
+pub use equilibrium::{is_nash, nash_gap, Deviation, NashReport, NashTest};

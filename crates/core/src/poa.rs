@@ -1,0 +1,179 @@
+//! Bounds used for Price-of-Anarchy bracketing.
+//!
+//! Computing the optimal social cost is NP-hard in general, so experiments
+//! bracket it:
+//!
+//! * a **lower bound** valid for every profile ([`opt_lower_bound`]);
+//! * **upper bounds** from explicit well-formed topologies (the baselines
+//!   in `sp-constructions`), the cheapest of which the analysis crate
+//!   uses as its OPT estimate.
+//!
+//! The paper's own argument (proof of Theorem 4.4) uses exactly this
+//! pattern: `OPT ≤ C(G̃) ∈ O(αn + n²)` via the bidirectional chain, and
+//! `OPT ≥ Ω(αn + n²)` generically.
+
+use crate::{CoreError, Game, SocialCost, StrategyProfile};
+
+/// A universal lower bound on the optimal social cost:
+///
+/// * a strongly connected digraph on `n ≥ 2` nodes has at least `n` edges,
+///   contributing `α·n` of link cost;
+/// * every one of the `n(n−1)` ordered stretches is at least 1.
+///
+/// Hence `OPT ≥ α·n + n(n−1)` (0 for `n ≤ 1`). This is the
+/// `Ω(αn + n²)` bound the paper uses below Theorem 4.1.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{poa, Game};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0]).unwrap(), 4.0).unwrap();
+/// assert_eq!(poa::opt_lower_bound(&game), 4.0 * 3.0 + 6.0);
+/// ```
+#[must_use]
+pub fn opt_lower_bound(game: &Game) -> f64 {
+    let n = game.n() as f64;
+    if game.n() <= 1 {
+        return 0.0;
+    }
+    game.alpha() * n + n * (n - 1.0)
+}
+
+/// An upper bound on the cost of any Nash equilibrium, from Theorem 4.1:
+/// no equilibrium stretch exceeds `α + 1` and there are at most `n(n−1)`
+/// directed links, so `C(NE) ≤ α·n(n−1) + (α+1)·n(n−1) ∈ O(αn²)`.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{poa, Game};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0]).unwrap(), 3.0).unwrap();
+/// assert_eq!(poa::nash_cost_upper_bound(&game), 2.0 * 3.0 + 2.0 * 4.0);
+/// ```
+#[must_use]
+pub fn nash_cost_upper_bound(game: &Game) -> f64 {
+    let n = game.n() as f64;
+    if game.n() <= 1 {
+        return 0.0;
+    }
+    let pairs = n * (n - 1.0);
+    game.alpha() * pairs + (game.alpha() + 1.0) * pairs
+}
+
+/// The paper's Theorem 4.1/4.4 Price-of-Anarchy bound `min(α, n)` for this
+/// game (up to constants).
+#[must_use]
+pub fn poa_bound(game: &Game) -> f64 {
+    game.alpha().min(game.n() as f64)
+}
+
+/// The exact optimal social cost for **tiny** games (`n ≤ 5`) by
+/// exhaustive enumeration of all `2^{n(n-1)}` strategy profiles.
+///
+/// Returns the best profile and its cost.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InstanceTooLarge`] for `n > 5` (the search is
+/// `2^{n(n-1)}`; `n = 5` is already `2^20` profiles).
+pub fn exhaustive_optimum(game: &Game) -> Result<(StrategyProfile, SocialCost), CoreError> {
+    const LIMIT: usize = 5;
+    let n = game.n();
+    if n > LIMIT {
+        return Err(CoreError::InstanceTooLarge { n, limit: LIMIT });
+    }
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let m = pairs.len();
+    let mut best_profile = StrategyProfile::empty(n);
+    let mut best_cost = crate::social_cost(game, &best_profile)?;
+    for mask in 0u64..(1u64 << m) {
+        let links: Vec<(usize, usize)> = (0..m)
+            .filter(|&k| mask & (1 << k) != 0)
+            .map(|k| pairs[k])
+            .collect();
+        let profile = StrategyProfile::from_links(n, &links)?;
+        let cost = crate::social_cost(game, &profile)?;
+        if cost.total() < best_cost.total() {
+            best_cost = cost;
+            best_profile = profile;
+        }
+    }
+    Ok((best_profile, best_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social_cost;
+    use sp_metric::LineSpace;
+
+    fn game(n: usize, alpha: f64) -> Game {
+        let pos: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        Game::from_space(&LineSpace::new(pos).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let g = game(4, 2.0);
+        assert_eq!(opt_lower_bound(&g), 2.0 * 4.0 + 12.0);
+        assert_eq!(opt_lower_bound(&game(1, 2.0)), 0.0);
+        assert_eq!(opt_lower_bound(&game(0, 2.0).with_alpha(1.0).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_formula() {
+        let g = game(3, 1.0);
+        assert_eq!(nash_cost_upper_bound(&g), 6.0 + 2.0 * 6.0);
+        assert_eq!(poa_bound(&g), 1.0);
+        assert_eq!(poa_bound(&game(3, 100.0)), 3.0);
+    }
+
+    #[test]
+    fn exhaustive_opt_on_three_line_peers() {
+        // Positions 0, 1, 2 with α = 1: the bidirectional chain
+        // (4 links, all stretches 1) has cost 4α + 6 = 10; the complete
+        // graph has 6α + 6 = 12. Chain is optimal.
+        let g = game(3, 1.0);
+        let (profile, cost) = exhaustive_optimum(&g).unwrap();
+        assert_eq!(profile.link_count(), 4);
+        assert!((cost.total() - 10.0).abs() < 1e-9);
+        assert!(cost.is_connected());
+    }
+
+    #[test]
+    fn exhaustive_opt_prefers_fewer_links_at_high_alpha() {
+        // α = 10, three peers: the directed triangle (3 links) keeps
+        // everyone connected with stretches <= 3 each... compare with the
+        // chain (4 links). Optimizer must pick whatever is cheapest; we
+        // only assert it beats both hand candidates.
+        let g = game(3, 10.0);
+        let (_, cost) = exhaustive_optimum(&g).unwrap();
+        let chain = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let triangle = StrategyProfile::from_links(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(cost.total() <= social_cost(&g, &chain).unwrap().total() + 1e-9);
+        assert!(cost.total() <= social_cost(&g, &triangle).unwrap().total() + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_opt_rejects_large_instances() {
+        assert!(matches!(
+            exhaustive_optimum(&game(6, 1.0)),
+            Err(CoreError::InstanceTooLarge { n: 6, limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn opt_lower_bound_is_actually_below_opt() {
+        for alpha in [0.5, 1.0, 3.0] {
+            let g = game(4, alpha);
+            let (_, cost) = exhaustive_optimum(&g).unwrap();
+            assert!(cost.total() >= opt_lower_bound(&g) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the game's cost and best-response machinery.
+//!
+//! Key invariants:
+//! * `C(G) = Σ_i c_i(s)` — social cost is the sum of individual costs.
+//! * Every stretch is `>= 1` (overlay paths cannot beat the metric).
+//! * The exact best response via the facility-location reduction never
+//!   loses to brute-force subset enumeration over actual deviated-profile
+//!   costs (they must be *equal*).
+//! * In a certified Nash equilibrium, max stretch `<= α + 1`
+//!   (Theorem 4.1's key step).
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{
+    all_peer_costs, best_response, is_nash, peer_cost, social_cost, stretch_matrix,
+    BestResponseMethod, Game, LinkSet, NashTest, PeerId, StrategyProfile,
+};
+use sp_metric::generators;
+
+/// A random small game plus a random profile on it.
+fn arb_game_and_profile() -> impl Strategy<Value = (Game, StrategyProfile)> {
+    (2usize..=7, 0u64..10_000, 0.1f64..8.0).prop_flat_map(|(n, seed, alpha)| {
+        let max_links = n * (n - 1);
+        proptest::collection::vec((0..n, 0..n), 0..=max_links.min(20)).prop_map(
+            move |pairs| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let space = generators::uniform_square(n, 10.0, &mut rng);
+                let game = Game::from_space(&space, alpha).unwrap();
+                let links: Vec<(usize, usize)> =
+                    pairs.into_iter().filter(|&(u, v)| u != v).collect();
+                let profile = StrategyProfile::from_links(n, &links).unwrap();
+                (game, profile)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn social_cost_equals_sum_of_peer_costs((game, profile) in arb_game_and_profile()) {
+        let sc = social_cost(&game, &profile).unwrap();
+        let sum: f64 = all_peer_costs(&game, &profile).unwrap().iter().sum();
+        if sc.total().is_finite() {
+            prop_assert!((sc.total() - sum).abs() <= 1e-6 * (1.0 + sum.abs()));
+        } else {
+            prop_assert!(sum.is_infinite());
+        }
+    }
+
+    #[test]
+    fn stretches_are_at_least_one((game, profile) in arb_game_and_profile()) {
+        let s = stretch_matrix(&game, &profile).unwrap();
+        for i in 0..game.n() {
+            for j in 0..game.n() {
+                prop_assert!(s[(i, j)] >= 1.0 - 1e-9, "stretch ({},{}) = {}", i, j, s[(i,j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_best_response_matches_brute_force((game, profile) in arb_game_and_profile()) {
+        // Brute force: try every subset of candidate links, evaluating the
+        // true deviated-profile cost.
+        let n = game.n();
+        for i in 0..n.min(3) { // limit peers for speed
+            let peer = PeerId::new(i);
+            let br = best_response(&game, &profile, peer, BestResponseMethod::Exact).unwrap();
+            let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
+            let mut brute = f64::INFINITY;
+            for mask in 0u32..(1u32 << candidates.len()) {
+                let links: LinkSet = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| mask & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let dev = profile.with_strategy(peer, links).unwrap();
+                let c = peer_cost(&game, &dev, peer).unwrap();
+                if c < brute {
+                    brute = c;
+                }
+            }
+            if brute.is_finite() {
+                prop_assert!((br.cost - brute).abs() <= 1e-6 * (1.0 + brute.abs()),
+                    "peer {}: reduction={} brute={}", i, br.cost, brute);
+            } else {
+                prop_assert!(br.cost.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_and_bb_responses_agree((game, profile) in arb_game_and_profile()) {
+        for i in 0..game.n() {
+            let peer = PeerId::new(i);
+            let a = best_response(&game, &profile, peer, BestResponseMethod::Exact).unwrap();
+            let b = best_response(&game, &profile, peer, BestResponseMethod::ExactEnumeration)
+                .unwrap();
+            prop_assert!((a.cost - b.cost).abs() <= 1e-9 * (1.0 + a.cost.abs())
+                || (a.cost.is_infinite() && b.cost.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn nash_equilibria_satisfy_theorem_4_1((game, profile) in arb_game_and_profile()) {
+        // Wherever the profile happens to be a certified equilibrium, the
+        // paper's stretch bound must hold.
+        let report = is_nash(&game, &profile, &NashTest::exact()).unwrap();
+        if report.is_nash() {
+            let s = stretch_matrix(&game, &profile).unwrap();
+            let alpha = game.alpha();
+            for i in 0..game.n() {
+                for j in 0..game.n() {
+                    prop_assert!(
+                        s[(i, j)] <= alpha + 1.0 + 1e-6,
+                        "equilibrium stretch ({},{}) = {} exceeds α+1 = {}",
+                        i, j, s[(i, j)], alpha + 1.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deviations_reported_by_is_nash_are_real((game, profile) in arb_game_and_profile()) {
+        let report = is_nash(&game, &profile, &NashTest::exact()).unwrap();
+        if let Some(dev) = report.best_deviation {
+            let deviated = profile.with_strategy(dev.peer, dev.links.clone()).unwrap();
+            let new_cost = peer_cost(&game, &deviated, dev.peer).unwrap();
+            let old_cost = peer_cost(&game, &profile, dev.peer).unwrap();
+            prop_assert!(
+                new_cost < old_cost || (old_cost.is_infinite() && new_cost.is_finite()),
+                "reported deviation does not improve: old={} new={}", old_cost, new_cost
+            );
+        }
+    }
+}

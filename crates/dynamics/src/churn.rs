@@ -1,0 +1,291 @@
+//! Churn extension: peers joining and leaving a running system.
+//!
+//! The paper proves instability *without* churn (Theorem 5.1); this module
+//! provides the complementary simulation with churn, so experiments can
+//! quantify how much re-stabilisation work arrivals/departures cause on
+//! instances that do converge.
+//!
+//! A [`ChurnSimulator`] keeps a universe game (all potential peers), an
+//! alive set, and a strategy profile over the universe. Departures clear
+//! the leaver's strategy and everybody's links to it; arrivals start with
+//! an empty strategy. [`ChurnSimulator::settle`] then runs dynamics on the
+//! alive sub-game.
+
+use sp_core::{Game, LinkSet, PeerId, StrategyProfile};
+use sp_graph::DistanceMatrix;
+
+use crate::{DynamicsConfig, DynamicsRunner, Termination};
+
+/// The restriction of `game` to the peers listed in `alive`
+/// (in the given order). Returns the sub-game; index `k` of the sub-game
+/// corresponds to peer `alive[k]` of the original.
+///
+/// # Panics
+///
+/// Panics if `alive` contains an out-of-bounds or duplicate index.
+#[must_use]
+pub fn subgame(game: &Game, alive: &[usize]) -> Game {
+    let mut seen = vec![false; game.n()];
+    for &i in alive {
+        assert!(i < game.n(), "peer {i} out of bounds");
+        assert!(!seen[i], "duplicate peer {i} in alive set");
+        seen[i] = true;
+    }
+    let m = DistanceMatrix::from_fn(alive.len(), |a, b| game.distance(alive[a], alive[b]));
+    Game::new(m, game.alpha()).expect("restriction of a valid game is valid")
+}
+
+/// Projects a universe profile onto the alive sub-game: links to dead
+/// peers are dropped, indices are remapped to sub-game positions.
+///
+/// # Panics
+///
+/// Panics if `alive` contains out-of-bounds or duplicate indices, or if
+/// `profile` is smaller than the universe implied by its own length.
+#[must_use]
+pub fn project_profile(profile: &StrategyProfile, alive: &[usize]) -> StrategyProfile {
+    let mut position = vec![usize::MAX; profile.n()];
+    for (k, &i) in alive.iter().enumerate() {
+        assert!(i < profile.n(), "peer {i} out of bounds");
+        assert!(position[i] == usize::MAX, "duplicate peer {i} in alive set");
+        position[i] = k;
+    }
+    let strategies: Vec<LinkSet> = alive
+        .iter()
+        .map(|&i| {
+            profile
+                .strategy(PeerId::new(i))
+                .iter()
+                .filter_map(|j| {
+                    let p = position[j.index()];
+                    (p != usize::MAX).then_some(p)
+                })
+                .collect()
+        })
+        .collect();
+    StrategyProfile::from_strategies(strategies).expect("projection preserves validity")
+}
+
+/// Outcome of settling the system after one churn event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRecord {
+    /// Alive peers when the settle ran.
+    pub alive: Vec<usize>,
+    /// Activations performed.
+    pub steps: usize,
+    /// Accepted strategy changes.
+    pub moves: usize,
+    /// Whether the system re-stabilised.
+    pub converged: bool,
+}
+
+/// Simulates a system under churn: peers leave and join, and the survivors
+/// re-run selfish dynamics between events.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{Game, StrategyProfile};
+/// use sp_dynamics::churn::ChurnSimulator;
+/// use sp_dynamics::DynamicsConfig;
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(
+///     &LineSpace::new(vec![0.0, 1.0, 2.0, 4.0]).unwrap(), 1.0).unwrap();
+/// let mut sim = ChurnSimulator::new(&game);
+/// let r0 = sim.settle(&DynamicsConfig::default());
+/// assert!(r0.converged);
+/// sim.leave(2).unwrap();
+/// let r1 = sim.settle(&DynamicsConfig::default());
+/// assert!(r1.converged);
+/// assert_eq!(r1.alive, vec![0, 1, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnSimulator<'g> {
+    universe: &'g Game,
+    alive: Vec<bool>,
+    profile: StrategyProfile,
+    history: Vec<ChurnRecord>,
+}
+
+impl<'g> ChurnSimulator<'g> {
+    /// Starts with every peer alive and the empty profile.
+    #[must_use]
+    pub fn new(universe: &'g Game) -> Self {
+        ChurnSimulator {
+            universe,
+            alive: vec![true; universe.n()],
+            profile: StrategyProfile::empty(universe.n()),
+            history: Vec::new(),
+        }
+    }
+
+    /// Indices of currently alive peers, ascending.
+    #[must_use]
+    pub fn alive_peers(&self) -> Vec<usize> {
+        (0..self.universe.n()).filter(|&i| self.alive[i]).collect()
+    }
+
+    /// The current profile over the universe (dead peers have empty
+    /// strategies).
+    #[must_use]
+    pub fn profile(&self) -> &StrategyProfile {
+        &self.profile
+    }
+
+    /// Settle records accumulated so far.
+    #[must_use]
+    pub fn history(&self) -> &[ChurnRecord] {
+        &self.history
+    }
+
+    /// Removes `peer` from the system: clears its strategy and everyone's
+    /// links to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `peer` is out of bounds or already gone.
+    pub fn leave(&mut self, peer: usize) -> Result<(), String> {
+        if peer >= self.universe.n() {
+            return Err(format!("peer {peer} out of bounds"));
+        }
+        if !self.alive[peer] {
+            return Err(format!("peer {peer} is not alive"));
+        }
+        self.alive[peer] = false;
+        let p = PeerId::new(peer);
+        self.profile.set_strategy(p, LinkSet::new()).expect("peer index validated");
+        for i in 0..self.universe.n() {
+            let _ = self.profile.remove_link(PeerId::new(i), p);
+        }
+        Ok(())
+    }
+
+    /// Re-adds `peer` with an empty strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `peer` is out of bounds or already
+    /// alive.
+    pub fn join(&mut self, peer: usize) -> Result<(), String> {
+        if peer >= self.universe.n() {
+            return Err(format!("peer {peer} out of bounds"));
+        }
+        if self.alive[peer] {
+            return Err(format!("peer {peer} is already alive"));
+        }
+        self.alive[peer] = true;
+        Ok(())
+    }
+
+    /// Runs dynamics among alive peers until stable (or the config's round
+    /// limit) and writes the resulting strategies back.
+    pub fn settle(&mut self, config: &DynamicsConfig) -> ChurnRecord {
+        let alive = self.alive_peers();
+        let record = if alive.is_empty() {
+            ChurnRecord { alive, steps: 0, moves: 0, converged: true }
+        } else {
+            let sub = subgame(self.universe, &alive);
+            let start = project_profile(&self.profile, &alive);
+            let mut runner = DynamicsRunner::new(&sub, config.clone());
+            let out = runner.run(start);
+            // Write strategies back in universe coordinates.
+            for (k, &i) in alive.iter().enumerate() {
+                let links: LinkSet =
+                    out.profile.strategy(PeerId::new(k)).iter().map(|j| alive[j.index()]).collect();
+                self.profile
+                    .set_strategy(PeerId::new(i), links)
+                    .expect("write-back uses valid indices");
+            }
+            ChurnRecord {
+                alive,
+                steps: out.steps,
+                moves: out.moves,
+                converged: matches!(out.termination, Termination::Converged { .. }),
+            }
+        };
+        self.history.push(record.clone());
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{is_nash, NashTest};
+    use sp_metric::LineSpace;
+
+    fn game() -> Game {
+        Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0, 4.0, 7.0]).unwrap(), 1.0).unwrap()
+    }
+
+    #[test]
+    fn subgame_restricts_distances() {
+        let g = game();
+        let sub = subgame(&g, &[0, 2, 4]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.distance(0, 1), 2.0);
+        assert_eq!(sub.distance(1, 2), 5.0);
+        assert_eq!(sub.alpha(), 1.0);
+    }
+
+    #[test]
+    fn project_profile_drops_dead_links() {
+        let p = StrategyProfile::from_links(4, &[(0, 1), (0, 2), (3, 0)]).unwrap();
+        let q = project_profile(&p, &[0, 2, 3]);
+        assert_eq!(q.n(), 3);
+        // Link 0 -> 1 died with peer 1; 0 -> 2 remaps to 0 -> 1.
+        assert!(q.has_link(PeerId::new(0), PeerId::new(1)));
+        assert_eq!(q.strategy(PeerId::new(0)).len(), 1);
+        // 3 -> 0 remaps to index 2 -> 0.
+        assert!(q.has_link(PeerId::new(2), PeerId::new(0)));
+    }
+
+    #[test]
+    fn full_churn_cycle_restabilises() {
+        let g = game();
+        let mut sim = ChurnSimulator::new(&g);
+        let r = sim.settle(&DynamicsConfig::default());
+        assert!(r.converged);
+        // Departure of an interior peer forces its neighbours to relink.
+        sim.leave(2).unwrap();
+        let r2 = sim.settle(&DynamicsConfig::default());
+        assert!(r2.converged);
+        assert_eq!(r2.alive, vec![0, 1, 3, 4]);
+        // The settled sub-profile is a Nash equilibrium of the sub-game.
+        let sub = subgame(&g, &r2.alive);
+        let proj = project_profile(sim.profile(), &r2.alive);
+        assert!(is_nash(&sub, &proj, &NashTest::exact()).unwrap().is_nash());
+        // Rejoin.
+        sim.join(2).unwrap();
+        let r3 = sim.settle(&DynamicsConfig::default());
+        assert!(r3.converged);
+        assert_eq!(r3.alive.len(), 5);
+        assert_eq!(sim.history().len(), 3);
+    }
+
+    #[test]
+    fn leave_and_join_validate() {
+        let g = game();
+        let mut sim = ChurnSimulator::new(&g);
+        assert!(sim.leave(99).is_err());
+        sim.leave(0).unwrap();
+        assert!(sim.leave(0).is_err());
+        assert!(sim.join(1).is_err());
+        sim.join(0).unwrap();
+        assert!(sim.join(0).is_err());
+    }
+
+    #[test]
+    fn dead_peers_have_no_links() {
+        let g = game();
+        let mut sim = ChurnSimulator::new(&g);
+        let _ = sim.settle(&DynamicsConfig::default());
+        sim.leave(1).unwrap();
+        let p = sim.profile();
+        assert!(p.strategy(PeerId::new(1)).is_empty());
+        for i in 0..5 {
+            assert!(!p.has_link(PeerId::new(i), PeerId::new(1)));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+use std::collections::HashMap;
+
+use sp_core::{
+    best_response, first_improving_move, BestResponseMethod, Game, PeerId, StrategyProfile,
+};
+
+use crate::trace::{MoveRecord, Trace};
+use crate::Schedule;
+
+/// How an activated peer updates its strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResponseRule {
+    /// Play a best response computed with the given method. With an exact
+    /// method this is classic best-response dynamics.
+    #[default]
+    BestResponse,
+    /// Play a best response computed with the given (possibly heuristic)
+    /// method.
+    BestResponseWith(BestResponseMethod),
+    /// Play the first improving single-link change (drop/add/swap) —
+    /// "better-response" dynamics with minimal topology churn per step.
+    BetterResponse,
+}
+
+/// Configuration of a dynamics run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsConfig {
+    /// Update rule for activated peers.
+    pub rule: ResponseRule,
+    /// Activation schedule.
+    pub schedule: Schedule,
+    /// Stop after this many rounds (a round is `n` activations).
+    pub max_rounds: usize,
+    /// Relative improvement threshold below which a peer keeps its
+    /// strategy (guards against floating-point churn).
+    pub tolerance: f64,
+    /// Record every accepted move into [`DynamicsOutcome::trace`].
+    pub record_trace: bool,
+    /// Detect state revisits (deterministic schedules only) and stop with
+    /// [`Termination::Cycle`].
+    pub detect_cycles: bool,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            rule: ResponseRule::BestResponse,
+            schedule: Schedule::RoundRobin,
+            max_rounds: 200,
+            tolerance: 1e-9,
+            record_trace: false,
+            detect_cycles: true,
+        }
+    }
+}
+
+/// Why a dynamics run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Termination {
+    /// Every peer was activated since the last change and none moved: the
+    /// profile is stable under the configured response rule. With an exact
+    /// best-response rule this certifies a Nash equilibrium.
+    Converged {
+        /// Rounds executed before convergence was detected.
+        rounds: usize,
+    },
+    /// The same `(profile, schedule position)` state recurred under a
+    /// deterministic schedule — the dynamics provably loops forever.
+    /// This is the observable form of the paper's Theorem 5.1.
+    Cycle {
+        /// Step at which the revisited state was first seen.
+        first_seen_step: usize,
+        /// Length of the loop in steps.
+        period_steps: usize,
+        /// Number of accepted strategy changes inside one loop.
+        moves_in_cycle: usize,
+    },
+    /// `max_rounds` elapsed without convergence or a detected cycle.
+    RoundLimit,
+}
+
+/// The result of a dynamics run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsOutcome {
+    /// The final profile (for [`Termination::Cycle`], the profile at the
+    /// moment the revisit was detected).
+    pub profile: StrategyProfile,
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Total activations executed.
+    pub steps: usize,
+    /// Accepted strategy changes.
+    pub moves: usize,
+    /// The move log (only if [`DynamicsConfig::record_trace`]).
+    pub trace: Option<Trace>,
+}
+
+/// Executes sequential-move dynamics on a game.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{Game, StrategyProfile, is_nash, NashTest};
+/// use sp_dynamics::{DynamicsConfig, DynamicsRunner, Termination};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(
+///     &LineSpace::new(vec![0.0, 1.0, 2.5, 4.0]).unwrap(), 2.0).unwrap();
+/// let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+/// let out = runner.run(StrategyProfile::empty(4));
+/// if let Termination::Converged { .. } = out.termination {
+///     // Exact best-response convergence certifies a Nash equilibrium.
+///     assert!(is_nash(&game, &out.profile, &NashTest::exact()).unwrap().is_nash());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct DynamicsRunner<'g> {
+    game: &'g Game,
+    config: DynamicsConfig,
+}
+
+impl<'g> DynamicsRunner<'g> {
+    /// Creates a runner for `game` with the given configuration.
+    #[must_use]
+    pub fn new(game: &'g Game, config: DynamicsConfig) -> Self {
+        DynamicsRunner { game, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DynamicsConfig {
+        &self.config
+    }
+
+    /// Runs the dynamics from `start` until convergence, a proven cycle,
+    /// or the round limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` has a different peer count than the game, or if
+    /// the game has no peers.
+    #[must_use]
+    pub fn run(&mut self, start: StrategyProfile) -> DynamicsOutcome {
+        let n = self.game.n();
+        assert!(n > 0, "cannot run dynamics on an empty game");
+        assert_eq!(start.n(), n, "profile size must match the game");
+
+        let mut profile = start;
+        let mut schedule = self.config.schedule.start(n);
+        let mut trace = if self.config.record_trace { Some(Trace::new()) } else { None };
+        let mut seen: HashMap<(StrategyProfile, usize), (usize, usize)> = HashMap::new();
+        let detect = self.config.detect_cycles && self.config.schedule.is_deterministic();
+
+        // Convergence: all peers activated since the last accepted change,
+        // none of them changed anything.
+        let mut quiet = vec![false; n];
+        let mut quiet_count = 0usize;
+
+        let max_steps = self.config.max_rounds.saturating_mul(n);
+        let mut moves = 0usize;
+        let mut step = 0usize;
+
+        while step < max_steps {
+            if detect {
+                if let Some(pos) = schedule.position_key() {
+                    let key = (profile.clone(), pos);
+                    if let Some(&(first_step, first_moves)) = seen.get(&key) {
+                        return DynamicsOutcome {
+                            profile,
+                            termination: Termination::Cycle {
+                                first_seen_step: first_step,
+                                period_steps: step - first_step,
+                                moves_in_cycle: moves - first_moves,
+                            },
+                            steps: step,
+                            moves,
+                            trace,
+                        };
+                    }
+                    seen.insert(key, (step, moves));
+                }
+            }
+
+            let peer = schedule.next_peer();
+            let accepted = self.activate(&mut profile, peer, step, trace.as_mut());
+            step += 1;
+
+            if accepted {
+                moves += 1;
+                quiet.fill(false);
+                quiet_count = 0;
+            }
+            if !quiet[peer.index()] {
+                quiet[peer.index()] = true;
+                quiet_count += 1;
+            }
+            if quiet_count == n {
+                return DynamicsOutcome {
+                    profile,
+                    termination: Termination::Converged { rounds: step.div_ceil(n) },
+                    steps: step,
+                    moves,
+                    trace,
+                };
+            }
+        }
+
+        DynamicsOutcome {
+            profile,
+            termination: Termination::RoundLimit,
+            steps: step,
+            moves,
+            trace,
+        }
+    }
+
+    /// Activates one peer; mutates the profile if it wants to move.
+    /// Returns `true` when the strategy changed.
+    fn activate(
+        &self,
+        profile: &mut StrategyProfile,
+        peer: PeerId,
+        step: usize,
+        trace: Option<&mut Trace>,
+    ) -> bool {
+        let tol = self.config.tolerance;
+        let (new_links, old_cost, new_cost) = match self.config.rule {
+            ResponseRule::BestResponse | ResponseRule::BestResponseWith(_) => {
+                let method = match self.config.rule {
+                    ResponseRule::BestResponseWith(m) => m,
+                    _ => BestResponseMethod::Exact,
+                };
+                let br = best_response(self.game, profile, peer, method)
+                    .expect("validated inputs cannot fail");
+                if !br.improves(tol) {
+                    return false;
+                }
+                (br.links, br.current_cost, br.cost)
+            }
+            ResponseRule::BetterResponse => {
+                match first_improving_move(self.game, profile, peer, tol)
+                    .expect("validated inputs cannot fail")
+                {
+                    None => return false,
+                    Some(mv) => (mv.links, mv.current_cost, mv.cost),
+                }
+            }
+        };
+        if &new_links == profile.strategy(peer) {
+            return false;
+        }
+        let old_links = profile
+            .set_strategy(peer, new_links.clone())
+            .expect("response links are valid by construction");
+        if let Some(t) = trace {
+            t.push(MoveRecord { step, peer, old_links, new_links, old_cost, new_cost });
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{is_nash, NashTest};
+    use sp_metric::LineSpace;
+
+    fn line_game(positions: Vec<f64>, alpha: f64) -> Game {
+        Game::from_space(&LineSpace::new(positions).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn converges_on_small_line_and_result_is_nash() {
+        let game = line_game(vec![0.0, 1.0, 3.0, 6.0], 1.5);
+        let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let out = runner.run(StrategyProfile::empty(4));
+        assert!(matches!(out.termination, Termination::Converged { .. }));
+        assert!(is_nash(&game, &out.profile, &NashTest::exact()).unwrap().is_nash());
+        assert!(out.moves >= 4, "every peer must link up at least once");
+    }
+
+    #[test]
+    fn starting_at_equilibrium_converges_immediately() {
+        let game = line_game(vec![0.0, 1.0], 1.0);
+        let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let out = runner.run(StrategyProfile::complete(2));
+        assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.steps, 2);
+    }
+
+    #[test]
+    fn trace_records_only_improving_moves() {
+        let game = line_game(vec![0.0, 1.0, 2.0, 4.0, 8.0], 0.8);
+        let config = DynamicsConfig { record_trace: true, ..DynamicsConfig::default() };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(5));
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.len(), out.moves);
+        assert!(trace.first_non_improving().is_none());
+    }
+
+    #[test]
+    fn better_response_also_converges_here() {
+        let game = line_game(vec![0.0, 1.0, 3.0], 1.0);
+        let config = DynamicsConfig {
+            rule: ResponseRule::BetterResponse,
+            ..DynamicsConfig::default()
+        };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(3));
+        assert!(matches!(out.termination, Termination::Converged { .. }));
+        // Better-response convergence certifies exactly: no single-link
+        // move improves for any peer (a weaker condition than full Nash).
+        for i in 0..3 {
+            assert!(sp_core::first_improving_move(
+                &game,
+                &out.profile,
+                sp_core::PeerId::new(i),
+                1e-9
+            )
+            .unwrap()
+            .is_none());
+        }
+    }
+
+    #[test]
+    fn random_schedules_converge_too() {
+        let game = line_game(vec![0.0, 1.0, 2.0, 3.0], 1.0);
+        for schedule in [
+            Schedule::RandomPermutation { seed: 5 },
+            Schedule::UniformRandom { seed: 5 },
+        ] {
+            let config = DynamicsConfig { schedule, ..DynamicsConfig::default() };
+            let mut runner = DynamicsRunner::new(&game, config);
+            let out = runner.run(StrategyProfile::empty(4));
+            assert!(
+                matches!(out.termination, Termination::Converged { .. }),
+                "schedule failed: {:?}",
+                runner.config().schedule
+            );
+        }
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        let game = line_game(vec![0.0, 1.0, 2.0, 3.0], 1.0);
+        let config = DynamicsConfig { max_rounds: 0, ..DynamicsConfig::default() };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(4));
+        assert_eq!(out.termination, Termination::RoundLimit);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile size")]
+    fn mismatched_profile_panics() {
+        let game = line_game(vec![0.0, 1.0], 1.0);
+        let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let _ = runner.run(StrategyProfile::empty(3));
+    }
+
+    #[test]
+    fn deterministic_runs_are_reproducible() {
+        let game = line_game(vec![0.0, 2.0, 3.0, 7.0, 8.0], 1.2);
+        let mut a = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let mut b = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let oa = a.run(StrategyProfile::empty(5));
+        let ob = b.run(StrategyProfile::empty(5));
+        assert_eq!(oa.profile, ob.profile);
+        assert_eq!(oa.steps, ob.steps);
+    }
+}

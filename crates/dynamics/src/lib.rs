@@ -1,0 +1,48 @@
+//! Sequential-move dynamics for the selfish-peers game.
+//!
+//! The paper's Section 5 shows that selfish peers may *never* reach a
+//! stable topology: best-response dynamics can cycle forever even without
+//! churn. This crate provides the machinery to observe exactly that:
+//!
+//! * [`DynamicsRunner`] — activates one peer at a time per a
+//!   [`Schedule`], letting it play a best response or the first improving
+//!   move ([`ResponseRule`]);
+//! * convergence detection — a profile is stable when every peer has been
+//!   activated since the last change and none of them moved;
+//! * cycle detection — for deterministic schedules, revisiting a
+//!   `(profile, schedule position)` state proves the dynamics loops
+//!   forever ([`Termination::Cycle`]);
+//! * [`Trace`] — a full record of every strategy change, used by the
+//!   Figure 3 experiment to print the improvement cycle;
+//! * [`stats`] — batch convergence statistics over seeds;
+//! * [`churn`] — an extension simulating peers joining and leaving.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_core::{Game, StrategyProfile};
+//! use sp_dynamics::{DynamicsConfig, DynamicsRunner, Termination};
+//! use sp_metric::LineSpace;
+//!
+//! let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 3.0]).unwrap(), 1.0).unwrap();
+//! let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+//! let outcome = runner.run(StrategyProfile::empty(3));
+//! assert!(matches!(outcome.termination, Termination::Converged { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops over small fixed-size numeric tables are clearer than
+// iterator chains in this codebase's shortest-path/game kernels.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod churn;
+mod engine;
+mod schedule;
+pub mod simultaneous;
+pub mod stats;
+mod trace;
+
+pub use engine::{DynamicsConfig, DynamicsOutcome, DynamicsRunner, ResponseRule, Termination};
+pub use schedule::{Schedule, ScheduleState};
+pub use trace::{MoveRecord, Trace};

@@ -1,0 +1,190 @@
+use rand::prelude::*;
+use sp_core::PeerId;
+
+/// The activation order of peers.
+///
+/// Deterministic schedules ([`Schedule::RoundRobin`], [`Schedule::Fixed`])
+/// support *proof-grade* cycle detection: revisiting the same profile at
+/// the same schedule position implies the dynamics repeats forever.
+/// Randomized schedules are useful for convergence statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Schedule {
+    /// Peers move in index order, repeatedly: `0, 1, …, n-1, 0, …`.
+    #[default]
+    RoundRobin,
+    /// A fixed repeating order of peers.
+    Fixed(Vec<PeerId>),
+    /// Each round is a fresh uniformly random permutation of all peers.
+    RandomPermutation {
+        /// RNG seed (dynamics stay reproducible).
+        seed: u64,
+    },
+    /// Every step activates one peer chosen uniformly at random.
+    UniformRandom {
+        /// RNG seed (dynamics stay reproducible).
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// Returns `true` when the activation sequence is a deterministic
+    /// function of the step index (enabling cycle proofs).
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Schedule::RoundRobin | Schedule::Fixed(_))
+    }
+
+    /// Instantiates the stateful activation stream for `n` peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if a [`Schedule::Fixed`] order is empty or
+    /// mentions a peer `>= n`.
+    #[must_use]
+    pub fn start(&self, n: usize) -> ScheduleState {
+        assert!(n > 0, "cannot schedule zero peers");
+        match self {
+            Schedule::RoundRobin => ScheduleState {
+                n,
+                kind: StateKind::Cyclic { order: (0..n).map(PeerId::new).collect(), pos: 0 },
+            },
+            Schedule::Fixed(order) => {
+                assert!(!order.is_empty(), "fixed schedule must not be empty");
+                for p in order {
+                    assert!(p.index() < n, "peer {p} out of bounds for {n} peers");
+                }
+                ScheduleState {
+                    n,
+                    kind: StateKind::Cyclic { order: order.clone(), pos: 0 },
+                }
+            }
+            Schedule::RandomPermutation { seed } => ScheduleState {
+                n,
+                kind: StateKind::Permutation {
+                    rng: StdRng::seed_from_u64(*seed),
+                    order: Vec::new(),
+                    pos: 0,
+                },
+            },
+            Schedule::UniformRandom { seed } => ScheduleState {
+                n,
+                kind: StateKind::Uniform { rng: StdRng::seed_from_u64(*seed) },
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+enum StateKind {
+    Cyclic { order: Vec<PeerId>, pos: usize },
+    Permutation { rng: StdRng, order: Vec<PeerId>, pos: usize },
+    Uniform { rng: StdRng },
+}
+
+/// The stateful activation stream produced by [`Schedule::start`].
+#[derive(Debug)]
+pub struct ScheduleState {
+    n: usize,
+    kind: StateKind,
+}
+
+impl ScheduleState {
+    /// The next peer to activate.
+    pub fn next_peer(&mut self) -> PeerId {
+        match &mut self.kind {
+            StateKind::Cyclic { order, pos } => {
+                let p = order[*pos];
+                *pos = (*pos + 1) % order.len();
+                p
+            }
+            StateKind::Permutation { rng, order, pos } => {
+                if *pos >= order.len() {
+                    *order = (0..self.n).map(PeerId::new).collect();
+                    order.shuffle(rng);
+                    *pos = 0;
+                }
+                let p = order[*pos];
+                *pos += 1;
+                p
+            }
+            StateKind::Uniform { rng } => PeerId::new(rng.random_range(0..self.n)),
+        }
+    }
+
+    /// The schedule position used as part of the cycle-detection key, or
+    /// `None` for randomized schedules (where repetition proves nothing).
+    #[must_use]
+    pub fn position_key(&self) -> Option<usize> {
+        match &self.kind {
+            StateKind::Cyclic { pos, .. } => Some(*pos),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut s = Schedule::RoundRobin.start(3);
+        let seq: Vec<usize> = (0..7).map(|_| s.next_peer().index()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn fixed_schedule_repeats_given_order() {
+        let order = vec![PeerId::new(2), PeerId::new(0)];
+        let mut s = Schedule::Fixed(order).start(3);
+        let seq: Vec<usize> = (0..5).map(|_| s.next_peer().index()).collect();
+        assert_eq!(seq, vec![2, 0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn permutation_covers_all_peers_each_round() {
+        let mut s = Schedule::RandomPermutation { seed: 1 }.start(5);
+        for _round in 0..4 {
+            let mut seen: Vec<usize> = (0..5).map(|_| s.next_peer().index()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_reproducible() {
+        let mut a = Schedule::UniformRandom { seed: 9 }.start(4);
+        let mut b = Schedule::UniformRandom { seed: 9 }.start(4);
+        for _ in 0..20 {
+            assert_eq!(a.next_peer(), b.next_peer());
+        }
+    }
+
+    #[test]
+    fn determinism_flags() {
+        assert!(Schedule::RoundRobin.is_deterministic());
+        assert!(Schedule::Fixed(vec![PeerId::new(0)]).is_deterministic());
+        assert!(!Schedule::RandomPermutation { seed: 0 }.is_deterministic());
+        assert!(!Schedule::UniformRandom { seed: 0 }.is_deterministic());
+    }
+
+    #[test]
+    fn position_keys_only_for_deterministic() {
+        let s = Schedule::RoundRobin.start(2);
+        assert_eq!(s.position_key(), Some(0));
+        let r = Schedule::UniformRandom { seed: 0 }.start(2);
+        assert_eq!(r.position_key(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero peers")]
+    fn zero_peers_rejected() {
+        let _ = Schedule::RoundRobin.start(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn fixed_schedule_validates_bounds() {
+        let _ = Schedule::Fixed(vec![PeerId::new(5)]).start(3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Simultaneous-move best-response dynamics.
+//!
+//! All peers compute responses against the *current* profile and switch
+//! at once. Unlike the sequential dynamics this can oscillate even on
+//! instances with equilibria (two peers may keep reacting to each other's
+//! previous move — a coordination failure orthogonal to the paper's
+//! Theorem 5.1), which makes it a useful contrast: the paper's
+//! non-convergence is *strategic*, not an artifact of update timing.
+//!
+//! A fixed point of the simultaneous map is exactly a Nash equilibrium
+//! (with exact responses).
+
+use std::collections::HashMap;
+
+use sp_core::{best_response, BestResponseMethod, Game, PeerId, StrategyProfile};
+
+use crate::Termination;
+
+/// Configuration for [`run_simultaneous`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimultaneousConfig {
+    /// Best-response method used for every peer.
+    pub method: BestResponseMethod,
+    /// Maximum rounds before giving up.
+    pub max_rounds: usize,
+    /// Relative improvement threshold below which a peer keeps its
+    /// strategy.
+    pub tolerance: f64,
+}
+
+impl Default for SimultaneousConfig {
+    fn default() -> Self {
+        SimultaneousConfig {
+            method: BestResponseMethod::Exact,
+            max_rounds: 200,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Outcome of a simultaneous-move run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimultaneousOutcome {
+    /// The final profile.
+    pub profile: StrategyProfile,
+    /// Why the run stopped. `Converged` means a fixed point — a Nash
+    /// equilibrium under exact responses. `Cycle` means the profile
+    /// sequence provably repeats.
+    pub termination: Termination,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs simultaneous best-response dynamics from `start`.
+///
+/// # Panics
+///
+/// Panics if the profile size does not match the game or the game is
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{Game, StrategyProfile};
+/// use sp_dynamics::simultaneous::{run_simultaneous, SimultaneousConfig};
+/// use sp_dynamics::Termination;
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0]).unwrap(), 1.0).unwrap();
+/// let out = run_simultaneous(&game, StrategyProfile::empty(2), &SimultaneousConfig::default());
+/// // Two isolated peers both link each other at once: immediate fixed point.
+/// assert!(matches!(out.termination, Termination::Converged { .. }));
+/// ```
+#[must_use]
+pub fn run_simultaneous(
+    game: &Game,
+    start: StrategyProfile,
+    config: &SimultaneousConfig,
+) -> SimultaneousOutcome {
+    let n = game.n();
+    assert!(n > 0, "cannot run dynamics on an empty game");
+    assert_eq!(start.n(), n, "profile size must match the game");
+    let mut profile = start;
+    let mut seen: HashMap<StrategyProfile, usize> = HashMap::new();
+    for round in 0..config.max_rounds {
+        if let Some(&first) = seen.get(&profile) {
+            return SimultaneousOutcome {
+                profile,
+                termination: Termination::Cycle {
+                    first_seen_step: first,
+                    period_steps: round - first,
+                    moves_in_cycle: 0,
+                },
+                rounds: round,
+            };
+        }
+        seen.insert(profile.clone(), round);
+
+        let mut next = profile.clone();
+        let mut changed = false;
+        for i in 0..n {
+            let peer = PeerId::new(i);
+            let br = best_response(game, &profile, peer, config.method)
+                .expect("validated inputs cannot fail");
+            if br.improves(config.tolerance) && &br.links != profile.strategy(peer) {
+                next.set_strategy(peer, br.links).expect("valid response links");
+                changed = true;
+            }
+        }
+        if !changed {
+            return SimultaneousOutcome {
+                profile,
+                termination: Termination::Converged { rounds: round + 1 },
+                rounds: round + 1,
+            };
+        }
+        profile = next;
+    }
+    SimultaneousOutcome {
+        profile,
+        termination: Termination::RoundLimit,
+        rounds: config.max_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{is_nash, NashTest};
+    use sp_metric::LineSpace;
+
+    fn line_game(positions: Vec<f64>, alpha: f64) -> Game {
+        Game::from_space(&LineSpace::new(positions).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn fixed_points_are_nash_equilibria() {
+        let game = line_game(vec![0.0, 1.0, 3.0], 1.0);
+        let out = run_simultaneous(
+            &game,
+            StrategyProfile::empty(3),
+            &SimultaneousConfig::default(),
+        );
+        if let Termination::Converged { .. } = out.termination {
+            assert!(is_nash(&game, &out.profile, &NashTest::exact()).unwrap().is_nash());
+        }
+        // Whatever happened, the run terminated decisively.
+        assert!(!matches!(out.termination, Termination::RoundLimit));
+    }
+
+    #[test]
+    fn starting_at_equilibrium_is_immediate_fixed_point() {
+        let game = line_game(vec![0.0, 1.0], 2.0);
+        let out = run_simultaneous(
+            &game,
+            StrategyProfile::complete(2),
+            &SimultaneousConfig::default(),
+        );
+        assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+        assert_eq!(out.profile, StrategyProfile::complete(2));
+    }
+
+    #[test]
+    fn detects_simultaneous_oscillation_or_convergence() {
+        // The I_1-style engineered instances cycle; ordinary lines either
+        // converge or coordination-cycle — both are decisive outcomes.
+        let game = line_game(vec![0.0, 1.0, 2.0, 4.0, 8.0], 1.0);
+        let out = run_simultaneous(
+            &game,
+            StrategyProfile::empty(5),
+            &SimultaneousConfig::default(),
+        );
+        assert!(
+            matches!(out.termination, Termination::Converged { .. } | Termination::Cycle { .. })
+        );
+    }
+
+    #[test]
+    fn round_limit_respected() {
+        let game = line_game(vec![0.0, 1.0, 2.0], 1.0);
+        let config = SimultaneousConfig { max_rounds: 0, ..SimultaneousConfig::default() };
+        let out = run_simultaneous(&game, StrategyProfile::empty(3), &config);
+        assert_eq!(out.termination, Termination::RoundLimit);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile size")]
+    fn size_mismatch_panics() {
+        let game = line_game(vec![0.0, 1.0], 1.0);
+        let _ = run_simultaneous(
+            &game,
+            StrategyProfile::empty(3),
+            &SimultaneousConfig::default(),
+        );
+    }
+}

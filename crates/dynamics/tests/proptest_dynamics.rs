@@ -1,0 +1,147 @@
+//! Property tests for the dynamics engine.
+//!
+//! The central soundness property: whenever the sequential runner reports
+//! `Converged` under the exact best-response rule, the final profile is a
+//! certified Nash equilibrium. Plus determinism, trace discipline, and
+//! schedule coverage.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{is_nash, Game, NashTest, StrategyProfile};
+use sp_dynamics::{DynamicsConfig, DynamicsRunner, ResponseRule, Schedule, Termination};
+use sp_metric::generators;
+
+fn arb_game() -> impl Strategy<Value = Game> {
+    (2usize..=8, 0u64..10_000, 0.2f64..16.0).prop_map(|(n, seed, alpha)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = generators::uniform_square(n, 100.0, &mut rng);
+        Game::from_space(&space, alpha).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn convergence_under_exact_br_certifies_nash(game in arb_game()) {
+        let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let out = runner.run(StrategyProfile::empty(game.n()));
+        if matches!(out.termination, Termination::Converged { .. }) {
+            let report = is_nash(&game, &out.profile, &NashTest::exact()).unwrap();
+            prop_assert!(report.is_nash(), "converged to non-equilibrium");
+        } else {
+            // Cycles are possible in principle; they must be proven, not
+            // silently round-limited on these small instances.
+            let cycled = matches!(out.termination, Termination::Cycle { .. });
+            prop_assert!(cycled, "unexpected termination: {:?}", out.termination);
+        }
+    }
+
+    #[test]
+    fn deterministic_schedules_reproduce_exactly(game in arb_game()) {
+        let run = || {
+            let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+            runner.run(StrategyProfile::empty(game.n()))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.profile, b.profile);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn traces_record_exactly_the_accepted_moves(game in arb_game()) {
+        let config = DynamicsConfig { record_trace: true, ..DynamicsConfig::default() };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(game.n()));
+        let trace = out.trace.unwrap();
+        prop_assert_eq!(trace.len(), out.moves);
+        prop_assert!(trace.first_non_improving().is_none());
+        // Replaying the trace from the start reproduces the final profile.
+        let mut replay = StrategyProfile::empty(game.n());
+        for m in trace.moves() {
+            prop_assert_eq!(replay.strategy(m.peer), &m.old_links, "trace out of order");
+            replay.set_strategy(m.peer, m.new_links.clone()).unwrap();
+        }
+        prop_assert_eq!(replay, out.profile);
+    }
+
+    #[test]
+    fn deterministic_schedules_terminate_decisively(game in arb_game()) {
+        // With a deterministic schedule, cycle detection converts every
+        // non-converging run into a *proven* cycle — the round limit is
+        // unreachable. (Randomized schedules can legitimately wander to
+        // the limit on cycling instances, which do occur even on uniform
+        // squares — the paper's Section 5 in the wild.)
+        for schedule in [
+            Schedule::RoundRobin,
+            Schedule::Fixed((0..game.n()).rev().map(sp_core::PeerId::new).collect()),
+        ] {
+            let config = DynamicsConfig {
+                schedule,
+                max_rounds: 500,
+                ..DynamicsConfig::default()
+            };
+            let mut runner = DynamicsRunner::new(&game, config);
+            let out = runner.run(StrategyProfile::empty(game.n()));
+            let decisive = !matches!(out.termination, Termination::RoundLimit);
+            prop_assert!(decisive, "deterministic run hit the round limit");
+        }
+    }
+
+    #[test]
+    fn random_schedules_convergences_are_certified(game in arb_game(), seed in 0u64..100) {
+        for schedule in [
+            Schedule::RandomPermutation { seed },
+            Schedule::UniformRandom { seed },
+        ] {
+            let config = DynamicsConfig {
+                schedule,
+                max_rounds: 200,
+                ..DynamicsConfig::default()
+            };
+            let mut runner = DynamicsRunner::new(&game, config);
+            let out = runner.run(StrategyProfile::empty(game.n()));
+            if matches!(out.termination, Termination::Converged { .. }) {
+                let report = is_nash(&game, &out.profile, &NashTest::exact()).unwrap();
+                prop_assert!(report.is_nash());
+            }
+        }
+    }
+
+    #[test]
+    fn better_response_reaches_single_link_stability(game in arb_game()) {
+        let config = DynamicsConfig {
+            rule: ResponseRule::BetterResponse,
+            max_rounds: 500,
+            ..DynamicsConfig::default()
+        };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(game.n()));
+        if matches!(out.termination, Termination::Converged { .. }) {
+            for i in 0..game.n() {
+                prop_assert!(sp_core::first_improving_move(
+                    &game,
+                    &out.profile,
+                    sp_core::PeerId::new(i),
+                    1e-9
+                )
+                .unwrap()
+                .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn starting_from_an_equilibrium_never_moves(game in arb_game()) {
+        // First converge; then restart from the equilibrium.
+        let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let out = runner.run(StrategyProfile::empty(game.n()));
+        prop_assume!(matches!(out.termination, Termination::Converged { .. }));
+        let mut rerun = DynamicsRunner::new(&game, DynamicsConfig::default());
+        let again = rerun.run(out.profile.clone());
+        prop_assert_eq!(again.moves, 0);
+        prop_assert_eq!(again.profile, out.profile);
+    }
+}

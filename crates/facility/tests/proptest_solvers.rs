@@ -1,0 +1,154 @@
+//! Property tests pinning the solver hierarchy:
+//! `enumeration == branch-and-bound <= local search <= greedy` (in cost).
+
+use proptest::prelude::*;
+use sp_facility::{
+    solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityProblem,
+};
+
+fn arb_problem() -> impl Strategy<Value = FacilityProblem> {
+    (1usize..=7, 1usize..=7, 0.0f64..8.0).prop_flat_map(|(nf, nc, open_cost)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, nc..=nc),
+            nf..=nf,
+        )
+        .prop_map(move |rows| {
+            FacilityProblem::with_uniform_open_cost(open_cost, rows).unwrap()
+        })
+    })
+}
+
+/// Like `arb_problem` but with some assignments infinite (unreachable).
+fn arb_problem_with_gaps() -> impl Strategy<Value = FacilityProblem> {
+    (1usize..=6, 1usize..=6, 0.0f64..4.0).prop_flat_map(|(nf, nc, open_cost)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0.0f64..10.0, proptest::bool::ANY), nc..=nc),
+            nf..=nf,
+        )
+        .prop_map(move |rows| {
+            let rows = rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|(v, inf)| if inf { f64::INFINITY } else { v })
+                        .collect()
+                })
+                .collect();
+            FacilityProblem::with_uniform_open_cost(open_cost, rows).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn exact_solvers_agree(p in arb_problem()) {
+        let e = solve_enumeration(&p).unwrap();
+        let b = solve_branch_and_bound(&p);
+        prop_assert!((e.cost - b.cost).abs() <= 1e-9 * (1.0 + e.cost.abs()),
+            "enum={} bb={}", e.cost, b.cost);
+        // Both report costs consistent with their own open sets.
+        prop_assert!((p.cost_of(&e.open) - e.cost).abs() <= 1e-9);
+        prop_assert!((p.cost_of(&b.open) - b.cost).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn exact_solvers_agree_with_gaps(p in arb_problem_with_gaps()) {
+        let e = solve_enumeration(&p).unwrap();
+        let b = solve_branch_and_bound(&p);
+        if e.cost.is_infinite() {
+            prop_assert!(b.cost.is_infinite());
+        } else {
+            prop_assert!((e.cost - b.cost).abs() <= 1e-9 * (1.0 + e.cost.abs()));
+        }
+    }
+
+    #[test]
+    fn heuristics_bound_the_optimum(p in arb_problem()) {
+        let opt = solve_enumeration(&p).unwrap();
+        let g = solve_greedy(&p);
+        let l = solve_local_search(&p, None);
+        prop_assert!(g.cost >= opt.cost - 1e-9);
+        prop_assert!(l.cost >= opt.cost - 1e-9);
+        prop_assert!(l.cost <= g.cost + 1e-9, "local search worsened its greedy seed");
+        prop_assert!((p.cost_of(&g.open) - g.cost).abs() <= 1e-9);
+        prop_assert!((p.cost_of(&l.open) - l.cost).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn enumeration_beats_every_explicit_subset(p in arb_problem()) {
+        // Exhaustively re-verify optimality (independent re-implementation).
+        let opt = solve_enumeration(&p).unwrap();
+        let nf = p.facility_count();
+        for mask in 0u32..(1u32 << nf) {
+            let subset: Vec<usize> = (0..nf).filter(|f| mask & (1 << f) != 0).collect();
+            prop_assert!(p.cost_of(&subset) >= opt.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_search_from_any_start_is_no_worse_than_start(
+        p in arb_problem(),
+        start_mask in 0u32..128,
+    ) {
+        let nf = p.facility_count();
+        let start: Vec<usize> = (0..nf).filter(|f| start_mask & (1 << f) != 0).collect();
+        let before = p.cost_of(&start);
+        let after = solve_local_search(&p, Some(&start));
+        if before.is_finite() {
+            prop_assert!(after.cost <= before + 1e-9);
+        }
+    }
+}
+
+/// Instances with heterogeneous opening costs, including free facilities —
+/// the shape produced by the Fabrikant game's reduction (edges already
+/// paid for by others open at cost 0).
+fn arb_problem_per_facility_costs() -> impl Strategy<Value = FacilityProblem> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(nf, nc)| {
+        (
+            proptest::collection::vec(
+                prop_oneof![Just(0.0f64), 0.0f64..6.0],
+                nf..=nf,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(0.0f64..10.0, nc..=nc),
+                nf..=nf,
+            ),
+        )
+            .prop_map(|(costs, rows)| FacilityProblem::new(costs, rows).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_solvers_agree_with_free_facilities(p in arb_problem_per_facility_costs()) {
+        let e = solve_enumeration(&p).unwrap();
+        let b = solve_branch_and_bound(&p);
+        prop_assert!((e.cost - b.cost).abs() <= 1e-9 * (1.0 + e.cost.abs()),
+            "enum={} bb={}", e.cost, b.cost);
+    }
+
+    #[test]
+    fn free_facilities_do_not_hurt(p in arb_problem_per_facility_costs()) {
+        // Opening every zero-cost facility on top of the optimum can only
+        // tie or improve; the optimum must therefore already account for
+        // them (cost <= cost of optimum-with-frees).
+        let opt = solve_enumeration(&p).unwrap();
+        let mut with_free: Vec<usize> = opt.open.clone();
+        for f in 0..p.facility_count() {
+            if p.open_cost(f) == 0.0 && !with_free.contains(&f) {
+                with_free.push(f);
+            }
+        }
+        prop_assert!(p.cost_of(&with_free) >= opt.cost - 1e-9);
+        // And heuristics remain bounded.
+        let g = solve_greedy(&p);
+        let l = solve_local_search(&p, None);
+        prop_assert!(g.cost >= opt.cost - 1e-9);
+        prop_assert!(l.cost >= opt.cost - 1e-9);
+    }
+}

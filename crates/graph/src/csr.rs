@@ -1,0 +1,202 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::DiGraph;
+
+/// An immutable compressed-sparse-row snapshot of a [`DiGraph`].
+///
+/// All out-edges live in two flat arrays indexed through a per-node offset
+/// table, which makes repeated shortest-path sweeps (the inner loop of cost
+/// and best-response computation) cache-friendly.
+///
+/// # Example
+///
+/// ```
+/// use sp_graph::{DiGraph, CsrGraph};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// let csr = CsrGraph::from_digraph(&g);
+/// assert_eq!(csr.dijkstra(0)[2], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CsrGraph {
+    /// Builds the CSR snapshot of `g`.
+    #[must_use]
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        offsets.push(0);
+        for u in 0..n {
+            for e in g.out_edges(u) {
+                targets.push(e.to);
+                weights.push(e.weight);
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets, weights }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `node` as parallel `(targets, weights)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn out_neighbors(&self, node: usize) -> (&[usize], &[f64]) {
+        let lo = self.offsets[node];
+        let hi = self.offsets[node + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Single-source shortest path distances from `source`.
+    ///
+    /// Identical semantics to [`crate::dijkstra`] but without touching the
+    /// adjacency-list representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    #[must_use]
+    pub fn dijkstra(&self, source: usize) -> Vec<f64> {
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        self.dijkstra_into(source, &mut dist);
+        dist
+    }
+
+    /// Like [`CsrGraph::dijkstra`] but reuses a caller-provided buffer to
+    /// avoid per-call allocation. `dist` is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds or `dist.len() != node_count()`.
+    pub fn dijkstra_into(&self, source: usize, dist: &mut [f64]) {
+        let n = self.node_count();
+        assert!(source < n, "source {source} out of bounds for {n} nodes");
+        assert_eq!(dist.len(), n, "distance buffer has wrong length");
+        dist.fill(f64::INFINITY);
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::with_capacity(n);
+        dist[source] = 0.0;
+        heap.push(Entry { dist: 0.0, node: source });
+        while let Some(Entry { dist: d, node: u }) = heap.pop() {
+            if settled[u] {
+                continue;
+            }
+            settled[u] = true;
+            let (ts, ws) = self.out_neighbors(u);
+            for (&v, &w) in ts.iter().zip(ws) {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Entry { dist: nd, node: v });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, dijkstra};
+
+    #[test]
+    fn csr_matches_adjacency_dijkstra() {
+        let mut g = DiGraph::new(6);
+        let edges = [
+            (0, 1, 2.0),
+            (1, 2, 2.0),
+            (2, 3, 2.0),
+            (0, 3, 7.0),
+            (3, 4, 1.0),
+            (4, 0, 1.0),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        let csr = CsrGraph::from_digraph(&g);
+        for s in 0..6 {
+            assert_eq!(csr.dijkstra(s), dijkstra(&g, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn structure_roundtrip() {
+        let g = builders::complete_graph(4, |i, j| (i + j) as f64);
+        let csr = CsrGraph::from_digraph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 12);
+        let (ts, ws) = csr.out_neighbors(0);
+        assert_eq!(ts, &[1, 2, 3]);
+        assert_eq!(ws, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dijkstra_into_reuses_buffer() {
+        let g = builders::cycle_graph(5, |_, _| 1.0);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut buf = vec![42.0; 5];
+        csr.dijkstra_into(2, &mut buf);
+        assert_eq!(buf, vec![3.0, 4.0, 0.0, 1.0, 2.0]);
+        csr.dijkstra_into(0, &mut buf);
+        assert_eq!(buf, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn dijkstra_into_checks_buffer_len() {
+        let g = builders::cycle_graph(3, |_, _| 1.0);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut buf = vec![0.0; 2];
+        csr.dijkstra_into(0, &mut buf);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrGraph::from_digraph(&DiGraph::new(0));
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Graphviz DOT export for visualising overlay topologies.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_graph::{builders, dot};
+//!
+//! let g = builders::cycle_graph(3, |_, _| 1.5);
+//! let text = dot::to_dot(&g, &dot::DotOptions::default());
+//! assert!(text.starts_with("digraph"));
+//! assert!(text.contains("0 -> 1"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::DiGraph;
+
+/// Rendering options for [`to_dot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DotOptions {
+    /// Graph name after the `digraph` keyword.
+    pub name: String,
+    /// Emit edge weights as labels (3 decimals).
+    pub edge_labels: bool,
+    /// Optional node labels (defaults to the node index).
+    pub node_labels: Option<Vec<String>>,
+    /// Optional `pos="x,y!"` pinned positions (e.g. metric coordinates).
+    pub positions: Option<Vec<(f64, f64)>>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "overlay".to_owned(),
+            edge_labels: true,
+            node_labels: None,
+            positions: None,
+        }
+    }
+}
+
+/// Renders a digraph as Graphviz DOT text.
+///
+/// # Panics
+///
+/// Panics if `node_labels` or `positions` are provided with a length
+/// different from the node count.
+#[must_use]
+pub fn to_dot(g: &DiGraph, options: &DotOptions) -> String {
+    let n = g.node_count();
+    if let Some(labels) = &options.node_labels {
+        assert_eq!(labels.len(), n, "one label per node required");
+    }
+    if let Some(pos) = &options.positions {
+        assert_eq!(pos.len(), n, "one position per node required");
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "    node [shape=circle];");
+    for v in 0..n {
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(labels) = &options.node_labels {
+            attrs.push(format!("label=\"{}\"", escape(&labels[v])));
+        }
+        if let Some(pos) = &options.positions {
+            attrs.push(format!("pos=\"{},{}!\"", pos[v].0, pos[v].1));
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "    {v};");
+        } else {
+            let _ = writeln!(out, "    {v} [{}];", attrs.join(", "));
+        }
+    }
+    for (u, v, w) in g.edges() {
+        if options.edge_labels {
+            let _ = writeln!(out, "    {u} -> {v} [label=\"{w:.3}\"];");
+        } else {
+            let _ = writeln!(out, "    {u} -> {v};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_numeric()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn basic_structure() {
+        let g = builders::path_graph(3, |_, _| 2.0);
+        let text = to_dot(&g, &DotOptions::default());
+        assert!(text.starts_with("digraph overlay {"));
+        assert!(text.contains("0 -> 1 [label=\"2.000\"];"));
+        assert!(text.contains("1 -> 2"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_and_positions() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        let options = DotOptions {
+            edge_labels: false,
+            node_labels: Some(vec!["π0".to_owned(), "π\"1\"".to_owned()]),
+            positions: Some(vec![(0.0, 0.0), (1.5, 2.0)]),
+            ..DotOptions::default()
+        };
+        let text = to_dot(&g, &options);
+        assert!(text.contains("label=\"π0\""));
+        assert!(text.contains("label=\"π\\\"1\\\"\""));
+        assert!(text.contains("pos=\"1.5,2!\""));
+        assert!(text.contains("0 -> 1;"));
+        assert!(!text.contains("label=\"1.000\""));
+    }
+
+    #[test]
+    fn name_sanitisation() {
+        let g = DiGraph::new(0);
+        let options = DotOptions { name: "9 bad name!".to_owned(), ..DotOptions::default() };
+        let text = to_dot(&g, &options);
+        assert!(text.starts_with("digraph g_9_bad_name_ {"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per node")]
+    fn label_count_checked() {
+        let g = DiGraph::new(2);
+        let options = DotOptions {
+            node_labels: Some(vec!["x".to_owned()]),
+            ..DotOptions::default()
+        };
+        let _ = to_dot(&g, &options);
+    }
+}

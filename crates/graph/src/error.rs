@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible graph constructors and accessors.
+///
+/// Most `sp-graph` operations validate eagerly and panic on programmer error
+/// (documented per method); the `try_*` variants return this type instead so
+/// callers handling untrusted input can recover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was at least the node count of the graph.
+    NodeOutOfBounds {
+        /// The offending index.
+        node: usize,
+        /// The graph's node count.
+        len: usize,
+    },
+    /// An edge weight was NaN, negative, or infinite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop `(u, u)` was rejected.
+    SelfLoop {
+        /// The node with the rejected loop.
+        node: usize,
+    },
+    /// A matrix operation received mismatched dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "node index {node} out of bounds for graph of {len} nodes")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is not a finite non-negative number")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let msgs = [
+            GraphError::NodeOutOfBounds { node: 3, len: 2 }.to_string(),
+            GraphError::InvalidWeight { weight: f64::NAN }.to_string(),
+            GraphError::SelfLoop { node: 0 }.to_string(),
+            GraphError::DimensionMismatch { expected: 2, actual: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

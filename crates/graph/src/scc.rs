@@ -1,0 +1,265 @@
+use crate::DiGraph;
+
+/// The strongly connected components of a digraph, in reverse topological
+/// order of the condensation (Tarjan's invariant: a component is emitted
+/// only after every component it can reach).
+///
+/// Each inner `Vec` lists the member nodes of one component.
+///
+/// # Example
+///
+/// ```
+/// use sp_graph::{DiGraph, tarjan_scc};
+///
+/// let mut g = DiGraph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 0, 1.0); // {0, 1} is one SCC
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(2, 3, 1.0);
+/// let sccs = tarjan_scc(&g);
+/// assert_eq!(sccs.len(), 3);
+/// ```
+#[must_use]
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan: frames are (node, next-out-edge, child-to-merge).
+    enum Frame {
+        Enter(usize),
+        Resume { node: usize, edge: usize },
+    }
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(root)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call_stack.push(Frame::Resume { node: v, edge: 0 });
+                }
+                Frame::Resume { node: v, edge } => {
+                    let mut e = edge;
+                    // If we just returned from a child, fold its lowlink in.
+                    if e > 0 {
+                        let child = g.out_edges(v)[e - 1].to;
+                        if lowlink[child] < lowlink[v] {
+                            lowlink[v] = lowlink[child];
+                        }
+                    }
+                    let edges = g.out_edges(v);
+                    let mut descended = false;
+                    while e < edges.len() {
+                        let w = edges[e].to;
+                        e += 1;
+                        if index[w] == UNVISITED {
+                            call_stack.push(Frame::Resume { node: v, edge: e });
+                            call_stack.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] && index[w] < lowlink[v] {
+                            lowlink[v] = index[w];
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The condensation of a digraph: one node per strongly connected component,
+/// with an (unweighted, weight-1.0) edge between components whenever any
+/// member edge crosses them.
+///
+/// # Example
+///
+/// ```
+/// use sp_graph::{DiGraph, Condensation};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 0, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// let c = Condensation::of(&g);
+/// assert_eq!(c.component_count(), 2);
+/// assert_eq!(c.component_of(0), c.component_of(1));
+/// assert_ne!(c.component_of(0), c.component_of(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    components: Vec<Vec<usize>>,
+    component_of: Vec<usize>,
+    dag: DiGraph,
+}
+
+impl Condensation {
+    /// Computes the condensation of `g`.
+    #[must_use]
+    pub fn of(g: &DiGraph) -> Self {
+        let components = tarjan_scc(g);
+        let n = g.node_count();
+        let mut component_of = vec![0usize; n];
+        for (ci, comp) in components.iter().enumerate() {
+            for &v in comp {
+                component_of[v] = ci;
+            }
+        }
+        let mut dag = DiGraph::new(components.len());
+        let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for (u, v, _) in g.edges() {
+            let (cu, cv) = (component_of[u], component_of[v]);
+            if cu != cv && seen.insert((cu, cv)) {
+                dag.add_edge(cu, cv, 1.0);
+            }
+        }
+        Condensation { components, component_of, dag }
+    }
+
+    /// Number of strongly connected components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component index of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn component_of(&self, node: usize) -> usize {
+        self.component_of[node]
+    }
+
+    /// Member nodes of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[must_use]
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.components[c]
+    }
+
+    /// The condensation DAG (one node per component).
+    #[must_use]
+    pub fn dag(&self) -> &DiGraph {
+        &self.dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = builders::cycle_graph(5, |_, _| 1.0);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 5);
+    }
+
+    #[test]
+    fn path_is_all_singletons() {
+        let g = builders::path_graph(4, |_, _| 1.0);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn mixed_components() {
+        // {0,1,2} cycle, {3,4} cycle, 2 -> 3 bridge, 5 isolated.
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 0, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 3, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 3);
+        assert_eq!(c.component_of(0), c.component_of(2));
+        assert_eq!(c.component_of(3), c.component_of(4));
+        assert_ne!(c.component_of(0), c.component_of(3));
+        assert_ne!(c.component_of(5), c.component_of(0));
+        // Condensation DAG has exactly one cross edge.
+        assert_eq!(c.dag().edge_count(), 1);
+        assert!(c
+            .dag()
+            .has_edge(c.component_of(0), c.component_of(3)));
+    }
+
+    #[test]
+    fn reverse_topological_emission_order() {
+        // 0 -> 1 -> 2 as singletons: sink component (2) must come first.
+        let g = builders::path_graph(3, |_, _| 1.0);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs[0], vec![2]);
+        assert_eq!(sccs[2], vec![0]);
+    }
+
+    #[test]
+    fn members_returns_component_nodes() {
+        let g = builders::cycle_graph(3, |_, _| 1.0);
+        let c = Condensation::of(&g);
+        let mut m = c.members(0).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert!(tarjan_scc(&DiGraph::new(0)).is_empty());
+        let c = Condensation::of(&DiGraph::new(0));
+        assert_eq!(c.component_count(), 0);
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 100k-node directed path; recursive Tarjan would blow the stack.
+        let g = builders::path_graph(100_000, |_, _| 1.0);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 100_000);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_duplicate_dag_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        let c = Condensation::of(&g);
+        assert_eq!(c.dag().edge_count(), 1);
+    }
+}

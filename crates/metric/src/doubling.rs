@@ -1,0 +1,177 @@
+//! Doubling-dimension and growth-bound diagnostics.
+//!
+//! The paper emphasises that its `O(min(α, n))` upper bound holds for
+//! arbitrary metrics, "including the popular growth-bounded and doubling
+//! metrics". These estimators let experiments report which family a given
+//! workload falls into.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_metric::{doubling, generators};
+//!
+//! let grid = generators::grid_2d(8, 8, 1.0);
+//! // A flat grid has small doubling constant (dimension ~2).
+//! let lambda = doubling::doubling_constant_estimate(&grid, 8);
+//! assert!(lambda <= 16);
+//! ```
+
+use crate::MetricSpace;
+
+/// Number of points within distance `r` of point `c` (including `c`).
+fn ball_size<M: MetricSpace + ?Sized>(space: &M, c: usize, r: f64) -> usize {
+    (0..space.len()).filter(|&j| space.distance(c, j) <= r).count()
+}
+
+/// Members of the ball `B(c, r)`.
+fn ball_members<M: MetricSpace + ?Sized>(space: &M, c: usize, r: f64) -> Vec<usize> {
+    (0..space.len()).filter(|&j| space.distance(c, j) <= r).collect()
+}
+
+/// Estimates the **doubling constant** λ: the maximum, over sampled centres
+/// and `scales` geometric radius scales, of the number of radius-`r/2`
+/// balls needed (greedy cover) to cover `B(c, r)`.
+///
+/// A metric family is *doubling* if λ is bounded by a constant independent
+/// of `n`; the doubling dimension is `log₂ λ`. The greedy cover
+/// overestimates the optimal cover by at most a `O(log)` factor, so this is
+/// an upper estimate.
+///
+/// Returns 1 for spaces with fewer than two points.
+///
+/// # Panics
+///
+/// Panics if `scales == 0`.
+#[must_use]
+pub fn doubling_constant_estimate<M: MetricSpace + ?Sized>(space: &M, scales: usize) -> usize {
+    assert!(scales > 0, "need at least one radius scale");
+    let n = space.len();
+    if n < 2 {
+        return 1;
+    }
+    let d_min = space.min_distance();
+    let d_max = space.diameter();
+    let mut lambda = 1usize;
+    for s in 0..scales {
+        // Geometric sweep of radii from the diameter down to d_min.
+        let t = s as f64 / scales as f64;
+        let r = d_max * (d_min / d_max).powf(t);
+        if r <= 0.0 {
+            continue;
+        }
+        for c in 0..n {
+            let members = ball_members(space, c, r);
+            if members.len() <= 1 {
+                continue;
+            }
+            // Greedy cover with balls of radius r/2 centred at points.
+            let mut uncovered = members;
+            let mut cover = 0usize;
+            while let Some(&pick) = uncovered.first() {
+                cover += 1;
+                uncovered.retain(|&x| space.distance(pick, x) > r / 2.0);
+            }
+            lambda = lambda.max(cover);
+        }
+    }
+    lambda
+}
+
+/// Estimates the **growth bound**: the maximum over sampled centres and
+/// scales of `|B(c, 2r)| / |B(c, r)|` (only where `|B(c, r)| >= 1`).
+///
+/// A metric family is *growth-bounded* when this ratio is bounded by a
+/// constant.
+///
+/// Returns 1.0 for spaces with fewer than two points.
+///
+/// # Panics
+///
+/// Panics if `scales == 0`.
+#[must_use]
+pub fn growth_bound_estimate<M: MetricSpace + ?Sized>(space: &M, scales: usize) -> f64 {
+    assert!(scales > 0, "need at least one radius scale");
+    let n = space.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let d_min = space.min_distance();
+    let d_max = space.diameter();
+    let mut bound = 1.0f64;
+    for s in 0..scales {
+        let t = s as f64 / scales as f64;
+        let r = (d_max / 2.0) * (d_min / d_max).powf(t);
+        if r <= 0.0 {
+            continue;
+        }
+        for c in 0..n {
+            let small = ball_size(space, c, r);
+            let big = ball_size(space, c, 2.0 * r);
+            bound = bound.max(big as f64 / small as f64);
+        }
+    }
+    bound
+}
+
+/// Returns `true` if the estimated growth bound does not exceed `c`.
+///
+/// # Panics
+///
+/// Panics if `c < 1.0`.
+#[must_use]
+pub fn is_growth_bounded<M: MetricSpace + ?Sized>(space: &M, c: f64) -> bool {
+    assert!(c >= 1.0, "growth bound must be at least 1, got {c}");
+    growth_bound_estimate(space, 12) <= c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::LineSpace;
+
+    #[test]
+    fn uniform_line_is_doubling() {
+        let s = LineSpace::new((0..32).map(|i| i as f64).collect()).unwrap();
+        // 1-D uniform metric: doubling constant is tiny.
+        assert!(doubling_constant_estimate(&s, 8) <= 4);
+        assert!(growth_bound_estimate(&s, 8) <= 3.0);
+        assert!(is_growth_bounded(&s, 3.0));
+    }
+
+    #[test]
+    fn grid_is_doubling() {
+        let g = generators::grid_2d(6, 6, 1.0);
+        assert!(doubling_constant_estimate(&g, 8) <= 20);
+    }
+
+    #[test]
+    fn star_metric_is_not_doubling() {
+        // n-1 leaves all at distance 1 from each other via bounded-ratio
+        // construction: every ball of radius 1 needs ~n half-radius balls.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let m = generators::random_bounded_ratio_metric(24, 1.0, 1.2, &mut rng);
+        let lambda = doubling_constant_estimate(&m, 6);
+        assert!(lambda >= 12, "uniform-ish metric should need many half-balls, got {lambda}");
+    }
+
+    #[test]
+    fn tiny_spaces_are_trivially_bounded() {
+        let s = LineSpace::new(vec![0.0]).unwrap();
+        assert_eq!(doubling_constant_estimate(&s, 4), 1);
+        assert_eq!(growth_bound_estimate(&s, 4), 1.0);
+        let e = LineSpace::new(vec![]).unwrap();
+        assert_eq!(doubling_constant_estimate(&e, 4), 1);
+    }
+
+    #[test]
+    fn exponential_line_growth() {
+        let s = generators::exponential_line(12, 3.0, 1.0);
+        // Exponentially-spaced lines are still doubling (each ball contains
+        // few points), sanity-check the estimator runs and stays modest.
+        let g = growth_bound_estimate(&s, 10);
+        assert!(g >= 1.0);
+        assert!(g <= 12.0);
+    }
+}

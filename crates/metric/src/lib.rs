@@ -1,0 +1,53 @@
+//! Metric spaces for peer placement.
+//!
+//! The network creation game of Moscibroda, Schmid & Wattenhofer models
+//! peers as points of a metric space `M = (V, d)` whose distance function
+//! describes underlying latencies. This crate provides:
+//!
+//! * the [`MetricSpace`] trait — finite point sets with pairwise distances;
+//! * concrete spaces: [`LineSpace`] (1-D Euclidean, the space of the paper's
+//!   lower bound), [`Euclidean2D`] (the space of the paper's non-existence
+//!   instance), [`EuclideanND`], and [`MatrixMetric`] (arbitrary finite
+//!   metrics given explicitly);
+//! * random placement generators ([`generators`]) for uniform, clustered,
+//!   grid, and exponentially-spaced workloads;
+//! * metric diagnostics ([`doubling`]): validation of the metric axioms,
+//!   doubling-dimension estimation, and growth-bounded checks — the paper's
+//!   upper bound holds for *arbitrary* metrics including these families.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_metric::{Euclidean2D, MetricSpace, Point2};
+//!
+//! let space = Euclidean2D::new(vec![
+//!     Point2::new(0.0, 0.0),
+//!     Point2::new(3.0, 4.0),
+//! ]).unwrap();
+//! assert_eq!(space.distance(0, 1), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops over small fixed-size numeric tables are clearer than
+// iterator chains in this codebase's shortest-path/game kernels.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod doubling;
+mod error;
+mod euclidean;
+pub mod generators;
+mod line;
+mod matrix_metric;
+mod point;
+mod ring;
+mod space;
+
+pub use error::MetricError;
+pub use euclidean::{Euclidean2D, EuclideanND};
+pub use generators::ClusteredPoints;
+pub use line::LineSpace;
+pub use matrix_metric::MatrixMetric;
+pub use point::{Point2, PointN};
+pub use ring::RingSpace;
+pub use space::{validate_metric, MetricSpace};

@@ -1,0 +1,152 @@
+use crate::{MetricError, MetricSpace};
+
+/// Peers on a circle: distance is arc length (the shorter way around).
+///
+/// The standard abstraction of DHT identifier spaces (Chord rings) and of
+/// latency around a geographic ring; a useful contrast to [`crate::LineSpace`]
+/// because every peer sees the same horizon.
+///
+/// Angles are positions in `[0, circumference)`.
+///
+/// # Example
+///
+/// ```
+/// use sp_metric::{MetricSpace, RingSpace};
+///
+/// let ring = RingSpace::new(vec![0.0, 2.0, 9.0], 10.0).unwrap();
+/// assert_eq!(ring.distance(0, 1), 2.0);
+/// assert_eq!(ring.distance(0, 2), 1.0); // wraps around: 10 - 9
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSpace {
+    positions: Vec<f64>,
+    circumference: f64,
+}
+
+impl RingSpace {
+    /// Creates a ring of the given circumference with peers at the given
+    /// arc positions.
+    ///
+    /// # Errors
+    ///
+    /// * [`MetricError::NonFiniteValue`] for non-finite inputs or a
+    ///   non-positive circumference;
+    /// * [`MetricError::CoincidentPoints`] for duplicate positions
+    ///   (after reduction modulo the circumference).
+    pub fn new(positions: Vec<f64>, circumference: f64) -> Result<Self, MetricError> {
+        if !circumference.is_finite() || circumference <= 0.0 {
+            return Err(MetricError::NonFiniteValue { context: "ring circumference" });
+        }
+        if positions.iter().any(|p| !p.is_finite()) {
+            return Err(MetricError::NonFiniteValue { context: "ring position" });
+        }
+        let reduced: Vec<f64> =
+            positions.iter().map(|p| p.rem_euclid(circumference)).collect();
+        for i in 0..reduced.len() {
+            for j in (i + 1)..reduced.len() {
+                if reduced[i] == reduced[j] {
+                    return Err(MetricError::CoincidentPoints { i, j });
+                }
+            }
+        }
+        Ok(RingSpace { positions: reduced, circumference })
+    }
+
+    /// Places `n` peers equidistantly around a ring of the given
+    /// circumference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::NonFiniteValue`] for a non-positive
+    /// circumference.
+    pub fn equidistant(n: usize, circumference: f64) -> Result<Self, MetricError> {
+        if !circumference.is_finite() || circumference <= 0.0 {
+            return Err(MetricError::NonFiniteValue { context: "ring circumference" });
+        }
+        let positions = (0..n).map(|i| i as f64 * circumference / n as f64).collect();
+        RingSpace::new(positions, circumference)
+    }
+
+    /// The ring circumference.
+    #[must_use]
+    pub fn circumference(&self) -> f64 {
+        self.circumference
+    }
+
+    /// The (reduced) arc position of peer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn position(&self, i: usize) -> f64 {
+        self.positions[i]
+    }
+}
+
+impl MetricSpace for RingSpace {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        let raw = (self.positions[i] - self.positions[j]).abs();
+        raw.min(self.circumference - raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_metric;
+
+    #[test]
+    fn arc_distances_take_shorter_way() {
+        let r = RingSpace::new(vec![0.0, 3.0, 7.0], 8.0).unwrap();
+        assert_eq!(r.distance(0, 1), 3.0);
+        assert_eq!(r.distance(1, 2), 4.0);
+        assert_eq!(r.distance(0, 2), 1.0);
+        assert!(validate_metric(&r, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn positions_reduce_modulo_circumference() {
+        let r = RingSpace::new(vec![-1.0, 11.0], 10.0).unwrap();
+        assert_eq!(r.position(0), 9.0);
+        assert_eq!(r.position(1), 1.0);
+        assert_eq!(r.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    fn detects_wrapped_duplicates() {
+        assert_eq!(
+            RingSpace::new(vec![1.0, 11.0], 10.0),
+            Err(MetricError::CoincidentPoints { i: 0, j: 1 })
+        );
+    }
+
+    #[test]
+    fn equidistant_ring_is_uniform() {
+        let r = RingSpace::equidistant(8, 16.0).unwrap();
+        assert_eq!(r.len(), 8);
+        for i in 0..8 {
+            assert_eq!(r.distance(i, (i + 1) % 8), 2.0);
+            assert_eq!(r.distance(i, (i + 4) % 8), 8.0); // antipodal
+        }
+        assert!(validate_metric(&r, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_circumference() {
+        assert!(RingSpace::new(vec![0.0], 0.0).is_err());
+        assert!(RingSpace::new(vec![0.0], f64::NAN).is_err());
+        assert!(RingSpace::equidistant(4, -1.0).is_err());
+    }
+
+    #[test]
+    fn ring_metric_satisfies_triangle_inequality_densely() {
+        let r = RingSpace::new(vec![0.5, 2.25, 4.0, 7.75, 9.5], 10.0).unwrap();
+        assert!(validate_metric(&r, 1e-12).is_ok());
+        assert_eq!(r.circumference(), 10.0);
+    }
+}

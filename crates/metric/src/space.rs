@@ -1,0 +1,203 @@
+use sp_graph::DistanceMatrix;
+
+use crate::MetricError;
+
+/// A finite metric space: `len()` points with pairwise distances.
+///
+/// Implementations must satisfy the metric axioms for all `i`, `j`, `k`:
+///
+/// * `distance(i, i) == 0`,
+/// * `distance(i, j) > 0` for `i != j` (identity of indiscernibles — the
+///   game's stretch `d_G(i,j)/d(i,j)` is undefined otherwise),
+/// * `distance(i, j) == distance(j, i)` (symmetry),
+/// * `distance(i, k) <= distance(i, j) + distance(j, k)` (triangle
+///   inequality).
+///
+/// Constructors of concrete spaces in this crate validate what they can
+/// cheaply; [`validate_metric`] checks everything exhaustively in `O(n³)`.
+pub trait MetricSpace {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `i` or `j` is out of bounds.
+    fn distance(&self, i: usize, j: usize) -> f64;
+
+    /// Returns `true` if the space has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the full distance matrix.
+    fn to_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_fn(self.len(), |i, j| self.distance(i, j))
+    }
+
+    /// The diameter (largest pairwise distance), 0.0 for fewer than two
+    /// points.
+    fn diameter(&self) -> f64 {
+        let n = self.len();
+        let mut d = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d = d.max(self.distance(i, j));
+            }
+        }
+        d
+    }
+
+    /// The smallest distance between distinct points, `f64::INFINITY` for
+    /// fewer than two points.
+    fn min_distance(&self) -> f64 {
+        let n = self.len();
+        let mut d = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d = d.min(self.distance(i, j));
+            }
+        }
+        d
+    }
+}
+
+/// Exhaustively validates the metric axioms in `O(n³)`.
+///
+/// `tol` is the absolute tolerance used for the symmetry and triangle
+/// checks (floating-point geometry is rarely exact). A `tol` of `1e-9`
+/// is appropriate for coordinates of magnitude ~1.
+///
+/// # Errors
+///
+/// Returns the first violated axiom as a [`MetricError`].
+///
+/// # Example
+///
+/// ```
+/// use sp_metric::{validate_metric, LineSpace};
+///
+/// let space = LineSpace::new(vec![0.0, 1.0, 5.0]).unwrap();
+/// assert!(validate_metric(&space, 1e-9).is_ok());
+/// ```
+pub fn validate_metric<M: MetricSpace + ?Sized>(space: &M, tol: f64) -> Result<(), MetricError> {
+    let n = space.len();
+    for i in 0..n {
+        let dii = space.distance(i, i);
+        if !dii.is_finite() {
+            return Err(MetricError::NonFiniteValue { context: "diagonal distance" });
+        }
+        if dii.abs() > tol {
+            return Err(MetricError::NonZeroDiagonal { i });
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dij = space.distance(i, j);
+            let dji = space.distance(j, i);
+            if !dij.is_finite() || !dji.is_finite() {
+                return Err(MetricError::NonFiniteValue { context: "pairwise distance" });
+            }
+            if dij < 0.0 {
+                return Err(MetricError::NegativeDistance { i, j });
+            }
+            if dij == 0.0 {
+                return Err(MetricError::CoincidentPoints { i, j });
+            }
+            if (dij - dji).abs() > tol {
+                return Err(MetricError::Asymmetric { i, j });
+            }
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let dij = space.distance(i, j);
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                if space.distance(i, k) > dij + space.distance(j, k) + tol {
+                    return Err(MetricError::TriangleViolation { i, j, k });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineSpace, MatrixMetric};
+
+    #[test]
+    fn line_space_is_a_valid_metric() {
+        let s = LineSpace::new(vec![0.0, 0.5, 2.0, 10.0]).unwrap();
+        assert!(validate_metric(&s, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn diameter_and_min_distance() {
+        let s = LineSpace::new(vec![0.0, 1.0, 10.0]).unwrap();
+        assert_eq!(s.diameter(), 10.0);
+        assert_eq!(s.min_distance(), 1.0);
+        let single = LineSpace::new(vec![3.0]).unwrap();
+        assert_eq!(single.diameter(), 0.0);
+        assert_eq!(single.min_distance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn detects_triangle_violation() {
+        // d(0,2) = 10 but d(0,1) + d(1,2) = 2: not a metric.
+        let m = MatrixMetric::new_unchecked(
+            DistanceMatrix::from_row_major(
+                3,
+                vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            validate_metric(&m, 1e-9),
+            Err(MetricError::TriangleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_coincident_points() {
+        let m = MatrixMetric::new_unchecked(
+            DistanceMatrix::from_row_major(2, vec![0.0, 0.0, 0.0, 0.0]).unwrap(),
+        );
+        assert_eq!(
+            validate_metric(&m, 1e-9),
+            Err(MetricError::CoincidentPoints { i: 0, j: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_asymmetry() {
+        let m = MatrixMetric::new_unchecked(
+            DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap(),
+        );
+        assert_eq!(validate_metric(&m, 1e-9), Err(MetricError::Asymmetric { i: 0, j: 1 }));
+    }
+
+    #[test]
+    fn empty_space_is_valid() {
+        let m = MatrixMetric::new_unchecked(DistanceMatrix::new_filled(0, 0.0));
+        assert!(validate_metric(&m, 0.0).is_ok());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn to_matrix_roundtrip() {
+        let s = LineSpace::new(vec![0.0, 2.0, 5.0]).unwrap();
+        let m = s.to_matrix();
+        assert_eq!(m[(0, 2)], 5.0);
+        assert_eq!(m[(2, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+use sp_graph::{dijkstra_tree, DiGraph};
+
+/// Precomputed shortest-path forwarding state: for every `(src, dst)`
+/// pair, the first hop on a shortest `src → dst` path.
+///
+/// This is the steady-state routing table a structured overlay would
+/// converge to; building it costs one Dijkstra per node.
+///
+/// # Example
+///
+/// ```
+/// use sp_graph::{builders, DiGraph};
+/// use sp_sim::NextHopTable;
+///
+/// let g = builders::bidirectional_path_graph(4, |_, _| 1.0);
+/// let t = NextHopTable::build(&g);
+/// assert_eq!(t.next_hop(0, 3), Some(1));
+/// assert_eq!(t.next_hop(3, 0), Some(2));
+/// assert_eq!(t.next_hop(2, 2), None); // already there
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NextHopTable {
+    n: usize,
+    /// Row-major: `table[src * n + dst]`; `usize::MAX` = unreachable or
+    /// src == dst.
+    table: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl NextHopTable {
+    /// Builds the table from an overlay graph.
+    #[must_use]
+    pub fn build(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let mut table = vec![NONE; n * n];
+        for src in 0..n {
+            let tree = dijkstra_tree(g, src);
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                if let Some(path) = tree.path_to(dst) {
+                    table[src * n + dst] = path[1];
+                }
+            }
+        }
+        NextHopTable { n, table }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the empty table.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The first hop from `src` toward `dst`; `None` when `src == dst`
+    /// or `dst` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of bounds.
+    #[must_use]
+    pub fn next_hop(&self, src: usize, dst: usize) -> Option<usize> {
+        assert!(src < self.n && dst < self.n, "index out of bounds");
+        let v = self.table[src * self.n + dst];
+        (v != NONE).then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::builders;
+
+    #[test]
+    fn next_hops_follow_shortest_paths() {
+        // Weighted diamond where the lower route wins.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 3, 10.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let t = NextHopTable::build(&g);
+        assert_eq!(t.next_hop(0, 3), Some(2));
+    }
+
+    #[test]
+    fn unreachable_destinations_have_no_hop() {
+        let g = builders::path_graph(3, |_, _| 1.0);
+        let t = NextHopTable::build(&g);
+        assert_eq!(t.next_hop(2, 0), None);
+        assert_eq!(t.next_hop(0, 2), Some(1));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = NextHopTable::build(&DiGraph::new(0));
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let t = NextHopTable::build(&DiGraph::new(2));
+        let _ = t.next_hop(0, 5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: the simulator's measured behaviour must match the
+//! analytical model exactly under shortest-path routing, and greedy
+//! routing must never beat it.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{overlay_distances, Game, StrategyProfile};
+use sp_metric::generators;
+use sp_sim::{workload, LookupSimulator, Routing, SimConfig};
+
+fn arb_setup() -> impl Strategy<Value = (Game, StrategyProfile)> {
+    (2usize..=8, 0u64..5_000).prop_flat_map(|(n, seed)| {
+        proptest::collection::vec((0..n, 0..n), 0..=(3 * n)).prop_map(move |pairs| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let space = generators::uniform_square(n, 50.0, &mut rng);
+            let game = Game::from_space(&space, 1.0).unwrap();
+            let links: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|&(a, b)| a != b).collect();
+            let profile = StrategyProfile::from_links(n, &links).unwrap();
+            (game, profile)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn measured_latency_equals_overlay_distance((game, profile) in arb_setup()) {
+        let sim = LookupSimulator::new(&game, &profile, SimConfig::default()).unwrap();
+        let analytic = overlay_distances(&game, &profile).unwrap();
+        for (s, d) in workload::all_pairs(game.n()) {
+            let r = sim.lookup(s, d);
+            if analytic[(s, d)].is_finite() {
+                prop_assert!(r.delivered, "({s},{d}) reachable but undelivered");
+                prop_assert!((r.latency - analytic[(s, d)]).abs() <= 1e-9,
+                    "({s},{d}): measured {} vs analytic {}", r.latency, analytic[(s, d)]);
+            } else {
+                prop_assert!(!r.delivered, "({s},{d}) unreachable but delivered");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_shortest_path((game, profile) in arb_setup()) {
+        let sp = LookupSimulator::new(&game, &profile, SimConfig::default()).unwrap();
+        let greedy = LookupSimulator::new(
+            &game,
+            &profile,
+            SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+        ).unwrap();
+        for (s, d) in workload::all_pairs(game.n()) {
+            let g = greedy.lookup(s, d);
+            if g.delivered {
+                let o = sp.lookup(s, d);
+                prop_assert!(o.delivered, "greedy delivered but shortest path failed?");
+                prop_assert!(g.latency >= o.latency - 1e-9,
+                    "greedy {} beat shortest path {}", g.latency, o.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_stretch_matches_cost_model((game, profile) in arb_setup()) {
+        // The paper's cost model: lookup latency = stretch × direct
+        // distance. Verify via the stretch accessor.
+        let sim = LookupSimulator::new(&game, &profile, SimConfig::default()).unwrap();
+        let stretches = sp_core::stretch_matrix(&game, &profile).unwrap();
+        for (s, d) in workload::all_pairs(game.n()) {
+            if let Some(measured) = sim.lookup(s, d).stretch(&game) {
+                prop_assert!((measured - stretches[(s, d)]).abs() <= 1e-9);
+            }
+        }
+    }
+}

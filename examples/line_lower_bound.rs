@@ -1,0 +1,47 @@
+//! The paper's Figure 1 lower bound, end to end: build the exponential
+//! line family, verify it is a Nash equilibrium (Lemma 4.2), measure its
+//! `Θ(αn²)` social cost (Lemma 4.3), and watch the Price of Anarchy grow
+//! as `Θ(min(α, n))` (Theorem 4.4).
+//!
+//! ```sh
+//! cargo run --release --example line_lower_bound
+//! ```
+
+use selfish_peers::prelude::*;
+
+fn main() {
+    // Lemma 4.2: exact Nash verification at the threshold alpha = 3.4.
+    let lb = LineLowerBound::new(10, 3.4).expect("valid parameters");
+    let game = lb.game();
+    let profile = lb.equilibrium_profile();
+    println!("positions: {:?}", lb.positions().iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>());
+    let report = is_nash(&game, &profile, &NashTest::exact()).expect("sizes match");
+    println!(
+        "Lemma 4.2 — equilibrium at α = 3.4, n = 10: {}",
+        if report.is_nash() { "VERIFIED" } else { "FAILED" }
+    );
+    assert!(report.is_nash());
+
+    // Lemma 4.3: social cost scales as Θ(αn²).
+    println!("\nLemma 4.3 — C(G)/(αn²) stabilises:");
+    for n in [8usize, 16, 32, 64] {
+        let lb = LineLowerBound::new(n, 3.4).expect("valid parameters");
+        let c = lb.equilibrium_cost();
+        println!(
+            "  n = {n:3}: C = {:10.1}  C/(αn²) = {:.4}",
+            c.total(),
+            c.total() / (3.4 * (n * n) as f64)
+        );
+    }
+
+    // Theorem 4.4: PoA grows like min(α, n).
+    println!("\nTheorem 4.4 — PoA lower bound vs min(α, n):");
+    for alpha in [3.4, 10.0, 30.0, 90.0] {
+        let lb = LineLowerBound::new(81, alpha).expect("valid parameters");
+        println!(
+            "  α = {alpha:5.1}: C(G)/C(G̃) = {:7.3}   min(α, n) = {:.1}",
+            lb.poa_lower_bound(),
+            alpha.min(81.0)
+        );
+    }
+}

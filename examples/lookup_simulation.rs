@@ -1,0 +1,60 @@
+//! Measure lookups instead of predicting them: simulate traffic over a
+//! selfish equilibrium with both a converged DHT (shortest-path routing)
+//! and a stateless greedy router, then break things with failures.
+//!
+//! ```sh
+//! cargo run --release --example lookup_simulation
+//! ```
+
+use rand::prelude::*;
+use selfish_peers::prelude::*;
+use selfish_peers::sim::workload;
+use sp_metric::generators;
+
+fn main() {
+    // Stabilise a 14-peer overlay at alpha = 4.
+    let mut rng = StdRng::seed_from_u64(17);
+    let space = generators::uniform_square(14, 100.0, &mut rng);
+    let game = Game::from_space(&space, 4.0).expect("valid placement");
+    let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+    let out = runner.run(StrategyProfile::empty(14));
+    assert!(matches!(out.termination, Termination::Converged { .. }));
+
+    let pairs = workload::all_pairs(14);
+
+    // Converged routing tables: measured latency == the cost model.
+    let sp = LookupSimulator::new(&game, &out.profile, SimConfig::default()).unwrap();
+    let stats = sp.run_workload(&pairs);
+    println!(
+        "shortest-path routing: success {:.0}%, mean stretch {:.3}",
+        100.0 * stats.success_rate(),
+        stats.mean_stretch(&game).unwrap()
+    );
+
+    // Stateless greedy routing: how usable is the topology without state?
+    let greedy = LookupSimulator::new(
+        &game,
+        &out.profile,
+        SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+    )
+    .unwrap();
+    let gstats = greedy.run_workload(&pairs);
+    println!(
+        "greedy routing:        success {:.0}%, mean stretch {:.3} (delivered only)",
+        100.0 * gstats.success_rate(),
+        gstats.mean_stretch(&game).unwrap()
+    );
+
+    // Kill the most central peer and watch undetected failures bite.
+    use selfish_peers::graph::measures;
+    let topo = sp_core::topology(&game, &out.profile).unwrap();
+    let bc = measures::betweenness_centrality(&topo);
+    let hub = (0..14).max_by(|&a, &b| bc[a].total_cmp(&bc[b])).unwrap();
+    let mut broken = LookupSimulator::new(&game, &out.profile, SimConfig::default()).unwrap();
+    broken.kill_peers(&[hub]);
+    let bstats = broken.run_workload(&pairs);
+    println!(
+        "after hub peer {hub} dies (tables stale): success {:.0}%",
+        100.0 * bstats.success_rate()
+    );
+}

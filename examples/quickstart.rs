@@ -1,0 +1,55 @@
+//! Quickstart: drop selfish peers on a random plane, let them rewire
+//! until stable, and inspect the equilibrium.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::prelude::*;
+use selfish_peers::prelude::*;
+use sp_core::{max_stretch, social_cost};
+use sp_metric::generators;
+
+fn main() {
+    // 1. Twelve peers uniformly at random in a 100x100 latency square,
+    //    with link maintenance cost alpha = 4.
+    let mut rng = StdRng::seed_from_u64(7);
+    let space = generators::uniform_square(12, 100.0, &mut rng);
+    let game = Game::from_space(&space, 4.0).expect("valid placement");
+
+    // 2. Round-robin exact best-response dynamics from the empty overlay.
+    let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+    let outcome = runner.run(StrategyProfile::empty(game.n()));
+    match outcome.termination {
+        Termination::Converged { rounds } => {
+            println!("converged after {rounds} rounds ({} moves)", outcome.moves);
+        }
+        other => {
+            println!("did not converge: {other:?}");
+            return;
+        }
+    }
+
+    // 3. The stable overlay is a Nash equilibrium (certified exactly).
+    let report = is_nash(&game, &outcome.profile, &NashTest::exact()).expect("sizes match");
+    assert!(report.is_nash(), "exact BR convergence certifies an equilibrium");
+
+    // 4. Inspect it.
+    let cost = social_cost(&game, &outcome.profile).expect("sizes match");
+    let stretch = max_stretch(&game, &outcome.profile).expect("sizes match");
+    println!("links: {}", outcome.profile.link_count());
+    println!("social cost: {:.1} (links {:.1} + stretch {:.1})",
+        cost.total(), cost.link_cost, cost.stretch_cost);
+    println!("max stretch: {stretch:.3} (Theorem 4.1 bound: α+1 = {:.1})", game.alpha() + 1.0);
+    assert!(stretch <= game.alpha() + 1.0 + 1e-9);
+
+    // 5. How bad is selfishness here? Bracket the Price of Anarchy.
+    let estimator = PoaEstimator::new(&game);
+    let bracket = estimator.bracket(&outcome.profile).expect("sizes match");
+    let (name, opt_ub) = estimator.opt_upper();
+    println!(
+        "PoA bracket: [{:.3}, {:.3}] (best baseline: {name} at {opt_ub:.1})",
+        bracket.poa_lower(),
+        bracket.poa_upper()
+    );
+}

@@ -1,0 +1,271 @@
+//! Command-line interface to the selfish-peers library.
+//!
+//! ```text
+//! selfish-peers nash-check --input game.json
+//! selfish-peers dynamics   --input game.json [--max-rounds N]
+//! selfish-peers poa        --input game.json
+//! selfish-peers paper      --figure 1 --n 10 --alpha 3.4
+//! selfish-peers paper      --figure 2 --k 1 [--certify]
+//! ```
+//!
+//! Game specs are JSON (see `selfish_peers::spec`); `--input -` reads
+//! stdin. All commands print JSON to stdout, so the tool composes with
+//! `jq` and friends.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use selfish_peers::analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
+use selfish_peers::prelude::*;
+use selfish_peers::spec::{GameSpec, ProfileSpec};
+use sp_core::social_cost;
+
+fn read_spec(path: &str) -> Result<GameSpec, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_owned(), value));
+            } else {
+                return Err(format!("unexpected argument {a}"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+        }
+    }
+}
+
+fn cmd_nash_check(args: &Args) -> Result<String, String> {
+    let spec = read_spec(args.get("input").ok_or("--input required")?)?;
+    let (game, profile) = spec.build()?;
+    let report = is_nash(&game, &profile, &NashTest::exact()).map_err(|e| e.to_string())?;
+    let cost = social_cost(&game, &profile).map_err(|e| e.to_string())?;
+    let out = serde_json::json!({
+        "is_nash": report.is_nash(),
+        "certified_exact": report.certified_exact,
+        "social_cost": cost.total(),
+        "link_cost": cost.link_cost,
+        "stretch_cost": cost.stretch_cost,
+        "deviation": report.best_deviation.map(|d| serde_json::json!({
+            "peer": d.peer.index(),
+            "links": d.links.iter().map(sp_core::PeerId::index).collect::<Vec<_>>(),
+            "old_cost": d.old_cost,
+            "new_cost": d.new_cost,
+        })),
+    });
+    Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+}
+
+fn cmd_dynamics(args: &Args) -> Result<String, String> {
+    let spec = read_spec(args.get("input").ok_or("--input required")?)?;
+    let (game, start) = spec.build()?;
+    let max_rounds = args.get_parsed("max-rounds", 200usize)?;
+    let config = DynamicsConfig { max_rounds, ..DynamicsConfig::default() };
+    let mut runner = DynamicsRunner::new(&game, config);
+    let out = runner.run(start);
+    let termination = match out.termination {
+        Termination::Converged { rounds } => serde_json::json!({
+            "kind": "converged", "rounds": rounds,
+        }),
+        Termination::Cycle { first_seen_step, period_steps, moves_in_cycle } => {
+            serde_json::json!({
+                "kind": "cycle",
+                "first_seen_step": first_seen_step,
+                "period_steps": period_steps,
+                "moves_in_cycle": moves_in_cycle,
+            })
+        }
+        Termination::RoundLimit => serde_json::json!({ "kind": "round-limit" }),
+    };
+    let cost = social_cost(&game, &out.profile).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("dot") {
+        let topo = sp_core::topology(&game, &out.profile).map_err(|e| e.to_string())?;
+        let dot = selfish_peers::graph::dot::to_dot(
+            &topo,
+            &selfish_peers::graph::dot::DotOptions::default(),
+        );
+        std::fs::write(path, dot).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let result = serde_json::json!({
+        "termination": termination,
+        "steps": out.steps,
+        "moves": out.moves,
+        "social_cost": cost.total(),
+        "profile": ProfileSpec::from_profile(&out.profile),
+    });
+    Ok(serde_json::to_string_pretty(&result).expect("plain data"))
+}
+
+fn cmd_poa(args: &Args) -> Result<String, String> {
+    let spec = read_spec(args.get("input").ok_or("--input required")?)?;
+    let (game, profile) = spec.build()?;
+    let est = PoaEstimator::new(&game);
+    let bracket = est.bracket(&profile).map_err(|e| e.to_string())?;
+    let (name, cost) = est.opt_upper();
+    let out = serde_json::json!({
+        "profile_cost": bracket.ne_cost,
+        "opt_upper_bound": cost,
+        "opt_upper_source": name,
+        "opt_lower_bound": bracket.opt_lower,
+        "poa_lower": bracket.poa_lower(),
+        "poa_upper": bracket.poa_upper(),
+    });
+    Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+}
+
+fn cmd_paper(args: &Args) -> Result<String, String> {
+    let figure = args.get_parsed("figure", 1usize)?;
+    match figure {
+        1 => {
+            let n = args.get_parsed("n", 10usize)?;
+            let alpha = args.get_parsed("alpha", 3.4f64)?;
+            let lb = LineLowerBound::new(n, alpha).map_err(|e| e.to_string())?;
+            let game = lb.game();
+            let profile = lb.equilibrium_profile();
+            let report =
+                is_nash(&game, &profile, &NashTest::exact()).map_err(|e| e.to_string())?;
+            let out = serde_json::json!({
+                "figure": 1,
+                "n": n,
+                "alpha": alpha,
+                "positions": lb.positions(),
+                "is_nash": report.is_nash(),
+                "equilibrium_cost": lb.equilibrium_cost().total(),
+                "reference_chain_cost": lb.reference_cost().total(),
+                "poa_lower_bound": lb.poa_lower_bound(),
+                "profile": ProfileSpec::from_profile(&profile),
+            });
+            Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+        }
+        2 | 3 => {
+            let k = args.get_parsed("k", 1usize)?;
+            let inst = NoEquilibriumInstance::paper(k);
+            let mut runner = DynamicsRunner::new(
+                inst.game(),
+                DynamicsConfig { max_rounds: 400, ..DynamicsConfig::default() },
+            );
+            let out = runner.run(StrategyProfile::empty(inst.n()));
+            let cycles = matches!(out.termination, Termination::Cycle { .. });
+            let certificate = if args.has("certify") && k == 1 {
+                match exhaustive_nash_scan(inst.game(), 1e-9).map_err(|e| e.to_string())? {
+                    ExhaustiveResult::NoEquilibrium { profiles_checked } => {
+                        serde_json::json!({
+                            "no_pure_nash_equilibrium": true,
+                            "profiles_checked": profiles_checked,
+                        })
+                    }
+                    ExhaustiveResult::FoundEquilibrium { .. } => {
+                        serde_json::json!({ "no_pure_nash_equilibrium": false })
+                    }
+                }
+            } else {
+                serde_json::Value::Null
+            };
+            let result = serde_json::json!({
+                "figure": figure,
+                "k": k,
+                "n": inst.n(),
+                "alpha": inst.game().alpha(),
+                "dynamics_cycles": cycles,
+                "certificate": certificate,
+            });
+            Ok(serde_json::to_string_pretty(&result).expect("plain data"))
+        }
+        other => Err(format!("unknown figure {other}; the paper has figures 1-3")),
+    }
+}
+
+const USAGE: &str = "\
+selfish-peers — the PODC 2006 selfish topology game, from the command line
+
+USAGE:
+    selfish-peers <COMMAND> [FLAGS]
+
+COMMANDS:
+    nash-check  --input <game.json|->                exact equilibrium check
+    dynamics    --input <game.json|-> [--max-rounds N] [--dot out.dot]
+                                                     run best-response dynamics
+    poa         --input <game.json|->                Price-of-Anarchy bracket
+    paper       --figure <1|2|3> [--n N] [--alpha A] [--k K] [--certify]
+                                                     regenerate paper instances
+    help                                             this message
+
+Game spec JSON: {\"alpha\": 2.0, \"positions_1d\": [0,1,3]} or
+\"points_2d\": [[x,y],...] or \"matrix\": [[...]], optional
+\"links\": [[from,to],...]. Output is always JSON on stdout.";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        "nash-check" => cmd_nash_check(&args),
+        "dynamics" => cmd_dynamics(&args),
+        "poa" => cmd_poa(&args),
+        "paper" => cmd_paper(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! JSON game specifications for the command-line interface.
+//!
+//! A [`GameSpec`] describes an instance in one of three ways — 1-D
+//! positions, 2-D points, or an explicit latency matrix — plus `α` and an
+//! optional initial link set:
+//!
+//! ```json
+//! { "alpha": 2.0, "positions_1d": [0.0, 1.0, 3.5] }
+//! { "alpha": 4.0, "points_2d": [[0,0],[3,4],[10,0]], "links": [[0,1],[1,2]] }
+//! { "alpha": 1.0, "matrix": [[0,1,2],[1,0,1.5],[2,1.5,0]] }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sp_core::{CoreError, Game, StrategyProfile};
+use sp_graph::DistanceMatrix;
+use sp_metric::{Euclidean2D, LineSpace, Point2};
+
+/// A declarative game instance, deserialisable from JSON.
+///
+/// Exactly one of `positions_1d`, `points_2d`, `matrix` must be present.
+///
+/// # Example
+///
+/// ```
+/// use selfish_peers::spec::GameSpec;
+///
+/// let spec: GameSpec = serde_json::from_str(
+///     r#"{ "alpha": 2.0, "positions_1d": [0.0, 1.0, 3.0] }"#
+/// ).unwrap();
+/// let (game, profile) = spec.build().unwrap();
+/// assert_eq!(game.n(), 3);
+/// assert_eq!(profile.link_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GameSpec {
+    /// The link-maintenance parameter `α`.
+    pub alpha: f64,
+    /// Peers on a line.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub positions_1d: Option<Vec<f64>>,
+    /// Peers in the plane, as `[x, y]` pairs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub points_2d: Option<Vec<[f64; 2]>>,
+    /// Explicit symmetric latency matrix (row-major rows).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub matrix: Option<Vec<Vec<f64>>>,
+    /// Initial directed links as `[from, to]` pairs (defaults to none).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub links: Option<Vec<[usize; 2]>>,
+}
+
+impl GameSpec {
+    /// Builds the game and the initial profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the spec is ambiguous (zero
+    /// or several geometry fields), geometrically invalid, or the links
+    /// are out of range.
+    pub fn build(&self) -> Result<(Game, StrategyProfile), String> {
+        let geoms =
+            usize::from(self.positions_1d.is_some()) + usize::from(self.points_2d.is_some())
+                + usize::from(self.matrix.is_some());
+        if geoms != 1 {
+            return Err(format!(
+                "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
+            ));
+        }
+        let game = if let Some(pos) = &self.positions_1d {
+            let space = LineSpace::new(pos.clone()).map_err(|e| e.to_string())?;
+            Game::from_space(&space, self.alpha).map_err(pretty_core)?
+        } else if let Some(points) = &self.points_2d {
+            let pts: Vec<Point2> = points
+                .iter()
+                .map(|&[x, y]| {
+                    if x.is_finite() && y.is_finite() {
+                        Ok(Point2::new(x, y))
+                    } else {
+                        Err("non-finite coordinate".to_owned())
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let space = Euclidean2D::new(pts).map_err(|e| e.to_string())?;
+            Game::from_space(&space, self.alpha).map_err(pretty_core)?
+        } else {
+            let rows = self.matrix.as_ref().expect("checked above");
+            let n = rows.len();
+            let mut flat = Vec::with_capacity(n * n);
+            for row in rows {
+                if row.len() != n {
+                    return Err(format!(
+                        "matrix must be square: row of {} in a {n}x{n} matrix",
+                        row.len()
+                    ));
+                }
+                flat.extend_from_slice(row);
+            }
+            let m = DistanceMatrix::from_row_major(n, flat).map_err(|e| e.to_string())?;
+            Game::new(m, self.alpha).map_err(pretty_core)?
+        };
+        let profile = match &self.links {
+            None => StrategyProfile::empty(game.n()),
+            Some(pairs) => {
+                let links: Vec<(usize, usize)> =
+                    pairs.iter().map(|&[a, b]| (a, b)).collect();
+                StrategyProfile::from_links(game.n(), &links).map_err(pretty_core)?
+            }
+        };
+        Ok((game, profile))
+    }
+
+    /// Convenience constructor from 1-D positions.
+    #[must_use]
+    pub fn from_line(alpha: f64, positions: Vec<f64>) -> Self {
+        GameSpec { alpha, positions_1d: Some(positions), ..GameSpec::default() }
+    }
+
+    /// Serialises a metric space snapshot of an existing game back into a
+    /// (matrix-form) spec, e.g. to hand a generated instance to the CLI.
+    #[must_use]
+    pub fn from_game(game: &Game, profile: &StrategyProfile) -> Self {
+        let n = game.n();
+        let matrix: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| game.distance(i, j)).collect()).collect();
+        let links: Vec<[usize; 2]> = profile
+            .links()
+            .map(|(a, b)| [a.index(), b.index()])
+            .collect();
+        GameSpec {
+            alpha: game.alpha(),
+            matrix: Some(matrix),
+            links: if links.is_empty() { None } else { Some(links) },
+            ..GameSpec::default()
+        }
+    }
+}
+
+fn pretty_core(e: CoreError) -> String {
+    e.to_string()
+}
+
+/// Serialisable description of a strategy profile, for CLI output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSpec {
+    /// Directed links as `[from, to]` pairs.
+    pub links: Vec<[usize; 2]>,
+}
+
+impl ProfileSpec {
+    /// Captures a profile.
+    #[must_use]
+    pub fn from_profile(profile: &StrategyProfile) -> Self {
+        ProfileSpec {
+            links: profile.links().map(|(a, b)| [a.index(), b.index()]).collect(),
+        }
+    }
+
+    /// Rebuilds the profile for a game of `n` peers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range or self-link entries.
+    pub fn to_profile(&self, n: usize) -> Result<StrategyProfile, String> {
+        let links: Vec<(usize, usize)> = self.links.iter().map(|&[a, b]| (a, b)).collect();
+        StrategyProfile::from_links(n, &links).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_spec_roundtrip() {
+        let spec = GameSpec::from_line(2.0, vec![0.0, 1.0, 4.0]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GameSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let (game, profile) = back.build().unwrap();
+        assert_eq!(game.n(), 3);
+        assert_eq!(game.alpha(), 2.0);
+        assert!(profile.link_count() == 0);
+    }
+
+    #[test]
+    fn points_spec_with_links() {
+        let spec: GameSpec = serde_json::from_str(
+            r#"{ "alpha": 1.0, "points_2d": [[0,0],[3,4]], "links": [[0,1],[1,0]] }"#,
+        )
+        .unwrap();
+        let (game, profile) = spec.build().unwrap();
+        assert_eq!(game.distance(0, 1), 5.0);
+        assert_eq!(profile.link_count(), 2);
+    }
+
+    #[test]
+    fn matrix_spec() {
+        let spec: GameSpec = serde_json::from_str(
+            r#"{ "alpha": 1.0, "matrix": [[0,1,2],[1,0,1.5],[2,1.5,0]] }"#,
+        )
+        .unwrap();
+        let (game, _) = spec.build().unwrap();
+        assert_eq!(game.distance(2, 1), 1.5);
+    }
+
+    #[test]
+    fn rejects_ambiguous_and_invalid_specs() {
+        let none: GameSpec = serde_json::from_str(r#"{ "alpha": 1.0 }"#).unwrap();
+        assert!(none.build().is_err());
+        let both: GameSpec = serde_json::from_str(
+            r#"{ "alpha": 1.0, "positions_1d": [0,1], "matrix": [[0,1],[1,0]] }"#,
+        )
+        .unwrap();
+        assert!(both.build().is_err());
+        let ragged: GameSpec = serde_json::from_str(
+            r#"{ "alpha": 1.0, "matrix": [[0,1],[1]] }"#,
+        )
+        .unwrap();
+        assert!(ragged.build().unwrap_err().contains("square"));
+        let bad_alpha: GameSpec =
+            serde_json::from_str(r#"{ "alpha": -1.0, "positions_1d": [0,1] }"#).unwrap();
+        assert!(bad_alpha.build().is_err());
+        let bad_link: GameSpec = serde_json::from_str(
+            r#"{ "alpha": 1.0, "positions_1d": [0,1], "links": [[0,7]] }"#,
+        )
+        .unwrap();
+        assert!(bad_link.build().is_err());
+    }
+
+    #[test]
+    fn from_game_roundtrips_semantics() {
+        let spec = GameSpec::from_line(3.0, vec![0.0, 2.0, 5.0]);
+        let (game, _) = spec.build().unwrap();
+        let profile = StrategyProfile::from_links(3, &[(0, 1), (2, 0)]).unwrap();
+        let back = GameSpec::from_game(&game, &profile);
+        let (game2, profile2) = back.build().unwrap();
+        assert_eq!(game2.n(), 3);
+        assert_eq!(game2.distance(0, 2), 5.0);
+        assert_eq!(profile2, profile);
+    }
+
+    #[test]
+    fn profile_spec_roundtrip() {
+        let p = StrategyProfile::from_links(4, &[(0, 3), (2, 1)]).unwrap();
+        let spec = ProfileSpec::from_profile(&p);
+        let back = spec.to_profile(4).unwrap();
+        assert_eq!(back, p);
+        assert!(spec.to_profile(2).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the `selfish-peers` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_selfish-peers");
+
+fn run(args: &[&str], stdin: Option<&str>) -> (bool, String, String) {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("binary spawns");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("write stdin");
+    }
+    let out = child.wait_with_output().expect("binary finishes");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn nash_check_on_a_line_chain() {
+    let spec = r#"{"alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0],
+                   "links": [[0,1],[1,0],[1,2],[2,1]]}"#;
+    let (ok, stdout, stderr) = run(&["nash-check", "--input", "-"], Some(spec));
+    assert!(ok, "stderr: {stderr}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["is_nash"], true);
+    assert_eq!(v["certified_exact"], true);
+    assert_eq!(v["social_cost"], 10.0);
+}
+
+#[test]
+fn nash_check_detects_deviation() {
+    let spec = r#"{"alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0]}"#;
+    let (ok, stdout, _) = run(&["nash-check", "--input", "-"], Some(spec));
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(v["is_nash"], false);
+    assert!(v["deviation"].is_object());
+}
+
+#[test]
+fn dynamics_converges_and_reports_profile() {
+    let spec = r#"{"alpha": 0.6, "positions_1d": [0.0, 1.0, 3.0]}"#;
+    let (ok, stdout, _) = run(&["dynamics", "--input", "-"], Some(spec));
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(v["termination"]["kind"], "converged");
+    assert!(v["profile"]["links"].as_array().unwrap().len() >= 4);
+}
+
+#[test]
+fn poa_brackets_order() {
+    let spec = r#"{"alpha": 2.0, "positions_1d": [0.0, 1.0, 2.0, 4.0],
+                   "links": [[0,1],[1,0],[1,2],[2,1],[2,3],[3,2]]}"#;
+    let (ok, stdout, _) = run(&["poa", "--input", "-"], Some(spec));
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let lo = v["poa_lower"].as_f64().unwrap();
+    let hi = v["poa_upper"].as_f64().unwrap();
+    assert!(lo <= hi + 1e-12);
+}
+
+#[test]
+fn paper_figure_1_verifies() {
+    let (ok, stdout, _) = run(&["paper", "--figure", "1", "--n", "8", "--alpha", "4.0"], None);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(v["is_nash"], true);
+    assert_eq!(v["positions"].as_array().unwrap().len(), 8);
+}
+
+#[test]
+fn paper_figure_2_cycles() {
+    let (ok, stdout, _) = run(&["paper", "--figure", "2", "--k", "1"], None);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(v["dynamics_cycles"], true);
+    assert_eq!(v["n"], 5);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = run(&["nash-check", "--input", "-"], Some("{not json"));
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    let (ok2, _, stderr2) = run(&["frobnicate"], None);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown command"));
+    let (ok3, _, _) = run(&["help"], None);
+    assert!(ok3);
+    // Ambiguous spec.
+    let (ok4, _, stderr4) = run(
+        &["nash-check", "--input", "-"],
+        Some(r#"{"alpha": 1.0}"#),
+    );
+    assert!(!ok4);
+    assert!(stderr4.contains("exactly one"));
+}
+
+#[test]
+fn dynamics_writes_dot_output() {
+    let dir = std::env::temp_dir().join("sp-cli-dot-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot_path = dir.join("overlay.dot");
+    let spec = r#"{"alpha": 0.6, "positions_1d": [0.0, 1.0, 3.0]}"#;
+    let (ok, _, stderr) = run(
+        &["dynamics", "--input", "-", "--dot", dot_path.to_str().unwrap()],
+        Some(spec),
+    );
+    assert!(ok, "stderr: {stderr}");
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("->"));
+    std::fs::remove_file(&dot_path).ok();
+}

@@ -1,0 +1,159 @@
+//! Integration: every experiment runs in quick mode and produces
+//! well-formed reports (the binaries are thin wrappers around these
+//! functions, so this covers the full reproduction pipeline).
+
+use selfish_peers::analysis::experiments;
+use selfish_peers::analysis::Report;
+
+fn assert_wellformed(r: &Report) {
+    assert!(!r.id.is_empty());
+    assert!(!r.title.is_empty());
+    assert!(!r.tables.is_empty(), "{}: no tables", r.id);
+    for t in &r.tables {
+        assert!(!t.rows.is_empty(), "{}: table {} empty", r.id, t.name);
+        for row in &t.rows {
+            assert_eq!(row.len(), t.headers.len(), "{}: ragged table {}", r.id, t.name);
+        }
+    }
+    // JSON round trip.
+    let back = Report::from_json(&r.to_json()).unwrap();
+    assert_eq!(r, &back);
+    // Human-readable output contains the id.
+    assert!(r.to_string().contains(&r.id));
+}
+
+#[test]
+fn e1_fig1_nash() {
+    let r = experiments::exp_fig1_nash(true);
+    assert_wellformed(&r);
+    // The guaranteed rows all verify.
+    for row in &r.tables[0].rows {
+        if row[2] == "true" {
+            assert_eq!(row[3], "true", "guaranteed but not Nash: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn e2_fig1_cost() {
+    assert_wellformed(&experiments::exp_fig1_cost(true));
+}
+
+#[test]
+fn e3_fig1_poa() {
+    assert_wellformed(&experiments::exp_fig1_poa(true));
+}
+
+#[test]
+fn e4_upper_bound() {
+    let r = experiments::exp_upper_bound(true, 42);
+    assert_wellformed(&r);
+    // Certified equilibria respect Theorem 4.1.
+    let t = &r.tables[0];
+    for row in &t.rows {
+        if row[6] == "true" {
+            let ms: f64 = row[4].parse().unwrap();
+            let bound: f64 = row[5].parse().unwrap();
+            assert!(ms <= bound + 1e-6, "stretch bound violated: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn e5_no_ne_quick() {
+    let r = experiments::exp_no_ne(true);
+    assert_wellformed(&r);
+    for row in &r.tables[0].rows {
+        assert_eq!(row[4], "cycle", "I_k dynamics must cycle: {row:?}");
+    }
+}
+
+#[test]
+fn e6_fig3() {
+    let r = experiments::exp_fig3_candidates();
+    assert_wellformed(&r);
+    assert_eq!(r.tables[0].rows.len(), 6);
+    // Every candidate admits a bottom-cluster deviation and the top stays
+    // content.
+    for row in &r.tables[0].rows {
+        assert_ne!(row[3], "NONE", "candidate without deviation: {row:?}");
+        assert_eq!(row[7], "true", "top cluster deviated: {row:?}");
+    }
+    // The improvement walk loops through the paper's cycle.
+    assert!(r.notes.iter().any(|n| n.contains("1 -> 3 -> 4 -> 2 -> 1")));
+}
+
+#[test]
+fn e7_convergence() {
+    assert_wellformed(&experiments::exp_convergence(true, 42));
+}
+
+#[test]
+fn e8_fabrikant() {
+    assert_wellformed(&experiments::exp_fabrikant(true, 42));
+}
+
+#[test]
+fn e9_baselines() {
+    assert_wellformed(&experiments::exp_baselines(true));
+}
+
+#[test]
+fn e10_epsilon_stability() {
+    let r = experiments::exp_epsilon_stability(true);
+    assert_wellformed(&r);
+    let t = &r.tables[0];
+    // Exact tolerance cycles; the coarsest tolerance converges.
+    assert_eq!(t.rows.first().unwrap()[1], "cycle");
+    assert_eq!(t.rows.last().unwrap()[1], "converged");
+}
+
+#[test]
+fn e11_topology_shape() {
+    let r = experiments::exp_topology_shape(true, 42);
+    assert_wellformed(&r);
+    let t = &r.tables[0];
+    // More α, fewer links.
+    let links: Vec<usize> = t.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+    assert!(links.first().unwrap() > links.last().unwrap());
+}
+
+#[test]
+fn e12_resilience() {
+    let r = experiments::exp_resilience(true, 42);
+    assert_wellformed(&r);
+    let t = &r.tables[0];
+    let complete = t.rows.iter().find(|row| row[0] == "complete").unwrap();
+    assert_eq!(complete[2], "1.000");
+    assert_eq!(complete[3], "0");
+}
+
+#[test]
+fn e13_simultaneous() {
+    let r = experiments::exp_simultaneous(true, 42);
+    assert_wellformed(&r);
+    // The I_1 note must report a cycle.
+    assert!(r.notes.iter().any(|n| n.contains("cycle")));
+}
+
+#[test]
+fn e14_greedy_routing() {
+    let r = experiments::exp_greedy_routing(true, 42);
+    assert_wellformed(&r);
+    // The complete overlay is perfectly greedy-routable.
+    let complete = r.tables[0].rows.iter().find(|row| row[1] == "complete").unwrap();
+    assert_eq!(complete[2], "1.000");
+    assert_eq!(complete[3], "1.000");
+}
+
+#[test]
+fn e15_response_graph() {
+    let r = experiments::exp_response_graph(true, 42);
+    assert_wellformed(&r);
+    for row in &r.tables[0].rows {
+        // 4-peer games: 2^12 profiles; random metrics always have at least
+        // one equilibrium and are sink-reachable from everywhere.
+        assert_eq!(row[1], "4096");
+        assert_ne!(row[3], "0");
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration: the Figure 1 lower bound across crates — constructions
+//! build it, core verifies it, analysis brackets it.
+
+use selfish_peers::prelude::*;
+use sp_core::{max_stretch, nash_gap, BestResponseMethod};
+
+#[test]
+fn lemma_4_2_certified_at_threshold() {
+    let lb = LineLowerBound::new(9, 3.4).unwrap();
+    let report = is_nash(&lb.game(), &lb.equilibrium_profile(), &NashTest::exact()).unwrap();
+    assert!(report.is_nash());
+    assert!(report.certified_exact);
+}
+
+#[test]
+fn lemma_4_2_certified_well_above_threshold() {
+    for alpha in [5.0, 12.0, 40.0] {
+        let lb = LineLowerBound::new(7, alpha).unwrap();
+        let gap = nash_gap(&lb.game(), &lb.equilibrium_profile(), BestResponseMethod::Exact)
+            .unwrap();
+        assert!(gap <= 1e-9, "alpha={alpha}: gap {gap}");
+    }
+}
+
+#[test]
+fn theorem_4_1_stretch_bound_holds_in_the_figure_1_equilibrium() {
+    for (n, alpha) in [(8usize, 3.4f64), (12, 6.0), (20, 4.0)] {
+        let lb = LineLowerBound::new(n, alpha).unwrap();
+        let ms = max_stretch(&lb.game(), &lb.equilibrium_profile()).unwrap();
+        assert!(ms <= alpha + 1.0 + 1e-9, "n={n} alpha={alpha}: stretch {ms}");
+    }
+}
+
+#[test]
+fn theorem_4_4_poa_bracket_contains_min_alpha_n_behaviour() {
+    // On the Figure 1 instance the PoA lower bound must both grow with α
+    // and stay below the theoretical ceiling.
+    let mut last = 0.0;
+    for alpha in [3.4, 8.0, 20.0, 45.0] {
+        let lb = LineLowerBound::new(61, alpha).unwrap();
+        let poa = lb.poa_lower_bound();
+        assert!(poa > last, "PoA must grow with alpha: {poa} after {last}");
+        assert!(poa <= alpha.min(61.0) + 1.0, "PoA {poa} above the min(α,n) ceiling");
+        last = poa;
+    }
+}
+
+#[test]
+fn dynamics_from_equilibrium_stays_put() {
+    let lb = LineLowerBound::new(8, 4.0).unwrap();
+    let game = lb.game();
+    let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+    let out = runner.run(lb.equilibrium_profile());
+    assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+    assert_eq!(out.moves, 0);
+    assert_eq!(out.profile, lb.equilibrium_profile());
+}
+
+#[test]
+fn reference_chain_is_best_baseline_on_the_line() {
+    let lb = LineLowerBound::new(12, 3.4).unwrap();
+    let game = lb.game();
+    let best = baselines::best_baseline(&game);
+    // On a line, the chain/MST (identical here) is unbeatable among the
+    // baselines: stretch 1 with minimal links.
+    let chain_cost = lb.reference_cost().total();
+    assert!(best.cost.total() <= chain_cost + 1e-9);
+    assert!((best.cost.total() - chain_cost).abs() < 1e-6, "best: {}", best.name);
+}

@@ -1,0 +1,128 @@
+//! Integration: Theorem 5.1 across crates — the instance builder, the
+//! dynamics engine's cycle proof, the candidate analysis, and (the heavy
+//! part) the exhaustive no-equilibrium certificate.
+
+use selfish_peers::analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
+use selfish_peers::constructions::no_ne::{CandidateState, Cluster};
+use selfish_peers::prelude::*;
+use sp_core::{best_response, BestResponseMethod};
+
+#[test]
+fn dynamics_provably_cycles_on_i1_from_every_start() {
+    let inst = NoEquilibriumInstance::paper(1);
+    for start in [
+        StrategyProfile::empty(5),
+        StrategyProfile::complete(5),
+        inst.candidate_profile(CandidateState::S1),
+        inst.candidate_profile(CandidateState::S4),
+    ] {
+        let mut runner = DynamicsRunner::new(
+            inst.game(),
+            DynamicsConfig { max_rounds: 200, ..DynamicsConfig::default() },
+        );
+        let out = runner.run(start);
+        assert!(
+            matches!(out.termination, Termination::Cycle { .. }),
+            "expected a cycle, got {:?}",
+            out.termination
+        );
+    }
+}
+
+#[test]
+fn dynamics_cycles_for_k2() {
+    let inst = NoEquilibriumInstance::paper(2);
+    let mut runner = DynamicsRunner::new(
+        inst.game(),
+        DynamicsConfig { max_rounds: 300, ..DynamicsConfig::default() },
+    );
+    let out = runner.run(StrategyProfile::empty(10));
+    assert!(matches!(out.termination, Termination::Cycle { .. }));
+}
+
+#[test]
+fn figure_3_cycle_structure() {
+    // The bottom-cluster deviations walk 1 -> 3 -> 4 -> 2 -> 1.
+    let inst = NoEquilibriumInstance::paper(1);
+    let game = inst.game();
+    let expected = [(1, 3), (3, 4), (4, 2), (2, 1)];
+    for (from, to) in expected {
+        let state = CandidateState::ALL[from - 1];
+        assert_eq!(state.case_number(), from);
+        let profile = inst.candidate_profile(state);
+        // Find the best bottom-cluster deviation.
+        let mut best: Option<(sp_core::PeerId, LinkSet, f64)> = None;
+        for c in [Cluster::Bottom1, Cluster::Bottom2] {
+            let p = inst.representative(c);
+            let br = best_response(game, &profile, p, BestResponseMethod::Exact).unwrap();
+            if br.improves(1e-9) {
+                let replace = best.as_ref().is_none_or(|(_, _, imp)| br.improvement() > *imp);
+                if replace {
+                    best = Some((p, br.links.clone(), br.improvement()));
+                }
+            }
+        }
+        let (peer, links, _) = best.expect("every cycle state has a bottom deviation");
+        let next = profile.with_strategy(peer, links).unwrap();
+        let next_state = inst.classify(&next).expect("deviation stays in the family");
+        assert_eq!(next_state.case_number(), to, "transition from case {from}");
+    }
+}
+
+#[test]
+fn top_clusters_are_content_in_all_candidates() {
+    let inst = NoEquilibriumInstance::paper(1);
+    let game = inst.game();
+    for s in CandidateState::ALL {
+        let profile = inst.candidate_profile(s);
+        for c in [Cluster::TopA, Cluster::TopB, Cluster::TopC] {
+            let p = inst.representative(c);
+            let br = best_response(game, &profile, p, BestResponseMethod::Exact).unwrap();
+            assert!(
+                !br.improves(1e-9),
+                "case {}: top peer {} wants to deviate",
+                s.case_number(),
+                c.label()
+            );
+        }
+    }
+}
+
+/// The exhaustive certificate: all 2^20 profiles of `I_1` scanned.
+/// A few seconds with the optimized test profile.
+#[test]
+fn exhaustive_certificate_no_pure_nash_equilibrium() {
+    let inst = NoEquilibriumInstance::paper(1);
+    let result = exhaustive_nash_scan(inst.game(), 1e-9).unwrap();
+    match result {
+        ExhaustiveResult::NoEquilibrium { profiles_checked } => {
+            assert_eq!(profiles_checked, 1 << 20);
+        }
+        ExhaustiveResult::FoundEquilibrium { profile, .. } => {
+            panic!("Theorem 5.1 violated?! equilibrium: {profile}");
+        }
+    }
+}
+
+#[test]
+fn perturbed_geometry_often_has_equilibria() {
+    // Sanity check that the certificate is meaningful: flattening the
+    // instance (moving the top clusters down to the bottom line, widely
+    // separated) yields an essentially 1-D geometry, which stabilises.
+    use selfish_peers::constructions::no_ne::NoNeParams;
+    use selfish_peers::metric::Point2;
+    let mut params = NoNeParams::paper(1);
+    params.centers = [
+        Point2::new(0.0, 0.0),
+        Point2::new(0.98, 0.0),
+        Point2::new(2.0, 0.0),
+        Point2::new(3.1, 0.0),
+        Point2::new(4.3, 0.0),
+    ];
+    let inst = NoEquilibriumInstance::new(params).unwrap();
+    let result = exhaustive_nash_scan(inst.game(), 1e-9).unwrap();
+    assert!(
+        !result.proves_no_equilibrium(),
+        "the flattened geometry should admit an equilibrium"
+    );
+}

@@ -1,0 +1,82 @@
+//! Integration: the quickstart flow end to end — random placement,
+//! dynamics to convergence, exact equilibrium certification, cost
+//! inspection, PoA bracketing. Spans metric + core + dynamics + analysis.
+
+use rand::prelude::*;
+use selfish_peers::prelude::*;
+use sp_core::{max_stretch, social_cost};
+use sp_metric::generators;
+
+#[test]
+fn random_instance_stabilises_into_certified_equilibrium() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let space = generators::uniform_square(10, 100.0, &mut rng);
+    let game = Game::from_space(&space, 4.0).unwrap();
+
+    let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+    let outcome = runner.run(StrategyProfile::empty(game.n()));
+    assert!(matches!(outcome.termination, Termination::Converged { .. }));
+
+    let report = is_nash(&game, &outcome.profile, &NashTest::exact()).unwrap();
+    assert!(report.is_nash());
+    assert!(report.certified_exact);
+
+    // Theorem 4.1 in action.
+    let stretch = max_stretch(&game, &outcome.profile).unwrap();
+    assert!(stretch <= game.alpha() + 1.0 + 1e-9);
+
+    // Costs are consistent.
+    let sc = social_cost(&game, &outcome.profile).unwrap();
+    assert!(sc.is_connected());
+    let per_peer: f64 = report.peer_costs.iter().sum();
+    assert!((sc.total() - per_peer).abs() < 1e-6 * (1.0 + per_peer));
+
+    // PoA bracket sane.
+    let est = PoaEstimator::new(&game);
+    let bracket = est.bracket(&outcome.profile).unwrap();
+    assert!(bracket.poa_lower() <= bracket.poa_upper() + 1e-12);
+    assert!(bracket.poa_upper() >= 1.0 - 1e-9);
+}
+
+#[test]
+fn different_schedules_reach_equilibria_of_similar_quality() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let space = generators::uniform_square(8, 50.0, &mut rng);
+    let game = Game::from_space(&space, 2.0).unwrap();
+    let mut costs = Vec::new();
+    for schedule in [
+        Schedule::RoundRobin,
+        Schedule::RandomPermutation { seed: 1 },
+        Schedule::UniformRandom { seed: 2 },
+    ] {
+        let config = DynamicsConfig { schedule, ..DynamicsConfig::default() };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(StrategyProfile::empty(8));
+        assert!(matches!(out.termination, Termination::Converged { .. }));
+        costs.push(social_cost(&game, &out.profile).unwrap().total());
+    }
+    // Different equilibria are fine, wildly different quality is not
+    // (they all respect the same Theorem 4.1 bounds).
+    let lo = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = costs.iter().copied().fold(0.0f64, f64::max);
+    assert!(hi / lo < 3.0, "equilibrium quality spread too wide: {costs:?}");
+}
+
+#[test]
+fn better_response_dynamics_reaches_link_stable_state() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let space = generators::uniform_square(8, 50.0, &mut rng);
+    let game = Game::from_space(&space, 2.0).unwrap();
+    let config = DynamicsConfig {
+        rule: ResponseRule::BetterResponse,
+        ..DynamicsConfig::default()
+    };
+    let mut runner = DynamicsRunner::new(&game, config);
+    let out = runner.run(StrategyProfile::empty(8));
+    assert!(matches!(out.termination, Termination::Converged { .. }));
+    for i in 0..8 {
+        assert!(sp_core::first_improving_move(&game, &out.profile, PeerId::new(i), 1e-9)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration: the lookup simulator against the analytical model, across
+//! equilibria, baselines, and failure scenarios.
+
+use rand::prelude::*;
+use selfish_peers::prelude::*;
+use selfish_peers::sim::workload;
+use sp_core::{social_cost, stretch_matrix};
+use sp_metric::generators;
+
+fn converged_equilibrium(n: usize, alpha: f64, seed: u64) -> (Game, StrategyProfile) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = generators::uniform_square(n, 100.0, &mut rng);
+    let game = Game::from_space(&space, alpha).unwrap();
+    let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
+    let out = runner.run(StrategyProfile::empty(n));
+    assert!(matches!(out.termination, Termination::Converged { .. }));
+    (game, out.profile)
+}
+
+#[test]
+fn simulated_workload_reproduces_the_social_stretch_cost() {
+    let (game, profile) = converged_equilibrium(10, 4.0, 3);
+    let sim = LookupSimulator::new(&game, &profile, SimConfig::default()).unwrap();
+    let stats = sim.run_workload(&workload::all_pairs(10));
+    assert_eq!(stats.success_rate(), 1.0);
+    // Sum of measured stretches equals the analytical C_S exactly.
+    let measured: f64 = stats.results.iter().filter_map(|r| r.stretch(&game)).sum();
+    let analytic = social_cost(&game, &profile).unwrap().stretch_cost;
+    assert!(
+        (measured - analytic).abs() < 1e-6 * (1.0 + analytic),
+        "measured {measured} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn greedy_routing_on_equilibria_is_partial_but_consistent() {
+    let (game, profile) = converged_equilibrium(12, 4.0, 5);
+    let greedy = LookupSimulator::new(
+        &game,
+        &profile,
+        SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+    )
+    .unwrap();
+    let stretches = stretch_matrix(&game, &profile).unwrap();
+    for (s, d) in workload::all_pairs(12) {
+        let r = greedy.lookup(s, d);
+        if r.delivered {
+            // Greedy latency is at least the shortest-path latency.
+            let measured = r.stretch(&game).unwrap();
+            assert!(measured >= stretches[(s, d)] - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn hotspot_workload_latency_tracks_demand_game_costs() {
+    // Build a hotspot demand game, settle it, and verify the simulator's
+    // hotspot workload sees low latency toward the hot peer.
+    use selfish_peers::core::demand::{DemandGame, TrafficDemands};
+    let mut rng = StdRng::seed_from_u64(9);
+    let space = generators::uniform_square(8, 100.0, &mut rng);
+    let base = Game::from_space(&space, 6.0).unwrap();
+    let dg = DemandGame::new(base.clone(), TrafficDemands::hotspot(8, 0, 20.0)).unwrap();
+    let (profile, converged) = dg.best_response_dynamics(StrategyProfile::empty(8), 100).unwrap();
+    assert!(converged);
+    let sim = LookupSimulator::new(&base, &profile, SimConfig::default()).unwrap();
+    let pairs = workload::hotspot_pairs(8, 0, 100, &mut rng);
+    let stats = sim.run_workload(&pairs);
+    assert_eq!(stats.success_rate(), 1.0);
+    // Lookups toward the hotspot are near-direct: mean stretch close to 1.
+    let mean = stats.mean_stretch(&base).unwrap();
+    assert!(mean < 1.3, "hotspot stretch should be near 1, got {mean}");
+}
+
+#[test]
+fn failures_degrade_lookups_consistently_with_resilience_analysis() {
+    use selfish_peers::analysis::resilience::single_failure_impact;
+    let (game, profile) = converged_equilibrium(10, 4.0, 11);
+    // Pick some peer to kill; the simulator (stale tables) must lose at
+    // least the pairs the resilience analysis says are disconnected.
+    for victim in 0..4 {
+        let impact = single_failure_impact(&game, &profile, victim).unwrap();
+        let mut sim = LookupSimulator::new(&game, &profile, SimConfig::default()).unwrap();
+        sim.kill_peers(&[victim]);
+        let pairs: Vec<(usize, usize)> = workload::all_pairs(10)
+            .into_iter()
+            .filter(|&(s, d)| s != victim && d != victim)
+            .collect();
+        let stats = sim.run_workload(&pairs);
+        let lost = stats.results.iter().filter(|r| !r.delivered).count();
+        assert!(
+            lost >= impact.disconnected_pairs,
+            "victim {victim}: stale-table losses {lost} < structural losses {}",
+            impact.disconnected_pairs
+        );
+    }
+}
