@@ -87,7 +87,9 @@ pub fn exhaustive_nash_scan(game: &Game, tolerance: f64) -> Result<ExhaustiveRes
             });
         }
     }
-    Ok(ExhaustiveResult::NoEquilibrium { profiles_checked: checked })
+    Ok(ExhaustiveResult::NoEquilibrium {
+        profiles_checked: checked,
+    })
 }
 
 /// Cross-checks the fast scanner against the general-purpose machinery on
@@ -102,7 +104,9 @@ pub fn agrees_with_reference(game: &Game, profile: &StrategyProfile) -> bool {
     let fast = FastGame::new(game).expect("size checked");
     let masks = fast.unpack(fast.encode(profile));
     let fast_verdict = fast.is_nash(&masks, 1e-9);
-    let slow = is_nash(game, profile, &NashTest::exact()).expect("valid inputs").is_nash();
+    let slow = is_nash(game, profile, &NashTest::exact())
+        .expect("valid inputs")
+        .is_nash();
     fast_verdict == slow
 }
 
@@ -144,8 +148,7 @@ mod tests {
             exhaustive_nash_scan(&game, 1e-9).unwrap()
         {
             assert!(agrees_with_reference(&game, &profile));
-            let report =
-                sp_core::is_nash(&game, &profile, &sp_core::NashTest::exact()).unwrap();
+            let report = sp_core::is_nash(&game, &profile, &sp_core::NashTest::exact()).unwrap();
             assert!(report.is_nash(), "fast scanner found a fake equilibrium");
         } else {
             panic!("line games have equilibria");

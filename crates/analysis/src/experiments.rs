@@ -8,10 +8,7 @@ use sp_constructions::baselines;
 use sp_constructions::fabrikant::FabrikantGame;
 use sp_constructions::line::LineLowerBound;
 use sp_constructions::no_ne::{CandidateState, Cluster, NoEquilibriumInstance};
-use sp_core::{
-    is_nash, max_stretch, nash_gap, social_cost, BestResponseMethod, Game, NashTest,
-    StrategyProfile,
-};
+use sp_core::{nash_gap, BestResponseMethod, Game, GameSession, NashTest, StrategyProfile};
 use sp_dynamics::{DynamicsConfig, DynamicsRunner, ResponseRule, Schedule, Termination};
 use sp_metric::generators;
 
@@ -24,9 +21,16 @@ use crate::{Report, Table};
 /// `α ≥ 3.4` (verified with exact best responses).
 #[must_use]
 pub fn exp_fig1_nash(quick: bool) -> Report {
-    let mut report = Report::new("E1", "Lemma 4.2: Figure 1 line construction is Nash for α ≥ 3.4");
+    let mut report = Report::new(
+        "E1",
+        "Lemma 4.2: Figure 1 line construction is Nash for α ≥ 3.4",
+    );
     report.push_note("exact best responses via branch-and-bound facility location");
-    let sizes: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10, 12, 14] };
+    let sizes: &[usize] = if quick {
+        &[4, 6, 8]
+    } else {
+        &[4, 6, 8, 10, 12, 14]
+    };
     let alphas = [2.5, 3.0, 3.4, 4.0, 6.0, 10.0];
     let mut t = Table::new(vec!["n", "alpha", "guaranteed", "is_nash", "max_gain"]);
     for &n in sizes {
@@ -56,9 +60,12 @@ pub fn exp_fig1_nash(quick: bool) -> Report {
 #[must_use]
 pub fn exp_fig1_cost(quick: bool) -> Report {
     let mut report = Report::new("E2", "Lemma 4.3: equilibrium social cost is Θ(αn²)");
-    let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64, 128, 256] };
-    let mut t =
-        Table::new(vec!["alpha", "n", "C_E", "C_S", "C", "C/(αn²)"]);
+    let sizes: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
+    let mut t = Table::new(vec!["alpha", "n", "C_E", "C_S", "C", "C/(αn²)"]);
     for alpha in [3.4, 10.0] {
         for &n in sizes {
             let Ok(lb) = LineLowerBound::new(n, alpha) else {
@@ -84,10 +91,17 @@ pub fn exp_fig1_cost(quick: bool) -> Report {
 /// is `Θ(min(α, n))`.
 #[must_use]
 pub fn exp_fig1_poa(quick: bool) -> Report {
-    let mut report =
-        Report::new("E3", "Theorem 4.4: Price of Anarchy grows as Θ(min(α, n))");
-    let sizes: &[usize] = if quick { &[11, 21, 41] } else { &[11, 21, 41, 81, 161] };
-    let alphas: &[f64] = if quick { &[3.4, 10.0, 25.0] } else { &[3.4, 10.0, 25.0, 50.0, 100.0] };
+    let mut report = Report::new("E3", "Theorem 4.4: Price of Anarchy grows as Θ(min(α, n))");
+    let sizes: &[usize] = if quick {
+        &[11, 21, 41]
+    } else {
+        &[11, 21, 41, 81, 161]
+    };
+    let alphas: &[f64] = if quick {
+        &[3.4, 10.0, 25.0]
+    } else {
+        &[3.4, 10.0, 25.0, 50.0, 100.0]
+    };
     let mut t = Table::new(vec![
         "n",
         "alpha",
@@ -136,9 +150,21 @@ pub fn exp_upper_bound(quick: bool, seed: u64) -> Report {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let sizes: &[usize] = if quick { &[8] } else { &[8, 12, 16] };
-    let alphas: &[f64] = if quick { &[2.0, 8.0] } else { &[0.5, 2.0, 8.0, 32.0] };
+    let alphas: &[f64] = if quick {
+        &[2.0, 8.0]
+    } else {
+        &[0.5, 2.0, 8.0, 32.0]
+    };
     let mut t = Table::new(vec![
-        "metric", "n", "alpha", "converged", "max_stretch", "α+1", "nash", "PoA_lb", "PoA_ub",
+        "metric",
+        "n",
+        "alpha",
+        "converged",
+        "max_stretch",
+        "α+1",
+        "nash",
+        "PoA_lb",
+        "PoA_ub",
         "min(α,n)",
     ]);
     for &n in sizes {
@@ -171,16 +197,21 @@ pub fn exp_upper_bound(quick: bool, seed: u64) -> Report {
             ];
             for (name, game) in metrics {
                 let n_eff = game.n();
+                let mut session = GameSession::new(game.clone(), StrategyProfile::empty(n_eff))
+                    .expect("sizes match");
                 let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-                let out = runner.run(StrategyProfile::empty(n_eff));
+                let out = runner.run_session(&mut session);
                 let converged = matches!(out.termination, Termination::Converged { .. });
-                let ms = max_stretch(&game, &out.profile).expect("sizes match");
+                // All post-run measurements share the dynamics session's
+                // cached overlay distances.
+                let ms = session.max_stretch();
                 let nash = converged
-                    && is_nash(&game, &out.profile, &NashTest::exact())
+                    && session
+                        .is_nash(&NashTest::exact())
                         .expect("valid")
                         .is_nash();
                 let est = PoaEstimator::new(&game);
-                let bracket = est.bracket(&out.profile).expect("sizes match");
+                let bracket = est.bracket_session(&mut session);
                 t.push_row(vec![
                     name.to_owned(),
                     n_eff.to_string(),
@@ -208,8 +239,10 @@ pub fn exp_upper_bound(quick: bool, seed: u64) -> Report {
 /// best-response dynamics provably cycles.
 #[must_use]
 pub fn exp_no_ne(quick: bool) -> Report {
-    let mut report =
-        Report::new("E5", "Theorem 5.1: I_k has no pure Nash equilibrium (dynamics cycles)");
+    let mut report = Report::new(
+        "E5",
+        "Theorem 5.1: I_k has no pure Nash equilibrium (dynamics cycles)",
+    );
     // Part 1: exhaustive certificate for k = 1.
     if quick {
         report.push_note("(--quick: exhaustive 2^20 certificate skipped)");
@@ -221,7 +254,10 @@ pub fn exp_no_ne(quick: bool) -> Report {
                     "k=1: CERTIFIED no pure Nash equilibrium (all {profiles_checked} profiles checked)"
                 ));
             }
-            ExhaustiveResult::FoundEquilibrium { profile, profiles_checked } => {
+            ExhaustiveResult::FoundEquilibrium {
+                profile,
+                profiles_checked,
+            } => {
                 report.push_note(format!(
                     "k=1: UNEXPECTED equilibrium after {profiles_checked} profiles: {profile}"
                 ));
@@ -231,7 +267,14 @@ pub fn exp_no_ne(quick: bool) -> Report {
     // Part 2: dynamics cycling for k = 1, 2, 3.
     let ks: &[usize] = if quick { &[1] } else { &[1, 2, 3] };
     let mut t = Table::new(vec![
-        "k", "n", "alpha", "start", "termination", "steps", "period", "moves_in_cycle",
+        "k",
+        "n",
+        "alpha",
+        "start",
+        "termination",
+        "steps",
+        "period",
+        "moves_in_cycle",
     ]);
     for &k in ks {
         let inst = NoEquilibriumInstance::paper(k);
@@ -244,14 +287,19 @@ pub fn exp_no_ne(quick: bool) -> Report {
         for (name, start) in starts {
             let mut runner = DynamicsRunner::new(
                 inst.game(),
-                DynamicsConfig { max_rounds: 400, ..DynamicsConfig::default() },
+                DynamicsConfig {
+                    max_rounds: 400,
+                    ..DynamicsConfig::default()
+                },
             );
             let out = runner.run(start);
             let (term, period, mic) = match out.termination {
                 Termination::Converged { .. } => ("CONVERGED (unexpected)", 0, 0),
-                Termination::Cycle { period_steps, moves_in_cycle, .. } => {
-                    ("cycle", period_steps, moves_in_cycle)
-                }
+                Termination::Cycle {
+                    period_steps,
+                    moves_in_cycle,
+                    ..
+                } => ("cycle", period_steps, moves_in_cycle),
                 Termination::RoundLimit => ("round-limit", 0, 0),
             };
             t.push_row(vec![
@@ -276,12 +324,17 @@ pub fn exp_no_ne(quick: bool) -> Report {
 /// deviations reproduces the improvement cycle `1 → 3 → 4 → 2 → 1`.
 #[must_use]
 pub fn exp_fig3_candidates() -> Report {
-    let mut report =
-        Report::new("E6", "Figure 3: all six candidate topologies are unstable");
+    let mut report = Report::new("E6", "Figure 3: all six candidate topologies are unstable");
     let inst = NoEquilibriumInstance::paper(1);
     let game = inst.game();
     let mut t = Table::new(vec![
-        "case", "Π1 links", "Π2 link", "deviator", "old_cost", "new_cost", "next_state",
+        "case",
+        "Π1 links",
+        "Π2 link",
+        "deviator",
+        "old_cost",
+        "new_cost",
+        "next_state",
         "top_stable",
     ]);
     let mut transitions: Vec<(usize, Option<usize>)> = Vec::new();
@@ -307,12 +360,14 @@ pub fn exp_fig3_candidates() -> Report {
             }
         }
         // Are the top clusters already playing best responses?
-        let top_stable = [Cluster::TopA, Cluster::TopB, Cluster::TopC].iter().all(|&c| {
-            let p = inst.representative(c);
-            !sp_core::best_response(game, &profile, p, BestResponseMethod::Exact)
-                .expect("valid inputs")
-                .improves(1e-9)
-        });
+        let top_stable = [Cluster::TopA, Cluster::TopB, Cluster::TopC]
+            .iter()
+            .all(|&c| {
+                let p = inst.representative(c);
+                !sp_core::best_response(game, &profile, p, BestResponseMethod::Exact)
+                    .expect("valid inputs")
+                    .improves(1e-9)
+            });
         match best {
             None => {
                 transitions.push((s.case_number(), None));
@@ -328,8 +383,7 @@ pub fn exp_fig3_candidates() -> Report {
                 ]);
             }
             Some((peer, links, old, new)) => {
-                let next =
-                    profile.with_strategy(peer, links).expect("valid deviation");
+                let next = profile.with_strategy(peer, links).expect("valid deviation");
                 let next_case = inst.classify(&next).map(CandidateState::case_number);
                 transitions.push((s.case_number(), next_case));
                 t.push_row(vec![
@@ -339,8 +393,7 @@ pub fn exp_fig3_candidates() -> Report {
                     inst.cluster_of(peer).label().to_owned(),
                     fmt_f64(old),
                     fmt_f64(new),
-                    next_case
-                        .map_or_else(|| "outside family".to_owned(), |c| format!("case {c}")),
+                    next_case.map_or_else(|| "outside family".to_owned(), |c| format!("case {c}")),
                     top_stable.to_string(),
                 ]);
             }
@@ -362,7 +415,10 @@ pub fn exp_fig3_candidates() -> Report {
     }
     report.push_note(format!(
         "improvement walk from case 1: {}",
-        path.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> ")
+        path.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ")
     ));
     report.push_note(
         "expected shape: no candidate stable, top clusters content in the cycling \
@@ -386,13 +442,18 @@ fn inst_cluster_label(c: Cluster) -> String {
 /// instances, across schedules and response rules.
 #[must_use]
 pub fn exp_convergence(quick: bool, seed: u64) -> Report {
-    let mut report =
-        Report::new("E7", "Convergence statistics on random 2-D instances");
+    let mut report = Report::new("E7", "Convergence statistics on random 2-D instances");
     let sizes: &[usize] = if quick { &[8] } else { &[8, 12, 16] };
     let alphas: &[f64] = if quick { &[4.0] } else { &[1.0, 4.0, 16.0] };
     let runs = if quick { 3 } else { 10 };
     let mut t = Table::new(vec![
-        "n", "alpha", "schedule", "rule", "runs", "converged", "mean_steps",
+        "n",
+        "alpha",
+        "schedule",
+        "rule",
+        "runs",
+        "converged",
+        "mean_steps",
     ]);
     for &n in sizes {
         for &alpha in alphas {
@@ -453,7 +514,13 @@ pub fn exp_fabrikant(quick: bool, seed: u64) -> Report {
     let sizes: &[usize] = if quick { &[6] } else { &[6, 8, 10] };
     let alphas: &[f64] = if quick { &[1.5] } else { &[0.5, 1.5, 3.0] };
     let mut t = Table::new(vec![
-        "game", "n", "alpha", "converged", "links", "max_out_degree", "social_cost",
+        "game",
+        "n",
+        "alpha",
+        "converged",
+        "links",
+        "max_out_degree",
+        "social_cost",
     ]);
     for &n in sizes {
         for &alpha in alphas {
@@ -481,8 +548,10 @@ pub fn exp_fabrikant(quick: bool, seed: u64) -> Report {
             // Stretch game on a uniform square of the same size.
             let space = generators::uniform_square(n, 100.0, &mut rng);
             let game = Game::from_space(&space, alpha).expect("valid");
+            let mut session =
+                GameSession::new(game.clone(), StrategyProfile::empty(n)).expect("sizes match");
             let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-            let out = runner.run(StrategyProfile::empty(n));
+            let out = runner.run_session(&mut session);
             let topo = sp_core::topology(&game, &out.profile).expect("sizes match");
             t.push_row(vec![
                 "stretch".to_owned(),
@@ -491,7 +560,7 @@ pub fn exp_fabrikant(quick: bool, seed: u64) -> Report {
                 matches!(out.termination, Termination::Converged { .. }).to_string(),
                 out.profile.link_count().to_string(),
                 topo.max_out_degree().to_string(),
-                fmt_f64(social_cost(&game, &out.profile).expect("sizes match").total()),
+                fmt_f64(session.social_cost().total()),
             ]);
         }
     }
@@ -507,10 +576,21 @@ pub fn exp_fabrikant(quick: bool, seed: u64) -> Report {
 /// around `α = √n`.
 #[must_use]
 pub fn exp_baselines(quick: bool) -> Report {
-    let mut report =
-        Report::new("E9", "Baseline overlays: who wins at which α (footnote 2, Tulip)");
+    let mut report = Report::new(
+        "E9",
+        "Baseline overlays: who wins at which α (footnote 2, Tulip)",
+    );
     let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
-    let mut t = Table::new(vec!["n", "alpha", "winner", "complete", "star", "chain", "mst", "hub(√n)"]);
+    let mut t = Table::new(vec![
+        "n",
+        "alpha",
+        "winner",
+        "complete",
+        "star",
+        "chain",
+        "mst",
+        "hub(√n)",
+    ]);
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(1000 + n as u64);
         let space = generators::uniform_square(n, 100.0, &mut rng);
@@ -549,8 +629,6 @@ pub fn representative_of(inst: &NoEquilibriumInstance, c: Cluster) -> sp_core::P
     inst.representative(c)
 }
 
-
-
 /// E10 — extension: ε-stability of the no-equilibrium instance. With a
 /// large enough indifference threshold (peers ignore small gains), even
 /// `I_1` settles — quantifying "how far from stable" Theorem 5.1's
@@ -567,24 +645,25 @@ pub fn exp_epsilon_stability(quick: bool) -> Report {
     } else {
         &[1e-9, 1e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1]
     };
-    let mut t = Table::new(vec![
-        "tolerance", "termination", "steps", "residual_gap",
-    ]);
+    let mut t = Table::new(vec!["tolerance", "termination", "steps", "residual_gap"]);
     for &tol in tolerances {
         let config = DynamicsConfig {
             tolerance: tol,
             max_rounds: 300,
             ..DynamicsConfig::default()
         };
+        let mut session =
+            GameSession::new(inst.game().clone(), StrategyProfile::empty(5)).expect("sizes match");
         let mut runner = DynamicsRunner::new(inst.game(), config);
-        let out = runner.run(StrategyProfile::empty(5));
+        let out = runner.run_session(&mut session);
         let term = match out.termination {
             Termination::Converged { .. } => "converged",
             Termination::Cycle { .. } => "cycle",
             Termination::RoundLimit => "round-limit",
         };
         // How much could any peer still gain at the final profile?
-        let gap = nash_gap(inst.game(), &out.profile, BestResponseMethod::Exact)
+        let gap = session
+            .nash_gap(BestResponseMethod::Exact)
             .expect("sizes match");
         t.push_row(vec![
             fmt_f64(tol),
@@ -606,20 +685,31 @@ pub fn exp_epsilon_stability(quick: bool) -> Report {
 #[must_use]
 pub fn exp_topology_shape(quick: bool, seed: u64) -> Report {
     use sp_graph::measures;
-    let mut report =
-        Report::new("E11", "Equilibrium topology shape across the α spectrum");
+    let mut report = Report::new("E11", "Equilibrium topology shape across the α spectrum");
     let n = if quick { 10 } else { 16 };
-    let alphas: &[f64] = if quick { &[0.5, 8.0] } else { &[0.25, 1.0, 4.0, 16.0, 64.0] };
+    let alphas: &[f64] = if quick {
+        &[0.5, 8.0]
+    } else {
+        &[0.25, 1.0, 4.0, 16.0, 64.0]
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let space = generators::uniform_square(n, 100.0, &mut rng);
     let mut t = Table::new(vec![
-        "alpha", "links", "deg_max", "deg_mean", "diameter_w", "max_betweenness",
-        "clustering", "mean_stretch",
+        "alpha",
+        "links",
+        "deg_max",
+        "deg_mean",
+        "diameter_w",
+        "max_betweenness",
+        "clustering",
+        "mean_stretch",
     ]);
     for &alpha in alphas {
         let game = Game::from_space(&space, alpha).expect("valid");
+        let mut session =
+            GameSession::new(game.clone(), StrategyProfile::empty(n)).expect("sizes match");
         let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-        let out = runner.run(StrategyProfile::empty(n));
+        let out = runner.run_session(&mut session);
         if !matches!(out.termination, Termination::Converged { .. }) {
             t.push_row(vec![
                 fmt_f64(alpha),
@@ -637,7 +727,7 @@ pub fn exp_topology_shape(quick: bool, seed: u64) -> Report {
         let deg = measures::degree_stats(&topo).expect("non-empty");
         let bc = measures::betweenness_centrality(&topo);
         let max_bc = bc.iter().copied().fold(0.0f64, f64::max);
-        let sc = social_cost(&game, &out.profile).expect("sizes match");
+        let sc = session.social_cost();
         let mean_stretch = sc.stretch_cost / (n * (n - 1)) as f64;
         t.push_row(vec![
             fmt_f64(alpha),
@@ -684,7 +774,11 @@ pub fn exp_resilience(quick: bool, seed: u64) -> Report {
         entries.push((b.name.clone(), b.profile));
     }
     let mut t = Table::new(vec![
-        "topology", "links", "robust_frac", "worst_disconn", "mean_stretch_after",
+        "topology",
+        "links",
+        "robust_frac",
+        "worst_disconn",
+        "mean_stretch_after",
     ]);
     for (name, profile) in entries {
         if name == "complete" && t.rows().iter().any(|r| r[0] == "complete") {
@@ -720,7 +814,11 @@ pub fn exp_simultaneous(quick: bool, seed: u64) -> Report {
     let sizes: &[usize] = if quick { &[6] } else { &[6, 8, 10, 12] };
     let runs = if quick { 3 } else { 10 };
     let mut t = Table::new(vec![
-        "n", "runs", "seq_converged", "sim_converged", "sim_cycles",
+        "n",
+        "runs",
+        "seq_converged",
+        "sim_converged",
+        "sim_cycles",
     ]);
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(seed ^ (n as u64) << 4);
@@ -799,7 +897,11 @@ pub fn exp_greedy_routing(quick: bool, seed: u64) -> Report {
     let space = generators::uniform_square(n, 100.0, &mut rng);
     let pairs = workload::all_pairs(n);
     let mut t = Table::new(vec![
-        "alpha", "topology", "greedy_success", "greedy_stretch", "sp_stretch",
+        "alpha",
+        "topology",
+        "greedy_success",
+        "greedy_stretch",
+        "sp_stretch",
     ]);
     for &alpha in alphas {
         let game = Game::from_space(&space, alpha).expect("valid");
@@ -814,11 +916,14 @@ pub fn exp_greedy_routing(quick: bool, seed: u64) -> Report {
             let greedy = LookupSimulator::new(
                 &game,
                 &profile,
-                SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+                SimConfig {
+                    routing: Routing::GreedyMetric,
+                    ..SimConfig::default()
+                },
             )
             .expect("sizes match");
-            let sp = LookupSimulator::new(&game, &profile, SimConfig::default())
-                .expect("sizes match");
+            let sp =
+                LookupSimulator::new(&game, &profile, SimConfig::default()).expect("sizes match");
             let gs = greedy.run_workload(&pairs);
             let ss = sp.run_workload(&pairs);
             t.push_row(vec![
@@ -852,7 +957,12 @@ pub fn exp_response_graph(quick: bool, seed: u64) -> Report {
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = if quick { 4 } else { 12 };
     let mut t = Table::new(vec![
-        "instance", "profiles", "edges", "equilibria", "sink_reachable", "weakly_acyclic",
+        "instance",
+        "profiles",
+        "edges",
+        "equilibria",
+        "sink_reachable",
+        "weakly_acyclic",
         "br_cycle",
     ]);
     for s in 0..samples {
@@ -958,15 +1068,33 @@ mod tests {
         let r = exp_baselines(true);
         let t = &r.tables[0];
         // α → 0: complete wins (stretch-dominated).
-        let tiny_alpha = t.rows.iter().find(|row| row[0] == "64" && row[1] == "0.050").unwrap();
+        let tiny_alpha = t
+            .rows
+            .iter()
+            .find(|row| row[0] == "64" && row[1] == "0.050")
+            .unwrap();
         assert_eq!(tiny_alpha[2], "complete");
         // α = n: a sparse topology wins (maintenance-dominated).
-        let big_alpha = t.rows.iter().find(|row| row[0] == "64" && row[1] == "64.000").unwrap();
+        let big_alpha = t
+            .rows
+            .iter()
+            .find(|row| row[0] == "64" && row[1] == "64.000")
+            .unwrap();
         assert_ne!(big_alpha[2], "complete");
         // Around α = √n the √n-hub overlay is within 2x of the best.
-        let mid = t.rows.iter().find(|row| row[0] == "64" && row[1] == "8.000").unwrap();
-        let best: f64 = mid[3..].iter().map(|c| c.parse::<f64>().unwrap()).fold(f64::INFINITY, f64::min);
+        let mid = t
+            .rows
+            .iter()
+            .find(|row| row[0] == "64" && row[1] == "8.000")
+            .unwrap();
+        let best: f64 = mid[3..]
+            .iter()
+            .map(|c| c.parse::<f64>().unwrap())
+            .fold(f64::INFINITY, f64::min);
         let hub: f64 = mid[7].parse().unwrap();
-        assert!(hub <= 2.0 * best, "hub {hub} not competitive with best {best}");
+        assert!(
+            hub <= 2.0 * best,
+            "hub {hub} not competitive with best {best}"
+        );
     }
 }

@@ -33,7 +33,10 @@ impl FastGame {
     pub fn new(game: &Game) -> Result<Self, CoreError> {
         let n = game.n();
         if n > FAST_LIMIT {
-            return Err(CoreError::InstanceTooLarge { n, limit: FAST_LIMIT });
+            return Err(CoreError::InstanceTooLarge {
+                n,
+                limit: FAST_LIMIT,
+            });
         }
         let mut d = [[0.0f64; MAXN]; MAXN];
         for i in 0..n {
@@ -51,7 +54,12 @@ impl FastGame {
                 }
             }
         }
-        Ok(FastGame { n, alpha: game.alpha(), d, candidates })
+        Ok(FastGame {
+            n,
+            alpha: game.alpha(),
+            d,
+            candidates,
+        })
     }
 
     /// Number of peers.

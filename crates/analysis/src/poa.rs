@@ -14,7 +14,7 @@
 
 use sp_constructions::baselines;
 use sp_core::poa::opt_lower_bound;
-use sp_core::{social_cost, CoreError, Game, StrategyProfile};
+use sp_core::{CoreError, Game, GameSession, StrategyProfile};
 
 /// The bracketed Price-of-Anarchy estimate for one equilibrium profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,13 +99,21 @@ impl<'g> PoaEstimator<'g> {
     ///
     /// Returns [`CoreError::ProfileSizeMismatch`] on size disagreement.
     pub fn bracket(&self, profile: &StrategyProfile) -> Result<PoaBracket, CoreError> {
-        let ne_cost = social_cost(self.game, profile)?.total();
-        Ok(PoaBracket {
-            ne_cost,
+        let mut session = GameSession::from_refs(self.game, profile)?;
+        Ok(self.bracket_session(&mut session))
+    }
+
+    /// Brackets the PoA contribution of a live session's current profile,
+    /// reusing whatever overlay distances the session already cached
+    /// (e.g. from the dynamics run that produced the equilibrium).
+    #[must_use]
+    pub fn bracket_session(&self, session: &mut GameSession) -> PoaBracket {
+        PoaBracket {
+            ne_cost: session.social_cost().total(),
             opt_upper: self.opt_upper,
             opt_upper_name: self.opt_upper_name.clone(),
             opt_lower: self.opt_lower,
-        })
+        }
     }
 }
 
@@ -122,11 +130,9 @@ mod tests {
     fn bracket_orders_correctly() {
         let g = game();
         let est = PoaEstimator::new(&g);
-        let chain = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
-        )
-        .unwrap();
+        let chain =
+            StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+                .unwrap();
         let b = est.bracket(&chain).unwrap();
         assert!(b.poa_lower() <= b.poa_upper());
         // The chain *is* the best baseline on a line, so lower bound is 1.
@@ -146,8 +152,7 @@ mod tests {
 
     #[test]
     fn degenerate_lower_bound_handled() {
-        let single =
-            Game::from_space(&LineSpace::new(vec![0.0]).unwrap(), 1.0).unwrap();
+        let single = Game::from_space(&LineSpace::new(vec![0.0]).unwrap(), 1.0).unwrap();
         let est = PoaEstimator::new(&single);
         let b = est.bracket(&StrategyProfile::empty(1)).unwrap();
         assert_eq!(b.poa_upper(), 1.0);

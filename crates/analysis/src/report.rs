@@ -2,12 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use sp_json::{json, JsonError, Value};
 
 use crate::Table;
 
 /// A titled table inside a [`Report`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NamedTable {
     /// Section name (e.g. `"PoA sweep"`).
     pub name: String,
@@ -54,7 +54,7 @@ impl NamedTable {
 /// assert!(r.to_json().contains("\"E2\""));
 /// assert!(r.to_string().contains("Lemma 4.3"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Experiment identifier (`"E1"` … `"E9"`).
     pub id: String,
@@ -70,7 +70,12 @@ impl Report {
     /// Creates an empty report.
     #[must_use]
     pub fn new(id: &str, title: &str) -> Self {
-        Report { id: id.to_owned(), title: title.to_owned(), notes: Vec::new(), tables: Vec::new() }
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
     }
 
     /// Appends a note line.
@@ -84,22 +89,95 @@ impl Report {
     }
 
     /// Serialises to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the report is plain data.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain data serialises")
+        let tables: Vec<Value> = self
+            .tables
+            .iter()
+            .map(|t| {
+                json!({
+                    "name": t.name.as_str(),
+                    "headers": t.headers.clone(),
+                    "rows": Value::Array(
+                        t.rows.iter().map(|r| Value::from(r.clone())).collect(),
+                    ),
+                })
+            })
+            .collect();
+        json!({
+            "id": self.id.as_str(),
+            "title": self.title.as_str(),
+            "notes": self.notes.clone(),
+            "tables": Value::Array(tables),
+        })
+        .to_string_pretty()
     }
 
     /// Parses a report back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns the underlying [`JsonError`] for malformed input, or a
+    /// synthetic one when a required field is missing or mistyped.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v: Value = s.parse()?;
+        let field_err = |what: &str| JsonError {
+            message: format!("report: {what}"),
+            offset: 0,
+        };
+        let str_field = |v: &Value, key: &str| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| field_err(&format!("missing string field '{key}'")))
+        };
+        let str_array = |v: &Value, key: &str| -> Result<Vec<String>, JsonError> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| field_err(&format!("missing array field '{key}'")))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| field_err(&format!("non-string entry in '{key}'")))
+                })
+                .collect()
+        };
+        let mut tables = Vec::new();
+        for t in v
+            .get("tables")
+            .and_then(Value::as_array)
+            .ok_or_else(|| field_err("missing array field 'tables'"))?
+        {
+            let rows = t
+                .get("rows")
+                .and_then(Value::as_array)
+                .ok_or_else(|| field_err("missing array field 'rows'"))?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or_else(|| field_err("non-array row"))?
+                        .iter()
+                        .map(|cell| {
+                            cell.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| field_err("non-string cell"))
+                        })
+                        .collect::<Result<Vec<String>, JsonError>>()
+                })
+                .collect::<Result<Vec<Vec<String>>, JsonError>>()?;
+            tables.push(NamedTable {
+                name: str_field(t, "name")?,
+                headers: str_array(t, "headers")?,
+                rows,
+            });
+        }
+        Ok(Report {
+            id: str_field(&v, "id")?,
+            title: str_field(&v, "title")?,
+            notes: str_array(&v, "notes")?,
+            tables,
+        })
     }
 }
 

@@ -44,7 +44,10 @@ pub fn single_failure_impact(
         return Err(CoreError::PeerOutOfBounds { peer: removed, n });
     }
     if profile.n() != n {
-        return Err(CoreError::ProfileSizeMismatch { expected: n, actual: profile.n() });
+        return Err(CoreError::ProfileSizeMismatch {
+            expected: n,
+            actual: profile.n(),
+        });
     }
     let alive: Vec<usize> = (0..n).filter(|&i| i != removed).collect();
     let sub = subgame(game, &alive);
@@ -93,14 +96,21 @@ impl ResilienceSummary {
         if self.impacts.is_empty() {
             return 1.0;
         }
-        self.impacts.iter().filter(|f| f.disconnected_pairs == 0).count() as f64
+        self.impacts
+            .iter()
+            .filter(|f| f.disconnected_pairs == 0)
+            .count() as f64
             / self.impacts.len() as f64
     }
 
     /// Worst number of disconnected pairs over all failures.
     #[must_use]
     pub fn worst_disconnections(&self) -> usize {
-        self.impacts.iter().map(|f| f.disconnected_pairs).max().unwrap_or(0)
+        self.impacts
+            .iter()
+            .map(|f| f.disconnected_pairs)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean over failures of the survivors' mean stretch.
@@ -140,11 +150,9 @@ mod tests {
     #[test]
     fn star_center_failure_disconnects_everything() {
         let g = game();
-        let star = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
-        )
-        .unwrap();
+        let star =
+            StrategyProfile::from_links(4, &[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)])
+                .unwrap();
         let center = single_failure_impact(&g, &star, 0).unwrap();
         assert_eq!(center.disconnected_pairs, 6); // all survivor pairs
         let leaf = single_failure_impact(&g, &star, 3).unwrap();
@@ -169,11 +177,9 @@ mod tests {
     #[test]
     fn chain_interior_failure_splits_the_line() {
         let g = game();
-        let chain = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
-        )
-        .unwrap();
+        let chain =
+            StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+                .unwrap();
         let mid = single_failure_impact(&g, &chain, 1).unwrap();
         // Survivors 0 | 2, 3: the pairs (0,2), (2,0), (0,3), (3,0) break.
         assert_eq!(mid.disconnected_pairs, 4);

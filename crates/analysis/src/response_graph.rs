@@ -40,7 +40,10 @@ impl ResponseGraph {
     pub fn build(game: &Game, tolerance: f64) -> Result<Self, CoreError> {
         let fast = FastGame::new(game)?;
         let total = fast.profile_count();
-        assert!(total <= u64::from(u32::MAX), "profile space exceeds u32 codes");
+        assert!(
+            total <= u64::from(u32::MAX),
+            "profile space exceeds u32 codes"
+        );
         let cbits = fast.bits_per_peer();
         let n = fast.n();
         let mut offsets = Vec::with_capacity(total as usize + 1);
@@ -72,7 +75,12 @@ impl ResponseGraph {
             }
             offsets.push(edges.len() as u32);
         }
-        Ok(ResponseGraph { fast, offsets, edges, sinks })
+        Ok(ResponseGraph {
+            fast,
+            offsets,
+            edges,
+            sinks,
+        })
     }
 
     /// Number of profiles (nodes).
@@ -96,7 +104,10 @@ impl ResponseGraph {
     /// The pure Nash equilibria, decoded.
     #[must_use]
     pub fn equilibria(&self) -> Vec<StrategyProfile> {
-        self.sinks.iter().map(|&c| self.fast.decode(u64::from(c))).collect()
+        self.sinks
+            .iter()
+            .map(|&c| self.fast.decode(u64::from(c)))
+            .collect()
     }
 
     /// Number of pure Nash equilibria.
@@ -232,8 +243,7 @@ mod tests {
             assert!(is_nash(&g, &profile, &NashTest::exact()).unwrap().is_nash());
         }
         // And non-sinks are not equilibria: spot check a few codes.
-        let sinks: std::collections::HashSet<u32> =
-            rg.sink_codes().iter().copied().collect();
+        let sinks: std::collections::HashSet<u32> = rg.sink_codes().iter().copied().collect();
         let fast = FastGame::new(&g).unwrap();
         for code in (0..rg.profile_count() as u32).step_by(7) {
             if !sinks.contains(&code) {
@@ -261,8 +271,7 @@ mod tests {
             for &next in rg.successors(code) {
                 // Exactly one peer changed.
                 let next_masks = fast.unpack(u64::from(next));
-                let changed: Vec<usize> =
-                    (0..4).filter(|&i| masks[i] != next_masks[i]).collect();
+                let changed: Vec<usize> = (0..4).filter(|&i| masks[i] != next_masks[i]).collect();
                 assert_eq!(changed.len(), 1, "one peer per edge");
             }
         }

@@ -28,7 +28,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -149,7 +152,11 @@ impl fmt::Display for Table {
 #[must_use]
 pub fn fmt_f64(v: f64) -> String {
     if v.is_infinite() {
-        if v > 0.0 { "inf".to_owned() } else { "-inf".to_owned() }
+        if v > 0.0 {
+            "inf".to_owned()
+        } else {
+            "-inf".to_owned()
+        }
     } else if v == 0.0 || (v.abs() >= 0.01 && v.abs() < 100_000.0) {
         format!("{v:.3}")
     } else {

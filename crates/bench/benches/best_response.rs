@@ -34,8 +34,7 @@ fn bench_methods(c: &mut Criterion) {
                 |b, (game, profile)| {
                     b.iter(|| {
                         black_box(
-                            best_response(game, profile, PeerId::new(0), method)
-                                .expect("valid"),
+                            best_response(game, profile, PeerId::new(0), method).expect("valid"),
                         )
                     });
                 },

@@ -22,7 +22,10 @@ fn bench_convergence(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &game, |b, game| {
                 b.iter(|| {
-                    let config = DynamicsConfig { rule, ..DynamicsConfig::default() };
+                    let config = DynamicsConfig {
+                        rule,
+                        ..DynamicsConfig::default()
+                    };
                     let mut runner = DynamicsRunner::new(game, config);
                     black_box(runner.run(StrategyProfile::empty(game.n())))
                 });

@@ -14,7 +14,11 @@ fn setup(n: usize) -> (Game, StrategyProfile) {
     let space = generators::uniform_square(n, 100.0, &mut rng);
     let game = Game::from_space(&space, 4.0).expect("valid");
     let mut links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    links.extend((0..n).map(|i| (i, (i + n / 3).max(i + 1) % n)).filter(|&(a, b)| a != b));
+    links.extend(
+        (0..n)
+            .map(|i| (i, (i + n / 3).max(i + 1) % n))
+            .filter(|&(a, b)| a != b),
+    );
     let profile = StrategyProfile::from_links(n, &links).expect("valid");
     (game, profile)
 }
@@ -36,7 +40,10 @@ fn bench_workloads(c: &mut Criterion) {
                     let sim = LookupSimulator::new(
                         game,
                         profile,
-                        SimConfig { routing, ..SimConfig::default() },
+                        SimConfig {
+                            routing,
+                            ..SimConfig::default()
+                        },
                     )
                     .expect("valid");
                     b.iter(|| black_box(sim.run_workload(pairs)));

@@ -15,8 +15,10 @@ fn bench_cycle_detection(c: &mut Criterion) {
         let inst = NoEquilibriumInstance::paper(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
             b.iter(|| {
-                let config =
-                    DynamicsConfig { max_rounds: 400, ..DynamicsConfig::default() };
+                let config = DynamicsConfig {
+                    max_rounds: 400,
+                    ..DynamicsConfig::default()
+                };
                 let mut runner = DynamicsRunner::new(inst.game(), config);
                 black_box(runner.run(StrategyProfile::empty(inst.n())))
             });
@@ -27,8 +29,10 @@ fn bench_cycle_detection(c: &mut Criterion) {
 
 fn bench_candidate_checks(c: &mut Criterion) {
     let inst = NoEquilibriumInstance::paper(1);
-    let profiles: Vec<_> =
-        CandidateState::ALL.iter().map(|&s| inst.candidate_profile(s)).collect();
+    let profiles: Vec<_> = CandidateState::ALL
+        .iter()
+        .map(|&s| inst.candidate_profile(s))
+        .collect();
     c.bench_function("no_ne_candidate_nash_checks", |b| {
         b.iter(|| {
             for p in &profiles {

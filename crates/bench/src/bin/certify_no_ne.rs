@@ -24,10 +24,13 @@ fn certifies(params: &NoNeParams) -> Option<u64> {
         inst.candidate_profile(sp_constructions::no_ne::CandidateState::S1),
     ];
     for start in starts {
-        let mut runner = DynamicsRunner::new(inst.game(), DynamicsConfig {
-            max_rounds: 60,
-            ..DynamicsConfig::default()
-        });
+        let mut runner = DynamicsRunner::new(
+            inst.game(),
+            DynamicsConfig {
+                max_rounds: 60,
+                ..DynamicsConfig::default()
+            },
+        );
         if matches!(runner.run(start).termination, Termination::Converged { .. }) {
             return None;
         }

@@ -8,17 +8,29 @@ fn main() {
     let inst = NoEquilibriumInstance::paper(1);
     let mut runner = DynamicsRunner::new(
         inst.game(),
-        DynamicsConfig { max_rounds: 100, record_trace: true, ..DynamicsConfig::default() },
+        DynamicsConfig {
+            max_rounds: 100,
+            record_trace: true,
+            ..DynamicsConfig::default()
+        },
     );
     let out = runner.run(StrategyProfile::empty(5));
     println!("termination: {:?}", out.termination);
-    if let Termination::Cycle { first_seen_step, period_steps, .. } = out.termination {
+    if let Termination::Cycle {
+        first_seen_step,
+        period_steps,
+        ..
+    } = out.termination
+    {
         println!("cycle from step {first_seen_step}, period {period_steps}");
     }
     let names = ["π1", "π2", "πa", "πb", "πc"];
     for m in out.trace.unwrap().moves() {
         let links = |ls: &sp_core::LinkSet| {
-            ls.iter().map(|p| names[p.index()]).collect::<Vec<_>>().join(",")
+            ls.iter()
+                .map(|p| names[p.index()])
+                .collect::<Vec<_>>()
+                .join(",")
         };
         println!(
             "step {:3} {}: {{{}}} -> {{{}}}  cost {:.4} -> {:.4}",

@@ -18,7 +18,10 @@ fn dynamics_cycles_everywhere(inst: &NoEquilibriumInstance) -> bool {
     for start in starts {
         let mut runner = DynamicsRunner::new(
             inst.game(),
-            DynamicsConfig { max_rounds: 80, ..DynamicsConfig::default() },
+            DynamicsConfig {
+                max_rounds: 80,
+                ..DynamicsConfig::default()
+            },
         );
         if matches!(runner.run(start).termination, Termination::Converged { .. }) {
             return false;
@@ -53,13 +56,17 @@ fn main() {
             ],
             ..NoNeParams::paper(1)
         };
-        let Ok(inst) = NoEquilibriumInstance::new(params.clone()) else { continue };
+        let Ok(inst) = NoEquilibriumInstance::new(params.clone()) else {
+            continue;
+        };
         if !dynamics_cycles_everywhere(&inst) {
             continue;
         }
         passed_filter += 1;
-        println!("[{i}] dynamics cycles for a={:?} b={:?} c={:?} alpha={alpha_factor:.3} — scanning...",
-            params.centers[2], params.centers[3], params.centers[4]);
+        println!(
+            "[{i}] dynamics cycles for a={:?} b={:?} c={:?} alpha={alpha_factor:.3} — scanning...",
+            params.centers[2], params.centers[3], params.centers[4]
+        );
         match exhaustive_nash_scan(inst.game(), 1e-9) {
             Ok(ExhaustiveResult::NoEquilibrium { profiles_checked }) => {
                 certified += 1;
@@ -73,7 +80,9 @@ fn main() {
                     break;
                 }
             }
-            Ok(ExhaustiveResult::FoundEquilibrium { profiles_checked, .. }) => {
+            Ok(ExhaustiveResult::FoundEquilibrium {
+                profiles_checked, ..
+            }) => {
                 println!("  equilibrium exists (found after {profiles_checked})");
             }
             Err(e) => println!("  scan error: {e}"),

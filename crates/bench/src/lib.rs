@@ -25,23 +25,42 @@ impl ExpArgs {
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed `--seed` values.
+    /// Panics with a usage message on malformed or unknown flags.
     #[must_use]
     pub fn parse() -> Self {
-        let mut args = ExpArgs { quick: false, json: false, seed: 42 };
-        let mut it = std::env::args().skip(1);
+        ExpArgs::parse_from(std::env::args().skip(1)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parses flags from an explicit argument stream (lets binaries strip
+    /// a subcommand first).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown flags or malformed
+    /// `--seed` values.
+    pub fn parse_from(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut args = ExpArgs {
+            quick: false,
+            json: false,
+            seed: 42,
+        };
+        let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--json" => args.json = true,
                 "--seed" => {
-                    let v = it.next().unwrap_or_else(|| panic!("--seed requires a value"));
-                    args.seed = v.parse().unwrap_or_else(|_| panic!("bad seed: {v}"));
+                    let v = it.next().ok_or("--seed requires a value")?;
+                    args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
                 }
-                other => panic!("unknown flag {other}; supported: --quick --json --seed <u64>"),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; supported: --quick --json --seed <u64>"
+                    ));
+                }
             }
         }
-        args
+        Ok(args)
     }
 }
 

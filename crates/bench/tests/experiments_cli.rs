@@ -1,0 +1,64 @@
+//! Smoke tests for the unified `experiments` binary (the successor of
+//! the sixteen one-line `exp_*` stubs).
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("binary spawns");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let (ok, stdout, _) = run(&["list"]);
+    assert!(ok);
+    for id in ["E1", "E5", "E10", "E15"] {
+        assert!(stdout.contains(id), "missing {id} in listing:\n{stdout}");
+    }
+    assert!(stdout.contains("fig1-poa"));
+    assert!(stdout.contains("response-graph"));
+}
+
+#[test]
+fn subcommand_runs_and_emits_tables() {
+    let (ok, stdout, stderr) = run(&["fig1-cost", "--quick"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("E2"));
+    assert!(stdout.contains("cost scaling"));
+}
+
+#[test]
+fn experiment_id_is_accepted_as_alias() {
+    let (ok, stdout, _) = run(&["E2", "--quick"]);
+    assert!(ok);
+    assert!(stdout.contains("Lemma 4.3"));
+}
+
+#[test]
+fn json_flag_emits_parseable_report() {
+    let (ok, stdout, _) = run(&["fig1-nash", "--quick", "--json"]);
+    assert!(ok);
+    let report = sp_analysis::Report::from_json(stdout.trim()).expect("valid report JSON");
+    assert_eq!(report.id, "E1");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown experiment"));
+    let (ok2, _, stderr2) = run(&["fig1-nash", "--bogus"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown flag"));
+    let (ok3, stdout3, _) = run(&[]);
+    assert!(!ok3 || stdout3.is_empty());
+}

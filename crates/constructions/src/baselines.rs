@@ -31,7 +31,11 @@ pub struct Baseline {
 pub fn complete(game: &Game) -> Baseline {
     let profile = StrategyProfile::complete(game.n());
     let cost = social_cost(game, &profile).expect("sizes match");
-    Baseline { name: "complete".to_owned(), profile, cost }
+    Baseline {
+        name: "complete".to_owned(),
+        profile,
+        cost,
+    }
 }
 
 /// The best bidirectional star: tries every centre and keeps the cheapest.
@@ -56,7 +60,11 @@ pub fn best_star(game: &Game) -> Baseline {
         let cost = social_cost(game, &profile).expect("sizes match");
         let better = best.as_ref().is_none_or(|b| cost.total() < b.cost.total());
         if better {
-            best = Some(Baseline { name: format!("star({c})"), profile, cost });
+            best = Some(Baseline {
+                name: format!("star({c})"),
+                profile,
+                cost,
+            });
         }
     }
     best.expect("n > 0 guarantees a candidate")
@@ -84,7 +92,11 @@ pub fn chain(game: &Game, order: &[usize]) -> Baseline {
     }
     let profile = StrategyProfile::from_links(n, &links).expect("valid indices");
     let cost = social_cost(game, &profile).expect("sizes match");
-    Baseline { name: "chain".to_owned(), profile, cost }
+    Baseline {
+        name: "chain".to_owned(),
+        profile,
+        cost,
+    }
 }
 
 /// A chain over the greedy nearest-neighbour tour starting from peer 0 —
@@ -96,7 +108,10 @@ pub fn nearest_neighbor_chain(game: &Game) -> Baseline {
         return Baseline {
             name: "nn-chain".to_owned(),
             profile: StrategyProfile::empty(0),
-            cost: SocialCost { link_cost: 0.0, stretch_cost: 0.0 },
+            cost: SocialCost {
+                link_cost: 0.0,
+                stretch_cost: 0.0,
+            },
         };
     }
     let mut order = Vec::with_capacity(n);
@@ -129,7 +144,11 @@ pub fn mst(game: &Game) -> Baseline {
     let links: Vec<(usize, usize)> = tree.edges().map(|(u, v, _)| (u, v)).collect();
     let profile = StrategyProfile::from_links(game.n(), &links).expect("valid indices");
     let cost = social_cost(game, &profile).expect("sizes match");
-    Baseline { name: "mst".to_owned(), profile, cost }
+    Baseline {
+        name: "mst".to_owned(),
+        profile,
+        cost,
+    }
 }
 
 /// The `√n`-hub overlay (footnote 2 / Tulip-style): `h` hubs chosen by
@@ -149,10 +168,16 @@ pub fn hub_overlay(game: &Game, hubs: usize) -> Baseline {
         return Baseline {
             name: "hub(0)".to_owned(),
             profile: StrategyProfile::empty(0),
-            cost: SocialCost { link_cost: 0.0, stretch_cost: 0.0 },
+            cost: SocialCost {
+                link_cost: 0.0,
+                stretch_cost: 0.0,
+            },
         };
     }
-    assert!(hubs >= 1 && hubs <= n, "need 1 <= hubs <= n, got {hubs} for n={n}");
+    assert!(
+        hubs >= 1 && hubs <= n,
+        "need 1 <= hubs <= n, got {hubs} for n={n}"
+    );
     // Farthest-point sampling for well-spread hubs.
     let mut hub_list = vec![0usize];
     while hub_list.len() < hubs {
@@ -197,7 +222,11 @@ pub fn hub_overlay(game: &Game, hubs: usize) -> Baseline {
     }
     let profile = StrategyProfile::from_links(n, &links).expect("valid indices");
     let cost = social_cost(game, &profile).expect("sizes match");
-    Baseline { name: format!("hub({hubs})"), profile, cost }
+    Baseline {
+        name: format!("hub({hubs})"),
+        profile,
+        cost,
+    }
 }
 
 /// The `⌈√n⌉`-hub overlay.
@@ -232,16 +261,19 @@ pub fn all_baselines(game: &Game) -> Vec<Baseline> {
 /// Panics if the game has no peers.
 #[must_use]
 pub fn best_baseline(game: &Game) -> Baseline {
-    all_baselines(game).into_iter().next().expect("non-empty game has baselines")
+    all_baselines(game)
+        .into_iter()
+        .next()
+        .expect("non-empty game has baselines")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::prelude::*;
     use sp_core::poa::opt_lower_bound;
     use sp_core::{max_stretch, Game};
     use sp_metric::{generators, LineSpace, MetricSpace};
-    use rand::prelude::*;
 
     fn line_game(n: usize, alpha: f64) -> Game {
         let pos: Vec<f64> = (0..n).map(|i| i as f64).collect();

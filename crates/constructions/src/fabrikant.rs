@@ -15,11 +15,11 @@
 //! experiment E8 compare the equilibria the two models produce on the
 //! same peer sets.
 
+use sp_core::BestResponseMethod;
 use sp_core::{CoreError, LinkSet, PeerId, StrategyProfile};
 use sp_facility::{
     solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityProblem,
 };
-use sp_core::BestResponseMethod;
 use sp_graph::{dijkstra, CsrGraph, DiGraph};
 
 /// A Fabrikant et al. network creation game instance.
@@ -70,7 +70,10 @@ impl FabrikantGame {
 
     fn check_profile(&self, profile: &StrategyProfile) -> Result<(), CoreError> {
         if profile.n() != self.n {
-            return Err(CoreError::ProfileSizeMismatch { expected: self.n, actual: profile.n() });
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: self.n,
+                actual: profile.n(),
+            });
         }
         Ok(())
     }
@@ -108,7 +111,10 @@ impl FabrikantGame {
     pub fn player_cost(&self, profile: &StrategyProfile, i: PeerId) -> Result<f64, CoreError> {
         self.check_profile(profile)?;
         if i.index() >= self.n {
-            return Err(CoreError::PeerOutOfBounds { peer: i.index(), n: self.n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: i.index(),
+                n: self.n,
+            });
         }
         let g = self.graph(profile);
         let dist = dijkstra(&g, i.index());
@@ -159,7 +165,10 @@ impl FabrikantGame {
     ) -> Result<(LinkSet, f64), CoreError> {
         self.check_profile(profile)?;
         if i.index() >= self.n {
-            return Err(CoreError::PeerOutOfBounds { peer: i.index(), n: self.n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: i.index(),
+                n: self.n,
+            });
         }
         if self.n <= 1 {
             return Ok((LinkSet::new(), 0.0));
@@ -177,7 +186,12 @@ impl FabrikantGame {
         for &v in &candidates {
             csr.dijkstra_into(v, &mut buf);
             open_costs.push(if free[v] { 0.0 } else { self.alpha });
-            assignment.push(candidates.iter().map(|&j| 1.0 + buf[j]).collect::<Vec<f64>>());
+            assignment.push(
+                candidates
+                    .iter()
+                    .map(|&j| 1.0 + buf[j])
+                    .collect::<Vec<f64>>(),
+            );
         }
         let problem =
             FacilityProblem::new(open_costs, assignment).expect("reduction costs are valid");
@@ -186,7 +200,10 @@ impl FabrikantGame {
             BestResponseMethod::ExactEnumeration => {
                 solve_enumeration(&problem).map_err(|e| match e {
                     sp_facility::FacilityError::TooManyFacilities { facilities, limit } => {
-                        CoreError::InstanceTooLarge { n: facilities + 1, limit: limit + 1 }
+                        CoreError::InstanceTooLarge {
+                            n: facilities + 1,
+                            limit: limit + 1,
+                        }
                     }
                     other => panic!("unexpected facility error: {other}"),
                 })?
@@ -246,8 +263,8 @@ impl FabrikantGame {
                 let p = PeerId::new(i);
                 let old = self.player_cost(&profile, p)?;
                 let (links, new) = self.best_response(&profile, p, BestResponseMethod::Exact)?;
-                let improving = new < old - 1e-9 * (1.0 + old.abs())
-                    || (old.is_infinite() && new.is_finite());
+                let improving =
+                    new < old - 1e-9 * (1.0 + old.abs()) || (old.is_infinite() && new.is_finite());
                 if improving && &links != profile.strategy(p) {
                     profile.set_strategy(p, links)?;
                     changed = true;
@@ -339,7 +356,9 @@ mod tests {
         let g = FabrikantGame::new(3, 1.5).unwrap();
         // Player 1 and 2 both bought edges to 0.
         let p = StrategyProfile::from_links(3, &[(1, 0), (2, 0)]).unwrap();
-        let (links, cost) = g.best_response(&p, 0.into(), BestResponseMethod::Exact).unwrap();
+        let (links, cost) = g
+            .best_response(&p, 0.into(), BestResponseMethod::Exact)
+            .unwrap();
         // 0 is adjacent to both 1 and 2 through the free (undirected)
         // edges: buys nothing, pays only 1 + 1 hops.
         assert!(links.is_empty());
@@ -349,8 +368,9 @@ mod tests {
     #[test]
     fn dynamics_converges_on_small_instances() {
         let g = FabrikantGame::new(5, 2.0).unwrap();
-        let (profile, converged) =
-            g.best_response_dynamics(StrategyProfile::empty(5), 50).unwrap();
+        let (profile, converged) = g
+            .best_response_dynamics(StrategyProfile::empty(5), 50)
+            .unwrap();
         assert!(converged, "Fabrikant BR dynamics should settle here");
         assert!(g.find_deviation(&profile).unwrap().is_none());
         assert!(g.social_cost(&profile).unwrap().is_finite());
@@ -361,7 +381,9 @@ mod tests {
         let g = FabrikantGame::new(5, 1.2).unwrap();
         let p = StrategyProfile::from_links(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         for i in 0..5 {
-            let (_, a) = g.best_response(&p, i.into(), BestResponseMethod::Exact).unwrap();
+            let (_, a) = g
+                .best_response(&p, i.into(), BestResponseMethod::Exact)
+                .unwrap();
             let (_, b) = g
                 .best_response(&p, i.into(), BestResponseMethod::ExactEnumeration)
                 .unwrap();

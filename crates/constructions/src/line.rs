@@ -180,9 +180,9 @@ impl LineLowerBound {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_core::{is_nash, max_stretch, BestResponseMethod, nash_gap, NashTest};
-    use sp_graph::is_strongly_connected;
     use sp_core::topology;
+    use sp_core::{is_nash, max_stretch, nash_gap, BestResponseMethod, NashTest};
+    use sp_graph::is_strongly_connected;
 
     #[test]
     fn positions_match_paper_formula() {
@@ -272,7 +272,10 @@ mod tests {
         assert!(ms <= 3.4 + 1.0 + 1e-9, "max stretch {ms} exceeds α+1");
         // And it is genuinely large (≈ α/2 at least for far even pairs),
         // which is what drives the Θ(αn²) cost.
-        assert!(ms >= 3.4 / 2.0, "max stretch {ms} too small for the lower bound");
+        assert!(
+            ms >= 3.4 / 2.0,
+            "max stretch {ms} too small for the lower bound"
+        );
     }
 
     #[test]
@@ -322,13 +325,20 @@ mod tests {
         let mut found = false;
         for n in 4..=12 {
             let lb = LineLowerBound::new(n, 2.2).unwrap();
-            let gap = nash_gap(&lb.game(), &lb.equilibrium_profile(), BestResponseMethod::Exact)
-                .unwrap();
+            let gap = nash_gap(
+                &lb.game(),
+                &lb.equilibrium_profile(),
+                BestResponseMethod::Exact,
+            )
+            .unwrap();
             if gap > 1e-9 {
                 found = true;
                 break;
             }
         }
-        assert!(found, "expected instability somewhere below the α threshold");
+        assert!(
+            found,
+            "expected instability somewhere below the α threshold"
+        );
     }
 }

@@ -39,8 +39,13 @@ pub enum Cluster {
 
 impl Cluster {
     /// All clusters in canonical order (`Π1`, `Π2`, `Πa`, `Πb`, `Πc`).
-    pub const ALL: [Cluster; 5] =
-        [Cluster::Bottom1, Cluster::Bottom2, Cluster::TopA, Cluster::TopB, Cluster::TopC];
+    pub const ALL: [Cluster; 5] = [
+        Cluster::Bottom1,
+        Cluster::Bottom2,
+        Cluster::TopA,
+        Cluster::TopB,
+        Cluster::TopC,
+    ];
 
     /// Position in the canonical order.
     #[must_use]
@@ -165,11 +170,11 @@ impl NoNeParams {
             // Πc laid out left to right with Πa up-left of Π1 and Πc far
             // right.
             centers: [
-                Point2::new(0.0, 0.0),   // Π1
-                Point2::new(0.98, 0.0),  // Π2
-                Point2::new(-0.8, 1.6),  // Πa
-                Point2::new(0.6, 2.0),   // Πb
-                Point2::new(3.3, 2.0),   // Πc
+                Point2::new(0.0, 0.0),  // Π1
+                Point2::new(0.98, 0.0), // Π2
+                Point2::new(-0.8, 1.6), // Πa
+                Point2::new(0.6, 2.0),  // Πb
+                Point2::new(3.3, 2.0),  // Πc
             ],
         }
     }
@@ -214,7 +219,11 @@ impl NoEquilibriumInstance {
         }
         let space = Euclidean2D::new(points)?;
         let game = Game::from_space(&space, alpha)?;
-        Ok(NoEquilibriumInstance { params, space, game })
+        Ok(NoEquilibriumInstance {
+            params,
+            space,
+            game,
+        })
     }
 
     /// The paper instance with `k` peers per cluster.
@@ -389,10 +398,10 @@ mod tests {
                 }
             }
         }
-        let d12 = inst
-            .game()
-            .distance(inst.representative(Cluster::Bottom1).index(),
-                      inst.representative(Cluster::Bottom2).index());
+        let d12 = inst.game().distance(
+            inst.representative(Cluster::Bottom1).index(),
+            inst.representative(Cluster::Bottom2).index(),
+        );
         assert!((d12 - 0.98).abs() < 1e-3);
     }
 
@@ -436,13 +445,19 @@ mod tests {
         assert_eq!(CandidateState::S1.pi1_extra(), None);
         assert_eq!(CandidateState::S4.pi1_extra(), Some(Cluster::TopB));
         assert_eq!(CandidateState::S6.pi2_link(), Cluster::TopC);
-        let cases: Vec<usize> =
-            CandidateState::ALL.iter().map(|s| s.case_number()).collect();
+        let cases: Vec<usize> = CandidateState::ALL
+            .iter()
+            .map(|s| s.case_number())
+            .collect();
         assert_eq!(cases, vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
     fn zero_k_is_rejected() {
-        assert!(NoEquilibriumInstance::new(NoNeParams { k: 0, ..NoNeParams::paper(1) }).is_err());
+        assert!(NoEquilibriumInstance::new(NoNeParams {
+            k: 0,
+            ..NoNeParams::paper(1)
+        })
+        .is_err());
     }
 }

@@ -2,11 +2,9 @@ use sp_facility::{
     solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
     FacilityProblem,
 };
-use sp_graph::CsrGraph;
+use sp_graph::{CsrGraph, DijkstraScratch};
 
-use crate::{
-    peer_cost, topology_without_peer, CoreError, Game, LinkSet, PeerId, StrategyProfile,
-};
+use crate::{topology_without_peer, CoreError, Game, LinkSet, PeerId, StrategyProfile};
 
 /// How a peer's best response is computed.
 ///
@@ -31,7 +29,10 @@ impl BestResponseMethod {
     /// Returns `true` when the method guarantees an optimal response.
     #[must_use]
     pub fn is_exact(self) -> bool {
-        matches!(self, BestResponseMethod::Exact | BestResponseMethod::ExactEnumeration)
+        matches!(
+            self,
+            BestResponseMethod::Exact | BestResponseMethod::ExactEnumeration
+        )
     }
 }
 
@@ -94,9 +95,24 @@ impl ResponseOracle {
         profile: &StrategyProfile,
         peer: PeerId,
     ) -> Result<Self, CoreError> {
+        let mut scratch = DijkstraScratch::new();
+        ResponseOracle::build_with(game, profile, peer, &mut scratch)
+    }
+
+    /// Like [`ResponseOracle::build`] but reuses caller-provided Dijkstra
+    /// scratch memory (the `GameSession` hot path).
+    pub(crate) fn build_with(
+        game: &Game,
+        profile: &StrategyProfile,
+        peer: PeerId,
+        scratch: &mut DijkstraScratch,
+    ) -> Result<Self, CoreError> {
         let n = game.n();
         if peer.index() >= n {
-            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n,
+            });
         }
         let i = peer.index();
         let g_minus = topology_without_peer(game, profile, peer)?;
@@ -105,7 +121,7 @@ impl ResponseOracle {
         let mut assignment = Vec::with_capacity(candidates.len());
         let mut buf = vec![f64::INFINITY; n];
         for &v in &candidates {
-            csr.dijkstra_into(v, &mut buf);
+            csr.dijkstra_into_with(v, &mut buf, scratch);
             let d_iv = game.distance(i, v);
             let row: Vec<f64> = candidates
                 .iter()
@@ -115,7 +131,74 @@ impl ResponseOracle {
         }
         let problem = FacilityProblem::with_uniform_open_cost(game.alpha(), assignment)
             .expect("reduction produces non-negative costs by construction");
-        Ok(ResponseOracle { candidates, problem })
+        Ok(ResponseOracle {
+            candidates,
+            problem,
+        })
+    }
+
+    /// First strictly improving single-link change (drop, add, swap — in
+    /// that order) from `current`, or `None`. Shared by the free
+    /// [`first_improving_move`] and `GameSession::first_improving_move`.
+    pub(crate) fn first_improving_move(
+        &self,
+        peer: PeerId,
+        current: &LinkSet,
+        tol: f64,
+    ) -> Option<BestResponse> {
+        let current_cost = self.eval(current);
+        let improves = |cost: f64| -> bool {
+            if cost.is_infinite() {
+                return false;
+            }
+            if current_cost.is_infinite() {
+                return true;
+            }
+            cost < current_cost - tol * (1.0 + current_cost.abs())
+        };
+        let wrap = |links: LinkSet, cost: f64| BestResponse {
+            peer,
+            links,
+            cost,
+            current_cost,
+            exact: false,
+        };
+
+        // Drops.
+        for j in current.iter() {
+            let cand = current.without(j);
+            let c = self.eval(&cand);
+            if improves(c) {
+                return Some(wrap(cand, c));
+            }
+        }
+        // Adds.
+        for &v in self.candidates() {
+            let vp = PeerId::new(v);
+            if current.contains(vp) {
+                continue;
+            }
+            let cand = current.with(vp);
+            let c = self.eval(&cand);
+            if improves(c) {
+                return Some(wrap(cand, c));
+            }
+        }
+        // Swaps.
+        for j in current.iter() {
+            for &v in self.candidates() {
+                let vp = PeerId::new(v);
+                if current.contains(vp) {
+                    continue;
+                }
+                let cand = current.without(j).with(vp);
+                let c = self.eval(&cand);
+                if improves(c) {
+                    return Some(wrap(cand, c));
+                }
+            }
+        }
+        None
     }
 
     /// Cost of `peer` playing `links` against the fixed rest — identical
@@ -139,7 +222,10 @@ impl ResponseOracle {
             BestResponseMethod::ExactEnumeration => {
                 solve_enumeration(&self.problem).map_err(|e| match e {
                     FacilityError::TooManyFacilities { facilities, limit } => {
-                        CoreError::InstanceTooLarge { n: facilities + 1, limit: limit + 1 }
+                        CoreError::InstanceTooLarge {
+                            n: facilities + 1,
+                            limit: limit + 1,
+                        }
                     }
                     other => panic!("unexpected facility error: {other}"),
                 })?
@@ -192,31 +278,7 @@ pub fn best_response(
     peer: PeerId,
     method: BestResponseMethod,
 ) -> Result<BestResponse, CoreError> {
-    let current_cost = peer_cost(game, profile, peer)?;
-    if game.n() <= 1 {
-        return Ok(BestResponse {
-            peer,
-            links: LinkSet::new(),
-            cost: 0.0,
-            current_cost,
-            exact: true,
-        });
-    }
-    let oracle = ResponseOracle::build(game, profile, peer)?;
-    let (links, cost) = oracle.solve(method)?;
-    // Exact solvers can only tie or beat the current strategy; heuristics
-    // may come out worse, in which case keeping the current strategy *is*
-    // a valid (better) response.
-    if cost > current_cost {
-        return Ok(BestResponse {
-            peer,
-            links: profile.strategy(peer).clone(),
-            cost: current_cost,
-            current_cost,
-            exact: method.is_exact(),
-        });
-    }
-    Ok(BestResponse { peer, links, cost, current_cost, exact: method.is_exact() })
+    crate::GameSession::from_refs(game, profile)?.best_response(peer, method)
 }
 
 /// Finds the first strictly improving **single-link** move (drop, add, or
@@ -238,71 +300,21 @@ pub fn first_improving_move(
 ) -> Result<Option<BestResponse>, CoreError> {
     if game.n() <= 1 {
         if peer.index() >= game.n() {
-            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: game.n() });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n: game.n(),
+            });
         }
         return Ok(None);
     }
     let oracle = ResponseOracle::build(game, profile, peer)?;
-    let current = profile.strategy(peer).clone();
-    let current_cost = oracle.eval(&current);
-    let improves = |cost: f64| -> bool {
-        if cost.is_infinite() {
-            return false;
-        }
-        if current_cost.is_infinite() {
-            return true;
-        }
-        cost < current_cost - tol * (1.0 + current_cost.abs())
-    };
-    let wrap = |links: LinkSet, cost: f64| BestResponse {
-        peer,
-        links,
-        cost,
-        current_cost,
-        exact: false,
-    };
-
-    // Drops.
-    for j in current.iter() {
-        let cand = current.without(j);
-        let c = oracle.eval(&cand);
-        if improves(c) {
-            return Ok(Some(wrap(cand, c)));
-        }
-    }
-    // Adds.
-    for &v in oracle.candidates() {
-        let vp = PeerId::new(v);
-        if current.contains(vp) {
-            continue;
-        }
-        let cand = current.with(vp);
-        let c = oracle.eval(&cand);
-        if improves(c) {
-            return Ok(Some(wrap(cand, c)));
-        }
-    }
-    // Swaps.
-    for j in current.iter() {
-        for &v in oracle.candidates() {
-            let vp = PeerId::new(v);
-            if current.contains(vp) {
-                continue;
-            }
-            let cand = current.without(j).with(vp);
-            let c = oracle.eval(&cand);
-            if improves(c) {
-                return Ok(Some(wrap(cand, c)));
-            }
-        }
-    }
-    Ok(None)
+    Ok(oracle.first_improving_move(peer, profile.strategy(peer), tol))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::social_cost;
+    use crate::{peer_cost, social_cost};
     use sp_metric::LineSpace;
 
     fn line_game(alpha: f64) -> Game {
@@ -337,8 +349,7 @@ mod tests {
         let game = line_game(0.8);
         let p = StrategyProfile::from_links(4, &[(1, 0), (2, 1), (3, 2)]).unwrap();
         for peer in 0..4 {
-            let a = best_response(&game, &p, PeerId::new(peer), BestResponseMethod::Exact)
-                .unwrap();
+            let a = best_response(&game, &p, PeerId::new(peer), BestResponseMethod::Exact).unwrap();
             let b = best_response(
                 &game,
                 &p,
@@ -346,7 +357,12 @@ mod tests {
                 BestResponseMethod::ExactEnumeration,
             )
             .unwrap();
-            assert!((a.cost - b.cost).abs() < 1e-9, "peer {peer}: {} vs {}", a.cost, b.cost);
+            assert!(
+                (a.cost - b.cost).abs() < 1e-9,
+                "peer {peer}: {} vs {}",
+                a.cost,
+                b.cost
+            );
         }
     }
 
@@ -425,10 +441,18 @@ mod tests {
         };
         assert_eq!(br.improvement(), 0.0);
         assert!(!br.improves(1e-9));
-        let br2 = BestResponse { cost: 5.0, current_cost: f64::INFINITY, ..br.clone() };
+        let br2 = BestResponse {
+            cost: 5.0,
+            current_cost: f64::INFINITY,
+            ..br.clone()
+        };
         assert!(br2.improves(1e-9));
         assert!(br2.improvement().is_infinite());
-        let br3 = BestResponse { cost: 5.0, current_cost: 5.0 + 1e-12, ..br.clone() };
+        let br3 = BestResponse {
+            cost: 5.0,
+            current_cost: 5.0 + 1e-12,
+            ..br.clone()
+        };
         assert!(!br3.improves(1e-9));
     }
 

@@ -1,6 +1,4 @@
-use sp_graph::{dijkstra, CsrGraph};
-
-use crate::{topology, CoreError, Game, PeerId, StrategyProfile};
+use crate::{CoreError, Game, GameSession, PeerId, StrategyProfile};
 
 /// The social cost `C(G) = α|E| + Σ_{i≠j} stretch(i, j)` decomposed into
 /// its two terms (`C_E` and `C_S` in the paper).
@@ -30,6 +28,11 @@ impl SocialCost {
 ///
 /// `∞` when some peer is unreachable from `peer`.
 ///
+/// Thin wrapper over [`GameSession::peer_cost`] building a throwaway
+/// session: one lazy Dijkstra row, but also an `O(n²)` session setup
+/// (distance-matrix clone). Hot loops should hold a session and query it
+/// directly instead of calling this repeatedly.
+///
 /// # Errors
 ///
 /// * [`CoreError::ProfileSizeMismatch`] on profile/game size disagreement;
@@ -47,12 +50,7 @@ impl SocialCost {
 /// assert_eq!(peer_cost(&game, &p, PeerId::new(0)).unwrap(), 4.0);
 /// ```
 pub fn peer_cost(game: &Game, profile: &StrategyProfile, peer: PeerId) -> Result<f64, CoreError> {
-    if peer.index() >= game.n() {
-        return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: game.n() });
-    }
-    let g = topology(game, profile)?;
-    let dist = dijkstra(&g, peer.index());
-    Ok(peer_cost_from_distances(game, profile, peer, &dist))
+    GameSession::from_refs(game, profile)?.peer_cost(peer)
 }
 
 /// Individual cost given precomputed overlay distances from `peer`
@@ -81,20 +79,13 @@ pub(crate) fn peer_cost_from_distances(
 /// Individual costs of all peers (one Dijkstra per peer over a shared CSR
 /// snapshot).
 ///
+/// Thin wrapper over [`GameSession::all_peer_costs`].
+///
 /// # Errors
 ///
 /// Returns [`CoreError::ProfileSizeMismatch`] on size disagreement.
 pub fn all_peer_costs(game: &Game, profile: &StrategyProfile) -> Result<Vec<f64>, CoreError> {
-    let g = topology(game, profile)?;
-    let csr = CsrGraph::from_digraph(&g);
-    let n = game.n();
-    let mut buf = vec![f64::INFINITY; n];
-    let mut costs = Vec::with_capacity(n);
-    for i in 0..n {
-        csr.dijkstra_into(i, &mut buf);
-        costs.push(peer_cost_from_distances(game, profile, PeerId::new(i), &buf));
-    }
-    Ok(costs)
+    Ok(GameSession::from_refs(game, profile)?.all_peer_costs())
 }
 
 /// Social cost of a profile, decomposed into link and stretch parts.
@@ -120,27 +111,7 @@ pub fn all_peer_costs(game: &Game, profile: &StrategyProfile) -> Result<Vec<f64>
 /// assert!(c.is_connected());
 /// ```
 pub fn social_cost(game: &Game, profile: &StrategyProfile) -> Result<SocialCost, CoreError> {
-    let g = topology(game, profile)?;
-    let csr = CsrGraph::from_digraph(&g);
-    let n = game.n();
-    let mut buf = vec![f64::INFINITY; n];
-    let mut stretch_cost = 0.0f64;
-    for i in 0..n {
-        csr.dijkstra_into(i, &mut buf);
-        for j in 0..n {
-            if j != i {
-                stretch_cost += buf[j] / game.distance(i, j);
-            }
-        }
-        if stretch_cost.is_infinite() {
-            stretch_cost = f64::INFINITY;
-            break;
-        }
-    }
-    Ok(SocialCost {
-        link_cost: game.alpha() * profile.link_count() as f64,
-        stretch_cost,
-    })
+    Ok(GameSession::from_refs(game, profile)?.social_cost())
 }
 
 #[cfg(test)]
@@ -166,11 +137,8 @@ mod tests {
     #[test]
     fn social_cost_is_sum_of_peer_costs() {
         let g = game(1.5);
-        let p = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)],
-        )
-        .unwrap();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)])
+            .unwrap();
         let sc = social_cost(&g, &p).unwrap();
         let sum: f64 = all_peer_costs(&g, &p).unwrap().iter().sum();
         assert!((sc.total() - sum).abs() < 1e-9);
@@ -194,7 +162,16 @@ mod tests {
         // Peer 0 has 1 link; peer 1 has 3.
         let p = StrategyProfile::from_links(
             4,
-            &[(0, 1), (1, 0), (1, 2), (1, 3), (2, 1), (3, 1), (2, 3), (3, 2)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (2, 3),
+                (3, 2),
+            ],
         )
         .unwrap();
         let c0 = peer_cost(&g, &p, PeerId::new(0)).unwrap();
@@ -213,7 +190,10 @@ mod tests {
         let batch = all_peer_costs(&g, &p).unwrap();
         for i in 0..4 {
             let single = peer_cost(&g, &p, PeerId::new(i)).unwrap();
-            assert!((batch[i] - single).abs() < 1e-12 || (batch[i].is_infinite() && single.is_infinite()));
+            assert!(
+                (batch[i] - single).abs() < 1e-12
+                    || (batch[i].is_infinite() && single.is_infinite())
+            );
         }
     }
 

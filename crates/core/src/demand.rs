@@ -58,7 +58,9 @@ impl TrafficDemands {
     /// The uniform demand (`w ≡ 1`), reproducing the unweighted game.
     #[must_use]
     pub fn uniform(n: usize) -> Self {
-        TrafficDemands { weights: DistanceMatrix::new_filled(n, 1.0) }
+        TrafficDemands {
+            weights: DistanceMatrix::new_filled(n, 1.0),
+        }
     }
 
     /// A "hotspot" demand: everyone wants `hot_weight` traffic to `hot`,
@@ -170,19 +172,17 @@ impl DemandGame {
     /// Same conditions as [`crate::peer_cost`].
     pub fn peer_cost(&self, profile: &StrategyProfile, peer: PeerId) -> Result<f64, CoreError> {
         if peer.index() >= self.n() {
-            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: self.n() });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n: self.n(),
+            });
         }
         let g = topology(&self.base, profile)?;
         let dist = dijkstra(&g, peer.index());
         Ok(self.cost_from_distances(profile, peer, &dist))
     }
 
-    fn cost_from_distances(
-        &self,
-        profile: &StrategyProfile,
-        peer: PeerId,
-        overlay: &[f64],
-    ) -> f64 {
+    fn cost_from_distances(&self, profile: &StrategyProfile, peer: PeerId, overlay: &[f64]) -> f64 {
         let i = peer.index();
         let mut sum = 0.0;
         for j in 0..self.n() {
@@ -276,9 +276,7 @@ impl DemandGame {
             let d_iv = self.base.distance(i, v);
             let row: Vec<f64> = clients
                 .iter()
-                .map(|&j| {
-                    self.demands.weight(i, j) * (d_iv + buf[j]) / self.base.distance(i, j)
-                })
+                .map(|&j| self.demands.weight(i, j) * (d_iv + buf[j]) / self.base.distance(i, j))
                 .collect();
             assignment.push(row);
         }
@@ -289,7 +287,10 @@ impl DemandGame {
             BestResponseMethod::ExactEnumeration => {
                 solve_enumeration(&problem).map_err(|e| match e {
                     FacilityError::TooManyFacilities { facilities, limit } => {
-                        CoreError::InstanceTooLarge { n: facilities + 1, limit: limit + 1 }
+                        CoreError::InstanceTooLarge {
+                            n: facilities + 1,
+                            limit: limit + 1,
+                        }
                     }
                     other => panic!("unexpected facility error: {other}"),
                 })?
@@ -308,7 +309,13 @@ impl DemandGame {
                 exact: method.is_exact(),
             });
         }
-        Ok(BestResponse { peer, links, cost, current_cost, exact: method.is_exact() })
+        Ok(BestResponse {
+            peer,
+            links,
+            cost,
+            current_cost,
+            exact: method.is_exact(),
+        })
     }
 
     /// Round-robin exact best-response dynamics for the weighted game;
@@ -324,7 +331,10 @@ impl DemandGame {
         max_rounds: usize,
     ) -> Result<(StrategyProfile, bool), CoreError> {
         if start.n() != self.n() {
-            return Err(CoreError::ProfileSizeMismatch { expected: self.n(), actual: start.n() });
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: self.n(),
+                actual: start.n(),
+            });
         }
         let mut profile = start;
         for _ in 0..max_rounds {
@@ -400,10 +410,11 @@ mod tests {
             let bra = dg
                 .best_response(&p, PeerId::new(0), BestResponseMethod::Exact)
                 .unwrap();
-            let brb =
-                best_response(&base, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
-            assert!((bra.cost - brb.cost).abs() < 1e-9
-                || (bra.cost.is_infinite() && brb.cost.is_infinite()));
+            let brb = best_response(&base, &p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+            assert!(
+                (bra.cost - brb.cost).abs() < 1e-9
+                    || (bra.cost.is_infinite() && brb.cost.is_infinite())
+            );
         }
     }
 
@@ -414,12 +425,16 @@ mod tests {
         w[(0, 1)] = 1.0; // peer 0 only cares about peer 1
         let dg = DemandGame::new(base, TrafficDemands::new(w).unwrap()).unwrap();
         let p = StrategyProfile::empty(4);
-        let br = dg.best_response(&p, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        let br = dg
+            .best_response(&p, PeerId::new(0), BestResponseMethod::Exact)
+            .unwrap();
         assert_eq!(br.links.len(), 1);
         assert!(br.links.contains(PeerId::new(1)));
         assert!(br.cost.is_finite());
         // Peer 1 has zero demand everywhere: its best response is no links.
-        let br1 = dg.best_response(&p, PeerId::new(1), BestResponseMethod::Exact).unwrap();
+        let br1 = dg
+            .best_response(&p, PeerId::new(1), BestResponseMethod::Exact)
+            .unwrap();
         assert!(br1.links.is_empty());
         assert_eq!(br1.cost, 0.0);
     }
@@ -439,8 +454,8 @@ mod tests {
         ])
         .unwrap();
         let base = Game::from_space(&space, 1.5).unwrap();
-        let chain = StrategyProfile::from_links(4, &[(1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
-            .unwrap();
+        let chain =
+            StrategyProfile::from_links(4, &[(1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]).unwrap();
 
         let uniform = DemandGame::new(base.clone(), TrafficDemands::uniform(4)).unwrap();
         let br_uniform = uniform
@@ -453,8 +468,9 @@ mod tests {
         );
 
         let hot = DemandGame::new(base, TrafficDemands::hotspot(4, 3, 50.0)).unwrap();
-        let br_hot =
-            hot.best_response(&chain, PeerId::new(0), BestResponseMethod::Exact).unwrap();
+        let br_hot = hot
+            .best_response(&chain, PeerId::new(0), BestResponseMethod::Exact)
+            .unwrap();
         assert!(
             br_hot.links.contains(PeerId::new(3)),
             "hot destination should be linked directly, got {}",
@@ -466,14 +482,12 @@ mod tests {
     fn demand_weighted_social_cost_sums_peer_costs() {
         let base = base_game();
         let dg = DemandGame::new(base, TrafficDemands::hotspot(4, 0, 3.0)).unwrap();
-        let p = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
-        )
-        .unwrap();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+            .unwrap();
         let total = dg.social_cost(&p).unwrap().total();
-        let sum: f64 =
-            (0..4).map(|i| dg.peer_cost(&p, PeerId::new(i)).unwrap()).sum();
+        let sum: f64 = (0..4)
+            .map(|i| dg.peer_cost(&p, PeerId::new(i)).unwrap())
+            .sum();
         assert!((total - sum).abs() < 1e-9);
     }
 
@@ -482,11 +496,9 @@ mod tests {
         let base = base_game();
         let dg = DemandGame::new(base, TrafficDemands::uniform(4)).unwrap();
         // The chain is a Nash equilibrium on a line under uniform demand.
-        let chain = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
-        )
-        .unwrap();
+        let chain =
+            StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+                .unwrap();
         assert!(dg.find_deviation(&chain).unwrap().is_none());
         // The empty profile is not.
         let dev = dg.find_deviation(&StrategyProfile::empty(4)).unwrap();
@@ -509,8 +521,9 @@ mod tests {
     fn weighted_dynamics_converges_and_is_weighted_nash() {
         let base = base_game();
         let dg = DemandGame::new(base, TrafficDemands::hotspot(4, 0, 5.0)).unwrap();
-        let (profile, converged) =
-            dg.best_response_dynamics(StrategyProfile::empty(4), 100).unwrap();
+        let (profile, converged) = dg
+            .best_response_dynamics(StrategyProfile::empty(4), 100)
+            .unwrap();
         assert!(converged);
         assert!(dg.find_deviation(&profile).unwrap().is_none());
         assert!(dg.social_cost(&profile).unwrap().total().is_finite());

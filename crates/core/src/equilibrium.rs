@@ -1,7 +1,4 @@
-use crate::{
-    all_peer_costs, best_response, BestResponseMethod, CoreError, Game, LinkSet, PeerId,
-    StrategyProfile,
-};
+use crate::{BestResponseMethod, CoreError, Game, GameSession, LinkSet, PeerId, StrategyProfile};
 
 /// Configuration of a Nash-equilibrium check.
 ///
@@ -23,14 +20,20 @@ impl NashTest {
     /// (tolerance `1e-9`). A passing report **certifies** the equilibrium.
     #[must_use]
     pub fn exact() -> Self {
-        NashTest { method: BestResponseMethod::Exact, tolerance: 1e-9 }
+        NashTest {
+            method: BestResponseMethod::Exact,
+            tolerance: 1e-9,
+        }
     }
 
     /// Exact verification via subset enumeration (`n ≤ 25`); useful to
     /// cross-validate the branch-and-bound on small instances.
     #[must_use]
     pub fn exact_enumeration() -> Self {
-        NashTest { method: BestResponseMethod::ExactEnumeration, tolerance: 1e-9 }
+        NashTest {
+            method: BestResponseMethod::ExactEnumeration,
+            tolerance: 1e-9,
+        }
     }
 
     /// Heuristic check with local-search responses: cheap, and a *failed*
@@ -38,7 +41,10 @@ impl NashTest {
     /// a passing check is only "no deviation found".
     #[must_use]
     pub fn local_search() -> Self {
-        NashTest { method: BestResponseMethod::LocalSearch, tolerance: 1e-9 }
+        NashTest {
+            method: BestResponseMethod::LocalSearch,
+            tolerance: 1e-9,
+        }
     }
 
     /// Replaces the tolerance.
@@ -48,7 +54,10 @@ impl NashTest {
     /// Panics if `tol` is negative or not finite.
     #[must_use]
     pub fn with_tolerance(mut self, tol: f64) -> Self {
-        assert!(tol.is_finite() && tol >= 0.0, "tolerance must be finite non-negative");
+        assert!(
+            tol.is_finite() && tol >= 0.0,
+            "tolerance must be finite non-negative"
+        );
         self.tolerance = tol;
         self
     }
@@ -109,7 +118,8 @@ impl NashReport {
 /// Checks whether `profile` is a (pure) Nash equilibrium of `game`.
 ///
 /// Scans every peer, computing a response per [`NashTest::method`]; keeps
-/// the deviation with the largest improvement.
+/// the deviation with the largest improvement. Thin wrapper over
+/// [`GameSession::is_nash`] building a throwaway session.
 ///
 /// # Errors
 ///
@@ -134,32 +144,7 @@ pub fn is_nash(
     profile: &StrategyProfile,
     test: &NashTest,
 ) -> Result<NashReport, CoreError> {
-    let peer_costs = all_peer_costs(game, profile)?;
-    let mut best: Option<Deviation> = None;
-    for i in 0..game.n() {
-        let peer = PeerId::new(i);
-        let br = best_response(game, profile, peer, test.method)?;
-        if br.improves(test.tolerance) {
-            let dev = Deviation {
-                peer,
-                links: br.links,
-                old_cost: br.current_cost,
-                new_cost: br.cost,
-            };
-            let replace = match &best {
-                None => true,
-                Some(b) => dev.improvement() > b.improvement(),
-            };
-            if replace {
-                best = Some(dev);
-            }
-        }
-    }
-    Ok(NashReport {
-        best_deviation: best,
-        certified_exact: test.method.is_exact(),
-        peer_costs,
-    })
+    GameSession::from_refs(game, profile)?.is_nash(test)
 }
 
 /// The **Nash gap**: the largest improvement any single peer can achieve
@@ -177,15 +162,7 @@ pub fn nash_gap(
     profile: &StrategyProfile,
     method: BestResponseMethod,
 ) -> Result<f64, CoreError> {
-    let mut gap = 0.0f64;
-    for i in 0..game.n() {
-        let br = best_response(game, profile, PeerId::new(i), method)?;
-        let imp = br.improvement();
-        if imp > gap {
-            gap = imp;
-        }
-    }
-    Ok(gap)
+    GameSession::from_refs(game, profile)?.nash_gap(method)
 }
 
 #[cfg(test)]
@@ -221,7 +198,10 @@ mod tests {
     fn nash_gap_zero_iff_nash() {
         let game = line_game(vec![0.0, 1.0], 2.0);
         let nash = StrategyProfile::complete(2);
-        assert_eq!(nash_gap(&game, &nash, BestResponseMethod::Exact).unwrap(), 0.0);
+        assert_eq!(
+            nash_gap(&game, &nash, BestResponseMethod::Exact).unwrap(),
+            0.0
+        );
         let game3 = line_game(vec![0.0, 1.0, 2.0], 0.1);
         let not_nash = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
         // With tiny alpha every peer wants direct links to everyone; the

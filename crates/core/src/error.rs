@@ -53,10 +53,16 @@ impl fmt::Display for CoreError {
             }
             CoreError::SelfLink { peer } => write!(f, "peer {peer} links to itself"),
             CoreError::ProfileSizeMismatch { expected, actual } => {
-                write!(f, "profile has {actual} strategies for a game of {expected} peers")
+                write!(
+                    f,
+                    "profile has {actual} strategies for a game of {expected} peers"
+                )
             }
             CoreError::InstanceTooLarge { n, limit } => {
-                write!(f, "instance of {n} peers exceeds the exact-solver limit {limit}")
+                write!(
+                    f,
+                    "instance of {n} peers exceeds the exact-solver limit {limit}"
+                )
             }
         }
     }

@@ -123,7 +123,10 @@ impl Game {
         if !alpha.is_finite() || alpha <= 0.0 {
             return Err(CoreError::InvalidAlpha { alpha });
         }
-        Ok(Game { dist: self.dist.clone(), alpha })
+        Ok(Game {
+            dist: self.dist.clone(),
+            alpha,
+        })
     }
 }
 
@@ -170,7 +173,10 @@ mod tests {
         let m = DistanceMatrix::new_filled(2, 0.0);
         assert!(matches!(
             Game::new(m, 1.0),
-            Err(CoreError::Metric(MetricError::CoincidentPoints { i: 0, j: 1 }))
+            Err(CoreError::Metric(MetricError::CoincidentPoints {
+                i: 0,
+                j: 1
+            }))
         ));
     }
 

@@ -18,6 +18,11 @@
 //! * [`Game`] — the metric (as a distance matrix) plus the trade-off
 //!   parameter `α`;
 //! * [`StrategyProfile`] / [`LinkSet`] / [`PeerId`] — strategy bookkeeping;
+//! * [`GameSession`] — **the evaluation engine**: a stateful handle
+//!   owning a game and its evolving profile, keeping the overlay CSR,
+//!   distance matrix, and stretch matrix cached across queries, and
+//!   repairing them incrementally when [`GameSession::apply`] mutates a
+//!   peer's links;
 //! * [`topology`](fn@topology) / [`overlay_distances`] / [`stretch_matrix`]
 //!   — the induced overlay and its stretches;
 //! * [`peer_cost`] / [`social_cost`] — the paper's cost functions;
@@ -27,10 +32,15 @@
 //! * [`is_nash`] / [`nash_gap`] — (exact) Nash-equilibrium verification;
 //! * [`poa`] — bounds used for Price-of-Anarchy bracketing.
 //!
-//! # Example
+//! The free functions are retained as thin, source-compatible wrappers —
+//! each builds a throwaway [`GameSession`] — so one-shot callers keep the
+//! simple API while hot loops (dynamics, experiment sweeps) hold a
+//! session and let the caches pay off.
+//!
+//! # Example: session-oriented evaluation
 //!
 //! ```
-//! use sp_core::{Game, StrategyProfile, social_cost, is_nash, NashTest};
+//! use sp_core::{Game, GameSession, Move, NashTest, PeerId, StrategyProfile};
 //! use sp_metric::LineSpace;
 //!
 //! let space = LineSpace::new(vec![0.0, 1.0, 3.0]).unwrap();
@@ -38,14 +48,30 @@
 //!
 //! // The bidirectional chain: on a line every stretch is 1.
 //! let chain = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
-//! let c = social_cost(&game, &chain).unwrap();
+//! let mut session = GameSession::new(game, chain).unwrap();
+//! let c = session.social_cost();
 //! assert_eq!(c.link_cost, 4.0);    // α · |E| = 1 · 4
 //! assert_eq!(c.stretch_cost, 6.0); // n(n-1) stretches of 1
 //!
 //! // The chain is a Nash equilibrium here: dropping a link disconnects,
 //! // and extra links cost α without reducing any stretch below 1.
-//! let report = is_nash(&game, &chain, &NashTest::exact()).unwrap();
-//! assert!(report.is_nash());
+//! assert!(session.is_nash(&NashTest::exact()).unwrap().is_nash());
+//!
+//! // Mutate through the session: caches are repaired, not discarded.
+//! session.apply(Move::AddLink { from: PeerId::new(0), to: PeerId::new(2) }).unwrap();
+//! assert_eq!(session.social_cost().total(), c.total() + 1.0); // one more α, no stretch saved
+//! ```
+//!
+//! # Example: the source-compatible free functions
+//!
+//! ```
+//! use sp_core::{Game, StrategyProfile, social_cost, is_nash, NashTest};
+//! use sp_metric::LineSpace;
+//!
+//! let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 3.0]).unwrap(), 1.0).unwrap();
+//! let chain = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+//! assert_eq!(social_cost(&game, &chain).unwrap().total(), 10.0);
+//! assert!(is_nash(&game, &chain, &NashTest::exact()).unwrap().is_nash());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,16 +87,16 @@ mod error;
 mod game;
 mod peer;
 pub mod poa;
+mod session;
 mod strategy;
 mod topology;
 
-pub use best_response::{
-    best_response, first_improving_move, BestResponse, BestResponseMethod,
-};
+pub use best_response::{best_response, first_improving_move, BestResponse, BestResponseMethod};
 pub use cost::{all_peer_costs, peer_cost, social_cost, SocialCost};
 pub use error::CoreError;
 pub use game::Game;
 pub use peer::{LinkSet, PeerId};
+pub use session::{GameSession, Move, SessionStats};
 pub use strategy::StrategyProfile;
 pub use topology::{
     max_stretch, overlay_distances, stretch_matrix, topology, topology_without_peer,

@@ -87,7 +87,10 @@ impl LinkSet {
     #[must_use]
     pub fn all_except(n: usize, owner: PeerId) -> Self {
         LinkSet {
-            links: (0..n).filter(|&j| j != owner.index()).map(PeerId::new).collect(),
+            links: (0..n)
+                .filter(|&j| j != owner.index())
+                .map(PeerId::new)
+                .collect(),
         }
     }
 

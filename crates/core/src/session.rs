@@ -1,0 +1,920 @@
+//! Session-oriented game evaluation with cached overlay state.
+//!
+//! The free functions ([`peer_cost`](crate::peer_cost),
+//! [`social_cost`](crate::social_cost), …) rebuild the overlay graph and
+//! rerun shortest paths on every call, which is wasteful in hot loops
+//! like best-response dynamics where successive queries differ by a
+//! single peer's out-links. A [`GameSession`] owns the game and the
+//! current profile and keeps three derived structures resident:
+//!
+//! * the overlay CSR snapshot;
+//! * the overlay distance matrix, with **per-row validity** — rows are
+//!   (re)computed lazily, one Dijkstra sweep at a time;
+//! * the stretch matrix, derived from the distances on demand.
+//!
+//! [`GameSession::apply`] mutates the profile through [`Move`]s and
+//! repairs the cache incrementally instead of discarding it:
+//!
+//! * a row `u` survives a **removed** link `(i, j)` untouched when no
+//!   shortest path from `u` used that link (checked in `O(1)` per row
+//!   per removed link via `d_u(i) + w(i,j) > d_u(j)`);
+//! * an **added** link `(i, j)` triggers a decrease-only re-relaxation
+//!   seeded at `j` ([`sp_graph::CsrGraph::relax_decrease_into`]) — work
+//!   proportional to the region whose distances actually improve, not a
+//!   full APSP;
+//! * rows that cannot be repaired cheaply are merely marked invalid and
+//!   recomputed the next time something reads them.
+//!
+//! [`SessionStats`] counts the sweeps actually performed, so benchmarks
+//! and tests can verify the cache earns its keep.
+
+use sp_graph::{CsrGraph, DiGraph, DijkstraScratch, DistanceMatrix};
+
+use crate::best_response::ResponseOracle;
+use crate::cost::peer_cost_from_distances;
+use crate::equilibrium::{Deviation, NashReport, NashTest};
+use crate::{
+    BestResponse, BestResponseMethod, CoreError, Game, LinkSet, PeerId, SocialCost, StrategyProfile,
+};
+
+/// Relative tolerance for the "was this removed edge on a shortest
+/// path?" test. Conservative: ties invalidate the row (costs a recompute,
+/// never correctness).
+const EDGE_ON_PATH_EPS: f64 = 1e-9;
+
+/// A unilateral change to the current profile, applied through
+/// [`GameSession::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Move {
+    /// Replace `peer`'s entire out-link set (what best-response dynamics
+    /// does each accepted activation).
+    SetStrategy {
+        /// The moving peer.
+        peer: PeerId,
+        /// Its new out-links.
+        links: LinkSet,
+    },
+    /// Add the single link `from → to`.
+    AddLink {
+        /// Link owner.
+        from: PeerId,
+        /// Link target.
+        to: PeerId,
+    },
+    /// Remove the single link `from → to`.
+    RemoveLink {
+        /// Link owner.
+        from: PeerId,
+        /// Link target.
+        to: PeerId,
+    },
+}
+
+/// Counters describing how much shortest-path work a session performed.
+///
+/// `full_sssp / n` is the number of APSP-equivalents actually computed;
+/// the legacy rebuild-per-call path performs one full APSP per
+/// `social_cost` and one sweep (plus a topology rebuild) per `peer_cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Overlay CSR snapshots built.
+    pub csr_rebuilds: usize,
+    /// Full single-source sweeps (one distance-matrix row from scratch).
+    pub full_sssp: usize,
+    /// Seeded decrease-only re-relaxations (cheap incremental repairs).
+    pub incremental_relaxations: usize,
+    /// Rows dropped by [`GameSession::apply`] because a removed link may
+    /// have carried a shortest path.
+    pub rows_invalidated: usize,
+    /// Rows that survived an [`GameSession::apply`] untouched or via a
+    /// cheap repair.
+    pub rows_preserved: usize,
+    /// Best-response oracles built (each costs `n - 1` sweeps, counted
+    /// separately from `full_sssp`).
+    pub oracle_builds: usize,
+}
+
+impl SessionStats {
+    /// Full APSP-equivalents computed for cost queries: `full_sssp / n`.
+    #[must_use]
+    pub fn apsp_equivalents(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.full_sssp as f64 / n as f64
+        }
+    }
+}
+
+/// A stateful evaluation handle: a [`Game`], the current
+/// [`StrategyProfile`], and lazily maintained overlay caches.
+///
+/// All query methods take `&mut self` because they fill caches on
+/// demand; none of them changes the profile. Only [`GameSession::apply`]
+/// and [`GameSession::set_profile`] do.
+///
+/// # Example
+///
+/// ```
+/// use sp_core::{GameSession, Move, Game, PeerId, StrategyProfile};
+/// use sp_metric::LineSpace;
+///
+/// let game = Game::from_space(&LineSpace::new(vec![0.0, 1.0, 3.0]).unwrap(), 1.0).unwrap();
+/// let chain = StrategyProfile::from_links(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+/// let mut session = GameSession::new(game, chain).unwrap();
+///
+/// let before = session.social_cost().total();
+/// session.apply(Move::AddLink { from: PeerId::new(0), to: PeerId::new(2) }).unwrap();
+/// let after = session.social_cost().total();
+/// // The extra link costs α = 1 and saves no stretch on a line.
+/// assert_eq!(after, before + 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GameSession {
+    game: Game,
+    profile: StrategyProfile,
+    /// Overlay CSR snapshot; `None` when no query has needed it yet (or
+    /// after a full reset).
+    csr: Option<CsrGraph>,
+    /// Overlay distances; row `u` is meaningful iff `row_valid[u]`.
+    dist: DistanceMatrix,
+    row_valid: Vec<bool>,
+    /// Cached stretch matrix; cleared by every profile mutation.
+    stretch: Option<DistanceMatrix>,
+    scratch: DijkstraScratch,
+    stats: SessionStats,
+}
+
+impl GameSession {
+    /// Creates a session owning `game` and `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileSizeMismatch`] when the profile and
+    /// game disagree on the number of peers.
+    pub fn new(game: Game, profile: StrategyProfile) -> Result<Self, CoreError> {
+        if profile.n() != game.n() {
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: game.n(),
+                actual: profile.n(),
+            });
+        }
+        let n = game.n();
+        Ok(GameSession {
+            game,
+            profile,
+            csr: None,
+            dist: DistanceMatrix::new_filled(n, f64::INFINITY),
+            row_valid: vec![false; n],
+            stretch: None,
+            scratch: DijkstraScratch::new(),
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Convenience constructor cloning borrowed inputs — what the legacy
+    /// free-function wrappers use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameSession::new`].
+    pub fn from_refs(game: &Game, profile: &StrategyProfile) -> Result<Self, CoreError> {
+        GameSession::new(game.clone(), profile.clone())
+    }
+
+    /// The game being evaluated.
+    #[must_use]
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+
+    /// The current profile.
+    #[must_use]
+    pub fn profile(&self) -> &StrategyProfile {
+        &self.profile
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.game.n()
+    }
+
+    /// Consumes the session, returning the current profile.
+    #[must_use]
+    pub fn into_profile(self) -> StrategyProfile {
+        self.profile
+    }
+
+    /// Work counters accumulated since creation (or the last
+    /// [`GameSession::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Zeroes the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+
+    /// Replaces the whole profile, discarding every cache. Prefer
+    /// [`GameSession::apply`] for single-peer changes — that is the
+    /// operation the incremental repair is built for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileSizeMismatch`] on size disagreement.
+    pub fn set_profile(&mut self, profile: StrategyProfile) -> Result<(), CoreError> {
+        if profile.n() != self.game.n() {
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: self.game.n(),
+                actual: profile.n(),
+            });
+        }
+        self.profile = profile;
+        self.invalidate_all();
+        Ok(())
+    }
+
+    fn invalidate_all(&mut self) {
+        self.csr = None;
+        self.row_valid.fill(false);
+        self.stretch = None;
+    }
+
+    /// Applies a unilateral move, repairing the distance cache
+    /// incrementally, and returns the links the peer held before.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::PeerOutOfBounds`] for out-of-range peers (either
+    ///   endpoint of a single-link move, or a target inside
+    ///   [`Move::SetStrategy`] links);
+    /// * [`CoreError::SelfLink`] when a move would create a self-link.
+    pub fn apply(&mut self, mv: Move) -> Result<LinkSet, CoreError> {
+        let n = self.game.n();
+        let check = |peer: PeerId| -> Result<(), CoreError> {
+            if peer.index() >= n {
+                return Err(CoreError::PeerOutOfBounds {
+                    peer: peer.index(),
+                    n,
+                });
+            }
+            Ok(())
+        };
+        let (peer, new_links) = match mv {
+            Move::SetStrategy { peer, links } => {
+                check(peer)?;
+                for t in links.iter() {
+                    check(t)?;
+                    if t == peer {
+                        return Err(CoreError::SelfLink { peer: peer.index() });
+                    }
+                }
+                (peer, links)
+            }
+            Move::AddLink { from, to } => {
+                check(from)?;
+                check(to)?;
+                if from == to {
+                    return Err(CoreError::SelfLink { peer: from.index() });
+                }
+                (from, self.profile.strategy(from).with(to))
+            }
+            Move::RemoveLink { from, to } => {
+                check(from)?;
+                check(to)?;
+                (from, self.profile.strategy(from).without(to))
+            }
+        };
+
+        let old_links = self.profile.strategy(peer).clone();
+        if old_links == new_links {
+            return Ok(old_links);
+        }
+
+        let i = peer.index();
+        let added: Vec<usize> = new_links
+            .iter()
+            .filter(|t| !old_links.contains(*t))
+            .map(PeerId::index)
+            .collect();
+        let removed: Vec<usize> = old_links
+            .iter()
+            .filter(|t| !new_links.contains(*t))
+            .map(PeerId::index)
+            .collect();
+
+        self.profile
+            .set_strategy(peer, new_links)
+            .expect("move endpoints validated above");
+        self.stretch = None;
+
+        if self.csr.is_none() || !self.row_valid.iter().any(|&v| v) {
+            // Nothing cached worth repairing; stay lazy.
+            self.csr = None;
+            self.row_valid.fill(false);
+            return Ok(old_links);
+        }
+
+        // The edge set changed: refresh the CSR snapshot (O(m), cheap
+        // next to the sweeps it lets us keep).
+        self.rebuild_csr();
+        let csr = self.csr.as_ref().expect("just rebuilt");
+
+        let removed_edges: Vec<(usize, f64)> = removed
+            .iter()
+            .map(|&j| (j, self.game.distance(i, j)))
+            .collect();
+        let added_edges: Vec<(usize, f64)> = added
+            .iter()
+            .map(|&j| (j, self.game.distance(i, j)))
+            .collect();
+
+        let mut seeds: Vec<(usize, f64)> = Vec::with_capacity(added_edges.len());
+        for u in 0..n {
+            if !self.row_valid[u] {
+                continue;
+            }
+            let row = self.dist.row(u);
+            let d_ui = row[i];
+
+            // A removed link (i, j) can only affect u's distances when u
+            // reaches i and the link was tight on some shortest path.
+            let broken = d_ui.is_finite()
+                && removed_edges
+                    .iter()
+                    .any(|&(j, w)| d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs()));
+            if broken {
+                self.row_valid[u] = false;
+                self.stats.rows_invalidated += 1;
+                continue;
+            }
+
+            // Added links only ever shorten distances: repair in place.
+            if d_ui.is_finite() {
+                seeds.clear();
+                seeds.extend(
+                    added_edges
+                        .iter()
+                        .filter(|&&(j, w)| d_ui + w < row[j])
+                        .map(|&(j, w)| (j, d_ui + w)),
+                );
+                if !seeds.is_empty() {
+                    csr.relax_decrease_into(self.dist.row_mut(u), &seeds, &mut self.scratch);
+                    self.stats.incremental_relaxations += 1;
+                }
+            }
+            self.stats.rows_preserved += 1;
+        }
+        Ok(old_links)
+    }
+
+    fn rebuild_csr(&mut self) {
+        let mut g = DiGraph::new(self.game.n());
+        for (i, s) in self.profile.iter() {
+            for j in s.iter() {
+                g.add_edge(
+                    i.index(),
+                    j.index(),
+                    self.game.distance(i.index(), j.index()),
+                );
+            }
+        }
+        self.csr = Some(CsrGraph::from_digraph(&g));
+        self.stats.csr_rebuilds += 1;
+    }
+
+    fn ensure_csr(&mut self) {
+        if self.csr.is_none() {
+            self.rebuild_csr();
+        }
+    }
+
+    /// Makes row `u` of the distance matrix valid and returns it.
+    fn row(&mut self, u: usize) -> &[f64] {
+        self.ensure_csr();
+        if !self.row_valid[u] {
+            let csr = self.csr.as_ref().expect("ensured above");
+            csr.dijkstra_into_with(u, self.dist.row_mut(u), &mut self.scratch);
+            self.row_valid[u] = true;
+            self.stats.full_sssp += 1;
+        }
+        self.dist.row(u)
+    }
+
+    fn ensure_all_rows(&mut self) {
+        for u in 0..self.game.n() {
+            let _ = self.row(u);
+        }
+    }
+
+    /// Individual cost of `peer` under the current profile:
+    /// `c_i(s) = α·|s_i| + Σ_{j≠i} stretch(i, j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PeerOutOfBounds`] for out-of-range peers.
+    pub fn peer_cost(&mut self, peer: PeerId) -> Result<f64, CoreError> {
+        if peer.index() >= self.game.n() {
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n: self.game.n(),
+            });
+        }
+        let _ = self.row(peer.index());
+        let row = self.dist.row(peer.index());
+        Ok(peer_cost_from_distances(
+            &self.game,
+            &self.profile,
+            peer,
+            row,
+        ))
+    }
+
+    /// Individual costs of every peer (fills the whole distance cache).
+    #[must_use]
+    pub fn all_peer_costs(&mut self) -> Vec<f64> {
+        self.ensure_all_rows();
+        (0..self.game.n())
+            .map(|u| {
+                peer_cost_from_distances(
+                    &self.game,
+                    &self.profile,
+                    PeerId::new(u),
+                    self.dist.row(u),
+                )
+            })
+            .collect()
+    }
+
+    /// Social cost of the current profile, decomposed into link and
+    /// stretch terms.
+    #[must_use]
+    pub fn social_cost(&mut self) -> SocialCost {
+        self.ensure_all_rows();
+        let n = self.game.n();
+        let mut stretch_cost = 0.0f64;
+        'outer: for u in 0..n {
+            let row = self.dist.row(u);
+            for j in 0..n {
+                if j != u {
+                    stretch_cost += row[j] / self.game.distance(u, j);
+                }
+            }
+            if stretch_cost.is_infinite() {
+                stretch_cost = f64::INFINITY;
+                break 'outer;
+            }
+        }
+        SocialCost {
+            link_cost: self.game.alpha() * self.profile.link_count() as f64,
+            stretch_cost,
+        }
+    }
+
+    /// The overlay distance matrix `d_G(i, j)` (fills every row).
+    pub fn overlay_distances(&mut self) -> &DistanceMatrix {
+        self.ensure_all_rows();
+        &self.dist
+    }
+
+    /// The stretch matrix `d_G(i, j) / d(i, j)` (cached until the next
+    /// profile mutation).
+    pub fn stretch_matrix(&mut self) -> &DistanceMatrix {
+        if self.stretch.is_none() {
+            self.ensure_all_rows();
+            let n = self.game.n();
+            let mut s = DistanceMatrix::new_filled(n, 1.0);
+            for i in 0..n {
+                let row = self.dist.row(i);
+                for j in 0..n {
+                    if i != j {
+                        s[(i, j)] = row[j] / self.game.distance(i, j);
+                    }
+                }
+            }
+            self.stretch = Some(s);
+        }
+        self.stretch.as_ref().expect("filled above")
+    }
+
+    /// The largest stretch over all ordered pairs (`1.0` for fewer than
+    /// two peers, `∞` when some peer cannot reach some other peer).
+    #[must_use]
+    pub fn max_stretch(&mut self) -> f64 {
+        let n = self.game.n();
+        let s = self.stretch_matrix();
+        let mut m = 1.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m = m.max(s[(i, j)]);
+                }
+            }
+        }
+        m
+    }
+
+    /// `peer`'s best response against the fixed rest of the current
+    /// profile. The peer's current cost comes from the session cache; the
+    /// candidate evaluation reuses the session's Dijkstra scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the free [`crate::best_response`].
+    pub fn best_response(
+        &mut self,
+        peer: PeerId,
+        method: BestResponseMethod,
+    ) -> Result<BestResponse, CoreError> {
+        let current_cost = self.peer_cost(peer)?;
+        if self.game.n() <= 1 {
+            return Ok(BestResponse {
+                peer,
+                links: LinkSet::new(),
+                cost: 0.0,
+                current_cost,
+                exact: true,
+            });
+        }
+        let oracle =
+            ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
+        self.stats.oracle_builds += 1;
+        let (links, cost) = oracle.solve(method)?;
+        if cost > current_cost {
+            // Heuristics may come out worse; keeping the current strategy
+            // is then the better (valid) response.
+            return Ok(BestResponse {
+                peer,
+                links: self.profile.strategy(peer).clone(),
+                cost: current_cost,
+                current_cost,
+                exact: method.is_exact(),
+            });
+        }
+        Ok(BestResponse {
+            peer,
+            links,
+            cost,
+            current_cost,
+            exact: method.is_exact(),
+        })
+    }
+
+    /// First strictly improving single-link move for `peer` (drop, add,
+    /// swap — in that order), or `None`; the "better response" used by
+    /// low-churn dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the free [`crate::first_improving_move`].
+    pub fn first_improving_move(
+        &mut self,
+        peer: PeerId,
+        tol: f64,
+    ) -> Result<Option<BestResponse>, CoreError> {
+        if self.game.n() <= 1 {
+            if peer.index() >= self.game.n() {
+                return Err(CoreError::PeerOutOfBounds {
+                    peer: peer.index(),
+                    n: self.game.n(),
+                });
+            }
+            return Ok(None);
+        }
+        let oracle =
+            ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
+        self.stats.oracle_builds += 1;
+        Ok(oracle.first_improving_move(peer, self.profile.strategy(peer), tol))
+    }
+
+    /// The largest improvement any single peer can gain by deviating
+    /// (0.0 at equilibrium, `∞` if someone can restore connectivity).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::best_response`].
+    pub fn nash_gap(&mut self, method: BestResponseMethod) -> Result<f64, CoreError> {
+        let mut gap = 0.0f64;
+        for i in 0..self.game.n() {
+            let br = self.best_response(PeerId::new(i), method)?;
+            let imp = br.improvement();
+            if imp > gap {
+                gap = imp;
+            }
+        }
+        Ok(gap)
+    }
+
+    /// Checks whether the current profile is a (pure) Nash equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::best_response`].
+    pub fn is_nash(&mut self, test: &NashTest) -> Result<NashReport, CoreError> {
+        let peer_costs = self.all_peer_costs();
+        let mut best: Option<Deviation> = None;
+        for i in 0..self.game.n() {
+            let peer = PeerId::new(i);
+            let br = self.best_response(peer, test.method)?;
+            if br.improves(test.tolerance) {
+                let dev = Deviation {
+                    peer,
+                    links: br.links,
+                    old_cost: br.current_cost,
+                    new_cost: br.cost,
+                };
+                let replace = match &best {
+                    None => true,
+                    Some(b) => dev.improvement() > b.improvement(),
+                };
+                if replace {
+                    best = Some(dev);
+                }
+            }
+        }
+        Ok(NashReport {
+            best_deviation: best,
+            certified_exact: test.method.is_exact(),
+            peer_costs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        all_peer_costs, best_response, is_nash, max_stretch, nash_gap, social_cost, stretch_matrix,
+    };
+    use sp_metric::LineSpace;
+
+    fn game(alpha: f64) -> Game {
+        Game::from_space(
+            &LineSpace::new(vec![0.0, 1.0, 3.0, 4.0, 7.5]).unwrap(),
+            alpha,
+        )
+        .unwrap()
+    }
+
+    fn detour_game() -> Game {
+        let m = DistanceMatrix::from_row_major(
+            4,
+            vec![
+                0.0, 1.0, 1.8, 2.4, //
+                1.0, 0.0, 1.0, 1.9, //
+                1.8, 1.0, 0.0, 1.0, //
+                2.4, 1.9, 1.0, 0.0,
+            ],
+        )
+        .unwrap();
+        Game::new(m, 0.8).unwrap()
+    }
+
+    fn assert_matches_free_functions(session: &mut GameSession) {
+        let game = session.game().clone();
+        let profile = session.profile().clone();
+        let sc = social_cost(&game, &profile).unwrap();
+        let got = session.social_cost();
+        assert!(
+            (sc.total() - got.total()).abs() < 1e-9
+                || (sc.total().is_infinite() && got.total().is_infinite()),
+            "social cost mismatch: {} vs {}",
+            sc.total(),
+            got.total()
+        );
+        let batch = all_peer_costs(&game, &profile).unwrap();
+        for (i, expected) in batch.iter().enumerate() {
+            let got = session.peer_cost(PeerId::new(i)).unwrap();
+            assert!(
+                (expected - got).abs() < 1e-9 || (expected.is_infinite() && got.is_infinite()),
+                "peer {i}: {expected} vs {got}"
+            );
+        }
+        let s_free = stretch_matrix(&game, &profile).unwrap();
+        assert_eq!(session.stretch_matrix(), &s_free);
+        let ms = max_stretch(&game, &profile).unwrap();
+        let ms_s = session.max_stretch();
+        assert!((ms - ms_s).abs() < 1e-12 || (ms.is_infinite() && ms_s.is_infinite()));
+    }
+
+    #[test]
+    fn fresh_session_matches_free_functions() {
+        let g = game(1.3);
+        for links in [
+            vec![],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+            vec![
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+            ],
+        ] {
+            let p = StrategyProfile::from_links(5, &links).unwrap();
+            let mut s = GameSession::from_refs(&g, &p).unwrap();
+            assert_matches_free_functions(&mut s);
+        }
+    }
+
+    #[test]
+    fn apply_add_and_remove_stay_consistent() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)])
+            .unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        // Warm every cache first so apply() exercises the repair path.
+        let _ = s.social_cost();
+        let moves = [
+            Move::AddLink {
+                from: PeerId::new(0),
+                to: PeerId::new(3),
+            },
+            Move::RemoveLink {
+                from: PeerId::new(1),
+                to: PeerId::new(2),
+            },
+            Move::AddLink {
+                from: PeerId::new(1),
+                to: PeerId::new(3),
+            },
+            Move::SetStrategy {
+                peer: PeerId::new(2),
+                links: [0usize, 3].into_iter().collect(),
+            },
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(3),
+            },
+        ];
+        for mv in moves {
+            s.apply(mv).unwrap();
+            assert_matches_free_functions(&mut s);
+        }
+    }
+
+    #[test]
+    fn apply_returns_previous_links_and_rejects_bad_moves() {
+        let g = game(1.0);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (0, 2)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let old = s
+            .apply(Move::SetStrategy {
+                peer: PeerId::new(0),
+                links: LinkSet::new(),
+            })
+            .unwrap();
+        assert_eq!(old.len(), 2);
+        assert!(matches!(
+            s.apply(Move::AddLink {
+                from: PeerId::new(9),
+                to: PeerId::new(0)
+            }),
+            Err(CoreError::PeerOutOfBounds { peer: 9, n: 5 })
+        ));
+        assert!(matches!(
+            s.apply(Move::AddLink {
+                from: PeerId::new(1),
+                to: PeerId::new(1)
+            }),
+            Err(CoreError::SelfLink { peer: 1 })
+        ));
+        assert!(matches!(
+            s.apply(Move::SetStrategy {
+                peer: PeerId::new(1),
+                links: [7usize].into_iter().collect(),
+            }),
+            Err(CoreError::PeerOutOfBounds { peer: 7, n: 5 })
+        ));
+    }
+
+    #[test]
+    fn session_best_response_and_nash_match_free_functions() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (3, 2)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        for i in 0..4 {
+            let peer = PeerId::new(i);
+            let free = best_response(&g, &p, peer, BestResponseMethod::Exact).unwrap();
+            let sess = s.best_response(peer, BestResponseMethod::Exact).unwrap();
+            assert!((free.cost - sess.cost).abs() < 1e-9, "peer {i}");
+            assert_eq!(free.links, sess.links, "peer {i}");
+        }
+        let free_report = is_nash(&g, &p, &NashTest::exact()).unwrap();
+        let sess_report = s.is_nash(&NashTest::exact()).unwrap();
+        assert_eq!(free_report.is_nash(), sess_report.is_nash());
+        let free_gap = nash_gap(&g, &p, BestResponseMethod::Exact).unwrap();
+        let sess_gap = s.nash_gap(BestResponseMethod::Exact).unwrap();
+        assert!(
+            (free_gap - sess_gap).abs() < 1e-9
+                || (free_gap.is_infinite() && sess_gap.is_infinite())
+        );
+    }
+
+    #[test]
+    fn incremental_repair_avoids_full_sweeps_for_additions() {
+        let g = game(2.0);
+        let chain = StrategyProfile::from_links(
+            5,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+            ],
+        )
+        .unwrap();
+        let mut s = GameSession::from_refs(&g, &chain).unwrap();
+        let _ = s.social_cost();
+        let warm = s.stats();
+        assert_eq!(warm.full_sssp, 5);
+        // A pure addition must not trigger any fresh full sweep.
+        s.apply(Move::AddLink {
+            from: PeerId::new(0),
+            to: PeerId::new(4),
+        })
+        .unwrap();
+        let _ = s.social_cost();
+        let after = s.stats();
+        assert_eq!(after.full_sssp, warm.full_sssp, "additions repair in place");
+        assert_eq!(after.rows_invalidated, 0);
+        assert!(after.rows_preserved >= 5);
+    }
+
+    #[test]
+    fn removal_preserves_unaffected_rows() {
+        let g = game(2.0);
+        // Star out of peer 0 plus chain back-links; removing 0 -> 4 only
+        // affects rows that route through that link.
+        let p = StrategyProfile::from_links(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+            ],
+        )
+        .unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        s.apply(Move::RemoveLink {
+            from: PeerId::new(0),
+            to: PeerId::new(4),
+        })
+        .unwrap();
+        let stats = s.stats();
+        assert!(
+            stats.rows_invalidated < 5,
+            "some rows must survive a removal: {stats:?}"
+        );
+        assert_matches_free_functions(&mut s);
+    }
+
+    #[test]
+    fn peer_cost_is_lazy_one_row() {
+        let g = game(1.0);
+        let p = StrategyProfile::complete(5);
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.peer_cost(PeerId::new(2)).unwrap();
+        assert_eq!(s.stats().full_sssp, 1, "peer_cost computes a single row");
+    }
+
+    #[test]
+    fn set_profile_resets_cache() {
+        let g = game(1.0);
+        let mut s = GameSession::from_refs(&g, &StrategyProfile::complete(5)).unwrap();
+        let dense = s.social_cost();
+        s.set_profile(StrategyProfile::empty(5)).unwrap();
+        let empty = s.social_cost();
+        assert!(dense.is_connected());
+        assert!(!empty.is_connected());
+        assert!(s.set_profile(StrategyProfile::empty(3)).is_err());
+    }
+
+    #[test]
+    fn single_peer_and_empty_profiles() {
+        let g = Game::from_space(&LineSpace::new(vec![0.0]).unwrap(), 1.0).unwrap();
+        let mut s = GameSession::from_refs(&g, &StrategyProfile::empty(1)).unwrap();
+        assert_eq!(s.peer_cost(PeerId::new(0)).unwrap(), 0.0);
+        assert_eq!(s.max_stretch(), 1.0);
+        let br = s
+            .best_response(PeerId::new(0), BestResponseMethod::Exact)
+            .unwrap();
+        assert!(br.links.is_empty());
+    }
+}

@@ -28,14 +28,18 @@ impl StrategyProfile {
     /// The empty profile on `n` peers (no links at all).
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        StrategyProfile { strategies: vec![LinkSet::new(); n] }
+        StrategyProfile {
+            strategies: vec![LinkSet::new(); n],
+        }
     }
 
     /// The complete profile on `n` peers: everyone links to everyone.
     #[must_use]
     pub fn complete(n: usize) -> Self {
         StrategyProfile {
-            strategies: (0..n).map(|i| LinkSet::all_except(n, PeerId::new(i))).collect(),
+            strategies: (0..n)
+                .map(|i| LinkSet::all_except(n, PeerId::new(i)))
+                .collect(),
         }
     }
 
@@ -109,7 +113,10 @@ impl StrategyProfile {
     pub fn set_strategy(&mut self, peer: PeerId, links: LinkSet) -> Result<LinkSet, CoreError> {
         let n = self.n();
         if peer.index() >= n {
-            return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n,
+            });
         }
         for p in links.iter() {
             if p == peer {
@@ -130,10 +137,16 @@ impl StrategyProfile {
     pub fn add_link(&mut self, from: PeerId, to: PeerId) -> Result<bool, CoreError> {
         let n = self.n();
         if from.index() >= n {
-            return Err(CoreError::PeerOutOfBounds { peer: from.index(), n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: from.index(),
+                n,
+            });
         }
         if to.index() >= n {
-            return Err(CoreError::PeerOutOfBounds { peer: to.index(), n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: to.index(),
+                n,
+            });
         }
         if from == to {
             return Err(CoreError::SelfLink { peer: from.index() });
@@ -149,7 +162,10 @@ impl StrategyProfile {
     pub fn remove_link(&mut self, from: PeerId, to: PeerId) -> Result<bool, CoreError> {
         let n = self.n();
         if from.index() >= n {
-            return Err(CoreError::PeerOutOfBounds { peer: from.index(), n });
+            return Err(CoreError::PeerOutOfBounds {
+                peer: from.index(),
+                n,
+            });
         }
         Ok(self.strategies[from.index()].remove(to))
     }
@@ -172,7 +188,10 @@ impl StrategyProfile {
 
     /// Iterates over `(owner, strategy)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, &LinkSet)> + '_ {
-        self.strategies.iter().enumerate().map(|(i, s)| (PeerId::new(i), s))
+        self.strategies
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (PeerId::new(i), s))
     }
 
     /// Iterates over all directed links as `(from, to)` pairs.
@@ -235,7 +254,10 @@ mod tests {
 
     #[test]
     fn from_strategies_validates() {
-        let bad = vec![[1usize].into_iter().collect(), [1usize].into_iter().collect()];
+        let bad = vec![
+            [1usize].into_iter().collect(),
+            [1usize].into_iter().collect(),
+        ];
         assert!(matches!(
             StrategyProfile::from_strategies(bad),
             Err(CoreError::SelfLink { peer: 1 })
@@ -252,9 +274,7 @@ mod tests {
         assert!(p
             .set_strategy(PeerId::new(0), [0usize].into_iter().collect())
             .is_err());
-        assert!(p
-            .set_strategy(PeerId::new(9), LinkSet::new())
-            .is_err());
+        assert!(p.set_strategy(PeerId::new(9), LinkSet::new()).is_err());
     }
 
     #[test]

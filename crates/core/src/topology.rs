@@ -1,10 +1,13 @@
-use sp_graph::{apsp, DiGraph, DistanceMatrix};
+use sp_graph::{DiGraph, DistanceMatrix};
 
-use crate::{CoreError, Game, PeerId, StrategyProfile};
+use crate::{CoreError, Game, GameSession, PeerId, StrategyProfile};
 
 fn check_profile(game: &Game, profile: &StrategyProfile) -> Result<(), CoreError> {
     if profile.n() != game.n() {
-        return Err(CoreError::ProfileSizeMismatch { expected: game.n(), actual: profile.n() });
+        return Err(CoreError::ProfileSizeMismatch {
+            expected: game.n(),
+            actual: profile.n(),
+        });
     }
     Ok(())
 }
@@ -55,7 +58,10 @@ pub fn topology_without_peer(
 ) -> Result<DiGraph, CoreError> {
     check_profile(game, profile)?;
     if peer.index() >= game.n() {
-        return Err(CoreError::PeerOutOfBounds { peer: peer.index(), n: game.n() });
+        return Err(CoreError::PeerOutOfBounds {
+            peer: peer.index(),
+            n: game.n(),
+        });
     }
     let mut g = DiGraph::new(game.n());
     for (i, s) in profile.iter() {
@@ -72,6 +78,9 @@ pub fn topology_without_peer(
 /// All-pairs overlay distances `d_G(i, j)` (may contain `∞` when the
 /// overlay is not strongly connected).
 ///
+/// Thin wrapper over [`GameSession::overlay_distances`]; hot loops should
+/// hold a session, whose cache survives [`GameSession::apply`] moves.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::ProfileSizeMismatch`] if the profile and game
@@ -80,8 +89,8 @@ pub fn overlay_distances(
     game: &Game,
     profile: &StrategyProfile,
 ) -> Result<DistanceMatrix, CoreError> {
-    let g = topology(game, profile)?;
-    Ok(apsp(&g))
+    let mut session = GameSession::from_refs(game, profile)?;
+    Ok(session.overlay_distances().clone())
 }
 
 /// The stretch matrix: `stretch(i, j) = d_G(i, j) / d(i, j)` off-diagonal,
@@ -108,21 +117,9 @@ pub fn overlay_distances(
 /// let s = stretch_matrix(&game, &p).unwrap();
 /// assert_eq!(s[(0, 2)], 1.0); // 0->1->2 has length 2 = direct distance
 /// ```
-pub fn stretch_matrix(
-    game: &Game,
-    profile: &StrategyProfile,
-) -> Result<DistanceMatrix, CoreError> {
-    let dg = overlay_distances(game, profile)?;
-    let n = game.n();
-    let mut s = DistanceMatrix::new_filled(n, 1.0);
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                s[(i, j)] = dg[(i, j)] / game.distance(i, j);
-            }
-        }
-    }
-    Ok(s)
+pub fn stretch_matrix(game: &Game, profile: &StrategyProfile) -> Result<DistanceMatrix, CoreError> {
+    let mut session = GameSession::from_refs(game, profile)?;
+    Ok(session.stretch_matrix().clone())
 }
 
 /// The largest stretch over all ordered pairs (`∞` if some peer cannot
@@ -136,17 +133,7 @@ pub fn stretch_matrix(
 /// Returns [`CoreError::ProfileSizeMismatch`] if the profile and game
 /// disagree on the number of peers.
 pub fn max_stretch(game: &Game, profile: &StrategyProfile) -> Result<f64, CoreError> {
-    let s = stretch_matrix(game, profile)?;
-    let n = game.n();
-    let mut m = 1.0f64;
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                m = m.max(s[(i, j)]);
-            }
-        }
-    }
-    Ok(m)
+    Ok(GameSession::from_refs(game, profile)?.max_stretch())
 }
 
 #[cfg(test)]
@@ -188,7 +175,10 @@ mod tests {
                 assert_eq!(s[(i, j)], 1.0, "({i},{j})");
             }
         }
-        assert_eq!(max_stretch(&game, &StrategyProfile::complete(3)).unwrap(), 1.0);
+        assert_eq!(
+            max_stretch(&game, &StrategyProfile::complete(3)).unwrap(),
+            1.0
+        );
     }
 
     #[test]
@@ -215,11 +205,9 @@ mod tests {
         // positions 0, 1, 1.5: 0 -> 1 -> 2 length 1 + 0.5 = 1.5 = direct.
         // Lines never create stretch; use a matrix metric instead.
         use sp_graph::DistanceMatrix;
-        let m = DistanceMatrix::from_row_major(
-            3,
-            vec![0.0, 1.0, 1.2, 1.0, 0.0, 1.0, 1.2, 1.0, 0.0],
-        )
-        .unwrap();
+        let m =
+            DistanceMatrix::from_row_major(3, vec![0.0, 1.0, 1.2, 1.0, 0.0, 1.0, 1.2, 1.0, 0.0])
+                .unwrap();
         let game = Game::new(m, 1.0).unwrap();
         let p = StrategyProfile::from_links(3, &[(0, 1), (1, 2), (2, 1), (1, 0)]).unwrap();
         let s = stretch_matrix(&game, &p).unwrap();
@@ -233,7 +221,10 @@ mod tests {
         let p = StrategyProfile::empty(4);
         assert!(matches!(
             topology(&game, &p),
-            Err(CoreError::ProfileSizeMismatch { expected: 3, actual: 4 })
+            Err(CoreError::ProfileSizeMismatch {
+                expected: 3,
+                actual: 4
+            })
         ));
         assert!(overlay_distances(&game, &p).is_err());
         assert!(stretch_matrix(&game, &p).is_err());

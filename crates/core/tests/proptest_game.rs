@@ -21,17 +21,14 @@ use sp_metric::generators;
 fn arb_game_and_profile() -> impl Strategy<Value = (Game, StrategyProfile)> {
     (2usize..=7, 0u64..10_000, 0.1f64..8.0).prop_flat_map(|(n, seed, alpha)| {
         let max_links = n * (n - 1);
-        proptest::collection::vec((0..n, 0..n), 0..=max_links.min(20)).prop_map(
-            move |pairs| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let space = generators::uniform_square(n, 10.0, &mut rng);
-                let game = Game::from_space(&space, alpha).unwrap();
-                let links: Vec<(usize, usize)> =
-                    pairs.into_iter().filter(|&(u, v)| u != v).collect();
-                let profile = StrategyProfile::from_links(n, &links).unwrap();
-                (game, profile)
-            },
-        )
+        proptest::collection::vec((0..n, 0..n), 0..=max_links.min(20)).prop_map(move |pairs| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let space = generators::uniform_square(n, 10.0, &mut rng);
+            let game = Game::from_space(&space, alpha).unwrap();
+            let links: Vec<(usize, usize)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            let profile = StrategyProfile::from_links(n, &links).unwrap();
+            (game, profile)
+        })
     })
 }
 

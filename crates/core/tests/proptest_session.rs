@@ -1,0 +1,207 @@
+//! Property tests for [`GameSession`] / free-function equivalence.
+//!
+//! The session is the single evaluation code path now — the free
+//! functions are thin wrappers building a *fresh* session per call — so
+//! the load-bearing property is **cache-invalidation correctness**: a
+//! session that has lived through an arbitrary sequence of
+//! [`Move`]s must answer every query exactly like a cold session (full
+//! rebuild) on the same final profile.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{
+    BestResponseMethod, Game, GameSession, LinkSet, Move, NashTest, PeerId, StrategyProfile,
+};
+use sp_metric::generators;
+
+/// A random small game, a random initial profile, and a random move
+/// script (encoded as `(kind, from, to)` triples).
+#[allow(clippy::type_complexity)]
+fn arb_session_script() -> impl Strategy<Value = (Game, StrategyProfile, Vec<(u8, usize, usize)>)> {
+    (2usize..=7, 0u64..10_000, 0.1f64..8.0).prop_flat_map(|(n, seed, alpha)| {
+        let max_links = (n * (n - 1)).min(16);
+        (
+            proptest::collection::vec((0..n, 0..n), 0..=max_links),
+            proptest::collection::vec((0u8..3, 0..n, 0..n), 1..12),
+        )
+            .prop_map(move |(pairs, script)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let space = generators::uniform_square(n, 10.0, &mut rng);
+                let game = Game::from_space(&space, alpha).unwrap();
+                let links: Vec<(usize, usize)> =
+                    pairs.into_iter().filter(|&(u, v)| u != v).collect();
+                let profile = StrategyProfile::from_links(n, &links).unwrap();
+                (game, profile, script)
+            })
+    })
+}
+
+/// Replays one scripted move on the session, skipping self-links.
+fn play(session: &mut GameSession, kind: u8, from: usize, to: usize) {
+    if from == to {
+        return;
+    }
+    let n = session.n();
+    let mv = match kind {
+        0 => Move::AddLink {
+            from: PeerId::new(from),
+            to: PeerId::new(to),
+        },
+        1 => Move::RemoveLink {
+            from: PeerId::new(from),
+            to: PeerId::new(to),
+        },
+        _ => {
+            // A pseudo-random replacement strategy derived from (from, to).
+            let links: LinkSet = (0..n)
+                .filter(|&v| v != from && !(v + to).is_multiple_of(3))
+                .collect();
+            Move::SetStrategy {
+                peer: PeerId::new(from),
+                links,
+            }
+        }
+    };
+    session.apply(mv).expect("script only uses in-bounds peers");
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= tol * (1.0 + a.abs().min(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Costs after arbitrary move sequences match a cold rebuild.
+    #[test]
+    fn warm_session_costs_match_cold_rebuild(
+        (game, profile, script) in arb_session_script()
+    ) {
+        let mut warm = GameSession::from_refs(&game, &profile).unwrap();
+        // Interleave queries with moves so the incremental repair runs on
+        // genuinely warm caches (querying before each apply fills rows).
+        for &(kind, from, to) in &script {
+            let _ = warm.social_cost();
+            play(&mut warm, kind, from, to);
+        }
+        let mut cold = GameSession::from_refs(&game, warm.profile()).unwrap();
+
+        let warm_sc = warm.social_cost();
+        let cold_sc = cold.social_cost();
+        prop_assert!(
+            close(warm_sc.total(), cold_sc.total(), 1e-9),
+            "social cost diverged: warm {} vs cold {}",
+            warm_sc.total(),
+            cold_sc.total()
+        );
+        prop_assert_eq!(warm_sc.link_cost, cold_sc.link_cost);
+
+        for i in 0..game.n() {
+            let w = warm.peer_cost(PeerId::new(i)).unwrap();
+            let c = cold.peer_cost(PeerId::new(i)).unwrap();
+            prop_assert!(close(w, c, 1e-9), "peer {} cost diverged: {} vs {}", i, w, c);
+        }
+
+        // Full matrices agree entry-wise.
+        let wd = warm.overlay_distances().clone();
+        let cd = cold.overlay_distances().clone();
+        for i in 0..game.n() {
+            for j in 0..game.n() {
+                prop_assert!(
+                    close(wd[(i, j)], cd[(i, j)], 1e-9),
+                    "distance ({},{}) diverged: {} vs {}",
+                    i, j, wd[(i, j)], cd[(i, j)]
+                );
+            }
+        }
+        let ws = warm.stretch_matrix().clone();
+        let cs = cold.stretch_matrix().clone();
+        for i in 0..game.n() {
+            for j in 0..game.n() {
+                prop_assert!(close(ws[(i, j)], cs[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    /// Best responses and Nash verdicts from a warm session match the
+    /// legacy free functions on the same final profile.
+    #[test]
+    fn warm_session_responses_match_free_functions(
+        (game, profile, script) in arb_session_script()
+    ) {
+        let mut warm = GameSession::from_refs(&game, &profile).unwrap();
+        for &(kind, from, to) in &script {
+            let _ = warm.all_peer_costs();
+            play(&mut warm, kind, from, to);
+        }
+        let final_profile = warm.profile().clone();
+
+        for i in 0..game.n() {
+            let peer = PeerId::new(i);
+            let via_session = warm.best_response(peer, BestResponseMethod::Exact).unwrap();
+            let via_free =
+                sp_core::best_response(&game, &final_profile, peer, BestResponseMethod::Exact)
+                    .unwrap();
+            prop_assert!(
+                close(via_session.cost, via_free.cost, 1e-9),
+                "peer {} best-response cost diverged: {} vs {}",
+                i, via_session.cost, via_free.cost
+            );
+            prop_assert!(close(via_session.current_cost, via_free.current_cost, 1e-9));
+        }
+
+        let via_session = warm.is_nash(&NashTest::exact()).unwrap();
+        let via_free = sp_core::is_nash(&game, &final_profile, &NashTest::exact()).unwrap();
+        prop_assert_eq!(via_session.is_nash(), via_free.is_nash());
+
+        let gap_session = warm.nash_gap(BestResponseMethod::Exact).unwrap();
+        let gap_free =
+            sp_core::nash_gap(&game, &final_profile, BestResponseMethod::Exact).unwrap();
+        prop_assert!(close(gap_session, gap_free, 1e-9));
+    }
+
+    /// The wrappers themselves: free functions equal direct session use
+    /// on arbitrary (game, profile) pairs.
+    #[test]
+    fn free_functions_equal_session_queries(
+        (game, profile, _script) in arb_session_script()
+    ) {
+        let mut session = GameSession::from_refs(&game, &profile).unwrap();
+        let sc_free = sp_core::social_cost(&game, &profile).unwrap();
+        let sc_sess = session.social_cost();
+        prop_assert!(close(sc_free.total(), sc_sess.total(), 1e-12));
+        let ms_free = sp_core::max_stretch(&game, &profile).unwrap();
+        let ms_sess = session.max_stretch();
+        prop_assert!(close(ms_free, ms_sess, 1e-12));
+        let costs_free = sp_core::all_peer_costs(&game, &profile).unwrap();
+        let costs_sess = session.all_peer_costs();
+        for (a, b) in costs_free.iter().zip(&costs_sess) {
+            prop_assert!(close(*a, *b, 1e-12));
+        }
+    }
+
+    /// Pure link additions never invalidate rows — the decrease-only
+    /// repair handles them — and never change what queries report
+    /// relative to a cold session.
+    #[test]
+    fn additions_are_repaired_without_row_invalidation(
+        (game, profile, script) in arb_session_script()
+    ) {
+        let mut warm = GameSession::from_refs(&game, &profile).unwrap();
+        let _ = warm.social_cost();
+        for &(_, from, to) in &script {
+            if from != to {
+                warm.apply(Move::AddLink {
+                    from: PeerId::new(from),
+                    to: PeerId::new(to),
+                }).unwrap();
+            }
+        }
+        prop_assert_eq!(warm.stats().rows_invalidated, 0);
+        prop_assert_eq!(warm.stats().full_sssp, game.n());
+        let warm_total = warm.social_cost().total();
+        let cold_total =
+            GameSession::from_refs(&game, warm.profile()).unwrap().social_cost().total();
+        prop_assert!(close(warm_total, cold_total, 1e-9));
+    }
+}

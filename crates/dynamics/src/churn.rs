@@ -154,7 +154,9 @@ impl<'g> ChurnSimulator<'g> {
         }
         self.alive[peer] = false;
         let p = PeerId::new(peer);
-        self.profile.set_strategy(p, LinkSet::new()).expect("peer index validated");
+        self.profile
+            .set_strategy(p, LinkSet::new())
+            .expect("peer index validated");
         for i in 0..self.universe.n() {
             let _ = self.profile.remove_link(PeerId::new(i), p);
         }
@@ -183,7 +185,12 @@ impl<'g> ChurnSimulator<'g> {
     pub fn settle(&mut self, config: &DynamicsConfig) -> ChurnRecord {
         let alive = self.alive_peers();
         let record = if alive.is_empty() {
-            ChurnRecord { alive, steps: 0, moves: 0, converged: true }
+            ChurnRecord {
+                alive,
+                steps: 0,
+                moves: 0,
+                converged: true,
+            }
         } else {
             let sub = subgame(self.universe, &alive);
             let start = project_profile(&self.profile, &alive);
@@ -191,8 +198,12 @@ impl<'g> ChurnSimulator<'g> {
             let out = runner.run(start);
             // Write strategies back in universe coordinates.
             for (k, &i) in alive.iter().enumerate() {
-                let links: LinkSet =
-                    out.profile.strategy(PeerId::new(k)).iter().map(|j| alive[j.index()]).collect();
+                let links: LinkSet = out
+                    .profile
+                    .strategy(PeerId::new(k))
+                    .iter()
+                    .map(|j| alive[j.index()])
+                    .collect();
                 self.profile
                     .set_strategy(PeerId::new(i), links)
                     .expect("write-back uses valid indices");

@@ -1,8 +1,6 @@
 use std::collections::HashMap;
 
-use sp_core::{
-    best_response, first_improving_move, BestResponseMethod, Game, PeerId, StrategyProfile,
-};
+use sp_core::{BestResponseMethod, Game, GameSession, Move, PeerId, StrategyProfile};
 
 use crate::trace::{MoveRecord, Trace};
 use crate::Schedule;
@@ -135,6 +133,10 @@ impl<'g> DynamicsRunner<'g> {
     /// Runs the dynamics from `start` until convergence, a proven cycle,
     /// or the round limit.
     ///
+    /// Internally drives a [`GameSession`] so each activation reuses the
+    /// cached overlay distances and accepted moves repair the cache
+    /// incrementally instead of forcing rebuilds.
+    ///
     /// # Panics
     ///
     /// Panics if `start` has a different peer count than the game, or if
@@ -144,10 +146,35 @@ impl<'g> DynamicsRunner<'g> {
         let n = self.game.n();
         assert!(n > 0, "cannot run dynamics on an empty game");
         assert_eq!(start.n(), n, "profile size must match the game");
+        let mut session =
+            GameSession::new(self.game.clone(), start).expect("profile size checked above");
+        self.run_session(&mut session)
+    }
 
-        let mut profile = start;
+    /// Like [`DynamicsRunner::run`], but drives a caller-owned session
+    /// (starting from its current profile) so the caller can inspect
+    /// [`GameSession::stats`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's game differs from the runner's, or if the
+    /// game has no peers.
+    #[must_use]
+    pub fn run_session(&mut self, session: &mut GameSession) -> DynamicsOutcome {
+        let n = self.game.n();
+        assert!(n > 0, "cannot run dynamics on an empty game");
+        assert_eq!(
+            session.game(),
+            self.game,
+            "session must wrap the runner's game"
+        );
+
         let mut schedule = self.config.schedule.start(n);
-        let mut trace = if self.config.record_trace { Some(Trace::new()) } else { None };
+        let mut trace = if self.config.record_trace {
+            Some(Trace::new())
+        } else {
+            None
+        };
         let mut seen: HashMap<(StrategyProfile, usize), (usize, usize)> = HashMap::new();
         let detect = self.config.detect_cycles && self.config.schedule.is_deterministic();
 
@@ -163,10 +190,10 @@ impl<'g> DynamicsRunner<'g> {
         while step < max_steps {
             if detect {
                 if let Some(pos) = schedule.position_key() {
-                    let key = (profile.clone(), pos);
+                    let key = (session.profile().clone(), pos);
                     if let Some(&(first_step, first_moves)) = seen.get(&key) {
                         return DynamicsOutcome {
-                            profile,
+                            profile: session.profile().clone(),
                             termination: Termination::Cycle {
                                 first_seen_step: first_step,
                                 period_steps: step - first_step,
@@ -182,7 +209,7 @@ impl<'g> DynamicsRunner<'g> {
             }
 
             let peer = schedule.next_peer();
-            let accepted = self.activate(&mut profile, peer, step, trace.as_mut());
+            let accepted = self.activate(session, peer, step, trace.as_mut());
             step += 1;
 
             if accepted {
@@ -196,8 +223,10 @@ impl<'g> DynamicsRunner<'g> {
             }
             if quiet_count == n {
                 return DynamicsOutcome {
-                    profile,
-                    termination: Termination::Converged { rounds: step.div_ceil(n) },
+                    profile: session.profile().clone(),
+                    termination: Termination::Converged {
+                        rounds: step.div_ceil(n),
+                    },
                     steps: step,
                     moves,
                     trace,
@@ -206,7 +235,7 @@ impl<'g> DynamicsRunner<'g> {
         }
 
         DynamicsOutcome {
-            profile,
+            profile: session.profile().clone(),
             termination: Termination::RoundLimit,
             steps: step,
             moves,
@@ -214,11 +243,11 @@ impl<'g> DynamicsRunner<'g> {
         }
     }
 
-    /// Activates one peer; mutates the profile if it wants to move.
+    /// Activates one peer; applies the accepted move to the session.
     /// Returns `true` when the strategy changed.
     fn activate(
         &self,
-        profile: &mut StrategyProfile,
+        session: &mut GameSession,
         peer: PeerId,
         step: usize,
         trace: Option<&mut Trace>,
@@ -230,7 +259,8 @@ impl<'g> DynamicsRunner<'g> {
                     ResponseRule::BestResponseWith(m) => m,
                     _ => BestResponseMethod::Exact,
                 };
-                let br = best_response(self.game, profile, peer, method)
+                let br = session
+                    .best_response(peer, method)
                     .expect("validated inputs cannot fail");
                 if !br.improves(tol) {
                     return false;
@@ -238,7 +268,8 @@ impl<'g> DynamicsRunner<'g> {
                 (br.links, br.current_cost, br.cost)
             }
             ResponseRule::BetterResponse => {
-                match first_improving_move(self.game, profile, peer, tol)
+                match session
+                    .first_improving_move(peer, tol)
                     .expect("validated inputs cannot fail")
                 {
                     None => return false,
@@ -246,14 +277,24 @@ impl<'g> DynamicsRunner<'g> {
                 }
             }
         };
-        if &new_links == profile.strategy(peer) {
+        if &new_links == session.profile().strategy(peer) {
             return false;
         }
-        let old_links = profile
-            .set_strategy(peer, new_links.clone())
+        let old_links = session
+            .apply(Move::SetStrategy {
+                peer,
+                links: new_links.clone(),
+            })
             .expect("response links are valid by construction");
         if let Some(t) = trace {
-            t.push(MoveRecord { step, peer, old_links, new_links, old_cost, new_cost });
+            t.push(MoveRecord {
+                step,
+                peer,
+                old_links,
+                new_links,
+                old_cost,
+                new_cost,
+            });
         }
         true
     }
@@ -275,7 +316,9 @@ mod tests {
         let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
         let out = runner.run(StrategyProfile::empty(4));
         assert!(matches!(out.termination, Termination::Converged { .. }));
-        assert!(is_nash(&game, &out.profile, &NashTest::exact()).unwrap().is_nash());
+        assert!(is_nash(&game, &out.profile, &NashTest::exact())
+            .unwrap()
+            .is_nash());
         assert!(out.moves >= 4, "every peer must link up at least once");
     }
 
@@ -284,7 +327,10 @@ mod tests {
         let game = line_game(vec![0.0, 1.0], 1.0);
         let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
         let out = runner.run(StrategyProfile::complete(2));
-        assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+        assert!(matches!(
+            out.termination,
+            Termination::Converged { rounds: 1 }
+        ));
         assert_eq!(out.moves, 0);
         assert_eq!(out.steps, 2);
     }
@@ -292,7 +338,10 @@ mod tests {
     #[test]
     fn trace_records_only_improving_moves() {
         let game = line_game(vec![0.0, 1.0, 2.0, 4.0, 8.0], 0.8);
-        let config = DynamicsConfig { record_trace: true, ..DynamicsConfig::default() };
+        let config = DynamicsConfig {
+            record_trace: true,
+            ..DynamicsConfig::default()
+        };
         let mut runner = DynamicsRunner::new(&game, config);
         let out = runner.run(StrategyProfile::empty(5));
         let trace = out.trace.expect("trace requested");
@@ -331,7 +380,10 @@ mod tests {
             Schedule::RandomPermutation { seed: 5 },
             Schedule::UniformRandom { seed: 5 },
         ] {
-            let config = DynamicsConfig { schedule, ..DynamicsConfig::default() };
+            let config = DynamicsConfig {
+                schedule,
+                ..DynamicsConfig::default()
+            };
             let mut runner = DynamicsRunner::new(&game, config);
             let out = runner.run(StrategyProfile::empty(4));
             assert!(
@@ -345,7 +397,10 @@ mod tests {
     #[test]
     fn round_limit_is_respected() {
         let game = line_game(vec![0.0, 1.0, 2.0, 3.0], 1.0);
-        let config = DynamicsConfig { max_rounds: 0, ..DynamicsConfig::default() };
+        let config = DynamicsConfig {
+            max_rounds: 0,
+            ..DynamicsConfig::default()
+        };
         let mut runner = DynamicsRunner::new(&game, config);
         let out = runner.run(StrategyProfile::empty(4));
         assert_eq!(out.termination, Termination::RoundLimit);

@@ -46,7 +46,10 @@ impl Schedule {
         match self {
             Schedule::RoundRobin => ScheduleState {
                 n,
-                kind: StateKind::Cyclic { order: (0..n).map(PeerId::new).collect(), pos: 0 },
+                kind: StateKind::Cyclic {
+                    order: (0..n).map(PeerId::new).collect(),
+                    pos: 0,
+                },
             },
             Schedule::Fixed(order) => {
                 assert!(!order.is_empty(), "fixed schedule must not be empty");
@@ -55,7 +58,10 @@ impl Schedule {
                 }
                 ScheduleState {
                     n,
-                    kind: StateKind::Cyclic { order: order.clone(), pos: 0 },
+                    kind: StateKind::Cyclic {
+                        order: order.clone(),
+                        pos: 0,
+                    },
                 }
             }
             Schedule::RandomPermutation { seed } => ScheduleState {
@@ -68,7 +74,9 @@ impl Schedule {
             },
             Schedule::UniformRandom { seed } => ScheduleState {
                 n,
-                kind: StateKind::Uniform { rng: StdRng::seed_from_u64(*seed) },
+                kind: StateKind::Uniform {
+                    rng: StdRng::seed_from_u64(*seed),
+                },
             },
         }
     }
@@ -76,9 +84,18 @@ impl Schedule {
 
 #[derive(Debug)]
 enum StateKind {
-    Cyclic { order: Vec<PeerId>, pos: usize },
-    Permutation { rng: StdRng, order: Vec<PeerId>, pos: usize },
-    Uniform { rng: StdRng },
+    Cyclic {
+        order: Vec<PeerId>,
+        pos: usize,
+    },
+    Permutation {
+        rng: StdRng,
+        order: Vec<PeerId>,
+        pos: usize,
+    },
+    Uniform {
+        rng: StdRng,
+    },
 }
 
 /// The stateful activation stream produced by [`Schedule::start`].

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use sp_core::{best_response, BestResponseMethod, Game, PeerId, StrategyProfile};
+use sp_core::{BestResponseMethod, Game, GameSession, Move, PeerId, StrategyProfile};
 
 use crate::Termination;
 
@@ -80,12 +80,12 @@ pub fn run_simultaneous(
     let n = game.n();
     assert!(n > 0, "cannot run dynamics on an empty game");
     assert_eq!(start.n(), n, "profile size must match the game");
-    let mut profile = start;
+    let mut session = GameSession::new(game.clone(), start).expect("profile size checked above");
     let mut seen: HashMap<StrategyProfile, usize> = HashMap::new();
     for round in 0..config.max_rounds {
-        if let Some(&first) = seen.get(&profile) {
+        if let Some(&first) = seen.get(session.profile()) {
             return SimultaneousOutcome {
-                profile,
+                profile: session.into_profile(),
                 termination: Termination::Cycle {
                     first_seen_step: first,
                     period_steps: round - first,
@@ -94,30 +94,35 @@ pub fn run_simultaneous(
                 rounds: round,
             };
         }
-        seen.insert(profile.clone(), round);
+        seen.insert(session.profile().clone(), round);
 
-        let mut next = profile.clone();
-        let mut changed = false;
+        // All responses are computed against the *current* profile, then
+        // applied at once (session queries never mutate the profile).
+        let mut updates: Vec<(PeerId, sp_core::LinkSet)> = Vec::new();
         for i in 0..n {
             let peer = PeerId::new(i);
-            let br = best_response(game, &profile, peer, config.method)
+            let br = session
+                .best_response(peer, config.method)
                 .expect("validated inputs cannot fail");
-            if br.improves(config.tolerance) && &br.links != profile.strategy(peer) {
-                next.set_strategy(peer, br.links).expect("valid response links");
-                changed = true;
+            if br.improves(config.tolerance) && &br.links != session.profile().strategy(peer) {
+                updates.push((peer, br.links));
             }
         }
-        if !changed {
+        if updates.is_empty() {
             return SimultaneousOutcome {
-                profile,
+                profile: session.into_profile(),
                 termination: Termination::Converged { rounds: round + 1 },
                 rounds: round + 1,
             };
         }
-        profile = next;
+        for (peer, links) in updates {
+            session
+                .apply(Move::SetStrategy { peer, links })
+                .expect("valid response links");
+        }
     }
     SimultaneousOutcome {
-        profile,
+        profile: session.into_profile(),
         termination: Termination::RoundLimit,
         rounds: config.max_rounds,
     }
@@ -142,7 +147,9 @@ mod tests {
             &SimultaneousConfig::default(),
         );
         if let Termination::Converged { .. } = out.termination {
-            assert!(is_nash(&game, &out.profile, &NashTest::exact()).unwrap().is_nash());
+            assert!(is_nash(&game, &out.profile, &NashTest::exact())
+                .unwrap()
+                .is_nash());
         }
         // Whatever happened, the run terminated decisively.
         assert!(!matches!(out.termination, Termination::RoundLimit));
@@ -156,7 +163,10 @@ mod tests {
             StrategyProfile::complete(2),
             &SimultaneousConfig::default(),
         );
-        assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+        assert!(matches!(
+            out.termination,
+            Termination::Converged { rounds: 1 }
+        ));
         assert_eq!(out.profile, StrategyProfile::complete(2));
     }
 
@@ -170,15 +180,19 @@ mod tests {
             StrategyProfile::empty(5),
             &SimultaneousConfig::default(),
         );
-        assert!(
-            matches!(out.termination, Termination::Converged { .. } | Termination::Cycle { .. })
-        );
+        assert!(matches!(
+            out.termination,
+            Termination::Converged { .. } | Termination::Cycle { .. }
+        ));
     }
 
     #[test]
     fn round_limit_respected() {
         let game = line_game(vec![0.0, 1.0, 2.0], 1.0);
-        let config = SimultaneousConfig { max_rounds: 0, ..SimultaneousConfig::default() };
+        let config = SimultaneousConfig {
+            max_rounds: 0,
+            ..SimultaneousConfig::default()
+        };
         let out = run_simultaneous(&game, StrategyProfile::empty(3), &config);
         assert_eq!(out.termination, Termination::RoundLimit);
     }

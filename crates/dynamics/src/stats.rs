@@ -95,11 +95,9 @@ mod tests {
 
     #[test]
     fn batch_on_easy_instances_converges_everywhere() {
-        let game = sp_core::Game::from_space(
-            &LineSpace::new(vec![0.0, 1.0, 2.0, 4.0]).unwrap(),
-            1.0,
-        )
-        .unwrap();
+        let game =
+            sp_core::Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0, 4.0]).unwrap(), 1.0)
+                .unwrap();
         let starts = vec![
             StrategyProfile::empty(4),
             StrategyProfile::complete(4),
@@ -115,11 +113,8 @@ mod tests {
 
     #[test]
     fn round_limit_shows_up_in_stats() {
-        let game = sp_core::Game::from_space(
-            &LineSpace::new(vec![0.0, 1.0, 2.0]).unwrap(),
-            1.0,
-        )
-        .unwrap();
+        let game =
+            sp_core::Game::from_space(&LineSpace::new(vec![0.0, 1.0, 2.0]).unwrap(), 1.0).unwrap();
         let config = DynamicsConfig {
             max_rounds: 0,
             schedule: Schedule::UniformRandom { seed: 3 },

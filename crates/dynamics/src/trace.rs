@@ -103,7 +103,10 @@ mod tests {
         let mut t = Trace::new();
         assert!(t.is_empty());
         t.push(record(0, 10.0, 5.0));
-        t.push(MoveRecord { peer: PeerId::new(1), ..record(1, 7.0, 6.0) });
+        t.push(MoveRecord {
+            peer: PeerId::new(1),
+            ..record(1, 7.0, 6.0)
+        });
         assert_eq!(t.len(), 2);
         assert_eq!(t.moves_of(PeerId::new(1)).count(), 1);
         assert_eq!(t.moves()[0].improvement(), 5.0);

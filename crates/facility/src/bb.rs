@@ -35,10 +35,16 @@ pub fn solve_branch_and_bound(p: &FacilityProblem) -> FacilitySolution {
     let nf = p.facility_count();
     let nc = p.client_count();
     if nc == 0 {
-        return FacilitySolution { open: Vec::new(), cost: 0.0 };
+        return FacilitySolution {
+            open: Vec::new(),
+            cost: 0.0,
+        };
     }
     if nf == 0 {
-        return FacilitySolution { open: Vec::new(), cost: f64::INFINITY };
+        return FacilitySolution {
+            open: Vec::new(),
+            cost: f64::INFINITY,
+        };
     }
 
     // Facility order: most attractive first (low opening + assignment mass).
@@ -87,7 +93,13 @@ pub fn solve_branch_and_bound(p: &FacilityProblem) -> FacilitySolution {
         b
     }
 
-    fn dfs(ctx: &mut Ctx<'_>, idx: usize, open_cost: f64, open: &mut Vec<usize>, current: &mut Vec<f64>) {
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        open_cost: f64,
+        open: &mut Vec<usize>,
+        current: &mut Vec<f64>,
+    ) {
         let nf = ctx.order.len();
         if idx == nf {
             let total = open_cost + current.iter().sum::<f64>();
@@ -143,7 +155,13 @@ pub fn solve_branch_and_bound(p: &FacilityProblem) -> FacilitySolution {
         }
     }
 
-    let mut ctx = Ctx { p, order, suffix_min, best_cost, best_open };
+    let mut ctx = Ctx {
+        p,
+        order,
+        suffix_min,
+        best_cost,
+        best_open,
+    };
     let mut open = Vec::new();
     let mut current = vec![f64::INFINITY; nc];
     dfs(&mut ctx, 0, 0.0, &mut open, &mut current);
@@ -152,9 +170,15 @@ pub fn solve_branch_and_bound(p: &FacilityProblem) -> FacilitySolution {
     best_open = ctx.best_open;
     best_open.sort_unstable();
     if best_cost.is_infinite() {
-        return FacilitySolution { open: Vec::new(), cost: f64::INFINITY };
+        return FacilitySolution {
+            open: Vec::new(),
+            cost: f64::INFINITY,
+        };
     }
-    FacilitySolution { open: best_open, cost: best_cost }
+    FacilitySolution {
+        open: best_open,
+        cost: best_cost,
+    }
 }
 
 #[cfg(test)]
@@ -167,14 +191,15 @@ mod tests {
         let cases = vec![
             FacilityProblem::with_uniform_open_cost(
                 2.0,
-                vec![vec![1.0, 4.0, 4.0], vec![4.0, 1.0, 4.0], vec![4.0, 4.0, 1.0]],
+                vec![
+                    vec![1.0, 4.0, 4.0],
+                    vec![4.0, 1.0, 4.0],
+                    vec![4.0, 4.0, 1.0],
+                ],
             )
             .unwrap(),
-            FacilityProblem::with_uniform_open_cost(
-                0.5,
-                vec![vec![3.0, 0.1], vec![0.1, 3.0]],
-            )
-            .unwrap(),
+            FacilityProblem::with_uniform_open_cost(0.5, vec![vec![3.0, 0.1], vec![0.1, 3.0]])
+                .unwrap(),
             FacilityProblem::new(
                 vec![1.0, 10.0, 0.1],
                 vec![vec![5.0, 5.0], vec![0.1, 0.1], vec![4.0, 4.0]],
@@ -184,7 +209,12 @@ mod tests {
         for p in cases {
             let a = solve_enumeration(&p).unwrap();
             let b = solve_branch_and_bound(&p);
-            assert!((a.cost - b.cost).abs() < 1e-9, "enum={} bb={}", a.cost, b.cost);
+            assert!(
+                (a.cost - b.cost).abs() < 1e-9,
+                "enum={} bb={}",
+                a.cost,
+                b.cost
+            );
             assert!((p.cost_of(&b.open) - b.cost).abs() < 1e-9);
         }
     }

@@ -41,10 +41,16 @@ pub fn solve_enumeration(p: &FacilityProblem) -> Result<FacilitySolution, Facili
     let nc = p.client_count();
     if nc == 0 {
         // Opening nothing is optimal when there is nothing to serve.
-        return Ok(FacilitySolution { open: Vec::new(), cost: 0.0 });
+        return Ok(FacilitySolution {
+            open: Vec::new(),
+            cost: 0.0,
+        });
     }
     if nf == 0 {
-        return Ok(FacilitySolution { open: Vec::new(), cost: f64::INFINITY });
+        return Ok(FacilitySolution {
+            open: Vec::new(),
+            cost: f64::INFINITY,
+        });
     }
 
     let mut best_mask: u32 = 0;
@@ -97,11 +103,17 @@ pub fn solve_enumeration(p: &FacilityProblem) -> Result<FacilitySolution, Facili
 
     if best_cost.is_infinite() {
         // No subset serves every client; report the empty set.
-        return Ok(FacilitySolution { open: Vec::new(), cost: f64::INFINITY });
+        return Ok(FacilitySolution {
+            open: Vec::new(),
+            cost: f64::INFINITY,
+        });
     }
 
     let open: Vec<usize> = (0..nf).filter(|f| best_mask & (1 << f) != 0).collect();
-    Ok(FacilitySolution { open, cost: best_cost })
+    Ok(FacilitySolution {
+        open,
+        cost: best_cost,
+    })
 }
 
 #[cfg(test)]
@@ -147,11 +159,8 @@ mod tests {
 
     #[test]
     fn opens_everything_under_free_open_cost() {
-        let p = FacilityProblem::with_uniform_open_cost(
-            0.0,
-            vec![vec![1.0, 9.0], vec![9.0, 1.0]],
-        )
-        .unwrap();
+        let p = FacilityProblem::with_uniform_open_cost(0.0, vec![vec![1.0, 9.0], vec![9.0, 1.0]])
+            .unwrap();
         let s = solve_enumeration(&p).unwrap();
         assert_eq!(s.open, vec![0, 1]);
         assert_eq!(s.cost, 2.0);
@@ -161,11 +170,8 @@ mod tests {
     fn ties_prefer_fewer_facilities() {
         // Opening facility 1 as well changes nothing (same costs) — the
         // solver must prefer the singleton.
-        let p = FacilityProblem::with_uniform_open_cost(
-            0.0,
-            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
-        )
-        .unwrap();
+        let p = FacilityProblem::with_uniform_open_cost(0.0, vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .unwrap();
         let s = solve_enumeration(&p).unwrap();
         assert_eq!(s.open, vec![0]);
     }
@@ -184,7 +190,11 @@ mod tests {
     fn cost_matches_cost_of() {
         let p = FacilityProblem::with_uniform_open_cost(
             1.5,
-            vec![vec![2.0, 0.5, 4.0], vec![1.0, 3.0, 0.5], vec![0.5, 2.5, 2.0]],
+            vec![
+                vec![2.0, 0.5, 4.0],
+                vec![1.0, 3.0, 0.5],
+                vec![0.5, 2.5, 2.0],
+            ],
         )
         .unwrap();
         let s = solve_enumeration(&p).unwrap();
@@ -195,10 +205,7 @@ mod tests {
     fn infinite_assignments_force_specific_facility() {
         let p = FacilityProblem::with_uniform_open_cost(
             1.0,
-            vec![
-                vec![1.0, f64::INFINITY],
-                vec![f64::INFINITY, 1.0],
-            ],
+            vec![vec![1.0, f64::INFINITY], vec![f64::INFINITY, 1.0]],
         )
         .unwrap();
         let s = solve_enumeration(&p).unwrap();

@@ -37,7 +37,11 @@ pub enum FacilityError {
 impl fmt::Display for FacilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            FacilityError::RaggedAssignment { expected, actual, facility } => write!(
+            FacilityError::RaggedAssignment {
+                expected,
+                actual,
+                facility,
+            } => write!(
                 f,
                 "assignment row for facility {facility} has {actual} entries, expected {expected}"
             ),
@@ -45,10 +49,16 @@ impl fmt::Display for FacilityError {
                 write!(f, "cost {value} is not a non-negative number")
             }
             FacilityError::CostCountMismatch { costs, facilities } => {
-                write!(f, "{costs} opening costs supplied for {facilities} facilities")
+                write!(
+                    f,
+                    "{costs} opening costs supplied for {facilities} facilities"
+                )
             }
             FacilityError::TooManyFacilities { facilities, limit } => {
-                write!(f, "instance has {facilities} facilities, enumeration limit is {limit}")
+                write!(
+                    f,
+                    "instance has {facilities} facilities, enumeration limit is {limit}"
+                )
             }
         }
     }
@@ -62,7 +72,10 @@ mod tests {
 
     #[test]
     fn messages_mention_key_numbers() {
-        let e = FacilityError::TooManyFacilities { facilities: 30, limit: 24 };
+        let e = FacilityError::TooManyFacilities {
+            facilities: 30,
+            limit: 24,
+        };
         assert!(e.to_string().contains("30"));
         assert!(e.to_string().contains("24"));
     }

@@ -51,7 +51,11 @@ fn recompute_state(p: &FacilityProblem, open: &[usize]) -> ServeState {
             }
         }
     }
-    ServeState { best_f, best_v, second_v }
+    ServeState {
+        best_f,
+        best_v,
+        second_v,
+    }
 }
 
 fn score_from_values<I: Iterator<Item = f64>>(open_cost: f64, values: I) -> Score {
@@ -64,7 +68,10 @@ fn score_from_values<I: Iterator<Item = f64>>(open_cost: f64, values: I) -> Scor
             unserved += 1;
         }
     }
-    Score { unserved, finite_cost: finite }
+    Score {
+        unserved,
+        finite_cost: finite,
+    }
 }
 
 fn open_cost_sum(p: &FacilityProblem, open: &[usize]) -> f64 {
@@ -95,12 +102,18 @@ pub fn solve_greedy(p: &FacilityProblem) -> FacilitySolution {
     let nf = p.facility_count();
     let nc = p.client_count();
     if nc == 0 {
-        return FacilitySolution { open: Vec::new(), cost: 0.0 };
+        return FacilitySolution {
+            open: Vec::new(),
+            cost: 0.0,
+        };
     }
     let mut open: Vec<usize> = Vec::new();
     let mut is_open = vec![false; nf];
     let mut best_v = vec![f64::INFINITY; nc];
-    let mut cur = Score { unserved: nc, finite_cost: 0.0 };
+    let mut cur = Score {
+        unserved: nc,
+        finite_cost: 0.0,
+    };
 
     loop {
         let mut pick: Option<(usize, Score)> = None;
@@ -109,10 +122,8 @@ pub fn solve_greedy(p: &FacilityProblem) -> FacilitySolution {
                 continue;
             }
             let oc = open_cost_sum(p, &open) + p.open_cost(f);
-            let cand = score_from_values(
-                oc,
-                (0..nc).map(|c| best_v[c].min(p.assignment_cost(f, c))),
-            );
+            let cand =
+                score_from_values(oc, (0..nc).map(|c| best_v[c].min(p.assignment_cost(f, c))));
             if cand.better_than(cur) && pick.is_none_or(|(_, s)| cand.better_than(s)) {
                 pick = Some((f, cand));
             }
@@ -130,7 +141,10 @@ pub fn solve_greedy(p: &FacilityProblem) -> FacilitySolution {
         }
     }
     open.sort_unstable();
-    FacilitySolution { cost: cur.total(), open }
+    FacilitySolution {
+        cost: cur.total(),
+        open,
+    }
 }
 
 /// Add/drop/swap local search, seeded by `start` (or [`solve_greedy`] when
@@ -158,7 +172,10 @@ pub fn solve_local_search(p: &FacilityProblem, start: Option<&[usize]>) -> Facil
     let nf = p.facility_count();
     let nc = p.client_count();
     if nc == 0 {
-        return FacilitySolution { open: Vec::new(), cost: 0.0 };
+        return FacilitySolution {
+            open: Vec::new(),
+            cost: 0.0,
+        };
     }
     let mut open: Vec<usize> = match start {
         Some(s) => {
@@ -240,7 +257,14 @@ pub fn solve_local_search(p: &FacilityProblem, start: Option<&[usize]>) -> Facil
                         base.min(p.assignment_cost(f, c))
                     }),
                 );
-                consider(Move::Swap { open_f: f, close_f: g }, s, &mut best_move);
+                consider(
+                    Move::Swap {
+                        open_f: f,
+                        close_f: g,
+                    },
+                    s,
+                    &mut best_move,
+                );
             }
         }
 
@@ -276,10 +300,7 @@ mod tests {
     fn greedy_reaches_feasibility() {
         let p = FacilityProblem::with_uniform_open_cost(
             1.0,
-            vec![
-                vec![1.0, f64::INFINITY],
-                vec![f64::INFINITY, 1.0],
-            ],
+            vec![vec![1.0, f64::INFINITY], vec![f64::INFINITY, 1.0]],
         )
         .unwrap();
         let s = solve_greedy(&p);
@@ -294,9 +315,17 @@ mod tests {
             let opt = solve_enumeration(&p).unwrap();
             let g = solve_greedy(&p);
             let l = solve_local_search(&p, None);
-            assert!(g.cost >= opt.cost - 1e-9, "greedy {} < opt {}", g.cost, opt.cost);
+            assert!(
+                g.cost >= opt.cost - 1e-9,
+                "greedy {} < opt {}",
+                g.cost,
+                opt.cost
+            );
             assert!(l.cost >= opt.cost - 1e-9);
-            assert!(l.cost <= g.cost + 1e-9, "local search must not be worse than its seed");
+            assert!(
+                l.cost <= g.cost + 1e-9,
+                "local search must not be worse than its seed"
+            );
         }
     }
 
@@ -306,7 +335,12 @@ mod tests {
         // Start from the worst possible single facility.
         let s = solve_local_search(&p, Some(&[0]));
         let opt = solve_enumeration(&p).unwrap();
-        assert!((s.cost - opt.cost).abs() < 1e-9, "ls={} opt={}", s.cost, opt.cost);
+        assert!(
+            (s.cost - opt.cost).abs() < 1e-9,
+            "ls={} opt={}",
+            s.cost,
+            opt.cost
+        );
     }
 
     #[test]
@@ -336,8 +370,14 @@ mod tests {
 
     #[test]
     fn score_ordering_prefers_served_clients() {
-        let a = Score { unserved: 1, finite_cost: 0.0 };
-        let b = Score { unserved: 0, finite_cost: 1000.0 };
+        let a = Score {
+            unserved: 1,
+            finite_cost: 0.0,
+        };
+        let b = Score {
+            unserved: 0,
+            finite_cost: 1000.0,
+        };
         assert!(b.better_than(a));
         assert!(!a.better_than(b));
         assert_eq!(a.total(), f64::INFINITY);

@@ -65,7 +65,11 @@ impl FacilityProblem {
                 return Err(FacilityError::InvalidCost { value: c });
             }
         }
-        Ok(FacilityProblem { open_costs, assignment, clients })
+        Ok(FacilityProblem {
+            open_costs,
+            assignment,
+            clients,
+        })
     }
 
     /// Creates an instance where every facility costs `open_cost` to open —
@@ -194,11 +198,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> FacilityProblem {
-        FacilityProblem::with_uniform_open_cost(
-            2.0,
-            vec![vec![1.0, 5.0], vec![5.0, 1.0]],
-        )
-        .unwrap()
+        FacilityProblem::with_uniform_open_cost(2.0, vec![vec![1.0, 5.0], vec![5.0, 1.0]]).unwrap()
     }
 
     #[test]
@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         let r = FacilityProblem::with_uniform_open_cost(1.0, vec![vec![1.0], vec![1.0, 2.0]]);
-        assert!(matches!(r, Err(FacilityError::RaggedAssignment { facility: 1, .. })));
+        assert!(matches!(
+            r,
+            Err(FacilityError::RaggedAssignment { facility: 1, .. })
+        ));
     }
 
     #[test]
@@ -264,7 +267,13 @@ mod tests {
     #[test]
     fn rejects_cost_count_mismatch() {
         let r = FacilityProblem::new(vec![1.0], vec![vec![1.0], vec![2.0]]);
-        assert!(matches!(r, Err(FacilityError::CostCountMismatch { costs: 1, facilities: 2 })));
+        assert!(matches!(
+            r,
+            Err(FacilityError::CostCountMismatch {
+                costs: 1,
+                facilities: 2
+            })
+        ));
     }
 
     #[test]

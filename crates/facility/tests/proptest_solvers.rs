@@ -8,13 +8,8 @@ use sp_facility::{
 
 fn arb_problem() -> impl Strategy<Value = FacilityProblem> {
     (1usize..=7, 1usize..=7, 0.0f64..8.0).prop_flat_map(|(nf, nc, open_cost)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.0f64..10.0, nc..=nc),
-            nf..=nf,
-        )
-        .prop_map(move |rows| {
-            FacilityProblem::with_uniform_open_cost(open_cost, rows).unwrap()
-        })
+        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, nc..=nc), nf..=nf)
+            .prop_map(move |rows| FacilityProblem::with_uniform_open_cost(open_cost, rows).unwrap())
     })
 }
 
@@ -108,14 +103,8 @@ proptest! {
 fn arb_problem_per_facility_costs() -> impl Strategy<Value = FacilityProblem> {
     (1usize..=6, 1usize..=6).prop_flat_map(|(nf, nc)| {
         (
-            proptest::collection::vec(
-                prop_oneof![Just(0.0f64), 0.0f64..6.0],
-                nf..=nf,
-            ),
-            proptest::collection::vec(
-                proptest::collection::vec(0.0f64..10.0, nc..=nc),
-                nf..=nf,
-            ),
+            proptest::collection::vec(prop_oneof![Just(0.0f64), 0.0f64..6.0], nf..=nf),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, nc..=nc), nf..=nf),
         )
             .prop_map(|(costs, rows)| FacilityProblem::new(costs, rows).unwrap())
     })

@@ -147,7 +147,10 @@ pub fn mst_bidirectional(dist: &DistanceMatrix) -> DiGraph {
                 pick_d = best[v];
             }
         }
-        assert!(pick != usize::MAX, "matrix has infinite distances; MST undefined");
+        assert!(
+            pick != usize::MAX,
+            "matrix has infinite distances; MST undefined"
+        );
         in_tree[pick] = true;
         g.add_bidirectional_edge(best_from[pick], pick, pick_d);
         for v in 0..n {
@@ -241,19 +244,23 @@ mod tests {
     #[test]
     fn mst_total_weight_is_minimal_on_triangle() {
         // Triangle with sides 1, 1, 2: MST weight = 2 (one direction).
-        let d = DistanceMatrix::from_row_major(
-            3,
-            vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let d =
+            DistanceMatrix::from_row_major(3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0])
+                .unwrap();
         let mst = mst_bidirectional(&d);
         assert!((mst.total_weight() - 4.0).abs() < 1e-12); // 2 × both directions
     }
 
     #[test]
     fn mst_trivial_sizes() {
-        assert_eq!(mst_bidirectional(&DistanceMatrix::new_filled(0, 0.0)).edge_count(), 0);
-        assert_eq!(mst_bidirectional(&DistanceMatrix::new_filled(1, 0.0)).edge_count(), 0);
+        assert_eq!(
+            mst_bidirectional(&DistanceMatrix::new_filled(0, 0.0)).edge_count(),
+            0
+        );
+        assert_eq!(
+            mst_bidirectional(&DistanceMatrix::new_filled(1, 0.0)).edge_count(),
+            0
+        );
     }
 
     #[test]

@@ -36,12 +36,33 @@ struct Entry {
 impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Reusable working memory for repeated shortest-path sweeps.
+///
+/// Hot loops (the `GameSession` evaluation cache, best-response oracles)
+/// run thousands of Dijkstra sweeps over same-sized graphs; sharing one
+/// scratch avoids a heap allocation per sweep.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    heap: BinaryHeap<Entry>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DijkstraScratch::default()
     }
 }
 
@@ -62,7 +83,11 @@ impl CsrGraph {
             }
             offsets.push(targets.len());
         }
-        CsrGraph { offsets, targets, weights }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of nodes.
@@ -112,25 +137,86 @@ impl CsrGraph {
     ///
     /// Panics if `source` is out of bounds or `dist.len() != node_count()`.
     pub fn dijkstra_into(&self, source: usize, dist: &mut [f64]) {
+        let mut scratch = DijkstraScratch::new();
+        self.dijkstra_into_with(source, dist, &mut scratch);
+    }
+
+    /// Like [`CsrGraph::dijkstra_into`] but reuses caller-provided scratch
+    /// memory as well, so back-to-back sweeps allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds or `dist.len() != node_count()`.
+    pub fn dijkstra_into_with(
+        &self,
+        source: usize,
+        dist: &mut [f64],
+        scratch: &mut DijkstraScratch,
+    ) {
         let n = self.node_count();
         assert!(source < n, "source {source} out of bounds for {n} nodes");
         assert_eq!(dist.len(), n, "distance buffer has wrong length");
         dist.fill(f64::INFINITY);
-        let mut settled = vec![false; n];
-        let mut heap = BinaryHeap::with_capacity(n);
         dist[source] = 0.0;
-        heap.push(Entry { dist: 0.0, node: source });
-        while let Some(Entry { dist: d, node: u }) = heap.pop() {
-            if settled[u] {
+        scratch.heap.clear();
+        scratch.heap.push(Entry {
+            dist: 0.0,
+            node: source,
+        });
+        self.relax_from_heap(dist, scratch);
+    }
+
+    /// Incremental single-source repair after **weight decreases / edge
+    /// additions**: given `dist` holding correct distances in a graph of
+    /// which `self` is a superset (same nodes, possibly extra or cheaper
+    /// edges), and `seeds` listing nodes whose tentative distance just
+    /// dropped, restores exact distances for `self`.
+    ///
+    /// Seeds with `new_dist >= dist[node]` are ignored. This is the
+    /// standard decrease-only re-relaxation: work is proportional to the
+    /// region whose distances actually change, not to the whole graph —
+    /// the `GameSession` cache uses it to avoid full APSP rebuilds when a
+    /// peer adds links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.len() != node_count()` or a seed node is out of
+    /// bounds.
+    pub fn relax_decrease_into(
+        &self,
+        dist: &mut [f64],
+        seeds: &[(usize, f64)],
+        scratch: &mut DijkstraScratch,
+    ) {
+        let n = self.node_count();
+        assert_eq!(dist.len(), n, "distance buffer has wrong length");
+        scratch.heap.clear();
+        for &(node, new_dist) in seeds {
+            assert!(node < n, "seed {node} out of bounds for {n} nodes");
+            if new_dist < dist[node] {
+                dist[node] = new_dist;
+                scratch.heap.push(Entry {
+                    dist: new_dist,
+                    node,
+                });
+            }
+        }
+        self.relax_from_heap(dist, scratch);
+    }
+
+    /// Settles whatever is queued in `scratch.heap` against `dist` (lazy
+    /// deletion: stale queue entries are skipped on pop).
+    fn relax_from_heap(&self, dist: &mut [f64], scratch: &mut DijkstraScratch) {
+        while let Some(Entry { dist: d, node: u }) = scratch.heap.pop() {
+            if d > dist[u] {
                 continue;
             }
-            settled[u] = true;
             let (ts, ws) = self.out_neighbors(u);
             for (&v, &w) in ts.iter().zip(ws) {
                 let nd = d + w;
                 if nd < dist[v] {
                     dist[v] = nd;
-                    heap.push(Entry { dist: nd, node: v });
+                    scratch.heap.push(Entry { dist: nd, node: v });
                 }
             }
         }
@@ -191,6 +277,49 @@ mod tests {
         let csr = CsrGraph::from_digraph(&g);
         let mut buf = vec![0.0; 2];
         csr.dijkstra_into(0, &mut buf);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = builders::complete_graph(8, |i, j| ((i * 7 + j * 3) % 5 + 1) as f64);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut scratch = DijkstraScratch::new();
+        let mut buf = vec![0.0; 8];
+        for s in 0..8 {
+            csr.dijkstra_into_with(s, &mut buf, &mut scratch);
+            assert_eq!(buf, csr.dijkstra(s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn decrease_relaxation_repairs_added_edges() {
+        // Path 0 -> 1 -> 2 -> 3 with unit weights; then add shortcut 0 -> 3.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let csr_old = CsrGraph::from_digraph(&g);
+        let mut dist = csr_old.dijkstra(0);
+        assert_eq!(dist[3], 3.0);
+        g.add_edge(0, 3, 0.5);
+        g.add_edge(3, 1, 0.1); // decreased dist must propagate onward
+        let csr_new = CsrGraph::from_digraph(&g);
+        let mut scratch = DijkstraScratch::new();
+        csr_new.relax_decrease_into(&mut dist, &[(3, 0.5)], &mut scratch);
+        assert_eq!(dist, csr_new.dijkstra(0));
+        assert_eq!(dist[3], 0.5);
+        assert!((dist[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decrease_relaxation_ignores_worse_seeds() {
+        let g = builders::cycle_graph(5, |_, _| 1.0);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut dist = csr.dijkstra(0);
+        let before = dist.clone();
+        let mut scratch = DijkstraScratch::new();
+        csr.relax_decrease_into(&mut dist, &[(2, 99.0)], &mut scratch);
+        assert_eq!(dist, before);
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        DiGraph { adj: vec![Vec::new(); n], edge_count: 0 }
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Creates a graph with `n` nodes, reserving `per_node` out-edge slots.
@@ -177,7 +180,10 @@ impl DiGraph {
     #[must_use]
     pub fn in_degree(&self, node: usize) -> usize {
         assert!(node < self.adj.len(), "node {node} out of bounds");
-        self.adj.iter().map(|es| es.iter().filter(|e| e.to == node).count()).sum()
+        self.adj
+            .iter()
+            .map(|es| es.iter().filter(|e| e.to == node).count())
+            .sum()
     }
 
     /// Returns `true` if at least one edge `(from, to)` exists.
@@ -304,7 +310,10 @@ mod tests {
             g.try_add_edge(0, 5, 1.0),
             Err(GraphError::NodeOutOfBounds { node: 5, len: 2 })
         );
-        assert_eq!(g.try_add_edge(0, 0, 1.0), Err(GraphError::SelfLoop { node: 0 }));
+        assert_eq!(
+            g.try_add_edge(0, 0, 1.0),
+            Err(GraphError::SelfLoop { node: 0 })
+        );
         assert!(matches!(
             g.try_add_edge(0, 1, f64::NAN),
             Err(GraphError::InvalidWeight { .. })

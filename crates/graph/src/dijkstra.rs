@@ -208,7 +208,10 @@ fn dijkstra_impl(
 
     let mut heap = BinaryHeap::with_capacity(n);
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if settled[u] {
@@ -228,7 +231,10 @@ fn dijkstra_impl(
             if nd < dist[e.to] {
                 dist[e.to] = nd;
                 pred[e.to] = Some(u);
-                heap.push(HeapEntry { dist: nd, node: e.to });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: e.to,
+                });
             }
         }
     }

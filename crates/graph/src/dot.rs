@@ -85,7 +85,13 @@ pub fn to_dot(g: &DiGraph, options: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_numeric()) {
         format!("g_{cleaned}")
@@ -134,7 +140,10 @@ mod tests {
     #[test]
     fn name_sanitisation() {
         let g = DiGraph::new(0);
-        let options = DotOptions { name: "9 bad name!".to_owned(), ..DotOptions::default() };
+        let options = DotOptions {
+            name: "9 bad name!".to_owned(),
+            ..DotOptions::default()
+        };
         let text = to_dot(&g, &options);
         assert!(text.starts_with("digraph g_9_bad_name_ {"));
     }

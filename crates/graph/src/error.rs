@@ -38,10 +38,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             GraphError::NodeOutOfBounds { node, len } => {
-                write!(f, "node index {node} out of bounds for graph of {len} nodes")
+                write!(
+                    f,
+                    "node index {node} out of bounds for graph of {len} nodes"
+                )
             }
             GraphError::InvalidWeight { weight } => {
-                write!(f, "edge weight {weight} is not a finite non-negative number")
+                write!(
+                    f,
+                    "edge weight {weight} is not a finite non-negative number"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
             GraphError::DimensionMismatch { expected, actual } => {
@@ -63,7 +69,11 @@ mod tests {
             GraphError::NodeOutOfBounds { node: 3, len: 2 }.to_string(),
             GraphError::InvalidWeight { weight: f64::NAN }.to_string(),
             GraphError::SelfLoop { node: 0 }.to_string(),
-            GraphError::DimensionMismatch { expected: 2, actual: 3 }.to_string(),
+            GraphError::DimensionMismatch {
+                expected: 2,
+                actual: 3,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

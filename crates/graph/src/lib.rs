@@ -8,7 +8,10 @@
 //! * [`DiGraph`] — a growable adjacency-list digraph with non-negative
 //!   `f64` edge weights.
 //! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot for fast
-//!   repeated shortest-path queries.
+//!   repeated shortest-path queries, with [`DijkstraScratch`]-reusing
+//!   sweeps and incremental decrease-only re-relaxation
+//!   ([`CsrGraph::relax_decrease_into`]) powering `sp-core`'s
+//!   `GameSession` cache.
 //! * [`dijkstra`] / [`dijkstra_targets`] / [`ShortestPathTree`] —
 //!   binary-heap Dijkstra single-source shortest paths.
 //! * [`apsp`] / [`floyd_warshall`] — all-pairs shortest paths producing a
@@ -41,16 +44,16 @@
 
 pub mod builders;
 mod csr;
-pub mod dot;
 mod digraph;
 mod dijkstra;
+pub mod dot;
 mod error;
 mod matrix;
 pub mod measures;
 mod scc;
 mod traversal;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, DijkstraScratch};
 pub use digraph::{DiGraph, Edge};
 pub use dijkstra::{dijkstra, dijkstra_targets, dijkstra_tree, ShortestPathTree};
 pub use error::GraphError;

@@ -33,7 +33,10 @@ impl DistanceMatrix {
     #[must_use]
     pub fn new_filled(n: usize, value: f64) -> Self {
         assert!(!value.is_nan(), "matrix entries must not be NaN");
-        DistanceMatrix { n, data: vec![value; n * n] }
+        DistanceMatrix {
+            n,
+            data: vec![value; n * n],
+        }
     }
 
     /// Creates an `n × n` matrix whose `(i, j)` entry is `f(i, j)`.
@@ -62,7 +65,10 @@ impl DistanceMatrix {
     /// and [`GraphError::InvalidWeight`] if any entry is NaN.
     pub fn from_row_major(n: usize, data: Vec<f64>) -> Result<Self, GraphError> {
         if data.len() != n * n {
-            return Err(GraphError::DimensionMismatch { expected: n * n, actual: data.len() });
+            return Err(GraphError::DimensionMismatch {
+                expected: n * n,
+                actual: data.len(),
+            });
         }
         if let Some(&bad) = data.iter().find(|v| v.is_nan()) {
             return Err(GraphError::InvalidWeight { weight: bad });
@@ -170,14 +176,22 @@ impl Index<(usize, usize)> for DistanceMatrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n={}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n={}",
+            self.n
+        );
         &self.data[i * self.n + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for DistanceMatrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n={}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n={}",
+            self.n
+        );
         &mut self.data[i * self.n + j]
     }
 }
@@ -219,7 +233,10 @@ mod tests {
     fn from_row_major_validates_dimension() {
         assert!(matches!(
             DistanceMatrix::from_row_major(2, vec![1.0; 3]),
-            Err(GraphError::DimensionMismatch { expected: 4, actual: 3 })
+            Err(GraphError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
         let ok = DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         assert!(ok.is_symmetric(0.0));

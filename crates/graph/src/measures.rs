@@ -47,7 +47,10 @@ pub fn diameter(g: &DiGraph) -> f64 {
 /// Weighted radius: the smallest eccentricity (`0.0` for empty graphs).
 #[must_use]
 pub fn radius(g: &DiGraph) -> f64 {
-    eccentricities(g).into_iter().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    eccentricities(g)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+        .min(f64::INFINITY)
 }
 
 /// Summary statistics of the out-degree distribution.
@@ -74,8 +77,17 @@ pub fn degree_stats(g: &DiGraph) -> Option<DegreeStats> {
     let min = *degrees.iter().min().expect("non-empty");
     let max = *degrees.iter().max().expect("non-empty");
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-    Some(DegreeStats { min, max, mean, stddev: var.sqrt() })
+    let var = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    Some(DegreeStats {
+        min,
+        max,
+        mean,
+        stddev: var.sqrt(),
+    })
 }
 
 /// Brandes' betweenness centrality for weighted digraphs: for each node
@@ -115,7 +127,10 @@ pub fn betweenness_centrality(g: &DiGraph) -> Vec<f64> {
         impl Eq for E {}
         impl Ord for E {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+                other
+                    .0
+                    .total_cmp(&self.0)
+                    .then_with(|| other.1.cmp(&self.1))
             }
         }
         impl PartialOrd for E {

@@ -141,7 +141,11 @@ impl Condensation {
                 dag.add_edge(cu, cv, 1.0);
             }
         }
-        Condensation { components, component_of, dag }
+        Condensation {
+            components,
+            component_of,
+            dag,
+        }
     }
 
     /// Number of strongly connected components.
@@ -216,9 +220,7 @@ mod tests {
         assert_ne!(c.component_of(5), c.component_of(0));
         // Condensation DAG has exactly one cross edge.
         assert_eq!(c.dag().edge_count(), 1);
-        assert!(c
-            .dag()
-            .has_edge(c.component_of(0), c.component_of(3)));
+        assert!(c.dag().has_edge(c.component_of(0), c.component_of(3)));
     }
 
     #[test]

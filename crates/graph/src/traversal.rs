@@ -165,8 +165,7 @@ mod tests {
     fn dfs_postorder_emits_children_first() {
         let post = dfs_postorder(&tree(), 0);
         assert_eq!(post.last(), Some(&0));
-        let pos =
-            |x: usize| post.iter().position(|&v| v == x).unwrap();
+        let pos = |x: usize| post.iter().position(|&v| v == x).unwrap();
         assert!(pos(3) < pos(1));
         assert!(pos(4) < pos(1));
         assert!(pos(1) < pos(0));

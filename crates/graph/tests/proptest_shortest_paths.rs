@@ -14,19 +14,17 @@ use sp_graph::{
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
     (1usize..=12).prop_flat_map(|n| {
         let max_edges = n * n;
-        proptest::collection::vec(
-            (0..n, 0..n, 0.0f64..100.0),
-            0..=max_edges.min(40),
-        )
-        .prop_map(move |edges| {
-            let mut g = DiGraph::new(n);
-            for (u, v, w) in edges {
-                if u != v {
-                    g.add_edge(u, v, w);
+        proptest::collection::vec((0..n, 0..n, 0.0f64..100.0), 0..=max_edges.min(40)).prop_map(
+            move |edges| {
+                let mut g = DiGraph::new(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        g.add_edge(u, v, w);
+                    }
                 }
-            }
-            g
-        })
+                g
+            },
+        )
     })
 }
 

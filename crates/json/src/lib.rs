@@ -1,0 +1,688 @@
+//! Minimal JSON support for the selfish-peers workspace.
+//!
+//! The offline build cannot pull in `serde`/`serde_json`, and the
+//! workspace only needs a small, dependency-free subset: a [`Value`]
+//! tree, a strict parser, a pretty printer, and the [`json!`]
+//! construction macro. Object key order is preserved (insertion order),
+//! so serialise → parse round trips compare equal.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_json::{json, Value};
+//!
+//! let v = json!({ "alpha": 2.0, "links": [[0, 1], [1, 0]] });
+//! let text = v.to_string_pretty();
+//! let back: Value = text.parse().unwrap();
+//! assert_eq!(v, back);
+//! assert_eq!(back["alpha"].as_f64(), Some(2.0));
+//! assert_eq!(back["links"].as_array().unwrap().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like `serde_json`'s default).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// The boolean payload, if this is a [`Value::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a [`Value::Number`].
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `usize`, when it is a non-negative
+    /// integer.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::String`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Array`].
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a [`Value::Object`].
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Object`].
+    #[must_use]
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in an object (`None` for other variants or missing
+    /// keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty two-space-indented rendering (newline-terminated objects,
+    /// matching what the CLI prints).
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(x) => out.push_str(&format_number(*x)),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (k, (key, item)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a number the way `serde_json` would: integers without a
+/// trailing `.0`, non-finite values (not valid JSON) as `null`.
+fn format_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_owned();
+    }
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        let mut s = format!("{x}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// `value["key"]` sugar; returns [`Value::Null`] for missing keys or
+/// non-objects (mirroring `serde_json`).
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        // A static null keeps indexing infallible like serde_json.
+        static STATIC_NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&STATIC_NULL)
+    }
+}
+
+/// `value[i]` sugar for arrays.
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static STATIC_NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&STATIC_NULL),
+            _ => &STATIC_NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(f64::from(*other))
+    }
+}
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(x: i32) -> Self {
+        Value::Number(f64::from(x))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Self {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(items: [T; N]) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            None => Value::Null,
+            Some(v) => v.into(),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.err(format!("unexpected character '{}'", other as char)),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{kw}'"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        match f64::from_str(text) {
+            Ok(x) if x.is_finite() => Ok(Value::Number(x)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| JsonError {
+                                    message: "bad \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                                return self.err("bad \\u escape");
+                            }
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                message: "bad \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's data; reject them explicitly.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("unsupported surrogate escape"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            message: "invalid UTF-8".into(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (strict: exactly one value, no trailing
+/// garbage).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the failing byte offset.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(v)
+}
+
+impl FromStr for Value {
+    type Err = JsonError;
+    fn from_str(s: &str) -> Result<Self, JsonError> {
+        parse(s)
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax.
+///
+/// Object values and array items are ordinary expressions converted via
+/// `Into<Value>`; nest objects with further `json!({ … })` calls and
+/// write JSON `null` as `json!(null)` or [`Value::Null`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($item)),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let v = json!({
+            "alpha": 2.5,
+            "n": 4usize,
+            "name": "line \"metric\"",
+            "flags": json!([true, false, Value::Null]),
+            "nested": json!({ "xs": json!([1.0, 2.0]), "empty": Value::Array(vec![]) }),
+        });
+        for text in [v.to_string_pretty(), v.to_string_compact()] {
+            let back: Value = text.parse().unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn numbers_render_like_serde_json() {
+        assert_eq!(json!(3.0).to_string_compact(), "3");
+        assert_eq!(json!(3.5).to_string_compact(), "3.5");
+        assert_eq!(json!(0.1).to_string_compact(), "0.1");
+        assert_eq!(Value::Number(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let v: Value = r#"{"a": [1, 2.5], "b": {"c": true}, "s": "x"}"#.parse().unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][0].as_usize(), Some(1));
+        assert_eq!(v["b"]["c"], true);
+        assert_eq!(v["s"], "x");
+        assert!(v["missing"].is_null());
+        assert!(v["b"].is_object());
+        assert_eq!(v["a"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("").is_err());
+        // from_str_radix would accept a sign prefix; strict JSON must not.
+        assert!(parse(r#""\u+041""#).is_err());
+        assert!(parse(r#""\u0041""#).is_ok());
+        let err = parse("[1, }").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = json!({ "k": "line1\nline2\ttab \\ \"q\"" });
+        let back: Value = v.to_string_compact().parse().unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_interpolation() {
+        let some: Option<f64> = Some(1.5);
+        let none: Option<f64> = None;
+        assert_eq!(json!(some), Value::Number(1.5));
+        assert_eq!(json!(none), Value::Null);
+    }
+}

@@ -20,12 +20,16 @@ use crate::MetricSpace;
 
 /// Number of points within distance `r` of point `c` (including `c`).
 fn ball_size<M: MetricSpace + ?Sized>(space: &M, c: usize, r: f64) -> usize {
-    (0..space.len()).filter(|&j| space.distance(c, j) <= r).count()
+    (0..space.len())
+        .filter(|&j| space.distance(c, j) <= r)
+        .count()
 }
 
 /// Members of the ball `B(c, r)`.
 fn ball_members<M: MetricSpace + ?Sized>(space: &M, c: usize, r: f64) -> Vec<usize> {
-    (0..space.len()).filter(|&j| space.distance(c, j) <= r).collect()
+    (0..space.len())
+        .filter(|&j| space.distance(c, j) <= r)
+        .collect()
 }
 
 /// Estimates the **doubling constant** λ: the maximum, over sampled centres
@@ -153,7 +157,10 @@ mod tests {
         use rand::SeedableRng;
         let m = generators::random_bounded_ratio_metric(24, 1.0, 1.2, &mut rng);
         let lambda = doubling_constant_estimate(&m, 6);
-        assert!(lambda >= 12, "uniform-ish metric should need many half-balls, got {lambda}");
+        assert!(
+            lambda >= 12,
+            "uniform-ish metric should need many half-balls, got {lambda}"
+        );
     }
 
     #[test]

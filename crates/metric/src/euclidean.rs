@@ -101,7 +101,10 @@ impl EuclideanND {
         let dim = points.first().map_or(0, PointN::dim);
         for p in &points {
             if p.dim() != dim {
-                return Err(MetricError::DimensionMismatch { expected: dim, actual: p.dim() });
+                return Err(MetricError::DimensionMismatch {
+                    expected: dim,
+                    actual: p.dim(),
+                });
             }
         }
         for i in 0..points.len() {
@@ -169,7 +172,13 @@ mod tests {
             PointN::new(vec![0.0]).unwrap(),
             PointN::new(vec![0.0, 1.0]).unwrap(),
         ]);
-        assert_eq!(r, Err(MetricError::DimensionMismatch { expected: 1, actual: 2 }));
+        assert_eq!(
+            r,
+            Err(MetricError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
+        );
     }
 
     #[test]

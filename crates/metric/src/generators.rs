@@ -27,7 +27,10 @@ use crate::{Euclidean2D, LineSpace, MatrixMetric, Point2};
 ///
 /// Panics if `side` is not a positive finite number.
 pub fn uniform_square<R: Rng + ?Sized>(n: usize, side: f64, rng: &mut R) -> Euclidean2D {
-    assert!(side.is_finite() && side > 0.0, "side must be positive, got {side}");
+    assert!(
+        side.is_finite() && side > 0.0,
+        "side must be positive, got {side}"
+    );
     let mut points: Vec<Point2> = Vec::with_capacity(n);
     while points.len() < n {
         let p = Point2::new(rng.random_range(0.0..side), rng.random_range(0.0..side));
@@ -44,7 +47,10 @@ pub fn uniform_square<R: Rng + ?Sized>(n: usize, side: f64, rng: &mut R) -> Eucl
 ///
 /// Panics if `length` is not a positive finite number.
 pub fn uniform_line<R: Rng + ?Sized>(n: usize, length: f64, rng: &mut R) -> LineSpace {
-    assert!(length.is_finite() && length > 0.0, "length must be positive, got {length}");
+    assert!(
+        length.is_finite() && length > 0.0,
+        "length must be positive, got {length}"
+    );
     let mut positions: Vec<f64> = Vec::with_capacity(n);
     while positions.len() < n {
         let p = rng.random_range(0.0..length);
@@ -63,7 +69,10 @@ pub fn uniform_line<R: Rng + ?Sized>(n: usize, length: f64, rng: &mut R) -> Line
 /// Panics if `spacing` is not a positive finite number.
 #[must_use]
 pub fn grid_2d(rows: usize, cols: usize, spacing: f64) -> Euclidean2D {
-    assert!(spacing.is_finite() && spacing > 0.0, "spacing must be positive, got {spacing}");
+    assert!(
+        spacing.is_finite() && spacing > 0.0,
+        "spacing must be positive, got {spacing}"
+    );
     let mut points = Vec::with_capacity(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
@@ -86,8 +95,14 @@ pub fn grid_2d(rows: usize, cols: usize, spacing: f64) -> Euclidean2D {
 /// Panics if `base <= 1` or `scale <= 0`, or if positions overflow `f64`.
 #[must_use]
 pub fn exponential_line(n: usize, base: f64, scale: f64) -> LineSpace {
-    assert!(base > 1.0 && base.is_finite(), "base must be > 1, got {base}");
-    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
+    assert!(
+        base > 1.0 && base.is_finite(),
+        "base must be > 1, got {base}"
+    );
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "scale must be positive, got {scale}"
+    );
     let positions: Vec<f64> = (0..n).map(|i| scale * base.powi(i as i32)).collect();
     assert!(
         positions.iter().all(|p| p.is_finite()),
@@ -126,7 +141,12 @@ impl ClusteredPoints {
     /// Starts a builder for `clusters × per_cluster` peers.
     #[must_use]
     pub fn new(clusters: usize, per_cluster: usize) -> Self {
-        ClusteredPoints { clusters, per_cluster, area_side: 100.0, cluster_radius: 1.0 }
+        ClusteredPoints {
+            clusters,
+            per_cluster,
+            area_side: 100.0,
+            cluster_radius: 1.0,
+        }
     }
 
     /// Side of the square in which cluster centres are drawn
@@ -137,7 +157,10 @@ impl ClusteredPoints {
     /// Panics if `side` is not a positive finite number.
     #[must_use]
     pub fn area_side(mut self, side: f64) -> Self {
-        assert!(side.is_finite() && side > 0.0, "side must be positive, got {side}");
+        assert!(
+            side.is_finite() && side > 0.0,
+            "side must be positive, got {side}"
+        );
         self.area_side = side;
         self
     }
@@ -150,7 +173,10 @@ impl ClusteredPoints {
     /// Panics if `radius` is not a positive finite number.
     #[must_use]
     pub fn cluster_radius(mut self, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius > 0.0, "radius must be positive, got {radius}");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive, got {radius}"
+        );
         self.cluster_radius = radius;
         self
     }
@@ -192,7 +218,10 @@ pub fn random_bounded_ratio_metric<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> MatrixMetric {
     assert!(lo > 0.0 && lo.is_finite(), "lo must be positive, got {lo}");
-    assert!(hi >= lo && hi <= 2.0 * lo, "need lo <= hi <= 2*lo, got [{lo}, {hi}]");
+    assert!(
+        hi >= lo && hi <= 2.0 * lo,
+        "need lo <= hi <= 2*lo, got [{lo}, {hi}]"
+    );
     let mut m = DistanceMatrix::new_filled(n, 0.0);
     for i in 0..n {
         for j in (i + 1)..n {
@@ -217,14 +246,20 @@ pub fn random_bounded_ratio_metric<R: Rng + ?Sized>(
 #[must_use]
 pub fn metric_closure(weights: &DistanceMatrix) -> MatrixMetric {
     let n = weights.len();
-    assert!(weights.is_symmetric(1e-9), "weight matrix must be symmetric");
+    assert!(
+        weights.is_symmetric(1e-9),
+        "weight matrix must be symmetric"
+    );
     let mut g = DiGraph::new(n);
     for i in 0..n {
         assert!(weights[(i, i)] == 0.0, "diagonal must be zero");
         for j in 0..n {
             if i != j {
                 let w = weights[(i, j)];
-                assert!(w > 0.0 && w.is_finite(), "off-diagonal weights must be positive");
+                assert!(
+                    w > 0.0 && w.is_finite(),
+                    "off-diagonal weights must be positive"
+                );
                 g.add_edge(i, j, w);
             }
         }
@@ -318,11 +353,9 @@ mod tests {
     #[test]
     fn metric_closure_fixes_triangle_violations() {
         // d(0,2) = 10 violates triangle via 0-1-2 (1 + 1); closure fixes it.
-        let raw = DistanceMatrix::from_row_major(
-            3,
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let raw =
+            DistanceMatrix::from_row_major(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0])
+                .unwrap();
         let m = metric_closure(&raw);
         assert_eq!(m.distance(0, 2), 2.0);
         assert!(validate_metric(&m, 1e-9).is_ok());

@@ -31,7 +31,9 @@ impl LineSpace {
     /// and [`MetricError::CoincidentPoints`] if two positions coincide.
     pub fn new(positions: Vec<f64>) -> Result<Self, MetricError> {
         if positions.iter().any(|p| !p.is_finite()) {
-            return Err(MetricError::NonFiniteValue { context: "line position" });
+            return Err(MetricError::NonFiniteValue {
+                context: "line position",
+            });
         }
         // Sort indices by position to detect duplicates in O(n log n).
         let mut idx: Vec<usize> = (0..positions.len()).collect();

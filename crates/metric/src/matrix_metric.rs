@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn invalid_matrix_rejected() {
-        let bad =
-            DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        let bad = DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
         assert!(MatrixMetric::new(bad.clone(), 1e-9).is_err());
         // ... but unchecked construction allows it.
         let m = MatrixMetric::new_unchecked(bad);

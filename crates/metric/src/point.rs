@@ -27,7 +27,10 @@ impl Point2 {
     /// Panics if either coordinate is NaN or infinite.
     #[must_use]
     pub fn new(x: f64, y: f64) -> Self {
-        assert!(x.is_finite() && y.is_finite(), "coordinates must be finite, got ({x}, {y})");
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "coordinates must be finite, got ({x}, {y})"
+        );
         Point2 { x, y }
     }
 
@@ -79,7 +82,9 @@ impl PointN {
     /// infinite.
     pub fn new(coords: Vec<f64>) -> Result<Self, MetricError> {
         if coords.iter().any(|c| !c.is_finite()) {
-            return Err(MetricError::NonFiniteValue { context: "point coordinate" });
+            return Err(MetricError::NonFiniteValue {
+                context: "point coordinate",
+            });
         }
         Ok(PointN { coords })
     }
@@ -120,7 +125,9 @@ impl PointN {
 
 impl From<Point2> for PointN {
     fn from(p: Point2) -> Self {
-        PointN { coords: vec![p.x, p.y] }
+        PointN {
+            coords: vec![p.x, p.y],
+        }
     }
 }
 
@@ -159,7 +166,10 @@ mod tests {
         let b = PointN::new(vec![0.0, 0.0]).unwrap();
         assert_eq!(
             a.distance_to(&b),
-            Err(MetricError::DimensionMismatch { expected: 1, actual: 2 })
+            Err(MetricError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
         );
     }
 

@@ -35,13 +35,19 @@ impl RingSpace {
     ///   (after reduction modulo the circumference).
     pub fn new(positions: Vec<f64>, circumference: f64) -> Result<Self, MetricError> {
         if !circumference.is_finite() || circumference <= 0.0 {
-            return Err(MetricError::NonFiniteValue { context: "ring circumference" });
+            return Err(MetricError::NonFiniteValue {
+                context: "ring circumference",
+            });
         }
         if positions.iter().any(|p| !p.is_finite()) {
-            return Err(MetricError::NonFiniteValue { context: "ring position" });
+            return Err(MetricError::NonFiniteValue {
+                context: "ring position",
+            });
         }
-        let reduced: Vec<f64> =
-            positions.iter().map(|p| p.rem_euclid(circumference)).collect();
+        let reduced: Vec<f64> = positions
+            .iter()
+            .map(|p| p.rem_euclid(circumference))
+            .collect();
         for i in 0..reduced.len() {
             for j in (i + 1)..reduced.len() {
                 if reduced[i] == reduced[j] {
@@ -49,7 +55,10 @@ impl RingSpace {
                 }
             }
         }
-        Ok(RingSpace { positions: reduced, circumference })
+        Ok(RingSpace {
+            positions: reduced,
+            circumference,
+        })
     }
 
     /// Places `n` peers equidistantly around a ring of the given
@@ -61,9 +70,13 @@ impl RingSpace {
     /// circumference.
     pub fn equidistant(n: usize, circumference: f64) -> Result<Self, MetricError> {
         if !circumference.is_finite() || circumference <= 0.0 {
-            return Err(MetricError::NonFiniteValue { context: "ring circumference" });
+            return Err(MetricError::NonFiniteValue {
+                context: "ring circumference",
+            });
         }
-        let positions = (0..n).map(|i| i as f64 * circumference / n as f64).collect();
+        let positions = (0..n)
+            .map(|i| i as f64 * circumference / n as f64)
+            .collect();
         RingSpace::new(positions, circumference)
     }
 

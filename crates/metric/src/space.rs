@@ -86,7 +86,9 @@ pub fn validate_metric<M: MetricSpace + ?Sized>(space: &M, tol: f64) -> Result<(
     for i in 0..n {
         let dii = space.distance(i, i);
         if !dii.is_finite() {
-            return Err(MetricError::NonFiniteValue { context: "diagonal distance" });
+            return Err(MetricError::NonFiniteValue {
+                context: "diagonal distance",
+            });
         }
         if dii.abs() > tol {
             return Err(MetricError::NonZeroDiagonal { i });
@@ -97,7 +99,9 @@ pub fn validate_metric<M: MetricSpace + ?Sized>(space: &M, tol: f64) -> Result<(
             let dij = space.distance(i, j);
             let dji = space.distance(j, i);
             if !dij.is_finite() || !dji.is_finite() {
-                return Err(MetricError::NonFiniteValue { context: "pairwise distance" });
+                return Err(MetricError::NonFiniteValue {
+                    context: "pairwise distance",
+                });
             }
             if dij < 0.0 {
                 return Err(MetricError::NegativeDistance { i, j });
@@ -154,11 +158,8 @@ mod tests {
     fn detects_triangle_violation() {
         // d(0,2) = 10 but d(0,1) + d(1,2) = 2: not a metric.
         let m = MatrixMetric::new_unchecked(
-            DistanceMatrix::from_row_major(
-                3,
-                vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-            )
-            .unwrap(),
+            DistanceMatrix::from_row_major(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0])
+                .unwrap(),
         );
         assert!(matches!(
             validate_metric(&m, 1e-9),
@@ -182,7 +183,10 @@ mod tests {
         let m = MatrixMetric::new_unchecked(
             DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap(),
         );
-        assert_eq!(validate_metric(&m, 1e-9), Err(MetricError::Asymmetric { i: 0, j: 1 }));
+        assert_eq!(
+            validate_metric(&m, 1e-9),
+            Err(MetricError::Asymmetric { i: 0, j: 1 })
+        );
     }
 
     #[test]

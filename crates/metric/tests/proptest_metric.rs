@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use rand::prelude::*;
 use sp_graph::DistanceMatrix;
-use sp_metric::{
-    generators, validate_metric, Euclidean2D, LineSpace, MetricSpace, Point2, PointN,
-};
+use sp_metric::{generators, validate_metric, Euclidean2D, LineSpace, MetricSpace, Point2, PointN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,7 +1,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use sp_core::{topology, CoreError, Game, StrategyProfile};
+use sp_core::{topology, CoreError, Game, GameSession, StrategyProfile};
 use sp_graph::DiGraph;
 
 use crate::NextHopTable;
@@ -30,7 +30,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { routing: Routing::ShortestPath, ttl: 64 }
+        SimConfig {
+            routing: Routing::ShortestPath,
+            ttl: 64,
+        }
     }
 }
 
@@ -81,8 +84,12 @@ impl WorkloadStats {
     /// Mean latency of delivered lookups (`None` if none delivered).
     #[must_use]
     pub fn mean_latency(&self) -> Option<f64> {
-        let delivered: Vec<f64> =
-            self.results.iter().filter(|r| r.delivered).map(|r| r.latency).collect();
+        let delivered: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.delivered)
+            .map(|r| r.latency)
+            .collect();
         if delivered.is_empty() {
             None
         } else {
@@ -93,8 +100,11 @@ impl WorkloadStats {
     /// Mean measured stretch of delivered lookups (`None` if none).
     #[must_use]
     pub fn mean_stretch(&self, game: &Game) -> Option<f64> {
-        let stretches: Vec<f64> =
-            self.results.iter().filter_map(|r| r.stretch(game)).collect();
+        let stretches: Vec<f64> = self
+            .results
+            .iter()
+            .filter_map(|r| r.stretch(game))
+            .collect();
         if stretches.is_empty() {
             None
         } else {
@@ -156,7 +166,22 @@ impl<'g> LookupSimulator<'g> {
             Routing::ShortestPath => Some(NextHopTable::build(&topo)),
             Routing::GreedyMetric => None,
         };
-        Ok(LookupSimulator { game, topo, next_hop, config, dead: vec![false; game.n()] })
+        Ok(LookupSimulator {
+            game,
+            topo,
+            next_hop,
+            config,
+            dead: vec![false; game.n()],
+        })
+    }
+
+    /// Builds a simulator over a [`GameSession`]'s current profile — the
+    /// natural follow-up to a session-driven dynamics run (the session
+    /// stays usable; the simulator snapshots the overlay).
+    #[must_use]
+    pub fn from_session(session: &'g GameSession, config: SimConfig) -> Self {
+        LookupSimulator::new(session.game(), session.profile(), config)
+            .expect("a session's game and profile always agree on size")
     }
 
     /// Marks peers as dead: they silently drop any message arriving at
@@ -214,22 +239,50 @@ impl<'g> LookupSimulator<'g> {
         let n = self.game.n();
         assert!(src < n && dst < n, "peer out of bounds");
         let mut heap = BinaryHeap::new();
-        heap.push(Arrival { time: 0.0, at: src, hops: 0 });
+        heap.push(Arrival {
+            time: 0.0,
+            at: src,
+            hops: 0,
+        });
         // Event loop (a single message in flight; the heap form keeps the
         // machinery identical for multi-message workloads).
         while let Some(Arrival { time, at, hops }) = heap.pop() {
             if self.dead[at] {
-                return LookupResult { src, dst, delivered: false, latency: time, hops };
+                return LookupResult {
+                    src,
+                    dst,
+                    delivered: false,
+                    latency: time,
+                    hops,
+                };
             }
             if at == dst {
-                return LookupResult { src, dst, delivered: true, latency: time, hops };
+                return LookupResult {
+                    src,
+                    dst,
+                    delivered: true,
+                    latency: time,
+                    hops,
+                };
             }
             if hops >= self.config.ttl {
-                return LookupResult { src, dst, delivered: false, latency: time, hops };
+                return LookupResult {
+                    src,
+                    dst,
+                    delivered: false,
+                    latency: time,
+                    hops,
+                };
             }
             match self.forward(at, dst) {
                 None => {
-                    return LookupResult { src, dst, delivered: false, latency: time, hops }
+                    return LookupResult {
+                        src,
+                        dst,
+                        delivered: false,
+                        latency: time,
+                        hops,
+                    }
                 }
                 Some(next) => {
                     heap.push(Arrival {
@@ -290,7 +343,10 @@ mod tests {
     fn greedy_routing_succeeds_on_the_line_chain() {
         let game = line_game();
         let p = chain(4);
-        let config = SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() };
+        let config = SimConfig {
+            routing: Routing::GreedyMetric,
+            ..SimConfig::default()
+        };
         let sim = LookupSimulator::new(&game, &p, config).unwrap();
         let stats = sim.run_workload(&crate::workload::all_pairs(4));
         assert_eq!(stats.success_rate(), 1.0);
@@ -311,15 +367,14 @@ mod tests {
         ])
         .unwrap();
         let game = Game::from_space(&space, 1.0).unwrap();
-        let p = StrategyProfile::from_links(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 0)],
-        )
-        .unwrap();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let greedy = LookupSimulator::new(
             &game,
             &p,
-            SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+            SimConfig {
+                routing: Routing::GreedyMetric,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let r = greedy.lookup(0, 3);
@@ -332,7 +387,10 @@ mod tests {
     fn ttl_limits_hop_count() {
         let game = line_game();
         let p = chain(4);
-        let config = SimConfig { ttl: 1, ..SimConfig::default() };
+        let config = SimConfig {
+            ttl: 1,
+            ..SimConfig::default()
+        };
         let sim = LookupSimulator::new(&game, &p, config).unwrap();
         let r = sim.lookup(0, 3);
         assert!(!r.delivered);

@@ -14,8 +14,7 @@ fn arb_setup() -> impl Strategy<Value = (Game, StrategyProfile)> {
             let mut rng = StdRng::seed_from_u64(seed);
             let space = generators::uniform_square(n, 50.0, &mut rng);
             let game = Game::from_space(&space, 1.0).unwrap();
-            let links: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|&(a, b)| a != b).collect();
+            let links: Vec<(usize, usize)> = pairs.into_iter().filter(|&(a, b)| a != b).collect();
             let profile = StrategyProfile::from_links(n, &links).unwrap();
             (game, profile)
         })

@@ -55,5 +55,8 @@ fn main() {
 
     let total_moves: usize = sim.history().iter().map(|r| r.moves).sum();
     println!("\ntotal strategy changes across the whole churn history: {total_moves}");
-    assert!(sim.history().iter().all(|r| r.converged), "all settles converged");
+    assert!(
+        sim.history().iter().all(|r| r.converged),
+        "all settles converged"
+    );
 }

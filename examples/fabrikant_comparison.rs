@@ -38,7 +38,9 @@ fn main() {
             "  stretch:   converged={} links={} social={:.1} max-degree={}",
             matches!(out.termination, Termination::Converged { .. }),
             out.profile.link_count(),
-            social_cost(&game, &out.profile).expect("sizes match").total(),
+            social_cost(&game, &out.profile)
+                .expect("sizes match")
+                .total(),
             topo.max_out_degree(),
         );
 

@@ -14,11 +14,21 @@ fn main() {
     let lb = LineLowerBound::new(10, 3.4).expect("valid parameters");
     let game = lb.game();
     let profile = lb.equilibrium_profile();
-    println!("positions: {:?}", lb.positions().iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>());
+    println!(
+        "positions: {:?}",
+        lb.positions()
+            .iter()
+            .map(|p| format!("{p:.1}"))
+            .collect::<Vec<_>>()
+    );
     let report = is_nash(&game, &profile, &NashTest::exact()).expect("sizes match");
     println!(
         "Lemma 4.2 — equilibrium at α = 3.4, n = 10: {}",
-        if report.is_nash() { "VERIFIED" } else { "FAILED" }
+        if report.is_nash() {
+            "VERIFIED"
+        } else {
+            "FAILED"
+        }
     );
     assert!(report.is_nash());
 

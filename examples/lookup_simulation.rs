@@ -16,14 +16,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(17);
     let space = generators::uniform_square(14, 100.0, &mut rng);
     let game = Game::from_space(&space, 4.0).expect("valid placement");
+    let mut session =
+        GameSession::new(game.clone(), StrategyProfile::empty(14)).expect("sizes match");
     let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-    let out = runner.run(StrategyProfile::empty(14));
+    let out = runner.run_session(&mut session);
     assert!(matches!(out.termination, Termination::Converged { .. }));
 
     let pairs = workload::all_pairs(14);
 
     // Converged routing tables: measured latency == the cost model.
-    let sp = LookupSimulator::new(&game, &out.profile, SimConfig::default()).unwrap();
+    let sp = LookupSimulator::from_session(&session, SimConfig::default());
     let stats = sp.run_workload(&pairs);
     println!(
         "shortest-path routing: success {:.0}%, mean stretch {:.3}",
@@ -32,12 +34,13 @@ fn main() {
     );
 
     // Stateless greedy routing: how usable is the topology without state?
-    let greedy = LookupSimulator::new(
-        &game,
-        &out.profile,
-        SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
-    )
-    .unwrap();
+    let greedy = LookupSimulator::from_session(
+        &session,
+        SimConfig {
+            routing: Routing::GreedyMetric,
+            ..SimConfig::default()
+        },
+    );
     let gstats = greedy.run_workload(&pairs);
     println!(
         "greedy routing:        success {:.0}%, mean stretch {:.3} (delivered only)",
@@ -50,7 +53,7 @@ fn main() {
     let topo = sp_core::topology(&game, &out.profile).unwrap();
     let bc = measures::betweenness_centrality(&topo);
     let hub = (0..14).max_by(|&a, &b| bc[a].total_cmp(&bc[b])).unwrap();
-    let mut broken = LookupSimulator::new(&game, &out.profile, SimConfig::default()).unwrap();
+    let mut broken = LookupSimulator::from_session(&session, SimConfig::default());
     broken.kill_peers(&[hub]);
     let bstats = broken.run_workload(&pairs);
     println!(

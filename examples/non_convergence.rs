@@ -18,7 +18,10 @@ fn main() {
     let certify = std::env::args().any(|a| a == "--certify");
     let inst = NoEquilibriumInstance::paper(1);
     let names = ["π1", "π2", "πa", "πb", "πc"];
-    println!("instance I_1: five peers in the plane, α = {}", inst.game().alpha());
+    println!(
+        "instance I_1: five peers in the plane, α = {}",
+        inst.game().alpha()
+    );
 
     let config = DynamicsConfig {
         max_rounds: 100,
@@ -44,7 +47,11 @@ fn main() {
         );
     }
     match outcome.termination {
-        Termination::Cycle { first_seen_step, period_steps, moves_in_cycle } => {
+        Termination::Cycle {
+            first_seen_step,
+            period_steps,
+            moves_in_cycle,
+        } => {
             println!(
                 "\nPROVABLE CYCLE: state at step {first_seen_step} recurs every \
                  {period_steps} steps ({moves_in_cycle} strategy changes per loop)."
@@ -58,7 +65,9 @@ fn main() {
         println!("\nexhaustively scanning all 2^20 strategy profiles…");
         match exhaustive_nash_scan(inst.game(), 1e-9).expect("n = 5 within limit") {
             ExhaustiveResult::NoEquilibrium { profiles_checked } => {
-                println!("CERTIFIED: none of the {profiles_checked} profiles is a Nash equilibrium.");
+                println!(
+                    "CERTIFIED: none of the {profiles_checked} profiles is a Nash equilibrium."
+                );
             }
             ExhaustiveResult::FoundEquilibrium { profile, .. } => {
                 println!("unexpected equilibrium found:\n{profile}");

@@ -1,5 +1,7 @@
 //! Quickstart: drop selfish peers on a random plane, let them rewire
-//! until stable, and inspect the equilibrium.
+//! until stable, and inspect the equilibrium — all through one
+//! [`GameSession`], the stateful evaluation handle whose overlay caches
+//! survive across the whole pipeline.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,7 +9,6 @@
 
 use rand::prelude::*;
 use selfish_peers::prelude::*;
-use sp_core::{max_stretch, social_cost};
 use sp_metric::generators;
 
 fn main() {
@@ -17,9 +18,12 @@ fn main() {
     let space = generators::uniform_square(12, 100.0, &mut rng);
     let game = Game::from_space(&space, 4.0).expect("valid placement");
 
-    // 2. Round-robin exact best-response dynamics from the empty overlay.
+    // 2. One session owns the game + evolving profile; the dynamics
+    //    runner drives it, and every later query reuses its caches.
+    let mut session =
+        GameSession::new(game.clone(), StrategyProfile::empty(game.n())).expect("sizes match");
     let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-    let outcome = runner.run(StrategyProfile::empty(game.n()));
+    let outcome = runner.run_session(&mut session);
     match outcome.termination {
         Termination::Converged { rounds } => {
             println!("converged after {rounds} rounds ({} moves)", outcome.moves);
@@ -31,25 +35,42 @@ fn main() {
     }
 
     // 3. The stable overlay is a Nash equilibrium (certified exactly).
-    let report = is_nash(&game, &outcome.profile, &NashTest::exact()).expect("sizes match");
-    assert!(report.is_nash(), "exact BR convergence certifies an equilibrium");
+    let report = session.is_nash(&NashTest::exact()).expect("valid session");
+    assert!(
+        report.is_nash(),
+        "exact BR convergence certifies an equilibrium"
+    );
 
-    // 4. Inspect it.
-    let cost = social_cost(&game, &outcome.profile).expect("sizes match");
-    let stretch = max_stretch(&game, &outcome.profile).expect("sizes match");
-    println!("links: {}", outcome.profile.link_count());
-    println!("social cost: {:.1} (links {:.1} + stretch {:.1})",
-        cost.total(), cost.link_cost, cost.stretch_cost);
-    println!("max stretch: {stretch:.3} (Theorem 4.1 bound: α+1 = {:.1})", game.alpha() + 1.0);
+    // 4. Inspect it — these hit the session's cached overlay distances.
+    let cost = session.social_cost();
+    let stretch = session.max_stretch();
+    println!("links: {}", session.profile().link_count());
+    println!(
+        "social cost: {:.1} (links {:.1} + stretch {:.1})",
+        cost.total(),
+        cost.link_cost,
+        cost.stretch_cost
+    );
+    println!(
+        "max stretch: {stretch:.3} (Theorem 4.1 bound: α+1 = {:.1})",
+        game.alpha() + 1.0
+    );
     assert!(stretch <= game.alpha() + 1.0 + 1e-9);
 
     // 5. How bad is selfishness here? Bracket the Price of Anarchy.
     let estimator = PoaEstimator::new(&game);
-    let bracket = estimator.bracket(&outcome.profile).expect("sizes match");
+    let bracket = estimator.bracket_session(&mut session);
     let (name, opt_ub) = estimator.opt_upper();
     println!(
         "PoA bracket: [{:.3}, {:.3}] (best baseline: {name} at {opt_ub:.1})",
         bracket.poa_lower(),
         bracket.poa_upper()
+    );
+
+    // 6. The session kept count of the shortest-path work it actually did.
+    let stats = session.stats();
+    println!(
+        "session work: {} full sweeps, {} incremental repairs, {} rows preserved",
+        stats.full_sssp, stats.incremental_relaxations, stats.rows_preserved
     );
 }

@@ -19,16 +19,19 @@ use selfish_peers::analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult
 use selfish_peers::prelude::*;
 use selfish_peers::spec::{GameSpec, ProfileSpec};
 use sp_core::social_cost;
+use sp_json::{json, Value};
 
 fn read_spec(path: &str) -> Result<GameSpec, String> {
     let text = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
         buf
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
     };
-    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    GameSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 struct Args {
@@ -70,7 +73,9 @@ impl Args {
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v}")),
         }
     }
 }
@@ -80,42 +85,49 @@ fn cmd_nash_check(args: &Args) -> Result<String, String> {
     let (game, profile) = spec.build()?;
     let report = is_nash(&game, &profile, &NashTest::exact()).map_err(|e| e.to_string())?;
     let cost = social_cost(&game, &profile).map_err(|e| e.to_string())?;
-    let out = serde_json::json!({
+    let out = json!({
         "is_nash": report.is_nash(),
         "certified_exact": report.certified_exact,
         "social_cost": cost.total(),
         "link_cost": cost.link_cost,
         "stretch_cost": cost.stretch_cost,
-        "deviation": report.best_deviation.map(|d| serde_json::json!({
+        "deviation": report.best_deviation.map(|d| json!({
             "peer": d.peer.index(),
             "links": d.links.iter().map(sp_core::PeerId::index).collect::<Vec<_>>(),
             "old_cost": d.old_cost,
             "new_cost": d.new_cost,
         })),
     });
-    Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+    Ok(out.to_string_pretty())
 }
 
 fn cmd_dynamics(args: &Args) -> Result<String, String> {
     let spec = read_spec(args.get("input").ok_or("--input required")?)?;
     let (game, start) = spec.build()?;
     let max_rounds = args.get_parsed("max-rounds", 200usize)?;
-    let config = DynamicsConfig { max_rounds, ..DynamicsConfig::default() };
+    let config = DynamicsConfig {
+        max_rounds,
+        ..DynamicsConfig::default()
+    };
     let mut runner = DynamicsRunner::new(&game, config);
     let out = runner.run(start);
     let termination = match out.termination {
-        Termination::Converged { rounds } => serde_json::json!({
+        Termination::Converged { rounds } => json!({
             "kind": "converged", "rounds": rounds,
         }),
-        Termination::Cycle { first_seen_step, period_steps, moves_in_cycle } => {
-            serde_json::json!({
+        Termination::Cycle {
+            first_seen_step,
+            period_steps,
+            moves_in_cycle,
+        } => {
+            json!({
                 "kind": "cycle",
                 "first_seen_step": first_seen_step,
                 "period_steps": period_steps,
                 "moves_in_cycle": moves_in_cycle,
             })
         }
-        Termination::RoundLimit => serde_json::json!({ "kind": "round-limit" }),
+        Termination::RoundLimit => json!({ "kind": "round-limit" }),
     };
     let cost = social_cost(&game, &out.profile).map_err(|e| e.to_string())?;
     if let Some(path) = args.get("dot") {
@@ -126,14 +138,14 @@ fn cmd_dynamics(args: &Args) -> Result<String, String> {
         );
         std::fs::write(path, dot).map_err(|e| format!("{path}: {e}"))?;
     }
-    let result = serde_json::json!({
+    let result = json!({
         "termination": termination,
         "steps": out.steps,
         "moves": out.moves,
         "social_cost": cost.total(),
         "profile": ProfileSpec::from_profile(&out.profile),
     });
-    Ok(serde_json::to_string_pretty(&result).expect("plain data"))
+    Ok(result.to_string_pretty())
 }
 
 fn cmd_poa(args: &Args) -> Result<String, String> {
@@ -142,7 +154,7 @@ fn cmd_poa(args: &Args) -> Result<String, String> {
     let est = PoaEstimator::new(&game);
     let bracket = est.bracket(&profile).map_err(|e| e.to_string())?;
     let (name, cost) = est.opt_upper();
-    let out = serde_json::json!({
+    let out = json!({
         "profile_cost": bracket.ne_cost,
         "opt_upper_bound": cost,
         "opt_upper_source": name,
@@ -150,7 +162,7 @@ fn cmd_poa(args: &Args) -> Result<String, String> {
         "poa_lower": bracket.poa_lower(),
         "poa_upper": bracket.poa_upper(),
     });
-    Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+    Ok(out.to_string_pretty())
 }
 
 fn cmd_paper(args: &Args) -> Result<String, String> {
@@ -162,46 +174,48 @@ fn cmd_paper(args: &Args) -> Result<String, String> {
             let lb = LineLowerBound::new(n, alpha).map_err(|e| e.to_string())?;
             let game = lb.game();
             let profile = lb.equilibrium_profile();
-            let report =
-                is_nash(&game, &profile, &NashTest::exact()).map_err(|e| e.to_string())?;
-            let out = serde_json::json!({
+            let report = is_nash(&game, &profile, &NashTest::exact()).map_err(|e| e.to_string())?;
+            let out = json!({
                 "figure": 1,
                 "n": n,
                 "alpha": alpha,
-                "positions": lb.positions(),
+                "positions": lb.positions().to_vec(),
                 "is_nash": report.is_nash(),
                 "equilibrium_cost": lb.equilibrium_cost().total(),
                 "reference_chain_cost": lb.reference_cost().total(),
                 "poa_lower_bound": lb.poa_lower_bound(),
                 "profile": ProfileSpec::from_profile(&profile),
             });
-            Ok(serde_json::to_string_pretty(&out).expect("plain data"))
+            Ok(out.to_string_pretty())
         }
         2 | 3 => {
             let k = args.get_parsed("k", 1usize)?;
             let inst = NoEquilibriumInstance::paper(k);
             let mut runner = DynamicsRunner::new(
                 inst.game(),
-                DynamicsConfig { max_rounds: 400, ..DynamicsConfig::default() },
+                DynamicsConfig {
+                    max_rounds: 400,
+                    ..DynamicsConfig::default()
+                },
             );
             let out = runner.run(StrategyProfile::empty(inst.n()));
             let cycles = matches!(out.termination, Termination::Cycle { .. });
             let certificate = if args.has("certify") && k == 1 {
                 match exhaustive_nash_scan(inst.game(), 1e-9).map_err(|e| e.to_string())? {
                     ExhaustiveResult::NoEquilibrium { profiles_checked } => {
-                        serde_json::json!({
+                        json!({
                             "no_pure_nash_equilibrium": true,
                             "profiles_checked": profiles_checked,
                         })
                     }
                     ExhaustiveResult::FoundEquilibrium { .. } => {
-                        serde_json::json!({ "no_pure_nash_equilibrium": false })
+                        json!({ "no_pure_nash_equilibrium": false })
                     }
                 }
             } else {
-                serde_json::Value::Null
+                Value::Null
             };
-            let result = serde_json::json!({
+            let result = json!({
                 "figure": figure,
                 "k": k,
                 "n": inst.n(),
@@ -209,7 +223,7 @@ fn cmd_paper(args: &Args) -> Result<String, String> {
                 "dynamics_cycles": cycles,
                 "certificate": certificate,
             });
-            Ok(serde_json::to_string_pretty(&result).expect("plain data"))
+            Ok(result.to_string_pretty())
         }
         other => Err(format!("unknown figure {other}; the paper has figures 1-3")),
     }

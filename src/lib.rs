@@ -21,6 +21,12 @@
 //!
 //! # Quickstart
 //!
+//! Evaluation is session-oriented: a [`core::GameSession`] owns the game
+//! and the evolving strategy profile and keeps the overlay's shortest
+//! paths cached across queries and moves. The dynamics engine drives a
+//! session internally (`run`) or one you own (`run_session`), and every
+//! follow-up measurement reuses its warm caches:
+//!
 //! ```
 //! use selfish_peers::prelude::*;
 //!
@@ -28,17 +34,24 @@
 //! let space = LineSpace::new(vec![0.0, 1.0, 2.5, 4.0, 8.0]).unwrap();
 //! let game = Game::from_space(&space, 2.0).unwrap();
 //!
-//! // Run round-robin best-response dynamics from the empty profile.
+//! // One session carries the profile through dynamics and analysis.
+//! let mut session = GameSession::new(game.clone(), StrategyProfile::empty(game.n())).unwrap();
 //! let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
-//! let outcome = runner.run(StrategyProfile::empty(game.n()));
+//! let outcome = runner.run_session(&mut session);
 //! match outcome.termination {
 //!     Termination::Converged { .. } => {
-//!         let profile = outcome.profile;
-//!         assert!(is_nash(&game, &profile, &NashTest::exact()).unwrap().is_nash());
+//!         // Equilibrium checks and cost queries hit the cached overlay.
+//!         assert!(session.is_nash(&NashTest::exact()).unwrap().is_nash());
+//!         assert!(session.social_cost().is_connected());
+//!         assert!(session.max_stretch() <= game.alpha() + 1.0 + 1e-9);
 //!     }
 //!     _ => panic!("tiny line instances converge"),
 //! }
 //! ```
+//!
+//! The pre-session free functions (`social_cost(&game, &profile)`, …)
+//! remain available as thin wrappers that build a throwaway session per
+//! call.
 
 pub use sp_analysis as analysis;
 pub use sp_constructions as constructions;
@@ -59,13 +72,13 @@ pub mod prelude {
     pub use sp_constructions::line::LineLowerBound;
     pub use sp_constructions::no_ne::NoEquilibriumInstance;
     pub use sp_core::{
-        best_response, is_nash, social_cost, BestResponse, BestResponseMethod, Game, LinkSet,
-        NashTest, PeerId, StrategyProfile,
+        best_response, is_nash, social_cost, BestResponse, BestResponseMethod, Game, GameSession,
+        LinkSet, Move, NashTest, PeerId, SessionStats, StrategyProfile,
     };
     pub use sp_dynamics::{
         DynamicsConfig, DynamicsOutcome, DynamicsRunner, ResponseRule, Schedule, Termination,
     };
     pub use sp_graph::{DiGraph, DistanceMatrix};
-    pub use sp_sim::{LookupSimulator, Routing, SimConfig};
     pub use sp_metric::{ClusteredPoints, Euclidean2D, LineSpace, MatrixMetric, MetricSpace};
+    pub use sp_sim::{LookupSimulator, Routing, SimConfig};
 }

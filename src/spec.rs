@@ -10,9 +10,9 @@
 //! { "alpha": 1.0, "matrix": [[0,1,2],[1,0,1.5],[2,1.5,0]] }
 //! ```
 
-use serde::{Deserialize, Serialize};
 use sp_core::{CoreError, Game, StrategyProfile};
 use sp_graph::DistanceMatrix;
+use sp_json::{json, Value};
 use sp_metric::{Euclidean2D, LineSpace, Point2};
 
 /// A declarative game instance, deserialisable from JSON.
@@ -24,32 +24,133 @@ use sp_metric::{Euclidean2D, LineSpace, Point2};
 /// ```
 /// use selfish_peers::spec::GameSpec;
 ///
-/// let spec: GameSpec = serde_json::from_str(
+/// let spec = GameSpec::from_json(
 ///     r#"{ "alpha": 2.0, "positions_1d": [0.0, 1.0, 3.0] }"#
 /// ).unwrap();
 /// let (game, profile) = spec.build().unwrap();
 /// assert_eq!(game.n(), 3);
 /// assert_eq!(profile.link_count(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GameSpec {
     /// The link-maintenance parameter `α`.
     pub alpha: f64,
     /// Peers on a line.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub positions_1d: Option<Vec<f64>>,
     /// Peers in the plane, as `[x, y]` pairs.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub points_2d: Option<Vec<[f64; 2]>>,
     /// Explicit symmetric latency matrix (row-major rows).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub matrix: Option<Vec<Vec<f64>>>,
     /// Initial directed links as `[from, to]` pairs (defaults to none).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub links: Option<Vec<[usize; 2]>>,
 }
 
+fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{what} entries must be numbers"))
+        })
+        .collect()
+}
+
+fn pair_array<T, F>(v: &Value, what: &str, convert: F) -> Result<Vec<[T; 2]>, String>
+where
+    F: Fn(&Value) -> Option<T>,
+{
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("{what} entries must be [a, b] pairs"))?;
+            match (convert(&items[0]), convert(&items[1])) {
+                (Some(a), Some(b)) => Ok([a, b]),
+                _ => Err(format!("{what} entries must be [a, b] pairs of numbers")),
+            }
+        })
+        .collect()
+}
+
 impl GameSpec {
+    /// Parses a spec from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON or mistyped
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = text
+            .parse()
+            .map_err(|e: sp_json::JsonError| e.to_string())?;
+        if !v.is_object() {
+            return Err("game spec must be a JSON object".to_owned());
+        }
+        let alpha = v
+            .get("alpha")
+            .and_then(Value::as_f64)
+            .ok_or("game spec needs a numeric 'alpha' field")?;
+        // Explicit JSON null is treated like an absent field, matching
+        // what serde's Option deserialization used to accept.
+        let field = |key: &str| v.get(key).filter(|f| !f.is_null());
+        let positions_1d = match field("positions_1d") {
+            None => None,
+            Some(p) => Some(f64_array(p, "positions_1d")?),
+        };
+        let points_2d = match field("points_2d") {
+            None => None,
+            Some(p) => Some(pair_array(p, "points_2d", Value::as_f64)?),
+        };
+        let matrix = match field("matrix") {
+            None => None,
+            Some(m) => Some(
+                m.as_array()
+                    .ok_or("matrix must be an array of rows")?
+                    .iter()
+                    .map(|row| f64_array(row, "matrix rows"))
+                    .collect::<Result<Vec<Vec<f64>>, String>>()?,
+            ),
+        };
+        let links = match field("links") {
+            None => None,
+            Some(l) => Some(pair_array(l, "links", Value::as_usize)?),
+        };
+        Ok(GameSpec {
+            alpha,
+            positions_1d,
+            points_2d,
+            matrix,
+            links,
+        })
+    }
+
+    /// Renders the spec as JSON (omitting absent optional fields).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Value)> =
+            vec![("alpha".to_owned(), Value::Number(self.alpha))];
+        if let Some(pos) = &self.positions_1d {
+            fields.push(("positions_1d".to_owned(), Value::from(pos.clone())));
+        }
+        if let Some(points) = &self.points_2d {
+            fields.push(("points_2d".to_owned(), Value::from(points.clone())));
+        }
+        if let Some(rows) = &self.matrix {
+            fields.push((
+                "matrix".to_owned(),
+                Value::Array(rows.iter().map(|r| Value::from(r.clone())).collect()),
+            ));
+        }
+        if let Some(links) = &self.links {
+            fields.push(("links".to_owned(), Value::from(links.clone())));
+        }
+        Value::Object(fields).to_string_pretty()
+    }
+
     /// Builds the game and the initial profile.
     ///
     /// # Errors
@@ -58,9 +159,9 @@ impl GameSpec {
     /// or several geometry fields), geometrically invalid, or the links
     /// are out of range.
     pub fn build(&self) -> Result<(Game, StrategyProfile), String> {
-        let geoms =
-            usize::from(self.positions_1d.is_some()) + usize::from(self.points_2d.is_some())
-                + usize::from(self.matrix.is_some());
+        let geoms = usize::from(self.positions_1d.is_some())
+            + usize::from(self.points_2d.is_some())
+            + usize::from(self.matrix.is_some());
         if geoms != 1 {
             return Err(format!(
                 "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
@@ -101,8 +202,7 @@ impl GameSpec {
         let profile = match &self.links {
             None => StrategyProfile::empty(game.n()),
             Some(pairs) => {
-                let links: Vec<(usize, usize)> =
-                    pairs.iter().map(|&[a, b]| (a, b)).collect();
+                let links: Vec<(usize, usize)> = pairs.iter().map(|&[a, b]| (a, b)).collect();
                 StrategyProfile::from_links(game.n(), &links).map_err(pretty_core)?
             }
         };
@@ -112,7 +212,11 @@ impl GameSpec {
     /// Convenience constructor from 1-D positions.
     #[must_use]
     pub fn from_line(alpha: f64, positions: Vec<f64>) -> Self {
-        GameSpec { alpha, positions_1d: Some(positions), ..GameSpec::default() }
+        GameSpec {
+            alpha,
+            positions_1d: Some(positions),
+            ..GameSpec::default()
+        }
     }
 
     /// Serialises a metric space snapshot of an existing game back into a
@@ -120,8 +224,9 @@ impl GameSpec {
     #[must_use]
     pub fn from_game(game: &Game, profile: &StrategyProfile) -> Self {
         let n = game.n();
-        let matrix: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..n).map(|j| game.distance(i, j)).collect()).collect();
+        let matrix: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| game.distance(i, j)).collect())
+            .collect();
         let links: Vec<[usize; 2]> = profile
             .links()
             .map(|(a, b)| [a.index(), b.index()])
@@ -140,7 +245,7 @@ fn pretty_core(e: CoreError) -> String {
 }
 
 /// Serialisable description of a strategy profile, for CLI output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileSpec {
     /// Directed links as `[from, to]` pairs.
     pub links: Vec<[usize; 2]>,
@@ -151,7 +256,10 @@ impl ProfileSpec {
     #[must_use]
     pub fn from_profile(profile: &StrategyProfile) -> Self {
         ProfileSpec {
-            links: profile.links().map(|(a, b)| [a.index(), b.index()]).collect(),
+            links: profile
+                .links()
+                .map(|(a, b)| [a.index(), b.index()])
+                .collect(),
         }
     }
 
@@ -166,6 +274,18 @@ impl ProfileSpec {
     }
 }
 
+impl From<ProfileSpec> for Value {
+    fn from(spec: ProfileSpec) -> Value {
+        json!({ "links": spec.links })
+    }
+}
+
+impl From<&ProfileSpec> for Value {
+    fn from(spec: &ProfileSpec) -> Value {
+        json!({ "links": spec.links.clone() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,8 +293,8 @@ mod tests {
     #[test]
     fn line_spec_roundtrip() {
         let spec = GameSpec::from_line(2.0, vec![0.0, 1.0, 4.0]);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: GameSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json();
+        let back = GameSpec::from_json(&json).unwrap();
         assert_eq!(spec, back);
         let (game, profile) = back.build().unwrap();
         assert_eq!(game.n(), 3);
@@ -184,7 +304,7 @@ mod tests {
 
     #[test]
     fn points_spec_with_links() {
-        let spec: GameSpec = serde_json::from_str(
+        let spec = GameSpec::from_json(
             r#"{ "alpha": 1.0, "points_2d": [[0,0],[3,4]], "links": [[0,1],[1,0]] }"#,
         )
         .unwrap();
@@ -195,36 +315,41 @@ mod tests {
 
     #[test]
     fn matrix_spec() {
-        let spec: GameSpec = serde_json::from_str(
-            r#"{ "alpha": 1.0, "matrix": [[0,1,2],[1,0,1.5],[2,1.5,0]] }"#,
-        )
-        .unwrap();
+        let spec =
+            GameSpec::from_json(r#"{ "alpha": 1.0, "matrix": [[0,1,2],[1,0,1.5],[2,1.5,0]] }"#)
+                .unwrap();
         let (game, _) = spec.build().unwrap();
         assert_eq!(game.distance(2, 1), 1.5);
     }
 
     #[test]
     fn rejects_ambiguous_and_invalid_specs() {
-        let none: GameSpec = serde_json::from_str(r#"{ "alpha": 1.0 }"#).unwrap();
+        let none = GameSpec::from_json(r#"{ "alpha": 1.0 }"#).unwrap();
         assert!(none.build().is_err());
-        let both: GameSpec = serde_json::from_str(
+        let both = GameSpec::from_json(
             r#"{ "alpha": 1.0, "positions_1d": [0,1], "matrix": [[0,1],[1,0]] }"#,
         )
         .unwrap();
         assert!(both.build().is_err());
-        let ragged: GameSpec = serde_json::from_str(
-            r#"{ "alpha": 1.0, "matrix": [[0,1],[1]] }"#,
-        )
-        .unwrap();
+        let ragged = GameSpec::from_json(r#"{ "alpha": 1.0, "matrix": [[0,1],[1]] }"#).unwrap();
         assert!(ragged.build().unwrap_err().contains("square"));
-        let bad_alpha: GameSpec =
-            serde_json::from_str(r#"{ "alpha": -1.0, "positions_1d": [0,1] }"#).unwrap();
+        let bad_alpha = GameSpec::from_json(r#"{ "alpha": -1.0, "positions_1d": [0,1] }"#).unwrap();
         assert!(bad_alpha.build().is_err());
-        let bad_link: GameSpec = serde_json::from_str(
-            r#"{ "alpha": 1.0, "positions_1d": [0,1], "links": [[0,7]] }"#,
+        let bad_link =
+            GameSpec::from_json(r#"{ "alpha": 1.0, "positions_1d": [0,1], "links": [[0,7]] }"#)
+                .unwrap();
+        assert!(bad_link.build().is_err());
+        assert!(GameSpec::from_json("{not json").is_err());
+        assert!(GameSpec::from_json(r#"{ "alpha": "x" }"#).is_err());
+        // Explicit null for an optional field is the same as omitting it
+        // (what the previous serde-based parser accepted).
+        let null_links = GameSpec::from_json(
+            r#"{ "alpha": 1.0, "positions_1d": [0, 1], "links": null, "matrix": null }"#,
         )
         .unwrap();
-        assert!(bad_link.build().is_err());
+        assert_eq!(null_links.links, None);
+        assert_eq!(null_links.matrix, None);
+        assert!(null_links.build().is_ok());
     }
 
     #[test]

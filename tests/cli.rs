@@ -34,7 +34,7 @@ fn nash_check_on_a_line_chain() {
                    "links": [[0,1],[1,0],[1,2],[2,1]]}"#;
     let (ok, stdout, stderr) = run(&["nash-check", "--input", "-"], Some(spec));
     assert!(ok, "stderr: {stderr}");
-    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let v: sp_json::Value = stdout.trim().parse().expect("valid JSON");
     assert_eq!(v["is_nash"], true);
     assert_eq!(v["certified_exact"], true);
     assert_eq!(v["social_cost"], 10.0);
@@ -45,7 +45,7 @@ fn nash_check_detects_deviation() {
     let spec = r#"{"alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0]}"#;
     let (ok, stdout, _) = run(&["nash-check", "--input", "-"], Some(spec));
     assert!(ok);
-    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let v: sp_json::Value = stdout.trim().parse().unwrap();
     assert_eq!(v["is_nash"], false);
     assert!(v["deviation"].is_object());
 }
@@ -55,7 +55,7 @@ fn dynamics_converges_and_reports_profile() {
     let spec = r#"{"alpha": 0.6, "positions_1d": [0.0, 1.0, 3.0]}"#;
     let (ok, stdout, _) = run(&["dynamics", "--input", "-"], Some(spec));
     assert!(ok);
-    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let v: sp_json::Value = stdout.trim().parse().unwrap();
     assert_eq!(v["termination"]["kind"], "converged");
     assert!(v["profile"]["links"].as_array().unwrap().len() >= 4);
 }
@@ -66,7 +66,7 @@ fn poa_brackets_order() {
                    "links": [[0,1],[1,0],[1,2],[2,1],[2,3],[3,2]]}"#;
     let (ok, stdout, _) = run(&["poa", "--input", "-"], Some(spec));
     assert!(ok);
-    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let v: sp_json::Value = stdout.trim().parse().unwrap();
     let lo = v["poa_lower"].as_f64().unwrap();
     let hi = v["poa_upper"].as_f64().unwrap();
     assert!(lo <= hi + 1e-12);
@@ -74,9 +74,12 @@ fn poa_brackets_order() {
 
 #[test]
 fn paper_figure_1_verifies() {
-    let (ok, stdout, _) = run(&["paper", "--figure", "1", "--n", "8", "--alpha", "4.0"], None);
+    let (ok, stdout, _) = run(
+        &["paper", "--figure", "1", "--n", "8", "--alpha", "4.0"],
+        None,
+    );
     assert!(ok);
-    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let v: sp_json::Value = stdout.trim().parse().unwrap();
     assert_eq!(v["is_nash"], true);
     assert_eq!(v["positions"].as_array().unwrap().len(), 8);
 }
@@ -85,7 +88,7 @@ fn paper_figure_1_verifies() {
 fn paper_figure_2_cycles() {
     let (ok, stdout, _) = run(&["paper", "--figure", "2", "--k", "1"], None);
     assert!(ok);
-    let v: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let v: sp_json::Value = stdout.trim().parse().unwrap();
     assert_eq!(v["dynamics_cycles"], true);
     assert_eq!(v["n"], 5);
 }
@@ -101,10 +104,7 @@ fn bad_inputs_fail_cleanly() {
     let (ok3, _, _) = run(&["help"], None);
     assert!(ok3);
     // Ambiguous spec.
-    let (ok4, _, stderr4) = run(
-        &["nash-check", "--input", "-"],
-        Some(r#"{"alpha": 1.0}"#),
-    );
+    let (ok4, _, stderr4) = run(&["nash-check", "--input", "-"], Some(r#"{"alpha": 1.0}"#));
     assert!(!ok4);
     assert!(stderr4.contains("exactly one"));
 }
@@ -116,7 +116,13 @@ fn dynamics_writes_dot_output() {
     let dot_path = dir.join("overlay.dot");
     let spec = r#"{"alpha": 0.6, "positions_1d": [0.0, 1.0, 3.0]}"#;
     let (ok, _, stderr) = run(
-        &["dynamics", "--input", "-", "--dot", dot_path.to_str().unwrap()],
+        &[
+            "dynamics",
+            "--input",
+            "-",
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ],
         Some(spec),
     );
     assert!(ok, "stderr: {stderr}");

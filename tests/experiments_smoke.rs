@@ -12,7 +12,13 @@ fn assert_wellformed(r: &Report) {
     for t in &r.tables {
         assert!(!t.rows.is_empty(), "{}: table {} empty", r.id, t.name);
         for row in &t.rows {
-            assert_eq!(row.len(), t.headers.len(), "{}: ragged table {}", r.id, t.name);
+            assert_eq!(
+                row.len(),
+                t.headers.len(),
+                "{}: ragged table {}",
+                r.id,
+                t.name
+            );
         }
     }
     // JSON round trip.
@@ -141,7 +147,11 @@ fn e14_greedy_routing() {
     let r = experiments::exp_greedy_routing(true, 42);
     assert_wellformed(&r);
     // The complete overlay is perfectly greedy-routable.
-    let complete = r.tables[0].rows.iter().find(|row| row[1] == "complete").unwrap();
+    let complete = r.tables[0]
+        .rows
+        .iter()
+        .find(|row| row[1] == "complete")
+        .unwrap();
     assert_eq!(complete[2], "1.000");
     assert_eq!(complete[3], "1.000");
 }

@@ -15,11 +15,7 @@ fn prelude_supports_the_full_modelling_workflow() {
     ])
     .unwrap();
     let matrix = MatrixMetric::new(
-        DistanceMatrix::from_row_major(
-            2,
-            vec![0.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap(),
+        DistanceMatrix::from_row_major(2, vec![0.0, 1.0, 1.0, 0.0]).unwrap(),
         1e-9,
     )
     .unwrap();

@@ -16,8 +16,12 @@ fn lemma_4_2_certified_at_threshold() {
 fn lemma_4_2_certified_well_above_threshold() {
     for alpha in [5.0, 12.0, 40.0] {
         let lb = LineLowerBound::new(7, alpha).unwrap();
-        let gap = nash_gap(&lb.game(), &lb.equilibrium_profile(), BestResponseMethod::Exact)
-            .unwrap();
+        let gap = nash_gap(
+            &lb.game(),
+            &lb.equilibrium_profile(),
+            BestResponseMethod::Exact,
+        )
+        .unwrap();
         assert!(gap <= 1e-9, "alpha={alpha}: gap {gap}");
     }
 }
@@ -27,7 +31,10 @@ fn theorem_4_1_stretch_bound_holds_in_the_figure_1_equilibrium() {
     for (n, alpha) in [(8usize, 3.4f64), (12, 6.0), (20, 4.0)] {
         let lb = LineLowerBound::new(n, alpha).unwrap();
         let ms = max_stretch(&lb.game(), &lb.equilibrium_profile()).unwrap();
-        assert!(ms <= alpha + 1.0 + 1e-9, "n={n} alpha={alpha}: stretch {ms}");
+        assert!(
+            ms <= alpha + 1.0 + 1e-9,
+            "n={n} alpha={alpha}: stretch {ms}"
+        );
     }
 }
 
@@ -40,7 +47,10 @@ fn theorem_4_4_poa_bracket_contains_min_alpha_n_behaviour() {
         let lb = LineLowerBound::new(61, alpha).unwrap();
         let poa = lb.poa_lower_bound();
         assert!(poa > last, "PoA must grow with alpha: {poa} after {last}");
-        assert!(poa <= alpha.min(61.0) + 1.0, "PoA {poa} above the min(α,n) ceiling");
+        assert!(
+            poa <= alpha.min(61.0) + 1.0,
+            "PoA {poa} above the min(α,n) ceiling"
+        );
         last = poa;
     }
 }
@@ -51,7 +61,10 @@ fn dynamics_from_equilibrium_stays_put() {
     let game = lb.game();
     let mut runner = DynamicsRunner::new(&game, DynamicsConfig::default());
     let out = runner.run(lb.equilibrium_profile());
-    assert!(matches!(out.termination, Termination::Converged { rounds: 1 }));
+    assert!(matches!(
+        out.termination,
+        Termination::Converged { rounds: 1 }
+    ));
     assert_eq!(out.moves, 0);
     assert_eq!(out.profile, lb.equilibrium_profile());
 }
@@ -65,5 +78,9 @@ fn reference_chain_is_best_baseline_on_the_line() {
     // baselines: stretch 1 with minimal links.
     let chain_cost = lb.reference_cost().total();
     assert!(best.cost.total() <= chain_cost + 1e-9);
-    assert!((best.cost.total() - chain_cost).abs() < 1e-6, "best: {}", best.name);
+    assert!(
+        (best.cost.total() - chain_cost).abs() < 1e-6,
+        "best: {}",
+        best.name
+    );
 }

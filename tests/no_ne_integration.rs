@@ -18,7 +18,10 @@ fn dynamics_provably_cycles_on_i1_from_every_start() {
     ] {
         let mut runner = DynamicsRunner::new(
             inst.game(),
-            DynamicsConfig { max_rounds: 200, ..DynamicsConfig::default() },
+            DynamicsConfig {
+                max_rounds: 200,
+                ..DynamicsConfig::default()
+            },
         );
         let out = runner.run(start);
         assert!(
@@ -34,7 +37,10 @@ fn dynamics_cycles_for_k2() {
     let inst = NoEquilibriumInstance::paper(2);
     let mut runner = DynamicsRunner::new(
         inst.game(),
-        DynamicsConfig { max_rounds: 300, ..DynamicsConfig::default() },
+        DynamicsConfig {
+            max_rounds: 300,
+            ..DynamicsConfig::default()
+        },
     );
     let out = runner.run(StrategyProfile::empty(10));
     assert!(matches!(out.termination, Termination::Cycle { .. }));
@@ -56,7 +62,9 @@ fn figure_3_cycle_structure() {
             let p = inst.representative(c);
             let br = best_response(game, &profile, p, BestResponseMethod::Exact).unwrap();
             if br.improves(1e-9) {
-                let replace = best.as_ref().is_none_or(|(_, _, imp)| br.improvement() > *imp);
+                let replace = best
+                    .as_ref()
+                    .is_none_or(|(_, _, imp)| br.improvement() > *imp);
                 if replace {
                     best = Some((p, br.links.clone(), br.improvement()));
                 }

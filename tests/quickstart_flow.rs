@@ -49,7 +49,10 @@ fn different_schedules_reach_equilibria_of_similar_quality() {
         Schedule::RandomPermutation { seed: 1 },
         Schedule::UniformRandom { seed: 2 },
     ] {
-        let config = DynamicsConfig { schedule, ..DynamicsConfig::default() };
+        let config = DynamicsConfig {
+            schedule,
+            ..DynamicsConfig::default()
+        };
         let mut runner = DynamicsRunner::new(&game, config);
         let out = runner.run(StrategyProfile::empty(8));
         assert!(matches!(out.termination, Termination::Converged { .. }));
@@ -59,7 +62,10 @@ fn different_schedules_reach_equilibria_of_similar_quality() {
     // (they all respect the same Theorem 4.1 bounds).
     let lo = costs.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = costs.iter().copied().fold(0.0f64, f64::max);
-    assert!(hi / lo < 3.0, "equilibrium quality spread too wide: {costs:?}");
+    assert!(
+        hi / lo < 3.0,
+        "equilibrium quality spread too wide: {costs:?}"
+    );
 }
 
 #[test]
@@ -75,8 +81,10 @@ fn better_response_dynamics_reaches_link_stable_state() {
     let out = runner.run(StrategyProfile::empty(8));
     assert!(matches!(out.termination, Termination::Converged { .. }));
     for i in 0..8 {
-        assert!(sp_core::first_improving_move(&game, &out.profile, PeerId::new(i), 1e-9)
-            .unwrap()
-            .is_none());
+        assert!(
+            sp_core::first_improving_move(&game, &out.profile, PeerId::new(i), 1e-9)
+                .unwrap()
+                .is_none()
+        );
     }
 }

@@ -38,7 +38,10 @@ fn greedy_routing_on_equilibria_is_partial_but_consistent() {
     let greedy = LookupSimulator::new(
         &game,
         &profile,
-        SimConfig { routing: Routing::GreedyMetric, ..SimConfig::default() },
+        SimConfig {
+            routing: Routing::GreedyMetric,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let stretches = stretch_matrix(&game, &profile).unwrap();
@@ -61,7 +64,9 @@ fn hotspot_workload_latency_tracks_demand_game_costs() {
     let space = generators::uniform_square(8, 100.0, &mut rng);
     let base = Game::from_space(&space, 6.0).unwrap();
     let dg = DemandGame::new(base.clone(), TrafficDemands::hotspot(8, 0, 20.0)).unwrap();
-    let (profile, converged) = dg.best_response_dynamics(StrategyProfile::empty(8), 100).unwrap();
+    let (profile, converged) = dg
+        .best_response_dynamics(StrategyProfile::empty(8), 100)
+        .unwrap();
     assert!(converged);
     let sim = LookupSimulator::new(&base, &profile, SimConfig::default()).unwrap();
     let pairs = workload::hotspot_pairs(8, 0, 100, &mut rng);

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the criterion API surface the workspace's benches use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`]) with a simple calibrated wall-clock measurement
+//! loop.
+//!
+//! Results print to stdout and accumulate into `BENCH_<suite>.json`
+//! (one file per `criterion_main!` binary, written at exit into the
+//! working directory). Environment knobs:
+//!
+//! * `BENCH_QUICK=1` — single short measurement per benchmark (CI smoke);
+//! * `BENCH_JSON_DIR` — directory for the JSON summary (default `.`).
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: function/group name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{p}", self.name),
+            (false, None) => write!(f, "{}", self.name),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// One measured result, kept for the JSON summary.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+    iterations: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the iteration count to fill the
+    /// measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: find an iteration count that takes a
+        // meaningful fraction of the window.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || n >= 1 << 20 {
+                break dt.as_secs_f64() / n as f64;
+            }
+            n *= 4;
+        };
+        let target = self.measurement_time.as_secs_f64();
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let dt = t0.elapsed();
+        self.mean_ns = dt.as_secs_f64() * 1e9 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept for API compatibility; the shim runs
+    /// one calibrated measurement scaled by this hint).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    records: RefCell<Vec<Record>>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            records: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, 100, &mut f);
+        self
+    }
+
+    fn run_one(&self, label: &str, sample_size_hint: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let window = if quick_mode() {
+            Duration::from_millis(20)
+        } else {
+            // Larger requested sample counts get a modestly longer window.
+            Duration::from_millis(60 + (sample_size_hint as u64).min(100))
+        };
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iterations: 0,
+            measurement_time: window,
+        };
+        f(&mut b);
+        println!(
+            "bench {label:<55} {:>14.1} ns/iter ({} iters)",
+            b.mean_ns, b.iterations
+        );
+        self.records.borrow_mut().push(Record {
+            id: label.to_owned(),
+            mean_ns: b.mean_ns,
+            iterations: b.iterations,
+        });
+    }
+
+    /// Writes the accumulated `BENCH_<suite>.json` summary.
+    ///
+    /// Called automatically by [`criterion_main!`].
+    pub fn write_summary(&self, suite: &str) {
+        let records = self.records.borrow();
+        if records.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{suite}\",\n  \"benchmarks\": [\n"));
+        for (k, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {} }}{}\n",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.iterations,
+                if k + 1 == records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_owned());
+        let path = format!("{dir}/BENCH_{suite}.json");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group and
+/// writing the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let suite = ::std::env::args()
+                .next()
+                .and_then(|p| {
+                    ::std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .map(|s| s.split('-').next().unwrap_or(&s).to_owned())
+                .unwrap_or_else(|| "bench".to_owned());
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.write_summary(&suite);
+        }
+    };
+}
