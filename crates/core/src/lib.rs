@@ -22,7 +22,11 @@
 //!   owning a game and its evolving profile, keeping the overlay CSR,
 //!   distance matrix, and stretch matrix cached across queries, and
 //!   repairing them incrementally when [`GameSession::apply`] mutates a
-//!   peer's links;
+//!   peer's links. Multi-peer events (simultaneous rounds, churn) commit
+//!   through [`GameSession::apply_batch`] — one CSR rebuild and one
+//!   repair pass for the whole batch — and bulk row refills shard their
+//!   Dijkstra sweeps over worker threads
+//!   ([`sp_graph::CsrGraph::dijkstra_rows_with`]);
 //! * [`topology`](fn@topology) / [`overlay_distances`] / [`stretch_matrix`]
 //!   — the induced overlay and its stretches;
 //! * [`peer_cost`] / [`social_cost`] — the paper's cost functions;

@@ -90,21 +90,29 @@ pub fn exhaustive_optimum(game: &Game) -> Result<(StrategyProfile, SocialCost), 
         .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
         .collect();
     let m = pairs.len();
-    let mut best_profile = StrategyProfile::empty(n);
-    let mut best_cost = crate::social_cost(game, &best_profile)?;
-    for mask in 0u64..(1u64 << m) {
+    let profile_for = |mask: u64| -> Result<StrategyProfile, CoreError> {
         let links: Vec<(usize, usize)> = (0..m)
             .filter(|&k| mask & (1 << k) != 0)
             .map(|k| pairs[k])
             .collect();
-        let profile = StrategyProfile::from_links(n, &links)?;
-        let cost = crate::social_cost(game, &profile)?;
+        StrategyProfile::from_links(n, &links)
+    };
+    // One live session reused across all 2^m candidates. The free
+    // `social_cost` wrapper builds a throwaway session per call — at
+    // n = 5 that cloned the O(n²) game matrix and reallocated the
+    // distance matrix 2^20 times; `set_profile` drops only the caches.
+    let mut session = crate::GameSession::new(game.clone(), StrategyProfile::empty(n))?;
+    let mut best_mask = 0u64;
+    let mut best_cost = session.social_cost();
+    for mask in 1u64..(1u64 << m) {
+        session.set_profile(profile_for(mask)?)?;
+        let cost = session.social_cost();
         if cost.total() < best_cost.total() {
             best_cost = cost;
-            best_profile = profile;
+            best_mask = mask;
         }
     }
-    Ok((best_profile, best_cost))
+    Ok((profile_for(best_mask)?, best_cost))
 }
 
 #[cfg(test)]
@@ -158,6 +166,19 @@ mod tests {
         let triangle = StrategyProfile::from_links(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
         assert!(cost.total() <= social_cost(&g, &chain).unwrap().total() + 1e-9);
         assert!(cost.total() <= social_cost(&g, &triangle).unwrap().total() + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_opt_profile_and_cost_stay_in_sync() {
+        // The optimizer tracks the best candidate by mask; the returned
+        // profile must actually price at the returned cost.
+        for alpha in [0.7, 2.0] {
+            let g = game(4, alpha);
+            let (profile, cost) = exhaustive_optimum(&g).unwrap();
+            let recheck = social_cost(&g, &profile).unwrap();
+            assert!((cost.total() - recheck.total()).abs() < 1e-12);
+            assert_eq!(cost.link_cost, recheck.link_cost);
+        }
     }
 
     #[test]

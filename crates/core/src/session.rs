@@ -25,6 +25,17 @@
 //! * rows that cannot be repaired cheaply are merely marked invalid and
 //!   recomputed the next time something reads them.
 //!
+//! Multi-move churn events (a simultaneous round, a peer departure) go
+//! through [`GameSession::apply_batch`], which folds any number of
+//! [`Move`]s into **one** profile mutation, **one** CSR rebuild, and a
+//! **single** repair pass: one removed-edge tightness scan over the
+//! valid rows against the union of all removed links, and one seeded
+//! decrease-only relaxation per surviving row covering all added links.
+//! Bulk row refills (a cold [`GameSession::social_cost`], the rows
+//! dropped by a batch) are sharded over `std::thread::available_parallelism`
+//! scoped worker threads ([`sp_graph::CsrGraph::dijkstra_rows_with`]),
+//! each with its own [`DijkstraScratch`].
+//!
 //! [`SessionStats`] counts the sweeps actually performed, so benchmarks
 //! and tests can verify the cache earns its keep.
 
@@ -41,6 +52,11 @@ use crate::{
 /// path?" test. Conservative: ties invalidate the row (costs a recompute,
 /// never correctness).
 const EDGE_ON_PATH_EPS: f64 = 1e-9;
+
+/// Minimum number of invalid rows before a bulk refill shards the sweeps
+/// over worker threads; below this the per-thread spawn cost outweighs
+/// the Dijkstra work on the instance sizes the workspace runs.
+const PAR_ROWS_MIN: usize = 32;
 
 /// A unilateral change to the current profile, applied through
 /// [`GameSession::apply`].
@@ -92,6 +108,16 @@ pub struct SessionStats {
     /// Best-response oracles built (each costs `n - 1` sweeps, counted
     /// separately from `full_sssp`).
     pub oracle_builds: usize,
+    /// Calls to [`GameSession::apply_batch`] that reached the repair pass
+    /// (batches that were pure no-ops are not counted).
+    pub batch_applies: usize,
+    /// Individual moves folded into those batched applies.
+    pub batch_moves: usize,
+    /// Bulk row refills that ran sharded over worker threads.
+    pub parallel_passes: usize,
+    /// Rows recomputed inside parallel passes (also counted in
+    /// [`SessionStats::full_sssp`]).
+    pub parallel_rows: usize,
 }
 
 impl SessionStats {
@@ -142,6 +168,8 @@ pub struct GameSession {
     /// Cached stretch matrix; cleared by every profile mutation.
     stretch: Option<DistanceMatrix>,
     scratch: DijkstraScratch,
+    /// Worker-thread override for bulk row refills; `None` = auto.
+    parallelism: Option<usize>,
     stats: SessionStats,
 }
 
@@ -168,6 +196,7 @@ impl GameSession {
             row_valid: vec![false; n],
             stretch: None,
             scratch: DijkstraScratch::new(),
+            parallelism: None,
             stats: SessionStats::default(),
         })
     }
@@ -253,6 +282,86 @@ impl GameSession {
     ///   [`Move::SetStrategy`] links);
     /// * [`CoreError::SelfLink`] when a move would create a self-link.
     pub fn apply(&mut self, mv: Move) -> Result<LinkSet, CoreError> {
+        self.validate_move(&mv)?;
+        let (peer, new_links) = self.resolve_validated(&mv);
+        let old_links = self.profile.strategy(peer).clone();
+        if old_links == new_links {
+            return Ok(old_links);
+        }
+
+        let mut added: Vec<(usize, usize, f64)> = Vec::new();
+        let mut removed: Vec<(usize, usize, f64)> = Vec::new();
+        self.edge_diff(
+            peer.index(),
+            &old_links,
+            &new_links,
+            &mut added,
+            &mut removed,
+        );
+
+        self.profile
+            .set_strategy(peer, new_links)
+            .expect("move endpoints validated above");
+        self.repair_after_edges(&added, &removed);
+        Ok(old_links)
+    }
+
+    /// Applies a whole batch of moves — a simultaneous round, a churn
+    /// event — as **one** cache transaction: the profile is mutated move
+    /// by move (later moves see earlier ones), but the overlay CSR is
+    /// rebuilt once and the distance rows are repaired in a single pass
+    /// against the *net* edge change, so moves that cancel out inside
+    /// the batch cost nothing.
+    ///
+    /// Returns, for each move in order, the links its peer held
+    /// immediately before that move — exactly what a sequence of
+    /// [`GameSession::apply`] calls would have returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::apply`], checked for **every**
+    /// move up front: a failed batch leaves the session untouched.
+    pub fn apply_batch(&mut self, moves: &[Move]) -> Result<Vec<LinkSet>, CoreError> {
+        for mv in moves {
+            self.validate_move(mv)?;
+        }
+        let n = self.game.n();
+        let mut previous = Vec::with_capacity(moves.len());
+        let mut pre_batch: Vec<Option<LinkSet>> = vec![None; n];
+        for mv in moves {
+            let (peer, new_links) = self.resolve_validated(mv);
+            let old = self.profile.strategy(peer).clone();
+            if pre_batch[peer.index()].is_none() {
+                pre_batch[peer.index()] = Some(old.clone());
+            }
+            if old != new_links {
+                self.profile
+                    .set_strategy(peer, new_links)
+                    .expect("validated above");
+            }
+            previous.push(old);
+        }
+
+        // Net edge diff of every touched peer against its pre-batch
+        // strategy — the union the single repair pass runs on.
+        let mut added: Vec<(usize, usize, f64)> = Vec::new();
+        let mut removed: Vec<(usize, usize, f64)> = Vec::new();
+        for (i, old) in pre_batch.iter().enumerate() {
+            let Some(old) = old else { continue };
+            let new = self.profile.strategy(PeerId::new(i));
+            self.edge_diff(i, old, new, &mut added, &mut removed);
+        }
+        if added.is_empty() && removed.is_empty() {
+            return Ok(previous);
+        }
+        self.stats.batch_applies += 1;
+        self.stats.batch_moves += moves.len();
+        self.repair_after_edges(&added, &removed);
+        Ok(previous)
+    }
+
+    /// Bounds- and self-link-checks one move without touching any state.
+    fn validate_move(&self, mv: &Move) -> Result<(), CoreError> {
         let n = self.game.n();
         let check = |peer: PeerId| -> Result<(), CoreError> {
             if peer.index() >= n {
@@ -263,59 +372,77 @@ impl GameSession {
             }
             Ok(())
         };
-        let (peer, new_links) = match mv {
+        match mv {
             Move::SetStrategy { peer, links } => {
-                check(peer)?;
+                check(*peer)?;
                 for t in links.iter() {
                     check(t)?;
-                    if t == peer {
+                    if t == *peer {
                         return Err(CoreError::SelfLink { peer: peer.index() });
                     }
                 }
-                (peer, links)
             }
             Move::AddLink { from, to } => {
-                check(from)?;
-                check(to)?;
+                check(*from)?;
+                check(*to)?;
                 if from == to {
                     return Err(CoreError::SelfLink { peer: from.index() });
                 }
-                (from, self.profile.strategy(from).with(to))
             }
             Move::RemoveLink { from, to } => {
-                check(from)?;
-                check(to)?;
-                (from, self.profile.strategy(from).without(to))
+                check(*from)?;
+                check(*to)?;
             }
-        };
-
-        let old_links = self.profile.strategy(peer).clone();
-        if old_links == new_links {
-            return Ok(old_links);
         }
+        Ok(())
+    }
 
-        let i = peer.index();
-        let added: Vec<usize> = new_links
-            .iter()
-            .filter(|t| !old_links.contains(*t))
-            .map(PeerId::index)
-            .collect();
-        let removed: Vec<usize> = old_links
-            .iter()
-            .filter(|t| !new_links.contains(*t))
-            .map(PeerId::index)
-            .collect();
+    /// Resolves an already-validated move to `(peer, its new link set)`
+    /// against the *current* profile.
+    fn resolve_validated(&self, mv: &Move) -> (PeerId, LinkSet) {
+        match mv {
+            Move::SetStrategy { peer, links } => (*peer, links.clone()),
+            Move::AddLink { from, to } => (*from, self.profile.strategy(*from).with(*to)),
+            Move::RemoveLink { from, to } => (*from, self.profile.strategy(*from).without(*to)),
+        }
+    }
 
-        self.profile
-            .set_strategy(peer, new_links)
-            .expect("move endpoints validated above");
+    /// Appends the `(from, to, weight)` edges by which `new` differs from
+    /// `old` for peer `i` — the diff representation both repair paths
+    /// consume.
+    fn edge_diff(
+        &self,
+        i: usize,
+        old: &LinkSet,
+        new: &LinkSet,
+        added: &mut Vec<(usize, usize, f64)>,
+        removed: &mut Vec<(usize, usize, f64)>,
+    ) {
+        for t in new.iter().filter(|t| !old.contains(*t)) {
+            added.push((i, t.index(), self.game.distance(i, t.index())));
+        }
+        for t in old.iter().filter(|t| !new.contains(*t)) {
+            removed.push((i, t.index(), self.game.distance(i, t.index())));
+        }
+    }
+
+    /// The shared repair pass behind [`GameSession::apply`] and
+    /// [`GameSession::apply_batch`]: given the net `(from, to, weight)`
+    /// edge changes already written to the profile, drops rows whose
+    /// shortest paths may have used a removed edge and runs one seeded
+    /// decrease-only relaxation per surviving row for the added edges.
+    fn repair_after_edges(
+        &mut self,
+        added: &[(usize, usize, f64)],
+        removed: &[(usize, usize, f64)],
+    ) {
         self.stretch = None;
 
         if self.csr.is_none() || !self.row_valid.iter().any(|&v| v) {
             // Nothing cached worth repairing; stay lazy.
             self.csr = None;
             self.row_valid.fill(false);
-            return Ok(old_links);
+            return;
         }
 
         // The edge set changed: refresh the CSR snapshot (O(m), cheap
@@ -323,29 +450,20 @@ impl GameSession {
         self.rebuild_csr();
         let csr = self.csr.as_ref().expect("just rebuilt");
 
-        let removed_edges: Vec<(usize, f64)> = removed
-            .iter()
-            .map(|&j| (j, self.game.distance(i, j)))
-            .collect();
-        let added_edges: Vec<(usize, f64)> = added
-            .iter()
-            .map(|&j| (j, self.game.distance(i, j)))
-            .collect();
-
-        let mut seeds: Vec<(usize, f64)> = Vec::with_capacity(added_edges.len());
+        let n = self.game.n();
+        let mut seeds: Vec<(usize, f64)> = Vec::with_capacity(added.len());
         for u in 0..n {
             if !self.row_valid[u] {
                 continue;
             }
             let row = self.dist.row(u);
-            let d_ui = row[i];
 
             // A removed link (i, j) can only affect u's distances when u
             // reaches i and the link was tight on some shortest path.
-            let broken = d_ui.is_finite()
-                && removed_edges
-                    .iter()
-                    .any(|&(j, w)| d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs()));
+            let broken = removed.iter().any(|&(i, j, w)| {
+                let d_ui = row[i];
+                d_ui.is_finite() && d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs())
+            });
             if broken {
                 self.row_valid[u] = false;
                 self.stats.rows_invalidated += 1;
@@ -353,22 +471,17 @@ impl GameSession {
             }
 
             // Added links only ever shorten distances: repair in place.
-            if d_ui.is_finite() {
-                seeds.clear();
-                seeds.extend(
-                    added_edges
-                        .iter()
-                        .filter(|&&(j, w)| d_ui + w < row[j])
-                        .map(|&(j, w)| (j, d_ui + w)),
-                );
-                if !seeds.is_empty() {
-                    csr.relax_decrease_into(self.dist.row_mut(u), &seeds, &mut self.scratch);
-                    self.stats.incremental_relaxations += 1;
-                }
+            seeds.clear();
+            seeds.extend(added.iter().filter_map(|&(i, j, w)| {
+                let d_ui = row[i];
+                (d_ui.is_finite() && d_ui + w < row[j]).then_some((j, d_ui + w))
+            }));
+            if !seeds.is_empty() {
+                csr.relax_decrease_into(self.dist.row_mut(u), &seeds, &mut self.scratch);
+                self.stats.incremental_relaxations += 1;
             }
             self.stats.rows_preserved += 1;
         }
-        Ok(old_links)
     }
 
     fn rebuild_csr(&mut self) {
@@ -404,9 +517,53 @@ impl GameSession {
         self.dist.row(u)
     }
 
+    /// Overrides the worker-thread count for bulk row refills.
+    ///
+    /// `None` (the default) derives it from
+    /// `std::thread::available_parallelism` and only shards when at least
+    /// [`PAR_ROWS_MIN`] rows need recomputing; an explicit `Some(k > 1)`
+    /// shards unconditionally (tests use this to exercise the threaded
+    /// path on any machine), and `Some(1)` forces the sequential path.
+    pub fn set_parallelism(&mut self, workers: Option<usize>) {
+        self.parallelism = workers;
+    }
+
+    fn worker_count(&self) -> usize {
+        self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Makes every row valid: the invalid rows are recomputed with one
+    /// full sweep each, sharded over worker threads when there are
+    /// enough of them to pay for the spawns.
     fn ensure_all_rows(&mut self) {
-        for u in 0..self.game.n() {
-            let _ = self.row(u);
+        let invalid = self.row_valid.iter().filter(|&&v| !v).count();
+        if invalid == 0 {
+            return;
+        }
+        let workers = self.worker_count().min(invalid);
+        if workers > 1 && (self.parallelism.is_some() || invalid >= PAR_ROWS_MIN) {
+            self.ensure_csr();
+            let csr = self.csr.as_ref().expect("ensured above");
+            let row_valid = &self.row_valid;
+            let jobs: Vec<(usize, &mut [f64])> = self
+                .dist
+                .rows_mut()
+                .enumerate()
+                .filter(|&(u, _)| !row_valid[u])
+                .collect();
+            csr.dijkstra_rows_with(jobs, workers);
+            self.row_valid.fill(true);
+            self.stats.full_sssp += invalid;
+            self.stats.parallel_passes += 1;
+            self.stats.parallel_rows += invalid;
+        } else {
+            for u in 0..self.game.n() {
+                let _ = self.row(u);
+            }
         }
     }
 
@@ -883,6 +1040,195 @@ mod tests {
             "some rows must survive a removal: {stats:?}"
         );
         assert_matches_free_functions(&mut s);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_applies() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)])
+            .unwrap();
+        let moves = vec![
+            Move::AddLink {
+                from: PeerId::new(0),
+                to: PeerId::new(3),
+            },
+            Move::RemoveLink {
+                from: PeerId::new(1),
+                to: PeerId::new(2),
+            },
+            Move::SetStrategy {
+                peer: PeerId::new(2),
+                links: [0usize, 3].into_iter().collect(),
+            },
+            // Cancels the first move: the net diff must not contain 0 -> 3.
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(3),
+            },
+        ];
+
+        let mut batched = GameSession::from_refs(&g, &p).unwrap();
+        let _ = batched.social_cost();
+        let mut sequential = GameSession::from_refs(&g, &p).unwrap();
+        let _ = sequential.social_cost();
+
+        let previous = batched.apply_batch(&moves).unwrap();
+        let expected: Vec<LinkSet> = moves
+            .iter()
+            .map(|mv| sequential.apply(mv.clone()).unwrap())
+            .collect();
+        assert_eq!(previous, expected, "per-move prior links must match");
+        assert_eq!(batched.profile(), sequential.profile());
+        assert_matches_free_functions(&mut batched);
+
+        // One transaction: a single CSR rebuild for the whole batch, and
+        // the batch counters ticked.
+        let bs = batched.stats();
+        let ss = sequential.stats();
+        assert_eq!(bs.csr_rebuilds, 2, "warm-up + one batch rebuild");
+        assert!(ss.csr_rebuilds > bs.csr_rebuilds);
+        assert_eq!(bs.batch_applies, 1);
+        assert_eq!(bs.batch_moves, 4);
+        assert_eq!(ss.batch_applies, 0);
+    }
+
+    #[test]
+    fn apply_batch_validates_everything_up_front() {
+        let g = game(1.0);
+        let p = StrategyProfile::from_links(5, &[(0, 1)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        let before_profile = s.profile().clone();
+        let before_stats = s.stats();
+        let err = s.apply_batch(&[
+            Move::AddLink {
+                from: PeerId::new(0),
+                to: PeerId::new(2),
+            },
+            Move::AddLink {
+                from: PeerId::new(7),
+                to: PeerId::new(0),
+            },
+        ]);
+        assert!(matches!(
+            err,
+            Err(CoreError::PeerOutOfBounds { peer: 7, n: 5 })
+        ));
+        assert_eq!(s.profile(), &before_profile, "failed batch must not mutate");
+        assert_eq!(s.stats(), before_stats);
+        assert!(s.apply_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_batch_with_cancelling_moves_is_free() {
+        let g = game(1.0);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (1, 0)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        let warm = s.stats();
+        let prev = s
+            .apply_batch(&[
+                Move::AddLink {
+                    from: PeerId::new(2),
+                    to: PeerId::new(3),
+                },
+                Move::RemoveLink {
+                    from: PeerId::new(2),
+                    to: PeerId::new(3),
+                },
+            ])
+            .unwrap();
+        assert_eq!(prev.len(), 2);
+        assert!(prev[0].is_empty());
+        assert!(prev[1].contains(PeerId::new(3)));
+        let after = s.stats();
+        assert_eq!(
+            after.csr_rebuilds, warm.csr_rebuilds,
+            "net no-op skips the rebuild"
+        );
+        assert_eq!(after.batch_applies, 0, "no-op batches are not counted");
+    }
+
+    #[test]
+    fn batched_removals_scan_rows_once() {
+        let g = game(2.0);
+        // Star out of peer 0: removing two spokes in one batch must run a
+        // single repair scan (one rebuild), not one per removal.
+        let p = StrategyProfile::from_links(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+            ],
+        )
+        .unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        let warm = s.stats();
+        s.apply_batch(&[
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(3),
+            },
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(4),
+            },
+        ])
+        .unwrap();
+        let after = s.stats();
+        assert_eq!(after.csr_rebuilds - warm.csr_rebuilds, 1);
+        assert_eq!(
+            (after.rows_invalidated + after.rows_preserved)
+                - (warm.rows_invalidated + warm.rows_preserved),
+            5,
+            "each valid row is visited exactly once by the batch repair"
+        );
+        assert_matches_free_functions(&mut s);
+    }
+
+    #[test]
+    fn parallel_refill_matches_sequential() {
+        let g = game(1.5);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let mut par = GameSession::from_refs(&g, &p).unwrap();
+        par.set_parallelism(Some(3));
+        let mut seq = GameSession::from_refs(&g, &p).unwrap();
+        seq.set_parallelism(Some(1));
+
+        let a = par.social_cost();
+        let b = seq.social_cost();
+        assert_eq!(a, b);
+        assert_eq!(par.overlay_distances(), seq.overlay_distances());
+        assert_eq!(par.stats().parallel_passes, 1);
+        assert_eq!(par.stats().parallel_rows, 5);
+        assert_eq!(
+            par.stats().full_sssp,
+            5,
+            "parallel rows count as full sweeps"
+        );
+        assert_eq!(seq.stats().parallel_passes, 0);
+        assert_matches_free_functions(&mut par);
+
+        // Invalidate some rows and refill again through the threaded path.
+        par.apply(Move::RemoveLink {
+            from: PeerId::new(1),
+            to: PeerId::new(2),
+        })
+        .unwrap();
+        seq.apply(Move::RemoveLink {
+            from: PeerId::new(1),
+            to: PeerId::new(2),
+        })
+        .unwrap();
+        assert_eq!(par.social_cost(), seq.social_cost());
+        assert_matches_free_functions(&mut par);
     }
 
     #[test]

@@ -36,13 +36,13 @@ fn arb_session_script() -> impl Strategy<Value = (Game, StrategyProfile, Vec<(u8
     })
 }
 
-/// Replays one scripted move on the session, skipping self-links.
-fn play(session: &mut GameSession, kind: u8, from: usize, to: usize) {
+/// Decodes one scripted `(kind, from, to)` triple into a [`Move`]
+/// (`None` for the self-link combinations the script skips).
+fn script_move(n: usize, kind: u8, from: usize, to: usize) -> Option<Move> {
     if from == to {
-        return;
+        return None;
     }
-    let n = session.n();
-    let mv = match kind {
+    Some(match kind {
         0 => Move::AddLink {
             from: PeerId::new(from),
             to: PeerId::new(to),
@@ -61,8 +61,14 @@ fn play(session: &mut GameSession, kind: u8, from: usize, to: usize) {
                 links,
             }
         }
-    };
-    session.apply(mv).expect("script only uses in-bounds peers");
+    })
+}
+
+/// Replays one scripted move on the session, skipping self-links.
+fn play(session: &mut GameSession, kind: u8, from: usize, to: usize) {
+    if let Some(mv) = script_move(session.n(), kind, from, to) {
+        session.apply(mv).expect("script only uses in-bounds peers");
+    }
 }
 
 fn close(a: f64, b: f64, tol: f64) -> bool {
@@ -178,6 +184,86 @@ proptest! {
         for (a, b) in costs_free.iter().zip(&costs_sess) {
             prop_assert!(close(*a, *b, 1e-12));
         }
+    }
+
+    /// `apply_batch` is observationally equivalent to applying the same
+    /// moves one at a time: per-move prior links, evolving costs, the
+    /// final profile, and the full distance matrix all agree (and a cold
+    /// rebuild agrees with both).
+    #[test]
+    fn apply_batch_equals_sequential_applies(
+        (game, profile, script) in arb_session_script(),
+        chunk in 1usize..5
+    ) {
+        let n = game.n();
+        let moves: Vec<Move> = script
+            .iter()
+            .filter_map(|&(kind, from, to)| script_move(n, kind, from, to))
+            .collect();
+
+        let mut batched = GameSession::from_refs(&game, &profile).unwrap();
+        let mut sequential = GameSession::from_refs(&game, &profile).unwrap();
+        // Warm both caches so batches repair live state, not cold laziness.
+        let _ = batched.social_cost();
+        let _ = sequential.social_cost();
+
+        for batch in moves.chunks(chunk) {
+            let prev_batched = batched.apply_batch(batch).unwrap();
+            let prev_sequential: Vec<_> = batch
+                .iter()
+                .map(|mv| sequential.apply(mv.clone()).unwrap())
+                .collect();
+            prop_assert_eq!(&prev_batched, &prev_sequential,
+                "prior links diverged inside a batch");
+            // Query between batches so every batch starts from warm rows.
+            let b = batched.social_cost().total();
+            let s = sequential.social_cost().total();
+            prop_assert!(close(b, s, 1e-9), "social cost diverged: {} vs {}", b, s);
+        }
+        prop_assert_eq!(batched.profile(), sequential.profile());
+
+        let mut cold = GameSession::from_refs(&game, batched.profile()).unwrap();
+        let bd = batched.overlay_distances().clone();
+        let cd = cold.overlay_distances().clone();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    close(bd[(i, j)], cd[(i, j)], 1e-9),
+                    "distance ({},{}) diverged after batches: {} vs {}",
+                    i, j, bd[(i, j)], cd[(i, j)]
+                );
+            }
+        }
+
+        // Stats discipline: every non-no-op batch costs exactly one CSR
+        // rebuild, and the batch counters never exceed the script size.
+        let stats = batched.stats();
+        prop_assert!(stats.batch_applies <= moves.len().div_ceil(chunk.max(1)));
+        prop_assert!(stats.batch_moves <= moves.len());
+        prop_assert!(stats.csr_rebuilds <= 1 + stats.batch_applies);
+    }
+
+    /// The threaded bulk refill computes exactly the same distance matrix
+    /// as the sequential path, whatever mutations preceded it.
+    #[test]
+    fn parallel_refill_equals_sequential_refill(
+        (game, profile, script) in arb_session_script(),
+        workers in 2usize..6
+    ) {
+        let mut par = GameSession::from_refs(&game, &profile).unwrap();
+        par.set_parallelism(Some(workers));
+        let mut seq = GameSession::from_refs(&game, &profile).unwrap();
+        seq.set_parallelism(Some(1));
+        for &(kind, from, to) in &script {
+            let _ = par.social_cost();
+            let _ = seq.social_cost();
+            play(&mut par, kind, from, to);
+            play(&mut seq, kind, from, to);
+        }
+        let pd = par.overlay_distances().clone();
+        let sd = seq.overlay_distances().clone();
+        prop_assert_eq!(pd, sd, "threaded and sequential sweeps must agree exactly");
+        prop_assert_eq!(par.stats().full_sssp, seq.stats().full_sssp);
     }
 
     /// Pure link additions never invalidate rows — the decrease-only

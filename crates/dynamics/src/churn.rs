@@ -6,12 +6,15 @@
 //! instances that do converge.
 //!
 //! A [`ChurnSimulator`] keeps a universe game (all potential peers), an
-//! alive set, and a strategy profile over the universe. Departures clear
-//! the leaver's strategy and everybody's links to it; arrivals start with
-//! an empty strategy. [`ChurnSimulator::settle`] then runs dynamics on the
-//! alive sub-game.
+//! alive set, and a [`GameSession`] holding the strategy profile over the
+//! universe. Departures clear the leaver's strategy and everybody's links
+//! to it; arrivals start with an empty strategy. [`ChurnSimulator::settle`]
+//! then runs dynamics on the alive sub-game. Every churn event — the
+//! multi-peer link teardown of a departure, the settle write-back — is a
+//! single [`GameSession::apply_batch`] transaction: one overlay rebuild
+//! and one repair pass however many peers the event touches.
 
-use sp_core::{Game, LinkSet, PeerId, StrategyProfile};
+use sp_core::{Game, GameSession, LinkSet, Move, PeerId, SessionStats, StrategyProfile};
 use sp_graph::DistanceMatrix;
 
 use crate::{DynamicsConfig, DynamicsRunner, Termination};
@@ -101,36 +104,53 @@ pub struct ChurnRecord {
 /// assert_eq!(r1.alive, vec![0, 1, 3]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ChurnSimulator<'g> {
-    universe: &'g Game,
+pub struct ChurnSimulator {
     alive: Vec<bool>,
-    profile: StrategyProfile,
+    /// Universe-wide session (it owns the universe game); churn events
+    /// mutate it through [`GameSession::apply_batch`] so its caches
+    /// survive each event.
+    session: GameSession,
     history: Vec<ChurnRecord>,
 }
 
-impl<'g> ChurnSimulator<'g> {
+impl ChurnSimulator {
     /// Starts with every peer alive and the empty profile.
     #[must_use]
-    pub fn new(universe: &'g Game) -> Self {
+    pub fn new(universe: &Game) -> Self {
         ChurnSimulator {
-            universe,
             alive: vec![true; universe.n()],
-            profile: StrategyProfile::empty(universe.n()),
+            session: GameSession::new(universe.clone(), StrategyProfile::empty(universe.n()))
+                .expect("empty profile matches the universe"),
             history: Vec::new(),
         }
+    }
+
+    /// The universe game (all potential peers).
+    #[must_use]
+    pub fn universe(&self) -> &Game {
+        self.session.game()
     }
 
     /// Indices of currently alive peers, ascending.
     #[must_use]
     pub fn alive_peers(&self) -> Vec<usize> {
-        (0..self.universe.n()).filter(|&i| self.alive[i]).collect()
+        (0..self.universe().n())
+            .filter(|&i| self.alive[i])
+            .collect()
     }
 
     /// The current profile over the universe (dead peers have empty
     /// strategies).
     #[must_use]
     pub fn profile(&self) -> &StrategyProfile {
-        &self.profile
+        self.session.profile()
+    }
+
+    /// Work counters of the underlying universe session (batch counts,
+    /// sweeps saved across churn events).
+    #[must_use]
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
     }
 
     /// Settle records accumulated so far.
@@ -146,7 +166,7 @@ impl<'g> ChurnSimulator<'g> {
     ///
     /// Returns an error string if `peer` is out of bounds or already gone.
     pub fn leave(&mut self, peer: usize) -> Result<(), String> {
-        if peer >= self.universe.n() {
+        if peer >= self.universe().n() {
             return Err(format!("peer {peer} out of bounds"));
         }
         if !self.alive[peer] {
@@ -154,12 +174,23 @@ impl<'g> ChurnSimulator<'g> {
         }
         self.alive[peer] = false;
         let p = PeerId::new(peer);
-        self.profile
-            .set_strategy(p, LinkSet::new())
-            .expect("peer index validated");
-        for i in 0..self.universe.n() {
-            let _ = self.profile.remove_link(PeerId::new(i), p);
+        // One batch for the whole departure: the leaver's strategy reset
+        // plus every link pointing at it.
+        let mut event = vec![Move::SetStrategy {
+            peer: p,
+            links: LinkSet::new(),
+        }];
+        for i in 0..self.universe().n() {
+            if i != peer && self.session.profile().has_link(PeerId::new(i), p) {
+                event.push(Move::RemoveLink {
+                    from: PeerId::new(i),
+                    to: p,
+                });
+            }
         }
+        self.session
+            .apply_batch(&event)
+            .expect("departure moves use validated indices");
         Ok(())
     }
 
@@ -170,7 +201,7 @@ impl<'g> ChurnSimulator<'g> {
     /// Returns an error string if `peer` is out of bounds or already
     /// alive.
     pub fn join(&mut self, peer: usize) -> Result<(), String> {
-        if peer >= self.universe.n() {
+        if peer >= self.universe().n() {
             return Err(format!("peer {peer} out of bounds"));
         }
         if self.alive[peer] {
@@ -192,22 +223,28 @@ impl<'g> ChurnSimulator<'g> {
                 converged: true,
             }
         } else {
-            let sub = subgame(self.universe, &alive);
-            let start = project_profile(&self.profile, &alive);
+            let sub = subgame(self.universe(), &alive);
+            let start = project_profile(self.session.profile(), &alive);
             let mut runner = DynamicsRunner::new(&sub, config.clone());
             let out = runner.run(start);
-            // Write strategies back in universe coordinates.
-            for (k, &i) in alive.iter().enumerate() {
-                let links: LinkSet = out
-                    .profile
-                    .strategy(PeerId::new(k))
-                    .iter()
-                    .map(|j| alive[j.index()])
-                    .collect();
-                self.profile
-                    .set_strategy(PeerId::new(i), links)
-                    .expect("write-back uses valid indices");
-            }
+            // Write strategies back in universe coordinates — one batch
+            // for the whole settled sub-profile.
+            let write_back: Vec<Move> = alive
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| Move::SetStrategy {
+                    peer: PeerId::new(i),
+                    links: out
+                        .profile
+                        .strategy(PeerId::new(k))
+                        .iter()
+                        .map(|j| alive[j.index()])
+                        .collect(),
+                })
+                .collect();
+            self.session
+                .apply_batch(&write_back)
+                .expect("write-back uses valid indices");
             ChurnRecord {
                 alive,
                 steps: out.steps,
@@ -273,6 +310,26 @@ mod tests {
         assert!(r3.converged);
         assert_eq!(r3.alive.len(), 5);
         assert_eq!(sim.history().len(), 3);
+    }
+
+    #[test]
+    fn churn_events_are_batched_transactions() {
+        let g = game();
+        let mut sim = ChurnSimulator::new(&g);
+        let _ = sim.settle(&DynamicsConfig::default());
+        let after_settle = sim.session_stats();
+        assert_eq!(
+            after_settle.batch_applies, 1,
+            "the settle write-back is one batch"
+        );
+        sim.leave(2).unwrap();
+        let after_leave = sim.session_stats();
+        assert_eq!(
+            after_leave.batch_applies - after_settle.batch_applies,
+            1,
+            "a departure commits as one batch however many links die"
+        );
+        assert!(after_leave.batch_moves > after_settle.batch_moves);
     }
 
     #[test]

@@ -5,6 +5,77 @@ use sp_core::{BestResponseMethod, Game, GameSession, Move, PeerId, StrategyProfi
 use crate::trace::{MoveRecord, Trace};
 use crate::Schedule;
 
+/// One previously seen `(profile, schedule position)` state, kept for
+/// exact confirmation of fingerprint hits.
+#[derive(Debug)]
+struct SeenState {
+    pos: usize,
+    encoded: Vec<u64>,
+    step: usize,
+    moves: usize,
+}
+
+/// Exact state-revisit detection keyed on 64-bit fingerprints.
+///
+/// Hashing the full [`StrategyProfile`] on every step costs `O(n)` per
+/// lookup plus a profile clone per insert; the detector instead packs the
+/// profile's links into a compact canonical encoding once, keys the map
+/// on an FNV-1a fingerprint of `(links, position)`, and confirms every
+/// hit against the stored encoding — a fingerprint collision lands in
+/// the same bucket but can never produce a false cycle report.
+#[derive(Debug, Default)]
+pub(crate) struct CycleDetector {
+    seen: HashMap<u64, Vec<SeenState>>,
+}
+
+/// Canonical packed encoding of a profile: each directed link as
+/// `from << 32 | to`, in the profile's (sorted) iteration order.
+fn encode_profile(profile: &StrategyProfile) -> Vec<u64> {
+    profile
+        .links()
+        .map(|(a, b)| ((a.index() as u64) << 32) | b.index() as u64)
+        .collect()
+}
+
+/// FNV-1a over the packed links and the schedule position.
+fn fingerprint(encoded: &[u64], pos: usize) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in encoded.iter().chain(std::iter::once(&(pos as u64))) {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+impl CycleDetector {
+    /// If this exact `(profile, pos)` state was visited before, returns
+    /// the `(step, moves)` counters of the first visit; otherwise records
+    /// the state under the current counters.
+    pub(crate) fn check_and_insert(
+        &mut self,
+        profile: &StrategyProfile,
+        pos: usize,
+        step: usize,
+        moves: usize,
+    ) -> Option<(usize, usize)> {
+        let encoded = encode_profile(profile);
+        let bucket = self.seen.entry(fingerprint(&encoded, pos)).or_default();
+        if let Some(first) = bucket.iter().find(|s| s.pos == pos && s.encoded == encoded) {
+            return Some((first.step, first.moves));
+        }
+        bucket.push(SeenState {
+            pos,
+            encoded,
+            step,
+            moves,
+        });
+        None
+    }
+}
+
 /// How an activated peer updates its strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ResponseRule {
@@ -175,7 +246,7 @@ impl<'g> DynamicsRunner<'g> {
         } else {
             None
         };
-        let mut seen: HashMap<(StrategyProfile, usize), (usize, usize)> = HashMap::new();
+        let mut seen = CycleDetector::default();
         let detect = self.config.detect_cycles && self.config.schedule.is_deterministic();
 
         // Convergence: all peers activated since the last accepted change,
@@ -190,8 +261,9 @@ impl<'g> DynamicsRunner<'g> {
         while step < max_steps {
             if detect {
                 if let Some(pos) = schedule.position_key() {
-                    let key = (session.profile().clone(), pos);
-                    if let Some(&(first_step, first_moves)) = seen.get(&key) {
+                    if let Some((first_step, first_moves)) =
+                        seen.check_and_insert(session.profile(), pos, step, moves)
+                    {
                         return DynamicsOutcome {
                             profile: session.profile().clone(),
                             termination: Termination::Cycle {
@@ -204,7 +276,6 @@ impl<'g> DynamicsRunner<'g> {
                             trace,
                         };
                     }
-                    seen.insert(key, (step, moves));
                 }
             }
 
@@ -216,8 +287,13 @@ impl<'g> DynamicsRunner<'g> {
                 moves += 1;
                 quiet.fill(false);
                 quiet_count = 0;
-            }
-            if !quiet[peer.index()] {
+            } else if !quiet[peer.index()] {
+                // Only a do-nothing activation makes a peer quiet. An
+                // accepted move must NOT mark the mover: under
+                // `ResponseRule::BetterResponse` it played the *first*
+                // improving single-link change and may hold another, so
+                // counting it toward convergence without re-activating it
+                // can certify a false fixed point.
                 quiet[peer.index()] = true;
                 quiet_count += 1;
             }
@@ -371,6 +447,98 @@ mod tests {
             .unwrap()
             .is_none());
         }
+    }
+
+    #[test]
+    fn better_response_is_not_declared_converged_with_moves_left() {
+        // Regression test for the premature-convergence bug: an accepted
+        // move used to mark the mover itself quiet, so a peer needing TWO
+        // successive single-link improvements could be counted toward
+        // convergence after its first move.
+        //
+        // Line 0-1-2-3, α = 1. Peers 1..3 hold the bidirectional chain —
+        // stable under any single-link change (drops disconnect, adds and
+        // swaps never pay off on a line). Peer 0 starts with the chain
+        // link plus two redundant long links {1, 2, 3}; dropping 0→2 and
+        // dropping 0→3 are two separate strictly improving moves (each
+        // saves α and costs no stretch), and `first_improving_move` only
+        // ever plays one of them per activation.
+        let game = line_game(vec![0.0, 1.0, 2.0, 3.0], 1.0);
+        let start = StrategyProfile::from_links(
+            4,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+            ],
+        )
+        .unwrap();
+        let config = DynamicsConfig {
+            rule: ResponseRule::BetterResponse,
+            ..DynamicsConfig::default()
+        };
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run(start);
+        assert!(
+            matches!(out.termination, Termination::Converged { .. }),
+            "expected convergence, got {:?}",
+            out.termination
+        );
+        assert_eq!(out.moves, 2, "peer 0 must get to play both drops");
+        // The certified fixed point really is single-link stable — the
+        // pre-fix engine returned here after ONE move, with peer 0 still
+        // holding an improving drop.
+        for i in 0..4 {
+            assert!(
+                sp_core::first_improving_move(&game, &out.profile, PeerId::new(i), 1e-9)
+                    .unwrap()
+                    .is_none(),
+                "peer {i} still has an improving move at \"convergence\""
+            );
+        }
+        assert_eq!(out.profile.strategy(PeerId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn cycle_detector_confirms_hits_exactly() {
+        let a = StrategyProfile::from_links(3, &[(0, 1), (1, 2)]).unwrap();
+        let b = StrategyProfile::from_links(3, &[(0, 1), (2, 1)]).unwrap();
+        let mut det = CycleDetector::default();
+        assert_eq!(det.check_and_insert(&a, 0, 0, 0), None);
+        assert_eq!(det.check_and_insert(&b, 0, 1, 1), None, "different profile");
+        assert_eq!(
+            det.check_and_insert(&a, 1, 2, 1),
+            None,
+            "different position"
+        );
+        assert_eq!(
+            det.check_and_insert(&a, 0, 3, 2),
+            Some((0, 0)),
+            "exact revisit reports the first visit's counters"
+        );
+        assert_eq!(det.check_and_insert(&b, 0, 4, 2), Some((1, 1)));
+    }
+
+    #[test]
+    fn profile_encoding_is_canonical() {
+        let a = StrategyProfile::from_links(4, &[(0, 1), (0, 3), (2, 1)]).unwrap();
+        let b = StrategyProfile::from_links(4, &[(2, 1), (0, 3), (0, 1)]).unwrap();
+        assert_eq!(encode_profile(&a), encode_profile(&b));
+        assert_eq!(
+            fingerprint(&encode_profile(&a), 5),
+            fingerprint(&encode_profile(&b), 5)
+        );
+        let c = StrategyProfile::from_links(4, &[(0, 1), (0, 3), (2, 3)]).unwrap();
+        assert_ne!(encode_profile(&a), encode_profile(&c));
+        assert_ne!(
+            fingerprint(&encode_profile(&a), 0),
+            fingerprint(&encode_profile(&a), 1)
+        );
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! * [`stats`] — batch convergence statistics over seeds;
 //! * [`churn`] — an extension simulating peers joining and leaving.
 //!
+//! The sequential engine drives one `GameSession` per run and repairs its
+//! caches move by move; [`simultaneous::run_simultaneous`] and the churn
+//! simulator instead commit each round's (respectively each churn
+//! event's) accepted updates through `GameSession::apply_batch`, paying a
+//! single overlay rebuild and repair pass per round however many peers
+//! switched. Cycle detection in the sequential engine keys its seen-state
+//! map on 64-bit profile fingerprints and confirms hits against a compact
+//! canonical encoding, so the per-step cost stays O(links) with no false
+//! cycle reports.
+//!
 //! # Example
 //!
 //! ```

@@ -10,10 +10,9 @@
 //! A fixed point of the simultaneous map is exactly a Nash equilibrium
 //! (with exact responses).
 
-use std::collections::HashMap;
-
 use sp_core::{BestResponseMethod, Game, GameSession, Move, PeerId, StrategyProfile};
 
+use crate::engine::CycleDetector;
 use crate::Termination;
 
 /// Configuration for [`run_simultaneous`].
@@ -81,31 +80,41 @@ pub fn run_simultaneous(
     assert!(n > 0, "cannot run dynamics on an empty game");
     assert_eq!(start.n(), n, "profile size must match the game");
     let mut session = GameSession::new(game.clone(), start).expect("profile size checked above");
-    let mut seen: HashMap<StrategyProfile, usize> = HashMap::new();
+    // Start-of-round states with the accepted-update total at that
+    // moment — on a revisit the difference is the true number of moves
+    // inside one loop of the cycle. The detector keys on fingerprints
+    // (position 0: rounds have no schedule offset) and confirms hits
+    // exactly, so no profile clone is stored per round.
+    let mut seen = CycleDetector::default();
+    let mut moves = 0usize;
     for round in 0..config.max_rounds {
-        if let Some(&first) = seen.get(session.profile()) {
+        if let Some((first_round, first_moves)) =
+            seen.check_and_insert(session.profile(), 0, round, moves)
+        {
             return SimultaneousOutcome {
                 profile: session.into_profile(),
                 termination: Termination::Cycle {
-                    first_seen_step: first,
-                    period_steps: round - first,
-                    moves_in_cycle: 0,
+                    first_seen_step: first_round,
+                    period_steps: round - first_round,
+                    moves_in_cycle: moves - first_moves,
                 },
                 rounds: round,
             };
         }
-        seen.insert(session.profile().clone(), round);
 
         // All responses are computed against the *current* profile, then
         // applied at once (session queries never mutate the profile).
-        let mut updates: Vec<(PeerId, sp_core::LinkSet)> = Vec::new();
+        let mut updates: Vec<Move> = Vec::new();
         for i in 0..n {
             let peer = PeerId::new(i);
             let br = session
                 .best_response(peer, config.method)
                 .expect("validated inputs cannot fail");
             if br.improves(config.tolerance) && &br.links != session.profile().strategy(peer) {
-                updates.push((peer, br.links));
+                updates.push(Move::SetStrategy {
+                    peer,
+                    links: br.links,
+                });
             }
         }
         if updates.is_empty() {
@@ -115,11 +124,10 @@ pub fn run_simultaneous(
                 rounds: round + 1,
             };
         }
-        for (peer, links) in updates {
-            session
-                .apply(Move::SetStrategy { peer, links })
-                .expect("valid response links");
-        }
+        moves += updates.len();
+        // The whole round commits as one batch: one CSR rebuild and one
+        // repair pass for the k accepted updates, instead of k of each.
+        session.apply_batch(&updates).expect("valid response links");
     }
     SimultaneousOutcome {
         profile: session.into_profile(),
@@ -184,6 +192,35 @@ mod tests {
             out.termination,
             Termination::Converged { .. } | Termination::Cycle { .. }
         ));
+    }
+
+    #[test]
+    fn cycle_reports_true_move_count() {
+        // I_1 has no equilibrium (paper, Theorem 5.1), so simultaneous
+        // updates provably cycle — and every round inside the loop
+        // accepts at least one update, so `moves_in_cycle` can never be
+        // the hardcoded 0 the pre-fix report carried.
+        let inst = sp_constructions::NoEquilibriumInstance::paper(1);
+        let out = run_simultaneous(
+            inst.game(),
+            StrategyProfile::empty(inst.game().n()),
+            &SimultaneousConfig::default(),
+        );
+        match out.termination {
+            Termination::Cycle {
+                period_steps,
+                moves_in_cycle,
+                ..
+            } => {
+                assert!(period_steps >= 1);
+                assert!(
+                    moves_in_cycle >= period_steps,
+                    "each of the {period_steps} looping rounds accepts at least one \
+                     update, got moves_in_cycle = {moves_in_cycle}"
+                );
+            }
+            other => panic!("I_1 must cycle under simultaneous updates, got {other:?}"),
+        }
     }
 
     #[test]

@@ -204,6 +204,43 @@ impl CsrGraph {
         self.relax_from_heap(dist, scratch);
     }
 
+    /// Runs one full single-source sweep per `(source, buffer)` job,
+    /// sharding the jobs over at most `workers` scoped threads with a
+    /// per-thread [`DijkstraScratch`].
+    ///
+    /// The buffers must be disjoint (guaranteed by the borrow checker);
+    /// `CsrGraph` itself is immutable and shared read-only across the
+    /// threads. With `workers <= 1` or a single job everything runs on
+    /// the calling thread — results are identical either way, only the
+    /// wall-clock changes. This is the bulk-row engine behind
+    /// `GameSession`'s parallel cache refill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's source is out of bounds or its buffer length
+    /// differs from `node_count()`.
+    pub fn dijkstra_rows_with(&self, mut jobs: Vec<(usize, &mut [f64])>, workers: usize) {
+        let workers = workers.max(1).min(jobs.len());
+        if workers <= 1 {
+            let mut scratch = DijkstraScratch::new();
+            for (source, row) in &mut jobs {
+                self.dijkstra_into_with(*source, row, &mut scratch);
+            }
+            return;
+        }
+        let shard_len = jobs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for shard in jobs.chunks_mut(shard_len) {
+                scope.spawn(move || {
+                    let mut scratch = DijkstraScratch::new();
+                    for (source, row) in shard {
+                        self.dijkstra_into_with(*source, row, &mut scratch);
+                    }
+                });
+            }
+        });
+    }
+
     /// Settles whatever is queued in `scratch.heap` against `dist` (lazy
     /// deletion: stale queue entries are skipped on pop).
     fn relax_from_heap(&self, dist: &mut [f64], scratch: &mut DijkstraScratch) {
@@ -320,6 +357,24 @@ mod tests {
         let mut scratch = DijkstraScratch::new();
         csr.relax_decrease_into(&mut dist, &[(2, 99.0)], &mut scratch);
         assert_eq!(dist, before);
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_sweeps() {
+        let g = builders::complete_graph(17, |i, j| ((i * 5 + j * 11) % 7 + 1) as f64);
+        let csr = CsrGraph::from_digraph(&g);
+        for workers in [0usize, 1, 2, 5, 32] {
+            let mut m = crate::DistanceMatrix::new_filled(17, -1.0);
+            let jobs: Vec<(usize, &mut [f64])> = m.rows_mut().enumerate().collect();
+            csr.dijkstra_rows_with(jobs, workers);
+            for s in 0..17 {
+                assert_eq!(
+                    m.row(s),
+                    csr.dijkstra(s).as_slice(),
+                    "source {s}, workers {workers}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -107,6 +107,15 @@ impl DistanceMatrix {
         &mut self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// Iterates over all rows as disjoint mutable slices, in order.
+    ///
+    /// The slices borrow independent regions of the backing storage, so
+    /// callers can hand different rows to different threads (the sharded
+    /// sweep in [`crate::CsrGraph::dijkstra_rows_with`] relies on this).
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_mut(self.n.max(1))
+    }
+
     /// Returns `true` if `|m[i][j] - m[j][i]| <= tol` for all pairs.
     #[must_use]
     pub fn is_symmetric(&self, tol: f64) -> bool {
