@@ -1,0 +1,116 @@
+//! Validates `BENCH_*.json` benchmark snapshots.
+//!
+//! ```text
+//! bench_check [DIR ...]
+//! ```
+//!
+//! Scans each directory (default: the current one) for `BENCH_*.json`
+//! files, parses every one with `sp-json`, and checks the schema the
+//! vendored criterion shim writes: an object with a string `"suite"` and
+//! a `"benchmarks"` array whose entries carry a string `"id"`, numeric
+//! `"mean_ns"` and `"iterations"`, and (since PR 3) an optional string
+//! `"unit"` for machine-independent counter records.
+//!
+//! CI's `bench-smoke` job runs this twice — over the repository root
+//! (the committed snapshots must stay parseable) and over the directory
+//! a fresh `BENCH_QUICK=1 cargo bench` run just filled — before
+//! uploading the fresh output as a workflow artifact for PR-to-PR
+//! comparison. Exits non-zero on the first malformed file, or when a
+//! scanned directory contains no snapshots at all.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Schema errors for one snapshot file.
+fn check_snapshot(text: &str) -> Result<(String, usize), String> {
+    let value = sp_json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let suite = value
+        .get("suite")
+        .and_then(sp_json::Value::as_str)
+        .ok_or("missing string field \"suite\"")?
+        .to_owned();
+    let benches = value
+        .get("benchmarks")
+        .and_then(sp_json::Value::as_array)
+        .ok_or("missing array field \"benchmarks\"")?;
+    if benches.is_empty() {
+        return Err("\"benchmarks\" is empty".to_owned());
+    }
+    for (k, b) in benches.iter().enumerate() {
+        let ctx = |msg: &str| format!("benchmarks[{k}]: {msg}");
+        if b.get("id").and_then(sp_json::Value::as_str).is_none() {
+            return Err(ctx("missing string field \"id\""));
+        }
+        let mean = b
+            .get("mean_ns")
+            .and_then(sp_json::Value::as_f64)
+            .ok_or_else(|| ctx("missing numeric field \"mean_ns\""))?;
+        if !mean.is_finite() || mean < 0.0 {
+            return Err(ctx(&format!("non-finite or negative mean_ns {mean}")));
+        }
+        if b.get("iterations")
+            .and_then(sp_json::Value::as_usize)
+            .is_none()
+        {
+            return Err(ctx("missing numeric field \"iterations\""));
+        }
+        // `unit` is optional (pre-PR-3 snapshots lack it) but must be a
+        // string when present.
+        if let Some(u) = b.get("unit") {
+            if u.as_str().is_none() {
+                return Err(ctx("\"unit\" is not a string"));
+            }
+        }
+    }
+    Ok((suite, benches.len()))
+}
+
+fn check_dir(dir: &Path) -> Result<usize, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut names: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", dir.display()));
+    }
+    for path in &names {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        match check_snapshot(&text) {
+            Ok((suite, count)) => {
+                println!("ok  {:<50} suite={suite} ({count} records)", path.display());
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+    }
+    Ok(names.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dirs: Vec<String> = if args.is_empty() {
+        vec![".".to_owned()]
+    } else {
+        args
+    };
+    let mut total = 0usize;
+    for dir in &dirs {
+        match check_dir(Path::new(dir)) {
+            Ok(n) => total += n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{total} snapshot(s) valid");
+    ExitCode::SUCCESS
+}

@@ -1,5 +1,5 @@
 //! The unified experiment runner: every experiment of `EXPERIMENTS.md`
-//! (E1–E15) behind one binary with subcommands.
+//! (E1–E16) behind one binary with subcommands.
 //!
 //! ```text
 //! experiments <SUBCOMMAND> [--quick] [--json] [--seed <u64>]
@@ -114,11 +114,17 @@ const ENTRIES: &[Entry] = &[
         about: "Best-response graph structure: sinks, weak acyclicity, cycles",
         run: |a| exp::exp_response_graph(a.quick, a.seed),
     },
+    Entry {
+        name: "churn",
+        id: "E16",
+        about: "Churn: re-stabilisation work, sequential vs sharded-round settles",
+        run: |a| exp::exp_churn(a.quick, a.seed),
+    },
 ];
 
 fn usage() -> String {
     let mut s = String::from(
-        "experiments — the paper's reproduction experiments (E1-E15)\n\n\
+        "experiments — the paper's reproduction experiments (E1-E16)\n\n\
          USAGE:\n    experiments <SUBCOMMAND> [--quick] [--json] [--seed <u64>]\n\n\
          SUBCOMMANDS:\n",
     );

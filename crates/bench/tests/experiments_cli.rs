@@ -21,11 +21,24 @@ fn run(args: &[&str]) -> (bool, String, String) {
 fn list_names_every_experiment() {
     let (ok, stdout, _) = run(&["list"]);
     assert!(ok);
-    for id in ["E1", "E5", "E10", "E15"] {
+    for id in ["E1", "E5", "E10", "E15", "E16"] {
         assert!(stdout.contains(id), "missing {id} in listing:\n{stdout}");
     }
     assert!(stdout.contains("fig1-poa"));
     assert!(stdout.contains("response-graph"));
+    assert!(stdout.contains("churn"));
+}
+
+#[test]
+fn churn_experiment_reports_both_settle_engines() {
+    let (ok, stdout, stderr) = run(&["churn", "--quick"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("E16"));
+    assert!(stdout.contains("churn events"));
+    assert!(
+        stdout.contains("rounds_moves"),
+        "round-engine column missing"
+    );
 }
 
 #[test]

@@ -2,8 +2,9 @@ use sp_facility::{
     solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
     FacilityProblem,
 };
-use sp_graph::{CsrGraph, DijkstraScratch};
+use sp_graph::{CsrGraph, DijkstraScratch, DistanceMatrix};
 
+use crate::session::EDGE_ON_PATH_EPS;
 use crate::{topology_without_peer, CoreError, Game, LinkSet, PeerId, StrategyProfile};
 
 /// How a peer's best response is computed.
@@ -79,6 +80,14 @@ impl BestResponse {
     }
 }
 
+/// How many candidate rows a [`ResponseOracle::build_from_rows`] call
+/// served from the round-frozen distance snapshot vs swept fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct OracleReuse {
+    pub(crate) rows_reused: usize,
+    pub(crate) rows_swept: usize,
+}
+
 /// The best-response reduction: candidate links as facilities, other peers
 /// as clients. Built once per (profile, peer) and reusable for evaluating
 /// arbitrary candidate strategies cheaply.
@@ -119,9 +128,8 @@ impl ResponseOracle {
         let csr = CsrGraph::from_digraph(&g_minus);
         let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
         let mut assignment = Vec::with_capacity(candidates.len());
-        let mut buf = vec![f64::INFINITY; n];
         for &v in &candidates {
-            csr.dijkstra_into_with(v, &mut buf, scratch);
+            let buf = csr.dijkstra_row_with(v, scratch);
             let d_iv = game.distance(i, v);
             let row: Vec<f64> = candidates
                 .iter()
@@ -135,6 +143,89 @@ impl ResponseOracle {
             candidates,
             problem,
         })
+    }
+
+    /// Like [`ResponseOracle::build_with`], but reuses a **round-frozen**
+    /// full-overlay distance matrix instead of sweeping `G_{-i}` from
+    /// every candidate.
+    ///
+    /// The oracle needs residual distances `D_{G_{-i}}(v, j)` — shortest
+    /// paths that avoid `i`'s out-links. A cached full-overlay row
+    /// `d_G(v, ·)` is already that row whenever **no** out-link of `i`
+    /// is tight on any of `v`'s shortest paths, checked in `O(deg(i))`
+    /// per candidate with the same conservative tightness test the
+    /// session's removal repair uses (`d_v(i) + w > d_v(t)` beyond
+    /// [`EDGE_ON_PATH_EPS`]); ties fall back to a fresh sweep, so reuse
+    /// never changes a value. `dist` must hold valid full-overlay rows
+    /// for every candidate of `peer`.
+    ///
+    /// Returns the oracle plus how many candidate rows were reused vs
+    /// swept — the work the round-start snapshot saved.
+    pub(crate) fn build_from_rows(
+        game: &Game,
+        profile: &StrategyProfile,
+        peer: PeerId,
+        dist: &DistanceMatrix,
+        scratch: &mut DijkstraScratch,
+    ) -> Result<(Self, OracleReuse), CoreError> {
+        let n = game.n();
+        if peer.index() >= n {
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n,
+            });
+        }
+        let i = peer.index();
+        let out: Vec<(usize, f64)> = profile
+            .strategy(peer)
+            .iter()
+            .map(|t| (t.index(), game.distance(i, t.index())))
+            .collect();
+        let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
+        // `G_{-i}` is only materialised if some row actually routes
+        // through `i` and needs a fresh sweep.
+        let mut g_minus: Option<CsrGraph> = None;
+        let mut reuse = OracleReuse::default();
+        let mut assignment = Vec::with_capacity(candidates.len());
+        for &v in &candidates {
+            let cached = dist.row(v);
+            let d_vi = cached[i];
+            let clean = out.iter().all(|&(t, w)| {
+                !(d_vi.is_finite()
+                    && d_vi + w <= cached[t] + EDGE_ON_PATH_EPS * (1.0 + cached[t].abs()))
+            });
+            let d_iv = game.distance(i, v);
+            let row: Vec<f64> = if clean {
+                reuse.rows_reused += 1;
+                candidates
+                    .iter()
+                    .map(|&j| (d_iv + cached[j]) / game.distance(i, j))
+                    .collect()
+            } else {
+                reuse.rows_swept += 1;
+                if g_minus.is_none() {
+                    let g = topology_without_peer(game, profile, peer)
+                        .expect("peer bounds checked above");
+                    g_minus = Some(CsrGraph::from_digraph(&g));
+                }
+                let csr = g_minus.as_ref().expect("built above");
+                let buf = csr.dijkstra_row_with(v, scratch);
+                candidates
+                    .iter()
+                    .map(|&j| (d_iv + buf[j]) / game.distance(i, j))
+                    .collect()
+            };
+            assignment.push(row);
+        }
+        let problem = FacilityProblem::with_uniform_open_cost(game.alpha(), assignment)
+            .expect("reduction produces non-negative costs by construction");
+        Ok((
+            ResponseOracle {
+                candidates,
+                problem,
+            },
+            reuse,
+        ))
     }
 
     /// First strictly improving single-link change (drop, add, swap — in

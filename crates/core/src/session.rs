@@ -39,6 +39,8 @@
 //! [`SessionStats`] counts the sweeps actually performed, so benchmarks
 //! and tests can verify the cache earns its keep.
 
+use std::sync::Arc;
+
 use sp_graph::{CsrGraph, DiGraph, DijkstraScratch, DistanceMatrix};
 
 use crate::best_response::ResponseOracle;
@@ -50,13 +52,20 @@ use crate::{
 
 /// Relative tolerance for the "was this removed edge on a shortest
 /// path?" test. Conservative: ties invalidate the row (costs a recompute,
-/// never correctness).
-const EDGE_ON_PATH_EPS: f64 = 1e-9;
+/// never correctness). Shared with the best-response oracle's cached-row
+/// reuse test, which asks the same question about a peer's out-links.
+pub(crate) const EDGE_ON_PATH_EPS: f64 = 1e-9;
 
 /// Minimum number of invalid rows before a bulk refill shards the sweeps
 /// over worker threads; below this the per-thread spawn cost outweighs
 /// the Dijkstra work on the instance sizes the workspace runs.
 const PAR_ROWS_MIN: usize = 32;
+
+/// Minimum number of activated peers before
+/// [`GameSession::best_responses_round`] shards its oracles over worker
+/// threads under automatic parallelism; smaller rounds run on the calling
+/// thread (still against the shared round-start snapshot).
+const PAR_ORACLES_MIN: usize = 8;
 
 /// A unilateral change to the current profile, applied through
 /// [`GameSession::apply`].
@@ -118,6 +127,17 @@ pub struct SessionStats {
     /// Rows recomputed inside parallel passes (also counted in
     /// [`SessionStats::full_sssp`]).
     pub parallel_rows: usize,
+    /// Calls to [`GameSession::best_responses_round`] that actually
+    /// fanned oracles out over worker shards.
+    pub oracle_parallel_rounds: usize,
+    /// Worker shards spawned across those parallel rounds.
+    pub oracle_shards: usize,
+    /// Oracle candidate rows served from the round-frozen distance
+    /// snapshot instead of a fresh `G_{-i}` sweep.
+    pub oracle_rows_reused: usize,
+    /// Oracle candidate rows that did pay a fresh `G_{-i}` sweep (the
+    /// candidate's shortest paths may route through the responding peer).
+    pub oracle_rows_swept: usize,
 }
 
 impl SessionStats {
@@ -157,7 +177,10 @@ impl SessionStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GameSession {
-    game: Game,
+    /// The immutable game, reference-counted so
+    /// [`GameSession::fork_readonly`] shards share one copy of the
+    /// underlying O(n²) distance matrix instead of cloning it per shard.
+    game: Arc<Game>,
     profile: StrategyProfile,
     /// Overlay CSR snapshot; `None` when no query has needed it yet (or
     /// after a full reset).
@@ -189,7 +212,7 @@ impl GameSession {
         }
         let n = game.n();
         Ok(GameSession {
-            game,
+            game: Arc::new(game),
             profile,
             csr: None,
             dist: DistanceMatrix::new_filled(n, f64::INFINITY),
@@ -233,6 +256,34 @@ impl GameSession {
     #[must_use]
     pub fn into_profile(self) -> StrategyProfile {
         self.profile
+    }
+
+    /// Forks a read-only evaluation snapshot of the current state — the
+    /// per-shard session behind [`GameSession::best_responses_round`].
+    ///
+    /// The fork **shares** the immutable [`Game`] (one atomic increment,
+    /// no O(n²) distance-matrix copy) and snapshots the mutable caches as
+    /// they stand: the overlay CSR, the distance matrix with its per-row
+    /// validity, and the profile. Nothing is recomputed. The fork gets a
+    /// fresh [`DijkstraScratch`] (so shards never contend) and zeroed
+    /// [`SessionStats`], and its bulk refills are pinned to the calling
+    /// thread (`Some(1)`) — shards must not nest worker pools.
+    ///
+    /// The fork is an independent session: mutating it (or the parent)
+    /// never affects the other.
+    #[must_use]
+    pub fn fork_readonly(&self) -> GameSession {
+        GameSession {
+            game: Arc::clone(&self.game),
+            profile: self.profile.clone(),
+            csr: self.csr.clone(),
+            dist: self.dist.clone(),
+            row_valid: self.row_valid.clone(),
+            stretch: None,
+            scratch: DijkstraScratch::new(),
+            parallelism: Some(1),
+            stats: SessionStats::default(),
+        }
     }
 
     /// Work counters accumulated since creation (or the last
@@ -517,15 +568,29 @@ impl GameSession {
         self.dist.row(u)
     }
 
-    /// Overrides the worker-thread count for bulk row refills.
+    /// Overrides the worker-thread count for every sharded code path:
+    /// bulk row refills **and** the oracle fan-out of
+    /// [`GameSession::best_responses_round`].
     ///
     /// `None` (the default) derives it from
-    /// `std::thread::available_parallelism` and only shards when at least
-    /// [`PAR_ROWS_MIN`] rows need recomputing; an explicit `Some(k > 1)`
-    /// shards unconditionally (tests use this to exercise the threaded
-    /// path on any machine), and `Some(1)` forces the sequential path.
+    /// `std::thread::available_parallelism` and only shards when enough
+    /// work queues up (`PAR_ROWS_MIN` invalid rows, `PAR_ORACLES_MIN`
+    /// activated peers); an explicit `Some(k > 1)` shards unconditionally
+    /// (tests use this to exercise the threaded paths on any machine),
+    /// and `Some(1)` forces the sequential paths. `Some(0)` would name a
+    /// worker pool that can run nothing, so it is **clamped to
+    /// `Some(1)`** — the documented fallback is the calling thread, never
+    /// a panic or a silent no-op pool.
     pub fn set_parallelism(&mut self, workers: Option<usize>) {
-        self.parallelism = workers;
+        self.parallelism = workers.map(|w| w.max(1));
+    }
+
+    /// The worker-thread count the sharded paths would use right now:
+    /// the [`GameSession::set_parallelism`] override if one is set,
+    /// otherwise `std::thread::available_parallelism`.
+    #[must_use]
+    pub fn resolved_parallelism(&self) -> usize {
+        self.worker_count()
     }
 
     fn worker_count(&self) -> usize {
@@ -699,6 +764,63 @@ impl GameSession {
         let oracle =
             ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
         self.stats.oracle_builds += 1;
+        self.finish_response(peer, method, &oracle, current_cost)
+    }
+
+    /// Like [`GameSession::best_response`], but builds the oracle from
+    /// the session's cached overlay distance rows instead of sweeping
+    /// `G_{-i}` from every candidate: a candidate row is reused verbatim
+    /// whenever none of `peer`'s out-links is tight on its shortest paths
+    /// (the same conservative test the removal repair uses, so reuse
+    /// never changes a value — ties fall back to a fresh sweep).
+    ///
+    /// Fills the whole distance cache on first use; the payoff is rounds
+    /// of simultaneous dynamics, where every oracle reads the same
+    /// frozen round-start snapshot — [`GameSession::best_responses_round`]
+    /// calls this per activated peer, optionally across worker shards.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::best_response`].
+    pub fn best_response_cached(
+        &mut self,
+        peer: PeerId,
+        method: BestResponseMethod,
+    ) -> Result<BestResponse, CoreError> {
+        let current_cost = self.peer_cost(peer)?;
+        if self.game.n() <= 1 {
+            return Ok(BestResponse {
+                peer,
+                links: LinkSet::new(),
+                cost: 0.0,
+                current_cost,
+                exact: true,
+            });
+        }
+        self.ensure_all_rows();
+        let (oracle, reuse) = ResponseOracle::build_from_rows(
+            &self.game,
+            &self.profile,
+            peer,
+            &self.dist,
+            &mut self.scratch,
+        )?;
+        self.stats.oracle_builds += 1;
+        self.stats.oracle_rows_reused += reuse.rows_reused;
+        self.stats.oracle_rows_swept += reuse.rows_swept;
+        self.finish_response(peer, method, &oracle, current_cost)
+    }
+
+    /// Shared tail of the oracle-backed response paths: solve the UFL
+    /// instance and fall back to the current strategy when a heuristic
+    /// comes out worse.
+    fn finish_response(
+        &mut self,
+        peer: PeerId,
+        method: BestResponseMethod,
+        oracle: &ResponseOracle,
+        current_cost: f64,
+    ) -> Result<BestResponse, CoreError> {
         let (links, cost) = oracle.solve(method)?;
         if cost > current_cost {
             // Heuristics may come out worse; keeping the current strategy
@@ -718,6 +840,106 @@ impl GameSession {
             current_cost,
             exact: method.is_exact(),
         })
+    }
+
+    /// Best responses of every peer in `peers` against the **frozen**
+    /// current profile — the oracle fan-out of one simultaneous-move
+    /// round.
+    ///
+    /// The session first makes every distance row valid (that snapshot is
+    /// the round-start state all oracles read), then computes one
+    /// [`GameSession::best_response_cached`] per activated peer. When the
+    /// [`GameSession::set_parallelism`] knob resolves to more than one
+    /// worker — and, under automatic parallelism, at least
+    /// `PAR_ORACLES_MIN` peers are activated — the peers are
+    /// partitioned into contiguous shards, each shard runs on its own
+    /// worker thread over a [`GameSession::fork_readonly`] snapshot with
+    /// a per-thread [`DijkstraScratch`], and the results are merged back
+    /// in peer order.
+    ///
+    /// **Determinism contract:** the returned responses are identical —
+    /// bit-for-bit, including tie-breaking — whatever the shard count,
+    /// because every shard evaluates the same frozen snapshot with the
+    /// same per-peer code path and the contiguous partition preserves
+    /// order. Shard oracle/reuse counters are folded into this session's
+    /// [`SessionStats`]; `oracle_parallel_rounds`/`oracle_shards` record
+    /// the fan-out itself.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PeerOutOfBounds`] for any out-of-range peer (checked
+    /// up front), plus the [`GameSession::best_response`] conditions; the
+    /// error of the earliest failing peer is returned.
+    pub fn best_responses_round(
+        &mut self,
+        peers: &[PeerId],
+        method: BestResponseMethod,
+    ) -> Result<Vec<BestResponse>, CoreError> {
+        let n = self.game.n();
+        for &p in peers {
+            if p.index() >= n {
+                return Err(CoreError::PeerOutOfBounds { peer: p.index(), n });
+            }
+        }
+        if peers.is_empty() {
+            return Ok(Vec::new());
+        }
+        if n <= 1 {
+            return peers
+                .iter()
+                .map(|&p| self.best_response(p, method))
+                .collect();
+        }
+        // Freeze the round-start snapshot every oracle will read.
+        self.ensure_all_rows();
+        let workers = self.worker_count().min(peers.len());
+        let shards =
+            if workers > 1 && (self.parallelism.is_some() || peers.len() >= PAR_ORACLES_MIN) {
+                workers
+            } else {
+                1
+            };
+        if shards <= 1 {
+            return peers
+                .iter()
+                .map(|&p| self.best_response_cached(p, method))
+                .collect();
+        }
+
+        let chunk = peers.len().div_ceil(shards);
+        let mut forks: Vec<GameSession> = (0..peers.chunks(chunk).len())
+            .map(|_| self.fork_readonly())
+            .collect();
+        self.stats.oracle_parallel_rounds += 1;
+        self.stats.oracle_shards += forks.len();
+        let results: Vec<Result<Vec<BestResponse>, CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = peers
+                .chunks(chunk)
+                .zip(forks.iter_mut())
+                .map(|(shard_peers, shard)| {
+                    scope.spawn(move || {
+                        shard_peers
+                            .iter()
+                            .map(|&p| shard.best_response_cached(p, method))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("oracle shard thread panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(peers.len());
+        for (result, shard) in results.into_iter().zip(&forks) {
+            let shard_stats = shard.stats();
+            self.stats.oracle_builds += shard_stats.oracle_builds;
+            self.stats.oracle_rows_reused += shard_stats.oracle_rows_reused;
+            self.stats.oracle_rows_swept += shard_stats.oracle_rows_swept;
+            self.stats.full_sssp += shard_stats.full_sssp;
+            out.extend(result?);
+        }
+        Ok(out)
     }
 
     /// First strictly improving single-link move for `peer` (drop, add,
@@ -1250,6 +1472,118 @@ mod tests {
         assert!(dense.is_connected());
         assert!(!empty.is_connected());
         assert!(s.set_profile(StrategyProfile::empty(3)).is_err());
+    }
+
+    #[test]
+    fn set_parallelism_zero_clamps_to_one() {
+        let g = game(1.5);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        s.set_parallelism(Some(0));
+        assert_eq!(
+            s.resolved_parallelism(),
+            1,
+            "Some(0) must fall back to the calling thread"
+        );
+        // The clamped knob behaves exactly like Some(1): sequential refills.
+        let _ = s.social_cost();
+        assert_eq!(s.stats().parallel_passes, 0);
+        let responses = s
+            .best_responses_round(
+                &(0..5).map(PeerId::new).collect::<Vec<_>>(),
+                BestResponseMethod::Exact,
+            )
+            .unwrap();
+        assert_eq!(responses.len(), 5);
+        assert_eq!(s.stats().oracle_parallel_rounds, 0);
+    }
+
+    #[test]
+    fn fork_readonly_shares_game_and_snapshots_caches() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        let warm_sweeps = s.stats().full_sssp;
+        let mut fork = s.fork_readonly();
+        // The fork starts with zeroed counters and every row already
+        // valid: reading costs recomputes nothing.
+        assert_eq!(fork.stats(), SessionStats::default());
+        assert_eq!(fork.social_cost(), s.social_cost());
+        assert_eq!(fork.stats().full_sssp, 0, "snapshot rows must be reused");
+        assert_eq!(s.stats().full_sssp, warm_sweeps);
+        // Forks are independent sessions: mutating one leaves the other.
+        fork.apply(Move::RemoveLink {
+            from: PeerId::new(0),
+            to: PeerId::new(1),
+        })
+        .unwrap();
+        assert_ne!(fork.profile(), s.profile());
+        assert_matches_free_functions(&mut fork);
+        assert_matches_free_functions(&mut s);
+    }
+
+    #[test]
+    fn cached_best_response_matches_fresh_oracle() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (3, 2)]).unwrap();
+        for method in [BestResponseMethod::Exact, BestResponseMethod::Greedy] {
+            let mut fresh = GameSession::from_refs(&g, &p).unwrap();
+            let mut cached = GameSession::from_refs(&g, &p).unwrap();
+            for i in 0..4 {
+                let peer = PeerId::new(i);
+                let a = fresh.best_response(peer, method).unwrap();
+                let b = cached.best_response_cached(peer, method).unwrap();
+                assert_eq!(a.links, b.links, "peer {i}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "peer {i}");
+                assert_eq!(a.current_cost.to_bits(), b.current_cost.to_bits());
+            }
+            let stats = cached.stats();
+            assert!(
+                stats.oracle_rows_reused > 0,
+                "some candidate rows must come from the snapshot: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_round_matches_sequential_and_counts_shards() {
+        let g = game(1.2);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let peers: Vec<PeerId> = (0..5).map(PeerId::new).collect();
+        let mut seq = GameSession::from_refs(&g, &p).unwrap();
+        let baseline: Vec<BestResponse> = peers
+            .iter()
+            .map(|&peer| seq.best_response(peer, BestResponseMethod::Exact).unwrap())
+            .collect();
+        for shards in [2usize, 3, 7, 12] {
+            let mut s = GameSession::from_refs(&g, &p).unwrap();
+            s.set_parallelism(Some(shards));
+            let got = s
+                .best_responses_round(&peers, BestResponseMethod::Exact)
+                .unwrap();
+            assert_eq!(got.len(), baseline.len());
+            for (a, b) in baseline.iter().zip(&got) {
+                assert_eq!(a.peer, b.peer);
+                assert_eq!(a.links, b.links, "shards = {shards}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "shards = {shards}");
+            }
+            let stats = s.stats();
+            assert_eq!(stats.oracle_parallel_rounds, 1);
+            assert_eq!(stats.oracle_shards, shards.min(peers.len()));
+            assert_eq!(stats.oracle_builds, peers.len());
+        }
+        // Out-of-bounds peers are rejected up front.
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        s.set_parallelism(Some(2));
+        assert!(matches!(
+            s.best_responses_round(&[PeerId::new(9)], BestResponseMethod::Exact),
+            Err(CoreError::PeerOutOfBounds { peer: 9, n: 5 })
+        ));
+        assert!(s
+            .best_responses_round(&[], BestResponseMethod::Exact)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -290,4 +290,53 @@ proptest! {
             GameSession::from_refs(&game, warm.profile()).unwrap().social_cost().total();
         prop_assert!(close(warm_total, cold_total, 1e-9));
     }
+
+    /// The round-snapshot oracle (`best_response_cached`, which serves
+    /// candidate rows from the cached distance matrix whenever no
+    /// out-link of the responding peer is tight on them) is
+    /// **bit-identical** to the fresh `G_{-i}`-sweeping oracle — even on
+    /// caches that lived through an arbitrary move script, and for every
+    /// shard count of the fanned-out round.
+    #[test]
+    fn cached_oracle_round_is_bit_identical_to_fresh_oracles(
+        (game, profile, script) in arb_session_script(),
+        shards in 1usize..6
+    ) {
+        let mut fresh = GameSession::from_refs(&game, &profile).unwrap();
+        let mut cached = GameSession::from_refs(&game, &profile).unwrap();
+        cached.set_parallelism(Some(shards));
+        for &(kind, from, to) in &script {
+            let _ = fresh.social_cost();
+            let _ = cached.social_cost();
+            play(&mut fresh, kind, from, to);
+            play(&mut cached, kind, from, to);
+        }
+        let peers: Vec<PeerId> = (0..game.n()).map(PeerId::new).collect();
+        let baseline: Vec<_> = peers
+            .iter()
+            .map(|&p| fresh.best_response(p, BestResponseMethod::Exact).unwrap())
+            .collect();
+        let round = cached
+            .best_responses_round(&peers, BestResponseMethod::Exact)
+            .unwrap();
+        for (a, b) in baseline.iter().zip(&round) {
+            prop_assert_eq!(a.peer, b.peer);
+            prop_assert_eq!(&a.links, &b.links, "links diverged for peer {:?}", a.peer);
+            prop_assert_eq!(
+                a.cost.to_bits(), b.cost.to_bits(),
+                "response cost not bit-identical for peer {:?}: {} vs {}",
+                a.peer, a.cost, b.cost
+            );
+            prop_assert_eq!(a.current_cost.to_bits(), b.current_cost.to_bits());
+        }
+        // The snapshot must be earning its keep: all candidate rows are
+        // accounted for, and reuse strictly dominates on these instances.
+        let stats = cached.stats();
+        let n = game.n();
+        prop_assert_eq!(
+            stats.oracle_rows_reused + stats.oracle_rows_swept,
+            n * (n - 1),
+            "every candidate row is either reused or swept"
+        );
+    }
 }

@@ -17,6 +17,7 @@
 use sp_core::{Game, GameSession, LinkSet, Move, PeerId, SessionStats, StrategyProfile};
 use sp_graph::DistanceMatrix;
 
+use crate::simultaneous::{run_simultaneous, SimultaneousConfig};
 use crate::{DynamicsConfig, DynamicsRunner, Termination};
 
 /// The restriction of `game` to the peers listed in `alive`
@@ -214,6 +215,45 @@ impl ChurnSimulator {
     /// Runs dynamics among alive peers until stable (or the config's round
     /// limit) and writes the resulting strategies back.
     pub fn settle(&mut self, config: &DynamicsConfig) -> ChurnRecord {
+        self.settle_with(|sub, start| {
+            let mut runner = DynamicsRunner::new(sub, config.clone());
+            let out = runner.run(start);
+            (
+                out.profile,
+                out.steps,
+                out.moves,
+                matches!(out.termination, Termination::Converged { .. }),
+            )
+        })
+    }
+
+    /// Like [`ChurnSimulator::settle`], but re-stabilises with
+    /// **simultaneous rounds** ([`run_simultaneous`]) instead of one
+    /// activation at a time — the settle phase this drives is the sharded
+    /// round engine, so a churn burst on a large alive set re-settles
+    /// with its best-response oracles fanned out over worker shards
+    /// (`config.parallelism`). `steps` counts activations
+    /// (`rounds × alive`), keeping records comparable with
+    /// [`ChurnSimulator::settle`].
+    pub fn settle_rounds(&mut self, config: &SimultaneousConfig) -> ChurnRecord {
+        self.settle_with(|sub, start| {
+            let out = run_simultaneous(sub, start, config);
+            (
+                out.profile,
+                out.rounds * sub.n(),
+                out.moves,
+                matches!(out.termination, Termination::Converged { .. }),
+            )
+        })
+    }
+
+    /// Shared settle scaffolding: project the alive sub-game, run the
+    /// supplied engine, and write the settled strategies back in universe
+    /// coordinates as one batch.
+    fn settle_with(
+        &mut self,
+        engine: impl FnOnce(&Game, StrategyProfile) -> (StrategyProfile, usize, usize, bool),
+    ) -> ChurnRecord {
         let alive = self.alive_peers();
         let record = if alive.is_empty() {
             ChurnRecord {
@@ -225,8 +265,7 @@ impl ChurnSimulator {
         } else {
             let sub = subgame(self.universe(), &alive);
             let start = project_profile(self.session.profile(), &alive);
-            let mut runner = DynamicsRunner::new(&sub, config.clone());
-            let out = runner.run(start);
+            let (settled, steps, moves, converged) = engine(&sub, start);
             // Write strategies back in universe coordinates — one batch
             // for the whole settled sub-profile.
             let write_back: Vec<Move> = alive
@@ -234,8 +273,7 @@ impl ChurnSimulator {
                 .enumerate()
                 .map(|(k, &i)| Move::SetStrategy {
                     peer: PeerId::new(i),
-                    links: out
-                        .profile
+                    links: settled
                         .strategy(PeerId::new(k))
                         .iter()
                         .map(|j| alive[j.index()])
@@ -247,9 +285,9 @@ impl ChurnSimulator {
                 .expect("write-back uses valid indices");
             ChurnRecord {
                 alive,
-                steps: out.steps,
-                moves: out.moves,
-                converged: matches!(out.termination, Termination::Converged { .. }),
+                steps,
+                moves,
+                converged,
             }
         };
         self.history.push(record.clone());

@@ -17,6 +17,8 @@
 //! * [`stats`] — batch convergence statistics over seeds;
 //! * [`churn`] — an extension simulating peers joining and leaving.
 //!
+//! # Round engines and the determinism contract
+//!
 //! The sequential engine drives one `GameSession` per run and repairs its
 //! caches move by move; [`simultaneous::run_simultaneous`] and the churn
 //! simulator instead commit each round's (respectively each churn
@@ -26,6 +28,22 @@
 //! map on 64-bit profile fingerprints and confirms hits against a compact
 //! canonical encoding, so the per-step cost stays O(links) with no false
 //! cycle reports.
+//!
+//! A simultaneous round computes k independent best-response oracles
+//! against the frozen round-start profile, so
+//! [`simultaneous::run_simultaneous`] ships two interchangeable engines:
+//! the **sequential** per-peer loop, and a **sharded** engine
+//! (`GameSession::best_responses_round`) that snapshots the round-start
+//! state once, fans the oracles out over `fork_readonly` worker shards
+//! with per-thread Dijkstra scratch, and merges the accepted moves in
+//! stable peer order into one `apply_batch`. The
+//! [`simultaneous::SimultaneousConfig::parallelism`] knob (also fed to
+//! `GameSession::set_parallelism`) picks the engine. **Determinism
+//! contract:** both engines produce bit-identical runs — accepted-move
+//! sets, traces, termination, and round counts — for any shard count,
+//! enforced by `tests/proptest_parallel_round.rs`. The churn simulator's
+//! [`churn::ChurnSimulator::settle_rounds`] re-stabilises through the
+//! same round engine.
 //!
 //! # Example
 //!

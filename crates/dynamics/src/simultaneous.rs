@@ -9,11 +9,43 @@
 //!
 //! A fixed point of the simultaneous map is exactly a Nash equilibrium
 //! (with exact responses).
+//!
+//! # Sequential and sharded round engines
+//!
+//! Because every response in a round is computed against the same frozen
+//! round-start profile, the k oracle computations are embarrassingly
+//! parallel. [`run_simultaneous`] therefore has two engines:
+//!
+//! * the **sequential** engine — one [`GameSession::best_response`] per
+//!   peer on the calling thread, exactly the PR-2 code path;
+//! * the **sharded** engine — one
+//!   [`GameSession::best_responses_round`] call per round, which
+//!   snapshots the round-start state, fans the oracles out over
+//!   `fork_readonly` worker shards, and merges the responses in peer
+//!   order.
+//!
+//! [`SimultaneousConfig::parallelism`] picks the engine: `Some(1)` forces
+//! sequential, `Some(k > 1)` forces `k` shards, and `None` (default)
+//! auto-shards when the machine has more than one worker and the round
+//! activates at least [`PAR_ROUND_MIN_PEERS`] peers. **Determinism
+//! contract:** both engines produce bit-identical rounds — accepted-move
+//! sets, traces, termination, and round counts — whatever the shard
+//! count; `crates/dynamics/tests/proptest_parallel_round.rs` enforces it.
 
-use sp_core::{BestResponseMethod, Game, GameSession, Move, PeerId, StrategyProfile};
+use sp_core::{
+    BestResponse, BestResponseMethod, Game, GameSession, Move, PeerId, SessionStats,
+    StrategyProfile,
+};
 
 use crate::engine::CycleDetector;
+use crate::trace::{MoveRecord, Trace};
 use crate::Termination;
+
+/// Peer count below which automatic parallelism
+/// ([`SimultaneousConfig::parallelism`]` = None`) keeps the sequential
+/// engine: a round on a small instance finishes before worker threads
+/// would spin up.
+pub const PAR_ROUND_MIN_PEERS: usize = 16;
 
 /// Configuration for [`run_simultaneous`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +57,18 @@ pub struct SimultaneousConfig {
     /// Relative improvement threshold below which a peer keeps its
     /// strategy.
     pub tolerance: f64,
+    /// Round-engine selector, routed through
+    /// [`GameSession::set_parallelism`] (so `Some(0)` clamps to
+    /// `Some(1)`): `Some(1)` forces the sequential engine, `Some(k > 1)`
+    /// forces `k` oracle shards, `None` (default) auto-shards on
+    /// multi-worker machines when at least [`PAR_ROUND_MIN_PEERS`] peers
+    /// are activated. The engines are bit-identical; this knob only
+    /// trades wall-clock for threads.
+    pub parallelism: Option<usize>,
+    /// Record every accepted strategy switch into
+    /// [`SimultaneousOutcome::trace`] (the `step` field carries the round
+    /// index).
+    pub record_trace: bool,
 }
 
 impl Default for SimultaneousConfig {
@@ -33,6 +77,8 @@ impl Default for SimultaneousConfig {
             method: BestResponseMethod::Exact,
             max_rounds: 200,
             tolerance: 1e-9,
+            parallelism: None,
+            record_trace: false,
         }
     }
 }
@@ -48,6 +94,14 @@ pub struct SimultaneousOutcome {
     pub termination: Termination,
     /// Rounds executed.
     pub rounds: usize,
+    /// Accepted strategy switches across all rounds.
+    pub moves: usize,
+    /// Accepted switches in order, when
+    /// [`SimultaneousConfig::record_trace`] was set.
+    pub trace: Option<Trace>,
+    /// Work counters of the session that drove the run (batch commits,
+    /// oracle builds, shard fan-outs).
+    pub stats: SessionStats,
 }
 
 /// Runs simultaneous best-response dynamics from `start`.
@@ -80,6 +134,14 @@ pub fn run_simultaneous(
     assert!(n > 0, "cannot run dynamics on an empty game");
     assert_eq!(start.n(), n, "profile size must match the game");
     let mut session = GameSession::new(game.clone(), start).expect("profile size checked above");
+    // One knob drives both the bulk row refills and the oracle fan-out.
+    session.set_parallelism(config.parallelism);
+    let sharded = match config.parallelism {
+        Some(w) => w > 1,
+        None => session.resolved_parallelism() > 1 && n >= PAR_ROUND_MIN_PEERS,
+    };
+    let peers: Vec<PeerId> = (0..n).map(PeerId::new).collect();
+    let mut trace = config.record_trace.then(Trace::new);
     // Start-of-round states with the accepted-update total at that
     // moment — on a revisit the difference is the true number of moves
     // inside one loop of the cycle. The detector keys on fingerprints
@@ -87,53 +149,88 @@ pub fn run_simultaneous(
     // exactly, so no profile clone is stored per round.
     let mut seen = CycleDetector::default();
     let mut moves = 0usize;
+    let finish = |session: GameSession, termination: Termination, rounds, moves, trace| {
+        let stats = session.stats();
+        SimultaneousOutcome {
+            profile: session.into_profile(),
+            termination,
+            rounds,
+            moves,
+            trace,
+            stats,
+        }
+    };
     for round in 0..config.max_rounds {
         if let Some((first_round, first_moves)) =
             seen.check_and_insert(session.profile(), 0, round, moves)
         {
-            return SimultaneousOutcome {
-                profile: session.into_profile(),
-                termination: Termination::Cycle {
-                    first_seen_step: first_round,
-                    period_steps: round - first_round,
-                    moves_in_cycle: moves - first_moves,
-                },
-                rounds: round,
+            let termination = Termination::Cycle {
+                first_seen_step: first_round,
+                period_steps: round - first_round,
+                moves_in_cycle: moves - first_moves,
             };
+            return finish(session, termination, round, moves, trace);
         }
 
         // All responses are computed against the *current* profile, then
         // applied at once (session queries never mutate the profile).
+        // The sharded engine fans the k oracles out over worker threads;
+        // the sequential engine is the PR-2 per-peer loop. Both produce
+        // bit-identical responses in peer order.
+        let responses: Vec<BestResponse> = if sharded {
+            session
+                .best_responses_round(&peers, config.method)
+                .expect("validated inputs cannot fail")
+        } else {
+            peers
+                .iter()
+                .map(|&peer| {
+                    session
+                        .best_response(peer, config.method)
+                        .expect("validated inputs cannot fail")
+                })
+                .collect()
+        };
         let mut updates: Vec<Move> = Vec::new();
-        for i in 0..n {
-            let peer = PeerId::new(i);
-            let br = session
-                .best_response(peer, config.method)
-                .expect("validated inputs cannot fail");
-            if br.improves(config.tolerance) && &br.links != session.profile().strategy(peer) {
+        for br in responses {
+            if br.improves(config.tolerance) && &br.links != session.profile().strategy(br.peer) {
+                if let Some(t) = trace.as_mut() {
+                    t.push(MoveRecord {
+                        step: round,
+                        peer: br.peer,
+                        old_links: session.profile().strategy(br.peer).clone(),
+                        new_links: br.links.clone(),
+                        old_cost: br.current_cost,
+                        new_cost: br.cost,
+                    });
+                }
                 updates.push(Move::SetStrategy {
-                    peer,
+                    peer: br.peer,
                     links: br.links,
                 });
             }
         }
         if updates.is_empty() {
-            return SimultaneousOutcome {
-                profile: session.into_profile(),
-                termination: Termination::Converged { rounds: round + 1 },
-                rounds: round + 1,
-            };
+            return finish(
+                session,
+                Termination::Converged { rounds: round + 1 },
+                round + 1,
+                moves,
+                trace,
+            );
         }
         moves += updates.len();
         // The whole round commits as one batch: one CSR rebuild and one
         // repair pass for the k accepted updates, instead of k of each.
         session.apply_batch(&updates).expect("valid response links");
     }
-    SimultaneousOutcome {
-        profile: session.into_profile(),
-        termination: Termination::RoundLimit,
-        rounds: config.max_rounds,
-    }
+    finish(
+        session,
+        Termination::RoundLimit,
+        config.max_rounds,
+        moves,
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,124 @@
+//! The sharded simultaneous-round engine must be **bit-identical** to
+//! the sequential one.
+//!
+//! `run_simultaneous` has two engines (see `simultaneous`): the
+//! sequential per-peer loop with fresh best-response oracles, and the
+//! sharded engine that snapshots the round-start state, reuses its
+//! distance rows inside every oracle, and fans the oracles out over
+//! `fork_readonly` worker shards. The determinism contract says the
+//! engine choice is unobservable: identical accepted-move sets (traces),
+//! identical termination, identical round and move counts — for any
+//! shard count, including 1 and more shards than peers.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{BestResponseMethod, Game, StrategyProfile};
+use sp_dynamics::churn::ChurnSimulator;
+use sp_dynamics::simultaneous::{run_simultaneous, SimultaneousConfig, SimultaneousOutcome};
+use sp_metric::generators;
+
+/// A random small game plus a random (possibly disconnected) start
+/// profile — disconnection exercises the `∞`-cost branches of the
+/// oracle-row reuse test.
+fn arb_instance() -> impl Strategy<Value = (Game, StrategyProfile)> {
+    (2usize..=9, 0u64..10_000, 0.2f64..12.0).prop_flat_map(|(n, seed, alpha)| {
+        let max_links = (n * (n - 1)).min(18);
+        proptest::collection::vec((0..n, 0..n), 0..=max_links).prop_map(move |pairs| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let space = generators::uniform_square(n, 100.0, &mut rng);
+            let game = Game::from_space(&space, alpha).unwrap();
+            let links: Vec<(usize, usize)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            let profile = StrategyProfile::from_links(n, &links).unwrap();
+            (game, profile)
+        })
+    })
+}
+
+fn run_with(
+    game: &Game,
+    start: &StrategyProfile,
+    parallelism: Option<usize>,
+    method: BestResponseMethod,
+) -> SimultaneousOutcome {
+    let config = SimultaneousConfig {
+        method,
+        max_rounds: 60,
+        parallelism,
+        record_trace: true,
+        ..SimultaneousConfig::default()
+    };
+    run_simultaneous(game, start.clone(), &config)
+}
+
+/// Field-by-field equality with bitwise cost comparison (`PartialEq` on
+/// the trace already compares costs with `f64` equality, which is bit
+/// equality for non-NaN values — exactly the contract we enforce).
+fn assert_identical(a: &SimultaneousOutcome, b: &SimultaneousOutcome, label: &str) {
+    assert_eq!(a.profile, b.profile, "{label}: final profile");
+    assert_eq!(a.termination, b.termination, "{label}: termination");
+    assert_eq!(a.rounds, b.rounds, "{label}: rounds");
+    assert_eq!(a.moves, b.moves, "{label}: moves");
+    assert_eq!(a.trace, b.trace, "{label}: trace");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sharded_rounds_are_bit_identical_to_sequential((game, start) in arb_instance()) {
+        // Sequential reference: the per-peer loop with fresh oracles.
+        let sequential = run_with(&game, &start, Some(1), BestResponseMethod::Exact);
+        // Shard counts 1 (degenerate pool), a few real fan-outs, and one
+        // far above the peer count.
+        for shards in [2usize, 3, 17] {
+            let sharded = run_with(&game, &start, Some(shards), BestResponseMethod::Exact);
+            assert_identical(&sequential, &sharded, &format!("shards = {shards}"));
+            if matches!(
+                sharded.termination,
+                sp_dynamics::Termination::Converged { .. } | sp_dynamics::Termination::Cycle { .. }
+            ) && sharded.rounds > 0 {
+                prop_assert!(
+                    sharded.stats.oracle_parallel_rounds > 0,
+                    "explicit Some({shards}) must actually fan out: {:?}",
+                    sharded.stats
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_methods_keep_the_contract((game, start) in arb_instance()) {
+        // The contract is about the engine, not the solver: heuristic
+        // UFL solvers must shard identically too.
+        for method in [BestResponseMethod::Greedy, BestResponseMethod::LocalSearch] {
+            let sequential = run_with(&game, &start, Some(1), method);
+            let sharded = run_with(&game, &start, Some(4), method);
+            assert_identical(&sequential, &sharded, &format!("{method:?}"));
+        }
+    }
+
+    #[test]
+    fn churn_settle_rounds_is_engine_independent(n in 3usize..=8, seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = generators::uniform_square(n, 100.0, &mut rng);
+        let universe = Game::from_space(&space, 2.0).unwrap();
+        let run = |parallelism: Option<usize>| {
+            let config = SimultaneousConfig {
+                max_rounds: 60,
+                parallelism,
+                ..SimultaneousConfig::default()
+            };
+            let mut sim = ChurnSimulator::new(&universe);
+            let mut records = vec![sim.settle_rounds(&config)];
+            sim.leave(n / 2).unwrap();
+            records.push(sim.settle_rounds(&config));
+            sim.join(n / 2).unwrap();
+            records.push(sim.settle_rounds(&config));
+            (records, sim.profile().clone())
+        };
+        let (seq_records, seq_profile) = run(Some(1));
+        let (par_records, par_profile) = run(Some(3));
+        prop_assert_eq!(seq_records, par_records);
+        prop_assert_eq!(seq_profile, par_profile);
+    }
+}

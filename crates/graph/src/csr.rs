@@ -52,10 +52,14 @@ impl PartialOrd for Entry {
 ///
 /// Hot loops (the `GameSession` evaluation cache, best-response oracles)
 /// run thousands of Dijkstra sweeps over same-sized graphs; sharing one
-/// scratch avoids a heap allocation per sweep.
+/// scratch avoids a heap allocation per sweep. Besides the priority
+/// queue, the scratch owns a distance row for
+/// [`CsrGraph::dijkstra_row_with`], so back-to-back oracle builds reuse
+/// both the heap and the output buffer across calls.
 #[derive(Debug, Clone, Default)]
 pub struct DijkstraScratch {
     heap: BinaryHeap<Entry>,
+    row: Vec<f64>,
 }
 
 impl DijkstraScratch {
@@ -164,6 +168,28 @@ impl CsrGraph {
             node: source,
         });
         self.relax_from_heap(dist, scratch);
+    }
+
+    /// Like [`CsrGraph::dijkstra_into_with`] but sweeps into the
+    /// scratch-owned row buffer and returns it, so repeated sweeps — a
+    /// best-response oracle builds one per candidate neighbour, thousands
+    /// per dynamics round — allocate nothing after the first call.
+    ///
+    /// The returned slice is valid until the next use of `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn dijkstra_row_with<'a>(
+        &self,
+        source: usize,
+        scratch: &'a mut DijkstraScratch,
+    ) -> &'a [f64] {
+        let mut row = std::mem::take(&mut scratch.row);
+        row.resize(self.node_count(), f64::INFINITY);
+        self.dijkstra_into_with(source, &mut row, scratch);
+        scratch.row = row;
+        &scratch.row
     }
 
     /// Incremental single-source repair after **weight decreases / edge

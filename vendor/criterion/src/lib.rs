@@ -83,6 +83,11 @@ struct Record {
     id: String,
     mean_ns: f64,
     iterations: u64,
+    /// Unit of `mean_ns` — `"ns"` for timed benchmarks; counter records
+    /// reported via [`Criterion::report_value`] carry their own unit
+    /// (e.g. `"sweeps"`), so snapshots can hold work metrics that do not
+    /// depend on the machine's clock or core count.
+    unit: String,
 }
 
 /// The timing loop handed to benchmark closures.
@@ -230,6 +235,23 @@ impl Criterion {
             id: label.to_owned(),
             mean_ns: b.mean_ns,
             iterations: b.iterations,
+            unit: "ns".to_owned(),
+        });
+    }
+
+    /// Records a machine-independent counter (algorithmic work, ratios)
+    /// into the JSON summary alongside the timed results. Wall-clock
+    /// comparisons are meaningless across differently-sized CI runners;
+    /// benches that guard a work metric (e.g. oracle SSSP sweeps saved by
+    /// a sharded round) report it here so snapshot diffs stay comparable
+    /// PR to PR.
+    pub fn report_value(&mut self, id: &str, value: f64, unit: &str) {
+        println!("value {id:<55} {value:>14.1} {unit}");
+        self.records.borrow_mut().push(Record {
+            id: id.to_owned(),
+            mean_ns: value,
+            iterations: 1,
+            unit: unit.to_owned(),
         });
     }
 
@@ -244,11 +266,19 @@ impl Criterion {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"suite\": \"{suite}\",\n  \"benchmarks\": [\n"));
         for (k, r) in records.iter().enumerate() {
+            // Timings are noisy — one decimal is plenty. Counter records
+            // exist precisely for PR-to-PR diffs, so they keep full
+            // precision (f64 Display round-trips).
+            let value = if r.unit == "ns" {
+                format!("{:.1}", r.mean_ns)
+            } else {
+                format!("{}", r.mean_ns)
+            };
             out.push_str(&format!(
-                "    {{ \"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {} }}{}\n",
+                "    {{ \"id\": \"{}\", \"mean_ns\": {value}, \"iterations\": {}, \"unit\": \"{}\" }}{}\n",
                 r.id.replace('"', "'"),
-                r.mean_ns,
                 r.iterations,
+                r.unit.replace('"', "'"),
                 if k + 1 == records.len() { "" } else { "," }
             ));
         }
