@@ -58,13 +58,14 @@ fn instance(n: usize, seed: u64) -> (Game, StrategyProfile) {
 }
 
 /// One sequential round: fresh `G_{-i}` oracles, one per peer, on the
-/// calling thread — the pre-PR-3 engine.
+/// calling thread — the pre-PR-3 engine (`best_response_uncached` is
+/// that code path, kept as the explicit baseline).
 fn sequential_round(game: &Game, start: &StrategyProfile) -> (Vec<BestResponse>, SessionStats) {
     let mut session = GameSession::new(game.clone(), start.clone()).expect("sizes match");
     let responses = (0..game.n())
         .map(|i| {
             session
-                .best_response(PeerId::new(i), METHOD)
+                .best_response_uncached(PeerId::new(i), METHOD)
                 .expect("valid")
         })
         .collect();

@@ -1,0 +1,158 @@
+//! Persistent oracle cache vs fresh oracles on a sequential dynamics run.
+//!
+//! Scenario (the workload the cross-move `OracleCache` was built for,
+//! ROADMAP open item #1 of PR 3): a full sequential **better-response**
+//! dynamics run — the paper's Section-5 low-churn dynamic, where every
+//! accepted move is a single-link drop/add/swap — on a 64-peer α = 1
+//! instance, two best-response rounds into the run. The pre-cache
+//! engine (`DynamicsConfig { oracle_reuse: false }`) sweeps a fresh
+//! `G_{-i}` oracle per activation — `n - 1` Dijkstra sweeps each, every
+//! activation, forever. The cached engine serves candidate rows from the
+//! session's persistent two-tier cache: overlay rows survive `apply`
+//! via the tightness-test repair, residual `G_{-i}` rows are retained
+//! across moves (link *additions* repair them in place and invalidate
+//! nothing), and only rows no tier can serve pay a sweep.
+//!
+//! Reuse is workload-dependent: at large α the sparse overlay routes
+//! most rows through hub peers, so more candidate rows are tight on the
+//! responder's out-links and more retained rows die per accepted move
+//! (measured on this instance family: ~2.6× fewer sweeps at α = 1,
+//! ~2.1× at α = 2, ~1.5× at α = 4). The gate below asserts the α = 1
+//! figure conservatively at 2×.
+//!
+//! Wall-clock is machine-dependent, so besides the timed comparison the
+//! bench reports and **asserts** the machine-independent metric: total
+//! oracle SSSP sweeps over the whole run must drop by at least 2×, with
+//! both engines producing bit-identical runs. Snapshot committed as
+//! `BENCH_sequential_reuse.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use sp_core::{BestResponseMethod, Game, GameSession, SessionStats, StrategyProfile};
+use sp_dynamics::{DynamicsConfig, DynamicsOutcome, DynamicsRunner, ResponseRule};
+use sp_metric::generators;
+
+/// Warm-up method only: the measured run plays better responses.
+const METHOD: BestResponseMethod = BestResponseMethod::Greedy;
+const N: usize = 64;
+const MAX_ROUNDS: usize = 12;
+
+fn instance(n: usize, seed: u64) -> (Game, StrategyProfile) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = generators::uniform_square(n, 100.0, &mut rng);
+    let game = Game::from_space(&space, 1.0).expect("valid placement");
+    // A sparse random starting overlay (~3 out-links per peer): the run
+    // then performs a realistic mix of adds, drops, and rewires before
+    // settling.
+    let links: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 32);
+            (0..3)
+                .map(move |_| (i, rng.random_range(0..n)))
+                .collect::<Vec<_>>()
+        })
+        .filter(|&(a, b)| a != b)
+        .collect();
+    let profile = StrategyProfile::from_links(n, &links).expect("valid links");
+    // Advance two sequential rounds so the monitored run starts from an
+    // overlay with best-response structure (the steady state a long run
+    // spends its time in), mirroring the parallel_round methodology.
+    let warmup = DynamicsConfig {
+        rule: ResponseRule::BestResponseWith(METHOD),
+        max_rounds: 2,
+        detect_cycles: false,
+        ..DynamicsConfig::default()
+    };
+    let profile = DynamicsRunner::new(&game, warmup).run(profile).profile;
+    (game, profile)
+}
+
+fn run_engine(
+    game: &Game,
+    start: &StrategyProfile,
+    oracle_reuse: bool,
+) -> (DynamicsOutcome, SessionStats) {
+    let config = DynamicsConfig {
+        rule: ResponseRule::BetterResponse,
+        max_rounds: MAX_ROUNDS,
+        oracle_reuse,
+        ..DynamicsConfig::default()
+    };
+    let mut session = GameSession::new(game.clone(), start.clone()).expect("sizes match");
+    let mut runner = DynamicsRunner::new(game, config);
+    let out = runner.run_session(&mut session);
+    (out, session.stats())
+}
+
+/// Total single-source sweeps an engine paid across the run: cache
+/// fills (`full_sssp`) plus oracle candidate sweeps — all `n - 1` per
+/// build for the fresh engine, only the unserved rows for the cached one.
+fn oracle_sweeps(stats: &SessionStats, n: usize, fresh_oracles: bool) -> usize {
+    let oracle = if fresh_oracles {
+        stats.oracle_builds * (n - 1)
+    } else {
+        stats.seq_oracle_swept
+    };
+    stats.full_sssp + oracle
+}
+
+fn bench_sequential_reuse(c: &mut Criterion) {
+    let (game, start) = instance(N, 42);
+
+    let mut group = c.benchmark_group("sequential_dynamics_oracles");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("fresh", N), &N, |b, _| {
+        b.iter(|| run_engine(&game, &start, false));
+    });
+    group.bench_with_input(BenchmarkId::new("cached", N), &N, |b, _| {
+        b.iter(|| run_engine(&game, &start, true));
+    });
+    group.finish();
+
+    // Verify the engines agree and report the counters once, outside the
+    // timed loops.
+    let (fresh_out, fresh_stats) = run_engine(&game, &start, false);
+    let (cached_out, cached_stats) = run_engine(&game, &start, true);
+    assert_eq!(fresh_out.profile, cached_out.profile, "engines diverged");
+    assert_eq!(fresh_out.termination, cached_out.termination);
+    assert_eq!(fresh_out.steps, cached_out.steps);
+    assert_eq!(fresh_out.moves, cached_out.moves);
+
+    let fresh_sweeps = oracle_sweeps(&fresh_stats, N, true);
+    let cached_sweeps = oracle_sweeps(&cached_stats, N, false);
+    let reduction = fresh_sweeps as f64 / cached_sweeps.max(1) as f64;
+    let total_rows = cached_stats.seq_oracle_hits + cached_stats.seq_oracle_swept;
+    let hit_rate = cached_stats.seq_oracle_hits as f64 / total_rows.max(1) as f64;
+    println!(
+        "n={N}: {} activations, {} moves; oracle SSSP sweeps {fresh_sweeps} (fresh) vs \
+         {cached_sweeps} (cached: {} fills + {} fallback sweeps, {:.1}% of candidate rows \
+         served from cache, {} residual rows invalidated by repairs) — {reduction:.1}x \
+         less work",
+        cached_out.steps,
+        cached_out.moves,
+        cached_stats.full_sssp,
+        cached_stats.seq_oracle_swept,
+        hit_rate * 100.0,
+        cached_stats.seq_oracle_invalidated,
+    );
+    c.report_value(
+        &format!("seq_oracle_sweeps/fresh/{N}"),
+        fresh_sweeps as f64,
+        "sweeps",
+    );
+    c.report_value(
+        &format!("seq_oracle_sweeps/cached/{N}"),
+        cached_sweeps as f64,
+        "sweeps",
+    );
+    c.report_value(&format!("seq_oracle_sweeps/reduction/{N}"), reduction, "x");
+    c.report_value(&format!("seq_oracle_hit_rate/{N}"), hit_rate, "ratio");
+    assert!(
+        reduction >= 2.0,
+        "the persistent oracle cache must cut sequential oracle SSSP work at least 2x, \
+         got {reduction:.2}x ({fresh_sweeps} vs {cached_sweeps})"
+    );
+}
+
+criterion_group!(benches, bench_sequential_reuse);
+criterion_main!(benches);

@@ -1,28 +1,61 @@
-//! Validates `BENCH_*.json` benchmark snapshots.
+//! Validates and compares `BENCH_*.json` benchmark snapshots.
 //!
 //! ```text
 //! bench_check [DIR ...]
+//! bench_check --compare BASELINE_DIR FRESH_DIR
 //! ```
 //!
-//! Scans each directory (default: the current one) for `BENCH_*.json`
-//! files, parses every one with `sp-json`, and checks the schema the
-//! vendored criterion shim writes: an object with a string `"suite"` and
-//! a `"benchmarks"` array whose entries carry a string `"id"`, numeric
-//! `"mean_ns"` and `"iterations"`, and (since PR 3) an optional string
-//! `"unit"` for machine-independent counter records.
+//! **Validate mode** scans each directory (default: the current one) for
+//! `BENCH_*.json` files, parses every one with `sp-json`, and checks the
+//! schema the vendored criterion shim writes: an object with a string
+//! `"suite"` and a `"benchmarks"` array whose entries carry a string
+//! `"id"`, numeric `"mean_ns"` and `"iterations"`, and (since PR 3) an
+//! optional string `"unit"` for machine-independent counter records.
 //!
-//! CI's `bench-smoke` job runs this twice — over the repository root
-//! (the committed snapshots must stay parseable) and over the directory
-//! a fresh `BENCH_QUICK=1 cargo bench` run just filled — before
-//! uploading the fresh output as a workflow artifact for PR-to-PR
-//! comparison. Exits non-zero on the first malformed file, or when a
-//! scanned directory contains no snapshots at all.
+//! **Compare mode** diffs the **machine-independent counters** (entries
+//! whose `"unit"` is not `"ns"`) of every baseline suite against the
+//! same suite in the fresh directory (suites are matched by their
+//! `"suite"` field, so committed snapshot file names need not match the
+//! shim's output names). Wall-clock entries are ignored — CI runners
+//! differ in clock and core count; the counters exist precisely because
+//! they do not. A counter **regresses** when it moves in its unit's
+//! "worse" direction by more than 15%:
+//!
+//! * count-like units (`sweeps`, `rebuilds`, `rows`, `visits`, …):
+//!   more work is worse;
+//! * `x` (reduction factors) and `ratio` (hit rates): less is worse.
+//!
+//! Unknown units are reported and skipped. A baseline suite or counter
+//! missing from the fresh run fails the comparison (lost coverage is a
+//! regression too). Exit is non-zero on any regression, so the
+//! `bench-smoke` CI job blocks merges that silently give back the work
+//! savings the committed snapshots record.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 
-/// Schema errors for one snapshot file.
-fn check_snapshot(text: &str) -> Result<(String, usize), String> {
+/// Allowed relative drift before a counter move counts as a regression.
+const TOLERANCE: f64 = 0.15;
+
+/// One machine-independent counter record.
+#[derive(Debug, Clone, PartialEq)]
+struct Counter {
+    value: f64,
+    unit: String,
+}
+
+/// A parsed snapshot: suite name plus its counter records (timed `ns`
+/// entries are dropped at parse time in compare mode).
+#[derive(Debug, Clone)]
+struct Snapshot {
+    suite: String,
+    counters: BTreeMap<String, Counter>,
+}
+
+/// Schema errors for one snapshot file; returns the suite, the total
+/// record count, and the machine-independent counters.
+fn check_snapshot(text: &str) -> Result<(Snapshot, usize), String> {
     let value = sp_json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let suite = value
         .get("suite")
@@ -36,11 +69,13 @@ fn check_snapshot(text: &str) -> Result<(String, usize), String> {
     if benches.is_empty() {
         return Err("\"benchmarks\" is empty".to_owned());
     }
+    let mut counters = BTreeMap::new();
     for (k, b) in benches.iter().enumerate() {
         let ctx = |msg: &str| format!("benchmarks[{k}]: {msg}");
-        if b.get("id").and_then(sp_json::Value::as_str).is_none() {
-            return Err(ctx("missing string field \"id\""));
-        }
+        let id = b
+            .get("id")
+            .and_then(sp_json::Value::as_str)
+            .ok_or_else(|| ctx("missing string field \"id\""))?;
         let mean = b
             .get("mean_ns")
             .and_then(sp_json::Value::as_f64)
@@ -56,16 +91,24 @@ fn check_snapshot(text: &str) -> Result<(String, usize), String> {
         }
         // `unit` is optional (pre-PR-3 snapshots lack it) but must be a
         // string when present.
-        if let Some(u) = b.get("unit") {
-            if u.as_str().is_none() {
-                return Err(ctx("\"unit\" is not a string"));
-            }
+        let unit = match b.get("unit") {
+            None => None,
+            Some(u) => Some(
+                u.as_str()
+                    .ok_or_else(|| ctx("\"unit\" is not a string"))?
+                    .to_owned(),
+            ),
+        };
+        if let Some(unit) = unit.filter(|u| u != "ns") {
+            counters.insert(id.to_owned(), Counter { value: mean, unit });
         }
     }
-    Ok((suite, benches.len()))
+    let total = benches.len();
+    Ok((Snapshot { suite, counters }, total))
 }
 
-fn check_dir(dir: &Path) -> Result<usize, String> {
+/// Parses every `BENCH_*.json` in `dir`, keyed by suite name.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, Snapshot>, String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     let mut names: Vec<_> = entries
@@ -81,21 +124,138 @@ fn check_dir(dir: &Path) -> Result<usize, String> {
     if names.is_empty() {
         return Err(format!("no BENCH_*.json files in {}", dir.display()));
     }
+    let mut suites = BTreeMap::new();
     for path in &names {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         match check_snapshot(&text) {
-            Ok((suite, count)) => {
-                println!("ok  {:<50} suite={suite} ({count} records)", path.display());
+            Ok((snapshot, count)) => {
+                println!(
+                    "ok  {:<50} suite={} ({count} records, {} counters)",
+                    path.display(),
+                    snapshot.suite,
+                    snapshot.counters.len()
+                );
+                let suite = snapshot.suite.clone();
+                if suites.insert(suite.clone(), snapshot).is_some() {
+                    // Silent shadowing would let a stale copy win the
+                    // comparison; duplicated suites are a layout error.
+                    return Err(format!(
+                        "{}: suite \"{suite}\" appears in more than one snapshot in {}",
+                        path.display(),
+                        dir.display()
+                    ));
+                }
             }
             Err(e) => return Err(format!("{}: {e}", path.display())),
         }
     }
-    Ok(names.len())
+    Ok(suites)
+}
+
+fn check_dir(dir: &Path) -> Result<usize, String> {
+    load_dir(dir).map(|suites| suites.len())
+}
+
+/// `Some(true)` when more of this unit means more work (worse);
+/// `Some(false)` when more is better; `None` for unknown units.
+fn more_is_worse(unit: &str) -> Option<bool> {
+    match unit {
+        "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" => Some(true),
+        "x" | "ratio" => Some(false),
+        _ => None,
+    }
+}
+
+/// Compares the counters of `fresh` against `baseline`; returns the
+/// number of counters checked, or an error naming every regression.
+fn compare_dirs(baseline_dir: &Path, fresh_dir: &Path) -> Result<usize, String> {
+    println!("baseline: {}", baseline_dir.display());
+    let baseline = load_dir(baseline_dir)?;
+    println!("fresh:    {}", fresh_dir.display());
+    let fresh = load_dir(fresh_dir)?;
+
+    let mut checked = 0usize;
+    let mut problems: Vec<String> = Vec::new();
+    for (suite, base_snap) in &baseline {
+        if base_snap.counters.is_empty() {
+            continue;
+        }
+        let Some(fresh_snap) = fresh.get(suite) else {
+            problems.push(format!(
+                "suite \"{suite}\" has baseline counters but no fresh snapshot"
+            ));
+            continue;
+        };
+        for (id, base) in &base_snap.counters {
+            let Some(new) = fresh_snap.counters.get(id) else {
+                problems.push(format!("{suite}/{id}: counter missing from fresh run"));
+                continue;
+            };
+            if new.unit != base.unit {
+                problems.push(format!(
+                    "{suite}/{id}: unit changed {} -> {}",
+                    base.unit, new.unit
+                ));
+                continue;
+            }
+            let Some(more_worse) = more_is_worse(&base.unit) else {
+                println!(
+                    "??  {suite}/{id}: unknown unit \"{}\" — not compared",
+                    base.unit
+                );
+                continue;
+            };
+            checked += 1;
+            // Relative drift in the "worse" direction; a zero baseline
+            // regresses on any worsening at all.
+            let worsening = if more_worse {
+                new.value - base.value
+            } else {
+                base.value - new.value
+            };
+            let allowed = TOLERANCE * base.value.abs();
+            let status = if worsening > allowed { "REG" } else { "ok " };
+            println!(
+                "{status} {suite}/{id}: {} -> {} {}",
+                base.value, new.value, base.unit
+            );
+            if worsening > allowed {
+                problems.push(format!(
+                    "{suite}/{id}: {} {} -> {} (worse by more than {:.0}%)",
+                    base.unit,
+                    base.value,
+                    new.value,
+                    TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(checked)
+    } else {
+        Err(problems.join("\n       "))
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            eprintln!("usage: bench_check --compare BASELINE_DIR FRESH_DIR");
+            return ExitCode::FAILURE;
+        }
+        return match compare_dirs(Path::new(&args[1]), Path::new(&args[2])) {
+            Ok(n) => {
+                println!("{n} counter(s) within {:.0}%", TOLERANCE * 100.0);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let dirs: Vec<String> = if args.is_empty() {
         vec![".".to_owned()]
     } else {

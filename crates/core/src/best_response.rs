@@ -2,8 +2,9 @@ use sp_facility::{
     solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
     FacilityProblem,
 };
-use sp_graph::{CsrGraph, DijkstraScratch, DistanceMatrix};
+use sp_graph::{CsrGraph, DijkstraScratch};
 
+use crate::oracle_cache::OracleCache;
 use crate::session::EDGE_ON_PATH_EPS;
 use crate::{topology_without_peer, CoreError, Game, LinkSet, PeerId, StrategyProfile};
 
@@ -80,12 +81,23 @@ impl BestResponse {
     }
 }
 
-/// How many candidate rows a [`ResponseOracle::build_from_rows`] call
-/// served from the round-frozen distance snapshot vs swept fresh.
+/// How a [`ResponseOracle::build_from_cache`] call sourced its candidate
+/// rows: overlay-row reuse, residual-row hits, or fresh `G_{-i}` sweeps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct OracleReuse {
+    /// Candidate rows served verbatim from the overlay distance matrix.
     pub(crate) rows_reused: usize,
+    /// Candidate rows served from retained residual `G_{-i}` rows.
+    pub(crate) residual_hits: usize,
+    /// Candidate rows that paid a fresh `G_{-i}` sweep.
     pub(crate) rows_swept: usize,
+}
+
+impl OracleReuse {
+    /// Rows that did **not** pay a sweep, whatever tier served them.
+    pub(crate) fn hits(&self) -> usize {
+        self.rows_reused + self.residual_hits
+    }
 }
 
 /// The best-response reduction: candidate links as facilities, other peers
@@ -145,27 +157,32 @@ impl ResponseOracle {
         })
     }
 
-    /// Like [`ResponseOracle::build_with`], but reuses a **round-frozen**
-    /// full-overlay distance matrix instead of sweeping `G_{-i}` from
-    /// every candidate.
+    /// Like [`ResponseOracle::build_with`], but serves candidate rows
+    /// from a persistent [`OracleCache`] instead of sweeping `G_{-i}`
+    /// from every candidate.
     ///
     /// The oracle needs residual distances `D_{G_{-i}}(v, j)` — shortest
-    /// paths that avoid `i`'s out-links. A cached full-overlay row
-    /// `d_G(v, ·)` is already that row whenever **no** out-link of `i`
-    /// is tight on any of `v`'s shortest paths, checked in `O(deg(i))`
-    /// per candidate with the same conservative tightness test the
-    /// session's removal repair uses (`d_v(i) + w > d_v(t)` beyond
-    /// [`EDGE_ON_PATH_EPS`]); ties fall back to a fresh sweep, so reuse
-    /// never changes a value. `dist` must hold valid full-overlay rows
-    /// for every candidate of `peer`.
+    /// paths that avoid `i`'s out-links. Per candidate `v`, in order:
     ///
-    /// Returns the oracle plus how many candidate rows were reused vs
-    /// swept — the work the round-start snapshot saved.
-    pub(crate) fn build_from_rows(
+    /// 1. the cached full-overlay row `d_G(v, ·)` is already that row
+    ///    whenever **no** out-link of `i` is tight on any of `v`'s
+    ///    shortest paths, checked in `O(deg(i))` with the same
+    ///    conservative tightness test the cache's removal repair uses
+    ///    (`d_v(i) + w > d_v(t)` beyond [`EDGE_ON_PATH_EPS`]; ties fall
+    ///    through, so reuse never changes a value);
+    /// 2. a **residual row** retained from an earlier build for the same
+    ///    peer — kept exact across profile mutations by
+    ///    [`OracleCache::repair_after_edges`] — is used as-is;
+    /// 3. otherwise the row pays a fresh `G_{-i}` sweep, and the result
+    ///    is retained for the next build (space permitting).
+    ///
+    /// `cache` must hold valid overlay rows for every candidate of
+    /// `peer`. Returns the oracle plus the per-tier row accounting.
+    pub(crate) fn build_from_cache(
         game: &Game,
         profile: &StrategyProfile,
         peer: PeerId,
-        dist: &DistanceMatrix,
+        cache: &mut OracleCache,
         scratch: &mut DijkstraScratch,
     ) -> Result<(Self, OracleReuse), CoreError> {
         let n = game.n();
@@ -183,24 +200,30 @@ impl ResponseOracle {
             .collect();
         let candidates: Vec<usize> = (0..n).filter(|&v| v != i).collect();
         // `G_{-i}` is only materialised if some row actually routes
-        // through `i` and needs a fresh sweep.
+        // through `i`, needs a fresh sweep, and no residual row covers it.
         let mut g_minus: Option<CsrGraph> = None;
         let mut reuse = OracleReuse::default();
         let mut assignment = Vec::with_capacity(candidates.len());
         for &v in &candidates {
-            let cached = dist.row(v);
+            let cached = cache.row(v);
             let d_vi = cached[i];
             let clean = out.iter().all(|&(t, w)| {
                 !(d_vi.is_finite()
                     && d_vi + w <= cached[t] + EDGE_ON_PATH_EPS * (1.0 + cached[t].abs()))
             });
             let d_iv = game.distance(i, v);
-            let row: Vec<f64> = if clean {
-                reuse.rows_reused += 1;
+            let assign = |residual: &[f64]| -> Vec<f64> {
                 candidates
                     .iter()
-                    .map(|&j| (d_iv + cached[j]) / game.distance(i, j))
+                    .map(|&j| (d_iv + residual[j]) / game.distance(i, j))
                     .collect()
+            };
+            let row: Vec<f64> = if clean {
+                reuse.rows_reused += 1;
+                assign(cached)
+            } else if let Some(residual) = cache.residual_row(i, v) {
+                reuse.residual_hits += 1;
+                assign(residual)
             } else {
                 reuse.rows_swept += 1;
                 if g_minus.is_none() {
@@ -210,10 +233,9 @@ impl ResponseOracle {
                 }
                 let csr = g_minus.as_ref().expect("built above");
                 let buf = csr.dijkstra_row_with(v, scratch);
-                candidates
-                    .iter()
-                    .map(|&j| (d_iv + buf[j]) / game.distance(i, j))
-                    .collect()
+                let row = assign(buf);
+                cache.store_residual(i, v, buf);
+                row
             };
             assignment.push(row);
         }
@@ -369,7 +391,11 @@ pub fn best_response(
     peer: PeerId,
     method: BestResponseMethod,
 ) -> Result<BestResponse, CoreError> {
-    crate::GameSession::from_refs(game, profile)?.best_response(peer, method)
+    // One-shot wrapper on a throwaway session: the fresh `G_{-i}` oracle
+    // (`n - 1` sweeps) beats the cached path here, which would fill all
+    // `n` overlay rows first and then drop the cache unread. Hot loops
+    // hold a session and get `GameSession::best_response` reuse instead.
+    crate::GameSession::from_refs(game, profile)?.best_response_uncached(peer, method)
 }
 
 /// Finds the first strictly improving **single-link** move (drop, add, or

@@ -1,4 +1,6 @@
-use crate::{CoreError, Game, GameSession, PeerId, StrategyProfile};
+use sp_graph::{CsrGraph, DijkstraScratch};
+
+use crate::{topology, CoreError, Game, GameSession, PeerId, StrategyProfile};
 
 /// The social cost `C(G) = α|E| + Σ_{i≠j} stretch(i, j)` decomposed into
 /// its two terms (`C_E` and `C_S` in the paper).
@@ -28,10 +30,12 @@ impl SocialCost {
 ///
 /// `∞` when some peer is unreachable from `peer`.
 ///
-/// Thin wrapper over [`GameSession::peer_cost`] building a throwaway
-/// session: one lazy Dijkstra row, but also an `O(n²)` session setup
-/// (distance-matrix clone). Hot loops should hold a session and query it
-/// directly instead of calling this repeatedly.
+/// Unlike the other free wrappers this does **not** build a throwaway
+/// [`GameSession`]: a single peer's cost needs exactly one overlay
+/// shortest-path row, so the wrapper builds the `O(m)` overlay CSR and
+/// runs one Dijkstra sweep — no `O(n²)` game clone or distance-matrix
+/// allocation. Hot loops should still hold a session, whose row caches
+/// survive across queries and moves.
 ///
 /// # Errors
 ///
@@ -50,7 +54,19 @@ impl SocialCost {
 /// assert_eq!(peer_cost(&game, &p, PeerId::new(0)).unwrap(), 4.0);
 /// ```
 pub fn peer_cost(game: &Game, profile: &StrategyProfile, peer: PeerId) -> Result<f64, CoreError> {
-    GameSession::from_refs(game, profile)?.peer_cost(peer)
+    // `topology` performs the profile/game size check (first, matching
+    // the session-backed wrapper's error precedence).
+    let overlay = topology(game, profile)?;
+    if peer.index() >= game.n() {
+        return Err(CoreError::PeerOutOfBounds {
+            peer: peer.index(),
+            n: game.n(),
+        });
+    }
+    let csr = CsrGraph::from_digraph(&overlay);
+    let mut scratch = DijkstraScratch::new();
+    let row = csr.dijkstra_row_with(peer.index(), &mut scratch);
+    Ok(peer_cost_from_distances(game, profile, peer, row))
 }
 
 /// Individual cost given precomputed overlay distances from `peer`

@@ -22,10 +22,14 @@
 //!   owning a game and its evolving profile, keeping the overlay CSR,
 //!   distance matrix, and stretch matrix cached across queries, and
 //!   repairing them incrementally when [`GameSession::apply`] mutates a
-//!   peer's links. Multi-peer events (simultaneous rounds, churn) commit
-//!   through [`GameSession::apply_batch`] — one CSR rebuild and one
-//!   repair pass for the whole batch — and bulk row refills shard their
-//!   Dijkstra sweeps over worker threads
+//!   peer's links. Best-response oracles are served from the same
+//!   persistent two-tier cache (overlay rows plus retained residual
+//!   `G_{-i}` rows — see the `session` module docs for the invalidation
+//!   invariants), so hot sequential loops stop paying `n - 1` fresh
+//!   sweeps per activation. Multi-peer events (simultaneous rounds,
+//!   churn) commit through [`GameSession::apply_batch`] — one CSR
+//!   rebuild and one repair pass for the whole batch — and bulk row
+//!   refills shard their Dijkstra sweeps over worker threads
 //!   ([`sp_graph::CsrGraph::dijkstra_rows_with`]);
 //! * [`topology`](fn@topology) / [`overlay_distances`] / [`stretch_matrix`]
 //!   — the induced overlay and its stretches;
@@ -89,6 +93,7 @@ mod cost;
 pub mod demand;
 mod error;
 mod game;
+mod oracle_cache;
 mod peer;
 pub mod poa;
 mod session;

@@ -36,6 +36,18 @@
 //! scoped worker threads ([`sp_graph::CsrGraph::dijkstra_rows_with`]),
 //! each with its own [`DijkstraScratch`].
 //!
+//! Both row tiers — the overlay matrix and the residual `G_{-i}` rows
+//! that back the best-response oracles — live in one
+//! [`OracleCache`](crate::oracle_cache), so every oracle the session
+//! hands out (a sequential [`GameSession::best_response`] activation,
+//! the sharded [`GameSession::best_responses_round`] fan-out) is served
+//! and invalidated by the same code path. The uncached variants
+//! ([`GameSession::best_response_uncached`],
+//! [`GameSession::first_improving_move_uncached`]) sweep a fresh
+//! `G_{-i}` oracle per call; they are the reference the cached paths are
+//! property-tested bit-identical against, and the baseline the
+//! `sequential_reuse` bench measures the cache's savings from.
+//!
 //! [`SessionStats`] counts the sweeps actually performed, so benchmarks
 //! and tests can verify the cache earns its keep.
 
@@ -43,9 +55,10 @@ use std::sync::Arc;
 
 use sp_graph::{CsrGraph, DiGraph, DijkstraScratch, DistanceMatrix};
 
-use crate::best_response::ResponseOracle;
+use crate::best_response::{OracleReuse, ResponseOracle};
 use crate::cost::peer_cost_from_distances;
 use crate::equilibrium::{Deviation, NashReport, NashTest};
+use crate::oracle_cache::OracleCache;
 use crate::{
     BestResponse, BestResponseMethod, CoreError, Game, LinkSet, PeerId, SocialCost, StrategyProfile,
 };
@@ -138,6 +151,20 @@ pub struct SessionStats {
     /// Oracle candidate rows that did pay a fresh `G_{-i}` sweep (the
     /// candidate's shortest paths may route through the responding peer).
     pub oracle_rows_swept: usize,
+    /// Candidate rows served without a sweep by **sequential** cached
+    /// oracle builds ([`GameSession::best_response`],
+    /// [`GameSession::first_improving_move`], `nash_gap`, `is_nash`) —
+    /// overlay-row reuse plus residual-row hits. The round engine's
+    /// reuse is counted separately in
+    /// [`SessionStats::oracle_rows_reused`].
+    pub seq_oracle_hits: usize,
+    /// Residual `G_{-i}` rows dropped by [`GameSession::apply`] /
+    /// [`GameSession::apply_batch`] repair because a removed link (owned
+    /// by another peer) could have been tight on them.
+    pub seq_oracle_invalidated: usize,
+    /// Candidate rows that paid a fresh `G_{-i}` sweep inside sequential
+    /// cached oracle builds (neither cache tier could serve them).
+    pub seq_oracle_swept: usize,
 }
 
 impl SessionStats {
@@ -185,15 +212,24 @@ pub struct GameSession {
     /// Overlay CSR snapshot; `None` when no query has needed it yet (or
     /// after a full reset).
     csr: Option<CsrGraph>,
-    /// Overlay distances; row `u` is meaningful iff `row_valid[u]`.
-    dist: DistanceMatrix,
-    row_valid: Vec<bool>,
+    /// The two-tier row cache: overlay distance rows (per-row validity)
+    /// plus retained residual `G_{-i}` oracle rows. Repaired — never
+    /// discarded — by [`GameSession::apply`] / `apply_batch`.
+    cache: OracleCache,
     /// Cached stretch matrix; cleared by every profile mutation.
     stretch: Option<DistanceMatrix>,
     scratch: DijkstraScratch,
     /// Worker-thread override for bulk row refills; `None` = auto.
     parallelism: Option<usize>,
     stats: SessionStats,
+}
+
+/// Which [`SessionStats`] bucket a cached oracle build counts into:
+/// sequential activations vs the simultaneous-round fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OracleCounter {
+    Sequential,
+    Round,
 }
 
 impl GameSession {
@@ -215,8 +251,7 @@ impl GameSession {
             game: Arc::new(game),
             profile,
             csr: None,
-            dist: DistanceMatrix::new_filled(n, f64::INFINITY),
-            row_valid: vec![false; n],
+            cache: OracleCache::new(n),
             stretch: None,
             scratch: DijkstraScratch::new(),
             parallelism: None,
@@ -267,7 +302,10 @@ impl GameSession {
     /// validity, and the profile. Nothing is recomputed. The fork gets a
     /// fresh [`DijkstraScratch`] (so shards never contend) and zeroed
     /// [`SessionStats`], and its bulk refills are pinned to the calling
-    /// thread (`Some(1)`) — shards must not nest worker pools.
+    /// thread (`Some(1)`) — shards must not nest worker pools. Retained
+    /// residual oracle rows are **not** carried into the fork (a shard
+    /// lives for one round and would never read its own stores), so the
+    /// fork is cheap even when the parent's residual cache is full.
     ///
     /// The fork is an independent session: mutating it (or the parent)
     /// never affects the other.
@@ -277,8 +315,7 @@ impl GameSession {
             game: Arc::clone(&self.game),
             profile: self.profile.clone(),
             csr: self.csr.clone(),
-            dist: self.dist.clone(),
-            row_valid: self.row_valid.clone(),
+            cache: self.cache.fork(),
             stretch: None,
             scratch: DijkstraScratch::new(),
             parallelism: Some(1),
@@ -319,7 +356,7 @@ impl GameSession {
 
     fn invalidate_all(&mut self) {
         self.csr = None;
-        self.row_valid.fill(false);
+        self.cache.invalidate_all();
         self.stretch = None;
     }
 
@@ -479,9 +516,10 @@ impl GameSession {
 
     /// The shared repair pass behind [`GameSession::apply`] and
     /// [`GameSession::apply_batch`]: given the net `(from, to, weight)`
-    /// edge changes already written to the profile, drops rows whose
-    /// shortest paths may have used a removed edge and runs one seeded
-    /// decrease-only relaxation per surviving row for the added edges.
+    /// edge changes already written to the profile, lets the
+    /// [`OracleCache`] drop rows whose shortest paths may have used a
+    /// removed edge (overlay **and** residual tiers) and decrease-relax
+    /// the survivors for the added edges.
     fn repair_after_edges(
         &mut self,
         added: &[(usize, usize, f64)],
@@ -489,10 +527,15 @@ impl GameSession {
     ) {
         self.stretch = None;
 
-        if self.csr.is_none() || !self.row_valid.iter().any(|&v| v) {
+        // Residual rows can outlive every overlay row (a removal that is
+        // tight for all sources invalidates the whole overlay tier while
+        // the residual tier repairs in place), so the lazy bail-out must
+        // check both tiers: wiping live residual rows here would re-pay
+        // sweeps the cache already earned.
+        if self.csr.is_none() || (!self.cache.any_valid_row() && !self.cache.has_residual_rows()) {
             // Nothing cached worth repairing; stay lazy.
             self.csr = None;
-            self.row_valid.fill(false);
+            self.cache.invalidate_all();
             return;
         }
 
@@ -500,39 +543,13 @@ impl GameSession {
         // next to the sweeps it lets us keep).
         self.rebuild_csr();
         let csr = self.csr.as_ref().expect("just rebuilt");
-
-        let n = self.game.n();
-        let mut seeds: Vec<(usize, f64)> = Vec::with_capacity(added.len());
-        for u in 0..n {
-            if !self.row_valid[u] {
-                continue;
-            }
-            let row = self.dist.row(u);
-
-            // A removed link (i, j) can only affect u's distances when u
-            // reaches i and the link was tight on some shortest path.
-            let broken = removed.iter().any(|&(i, j, w)| {
-                let d_ui = row[i];
-                d_ui.is_finite() && d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs())
-            });
-            if broken {
-                self.row_valid[u] = false;
-                self.stats.rows_invalidated += 1;
-                continue;
-            }
-
-            // Added links only ever shorten distances: repair in place.
-            seeds.clear();
-            seeds.extend(added.iter().filter_map(|&(i, j, w)| {
-                let d_ui = row[i];
-                (d_ui.is_finite() && d_ui + w < row[j]).then_some((j, d_ui + w))
-            }));
-            if !seeds.is_empty() {
-                csr.relax_decrease_into(self.dist.row_mut(u), &seeds, &mut self.scratch);
-                self.stats.incremental_relaxations += 1;
-            }
-            self.stats.rows_preserved += 1;
-        }
+        let counts = self
+            .cache
+            .repair_after_edges(csr, added, removed, &mut self.scratch);
+        self.stats.rows_invalidated += counts.rows_invalidated;
+        self.stats.rows_preserved += counts.rows_preserved;
+        self.stats.incremental_relaxations += counts.incremental_relaxations;
+        self.stats.seq_oracle_invalidated += counts.residual_invalidated;
     }
 
     fn rebuild_csr(&mut self) {
@@ -559,13 +576,11 @@ impl GameSession {
     /// Makes row `u` of the distance matrix valid and returns it.
     fn row(&mut self, u: usize) -> &[f64] {
         self.ensure_csr();
-        if !self.row_valid[u] {
-            let csr = self.csr.as_ref().expect("ensured above");
-            csr.dijkstra_into_with(u, self.dist.row_mut(u), &mut self.scratch);
-            self.row_valid[u] = true;
+        let csr = self.csr.as_ref().expect("ensured above");
+        if self.cache.ensure_row(csr, u, &mut self.scratch) {
             self.stats.full_sssp += 1;
         }
-        self.dist.row(u)
+        self.cache.row(u)
     }
 
     /// Overrides the worker-thread count for every sharded code path:
@@ -605,7 +620,7 @@ impl GameSession {
     /// full sweep each, sharded over worker threads when there are
     /// enough of them to pay for the spawns.
     fn ensure_all_rows(&mut self) {
-        let invalid = self.row_valid.iter().filter(|&&v| !v).count();
+        let invalid = self.cache.invalid_row_count();
         if invalid == 0 {
             return;
         }
@@ -613,15 +628,8 @@ impl GameSession {
         if workers > 1 && (self.parallelism.is_some() || invalid >= PAR_ROWS_MIN) {
             self.ensure_csr();
             let csr = self.csr.as_ref().expect("ensured above");
-            let row_valid = &self.row_valid;
-            let jobs: Vec<(usize, &mut [f64])> = self
-                .dist
-                .rows_mut()
-                .enumerate()
-                .filter(|&(u, _)| !row_valid[u])
-                .collect();
-            csr.dijkstra_rows_with(jobs, workers);
-            self.row_valid.fill(true);
+            csr.dijkstra_rows_with(self.cache.invalid_jobs(), workers);
+            self.cache.mark_all_valid();
             self.stats.full_sssp += invalid;
             self.stats.parallel_passes += 1;
             self.stats.parallel_rows += invalid;
@@ -646,7 +654,7 @@ impl GameSession {
             });
         }
         let _ = self.row(peer.index());
-        let row = self.dist.row(peer.index());
+        let row = self.cache.row(peer.index());
         Ok(peer_cost_from_distances(
             &self.game,
             &self.profile,
@@ -665,7 +673,7 @@ impl GameSession {
                     &self.game,
                     &self.profile,
                     PeerId::new(u),
-                    self.dist.row(u),
+                    self.cache.row(u),
                 )
             })
             .collect()
@@ -679,7 +687,7 @@ impl GameSession {
         let n = self.game.n();
         let mut stretch_cost = 0.0f64;
         'outer: for u in 0..n {
-            let row = self.dist.row(u);
+            let row = self.cache.row(u);
             for j in 0..n {
                 if j != u {
                     stretch_cost += row[j] / self.game.distance(u, j);
@@ -699,7 +707,7 @@ impl GameSession {
     /// The overlay distance matrix `d_G(i, j)` (fills every row).
     pub fn overlay_distances(&mut self) -> &DistanceMatrix {
         self.ensure_all_rows();
-        &self.dist
+        self.cache.matrix()
     }
 
     /// The stretch matrix `d_G(i, j) / d(i, j)` (cached until the next
@@ -710,7 +718,7 @@ impl GameSession {
             let n = self.game.n();
             let mut s = DistanceMatrix::new_filled(n, 1.0);
             for i in 0..n {
-                let row = self.dist.row(i);
+                let row = self.cache.row(i);
                 for j in 0..n {
                     if i != j {
                         s[(i, j)] = row[j] / self.game.distance(i, j);
@@ -740,8 +748,23 @@ impl GameSession {
     }
 
     /// `peer`'s best response against the fixed rest of the current
-    /// profile. The peer's current cost comes from the session cache; the
-    /// candidate evaluation reuses the session's Dijkstra scratch.
+    /// profile, served from the persistent oracle cache: a candidate
+    /// row comes verbatim from the overlay distance matrix whenever none
+    /// of `peer`'s out-links is tight on its shortest paths (the same
+    /// conservative test the removal repair uses, so reuse never changes
+    /// a value), from a retained residual `G_{-i}` row swept by an
+    /// earlier build otherwise, and only pays a fresh sweep when neither
+    /// tier can serve it — that sweep is then retained for the next
+    /// build. Because [`GameSession::apply`] repairs both tiers
+    /// per-move, consecutive activations in sequential dynamics serve
+    /// most candidate rows without sweeping.
+    ///
+    /// Fills the whole distance cache on first use. Bit-identical to
+    /// [`GameSession::best_response_uncached`] (property-tested in
+    /// `crates/core/tests/proptest_session.rs`, including across
+    /// arbitrary interleaved `apply` sequences); cache tier accounting
+    /// lands in [`SessionStats::seq_oracle_hits`] /
+    /// [`SessionStats::seq_oracle_swept`].
     ///
     /// # Errors
     ///
@@ -751,15 +774,26 @@ impl GameSession {
         peer: PeerId,
         method: BestResponseMethod,
     ) -> Result<BestResponse, CoreError> {
+        self.best_response_counted(peer, method, OracleCounter::Sequential)
+    }
+
+    /// Like [`GameSession::best_response`], but always builds a fresh
+    /// `G_{-i}` oracle — `n - 1` Dijkstra sweeps, no cache reads or
+    /// stores. This is the reference implementation the cached path is
+    /// property-tested against, and the pre-cache baseline the
+    /// `sequential_reuse` bench measures savings from.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::best_response`].
+    pub fn best_response_uncached(
+        &mut self,
+        peer: PeerId,
+        method: BestResponseMethod,
+    ) -> Result<BestResponse, CoreError> {
         let current_cost = self.peer_cost(peer)?;
         if self.game.n() <= 1 {
-            return Ok(BestResponse {
-                peer,
-                links: LinkSet::new(),
-                cost: 0.0,
-                current_cost,
-                exact: true,
-            });
+            return Ok(Self::trivial_response(peer, current_cost));
         }
         let oracle =
             ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
@@ -767,47 +801,76 @@ impl GameSession {
         self.finish_response(peer, method, &oracle, current_cost)
     }
 
-    /// Like [`GameSession::best_response`], but builds the oracle from
-    /// the session's cached overlay distance rows instead of sweeping
-    /// `G_{-i}` from every candidate: a candidate row is reused verbatim
-    /// whenever none of `peer`'s out-links is tight on its shortest paths
-    /// (the same conservative test the removal repair uses, so reuse
-    /// never changes a value — ties fall back to a fresh sweep).
-    ///
-    /// Fills the whole distance cache on first use; the payoff is rounds
-    /// of simultaneous dynamics, where every oracle reads the same
-    /// frozen round-start snapshot — [`GameSession::best_responses_round`]
-    /// calls this per activated peer, optionally across worker shards.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`GameSession::best_response`].
-    pub fn best_response_cached(
+    /// The response on a game too small to have candidates (`n <= 1`):
+    /// the empty strategy at cost 0, trivially exact. One definition so
+    /// the cached and uncached paths cannot diverge on the contract.
+    fn trivial_response(peer: PeerId, current_cost: f64) -> BestResponse {
+        BestResponse {
+            peer,
+            links: LinkSet::new(),
+            cost: 0.0,
+            current_cost,
+            exact: true,
+        }
+    }
+
+    /// Bounds-checks `peer` and reports whether the game is too small
+    /// for any single-link move to exist (`n <= 1`) — the shared guard
+    /// of the better-response paths.
+    fn too_small_for_moves(&self, peer: PeerId) -> Result<bool, CoreError> {
+        if self.game.n() <= 1 {
+            if peer.index() >= self.game.n() {
+                return Err(CoreError::PeerOutOfBounds {
+                    peer: peer.index(),
+                    n: self.game.n(),
+                });
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Builds the cached oracle for `peer` and counts its row accounting
+    /// into the requested [`SessionStats`] bucket.
+    fn cached_oracle(
         &mut self,
         peer: PeerId,
-        method: BestResponseMethod,
-    ) -> Result<BestResponse, CoreError> {
-        let current_cost = self.peer_cost(peer)?;
-        if self.game.n() <= 1 {
-            return Ok(BestResponse {
-                peer,
-                links: LinkSet::new(),
-                cost: 0.0,
-                current_cost,
-                exact: true,
-            });
-        }
+        counter: OracleCounter,
+    ) -> Result<ResponseOracle, CoreError> {
         self.ensure_all_rows();
-        let (oracle, reuse) = ResponseOracle::build_from_rows(
+        let (oracle, reuse): (ResponseOracle, OracleReuse) = ResponseOracle::build_from_cache(
             &self.game,
             &self.profile,
             peer,
-            &self.dist,
+            &mut self.cache,
             &mut self.scratch,
         )?;
         self.stats.oracle_builds += 1;
-        self.stats.oracle_rows_reused += reuse.rows_reused;
-        self.stats.oracle_rows_swept += reuse.rows_swept;
+        match counter {
+            OracleCounter::Sequential => {
+                self.stats.seq_oracle_hits += reuse.hits();
+                self.stats.seq_oracle_swept += reuse.rows_swept;
+            }
+            OracleCounter::Round => {
+                self.stats.oracle_rows_reused += reuse.hits();
+                self.stats.oracle_rows_swept += reuse.rows_swept;
+            }
+        }
+        Ok(oracle)
+    }
+
+    /// Shared body of the cached response paths.
+    fn best_response_counted(
+        &mut self,
+        peer: PeerId,
+        method: BestResponseMethod,
+        counter: OracleCounter,
+    ) -> Result<BestResponse, CoreError> {
+        let current_cost = self.peer_cost(peer)?;
+        if self.game.n() <= 1 {
+            return Ok(Self::trivial_response(peer, current_cost));
+        }
+        let oracle = self.cached_oracle(peer, counter)?;
         self.finish_response(peer, method, &oracle, current_cost)
     }
 
@@ -847,21 +910,26 @@ impl GameSession {
     /// round.
     ///
     /// The session first makes every distance row valid (that snapshot is
-    /// the round-start state all oracles read), then computes one
-    /// [`GameSession::best_response_cached`] per activated peer. When the
+    /// the round-start state all oracles read), then computes one cached
+    /// oracle (the [`GameSession::best_response`] code path, counted into
+    /// the round counters) per activated peer. When the
     /// [`GameSession::set_parallelism`] knob resolves to more than one
     /// worker — and, under automatic parallelism, at least
-    /// `PAR_ORACLES_MIN` peers are activated — the peers are
-    /// partitioned into contiguous shards, each shard runs on its own
-    /// worker thread over a [`GameSession::fork_readonly`] snapshot with
-    /// a per-thread [`DijkstraScratch`], and the results are merged back
-    /// in peer order.
+    /// `PAR_ORACLES_MIN` peers are activated — activation position `p`
+    /// is assigned to shard `p mod k` (a deterministic round-robin
+    /// interleave, so fallback-sweep-heavy peers spread evenly across
+    /// shards instead of clustering in one contiguous chunk), each shard
+    /// runs on its own worker thread over a
+    /// [`GameSession::fork_readonly`] snapshot with a per-thread
+    /// [`DijkstraScratch`], and the results are scattered back into
+    /// activation order.
     ///
     /// **Determinism contract:** the returned responses are identical —
     /// bit-for-bit, including tie-breaking — whatever the shard count,
     /// because every shard evaluates the same frozen snapshot with the
-    /// same per-peer code path and the contiguous partition preserves
-    /// order. Shard oracle/reuse counters are folded into this session's
+    /// same per-peer code path and the interleave is a pure function of
+    /// `(position, shard count)` that the merge inverts exactly. Shard
+    /// oracle/reuse counters are folded into this session's
     /// [`SessionStats`]; `oracle_parallel_rounds`/`oracle_shards` record
     /// the fan-out itself.
     ///
@@ -869,7 +937,7 @@ impl GameSession {
     ///
     /// [`CoreError::PeerOutOfBounds`] for any out-of-range peer (checked
     /// up front), plus the [`GameSession::best_response`] conditions; the
-    /// error of the earliest failing peer is returned.
+    /// error of the lowest-indexed failing shard is returned.
     pub fn best_responses_round(
         &mut self,
         peers: &[PeerId],
@@ -902,25 +970,28 @@ impl GameSession {
         if shards <= 1 {
             return peers
                 .iter()
-                .map(|&p| self.best_response_cached(p, method))
+                .map(|&p| self.best_response_counted(p, method, OracleCounter::Round))
                 .collect();
         }
 
-        let chunk = peers.len().div_ceil(shards);
-        let mut forks: Vec<GameSession> = (0..peers.chunks(chunk).len())
-            .map(|_| self.fork_readonly())
-            .collect();
+        // Deterministic round-robin interleave: activation position p
+        // computes on shard p % shards. Every shard is non-empty because
+        // shards <= peers.len().
+        let mut shard_peers: Vec<Vec<PeerId>> = vec![Vec::new(); shards];
+        for (pos, &p) in peers.iter().enumerate() {
+            shard_peers[pos % shards].push(p);
+        }
+        let mut forks: Vec<GameSession> = (0..shards).map(|_| self.fork_readonly()).collect();
         self.stats.oracle_parallel_rounds += 1;
-        self.stats.oracle_shards += forks.len();
+        self.stats.oracle_shards += shards;
         let results: Vec<Result<Vec<BestResponse>, CoreError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = peers
-                .chunks(chunk)
+            let handles: Vec<_> = shard_peers
+                .iter()
                 .zip(forks.iter_mut())
-                .map(|(shard_peers, shard)| {
+                .map(|(mine, shard)| {
                     scope.spawn(move || {
-                        shard_peers
-                            .iter()
-                            .map(|&p| shard.best_response_cached(p, method))
+                        mine.iter()
+                            .map(|&p| shard.best_response_counted(p, method, OracleCounter::Round))
                             .collect::<Result<Vec<_>, _>>()
                     })
                 })
@@ -930,21 +1001,30 @@ impl GameSession {
                 .map(|h| h.join().expect("oracle shard thread panicked"))
                 .collect()
         });
-        let mut out = Vec::with_capacity(peers.len());
-        for (result, shard) in results.into_iter().zip(&forks) {
+        // Scatter the shard results back into activation order (shard s
+        // computed positions s, s + shards, s + 2·shards, …).
+        let mut slots: Vec<Option<BestResponse>> = peers.iter().map(|_| None).collect();
+        for (s, (result, shard)) in results.into_iter().zip(&forks).enumerate() {
             let shard_stats = shard.stats();
             self.stats.oracle_builds += shard_stats.oracle_builds;
             self.stats.oracle_rows_reused += shard_stats.oracle_rows_reused;
             self.stats.oracle_rows_swept += shard_stats.oracle_rows_swept;
             self.stats.full_sssp += shard_stats.full_sssp;
-            out.extend(result?);
+            for (k, br) in result?.into_iter().enumerate() {
+                slots[s + k * shards] = Some(br);
+            }
         }
-        Ok(out)
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("interleave covers every activation position"))
+            .collect())
     }
 
     /// First strictly improving single-link move for `peer` (drop, add,
     /// swap — in that order), or `None`; the "better response" used by
-    /// low-churn dynamics.
+    /// low-churn dynamics. Served from the persistent oracle cache
+    /// like [`GameSession::best_response`]; bit-identical to
+    /// [`GameSession::first_improving_move_uncached`].
     ///
     /// # Errors
     ///
@@ -954,13 +1034,26 @@ impl GameSession {
         peer: PeerId,
         tol: f64,
     ) -> Result<Option<BestResponse>, CoreError> {
-        if self.game.n() <= 1 {
-            if peer.index() >= self.game.n() {
-                return Err(CoreError::PeerOutOfBounds {
-                    peer: peer.index(),
-                    n: self.game.n(),
-                });
-            }
+        if self.too_small_for_moves(peer)? {
+            return Ok(None);
+        }
+        let oracle = self.cached_oracle(peer, OracleCounter::Sequential)?;
+        Ok(oracle.first_improving_move(peer, self.profile.strategy(peer), tol))
+    }
+
+    /// Like [`GameSession::first_improving_move`], but always sweeps a
+    /// fresh `G_{-i}` oracle — the cache-free reference and bench
+    /// baseline, mirroring [`GameSession::best_response_uncached`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the free [`crate::first_improving_move`].
+    pub fn first_improving_move_uncached(
+        &mut self,
+        peer: PeerId,
+        tol: f64,
+    ) -> Result<Option<BestResponse>, CoreError> {
+        if self.too_small_for_moves(peer)? {
             return Ok(None);
         }
         let oracle =
@@ -971,6 +1064,8 @@ impl GameSession {
 
     /// The largest improvement any single peer can gain by deviating
     /// (0.0 at equilibrium, `∞` if someone can restore connectivity).
+    /// Oracles come from the persistent cache, so monitoring loops that
+    /// call this between moves pay only for what changed.
     ///
     /// # Errors
     ///
@@ -1528,22 +1623,173 @@ mod tests {
         let g = detour_game();
         let p = StrategyProfile::from_links(4, &[(0, 1), (1, 0), (1, 2), (3, 2)]).unwrap();
         for method in [BestResponseMethod::Exact, BestResponseMethod::Greedy] {
-            let mut fresh = GameSession::from_refs(&g, &p).unwrap();
-            let mut cached = GameSession::from_refs(&g, &p).unwrap();
+            let mut s = GameSession::from_refs(&g, &p).unwrap();
             for i in 0..4 {
                 let peer = PeerId::new(i);
-                let a = fresh.best_response(peer, method).unwrap();
-                let b = cached.best_response_cached(peer, method).unwrap();
+                let a = s.best_response_uncached(peer, method).unwrap();
+                let b = s.best_response(peer, method).unwrap();
                 assert_eq!(a.links, b.links, "peer {i}");
                 assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "peer {i}");
                 assert_eq!(a.current_cost.to_bits(), b.current_cost.to_bits());
             }
-            let stats = cached.stats();
+            let stats = s.stats();
             assert!(
-                stats.oracle_rows_reused > 0,
-                "some candidate rows must come from the snapshot: {stats:?}"
+                stats.seq_oracle_hits > 0,
+                "some candidate rows must come from the cache: {stats:?}"
+            );
+            assert_eq!(
+                stats.seq_oracle_hits + stats.seq_oracle_swept,
+                4 * 3,
+                "every candidate row of every cached build is accounted for"
             );
         }
+    }
+
+    #[test]
+    fn residual_rows_survive_unrelated_moves() {
+        let g = game(1.2);
+        // A hub at peer 0 forces candidate rows through its out-links,
+        // so the first cached build pays fresh G_{-0} sweeps.
+        let p = StrategyProfile::from_links(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+            ],
+        )
+        .unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let hub = PeerId::new(0);
+        let first = s.best_response(hub, BestResponseMethod::Exact).unwrap();
+        let swept_once = s.stats().seq_oracle_swept;
+        assert!(swept_once > 0, "hub oracle must sweep at least one row");
+        // The hub moving does not change G_{-0}: a second activation must
+        // serve every previously swept row from the residual tier.
+        s.apply(Move::AddLink {
+            from: hub,
+            to: PeerId::new(2),
+        })
+        .unwrap();
+        s.apply(Move::RemoveLink {
+            from: hub,
+            to: PeerId::new(2),
+        })
+        .unwrap();
+        let second = s.best_response(hub, BestResponseMethod::Exact).unwrap();
+        assert_eq!(first.links, second.links);
+        assert_eq!(
+            s.stats().seq_oracle_swept,
+            swept_once,
+            "re-activating the mover itself must not re-sweep residual rows: {:?}",
+            s.stats()
+        );
+        // A *removal by another peer* that can carry shortest paths kills
+        // the affected residual rows.
+        s.apply(Move::RemoveLink {
+            from: PeerId::new(3),
+            to: PeerId::new(0),
+        })
+        .unwrap();
+        assert!(
+            s.stats().seq_oracle_invalidated > 0,
+            "tight removals must drop residual rows: {:?}",
+            s.stats()
+        );
+        // And correctness always wins: the cached response still matches
+        // the fresh oracle bit for bit.
+        let a = s
+            .best_response_uncached(hub, BestResponseMethod::Exact)
+            .unwrap();
+        let b = s.best_response(hub, BestResponseMethod::Exact).unwrap();
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+
+    #[test]
+    fn residual_rows_outlive_a_fully_invalidated_overlay() {
+        // Bidirectional chain 0-1-2-3-4 on the line metric. A cached
+        // build for the middle peer 2 sweeps residual G_{-2} rows for
+        // every candidate that routes through it (all four: each side
+        // reaches the other only via 2).
+        let g = game(1.0);
+        let chain = StrategyProfile::from_links(
+            5,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+            ],
+        )
+        .unwrap();
+        let mut s = GameSession::from_refs(&g, &chain).unwrap();
+        let mid = PeerId::new(2);
+        let _ = s.best_response(mid, BestResponseMethod::Exact).unwrap();
+        assert!(s.stats().seq_oracle_swept > 0, "chain middle must sweep");
+
+        // Cutting 0 <-> 1 is tight for every overlay row (each side of
+        // the cut reaches the other through it, and the endpoint rows use
+        // it directly), so the whole overlay tier invalidates — while the
+        // residual rows for sources that never crossed the cut in G_{-2}
+        // survive the same repair.
+        let before = s.stats();
+        s.apply_batch(&[
+            Move::RemoveLink {
+                from: PeerId::new(1),
+                to: PeerId::new(0),
+            },
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(1),
+            },
+        ])
+        .unwrap();
+        assert_eq!(
+            s.stats().rows_invalidated - before.rows_invalidated,
+            5,
+            "the cut must invalidate every overlay row"
+        );
+
+        // The NEXT apply used to take the lazy bail-out (no valid
+        // overlay rows) and wipe the surviving residual tier with it.
+        s.apply(Move::AddLink {
+            from: PeerId::new(0),
+            to: PeerId::new(2),
+        })
+        .unwrap();
+
+        // Re-activating peer 2: candidates 3 and 4 still route through
+        // it, their residual rows survived both repairs (no removed edge
+        // was tight on them in G_{-2}), and must be served without a
+        // fresh sweep.
+        let swept_before = s.stats().seq_oracle_swept;
+        let hits_before = s.stats().seq_oracle_hits;
+        let cached = s.best_response(mid, BestResponseMethod::Exact).unwrap();
+        assert!(
+            s.stats().seq_oracle_hits - hits_before >= 2,
+            "residual rows for sources 3 and 4 must survive and serve: {:?}",
+            s.stats()
+        );
+        assert!(
+            s.stats().seq_oracle_swept - swept_before <= 2,
+            "only the rows the cut genuinely touched may re-sweep: {:?}",
+            s.stats()
+        );
+        let fresh = s
+            .best_response_uncached(mid, BestResponseMethod::Exact)
+            .unwrap();
+        assert_eq!(fresh.links, cached.links);
+        assert_eq!(fresh.cost.to_bits(), cached.cost.to_bits());
     }
 
     #[test]

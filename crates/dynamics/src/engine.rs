@@ -108,6 +108,14 @@ pub struct DynamicsConfig {
     /// Detect state revisits (deterministic schedules only) and stop with
     /// [`Termination::Cycle`].
     pub detect_cycles: bool,
+    /// Serve each activation's response oracle from the session's
+    /// persistent oracle cache (`true`, the default): candidate rows are
+    /// reused across moves and only re-swept when an accepted move could
+    /// actually have changed them. `false` forces a fresh `G_{-i}`
+    /// oracle per activation — the pre-cache engine, kept as the
+    /// baseline for the `sequential_reuse` bench and the equivalence
+    /// property tests (both engines are bit-identical by contract).
+    pub oracle_reuse: bool,
 }
 
 impl Default for DynamicsConfig {
@@ -119,6 +127,7 @@ impl Default for DynamicsConfig {
             tolerance: 1e-9,
             record_trace: false,
             detect_cycles: true,
+            oracle_reuse: true,
         }
     }
 }
@@ -206,7 +215,11 @@ impl<'g> DynamicsRunner<'g> {
     ///
     /// Internally drives a [`GameSession`] so each activation reuses the
     /// cached overlay distances and accepted moves repair the cache
-    /// incrementally instead of forcing rebuilds.
+    /// incrementally instead of forcing rebuilds. With
+    /// [`DynamicsConfig::oracle_reuse`] (the default) the best/better
+    /// response oracles themselves are served from the session's
+    /// persistent oracle cache, so consecutive activations stop paying
+    /// `n - 1` fresh sweeps each.
     ///
     /// # Panics
     ///
@@ -329,25 +342,32 @@ impl<'g> DynamicsRunner<'g> {
         trace: Option<&mut Trace>,
     ) -> bool {
         let tol = self.config.tolerance;
+        let reuse = self.config.oracle_reuse;
         let (new_links, old_cost, new_cost) = match self.config.rule {
             ResponseRule::BestResponse | ResponseRule::BestResponseWith(_) => {
                 let method = match self.config.rule {
                     ResponseRule::BestResponseWith(m) => m,
                     _ => BestResponseMethod::Exact,
                 };
-                let br = session
-                    .best_response(peer, method)
-                    .expect("validated inputs cannot fail");
+                let br = if reuse {
+                    session.best_response(peer, method)
+                } else {
+                    session.best_response_uncached(peer, method)
+                }
+                .expect("validated inputs cannot fail");
                 if !br.improves(tol) {
                     return false;
                 }
                 (br.links, br.current_cost, br.cost)
             }
             ResponseRule::BetterResponse => {
-                match session
-                    .first_improving_move(peer, tol)
-                    .expect("validated inputs cannot fail")
-                {
+                let mv = if reuse {
+                    session.first_improving_move(peer, tol)
+                } else {
+                    session.first_improving_move_uncached(peer, tol)
+                }
+                .expect("validated inputs cannot fail");
+                match mv {
                     None => return false,
                     Some(mv) => (mv.links, mv.current_cost, mv.cost),
                 }

@@ -20,14 +20,21 @@
 //! # Round engines and the determinism contract
 //!
 //! The sequential engine drives one `GameSession` per run and repairs its
-//! caches move by move; [`simultaneous::run_simultaneous`] and the churn
-//! simulator instead commit each round's (respectively each churn
-//! event's) accepted updates through `GameSession::apply_batch`, paying a
-//! single overlay rebuild and repair pass per round however many peers
-//! switched. Cycle detection in the sequential engine keys its seen-state
-//! map on 64-bit profile fingerprints and confirms hits against a compact
-//! canonical encoding, so the per-step cost stays O(links) with no false
-//! cycle reports.
+//! caches move by move; with [`DynamicsConfig::oracle_reuse`] (the
+//! default) each activation's best/better-response oracle is also served
+//! from the session's persistent oracle cache — candidate rows survive
+//! accepted moves via the same tightness-test repair the distance cache
+//! uses, so consecutive activations stop paying `n - 1` fresh sweeps
+//! each (`oracle_reuse: false` restores the fresh-oracle engine, kept as
+//! the bench baseline; both are bit-identical by property-tested
+//! contract). [`simultaneous::run_simultaneous`] and the churn simulator
+//! instead commit each round's (respectively each churn event's)
+//! accepted updates through `GameSession::apply_batch`, paying a single
+//! overlay rebuild and repair pass per round however many peers
+//! switched. Cycle detection in the sequential engine keys its
+//! seen-state map on 64-bit profile fingerprints and confirms hits
+//! against a compact canonical encoding, so the per-step cost stays
+//! O(links) with no false cycle reports.
 //!
 //! A simultaneous round computes k independent best-response oracles
 //! against the frozen round-start profile, so

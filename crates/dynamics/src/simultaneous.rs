@@ -17,12 +17,14 @@
 //! parallel. [`run_simultaneous`] therefore has two engines:
 //!
 //! * the **sequential** engine — one [`GameSession::best_response`] per
-//!   peer on the calling thread, exactly the PR-2 code path;
+//!   peer on the calling thread (served from the session's persistent
+//!   oracle cache, which the round's batched commit repairs in place);
 //! * the **sharded** engine — one
 //!   [`GameSession::best_responses_round`] call per round, which
 //!   snapshots the round-start state, fans the oracles out over
-//!   `fork_readonly` worker shards, and merges the responses in peer
-//!   order.
+//!   `fork_readonly` worker shards (activation position `p` on shard
+//!   `p mod k`, a deterministic round-robin interleave), and scatters
+//!   the responses back into peer order.
 //!
 //! [`SimultaneousConfig::parallelism`] picks the engine: `Some(1)` forces
 //! sequential, `Some(k > 1)` forces `k` shards, and `None` (default)

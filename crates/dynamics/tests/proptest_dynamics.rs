@@ -133,6 +133,37 @@ proptest! {
         }
     }
 
+    /// The persistent oracle cache is unobservable: a run with
+    /// `oracle_reuse: true` (cached `G_{-i}` oracles, repaired across
+    /// moves) is **bit-identical** to one with fresh oracles per
+    /// activation — same profiles, terminations, step/move counts, and
+    /// traces — for both response rules.
+    #[test]
+    fn oracle_cache_engine_is_bit_identical_to_fresh_engine(game in arb_game()) {
+        for rule in [ResponseRule::BestResponse, ResponseRule::BetterResponse] {
+            let run = |oracle_reuse: bool| {
+                let config = DynamicsConfig {
+                    rule,
+                    record_trace: true,
+                    max_rounds: 120,
+                    oracle_reuse,
+                    ..DynamicsConfig::default()
+                };
+                let mut runner = DynamicsRunner::new(&game, config);
+                runner.run(StrategyProfile::empty(game.n()))
+            };
+            let cached = run(true);
+            let fresh = run(false);
+            prop_assert_eq!(&cached.profile, &fresh.profile, "{:?}: profile", rule);
+            prop_assert_eq!(&cached.termination, &fresh.termination, "{:?}: termination", rule);
+            prop_assert_eq!(cached.steps, fresh.steps, "{:?}: steps", rule);
+            prop_assert_eq!(cached.moves, fresh.moves, "{:?}: moves", rule);
+            // Trace equality compares every accepted move's links and
+            // costs (f64 == is bit equality for non-NaN).
+            prop_assert_eq!(&cached.trace, &fresh.trace, "{:?}: trace", rule);
+        }
+    }
+
     #[test]
     fn starting_from_an_equilibrium_never_moves(game in arb_game()) {
         // First converge; then restart from the equilibrium.

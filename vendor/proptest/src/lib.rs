@@ -13,6 +13,15 @@
 //!   shrinking**; a failure reports the case number and seed instead;
 //! * each test function derives its seed from its own name, so runs are
 //!   deterministic across processes without a persisted regression file.
+//!
+//! A failing property nevertheless **writes** a regression record under
+//! `proptest-regressions/` in the crate's working directory (one `.txt`
+//! per test module, mirroring real proptest's layout) before panicking:
+//! the record names the test, the failing case index, and the assertion
+//! message, which is everything needed to replay it — re-running the
+//! test deterministically regenerates cases `0..=k`. CI uploads the
+//! directory as an artifact on test failure, so counterexamples found
+//! on runners are recoverable.
 
 #![forbid(unsafe_code)]
 
@@ -341,6 +350,59 @@ pub mod prop {
     pub use super::collection;
 }
 
+/// Best-effort persistence of a failing case, called by the
+/// [`proptest!`] harness right before it panics. Appends one commented
+/// record to `proptest-regressions/<module>.txt` (relative to the test
+/// process's working directory — the crate root under `cargo test`).
+/// The shim has no persisted seeds to store: cases regenerate
+/// deterministically from the test name, so the record documents *which*
+/// case failed and why. IO errors are swallowed — recording a
+/// counterexample must never mask the test failure itself.
+#[doc(hidden)]
+pub fn record_regression(module: &str, test_name: &str, case: u32, message: &str) {
+    let dir = std::path::Path::new("proptest-regressions");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    // One file per test module, mirroring real proptest's layout.
+    let file = dir.join(format!("{}.txt", module.replace("::", "-")));
+    let record = format!(
+        "# {test_name} failed at case {case}: {}\n\
+         # replay: cases regenerate deterministically from the test name; \
+         re-run `cargo test {test_name}` (cases 0..={case} reproduce it)\n\
+         cc {test_name} case={case}\n",
+        message.replace('\n', " / "),
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&file)
+    {
+        let _ = f.write_all(record.as_bytes());
+        eprintln!("persisted failing case to {}", file.display());
+    }
+}
+
+/// [`record_regression`] for a panicking case body (an `unwrap` or
+/// `expect` rather than a `prop_assert` failure): extracts the panic
+/// message when it is a string, then records the case. Called by the
+/// [`proptest!`] harness before it resumes the unwind.
+#[doc(hidden)]
+pub fn record_panic(
+    module: &str,
+    test_name: &str,
+    case: u32,
+    payload: &(dyn std::any::Any + Send),
+) {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned());
+    record_regression(module, test_name, case, &format!("panicked: {msg}"));
+}
+
 /// The property-test entry macro. Mirrors proptest's syntax:
 ///
 /// ```ignore
@@ -382,7 +444,24 @@ macro_rules! __proptest_items {
                     $(let $p = $crate::Strategy::sample(&($s), &mut __rng);)+
                     #[allow(unused_mut)]
                     let mut __run = || { $body ::std::result::Result::Ok(()) };
-                    __run()
+                    // Catch panics (unwrap/expect in the body, not just
+                    // prop_assert failures) so the failing case is
+                    // persisted before the test aborts. The closure is
+                    // moved in: bodies may capture by value (FnOnce).
+                    match ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    ) {
+                        ::std::result::Result::Ok(__r) => __r,
+                        ::std::result::Result::Err(__payload) => {
+                            $crate::record_panic(
+                                module_path!(),
+                                stringify!($name),
+                                __case,
+                                __payload.as_ref(),
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
                 };
                 match __outcome {
                     ::std::result::Result::Ok(()) => { __case += 1; }
@@ -395,6 +474,12 @@ macro_rules! __proptest_items {
                         );
                     }
                     ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        $crate::record_regression(
+                            module_path!(),
+                            stringify!($name),
+                            __case,
+                            &__msg,
+                        );
                         panic!(
                             "proptest {} failed at case {}: {}",
                             stringify!($name), __case, __msg,
@@ -506,5 +591,31 @@ mod tests {
             prop_assume!(x == 0.0 || x >= 1.0);
             prop_assert!(x < 2.0);
         }
+    }
+
+    /// One test for both persistence paths: they share the
+    /// `proptest-regressions/` directory, and concurrent create/remove
+    /// from separate `#[test]`s would race on it.
+    #[test]
+    fn failure_and_panic_records_are_persisted() {
+        super::record_regression("shim::selftest", "shim_regression_probe", 7, "boom\nbam");
+        let path = std::path::Path::new("proptest-regressions/shim-selftest.txt");
+        let text = std::fs::read_to_string(path).expect("record must be written");
+        assert!(text.contains("shim_regression_probe failed at case 7"));
+        assert!(text.contains("cc shim_regression_probe case=7"));
+        assert!(
+            text.contains("boom / bam"),
+            "message newlines must be flattened into the comment line"
+        );
+        std::fs::remove_file(path).expect("cleanup");
+
+        let payload: Box<dyn std::any::Any + Send> = Box::new("kaboom".to_owned());
+        super::record_panic("shim::panicprobe", "panic_probe", 3, payload.as_ref());
+        let path = std::path::Path::new("proptest-regressions/shim-panicprobe.txt");
+        let text = std::fs::read_to_string(path).expect("record must be written");
+        assert!(text.contains("panic_probe failed at case 3: panicked: kaboom"));
+        std::fs::remove_file(path).expect("cleanup");
+
+        let _ = std::fs::remove_dir("proptest-regressions");
     }
 }
