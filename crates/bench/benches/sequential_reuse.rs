@@ -152,6 +152,81 @@ fn bench_sequential_reuse(c: &mut Criterion) {
         "the persistent oracle cache must cut sequential oracle SSSP work at least 2x, \
          got {reduction:.2}x ({fresh_sweeps} vs {cached_sweeps})"
     );
+
+    bench_monitored_mover(c, &game, &start);
+}
+
+/// The lazy-refill scenario (ROADMAP open item resolved in PR 5): a
+/// *monitoring* loop that mutates one hot peer and immediately rebuilds
+/// that peer's oracle — the `sp-serve` pattern of an `apply` followed
+/// by a same-peer `best_response`. The mover's own edits invalidate
+/// overlay rows that its retained residual rows (which ignore the
+/// mover's links by construction) survive, so the lazy
+/// `ensure_rows_for_oracle` skips their refills entirely instead of
+/// re-sweeping rows the oracle build would then ignore. Round-robin
+/// dynamics never hits this (interleaved builds refill everything), so
+/// the saving gets its own gated counters: total monitor sweeps (must
+/// not regress) and the fraction of refills skipped (must stay high).
+fn bench_monitored_mover(c: &mut Criterion, game: &Game, start: &StrategyProfile) {
+    const MONITOR_STEPS: usize = 24;
+    let run = |session: &mut GameSession| {
+        for k in 0..MONITOR_STEPS {
+            let peer = sp_core::PeerId::new(7);
+            let br = session.best_response(peer, METHOD).expect("in bounds");
+            // Perturb the hot peer's links deterministically so every
+            // step invalidates rows tight on its out-links.
+            let t = sp_core::PeerId::new((11 + 5 * k) % N);
+            let links = if t == peer {
+                br.links
+            } else if br.links.contains(t) {
+                br.links.without(t)
+            } else {
+                br.links.with(t)
+            };
+            session
+                .apply(sp_core::Move::SetStrategy { peer, links })
+                .expect("in bounds");
+        }
+    };
+
+    let mut group = c.benchmark_group("monitored_mover");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("cached", N), &N, |b, _| {
+        b.iter(|| {
+            let mut s = GameSession::new(game.clone(), start.clone()).expect("sizes match");
+            run(&mut s);
+        });
+    });
+    group.finish();
+
+    let mut session = GameSession::new(game.clone(), start.clone()).expect("sizes match");
+    run(&mut session);
+    let stats = session.stats();
+    let sweeps = stats.full_sssp + stats.seq_oracle_swept;
+    let skip_rate = stats.seq_refills_skipped as f64
+        / (stats.seq_refills_skipped + stats.full_sssp).max(1) as f64;
+    println!(
+        "monitored mover: {MONITOR_STEPS} apply+rebuild steps — {} refills paid, {} skipped \
+         ({:.1}% of invalid rows served residual-first), {} fallback sweeps",
+        stats.full_sssp,
+        stats.seq_refills_skipped,
+        skip_rate * 100.0,
+        stats.seq_oracle_swept,
+    );
+    c.report_value(
+        &format!("monitor_oracle_sweeps/{N}"),
+        sweeps as f64,
+        "sweeps",
+    );
+    c.report_value(&format!("monitor_refill_skip_rate/{N}"), skip_rate, "ratio");
+    assert!(
+        stats.seq_refills_skipped > 0,
+        "the monitoring pattern must exercise the lazy refill: {stats:?}"
+    );
+    assert!(
+        skip_rate > 0.5,
+        "lazy refills should absorb most invalidations here, got {skip_rate:.2}"
+    );
 }
 
 criterion_group!(benches, bench_sequential_reuse);

@@ -1,0 +1,202 @@
+//! Throughput and work counters of the sp-serve multi-session service.
+//!
+//! Two very different measurements share this suite:
+//!
+//! * **Wall-clock throughput** (machine-dependent, not gated): the
+//!   deterministic mixed workload replayed over several closed-loop
+//!   client connections against a live loopback server with a
+//!   multi-worker scheduler. `BENCH_QUICK=1` shrinks only this part.
+//!
+//! * **Machine-independent counters** (gated by `bench_check
+//!   --compare`): a fixed workload driven by **one** client through
+//!   **one** worker under a deliberately tight registry budget, so the
+//!   whole execution — and therefore the LRU eviction order — is
+//!   sequential and deterministic. Because slot sizes come from
+//!   semantic byte accounting ([`sp_core::GameSession::memory_bytes`]),
+//!   the counters are identical on every machine: requests served,
+//!   sessions evicted (budget pressure + scripted `evict` ops),
+//!   sessions restored, and the queue-depth high-water mark of a
+//!   scripted burst. The pass also re-verifies the service contract:
+//!   every response must be bit-identical to the single-threaded
+//!   no-eviction reference executor.
+//!
+//! Snapshot committed as `BENCH_serve_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_json::json;
+use sp_serve::ops;
+use sp_serve::registry::{RegistryConfig, SessionRegistry};
+use sp_serve::server::{Server, ServerConfig};
+use sp_serve::workload::{self, WorkloadConfig};
+
+/// The fixed counter workload (independent of `BENCH_QUICK`, so the
+/// committed snapshot matches CI's quick runs exactly).
+const COUNTER_CFG: WorkloadConfig = WorkloadConfig {
+    sessions: 64,
+    requests: 2500,
+    peers: 64,
+    seed: 42,
+};
+
+/// Registry budget for the counter pass — far below the workload's
+/// resident footprint, forcing continuous evict/restore cycles.
+const COUNTER_BUDGET: usize = 8 << 20;
+
+/// Scripted burst length for the deterministic queue-depth counter.
+const BURST: usize = 16;
+
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sp-serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Runs `cfg` against a fresh server and returns the responses plus the
+/// registry counters.
+fn run_served(
+    tag: &str,
+    cfg: &WorkloadConfig,
+    budget: usize,
+    workers: usize,
+    clients: usize,
+) -> (Vec<sp_json::Value>, sp_serve::registry::RegistryStats) {
+    let dir = spill_dir(tag);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        registry: RegistryConfig {
+            memory_budget: budget,
+            spill_dir: dir.clone(),
+            ..RegistryConfig::default()
+        },
+    })
+    .expect("server starts");
+    let script = workload::build_script(cfg);
+    let outcome = workload::replay(server.local_addr(), &script, clients).expect("replay runs");
+    let stats = server.registry().stats();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (outcome.responses, stats)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    // ---- timed pass: concurrent replay wall-clock ----------------------
+    let timed_cfg = if quick() {
+        WorkloadConfig {
+            sessions: 16,
+            requests: 400,
+            peers: 32,
+            seed: 42,
+        }
+    } else {
+        WorkloadConfig {
+            sessions: 48,
+            requests: 3000,
+            peers: 48,
+            seed: 42,
+        }
+    };
+    let mut group = c.benchmark_group("serve_replay");
+    group.sample_size(10);
+    group.bench_function("concurrent", |b| {
+        b.iter(|| {
+            run_served(
+                "timed",
+                &timed_cfg,
+                RegistryConfig::default().memory_budget,
+                4,
+                8,
+            )
+        });
+    });
+    group.finish();
+
+    // ---- counter pass: deterministic evict/restore accounting ----------
+    let (served, stats) = run_served("counters", &COUNTER_CFG, COUNTER_BUDGET, 1, 1);
+    let reference = workload::reference_responses(&workload::build_script(&COUNTER_CFG));
+    if let Err((k, s, r)) = workload::verify(&served, &reference) {
+        panic!("serve response {k} diverged from reference:\n  served:    {s}\n  reference: {r}");
+    }
+    assert!(
+        stats.sessions_evicted > 0 && stats.sessions_restored > 0,
+        "the counter workload must cycle sessions through the spill path: {stats:?}"
+    );
+    println!(
+        "counter workload: {} requests, {} sessions created, {} evicted, {} restored, \
+         {} resident at end ({} bytes) — all responses bit-identical to the reference",
+        stats.requests_served,
+        stats.sessions_created,
+        stats.sessions_evicted,
+        stats.sessions_restored,
+        stats.resident_sessions,
+        stats.resident_bytes,
+    );
+    c.report_value(
+        "serve_counters/requests_served",
+        stats.requests_served as f64,
+        "requests",
+    );
+    c.report_value(
+        "serve_counters/sessions_evicted",
+        stats.sessions_evicted as f64,
+        "sessions",
+    );
+    c.report_value(
+        "serve_counters/sessions_restored",
+        stats.sessions_restored as f64,
+        "sessions",
+    );
+
+    // ---- queue-depth counter: a scripted burst into an idle pool -------
+    let dir = spill_dir("depth");
+    let registry = SessionRegistry::new(RegistryConfig {
+        spill_dir: dir.clone(),
+        ..RegistryConfig::default()
+    })
+    .expect("registry starts");
+    let mut receivers = Vec::new();
+    let create = json!({
+        "op": "create", "session": "burst", "alpha": 1.0,
+        "positions_1d": [0.0, 1.0, 3.0, 4.0],
+        "links": [[0, 1], [1, 0], [1, 2], [2, 1], [2, 3], [3, 2]],
+    });
+    receivers.push(
+        registry
+            .submit(ops::parse_request(&create).expect("well-formed"))
+            .expect("accepting"),
+    );
+    for _ in 1..BURST {
+        receivers.push(
+            registry
+                .submit(
+                    ops::parse_request(&json!({ "op": "social_cost", "session": "burst" }))
+                        .expect("well-formed"),
+                )
+                .expect("accepting"),
+        );
+    }
+    let depth = registry.stats().queue_depth_hwm;
+    assert_eq!(
+        depth, BURST,
+        "burst must queue in full before the pool starts"
+    );
+    let workers = registry.spawn_workers(1);
+    for rx in receivers {
+        assert_eq!(rx.recv().expect("response")["ok"], true);
+    }
+    registry.shutdown();
+    for w in workers {
+        w.join().expect("worker joins");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    c.report_value("serve_counters/queue_depth_hwm", depth as f64, "depth");
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

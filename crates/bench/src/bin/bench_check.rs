@@ -161,7 +161,13 @@ fn check_dir(dir: &Path) -> Result<usize, String> {
 /// `Some(false)` when more is better; `None` for unknown units.
 fn more_is_worse(unit: &str) -> Option<bool> {
     match unit {
-        "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" => Some(true),
+        // `requests` (served for a fixed script), `sessions`
+        // (evict/restore cycles), and `depth` (queue high-water) are the
+        // sp-serve service counters: all count work or backlog, so more
+        // is worse — and for a fixed deterministic workload they must
+        // not drift at all.
+        "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" | "requests"
+        | "sessions" | "depth" => Some(true),
         "x" | "ratio" => Some(false),
         _ => None,
     }

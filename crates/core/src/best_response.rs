@@ -176,8 +176,10 @@ impl ResponseOracle {
     /// 3. otherwise the row pays a fresh `G_{-i}` sweep, and the result
     ///    is retained for the next build (space permitting).
     ///
-    /// `cache` must hold valid overlay rows for every candidate of
-    /// `peer`. Returns the oracle plus the per-tier row accounting.
+    /// Candidate rows that are **invalid** in the overlay tier skip
+    /// straight to step 2 — the lazy refill leaves a row invalid exactly
+    /// when the residual tier serves it, so step 3 only pays for rows no
+    /// tier covers. Returns the oracle plus the per-tier row accounting.
     pub(crate) fn build_from_cache(
         game: &Game,
         profile: &StrategyProfile,
@@ -205,11 +207,20 @@ impl ResponseOracle {
         let mut reuse = OracleReuse::default();
         let mut assignment = Vec::with_capacity(candidates.len());
         for &v in &candidates {
-            let cached = cache.row(v);
-            let d_vi = cached[i];
-            let clean = out.iter().all(|&(t, w)| {
-                !(d_vi.is_finite()
-                    && d_vi + w <= cached[t] + EDGE_ON_PATH_EPS * (1.0 + cached[t].abs()))
+            // A candidate row may legitimately be invalid in the overlay
+            // tier: the lazy refill (`GameSession::ensure_rows_for_oracle`)
+            // leaves rows alone when the residual tier already serves
+            // them. The tier order is unchanged — overlay when valid and
+            // clean, residual, fresh sweep — and every tier is exact, so
+            // laziness never changes a value.
+            let overlay = cache.row_is_valid(v).then(|| {
+                let cached = cache.row(v);
+                let d_vi = cached[i];
+                let clean = out.iter().all(|&(t, w)| {
+                    !(d_vi.is_finite()
+                        && d_vi + w <= cached[t] + EDGE_ON_PATH_EPS * (1.0 + cached[t].abs()))
+                });
+                clean
             });
             let d_iv = game.distance(i, v);
             let assign = |residual: &[f64]| -> Vec<f64> {
@@ -218,9 +229,9 @@ impl ResponseOracle {
                     .map(|&j| (d_iv + residual[j]) / game.distance(i, j))
                     .collect()
             };
-            let row: Vec<f64> = if clean {
+            let row: Vec<f64> = if overlay == Some(true) {
                 reuse.rows_reused += 1;
-                assign(cached)
+                assign(cache.row(v))
             } else if let Some(residual) = cache.residual_row(i, v) {
                 reuse.residual_hits += 1;
                 assign(residual)

@@ -105,7 +105,7 @@ pub use cost::{all_peer_costs, peer_cost, social_cost, SocialCost};
 pub use error::CoreError;
 pub use game::Game;
 pub use peer::{LinkSet, PeerId};
-pub use session::{GameSession, Move, SessionStats};
+pub use session::{GameSession, Move, SessionSnapshot, SessionStats};
 pub use strategy::StrategyProfile;
 pub use topology::{
     max_stretch, overlay_distances, stretch_matrix, topology, topology_without_peer,

@@ -54,10 +54,13 @@ use sp_graph::{CsrGraph, DijkstraScratch, DistanceMatrix};
 
 use crate::session::EDGE_ON_PATH_EPS;
 
-/// Memory budget for retained residual rows (64 MiB of `f64`s). The
+/// Default memory budget for retained residual rows (64 MiB of `f64`s)
+/// — generous, sized for a process running **one** hot session. The
 /// entry cap is `budget / (8·n)`, clamped to `n·(n-1)` — the number of
 /// distinct `(excluded, source)` keys, so small instances retain every
-/// residual row while large ones stay inside the budget.
+/// residual row while large ones stay inside the budget. Multi-tenant
+/// hosts (the `sp-serve` registry) shrink it per session through
+/// [`GameSession::set_residual_budget`](crate::GameSession::set_residual_budget).
 pub(crate) const RESIDUAL_BUDGET_BYTES: usize = 64 << 20;
 
 /// What one [`OracleCache::repair_after_edges`] pass did, for the
@@ -89,10 +92,14 @@ pub(crate) struct OracleCache {
 }
 
 fn residual_cap_for(n: usize) -> usize {
+    residual_cap_for_budget(n, RESIDUAL_BUDGET_BYTES)
+}
+
+fn residual_cap_for_budget(n: usize, budget: usize) -> usize {
     if n == 0 {
         return 0;
     }
-    let by_budget = RESIDUAL_BUDGET_BYTES / (8 * n);
+    let by_budget = budget / (8 * n);
     by_budget.min(n.saturating_mul(n.saturating_sub(1)))
 }
 
@@ -116,6 +123,18 @@ impl OracleCache {
             row_valid: self.row_valid.clone(),
             residual: HashMap::new(),
             residual_cap: 0,
+        }
+    }
+
+    /// Re-derives the residual-row cap from a caller-chosen byte budget
+    /// (a fork's zero cap stays zero). Rows already retained above a
+    /// shrunken cap are kept — they stay exact under repair and evicting
+    /// them would only re-pay sweeps — but no new rows are stored until
+    /// repairs drop the count below the cap. Never changes a value any
+    /// tier serves, so cached ≡ fresh bit-identity is unaffected.
+    pub(crate) fn set_budget(&mut self, bytes: usize) {
+        if self.residual_cap > 0 {
+            self.residual_cap = residual_cap_for_budget(self.row_valid.len(), bytes);
         }
     }
 
@@ -146,6 +165,58 @@ impl OracleCache {
     pub(crate) fn row(&self, u: usize) -> &[f64] {
         debug_assert!(self.row_valid[u], "reading an invalid overlay row");
         self.dist.row(u)
+    }
+
+    /// Whether overlay row `u` currently holds valid distances.
+    pub(crate) fn row_is_valid(&self, u: usize) -> bool {
+        self.row_valid[u]
+    }
+
+    /// Every valid overlay row as `(source, distances)`, in source order —
+    /// the overlay tier of a session snapshot.
+    pub(crate) fn valid_rows(&self) -> impl Iterator<Item = (usize, &[f64])> + '_ {
+        self.row_valid
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v)
+            .map(|(u, _)| (u, self.dist.row(u)))
+    }
+
+    /// Every retained residual row as `(excluded, source, distances)`,
+    /// sorted by key so snapshots are deterministic.
+    pub(crate) fn residual_rows_sorted(&self) -> Vec<(usize, usize, &[f64])> {
+        let mut rows: Vec<(usize, usize, &[f64])> = self
+            .residual
+            .iter()
+            .map(|(&(i, v), row)| (i, v, row.as_slice()))
+            .collect();
+        rows.sort_unstable_by_key(|&(i, v, _)| (i, v));
+        rows
+    }
+
+    /// Installs overlay row `u` verbatim and marks it valid (snapshot
+    /// restore; the caller has validated the length).
+    pub(crate) fn restore_row(&mut self, u: usize, row: &[f64]) {
+        self.dist.row_mut(u).copy_from_slice(row);
+        self.row_valid[u] = true;
+    }
+
+    /// Installs a residual row verbatim (snapshot restore). Unlike
+    /// [`OracleCache::store_residual`] this bypasses the cap check: the
+    /// source session respected the cap, so a faithful restore fits.
+    pub(crate) fn restore_residual(&mut self, excluded: usize, source: usize, row: Vec<f64>) {
+        self.residual.insert((excluded, source), row);
+    }
+
+    /// Semantic size of the cached state in bytes: the overlay matrix and
+    /// validity bits plus every retained residual row (with its key).
+    /// Counts what the data is, not what the allocator holds, so the
+    /// number is identical across machines and runs.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let n = self.row_valid.len();
+        let overlay = n * n * std::mem::size_of::<f64>() + n;
+        let residual_row = n * std::mem::size_of::<f64>() + 2 * std::mem::size_of::<usize>();
+        overlay + self.residual.len() * residual_row
     }
 
     /// The full overlay matrix (caller guarantees all rows valid).
@@ -184,6 +255,26 @@ impl OracleCache {
     /// Marks every overlay row valid (after a bulk refill).
     pub(crate) fn mark_all_valid(&mut self) {
         self.row_valid.fill(true);
+    }
+
+    /// The `(source, buffer)` jobs for the given overlay rows — the
+    /// selective analogue of [`OracleCache::invalid_jobs`], used by the
+    /// lazy oracle refill to leave residual-served rows untouched.
+    /// `rows` must be sorted ascending; the caller must follow a
+    /// completed run with [`OracleCache::mark_rows_valid`].
+    pub(crate) fn jobs_for(&mut self, rows: &[usize]) -> Vec<(usize, &mut [f64])> {
+        self.dist
+            .rows_mut()
+            .enumerate()
+            .filter(|(u, _)| rows.binary_search(u).is_ok())
+            .collect()
+    }
+
+    /// Marks the given overlay rows valid (after a selective refill).
+    pub(crate) fn mark_rows_valid(&mut self, rows: &[usize]) {
+        for &u in rows {
+            self.row_valid[u] = true;
+        }
     }
 
     /// Residual row `D_{G_{-excluded}}(source, ·)`, if retained.

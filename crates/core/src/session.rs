@@ -165,6 +165,17 @@ pub struct SessionStats {
     /// Candidate rows that paid a fresh `G_{-i}` sweep inside sequential
     /// cached oracle builds (neither cache tier could serve them).
     pub seq_oracle_swept: usize,
+    /// Invalid overlay rows a cached oracle build did **not** refill
+    /// because the residual tier already served them (the lazy-refill
+    /// path; each skip saves one full sweep `ensure_all_rows` would have
+    /// paid).
+    pub seq_refills_skipped: usize,
+    /// Snapshots exported via [`GameSession::snapshot`] — the spill half
+    /// of an eviction cycle in a session registry.
+    pub snapshot_exports: usize,
+    /// `1` when this session was rebuilt by [`GameSession::restore`]
+    /// (registries count restores by summing this over live sessions).
+    pub snapshot_restores: usize,
 }
 
 impl SessionStats {
@@ -177,6 +188,30 @@ impl SessionStats {
             self.full_sssp as f64 / n as f64
         }
     }
+}
+
+/// A faithful, game-independent capture of a [`GameSession`]'s mutable
+/// state: the profile plus both warm cache tiers, exactly as they stand.
+///
+/// [`GameSession::restore`] rebuilds a session from a snapshot and the
+/// (immutable) [`Game`] such that every subsequent query answers
+/// **bit-identically** to the source session — the contract that lets a
+/// service spill sessions to disk under memory pressure and page them
+/// back in without observable effect. Row vectors are stored in
+/// deterministic order (overlay rows by source, residual rows by
+/// `(excluded, source)`), so equal sessions produce equal snapshots.
+///
+/// The snapshot deliberately omits derived state (the overlay CSR and the
+/// stretch matrix are recomputed lazily from the profile and the distance
+/// rows without any shortest-path sweeps) and the work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The strategy profile at capture time.
+    pub profile: StrategyProfile,
+    /// Valid overlay distance rows as `(source, distances)`, ascending.
+    pub overlay_rows: Vec<(usize, Vec<f64>)>,
+    /// Retained residual rows as `(excluded, source, distances)`, sorted.
+    pub residual_rows: Vec<(usize, usize, Vec<f64>)>,
 }
 
 /// A stateful evaluation handle: a [`Game`], the current
@@ -275,6 +310,15 @@ impl GameSession {
         &self.game
     }
 
+    /// A shared handle to the game — what service layers clone to keep
+    /// the game alive while the session itself is mutably borrowed (the
+    /// dynamics runner borrows the game and the session at once), without
+    /// copying the O(n²) distance matrix.
+    #[must_use]
+    pub fn game_arc(&self) -> Arc<Game> {
+        Arc::clone(&self.game)
+    }
+
     /// The current profile.
     #[must_use]
     pub fn profile(&self) -> &StrategyProfile {
@@ -333,6 +377,123 @@ impl GameSession {
     /// Zeroes the work counters.
     pub fn reset_stats(&mut self) {
         self.stats = SessionStats::default();
+    }
+
+    /// Shrinks (or grows) the byte budget behind the retained-residual
+    /// oracle tier. The default budget (64 MiB) assumes this session is
+    /// the process's main tenant; a multi-session host like the
+    /// `sp-serve` registry calls this with a per-tenant slice so one
+    /// oracle-heavy session cannot monopolise the host's memory — and so
+    /// its spill snapshots stay proportionate. Affects only how many
+    /// rows are *retained* (work), never the value any tier serves
+    /// (bit-identity is cap-independent).
+    pub fn set_residual_budget(&mut self, bytes: usize) {
+        self.cache.set_budget(bytes);
+    }
+
+    /// Semantic size of this session's mutable state in bytes: the
+    /// profile, the overlay CSR snapshot, the cached stretch matrix, and
+    /// both tiers of the oracle cache. The (shared, immutable) [`Game`]
+    /// is excluded — registries account for it per slot, since sessions
+    /// may share one game through [`GameSession::game_arc`].
+    ///
+    /// Sizes are computed from the data's shape, not from allocator
+    /// bookkeeping, so the same session state reports the same bytes on
+    /// every machine — which is what lets a registry's eviction decisions
+    /// (and the benches that count them) stay deterministic.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let n = self.game.n();
+        let usize_b = std::mem::size_of::<usize>();
+        let f64_b = std::mem::size_of::<f64>();
+        let profile = n * std::mem::size_of::<LinkSet>()
+            + self.profile.link_count() * std::mem::size_of::<PeerId>();
+        let csr = self.csr.as_ref().map_or(0, |c| {
+            (n + 1) * usize_b + c.edge_count() * (usize_b + f64_b)
+        });
+        let stretch = self.stretch.as_ref().map_or(0, |_| n * n * f64_b);
+        profile + csr + stretch + self.cache.memory_bytes()
+    }
+
+    /// Captures the session's mutable state — profile plus both warm
+    /// cache tiers — for spill-to-disk persistence. See
+    /// [`SessionSnapshot`] for the fidelity contract.
+    #[must_use]
+    pub fn snapshot(&mut self) -> SessionSnapshot {
+        self.stats.snapshot_exports += 1;
+        SessionSnapshot {
+            profile: self.profile.clone(),
+            overlay_rows: self
+                .cache
+                .valid_rows()
+                .map(|(u, row)| (u, row.to_vec()))
+                .collect(),
+            residual_rows: self
+                .cache
+                .residual_rows_sorted()
+                .into_iter()
+                .map(|(i, v, row)| (i, v, row.to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a session from `game` and a snapshot captured by
+    /// [`GameSession::snapshot`]: the profile and both cache tiers are
+    /// installed verbatim, so every query on the restored session
+    /// answers bit-identically to the source session (property-tested in
+    /// `crates/serve/tests/proptest_snapshot.rs`). Work counters start
+    /// fresh except [`SessionStats::snapshot_restores`], which is `1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ProfileSizeMismatch`] when the profile disagrees
+    ///   with the game on the peer count;
+    /// * [`CoreError::InvalidSnapshot`] for malformed rows (wrong
+    ///   length, out-of-range or duplicate indices, self-residuals).
+    pub fn restore(game: Game, snapshot: SessionSnapshot) -> Result<Self, CoreError> {
+        let mut session = GameSession::new(game, snapshot.profile)?;
+        let n = session.game.n();
+        let bad = |reason: String| CoreError::InvalidSnapshot { reason };
+        let mut last_u: Option<usize> = None;
+        for (u, row) in &snapshot.overlay_rows {
+            if *u >= n {
+                return Err(bad(format!(
+                    "overlay row source {u} out of range for n={n}"
+                )));
+            }
+            if last_u.is_some_and(|p| p >= *u) {
+                return Err(bad("overlay rows not strictly ascending".to_owned()));
+            }
+            last_u = Some(*u);
+            if row.len() != n {
+                return Err(bad(format!(
+                    "overlay row {u} has {} entries, expected {n}",
+                    row.len()
+                )));
+            }
+            session.cache.restore_row(*u, row);
+        }
+        let mut last_key: Option<(usize, usize)> = None;
+        for (i, v, row) in snapshot.residual_rows {
+            if i >= n || v >= n || i == v {
+                return Err(bad(format!(
+                    "residual row key ({i}, {v}) invalid for n={n}"
+                )));
+            }
+            if last_key.is_some_and(|p| p >= (i, v)) {
+                return Err(bad("residual rows not strictly ascending".to_owned()));
+            }
+            last_key = Some((i, v));
+            if row.len() != n {
+                return Err(bad(format!(
+                    "residual row ({i}, {v}) has {} entries, expected {n}",
+                    row.len()
+                )));
+            }
+            session.cache.restore_residual(i, v, row);
+        }
+        session.stats.snapshot_restores = 1;
+        Ok(session)
     }
 
     /// Replaces the whole profile, discarding every cache. Prefer
@@ -830,6 +991,49 @@ impl GameSession {
         Ok(false)
     }
 
+    /// Makes the overlay rows a cached oracle build for `peer` will read
+    /// valid — lazily: an invalid row `u` whose residual twin `(peer, u)`
+    /// is retained stays invalid, because the build serves it from the
+    /// residual tier (exact by the repair invariants) and refilling it
+    /// here would pay a full sweep for a value the build never reads.
+    /// Rows no tier covers are refilled, sharded over worker threads when
+    /// enough queue up — the same policy as
+    /// [`GameSession::ensure_all_rows`].
+    fn ensure_rows_for_oracle(&mut self, peer: PeerId) {
+        let n = self.game.n();
+        let i = peer.index();
+        let mut need: Vec<usize> = Vec::new();
+        let mut skipped = 0usize;
+        for u in 0..n {
+            if self.cache.row_is_valid(u) {
+                continue;
+            }
+            if u != i && self.cache.residual_row(i, u).is_some() {
+                skipped += 1;
+            } else {
+                need.push(u);
+            }
+        }
+        self.stats.seq_refills_skipped += skipped;
+        if need.is_empty() {
+            return;
+        }
+        let workers = self.worker_count().min(need.len());
+        if workers > 1 && (self.parallelism.is_some() || need.len() >= PAR_ROWS_MIN) {
+            self.ensure_csr();
+            let csr = self.csr.as_ref().expect("ensured above");
+            csr.dijkstra_rows_with(self.cache.jobs_for(&need), workers);
+            self.cache.mark_rows_valid(&need);
+            self.stats.full_sssp += need.len();
+            self.stats.parallel_passes += 1;
+            self.stats.parallel_rows += need.len();
+        } else {
+            for u in need {
+                let _ = self.row(u);
+            }
+        }
+    }
+
     /// Builds the cached oracle for `peer` and counts its row accounting
     /// into the requested [`SessionStats`] bucket.
     fn cached_oracle(
@@ -837,7 +1041,7 @@ impl GameSession {
         peer: PeerId,
         counter: OracleCounter,
     ) -> Result<ResponseOracle, CoreError> {
-        self.ensure_all_rows();
+        self.ensure_rows_for_oracle(peer);
         let (oracle, reuse): (ResponseOracle, OracleReuse) = ResponseOracle::build_from_cache(
             &self.game,
             &self.profile,
@@ -1434,6 +1638,119 @@ mod tests {
         assert_eq!(s.profile(), &before_profile, "failed batch must not mutate");
         assert_eq!(s.stats(), before_stats);
         assert!(s.apply_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lazy_refill_skips_residual_served_rows_bit_identically() {
+        // Monitoring pattern: the hot peer mutates, then immediately
+        // rebuilds its own oracle. Its edits invalidate overlay rows
+        // that its residual rows (which ignore its links) survive, so
+        // the lazy refill must skip those rows' sweeps — and the lazy
+        // build must stay bit-identical to the fresh-oracle reference.
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let mut lazy = GameSession::from_refs(&g, &p).unwrap();
+        let mut fresh = GameSession::from_refs(&g, &p).unwrap();
+        let hot = PeerId::new(0);
+        let mut skipped_total = 0usize;
+        for k in 0..6 {
+            let a = lazy.best_response(hot, BestResponseMethod::Exact).unwrap();
+            let b = fresh
+                .best_response_uncached(hot, BestResponseMethod::Exact)
+                .unwrap();
+            assert_eq!(a.links, b.links, "step {k}");
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "step {k}");
+            let t = PeerId::new(1 + (k % 3));
+            let links = if t == hot {
+                a.links.clone()
+            } else if a.links.contains(t) {
+                a.links.without(t)
+            } else {
+                a.links.with(t)
+            };
+            lazy.apply(Move::SetStrategy {
+                peer: hot,
+                links: links.clone(),
+            })
+            .unwrap();
+            fresh.apply(Move::SetStrategy { peer: hot, links }).unwrap();
+            skipped_total = lazy.stats().seq_refills_skipped;
+        }
+        assert!(
+            skipped_total > 0,
+            "the monitoring loop must exercise the lazy refill: {:?}",
+            lazy.stats()
+        );
+        assert_matches_free_functions(&mut lazy);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_cache_growth() {
+        let g = game(1.0);
+        let p = StrategyProfile::from_links(5, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let cold = s.memory_bytes();
+        assert!(cold > 0, "even a cold session owns its overlay matrix");
+        let _ = s.social_cost();
+        let warm = s.memory_bytes();
+        assert!(warm > cold, "the CSR snapshot must be accounted");
+        let _ = s.stretch_matrix();
+        let stretched = s.memory_bytes();
+        assert!(stretched > warm, "the stretch matrix must be accounted");
+        let _ = s.best_response(PeerId::new(0), BestResponseMethod::Exact);
+        assert!(
+            s.memory_bytes() >= stretched,
+            "retained residual rows never shrink the accounting"
+        );
+        // Deterministic: same state, same bytes.
+        let mut t = GameSession::from_refs(&g, &p).unwrap();
+        let _ = t.social_cost();
+        assert_eq!(t.memory_bytes(), warm);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_profile_and_tiers() {
+        let g = detour_game();
+        let p = StrategyProfile::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut s = GameSession::from_refs(&g, &p).unwrap();
+        let _ = s.social_cost();
+        let _ = s.best_response(PeerId::new(1), BestResponseMethod::Exact);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.overlay_rows.len(),
+            4,
+            "all rows valid after a cost query"
+        );
+        let mut restored = GameSession::restore(g.clone(), snap.clone()).unwrap();
+        assert_eq!(restored.profile(), s.profile());
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.stats().snapshot_restores, 1);
+        assert_eq!(
+            restored.social_cost().total().to_bits(),
+            s.social_cost().total().to_bits()
+        );
+
+        // Malformed snapshots are rejected, not installed.
+        let mut bad = snap.clone();
+        bad.overlay_rows[0].1.pop();
+        assert!(matches!(
+            GameSession::restore(g.clone(), bad),
+            Err(CoreError::InvalidSnapshot { .. })
+        ));
+        let mut bad = snap.clone();
+        bad.residual_rows.push((2, 2, vec![0.0; 4]));
+        assert!(matches!(
+            GameSession::restore(g.clone(), bad),
+            Err(CoreError::InvalidSnapshot { .. })
+        ));
+        let mut dup = snap;
+        if dup.overlay_rows.len() >= 2 {
+            dup.overlay_rows[1].0 = dup.overlay_rows[0].0;
+            assert!(matches!(
+                GameSession::restore(g, dup),
+                Err(CoreError::InvalidSnapshot { .. })
+            ));
+        }
     }
 
     #[test]

@@ -37,15 +37,12 @@ fn encode_profile(profile: &StrategyProfile) -> Vec<u64> {
         .collect()
 }
 
-/// FNV-1a over the packed links and the schedule position.
+/// FNV-1a over the packed links and the schedule position (the
+/// workspace-shared [`sp_graph::fnv1a_extend`], chained per word).
 fn fingerprint(encoded: &[u64], pos: usize) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = sp_graph::FNV1A_BASIS;
     for &v in encoded.iter().chain(std::iter::once(&(pos as u64))) {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
+        h = sp_graph::fnv1a_extend(h, &v.to_le_bytes());
     }
     h
 }
@@ -394,6 +391,22 @@ impl<'g> DynamicsRunner<'g> {
         }
         true
     }
+}
+
+/// Drives `config` on a caller-owned session starting from its current
+/// profile — the service entry point used by `sp-serve`'s `run_dynamics`
+/// request, where the session (and the game inside it) lives in a
+/// registry slot and no separate `&Game` is on hand. The game handle is
+/// cloned out of the session ([`GameSession::game_arc`], an atomic
+/// increment, not an O(n²) matrix copy) so the runner can borrow game
+/// and session simultaneously.
+///
+/// # Panics
+///
+/// Panics if the session's game has no peers.
+pub fn run_config_on_session(config: DynamicsConfig, session: &mut GameSession) -> DynamicsOutcome {
+    let game = session.game_arc();
+    DynamicsRunner::new(&game, config).run_session(session)
 }
 
 #[cfg(test)]

@@ -78,6 +78,9 @@ pub mod simultaneous;
 pub mod stats;
 mod trace;
 
-pub use engine::{DynamicsConfig, DynamicsOutcome, DynamicsRunner, ResponseRule, Termination};
+pub use engine::{
+    run_config_on_session, DynamicsConfig, DynamicsOutcome, DynamicsRunner, ResponseRule,
+    Termination,
+};
 pub use schedule::{Schedule, ScheduleState};
 pub use trace::{MoveRecord, Trace};

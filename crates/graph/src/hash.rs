@@ -1,0 +1,62 @@
+//! A tiny stable byte hash shared across the workspace.
+//!
+//! Several layers need a hash whose value is identical across runs,
+//! processes, and toolchain versions — the dynamics engine's
+//! cycle-detection fingerprints, and `sp-serve`'s spill file names
+//! (which must still resolve after a server restart on a different
+//! build). `std`'s hashers promise neither cross-release stability
+//! (`DefaultHasher`) nor cross-process stability (`RandomState`), so
+//! the workspace standardises on FNV-1a here, in its lowest common
+//! dependency, instead of re-rolling the constants per crate.
+
+/// The FNV-1a 64-bit offset basis — the initial state for
+/// [`fnv1a_extend`] chains.
+pub const FNV1A_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a state (start from [`FNV1A_BASIS`]) —
+/// the incremental form callers use to hash composite keys without
+/// materialising one buffer.
+#[must_use]
+pub fn fnv1a_extend(state: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a over `bytes`: deterministic, portable, and stable
+/// across releases by definition of the algorithm.
+///
+/// # Example
+///
+/// ```
+/// use sp_graph::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a(b"alpha"), fnv1a(b"Alpha"));
+/// ```
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV1A_BASIS, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinguishes_case() {
+        assert_ne!(fnv1a(b"s0001"), fnv1a(b"S0001"));
+    }
+}

@@ -48,6 +48,7 @@ mod digraph;
 mod dijkstra;
 pub mod dot;
 mod error;
+mod hash;
 mod matrix;
 pub mod measures;
 mod scc;
@@ -57,6 +58,7 @@ pub use csr::{CsrGraph, DijkstraScratch};
 pub use digraph::{DiGraph, Edge};
 pub use dijkstra::{dijkstra, dijkstra_targets, dijkstra_tree, ShortestPathTree};
 pub use error::GraphError;
+pub use hash::{fnv1a, fnv1a_extend, FNV1A_BASIS};
 pub use matrix::DistanceMatrix;
 pub use scc::{tarjan_scc, Condensation};
 pub use traversal::{bfs_order, dfs_postorder, dfs_preorder, reachable_from};

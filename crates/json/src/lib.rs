@@ -599,6 +599,125 @@ impl FromStr for Value {
     }
 }
 
+/// Encodes an `f64` losslessly for wire/snapshot use: finite values
+/// become [`Value::Number`] (the shortest-round-trip rendering the
+/// printer uses parses back to the identical bits), `+∞` becomes the
+/// string `"inf"`. Plain [`Value::from`] would render non-finite values
+/// as JSON `null` (valid JSON, but not recoverable); overlay distances
+/// in a disconnected session are legitimately infinite, so codecs that
+/// must round-trip bit-identically go through this pair instead. `-∞`
+/// and NaN never occur in this workspace's data and are rejected.
+///
+/// # Panics
+///
+/// Panics on NaN or `-∞`.
+#[must_use]
+pub fn encode_f64(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Number(x)
+    } else if x == f64::INFINITY {
+        Value::String("inf".to_owned())
+    } else {
+        panic!("encode_f64: unsupported non-finite value {x}")
+    }
+}
+
+/// Decodes a value produced by [`encode_f64`]; `None` for anything that
+/// encoder cannot have emitted.
+#[must_use]
+pub fn decode_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(x) => Some(*x),
+        Value::String(s) if s == "inf" => Some(f64::INFINITY),
+        _ => None,
+    }
+}
+
+/// Length-prefixed JSON framing for stream transports.
+///
+/// A frame is a 4-byte big-endian payload length followed by that many
+/// bytes of UTF-8 JSON — the `sp-serve` wire protocol's envelope. The
+/// length prefix lets both sides recover message boundaries from a TCP
+/// byte stream without sniffing for delimiters inside JSON strings.
+pub mod frame {
+    use super::Value;
+    use std::io::{self, Read, Write};
+
+    /// Upper bound on a single frame's payload (16 MiB). A peer
+    /// announcing more is treated as a protocol error rather than an
+    /// allocation request.
+    pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+    /// Writes one frame: big-endian `u32` length, then the compact JSON
+    /// rendering of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; fails with
+    /// [`io::ErrorKind::InvalidData`] if the rendering exceeds
+    /// [`MAX_FRAME_BYTES`].
+    pub fn write_frame<W: Write>(w: &mut W, value: &Value) -> io::Result<()> {
+        let payload = value.to_string_compact();
+        let bytes = payload.as_bytes();
+        if bytes.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
+            ));
+        }
+        w.write_all(
+            &u32::try_from(bytes.len())
+                .expect("bounded above")
+                .to_be_bytes(),
+        )?;
+        w.write_all(bytes)?;
+        w.flush()
+    }
+
+    /// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the
+    /// peer closed between frames); a stream ending mid-frame, an
+    /// oversized length prefix, or an invalid JSON payload is an
+    /// [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`]
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Value>> {
+        let mut len_buf = [0u8; 4];
+        // Distinguish "no more frames" from "truncated frame" by hand:
+        // EOF on the first byte of the prefix is a clean close.
+        let mut filled = 0usize;
+        while filled < len_buf.len() {
+            let k = r.read(&mut len_buf[filled..])?;
+            if k == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ));
+            }
+            filled += k;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("announced frame of {len} bytes exceeds MAX_FRAME_BYTES"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        let text = String::from_utf8(payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        super::parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
 /// Builds a [`Value`] from JSON-looking syntax.
 ///
 /// Object values and array items are ordinary expressions converted via
@@ -676,6 +795,65 @@ mod tests {
         let v = json!({ "k": "line1\nline2\ttab \\ \"q\"" });
         let back: Value = v.to_string_compact().parse().unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn lossless_f64_roundtrip() {
+        for x in [
+            0.0,
+            1.0,
+            -3.5,
+            0.1 + 0.2,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            f64::INFINITY,
+        ] {
+            let v = encode_f64(x);
+            // Through the full text pipeline, not just the Value tree.
+            let back: Value = v.to_string_compact().parse().unwrap();
+            let y = decode_f64(&back).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} did not round-trip");
+        }
+        assert_eq!(decode_f64(&Value::Null), None);
+        assert_eq!(decode_f64(&Value::String("infx".into())), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported non-finite")]
+    fn encode_f64_rejects_nan() {
+        let _ = encode_f64(f64::NAN);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_detect_errors() {
+        let a = json!({ "op": "ping", "x": 1.5 });
+        let b = json!([1, 2, 3]);
+        let mut buf: Vec<u8> = Vec::new();
+        frame::write_frame(&mut buf, &a).unwrap();
+        frame::write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(frame::read_frame(&mut r).unwrap(), Some(a));
+        assert_eq!(frame::read_frame(&mut r).unwrap(), Some(b));
+        assert_eq!(frame::read_frame(&mut r).unwrap(), None, "clean EOF");
+
+        // Truncated mid-prefix and mid-payload are errors, not EOF.
+        let mut short = &buf[..2];
+        assert!(frame::read_frame(&mut short).is_err());
+        let mut cut = &buf[..6];
+        assert!(frame::read_frame(&mut cut).is_err());
+
+        // An absurd length prefix is rejected before any allocation.
+        let huge = [(frame::MAX_FRAME_BYTES as u32 + 1).to_be_bytes(), [0; 4]].concat();
+        let mut r = &huge[..];
+        assert!(frame::read_frame(&mut r).is_err());
+
+        // A frame holding invalid JSON is rejected.
+        let mut bad: Vec<u8> = Vec::new();
+        bad.extend_from_slice(&3u32.to_be_bytes());
+        bad.extend_from_slice(b"{x}");
+        let mut r = &bad[..];
+        assert!(frame::read_frame(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! The sp-serve closed-loop load generator.
+//!
+//! ```text
+//! sp-loadgen --addr HOST:PORT [--clients C] [--sessions S]
+//!            [--requests R] [--peers N] [--seed SEED]
+//!            [--quick | --acceptance] [--verify]
+//! ```
+//!
+//! Builds the deterministic mixed workload (`sp_serve::workload`),
+//! replays it over `C` connections (session `i` is driven by client
+//! `i % C`, preserving per-session order), and prints throughput plus
+//! the server's registry counters. With `--verify` it also executes the
+//! single-threaded no-eviction reference in-process and fails unless
+//! the served responses are bit-identical.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use sp_json::json;
+use sp_serve::server::call_once;
+use sp_serve::workload::{self, WorkloadConfig};
+
+struct Args {
+    addr: String,
+    clients: usize,
+    verify: bool,
+    cfg: WorkloadConfig,
+}
+
+fn usage() -> String {
+    "usage: sp-loadgen --addr HOST:PORT [--clients C] [--sessions S] [--requests R] \
+     [--peers N] [--seed SEED] [--quick | --acceptance] [--verify]"
+        .to_owned()
+}
+
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        clients: 8,
+        verify: false,
+        cfg: WorkloadConfig::quick(),
+    };
+    let mut it = raw.into_iter();
+    let mut explicit = Vec::new();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
+        let parse_usize =
+            |flag: &str, v: String| v.parse::<usize>().map_err(|_| format!("bad {flag} value"));
+        match a.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => args.clients = parse_usize("--clients", value("--clients")?)?,
+            "--sessions" => {
+                explicit.push(("sessions", parse_usize("--sessions", value("--sessions")?)?))
+            }
+            "--requests" => {
+                explicit.push(("requests", parse_usize("--requests", value("--requests")?)?))
+            }
+            "--peers" => explicit.push(("peers", parse_usize("--peers", value("--peers")?)?)),
+            "--seed" => {
+                args.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_owned())?;
+            }
+            "--quick" => {
+                args.cfg = WorkloadConfig {
+                    seed: args.cfg.seed,
+                    ..WorkloadConfig::quick()
+                }
+            }
+            "--acceptance" => {
+                args.cfg = WorkloadConfig {
+                    seed: args.cfg.seed,
+                    ..WorkloadConfig::acceptance()
+                };
+            }
+            "--verify" => args.verify = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    for (k, v) in explicit {
+        match k {
+            "sessions" => args.cfg.sessions = v,
+            "requests" => args.cfg.requests = v,
+            "peers" => args.cfg.peers = v,
+            _ => unreachable!(),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match args.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("sp-loadgen: cannot resolve {}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "workload: {} requests over {} sessions of {} peers (seed {}), {} clients",
+        args.cfg.requests, args.cfg.sessions, args.cfg.peers, args.cfg.seed, args.clients,
+    );
+    let script = workload::build_script(&args.cfg);
+    let outcome = match workload::replay(addr, &script, args.clients) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sp-loadgen: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failed = outcome
+        .responses
+        .iter()
+        .filter(|r| r.get("ok") != Some(&sp_json::Value::Bool(true)))
+        .count();
+    let secs = outcome.wall.as_secs_f64();
+    println!(
+        "replayed {} requests in {:.2}s ({:.0} req/s), {} failed",
+        script.len(),
+        secs,
+        script.len() as f64 / secs.max(1e-9),
+        failed,
+    );
+    match call_once(addr, &json!({ "op": "stats" })) {
+        Ok(stats) => println!("server stats: {}", stats["result"]),
+        Err(e) => eprintln!("sp-loadgen: stats query failed: {e}"),
+    }
+    if failed > 0 {
+        eprintln!("sp-loadgen: {failed} request(s) returned errors");
+        return ExitCode::FAILURE;
+    }
+    if args.verify {
+        println!("verifying against the single-threaded no-eviction reference…");
+        let reference = workload::reference_responses(&script);
+        match workload::verify(&outcome.responses, &reference) {
+            Ok(()) => println!("verify: all {} responses bit-identical", script.len()),
+            Err((k, served, expected)) => {
+                eprintln!(
+                    "verify: response {k} diverged\n  served:    {served}\n  reference: {expected}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

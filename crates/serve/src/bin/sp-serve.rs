@@ -1,0 +1,84 @@
+//! The sp-serve server binary.
+//!
+//! ```text
+//! sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M]
+//!          [--spill-dir DIR] [--queue-cap Q]
+//! ```
+//!
+//! Binds, prints the resolved address on stdout (`listening on …`), and
+//! serves until killed. See the crate README for the wire protocol.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sp_serve::server::{Server, ServerConfig};
+
+fn usage() -> String {
+    "usage: sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M] \
+     [--spill-dir DIR] [--queue-cap Q]"
+        .to_owned()
+}
+
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
+        match a.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_owned())?;
+            }
+            "--budget-mib" => {
+                let mib: usize = value("--budget-mib")?
+                    .parse()
+                    .map_err(|_| "bad --budget-mib value".to_owned())?;
+                config.registry.memory_budget = mib << 20;
+            }
+            "--spill-dir" => config.registry.spill_dir = PathBuf::from(value("--spill-dir")?),
+            "--queue-cap" => {
+                config.registry.queue_capacity = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "bad --queue-cap value".to_owned())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budget = config.registry.memory_budget;
+    let workers = config.workers;
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sp-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on {} ({} workers, {} MiB budget)",
+        server.local_addr(),
+        workers,
+        budget >> 20,
+    );
+    // Serve until the process is killed: the accept loop and worker
+    // pool run on their own threads, so just park this one.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,49 @@
+//! A minimal blocking client for the sp-serve wire protocol.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sp_json::{frame, Value};
+
+/// One TCP connection speaking length-prefixed sp-json frames.
+///
+/// Calls are synchronous — one request, one response — which is exactly
+/// the closed-loop behaviour the load generator wants; parallelism
+/// comes from opening several clients.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing/transport errors; the server closing before
+    /// responding is [`io::ErrorKind::UnexpectedEof`].
+    pub fn call(&mut self, request: &Value) -> io::Result<Value> {
+        frame::write_frame(&mut self.writer, request)?;
+        frame::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )
+        })
+    }
+}

@@ -1,0 +1,50 @@
+//! `sp-serve` — the concurrent multi-session evaluation service.
+//!
+//! PRs 1–4 made one [`sp_core::GameSession`] fast; this crate is the
+//! layer that runs **many** of them at once, the unit of multi-tenancy
+//! being exactly the paper's unit of analysis: one isolated game
+//! instance per named session. The pieces:
+//!
+//! * [`registry::SessionRegistry`] — a sharded-lock concurrent map of
+//!   named sessions with **LRU eviction under a global memory budget**
+//!   (semantic byte accounting via [`sp_core::GameSession::memory_bytes`],
+//!   so eviction decisions are deterministic and machine-independent).
+//!   Evicted sessions spill to sp-json snapshot files and are restored
+//!   transparently on their next request, bit-identically
+//!   ([`snapshot`], property-tested in `tests/proptest_snapshot.rs`).
+//! * A **worker-pool scheduler** inside the registry: requests to one
+//!   session execute strictly in submission order (one worker owns a
+//!   session at a time), distinct sessions run in parallel across the
+//!   pool, and per-session queues are **bounded** — a full queue blocks
+//!   the submitter, which is the service's backpressure.
+//! * [`wire`] / [`server`] / [`client`] — a length-prefixed sp-json
+//!   protocol over plain `std::net` TCP (frame layout and every
+//!   request/response schema are documented in this crate's README)
+//!   with ops `create` / `load` / `apply` / `apply_batch` /
+//!   `best_response` / `nash_gap` / `social_cost` / `stretch` /
+//!   `run_dynamics` / `snapshot` / `evict` plus registry-level `stats`
+//!   and `ping`.
+//! * [`workload`] — a deterministic mixed-workload generator, a
+//!   single-threaded no-eviction **reference executor**, and a
+//!   closed-loop multi-connection replayer; the `sp-loadgen` bin wraps
+//!   it, and the replay integration test proves a 10k-request run over
+//!   256 sessions under a 64 MiB budget (forcing evict/restore cycles)
+//!   answers bit-identically to the reference.
+//!
+//! Determinism is the design axis throughout: session ops never depend
+//! on registry state, responses never leak scheduling, and floating
+//! point crosses the wire through [`sp_json::encode_f64`] (lossless,
+//! `∞`-safe) — which is what makes "bit-identical under concurrency and
+//! eviction" a testable contract rather than a hope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ops;
+pub mod registry;
+pub mod server;
+pub mod snapshot;
+pub mod spec;
+pub mod wire;
+pub mod workload;

@@ -1,0 +1,463 @@
+//! Parsing and execution of session requests.
+//!
+//! The split matters for the determinism contract: everything that
+//! *computes* — [`execute_query`] and the canonical result builders —
+//! is shared between the server's worker pool and the single-threaded
+//! reference executor in [`crate::workload`], so the two can only
+//! disagree if the registry layer (scheduling, eviction, restore)
+//! changes an answer. That is exactly what the replay integration test
+//! is allowed to catch.
+//!
+//! Lifecycle ops (`create`, `load`, `snapshot`, `evict`) touch session
+//! *placement*, which the two executors implement differently (files
+//! and eviction vs. keep-everything-resident); their response bodies
+//! come from the shared builders here so the envelopes still compare
+//! equal.
+
+use sp_core::{BestResponse, BestResponseMethod, GameSession, LinkSet, Move, PeerId, SocialCost};
+use sp_dynamics::{
+    run_config_on_session, DynamicsConfig, DynamicsOutcome, ResponseRule, Termination,
+};
+use sp_json::{encode_f64, json, Value};
+
+use crate::spec;
+use crate::wire;
+
+/// A parsed session-targeted request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed back in the response envelope.
+    pub id: Option<f64>,
+    /// The session the request addresses.
+    pub session: String,
+    /// What to do.
+    pub op: SessionOp,
+}
+
+/// The session operations of the wire protocol.
+#[derive(Debug, Clone)]
+pub enum SessionOp {
+    /// Create the session from an embedded game spec (the raw request
+    /// body is kept: the spec fields live beside `op`/`session`).
+    Create {
+        /// The original request object, holding the spec fields.
+        body: Value,
+    },
+    /// Ensure the session is resident, restoring from its snapshot file
+    /// if needed (explicit cold start).
+    Load,
+    /// Apply one move.
+    Apply {
+        /// The move.
+        mv: Move,
+    },
+    /// Apply a batch of moves as one cache transaction.
+    ApplyBatch {
+        /// The moves, in order.
+        moves: Vec<Move>,
+    },
+    /// Best response of one peer against the frozen rest.
+    BestResponse {
+        /// The responding peer.
+        peer: PeerId,
+        /// UFL solve method.
+        method: BestResponseMethod,
+    },
+    /// Largest unilateral improvement over all peers.
+    NashGap {
+        /// UFL solve method.
+        method: BestResponseMethod,
+    },
+    /// Social cost of the current profile.
+    SocialCost,
+    /// Maximum stretch of the current profile.
+    Stretch,
+    /// Run sequential dynamics in-place on the session.
+    RunDynamics {
+        /// Full engine configuration (parsed from the request fields).
+        config: DynamicsConfig,
+    },
+    /// Persist the session to its snapshot file, keeping it resident.
+    Snapshot,
+    /// Persist the session and drop it from memory.
+    Evict,
+}
+
+impl SessionOp {
+    /// Whether the op changes the session's logical state (profile or
+    /// existence) — what decides if a later spill must rewrite the file.
+    #[must_use]
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            SessionOp::Create { .. }
+                | SessionOp::Apply { .. }
+                | SessionOp::ApplyBatch { .. }
+                | SessionOp::RunDynamics { .. }
+        )
+    }
+}
+
+fn parse_method(v: &Value) -> Result<BestResponseMethod, String> {
+    match v.get("method").and_then(Value::as_str) {
+        None => Ok(BestResponseMethod::Greedy),
+        Some("exact") => Ok(BestResponseMethod::Exact),
+        Some("enumeration") => Ok(BestResponseMethod::ExactEnumeration),
+        Some("greedy") => Ok(BestResponseMethod::Greedy),
+        Some("local_search") => Ok(BestResponseMethod::LocalSearch),
+        Some(other) => Err(format!("unknown method {other:?}")),
+    }
+}
+
+fn parse_peer(v: &Value, key: &str) -> Result<PeerId, String> {
+    v.get(key)
+        .and_then(Value::as_usize)
+        .map(PeerId::new)
+        .ok_or_else(|| format!("missing peer index field {key:?}"))
+}
+
+fn parse_index_pair(v: &Value, what: &str) -> Result<(PeerId, PeerId), String> {
+    let pair = v
+        .as_array()
+        .filter(|p| p.len() == 2)
+        .ok_or_else(|| format!("{what} must be a [from, to] pair"))?;
+    match (pair[0].as_usize(), pair[1].as_usize()) {
+        (Some(a), Some(b)) => Ok((PeerId::new(a), PeerId::new(b))),
+        _ => Err(format!("{what} must hold peer indices")),
+    }
+}
+
+/// Parses one move object: `{"set": {"peer": i, "links": [..]}}`,
+/// `{"add": [from, to]}`, or `{"remove": [from, to]}`.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field.
+pub fn parse_move(v: &Value) -> Result<Move, String> {
+    if let Some(set) = v.get("set") {
+        let peer = parse_peer(set, "peer")?;
+        let links: LinkSet = set
+            .get("links")
+            .and_then(Value::as_array)
+            .ok_or("set move needs a 'links' array")?
+            .iter()
+            .map(|t| t.as_usize().ok_or("links must hold peer indices"))
+            .collect::<Result<Vec<usize>, _>>()?
+            .into_iter()
+            .collect();
+        return Ok(Move::SetStrategy { peer, links });
+    }
+    if let Some(add) = v.get("add") {
+        let (from, to) = parse_index_pair(add, "add move")?;
+        return Ok(Move::AddLink { from, to });
+    }
+    if let Some(remove) = v.get("remove") {
+        let (from, to) = parse_index_pair(remove, "remove move")?;
+        return Ok(Move::RemoveLink { from, to });
+    }
+    Err("move must be one of {set, add, remove}".to_owned())
+}
+
+fn parse_dynamics_config(v: &Value) -> Result<DynamicsConfig, String> {
+    let mut config = DynamicsConfig {
+        record_trace: false,
+        ..DynamicsConfig::default()
+    };
+    match v.get("rule").and_then(Value::as_str) {
+        None | Some("better") => config.rule = ResponseRule::BetterResponse,
+        Some("best") => config.rule = ResponseRule::BestResponseWith(parse_method(v)?),
+        Some(other) => return Err(format!("unknown dynamics rule {other:?}")),
+    }
+    if let Some(r) = v.get("max_rounds") {
+        config.max_rounds = r
+            .as_usize()
+            .ok_or("max_rounds must be a non-negative integer")?;
+    }
+    if let Some(t) = v.get("tolerance") {
+        config.tolerance = t.as_f64().ok_or("tolerance must be a number")?;
+    }
+    if let Some(d) = v.get("detect_cycles") {
+        config.detect_cycles = d.as_bool().ok_or("detect_cycles must be a boolean")?;
+    }
+    Ok(config)
+}
+
+/// Parses a session request object (the server has already routed
+/// registry-level ops like `stats`/`ping` elsewhere).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field; the caller wraps it in
+/// an error envelope.
+pub fn parse_request(v: &Value) -> Result<Request, String> {
+    let id = wire::request_id(v);
+    let op_name = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string 'op' field")?;
+    let session = v
+        .get("session")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string 'session' field")?
+        .to_owned();
+    wire::validate_name(&session)?;
+    let op = match op_name {
+        "create" => SessionOp::Create { body: v.clone() },
+        "load" => SessionOp::Load,
+        "apply" => SessionOp::Apply {
+            mv: parse_move(v.get("move").ok_or("apply needs a 'move' object")?)?,
+        },
+        "apply_batch" => SessionOp::ApplyBatch {
+            moves: v
+                .get("moves")
+                .and_then(Value::as_array)
+                .ok_or("apply_batch needs a 'moves' array")?
+                .iter()
+                .map(parse_move)
+                .collect::<Result<_, _>>()?,
+        },
+        "best_response" => SessionOp::BestResponse {
+            peer: parse_peer(v, "peer")?,
+            method: parse_method(v)?,
+        },
+        "nash_gap" => SessionOp::NashGap {
+            method: parse_method(v)?,
+        },
+        "social_cost" => SessionOp::SocialCost,
+        "stretch" => SessionOp::Stretch,
+        "run_dynamics" => SessionOp::RunDynamics {
+            config: parse_dynamics_config(v)?,
+        },
+        "snapshot" => SessionOp::Snapshot,
+        "evict" => SessionOp::Evict,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request { id, session, op })
+}
+
+/// Per-session budget for the retained-residual oracle tier under the
+/// service. The core default (64 MiB) assumes one hot session per
+/// process; a registry multiplexing hundreds must hand each tenant a
+/// slice, both to keep the global budget meaningful and to keep spill
+/// snapshots (which persist the residual tier) proportionate.
+pub const SERVICE_RESIDUAL_BUDGET: usize = 512 << 10;
+
+/// Applies the service-wide session tuning: single-threaded refills
+/// (concurrency comes from the worker pool multiplexing sessions, and
+/// nested fan-out would oversubscribe the host) and the per-tenant
+/// residual budget. Used on both freshly created and restored sessions,
+/// and by the reference executor, so tuning can never cause divergence.
+pub fn tune_for_service(session: &mut GameSession) {
+    session.set_parallelism(Some(1));
+    session.set_residual_budget(SERVICE_RESIDUAL_BUDGET);
+}
+
+/// Builds a fresh session from a `create` request body, tuned via
+/// [`tune_for_service`].
+///
+/// # Errors
+///
+/// Returns the spec error message.
+pub fn build_session(body: &Value) -> Result<GameSession, String> {
+    let (game, profile) = spec::build_embedded(body)?;
+    let mut session = GameSession::new(game, profile).map_err(|e| e.to_string())?;
+    tune_for_service(&mut session);
+    Ok(session)
+}
+
+fn links_value(links: &LinkSet) -> Value {
+    Value::Array(links.iter().map(|t| Value::from(t.index())).collect())
+}
+
+fn social_cost_value(sc: &SocialCost) -> Value {
+    json!({
+        "link_cost": encode_f64(sc.link_cost),
+        "stretch_cost": encode_f64(sc.stretch_cost),
+        "total": encode_f64(sc.total()),
+    })
+}
+
+fn best_response_value(br: &BestResponse) -> Value {
+    json!({
+        "peer": br.peer.index(),
+        "links": links_value(&br.links),
+        "cost": encode_f64(br.cost),
+        "current_cost": encode_f64(br.current_cost),
+        "exact": br.exact,
+    })
+}
+
+fn termination_value(t: &Termination) -> Value {
+    match t {
+        Termination::Converged { rounds } => json!({ "kind": "converged", "rounds": *rounds }),
+        Termination::Cycle {
+            first_seen_step,
+            period_steps,
+            moves_in_cycle,
+        } => json!({
+            "kind": "cycle",
+            "first_seen_step": *first_seen_step,
+            "period_steps": *period_steps,
+            "moves_in_cycle": *moves_in_cycle,
+        }),
+        Termination::RoundLimit => json!({ "kind": "round_limit" }),
+    }
+}
+
+fn dynamics_value(out: &DynamicsOutcome, after: &SocialCost) -> Value {
+    json!({
+        "termination": termination_value(&out.termination),
+        "steps": out.steps,
+        "moves": out.moves,
+        "social_cost": social_cost_value(after),
+    })
+}
+
+/// The canonical `create` result body.
+#[must_use]
+pub fn create_result(session: &GameSession) -> Value {
+    json!({
+        "n": session.n(),
+        "alpha": session.game().alpha(),
+        "links": session.profile().link_count(),
+    })
+}
+
+/// The canonical `load` result body.
+#[must_use]
+pub fn loaded_result() -> Value {
+    json!({ "loaded": true })
+}
+
+/// The canonical `snapshot` result body.
+#[must_use]
+pub fn persisted_result() -> Value {
+    json!({ "persisted": true })
+}
+
+/// The canonical `evict` result body.
+#[must_use]
+pub fn evicted_result() -> Value {
+    json!({ "evicted": true })
+}
+
+/// Executes a **query or mutation** op against a resident session and
+/// returns its result body. Lifecycle ops (`create`/`load`/`snapshot`/
+/// `evict`) are placement decisions and must be handled by the caller;
+/// passing one here is an error.
+///
+/// # Errors
+///
+/// Core errors are rendered into their display strings.
+pub fn execute_query(op: &SessionOp, session: &mut GameSession) -> Result<Value, String> {
+    match op {
+        SessionOp::Apply { mv } => {
+            let previous = session.apply(mv.clone()).map_err(|e| e.to_string())?;
+            Ok(json!({ "previous": links_value(&previous) }))
+        }
+        SessionOp::ApplyBatch { moves } => {
+            let previous = session.apply_batch(moves).map_err(|e| e.to_string())?;
+            Ok(json!({
+                "previous": Value::Array(previous.iter().map(links_value).collect()),
+            }))
+        }
+        SessionOp::BestResponse { peer, method } => {
+            let br = session
+                .best_response(*peer, *method)
+                .map_err(|e| e.to_string())?;
+            Ok(best_response_value(&br))
+        }
+        SessionOp::NashGap { method } => {
+            let gap = session.nash_gap(*method).map_err(|e| e.to_string())?;
+            Ok(json!({ "gap": encode_f64(gap) }))
+        }
+        SessionOp::SocialCost => Ok(social_cost_value(&session.social_cost())),
+        SessionOp::Stretch => Ok(json!({ "max_stretch": encode_f64(session.max_stretch()) })),
+        SessionOp::RunDynamics { config } => {
+            if session.n() == 0 {
+                return Err("cannot run dynamics on an empty game".to_owned());
+            }
+            let out = run_config_on_session(config.clone(), session);
+            let after = session.social_cost();
+            Ok(dynamics_value(&out, &after))
+        }
+        SessionOp::Create { .. } | SessionOp::Load | SessionOp::Snapshot | SessionOp::Evict => {
+            Err("lifecycle op reached execute_query".to_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_executes_a_round_trip() {
+        let create = json!({
+            "op": "create", "session": "s0", "alpha": 1.0,
+            "positions_1d": [0.0, 1.0, 3.0],
+            "links": [[0, 1], [1, 0], [1, 2], [2, 1]],
+        });
+        let req = parse_request(&create).unwrap();
+        let SessionOp::Create { body } = &req.op else {
+            panic!("expected create")
+        };
+        let mut session = build_session(body).unwrap();
+        assert_eq!(create_result(&session)["n"], 3usize);
+
+        let apply = parse_request(&json!({
+            "op": "apply", "session": "s0", "id": 1,
+            "move": json!({ "add": [0, 2] }),
+        }))
+        .unwrap();
+        let r = execute_query(&apply.op, &mut session).unwrap();
+        assert_eq!(r["previous"].as_array().unwrap().len(), 1);
+
+        let sc = parse_request(&json!({ "op": "social_cost", "session": "s0" })).unwrap();
+        let r = execute_query(&sc.op, &mut session).unwrap();
+        assert!(r["total"].as_f64().unwrap() > 0.0);
+
+        let br = parse_request(&json!({
+            "op": "best_response", "session": "s0", "peer": 2, "method": "exact",
+        }))
+        .unwrap();
+        let r = execute_query(&br.op, &mut session).unwrap();
+        assert_eq!(r["peer"], 2usize);
+        assert_eq!(r["exact"], true);
+
+        let dyn_req = parse_request(&json!({
+            "op": "run_dynamics", "session": "s0", "rule": "better", "max_rounds": 3,
+        }))
+        .unwrap();
+        let r = execute_query(&dyn_req.op, &mut session).unwrap();
+        assert!(r["termination"]["kind"].as_str().is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request(&json!({ "session": "x" })).is_err());
+        assert!(parse_request(&json!({ "op": "social_cost" })).is_err());
+        assert!(parse_request(&json!({ "op": "warp", "session": "x" })).is_err());
+        assert!(parse_request(&json!({ "op": "apply", "session": "x" })).is_err());
+        assert!(parse_request(
+            &json!({ "op": "apply", "session": "x", "move": json!({ "warp": 1 }) })
+        )
+        .is_err());
+        assert!(parse_request(&json!({ "op": "social_cost", "session": "../x" })).is_err());
+        assert!(parse_request(
+            &json!({ "op": "best_response", "session": "x", "peer": 0, "method": "psychic" })
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(parse_move(&json!({ "add": [0, 1] })).is_ok());
+        let mv = SessionOp::Apply {
+            mv: parse_move(&json!({ "remove": [0, 1] })).unwrap(),
+        };
+        assert!(mv.is_mutating());
+        assert!(!SessionOp::SocialCost.is_mutating());
+        assert!(!SessionOp::Evict.is_mutating());
+    }
+}

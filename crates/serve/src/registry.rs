@@ -1,0 +1,827 @@
+//! The session registry: a sharded concurrent map of named
+//! [`GameSession`]s with LRU spill-to-disk eviction under a global
+//! memory budget, and the worker-pool scheduler that executes requests
+//! against them.
+//!
+//! # Ordering and parallelism
+//!
+//! Every session owns a FIFO request queue. A session is *scheduled* by
+//! pushing its entry onto the global ready queue exactly once; the
+//! worker that pops it processes **one** request, then re-enqueues the
+//! entry at the back if more requests are queued (round-robin fairness
+//! across busy sessions). Because an entry is in the ready queue at
+//! most once and only its owning worker touches its queue head,
+//! requests to one session execute **strictly in submission order**
+//! while distinct sessions run in parallel across the pool.
+//!
+//! # Backpressure
+//!
+//! Per-session queues are bounded ([`RegistryConfig::queue_capacity`]).
+//! [`SessionRegistry::submit`] blocks the caller until space frees up —
+//! in the TCP server each connection thread submits synchronously, so a
+//! flooding client stalls itself, not the pool.
+//!
+//! # Memory budget and eviction
+//!
+//! Every slot's footprint is accounted semantically —
+//! [`GameSession::memory_bytes`] plus the game's O(n²) latency matrix
+//! plus a fixed per-entry overhead — in the same machine-independent
+//! style as the core's `OracleCache` budget, so eviction behaviour is
+//! reproducible across hosts. When the total exceeds
+//! [`RegistryConfig::memory_budget`], the least-recently-used idle
+//! session is serialised to `<spill_dir>/<name>-<fnv1a(name)>.json`
+//! (the hash suffix keeps case-distinct names distinct on
+//! case-insensitive filesystems)
+//! ([`crate::snapshot`]) and dropped; its next request restores it
+//! transparently, bit-identically. Sessions whose state already matches
+//! their spill file (not *dirty*) skip the file write.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sp_core::GameSession;
+use sp_json::{json, Value};
+
+use crate::ops::{self, Request, SessionOp};
+use crate::snapshot;
+use crate::wire;
+
+/// Number of map shards; requests hash on the session name, so sixteen
+/// shards keep map contention negligible next to the work itself.
+const SHARDS: usize = 16;
+
+/// Fixed accounting overhead charged per registry slot (name, queue,
+/// bookkeeping) on top of the session's own semantic size.
+const ENTRY_OVERHEAD_BYTES: usize = 256;
+
+/// How many times `enforce_budget` tolerates picking a victim that a
+/// concurrent worker grabbed before giving up for this round (the next
+/// completed request retries).
+const EVICT_RETRIES: usize = 8;
+
+/// Configuration of a [`SessionRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Global budget for resident sessions, in bytes. Exceeding it
+    /// triggers LRU eviction of idle sessions.
+    pub memory_budget: usize,
+    /// Directory for spill/snapshot files (created on registry start).
+    pub spill_dir: PathBuf,
+    /// Per-session request queue bound; submitters block when full.
+    pub queue_capacity: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            memory_budget: 64 << 20,
+            spill_dir: PathBuf::from("sp-serve-spill"),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A queued request plus the channel its response goes back on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Value>,
+}
+
+/// Mutable per-session state, guarded by the entry mutex.
+#[derive(Default)]
+struct EntryState {
+    queue: VecDeque<Job>,
+    /// `true` while the entry sits in the ready queue or a worker is
+    /// processing it — the invariant that serialises a session's
+    /// requests.
+    scheduled: bool,
+    /// `true` while a worker holds the session outside the lock.
+    busy: bool,
+    /// The resident session; `None` when spilled or not yet created.
+    resident: Option<Box<GameSession>>,
+    /// Whether the session logically exists (resident or spilled).
+    created: bool,
+    /// Whether resident state has diverged from the spill file.
+    dirty: bool,
+    /// Bytes currently charged against the global budget.
+    bytes: usize,
+    /// LRU stamp (global logical clock).
+    last_used: u64,
+}
+
+struct SessionEntry {
+    name: String,
+    state: Mutex<EntryState>,
+    /// Signalled when queue space frees up (backpressure release).
+    space: Condvar,
+}
+
+/// A point-in-time snapshot of the registry's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Requests executed to completion by the worker pool.
+    pub requests_served: u64,
+    /// Sessions built by `create` requests.
+    pub sessions_created: u64,
+    /// Spill-and-drop events: budget-driven LRU evictions plus explicit
+    /// `evict` requests.
+    pub sessions_evicted: u64,
+    /// Sessions restored from spill files (transparent or via `load`).
+    pub sessions_restored: u64,
+    /// High-water mark of any single session's request queue depth.
+    pub queue_depth_hwm: usize,
+    /// Sessions currently resident in memory.
+    pub resident_sessions: usize,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: usize,
+}
+
+impl RegistryStats {
+    /// Renders the stats as the `stats` op's result body.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        json!({
+            "requests_served": self.requests_served as usize,
+            "sessions_created": self.sessions_created as usize,
+            "sessions_evicted": self.sessions_evicted as usize,
+            "sessions_restored": self.sessions_restored as usize,
+            "queue_depth_hwm": self.queue_depth_hwm,
+            "resident_sessions": self.resident_sessions,
+            "resident_bytes": self.resident_bytes,
+        })
+    }
+}
+
+/// What a worker carries back from executing one job.
+struct JobOutcome {
+    response: Value,
+    resident: Option<Box<GameSession>>,
+    created: bool,
+    dirty: bool,
+}
+
+/// The sharded-lock session map plus its worker-pool scheduler. See the
+/// module docs for the ordering, backpressure, and eviction contracts.
+pub struct SessionRegistry {
+    shards: Vec<Mutex<HashMap<String, Arc<SessionEntry>>>>,
+    ready: Mutex<VecDeque<Arc<SessionEntry>>>,
+    ready_cv: Condvar,
+    stop: AtomicBool,
+    clock: AtomicU64,
+    total_bytes: AtomicUsize,
+    config: RegistryConfig,
+    requests_served: AtomicU64,
+    sessions_created: AtomicU64,
+    sessions_evicted: AtomicU64,
+    sessions_restored: AtomicU64,
+    queue_depth_hwm: AtomicUsize,
+}
+
+impl SessionRegistry {
+    /// Creates a registry (and its spill directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-directory creation failures.
+    pub fn new(config: RegistryConfig) -> io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&config.spill_dir)?;
+        Ok(Arc::new(SessionRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            clock: AtomicU64::new(0),
+            total_bytes: AtomicUsize::new(0),
+            config: RegistryConfig {
+                queue_capacity: config.queue_capacity.max(1),
+                ..config
+            },
+            requests_served: AtomicU64::new(0),
+            sessions_created: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            sessions_restored: AtomicU64::new(0),
+            queue_depth_hwm: AtomicUsize::new(0),
+        }))
+    }
+
+    /// Spawns `count` worker threads draining the ready queue. Callable
+    /// once or repeatedly (the pool is just a set of identical loops);
+    /// the benches submit a burst *before* spawning to measure queue
+    /// depth deterministically.
+    pub fn spawn_workers(self: &Arc<Self>, count: usize) -> Vec<JoinHandle<()>> {
+        (0..count.max(1))
+            .map(|k| {
+                let registry = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("sp-serve-worker-{k}"))
+                    .spawn(move || registry.worker_loop())
+                    .expect("failed to spawn worker thread")
+            })
+            .collect()
+    }
+
+    /// Enqueues a request on its session's queue, blocking while the
+    /// queue is at capacity, and returns the receiver the response will
+    /// arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Fails once [`SessionRegistry::shutdown`] has been called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread poisoned the entry lock.
+    pub fn submit(&self, request: Request) -> Result<mpsc::Receiver<Value>, String> {
+        if self.stop.load(Ordering::Acquire) {
+            return Err("registry is shutting down".to_owned());
+        }
+        let entry = self.entry(&request.session);
+        let (tx, rx) = mpsc::channel();
+        let mut st = entry.state.lock().expect("entry lock poisoned");
+        while st.queue.len() >= self.config.queue_capacity {
+            if self.stop.load(Ordering::Acquire) {
+                return Err("registry is shutting down".to_owned());
+            }
+            st = entry.space.wait(st).expect("entry lock poisoned");
+        }
+        // Final stop check *under the entry lock*: shutdown() drains
+        // this queue under the same lock after setting the flag, so a
+        // push that observes `stop == false` here is ordered before the
+        // drain (which will then clear it) — a job can never be
+        // enqueued after the drain has passed, which would strand its
+        // submitter in `recv()` with no worker left to serve it.
+        if self.stop.load(Ordering::Acquire) {
+            return Err("registry is shutting down".to_owned());
+        }
+        st.queue.push_back(Job { request, reply: tx });
+        self.queue_depth_hwm
+            .fetch_max(st.queue.len(), Ordering::Relaxed);
+        if !st.scheduled {
+            st.scheduled = true;
+            drop(st);
+            self.push_ready(entry);
+        }
+        Ok(rx)
+    }
+
+    /// Stops the worker pool: in-flight requests finish, queued requests
+    /// are abandoned (their receivers disconnect), blocked submitters
+    /// wake with an error.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.ready_cv.notify_all();
+        for shard in &self.shards {
+            let entries: Vec<Arc<SessionEntry>> = shard
+                .lock()
+                .expect("shard lock poisoned")
+                .values()
+                .cloned()
+                .collect();
+            for e in entries {
+                // Drain queued jobs so their reply senders drop and the
+                // waiting receivers disconnect — a submit racing the
+                // stop flag must not strand its connection thread in
+                // `recv()` forever. (A worker mid-process simply finds
+                // an empty queue when it re-locks.)
+                e.state.lock().expect("entry lock poisoned").queue.clear();
+                e.space.notify_all();
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let mut resident = 0usize;
+        for shard in &self.shards {
+            let entries: Vec<Arc<SessionEntry>> = shard
+                .lock()
+                .expect("shard lock poisoned")
+                .values()
+                .cloned()
+                .collect();
+            for e in entries {
+                let st = e.state.lock().expect("entry lock poisoned");
+                if st.resident.is_some() || st.busy {
+                    resident += 1;
+                }
+            }
+        }
+        RegistryStats {
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_restored: self.sessions_restored.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            resident_sessions: resident,
+            resident_bytes: self.total_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The registry's configuration (tests and bins introspect it).
+    #[must_use]
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    fn shard_of(&self, name: &str) -> usize {
+        (sp_graph::fnv1a(name.as_bytes()) % SHARDS as u64) as usize
+    }
+
+    fn entry(&self, name: &str) -> Arc<SessionEntry> {
+        let mut shard = self.shards[self.shard_of(name)]
+            .lock()
+            .expect("shard lock poisoned");
+        Arc::clone(shard.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(SessionEntry {
+                name: name.to_owned(),
+                state: Mutex::new(EntryState::default()),
+                space: Condvar::new(),
+            })
+        }))
+    }
+
+    fn push_ready(&self, entry: Arc<SessionEntry>) {
+        self.ready
+            .lock()
+            .expect("ready lock poisoned")
+            .push_back(entry);
+        self.ready_cv.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let entry = {
+                let mut q = self.ready.lock().expect("ready lock poisoned");
+                loop {
+                    if let Some(e) = q.pop_front() {
+                        break e;
+                    }
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self.ready_cv.wait(q).expect("ready lock poisoned");
+                }
+            };
+            self.process(&entry);
+        }
+    }
+
+    /// Charges `new_bytes` for this entry against the global total.
+    fn account(&self, st: &mut EntryState, new_bytes: usize) {
+        if new_bytes >= st.bytes {
+            self.total_bytes
+                .fetch_add(new_bytes - st.bytes, Ordering::Relaxed);
+        } else {
+            self.total_bytes
+                .fetch_sub(st.bytes - new_bytes, Ordering::Relaxed);
+        }
+        st.bytes = new_bytes;
+    }
+
+    fn slot_bytes(session: &GameSession) -> usize {
+        let n = session.n();
+        session.memory_bytes() + n * n * std::mem::size_of::<f64>() + ENTRY_OVERHEAD_BYTES
+    }
+
+    fn spill_path(&self, name: &str) -> PathBuf {
+        // The name is suffixed with its (stable, portable) FNV-1a hash:
+        // the registry distinguishes names by case, so on a
+        // case-insensitive filesystem bare `<name>.json` files for "A"
+        // and "a" would silently overwrite each other and cross-wire
+        // two sessions' restored state.
+        let tag = sp_graph::fnv1a(name.as_bytes());
+        self.config
+            .spill_dir
+            .join(format!("{name}-{tag:016x}.json"))
+    }
+
+    /// Writes the session's spill file unless a current one exists.
+    fn spill(&self, name: &str, session: &mut GameSession, dirty: bool) -> io::Result<()> {
+        let path = self.spill_path(name);
+        if dirty || !path.exists() {
+            snapshot::save(&path, session)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one job with the session checked out of its entry.
+    fn process(&self, entry: &Arc<SessionEntry>) {
+        let (job, resident, created, dirty) = {
+            let mut st = entry.state.lock().expect("entry lock poisoned");
+            let Some(job) = st.queue.pop_front() else {
+                st.scheduled = false;
+                return;
+            };
+            entry.space.notify_one();
+            st.busy = true;
+            (job, st.resident.take(), st.created, st.dirty)
+        };
+        let outcome = self.run_job(&entry.name, &job.request, resident, created, dirty);
+        {
+            let mut st = entry.state.lock().expect("entry lock poisoned");
+            st.busy = false;
+            st.created = outcome.created;
+            st.dirty = outcome.dirty;
+            let new_bytes = outcome.resident.as_ref().map_or(0, |s| Self::slot_bytes(s));
+            self.account(&mut st, new_bytes);
+            st.resident = outcome.resident;
+            st.last_used = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            if st.queue.is_empty() {
+                st.scheduled = false;
+            } else {
+                drop(st);
+                self.push_ready(Arc::clone(entry));
+            }
+        }
+        // Enforce the budget *before* replying: a closed-loop client's
+        // next submit happens only after it reads this response, so
+        // with one worker and one client the whole run — eviction
+        // decisions included — is strictly sequential, which is what
+        // makes the serve_throughput counter pass reproducible. (It
+        // also means stats read after a response never show the
+        // registry above budget by more than the in-flight slots.)
+        self.enforce_budget();
+        // Count before replying: a submitter that reads `stats` right
+        // after its response must see this request in the counter.
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // The submitter may have hung up (shutdown race); that's fine.
+        let _ = job.reply.send(outcome.response);
+    }
+
+    /// The lifecycle-aware execution of one request. Queries and
+    /// mutations restore a spilled session transparently; `create`
+    /// builds, `snapshot`/`evict` persist, `load` is an explicit
+    /// restore.
+    fn run_job(
+        &self,
+        name: &str,
+        request: &Request,
+        resident: Option<Box<GameSession>>,
+        created: bool,
+        dirty: bool,
+    ) -> JobOutcome {
+        let id = request.id;
+        if let SessionOp::Create { body } = &request.op {
+            if created {
+                return JobOutcome {
+                    response: wire::err_response(id, &format!("session {name:?} already exists")),
+                    resident,
+                    created,
+                    dirty,
+                };
+            }
+            return match ops::build_session(body) {
+                Ok(session) => {
+                    self.sessions_created.fetch_add(1, Ordering::Relaxed);
+                    JobOutcome {
+                        response: wire::ok_response(id, ops::create_result(&session)),
+                        resident: Some(Box::new(session)),
+                        created: true,
+                        dirty: true,
+                    }
+                }
+                Err(e) => JobOutcome {
+                    response: wire::err_response(id, &e),
+                    resident,
+                    created,
+                    dirty,
+                },
+            };
+        }
+
+        // `snapshot`/`evict` on an already-spilled session are no-ops:
+        // a session is only non-resident after a successful spill (with
+        // `dirty` cleared), so its file is already current — restoring
+        // a multi-megabyte snapshot just to persist and re-drop it
+        // would be pure waste and would inflate the gated
+        // evict/restore counters.
+        if resident.is_none()
+            && created
+            && matches!(request.op, SessionOp::Snapshot | SessionOp::Evict)
+        {
+            let result = match request.op {
+                SessionOp::Snapshot => ops::persisted_result(),
+                _ => ops::evicted_result(),
+            };
+            return JobOutcome {
+                response: wire::ok_response(id, result),
+                resident: None,
+                created,
+                dirty,
+            };
+        }
+
+        // Everything else needs a resident session: restore a spilled
+        // one, or (for `load`) cold-start from a file nothing remembers.
+        let mut dirty = dirty;
+        let mut created = created;
+        let mut resident = match resident {
+            Some(s) => s,
+            None => {
+                if !created && !matches!(request.op, SessionOp::Load) {
+                    return JobOutcome {
+                        response: wire::err_response(id, &format!("unknown session {name:?}")),
+                        resident: None,
+                        created,
+                        dirty,
+                    };
+                }
+                match snapshot::load(&self.spill_path(name)) {
+                    Ok(mut s) => {
+                        ops::tune_for_service(&mut s);
+                        self.sessions_restored.fetch_add(1, Ordering::Relaxed);
+                        created = true;
+                        dirty = false;
+                        Box::new(s)
+                    }
+                    Err(e) => {
+                        return JobOutcome {
+                            response: wire::err_response(
+                                id,
+                                &format!("cannot restore session {name:?}: {e}"),
+                            ),
+                            resident: None,
+                            created,
+                            dirty,
+                        };
+                    }
+                }
+            }
+        };
+
+        match &request.op {
+            SessionOp::Load => JobOutcome {
+                response: wire::ok_response(id, ops::loaded_result()),
+                resident: Some(resident),
+                created,
+                dirty,
+            },
+            SessionOp::Snapshot => match self.spill(name, &mut resident, dirty) {
+                Ok(()) => JobOutcome {
+                    response: wire::ok_response(id, ops::persisted_result()),
+                    resident: Some(resident),
+                    created,
+                    dirty: false,
+                },
+                Err(e) => JobOutcome {
+                    response: wire::err_response(id, &format!("snapshot failed: {e}")),
+                    resident: Some(resident),
+                    created,
+                    dirty,
+                },
+            },
+            SessionOp::Evict => match self.spill(name, &mut resident, dirty) {
+                Ok(()) => {
+                    self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                    JobOutcome {
+                        response: wire::ok_response(id, ops::evicted_result()),
+                        resident: None,
+                        created,
+                        dirty: false,
+                    }
+                }
+                Err(e) => JobOutcome {
+                    response: wire::err_response(id, &format!("evict failed: {e}")),
+                    resident: Some(resident),
+                    created,
+                    dirty,
+                },
+            },
+            op => {
+                let mutating = op.is_mutating();
+                match ops::execute_query(op, &mut resident) {
+                    Ok(result) => JobOutcome {
+                        response: wire::ok_response(id, result),
+                        resident: Some(resident),
+                        created,
+                        dirty: dirty || mutating,
+                    },
+                    Err(e) => JobOutcome {
+                        // A failed mutation (validation happens up
+                        // front) leaves the session untouched.
+                        response: wire::err_response(id, &e),
+                        resident: Some(resident),
+                        created,
+                        dirty,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Picks the least-recently-used evictable entry, if any.
+    fn pick_lru(&self) -> Option<Arc<SessionEntry>> {
+        let mut best: Option<(u64, Arc<SessionEntry>)> = None;
+        for shard in &self.shards {
+            let entries: Vec<Arc<SessionEntry>> = shard
+                .lock()
+                .expect("shard lock poisoned")
+                .values()
+                .cloned()
+                .collect();
+            for e in entries {
+                let st = e.state.lock().expect("entry lock poisoned");
+                let evictable =
+                    st.resident.is_some() && !st.busy && !st.scheduled && st.queue.is_empty();
+                if !evictable {
+                    continue;
+                }
+                let stamp = st.last_used;
+                drop(st);
+                if best.as_ref().is_none_or(|(b, _)| stamp < *b) {
+                    best = Some((stamp, e));
+                }
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// Evicts LRU sessions until the total drops under the budget (or
+    /// nothing evictable remains). Called after every completed request.
+    fn enforce_budget(&self) {
+        let mut misses = 0usize;
+        while self.total_bytes.load(Ordering::Relaxed) > self.config.memory_budget {
+            let Some(victim) = self.pick_lru() else {
+                return;
+            };
+            // Hold the state lock through the spill: the entry is idle
+            // (no queued work), and holding the lock keeps a racing
+            // submit from scheduling the session while its file is
+            // half-written.
+            let mut st = victim.state.lock().expect("entry lock poisoned");
+            let evictable =
+                st.resident.is_some() && !st.busy && !st.scheduled && st.queue.is_empty();
+            if !evictable {
+                misses += 1;
+                if misses > EVICT_RETRIES {
+                    return;
+                }
+                continue;
+            }
+            let mut session = st.resident.take().expect("checked evictable");
+            match self.spill(&victim.name, &mut session, st.dirty) {
+                Ok(()) => {
+                    st.dirty = false;
+                    self.account(&mut st, 0);
+                    self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Disk trouble: keep the session resident and stop
+                    // evicting for now rather than dropping state.
+                    st.resident = Some(session);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_json::json;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sp-serve-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn submit_and_wait(registry: &SessionRegistry, body: Value) -> Value {
+        let request = ops::parse_request(&body).expect("well-formed");
+        let rx = registry.submit(request).expect("accepting");
+        rx.recv().expect("response")
+    }
+
+    fn create_body(name: &str, positions: &[f64]) -> Value {
+        json!({
+            "op": "create", "session": name, "alpha": 1.0,
+            "positions_1d": Value::Array(positions.iter().map(|&x| Value::Number(x)).collect()),
+            "links": [[0, 1], [1, 0], [1, 2], [2, 1]],
+        })
+    }
+
+    #[test]
+    fn per_session_order_and_lifecycle() {
+        let dir = test_dir("lifecycle");
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_dir: dir.clone(),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        let workers = registry.spawn_workers(4);
+
+        let r = submit_and_wait(&registry, create_body("a", &[0.0, 1.0, 3.0]));
+        assert_eq!(r["ok"], true, "{r}");
+        let r = submit_and_wait(&registry, create_body("a", &[0.0, 1.0, 3.0]));
+        assert_eq!(r["ok"], false, "duplicate create must fail");
+
+        // Ordering: apply, then read — the read must see the apply.
+        let r = submit_and_wait(
+            &registry,
+            json!({ "op": "apply", "session": "a", "move": json!({ "add": [0, 2] }) }),
+        );
+        assert_eq!(r["ok"], true, "{r}");
+        let sc1 = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "a" }));
+        assert_eq!(sc1["ok"], true);
+
+        // Evict and transparently restore on next use.
+        let r = submit_and_wait(&registry, json!({ "op": "evict", "session": "a" }));
+        assert_eq!(r["ok"], true, "{r}");
+        let sc2 = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "a" }));
+        assert_eq!(sc2, sc1, "restored session must answer identically");
+        let stats = registry.stats();
+        assert_eq!(stats.sessions_evicted, 1);
+        assert_eq!(stats.sessions_restored, 1);
+
+        // Unknown sessions fail without being created.
+        let r = submit_and_wait(
+            &registry,
+            json!({ "op": "social_cost", "session": "ghost" }),
+        );
+        assert_eq!(r["ok"], false);
+
+        registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_forces_lru_eviction() {
+        let dir = test_dir("budget");
+        let registry = SessionRegistry::new(RegistryConfig {
+            // Room for roughly one small session at a time.
+            memory_budget: 1 << 10,
+            spill_dir: dir.clone(),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        let workers = registry.spawn_workers(1);
+        for name in ["a", "b", "c"] {
+            let r = submit_and_wait(&registry, create_body(name, &[0.0, 1.0, 3.0, 4.0]));
+            assert_eq!(r["ok"], true, "{r}");
+            let r = submit_and_wait(&registry, json!({ "op": "social_cost", "session": name }));
+            assert_eq!(r["ok"], true);
+        }
+        let stats = registry.stats();
+        assert!(
+            stats.sessions_evicted >= 2,
+            "tight budget must evict: {stats:?}"
+        );
+        // Every session still answers (restored on demand) with the
+        // value a never-evicted session would give.
+        let fresh = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "a" }));
+        assert_eq!(fresh["ok"], true);
+        registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_depth_is_bounded_and_recorded() {
+        let dir = test_dir("depth");
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_dir: dir.clone(),
+            queue_capacity: 8,
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        // No workers yet: queue up a burst, then start the pool.
+        let mut receivers = Vec::new();
+        receivers.push(
+            registry
+                .submit(ops::parse_request(&create_body("q", &[0.0, 1.0, 2.0])).unwrap())
+                .unwrap(),
+        );
+        for _ in 0..7 {
+            receivers.push(
+                registry
+                    .submit(
+                        ops::parse_request(&json!({ "op": "social_cost", "session": "q" }))
+                            .unwrap(),
+                    )
+                    .unwrap(),
+            );
+        }
+        assert_eq!(registry.stats().queue_depth_hwm, 8);
+        let workers = registry.spawn_workers(2);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap()["ok"], true);
+        }
+        registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! The TCP front end: accept loop, per-connection framing, and routing
+//! into the [`SessionRegistry`] scheduler.
+//!
+//! Each connection gets its own reader thread that handles frames
+//! **synchronously**: read one request, route it, wait for the
+//! response, write it back. Per-connection responses therefore arrive
+//! in request order, and a client that wants pipelining across sessions
+//! simply opens more connections (what `sp-loadgen` does). Registry
+//! -level ops (`stats`, `ping`) answer inline without touching the
+//! scheduler.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sp_json::{frame, json, Value};
+
+use crate::ops;
+use crate::registry::{RegistryConfig, SessionRegistry};
+use crate::wire;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Worker-pool size for the registry scheduler.
+    pub workers: usize,
+    /// Registry (budget, spill dir, queue bound) configuration.
+    pub registry: RegistryConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2),
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// A running sp-serve instance: listener, connection threads, and the
+/// registry worker pool.
+pub struct Server {
+    local_addr: SocketAddr,
+    registry: Arc<SessionRegistry>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spill-directory failures.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let registry = SessionRegistry::new(config.registry)?;
+        let worker_handles = registry.spawn_workers(config.workers);
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sp-serve-accept".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let registry = Arc::clone(&registry);
+                        // Connection threads exit when the peer closes;
+                        // they are deliberately detached.
+                        let _ = std::thread::Builder::new()
+                            .name("sp-serve-conn".to_owned())
+                            .spawn(move || handle_connection(stream, &registry));
+                    }
+                })
+                .expect("failed to spawn accept thread")
+        };
+        Ok(Server {
+            local_addr,
+            registry,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry behind this server.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting, shuts the scheduler down, and joins the pool.
+    /// Connections still open observe errors and close themselves.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Nudge the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.registry.shutdown();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Computes the response for one already-parsed request frame — the
+/// single routing point shared by every connection.
+#[must_use]
+pub fn respond(registry: &SessionRegistry, request: &Value) -> Value {
+    let id = wire::request_id(request);
+    match request.get("op").and_then(Value::as_str) {
+        Some("ping") => wire::ok_response(id, json!({ "pong": true })),
+        Some("stats") => wire::ok_response(id, registry.stats().to_value()),
+        _ => match ops::parse_request(request) {
+            Err(e) => wire::err_response(id, &e),
+            Ok(parsed) => match registry.submit(parsed) {
+                Err(e) => wire::err_response(id, &e),
+                Ok(rx) => rx
+                    .recv()
+                    .unwrap_or_else(|_| wire::err_response(id, "server shutting down")),
+            },
+        },
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &SessionRegistry) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match frame::read_frame(&mut reader) {
+            Ok(Some(v)) => v,
+            // Clean close, a mid-frame error, or malformed JSON all end
+            // the connection; framing errors are not recoverable.
+            Ok(None) | Err(_) => return,
+        };
+        let response = respond(registry, &request);
+        if frame::write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Connects, sends one request frame, and waits for the response — the
+/// one-shot convenience the CLI-style tools use.
+///
+/// # Errors
+///
+/// Propagates connection and framing errors; an empty response stream
+/// is [`io::ErrorKind::UnexpectedEof`].
+pub fn call_once<A: ToSocketAddrs>(addr: A, request: &Value) -> io::Result<Value> {
+    crate::client::Client::connect(addr)?.call(request)
+}

@@ -1,0 +1,295 @@
+//! Session snapshot persistence: [`sp_core::GameSession`] ⇄ sp-json ⇄
+//! file.
+//!
+//! A snapshot file is self-contained — it carries the game (latency
+//! matrix plus `α`), the profile, and both warm cache tiers — so it
+//! serves two roles:
+//!
+//! * **eviction spill**: the registry writes the file, drops the
+//!   in-memory session, and the next request restores it transparently;
+//! * **cold start**: a fresh server process (or the explicit `load` op)
+//!   can resurrect a session nothing in memory remembers.
+//!
+//! The fidelity contract is *bit-identity*: every query on the restored
+//! session answers with exactly the bits the source session would have
+//! produced. Finite floats survive the text round trip because the
+//! printer emits shortest-round-trip renderings; infinite overlay
+//! distances (disconnected overlays are legal states) go through
+//! [`sp_json::encode_f64`]. Row order in the file is deterministic, so
+//! equal sessions produce byte-identical files.
+//!
+//! Format (`"format": "sp-serve/session-snapshot/v1"`):
+//!
+//! ```json
+//! {
+//!   "format": "sp-serve/session-snapshot/v1",
+//!   "alpha": 2.0,
+//!   "matrix": [[0.0, 1.5], [1.5, 0.0]],
+//!   "profile": [[1], []],
+//!   "overlay_rows": [[0, [0.0, 1.5]]],
+//!   "residual_rows": [[0, 1, [ "inf", 0.0 ]]]
+//! }
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use sp_core::{Game, GameSession, SessionSnapshot, StrategyProfile};
+use sp_graph::DistanceMatrix;
+use sp_json::{decode_f64, encode_f64, Value};
+
+/// The format tag written into (and required from) every snapshot file.
+pub const FORMAT: &str = "sp-serve/session-snapshot/v1";
+
+/// Serialises a session (game + profile + warm cache tiers) to a value.
+#[must_use]
+pub fn session_to_value(session: &mut GameSession) -> Value {
+    let game = session.game_arc();
+    let n = game.n();
+    let matrix: Value = Value::Array(
+        (0..n)
+            .map(|i| Value::Array((0..n).map(|j| Value::Number(game.distance(i, j))).collect()))
+            .collect(),
+    );
+    let snap = session.snapshot();
+    let profile: Value = Value::Array(
+        snap.profile
+            .iter()
+            .map(|(_, links)| Value::Array(links.iter().map(|t| Value::from(t.index())).collect()))
+            .collect(),
+    );
+    let row_value = |row: &[f64]| Value::Array(row.iter().map(|&x| encode_f64(x)).collect());
+    let overlay: Value = Value::Array(
+        snap.overlay_rows
+            .iter()
+            .map(|(u, row)| Value::Array(vec![Value::from(*u), row_value(row)]))
+            .collect(),
+    );
+    let residual: Value = Value::Array(
+        snap.residual_rows
+            .iter()
+            .map(|(i, v, row)| Value::Array(vec![Value::from(*i), Value::from(*v), row_value(row)]))
+            .collect(),
+    );
+    Value::Object(vec![
+        ("format".to_owned(), Value::from(FORMAT)),
+        ("alpha".to_owned(), Value::Number(game.alpha())),
+        ("matrix".to_owned(), matrix),
+        ("profile".to_owned(), profile),
+        ("overlay_rows".to_owned(), overlay),
+        ("residual_rows".to_owned(), residual),
+    ])
+}
+
+fn decode_row(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| decode_f64(x).ok_or_else(|| format!("{what} holds a non-distance entry")))
+        .collect()
+}
+
+/// Rebuilds a session from a value produced by [`session_to_value`].
+///
+/// # Errors
+///
+/// Returns a human-readable message on a missing/mismatched format tag,
+/// malformed fields, or a snapshot [`sp_core::GameSession::restore`]
+/// rejects as inconsistent.
+pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
+    match v.get("format").and_then(Value::as_str) {
+        Some(f) if f == FORMAT => {}
+        Some(f) => return Err(format!("unsupported snapshot format {f:?}")),
+        None => return Err("snapshot is missing its format tag".to_owned()),
+    }
+    let alpha = v
+        .get("alpha")
+        .and_then(Value::as_f64)
+        .ok_or("snapshot needs a numeric 'alpha'")?;
+    let rows = v
+        .get("matrix")
+        .and_then(Value::as_array)
+        .ok_or("snapshot needs a 'matrix' array")?;
+    let n = rows.len();
+    let mut flat = Vec::with_capacity(n * n);
+    for row in rows {
+        let r = row.as_array().ok_or("matrix rows must be arrays")?;
+        if r.len() != n {
+            return Err("matrix must be square".to_owned());
+        }
+        for x in r {
+            flat.push(x.as_f64().ok_or("matrix entries must be numbers")?);
+        }
+    }
+    let matrix = DistanceMatrix::from_row_major(n, flat).map_err(|e| e.to_string())?;
+    let game = Game::new(matrix, alpha).map_err(|e| e.to_string())?;
+
+    let strategies = v
+        .get("profile")
+        .and_then(Value::as_array)
+        .ok_or("snapshot needs a 'profile' array")?;
+    if strategies.len() != n {
+        return Err(format!(
+            "profile has {} strategies for {n} peers",
+            strategies.len()
+        ));
+    }
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    for (i, s) in strategies.iter().enumerate() {
+        for t in s.as_array().ok_or("profile strategies must be arrays")? {
+            links.push((i, t.as_usize().ok_or("profile links must be peer indices")?));
+        }
+    }
+    let profile = StrategyProfile::from_links(n, &links).map_err(|e| e.to_string())?;
+
+    let mut overlay_rows: Vec<(usize, Vec<f64>)> = Vec::new();
+    for entry in v
+        .get("overlay_rows")
+        .and_then(Value::as_array)
+        .ok_or("snapshot needs an 'overlay_rows' array")?
+    {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or("overlay_rows entries must be [source, row] pairs")?;
+        let u = pair[0]
+            .as_usize()
+            .ok_or("overlay row source must be an index")?;
+        overlay_rows.push((u, decode_row(&pair[1], "overlay row")?));
+    }
+    let mut residual_rows: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+    for entry in v
+        .get("residual_rows")
+        .and_then(Value::as_array)
+        .ok_or("snapshot needs a 'residual_rows' array")?
+    {
+        let triple = entry
+            .as_array()
+            .filter(|p| p.len() == 3)
+            .ok_or("residual_rows entries must be [excluded, source, row] triples")?;
+        let i = triple[0]
+            .as_usize()
+            .ok_or("residual excluded peer must be an index")?;
+        let s = triple[1]
+            .as_usize()
+            .ok_or("residual source must be an index")?;
+        residual_rows.push((i, s, decode_row(&triple[2], "residual row")?));
+    }
+
+    GameSession::restore(
+        game,
+        SessionSnapshot {
+            profile,
+            overlay_rows,
+            residual_rows,
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Writes a session snapshot to `path` atomically (temp file + rename),
+/// so a crash mid-spill never leaves a truncated snapshot behind.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: &Path, session: &mut GameSession) -> io::Result<()> {
+    let value = session_to_value(session);
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, value.to_string_compact())?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads a session snapshot from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; malformed content surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load(path: &Path) -> io::Result<GameSession> {
+    let text = fs::read_to_string(path)?;
+    let value: Value = text
+        .parse()
+        .map_err(|e: sp_json::JsonError| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    session_from_value(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{BestResponseMethod, Move, PeerId};
+    use sp_metric::LineSpace;
+
+    fn warmed_session() -> GameSession {
+        let game =
+            Game::from_space(&LineSpace::new(vec![0.0, 1.0, 3.0, 4.5, 9.0]).unwrap(), 1.5).unwrap();
+        let profile =
+            StrategyProfile::from_links(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 0)])
+                .unwrap();
+        let mut s = GameSession::new(game, profile).unwrap();
+        let _ = s.social_cost();
+        let _ = s.best_response(PeerId::new(2), BestResponseMethod::Greedy);
+        s.apply(Move::AddLink {
+            from: PeerId::new(0),
+            to: PeerId::new(3),
+        })
+        .unwrap();
+        let _ = s.peer_cost(PeerId::new(4));
+        s
+    }
+
+    #[test]
+    fn value_roundtrip_is_bit_identical() {
+        let mut s = warmed_session();
+        let snap_before = s.snapshot();
+        let v = session_to_value(&mut s);
+        // Through the full text pipeline, as the spill path does.
+        let text = v.to_string_compact();
+        let mut restored = session_from_value(&text.parse().unwrap()).unwrap();
+        assert_eq!(restored.snapshot(), snap_before);
+        assert_eq!(restored.profile(), s.profile());
+        assert_eq!(restored.game(), s.game());
+        // And queries agree bitwise.
+        assert_eq!(
+            restored.social_cost().total().to_bits(),
+            s.social_cost().total().to_bits()
+        );
+        assert_eq!(restored.stats().snapshot_restores, 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sp-serve-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let mut s = warmed_session();
+        save(&path, &mut s).unwrap();
+        let mut back = load(&path).unwrap();
+        assert_eq!(back.profile(), s.profile());
+        assert_eq!(back.snapshot().overlay_rows, s.snapshot().overlay_rows);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_foreign_and_malformed_values() {
+        assert!(session_from_value(&sp_json::json!({ "format": "nope" })).is_err());
+        assert!(session_from_value(&sp_json::json!({ "alpha": 1.0 })).is_err());
+        let mut s = warmed_session();
+        let good = session_to_value(&mut s);
+        // Corrupt one overlay row length.
+        let mut bad = good.clone();
+        if let Value::Object(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "overlay_rows" {
+                    if let Value::Array(rows) = v {
+                        if let Some(Value::Array(pair)) = rows.first_mut() {
+                            pair[1] = Value::Array(vec![Value::Number(1.0)]);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(session_from_value(&bad).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Game specifications embedded in `create` requests.
+//!
+//! A `create` request carries the instance inline, in the same shape the
+//! CLI's `GameSpec` uses: `alpha` plus exactly one of `positions_1d`,
+//! `points_2d`, or `matrix`, and optional initial `links`:
+//!
+//! ```json
+//! { "op": "create", "session": "s0", "alpha": 2.0,
+//!   "points_2d": [[0,0],[3,4],[10,0]], "links": [[0,1],[1,2]] }
+//! ```
+
+use sp_core::{Game, StrategyProfile};
+use sp_graph::DistanceMatrix;
+use sp_json::Value;
+use sp_metric::{Euclidean2D, LineSpace, Point2};
+
+fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{what} entries must be numbers"))
+        })
+        .collect()
+}
+
+/// Builds the game and initial profile described by the fields of
+/// `request` (which may carry other, non-spec fields like `op` and
+/// `session` — they are ignored here).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the geometry fields are absent
+/// or ambiguous, malformed, or geometrically invalid.
+pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String> {
+    let alpha = request
+        .get("alpha")
+        .and_then(Value::as_f64)
+        .ok_or("create needs a numeric 'alpha' field")?;
+    let field = |key: &str| request.get(key).filter(|f| !f.is_null());
+    let positions_1d = field("positions_1d");
+    let points_2d = field("points_2d");
+    let matrix = field("matrix");
+    let geoms = usize::from(positions_1d.is_some())
+        + usize::from(points_2d.is_some())
+        + usize::from(matrix.is_some());
+    if geoms != 1 {
+        return Err(format!(
+            "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
+        ));
+    }
+
+    let game = if let Some(p) = positions_1d {
+        let space = LineSpace::new(f64_array(p, "positions_1d")?).map_err(|e| e.to_string())?;
+        Game::from_space(&space, alpha).map_err(|e| e.to_string())?
+    } else if let Some(p) = points_2d {
+        let pts: Vec<Point2> = p
+            .as_array()
+            .ok_or("points_2d must be an array")?
+            .iter()
+            .map(|pair| {
+                let xy = f64_array(pair, "points_2d entries")?;
+                if xy.len() != 2 {
+                    return Err("points_2d entries must be [x, y] pairs".to_owned());
+                }
+                Ok(Point2::new(xy[0], xy[1]))
+            })
+            .collect::<Result<_, String>>()?;
+        let space = Euclidean2D::new(pts).map_err(|e| e.to_string())?;
+        Game::from_space(&space, alpha).map_err(|e| e.to_string())?
+    } else {
+        let rows = matrix
+            .expect("one geometry present")
+            .as_array()
+            .ok_or("matrix must be an array of rows")?;
+        let n = rows.len();
+        let mut flat = Vec::with_capacity(n * n);
+        for row in rows {
+            let r = f64_array(row, "matrix rows")?;
+            if r.len() != n {
+                return Err(format!(
+                    "matrix must be square: row of {} in a {n}x{n} matrix",
+                    r.len()
+                ));
+            }
+            flat.extend_from_slice(&r);
+        }
+        let m = DistanceMatrix::from_row_major(n, flat).map_err(|e| e.to_string())?;
+        Game::new(m, alpha).map_err(|e| e.to_string())?
+    };
+
+    let profile = match field("links") {
+        None => StrategyProfile::empty(game.n()),
+        Some(l) => {
+            let pairs: Vec<(usize, usize)> = l
+                .as_array()
+                .ok_or("links must be an array")?
+                .iter()
+                .map(|pair| {
+                    let p = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("links entries must be [from, to] pairs")?;
+                    match (p[0].as_usize(), p[1].as_usize()) {
+                        (Some(a), Some(b)) => Ok((a, b)),
+                        _ => Err("links entries must be [from, to] index pairs".to_owned()),
+                    }
+                })
+                .collect::<Result<_, String>>()?;
+            StrategyProfile::from_links(game.n(), &pairs).map_err(|e| e.to_string())?
+        }
+    };
+    Ok((game, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_json::json;
+
+    #[test]
+    fn builds_each_geometry() {
+        let line = json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0] });
+        let (g, p) = build_embedded(&line).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(p.link_count(), 0);
+
+        let pts = json!({ "alpha": 2.0, "points_2d": [[0, 0], [3, 4]], "links": [[0, 1]] });
+        let (g, p) = build_embedded(&pts).unwrap();
+        assert_eq!(g.distance(0, 1), 5.0);
+        assert_eq!(p.link_count(), 1);
+
+        let m = json!({ "alpha": 1.0, "matrix": [[0, 2], [2, 0]] });
+        let (g, _) = build_embedded(&m).unwrap();
+        assert_eq!(g.distance(1, 0), 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(build_embedded(&json!({ "alpha": 1.0 })).is_err());
+        assert!(build_embedded(&json!({
+            "alpha": 1.0,
+            "positions_1d": [0.0, 1.0],
+            "matrix": [[0, 1], [1, 0]]
+        }))
+        .is_err());
+        assert!(build_embedded(&json!({ "alpha": 1.0, "matrix": [[0, 1]] })).is_err());
+        assert!(build_embedded(&json!({ "positions_1d": [0.0, 1.0] })).is_err());
+        assert!(build_embedded(
+            &json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0], "links": [[0, 5]] })
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Request/response envelopes for the sp-serve wire protocol.
+//!
+//! Frames are length-prefixed compact JSON ([`sp_json::frame`]). Every
+//! request is an object with a string `"op"`, an optional numeric
+//! `"id"` (echoed back verbatim), and — for session ops — a string
+//! `"session"`. Every response is either
+//!
+//! ```json
+//! { "id": 7, "ok": true, "result": { … } }
+//! { "id": 7, "ok": false, "error": "…" }
+//! ```
+//!
+//! Envelope construction lives here so the server workers and the
+//! single-threaded reference executor produce **byte-identical**
+//! responses — the replay test compares them wholesale.
+
+use sp_json::Value;
+
+/// Largest session-name length the registry accepts.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// A successful response wrapping `result`, echoing `id` when present.
+#[must_use]
+pub fn ok_response(id: Option<f64>, result: Value) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(3);
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Value::Number(id)));
+    }
+    fields.push(("ok".to_owned(), Value::Bool(true)));
+    fields.push(("result".to_owned(), result));
+    Value::Object(fields)
+}
+
+/// An error response carrying `message`, echoing `id` when present.
+#[must_use]
+pub fn err_response(id: Option<f64>, message: &str) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(3);
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Value::Number(id)));
+    }
+    fields.push(("ok".to_owned(), Value::Bool(false)));
+    fields.push(("error".to_owned(), Value::from(message)));
+    Value::Object(fields)
+}
+
+/// The `"id"` field of a request, if present and numeric.
+#[must_use]
+pub fn request_id(request: &Value) -> Option<f64> {
+    request.get("id").and_then(Value::as_f64)
+}
+
+/// Validates a session name: 1–[`MAX_NAME_LEN`] chars, leading
+/// alphanumeric, then alphanumerics plus `.`, `_`, `-`. Names become
+/// spill file names, so anything that could escape the spill directory
+/// is rejected at the door.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the constraint violated.
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > MAX_NAME_LEN {
+        return Err(format!(
+            "session name must be 1..={MAX_NAME_LEN} characters"
+        ));
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty");
+    if !first.is_ascii_alphanumeric() {
+        return Err("session name must start with an ASCII alphanumeric".to_owned());
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')) {
+        return Err("session name may only contain ASCII alphanumerics, '.', '_', '-'".to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_json::json;
+
+    #[test]
+    fn envelopes() {
+        let ok = ok_response(Some(3.0), json!({ "x": 1 }));
+        assert_eq!(ok["id"], 3.0);
+        assert_eq!(ok["ok"], true);
+        assert_eq!(ok["result"]["x"], 1);
+        let err = err_response(None, "boom");
+        assert_eq!(err["ok"], false);
+        assert_eq!(err["error"], "boom");
+        assert!(err.get("id").is_none());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("s0012").is_ok());
+        assert!(validate_name("a.b-c_D9").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(".hidden").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a b").is_err());
+        assert!(validate_name(&"x".repeat(65)).is_err());
+    }
+}

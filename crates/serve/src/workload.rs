@@ -1,0 +1,424 @@
+//! Deterministic mixed workloads: generation, single-threaded reference
+//! execution, and closed-loop replay against a live server.
+//!
+//! The three pieces exist to make one claim testable: a concurrent
+//! sp-serve under memory pressure (evict/restore cycles, worker-pool
+//! interleaving) answers **bit-identically** to a single-threaded
+//! executor that keeps every session resident forever. The script is a
+//! pure function of [`WorkloadConfig`]; each session's requests form a
+//! deterministic subsequence; and replay partitions sessions across
+//! client connections (session `i` belongs to client `i % clients`), so
+//! per-session order — the only order that matters — is preserved
+//! however the pool schedules.
+//!
+//! The generated mix covers every session op: strategy mutations
+//! (`apply` / `apply_batch`), cost and stretch queries, best responses
+//! and Nash gaps, short in-place dynamics runs, and explicit
+//! `snapshot` / `evict` / `load` lifecycle traffic (so spill/restore
+//! cycles happen even under a generous budget).
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use sp_core::GameSession;
+use sp_json::{json, Value};
+
+use crate::client::Client;
+use crate::ops::{self, SessionOp};
+use crate::wire;
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of sessions (each gets one `create`, then shares the mix).
+    pub sessions: usize,
+    /// Total requests, including the creates.
+    pub requests: usize,
+    /// Peers per session.
+    pub peers: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The smoke-sized preset (`sp-loadgen --quick`, CI).
+    #[must_use]
+    pub fn quick() -> Self {
+        WorkloadConfig {
+            sessions: 24,
+            requests: 600,
+            peers: 32,
+            seed: 42,
+        }
+    }
+
+    /// The acceptance-sized preset: a mixed 10k-request workload over
+    /// 256 sessions, sized so the default 64 MiB registry budget forces
+    /// evict/restore cycles.
+    #[must_use]
+    pub fn acceptance() -> Self {
+        WorkloadConfig {
+            sessions: 256,
+            requests: 10_000,
+            peers: 112,
+            seed: 42,
+        }
+    }
+}
+
+/// One scripted request: which session it addresses (by index) and the
+/// full request body to send.
+#[derive(Debug, Clone)]
+pub struct ScriptRequest {
+    /// Index of the session this request addresses.
+    pub session_index: usize,
+    /// The request object (already carrying `op`, `session`, `id`).
+    pub body: Value,
+}
+
+/// The canonical name of session `i`.
+#[must_use]
+pub fn session_name(i: usize) -> String {
+    format!("s{i:04}")
+}
+
+fn distinct_points(n: usize, rng: &mut StdRng) -> Vec<(f64, f64)> {
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        let xi = rng.random_range(0u32..100_000);
+        let yi = rng.random_range(0u32..100_000);
+        if seen.insert((xi, yi)) {
+            points.push((f64::from(xi) / 1000.0, f64::from(yi) / 1000.0));
+        }
+    }
+    points
+}
+
+fn create_body(i: usize, cfg: &WorkloadConfig, id: usize, rng: &mut StdRng) -> Value {
+    let n = cfg.peers;
+    let points = distinct_points(n, rng);
+    let points_v = Value::Array(
+        points
+            .iter()
+            .map(|&(x, y)| Value::Array(vec![Value::Number(x), Value::Number(y)]))
+            .collect(),
+    );
+    // A bidirectional ring keeps the starting overlay connected, so the
+    // early cost queries are finite and the dynamics have structure to
+    // chew on; the mutation mix then adds and removes chords freely.
+    let mut links: Vec<Value> = Vec::with_capacity(2 * n);
+    for p in 0..n {
+        let q = (p + 1) % n;
+        links.push(Value::Array(vec![Value::from(p), Value::from(q)]));
+        links.push(Value::Array(vec![Value::from(q), Value::from(p)]));
+    }
+    json!({
+        "id": id,
+        "op": "create",
+        "session": session_name(i),
+        "alpha": 1.0 + f64::from(rng.random_range(0u32..30)) / 10.0,
+        "points_2d": points_v,
+        "links": Value::Array(links),
+    })
+}
+
+fn random_move(n: usize, rng: &mut StdRng) -> Value {
+    let peer = rng.random_range(0..n);
+    let other = |rng: &mut StdRng| {
+        let mut t = rng.random_range(0..n);
+        if t == peer {
+            t = (t + 1) % n;
+        }
+        t
+    };
+    match rng.random_range(0u32..10) {
+        0..=3 => json!({ "add": [peer, other(rng)] }),
+        4..=6 => json!({ "remove": [peer, other(rng)] }),
+        _ => {
+            let k = rng.random_range(1usize..=3);
+            let mut targets: Vec<usize> = Vec::new();
+            for _ in 0..k {
+                let t = other(rng);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            json!({ "set": json!({ "peer": peer, "links": Value::from(targets) }) })
+        }
+    }
+}
+
+fn method_str(rng: &mut StdRng) -> &'static str {
+    if rng.random_range(0u32..4) == 0 {
+        "local_search"
+    } else {
+        "greedy"
+    }
+}
+
+/// Builds the deterministic request script for `cfg`: one `create` per
+/// session first, then the mixed op stream.
+#[must_use]
+pub fn build_script(cfg: &WorkloadConfig) -> Vec<ScriptRequest> {
+    assert!(cfg.sessions > 0, "workload needs at least one session");
+    assert!(cfg.peers >= 4, "workload needs at least four peers");
+    assert!(
+        cfg.requests >= cfg.sessions,
+        "every session needs room for its create"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut script = Vec::with_capacity(cfg.requests);
+    for i in 0..cfg.sessions {
+        script.push(ScriptRequest {
+            session_index: i,
+            body: create_body(i, cfg, script.len(), &mut rng),
+        });
+    }
+    let n = cfg.peers;
+    while script.len() < cfg.requests {
+        // Session choice has locality: most traffic hits a hot window
+        // that slides across the session space, the rest is uniform.
+        // Real multi-tenant traffic is skewed, and under a tight budget
+        // this is what makes eviction *selective* (cold sessions spill,
+        // hot ones stay) instead of thrashing every slot on every
+        // request.
+        let window = (cfg.sessions / 8).clamp(1, 32);
+        let hot_start = (script.len() / 200) * ((cfg.sessions / 13).max(1));
+        let i = if rng.random_range(0u32..4) < 3 {
+            (hot_start + rng.random_range(0..window)) % cfg.sessions
+        } else {
+            rng.random_range(0..cfg.sessions)
+        };
+        let session = session_name(i);
+        let id = script.len();
+        let r = rng.random_range(0u32..1000);
+        let body = match r {
+            0..=339 => json!({
+                "id": id, "op": "apply", "session": session,
+                "move": random_move(n, &mut rng),
+            }),
+            340..=459 => {
+                let k = rng.random_range(2usize..=4);
+                let moves: Vec<Value> = (0..k).map(|_| random_move(n, &mut rng)).collect();
+                json!({
+                    "id": id, "op": "apply_batch", "session": session,
+                    "moves": Value::Array(moves),
+                })
+            }
+            460..=679 => json!({ "id": id, "op": "social_cost", "session": session }),
+            680..=789 => json!({
+                "id": id, "op": "best_response", "session": session,
+                "peer": rng.random_range(0..n), "method": method_str(&mut rng),
+            }),
+            790..=849 => json!({ "id": id, "op": "stretch", "session": session }),
+            850..=899 => json!({ "id": id, "op": "snapshot", "session": session }),
+            900..=959 => json!({ "id": id, "op": "evict", "session": session }),
+            960..=989 => json!({ "id": id, "op": "load", "session": session }),
+            990..=995 => json!({
+                "id": id, "op": "nash_gap", "session": session, "method": "greedy",
+            }),
+            _ => json!({
+                "id": id, "op": "run_dynamics", "session": session,
+                "rule": "better", "max_rounds": 1, "detect_cycles": false,
+            }),
+        };
+        script.push(ScriptRequest {
+            session_index: i,
+            body,
+        });
+    }
+    script
+}
+
+/// Executes the script **single-threaded with no eviction**: every
+/// session stays resident forever, lifecycle ops answer their canonical
+/// bodies without touching placement. This is the ground truth the
+/// served run must match bit for bit.
+#[must_use]
+pub fn reference_responses(script: &[ScriptRequest]) -> Vec<Value> {
+    let mut sessions: HashMap<String, GameSession> = HashMap::new();
+    script
+        .iter()
+        .map(|r| reference_respond(&mut sessions, &r.body))
+        .collect()
+}
+
+fn reference_respond(sessions: &mut HashMap<String, GameSession>, body: &Value) -> Value {
+    let id = wire::request_id(body);
+    let parsed = match ops::parse_request(body) {
+        Ok(p) => p,
+        Err(e) => return wire::err_response(id, &e),
+    };
+    match &parsed.op {
+        SessionOp::Create { body } => {
+            if sessions.contains_key(&parsed.session) {
+                return wire::err_response(
+                    id,
+                    &format!("session {:?} already exists", parsed.session),
+                );
+            }
+            match ops::build_session(body) {
+                Ok(s) => {
+                    let result = ops::create_result(&s);
+                    sessions.insert(parsed.session.clone(), s);
+                    wire::ok_response(id, result)
+                }
+                Err(e) => wire::err_response(id, &e),
+            }
+        }
+        op => {
+            let Some(session) = sessions.get_mut(&parsed.session) else {
+                return wire::err_response(id, &format!("unknown session {:?}", parsed.session));
+            };
+            match op {
+                SessionOp::Load => wire::ok_response(id, ops::loaded_result()),
+                SessionOp::Snapshot => wire::ok_response(id, ops::persisted_result()),
+                SessionOp::Evict => wire::ok_response(id, ops::evicted_result()),
+                _ => match ops::execute_query(op, session) {
+                    Ok(result) => wire::ok_response(id, result),
+                    Err(e) => wire::err_response(id, &e),
+                },
+            }
+        }
+    }
+}
+
+/// The outcome of a replay: per-request responses (script order) plus
+/// wall-clock.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// One response per script request, in script order.
+    pub responses: Vec<Value>,
+    /// End-to-end wall time of the replay.
+    pub wall: Duration,
+}
+
+/// Replays the script against a live server over `clients` closed-loop
+/// connections. Session `i` is driven by client `i % clients`, so each
+/// session's requests arrive in script order regardless of scheduling.
+///
+/// # Errors
+///
+/// Propagates connection/framing failures from any client.
+///
+/// # Panics
+///
+/// Panics if a client thread itself panicked.
+pub fn replay(
+    addr: SocketAddr,
+    script: &[ScriptRequest],
+    clients: usize,
+) -> io::Result<ReplayOutcome> {
+    let clients = clients.max(1);
+    let start = Instant::now();
+    let mut slots: Vec<Option<Value>> = vec![None; script.len()];
+    let results: Vec<io::Result<Vec<(usize, Value)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> io::Result<Vec<(usize, Value)>> {
+                    let mut client = Client::connect(addr)?;
+                    let mut out = Vec::new();
+                    for (k, r) in script.iter().enumerate() {
+                        if r.session_index % clients != c {
+                            continue;
+                        }
+                        out.push((k, client.call(&r.body)?));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay client thread panicked"))
+            .collect()
+    });
+    for result in results {
+        for (k, v) in result? {
+            slots[k] = Some(v);
+        }
+    }
+    Ok(ReplayOutcome {
+        responses: slots
+            .into_iter()
+            .map(|s| s.expect("every script request is owned by exactly one client"))
+            .collect(),
+        wall: start.elapsed(),
+    })
+}
+
+/// Compares a served response vector against the reference, returning
+/// the index and pair of the first mismatch.
+///
+/// # Errors
+///
+/// Returns `(index, served, reference)` of the first divergence.
+pub fn verify(served: &[Value], reference: &[Value]) -> Result<(), (usize, Value, Value)> {
+    assert_eq!(served.len(), reference.len(), "response counts differ");
+    for (k, (s, r)) in served.iter().zip(reference).enumerate() {
+        if s != r {
+            return Err((k, s.clone(), r.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_is_deterministic_and_covers_ops() {
+        let cfg = WorkloadConfig {
+            sessions: 6,
+            requests: 400,
+            peers: 8,
+            seed: 7,
+        };
+        let a = build_script(&cfg);
+        let b = build_script(&cfg);
+        assert_eq!(a.len(), 400);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.body, y.body);
+            assert_eq!(x.session_index, y.session_index);
+        }
+        let mut ops_seen: HashSet<String> = HashSet::new();
+        for r in &a {
+            ops_seen.insert(r.body["op"].as_str().unwrap().to_owned());
+        }
+        for op in [
+            "create",
+            "apply",
+            "apply_batch",
+            "social_cost",
+            "best_response",
+            "stretch",
+            "snapshot",
+            "evict",
+            "load",
+        ] {
+            assert!(ops_seen.contains(op), "mix never produced {op:?}");
+        }
+    }
+
+    #[test]
+    fn reference_executes_whole_quick_mix() {
+        let cfg = WorkloadConfig {
+            sessions: 4,
+            requests: 120,
+            peers: 8,
+            seed: 3,
+        };
+        let script = build_script(&cfg);
+        let responses = reference_responses(&script);
+        assert_eq!(responses.len(), script.len());
+        for (k, r) in responses.iter().enumerate() {
+            assert_eq!(r["ok"], true, "request {k} failed: {r}");
+            assert_eq!(r["id"].as_usize(), Some(k), "ids echo script order");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end replay equivalence: a concurrent sp-serve under memory
+//! pressure answers bit-identically to a single-threaded, no-eviction
+//! reference executor.
+//!
+//! `acceptance_replay_is_bit_identical_under_eviction` is the PR's
+//! acceptance gate: the mixed 10k-request workload over 256 sessions
+//! runs against a live TCP server with a 64 MiB registry budget — far
+//! below the workload's resident footprint, so the registry must
+//! continuously evict LRU sessions to disk and restore them on their
+//! next request — across 8 closed-loop client connections and a
+//! multi-worker scheduler. Every one of the 10k responses must equal,
+//! bit for bit, what the reference executor computes with every session
+//! permanently resident.
+
+use std::path::PathBuf;
+
+use sp_json::{json, Value};
+use sp_serve::registry::RegistryConfig;
+use sp_serve::server::{call_once, Server, ServerConfig};
+use sp_serve::workload::{self, WorkloadConfig};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sp-serve-replay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_replay(
+    tag: &str,
+    cfg: &WorkloadConfig,
+    budget: usize,
+    workers: usize,
+    clients: usize,
+) -> (
+    Vec<Value>,
+    Vec<Value>,
+    sp_serve::registry::RegistryStats,
+    usize,
+) {
+    let dir = test_dir(tag);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        registry: RegistryConfig {
+            memory_budget: budget,
+            spill_dir: dir.clone(),
+            queue_capacity: 32,
+        },
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let script = workload::build_script(cfg);
+    let explicit_evicts = script.iter().filter(|r| r.body["op"] == "evict").count();
+    let outcome = workload::replay(addr, &script, clients).expect("replay completes");
+    let stats = server.registry().stats();
+
+    // Protocol sanity: the registry-level ops answer inline.
+    let pong = call_once(addr, &json!({ "op": "ping", "id": 1 })).unwrap();
+    assert_eq!(pong["ok"], true);
+    assert_eq!(pong["result"]["pong"], true);
+
+    server.shutdown();
+    let reference = workload::reference_responses(&script);
+    let _ = std::fs::remove_dir_all(&dir);
+    (outcome.responses, reference, stats, explicit_evicts)
+}
+
+fn assert_identical(served: &[Value], reference: &[Value]) {
+    if let Err((k, s, r)) = workload::verify(served, reference) {
+        panic!("response {k} diverged:\n  served:    {s}\n  reference: {r}");
+    }
+}
+
+/// Small smoke: generous budget (explicit `evict` ops still force
+/// spill/restore cycles), several workers and clients.
+#[test]
+fn quick_replay_is_bit_identical() {
+    let cfg = WorkloadConfig::quick();
+    let (served, reference, stats, _) = run_replay("quick", &cfg, 64 << 20, 4, 4);
+    assert_eq!(served.len(), cfg.requests);
+    assert!(
+        served.iter().all(|r| r["ok"] == true),
+        "quick workload must not produce errors"
+    );
+    assert_identical(&served, &reference);
+    assert!(
+        stats.sessions_evicted > 0,
+        "evict ops must spill: {stats:?}"
+    );
+    assert!(
+        stats.sessions_restored > 0,
+        "spilled sessions must restore: {stats:?}"
+    );
+    assert_eq!(stats.requests_served, cfg.requests as u64);
+}
+
+/// The acceptance gate (see module docs): 10k requests, 256 sessions,
+/// 64 MiB budget, bit-identical to the no-eviction reference.
+#[test]
+fn acceptance_replay_is_bit_identical_under_eviction() {
+    let cfg = WorkloadConfig::acceptance();
+    let (served, reference, stats, explicit_evicts) =
+        run_replay("acceptance", &cfg, 64 << 20, 4, 8);
+    assert_eq!(served.len(), 10_000);
+    assert!(
+        served.iter().all(|r| r["ok"] == true),
+        "acceptance workload must not produce errors"
+    );
+    assert_identical(&served, &reference);
+
+    // The budget — not just the scripted evict ops — must have driven
+    // evictions: more spills than explicit requests proves LRU pressure.
+    assert!(
+        stats.sessions_evicted > explicit_evicts as u64,
+        "expected budget-driven evictions beyond the {explicit_evicts} scripted ones: {stats:?}"
+    );
+    assert!(
+        stats.sessions_restored as usize > explicit_evicts / 2,
+        "evicted sessions must keep getting restored: {stats:?}"
+    );
+    // The last responses are sent *before* their workers' final
+    // `enforce_budget` pass, so the post-replay reading may race a
+    // transient overshoot of at most the few slots admitted since the
+    // previous pass — allow one workers' worth of slots of slack.
+    assert!(
+        stats.resident_bytes <= (64 << 20) + (4 << 20),
+        "registry ended far above budget: {stats:?}"
+    );
+    assert_eq!(stats.requests_served, 10_000);
+}
