@@ -85,12 +85,7 @@ fn round_rebuild(game: &Game, start: &StrategyProfile) -> (f64, SessionStats) {
 }
 
 fn accumulate(total: &mut SessionStats, s: SessionStats) {
-    total.full_sssp += s.full_sssp;
-    total.csr_rebuilds += s.csr_rebuilds;
-    total.oracle_builds += s.oracle_builds;
-    total.incremental_relaxations += s.incremental_relaxations;
-    total.seq_oracle_hits += s.seq_oracle_hits;
-    total.seq_oracle_swept += s.seq_oracle_swept;
+    total.merge(&s);
 }
 
 fn bench_round(c: &mut Criterion) {

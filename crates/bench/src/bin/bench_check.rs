@@ -31,6 +31,8 @@
 //! `bench-smoke` CI job blocks merges that silently give back the work
 //! savings the committed snapshots record.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;

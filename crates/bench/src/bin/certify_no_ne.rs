@@ -8,6 +8,8 @@
 //! and reports every placement whose `I_1` instance is certifiably
 //! equilibrium-free (this is how the shipped constants were found).
 
+#![forbid(unsafe_code)]
+
 use sp_analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
 use sp_constructions::no_ne::{NoEquilibriumInstance, NoNeParams};
 use sp_core::StrategyProfile;

@@ -9,6 +9,8 @@
 //!
 //! Replaces the sixteen historical one-line `exp_*` binaries.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use sp_analysis::experiments as exp;

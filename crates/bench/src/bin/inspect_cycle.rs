@@ -1,5 +1,7 @@
 //! Dev tool: print the move structure of the I_1 best-response cycle.
 
+#![forbid(unsafe_code)]
+
 use sp_constructions::no_ne::NoEquilibriumInstance;
 use sp_core::StrategyProfile;
 use sp_dynamics::{DynamicsConfig, DynamicsRunner, Termination};

@@ -1,5 +1,7 @@
 //! Wide randomized search for k = 1 no-equilibrium placements (dev tool).
 
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 use sp_analysis::exhaustive::{exhaustive_nash_scan, ExhaustiveResult};
 use sp_constructions::no_ne::{NoEquilibriumInstance, NoNeParams};

@@ -300,6 +300,7 @@ impl DemandGame {
         };
         let links: LinkSet = sol.open.iter().map(|&f| candidates[f]).collect();
         let cost = sol.cost;
+        // sp-lint: allow(float-eps, reason = "conservative accept: a heuristic tie or epsilon-worse solution keeps the current strategy, which is always valid")
         if cost > current_cost {
             return Ok(BestResponse {
                 peer,

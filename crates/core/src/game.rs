@@ -50,6 +50,7 @@ impl Game {
         }
         let n = dist.len();
         for i in 0..n {
+            // sp-lint: allow(float-eps, reason = "metric validation: a diagonal must be exactly 0.0, not merely close")
             if dist[(i, i)] != 0.0 {
                 return Err(CoreError::Metric(MetricError::NonZeroDiagonal { i }));
             }

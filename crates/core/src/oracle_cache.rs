@@ -185,6 +185,7 @@ impl OracleCache {
     /// Every retained residual row as `(excluded, source, distances)`,
     /// sorted by key so snapshots are deterministic.
     pub(crate) fn residual_rows_sorted(&self) -> Vec<(usize, usize, &[f64])> {
+        // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: the collected rows are sorted by key immediately below")
         let mut rows: Vec<(usize, usize, &[f64])> = self
             .residual
             .iter()
@@ -332,6 +333,7 @@ impl OracleCache {
             seeds.clear();
             seeds.extend(added.iter().filter_map(|&(i, j, w)| {
                 let d_ui = row[i];
+                // sp-lint: allow(float-eps, reason = "strict-decrease seeding: exact improvement is the Dijkstra fixpoint criterion; an eps band would re-seed settled rows forever")
                 (d_ui.is_finite() && d_ui + w < row[j]).then_some((j, d_ui + w))
             }));
             if !seeds.is_empty() {
@@ -346,6 +348,7 @@ impl OracleCache {
         // (G_{-i} never contained them) and additions re-relax without
         // routing through the excluded peer.
         let mut residual_invalidated = 0usize;
+        // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: each entry's keep/drop decision depends only on that entry; the counter is a commutative sum")
         self.residual.retain(|&(excluded, _source), row| {
             let broken = removed.iter().any(|&(i, j, w)| {
                 i != excluded && {
@@ -363,6 +366,7 @@ impl OracleCache {
                     return None;
                 }
                 let d_ui = row[i];
+                // sp-lint: allow(float-eps, reason = "strict-decrease seeding: exact improvement is the Dijkstra fixpoint criterion; an eps band would re-seed settled rows forever")
                 (d_ui.is_finite() && d_ui + w < row[j]).then_some((j, d_ui + w))
             }));
             if !seeds.is_empty() {

@@ -107,6 +107,7 @@ pub fn exhaustive_optimum(game: &Game) -> Result<(StrategyProfile, SocialCost), 
     for mask in 1u64..(1u64 << m) {
         session.set_profile(profile_for(mask)?)?;
         let cost = session.social_cost();
+        // sp-lint: allow(float-eps, reason = "argmin over masks scanned in fixed order; first-wins on exact ties is deterministic")
         if cost.total() < best_cost.total() {
             best_cost = cost;
             best_mask = mask;

@@ -78,6 +78,7 @@ impl Trace {
     #[must_use]
     pub fn first_non_improving(&self) -> Option<&MoveRecord> {
         self.moves.iter().find(|m| {
+            // sp-lint: allow(float-eps, reason = "self-check mirrors the engine's exact strict-improvement acceptance rule; loosening it would mask real violations")
             !(m.new_cost < m.old_cost || (m.old_cost.is_infinite() && m.new_cost.is_finite()))
         })
     }

@@ -1,0 +1,115 @@
+//! Two-process trace determinism regression test.
+//!
+//! `std`'s `RandomState` is seeded once per process, so a hash-order
+//! dependence in a result-producing path (engine, oracle cache) can
+//! reproduce perfectly *within* one process — two in-process runs share
+//! the same seeds — and still diverge across processes. The existing
+//! in-process determinism property cannot catch that class of bug, so
+//! this test re-executes the test binary twice and compares a
+//! bit-exact fingerprint of the full move trace and final profile.
+
+#![forbid(unsafe_code)]
+
+use rand::prelude::*;
+use sp_core::{Game, StrategyProfile};
+use sp_dynamics::{DynamicsConfig, DynamicsRunner};
+use sp_metric::generators;
+use std::process::Command;
+
+/// Env var marking the re-executed child.
+const CHILD_ENV: &str = "SP_DETERMINISM_TRACE_CHILD";
+
+/// Runs the seeded workload and hashes every trace field that must be
+/// identical across processes: move order, link sets, and the exact
+/// f64 bits of the per-move costs.
+fn fingerprint() -> String {
+    let mut rng = StdRng::seed_from_u64(0x5e1f_15e0);
+    let space = generators::uniform_square(16, 100.0, &mut rng);
+    let game = Game::from_space(&space, 3.0).expect("valid placement");
+    let config = DynamicsConfig {
+        record_trace: true,
+        ..DynamicsConfig::default()
+    };
+    let mut runner = DynamicsRunner::new(&game, config);
+    let out = runner.run(StrategyProfile::empty(game.n()));
+
+    // FNV-1a over a canonical rendering of the outcome.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+    let links = |set: &sp_core::LinkSet| {
+        set.iter()
+            .map(|p| p.index().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for m in out.trace.as_ref().expect("trace recorded").moves() {
+        eat(&format!(
+            "{}:{}:[{}]>[{}]:{:x}:{:x}\n",
+            m.step,
+            m.peer.index(),
+            links(&m.old_links),
+            links(&m.new_links),
+            m.old_cost.to_bits(),
+            m.new_cost.to_bits(),
+        ));
+    }
+    for (peer, set) in out.profile.iter() {
+        eat(&format!("final {}:[{}]\n", peer.index(), links(set)));
+    }
+    eat(&format!("steps={} moves={}", out.steps, out.moves));
+    format!("{h:016x}")
+}
+
+/// Child mode: emits the fingerprint for the parent to compare. A plain
+/// pass when run as part of the normal suite.
+#[test]
+fn child_emit_fingerprint() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        println!("TRACE_FP={}", fingerprint());
+    }
+}
+
+#[test]
+fn trace_fingerprint_identical_across_processes() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return; // no recursion inside the child
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let run_child = || {
+        let out = Command::new(&exe)
+            .args([
+                "child_emit_fingerprint",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env(CHILD_ENV, "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf8 child output");
+        // `--nocapture` interleaves the harness's own "test ..." line
+        // with ours, so match the marker anywhere in the line.
+        stdout
+            .lines()
+            .find_map(|l| l.split("TRACE_FP=").nth(1).map(|fp| fp.trim().to_owned()))
+            .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
+    };
+    let a = run_child();
+    let b = run_child();
+    assert_eq!(a, b, "trace fingerprints differ across processes");
+    assert_eq!(
+        a,
+        fingerprint(),
+        "child fingerprint differs from the in-process run"
+    );
+}

@@ -154,6 +154,7 @@ pub fn mst_bidirectional(dist: &DistanceMatrix) -> DiGraph {
         in_tree[pick] = true;
         g.add_bidirectional_edge(best_from[pick], pick, pick_d);
         for v in 0..n {
+            // sp-lint: allow(float-eps, reason = "Prim relaxation: exact strict improvement; ties resolve to the first index scanned, deterministically")
             if !in_tree[v] && dist[(pick, v)] < best[v] {
                 best[v] = dist[(pick, v)];
                 best_from[v] = pick;

@@ -219,6 +219,7 @@ impl CsrGraph {
         scratch.heap.clear();
         for &(node, new_dist) in seeds {
             assert!(node < n, "seed {node} out of bounds for {n} nodes");
+            // sp-lint: allow(float-eps, reason = "Dijkstra relaxation: exact strict improvement is the termination criterion; an eps band would cycle")
             if new_dist < dist[node] {
                 dist[node] = new_dist;
                 scratch.heap.push(Entry {
@@ -261,6 +262,7 @@ impl CsrGraph {
         scratch.heap.clear();
         for &(node, new_dist) in seeds {
             assert!(node < n, "seed {node} out of bounds for {n} nodes");
+            // sp-lint: allow(float-eps, reason = "Dijkstra relaxation: exact strict improvement is the termination criterion; an eps band would cycle")
             if new_dist < dist[node] {
                 dist[node] = new_dist;
                 scratch.heap.push(Entry {
@@ -325,12 +327,14 @@ impl CsrGraph {
         skip: usize,
     ) {
         while let Some(Entry { dist: d, node: u }) = scratch.heap.pop() {
+            // sp-lint: allow(float-eps, reason = "stale-heap-entry skip: compares a value against an exact copy of itself, never a recomputation")
             if d > dist[u] || u == skip {
                 continue;
             }
             let (ts, ws) = self.out_neighbors(u);
             for (&v, &w) in ts.iter().zip(ws) {
                 let nd = d + w;
+                // sp-lint: allow(float-eps, reason = "Dijkstra relaxation: exact strict improvement is the termination criterion; an eps band would cycle")
                 if nd < dist[v] {
                     dist[v] = nd;
                     scratch.heap.push(Entry { dist: nd, node: v });

@@ -228,6 +228,7 @@ fn dijkstra_impl(
         }
         for e in g.out_edges(u) {
             let nd = d + e.weight;
+            // sp-lint: allow(float-eps, reason = "Dijkstra relaxation: exact strict improvement is the termination criterion; an eps band would cycle")
             if nd < dist[e.to] {
                 dist[e.to] = nd;
                 pred[e.to] = Some(u);

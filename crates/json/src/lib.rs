@@ -665,11 +665,9 @@ pub mod frame {
                 format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
             ));
         }
-        w.write_all(
-            &u32::try_from(bytes.len())
-                .expect("bounded above")
-                .to_be_bytes(),
-        )?;
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds u32"))?;
+        w.write_all(&len.to_be_bytes())?;
         w.write_all(bytes)?;
         w.flush()
     }
@@ -689,6 +687,7 @@ pub mod frame {
         // EOF on the first byte of the prefix is a clean close.
         let mut filled = 0usize;
         while filled < len_buf.len() {
+            // sp-lint: allow(panic-path, reason = "loop invariant: filled < len_buf.len(), so the range slice is in bounds")
             let k = r.read(&mut len_buf[filled..])?;
             if k == 0 {
                 if filled == 0 {

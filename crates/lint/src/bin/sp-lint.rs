@@ -1,0 +1,126 @@
+//! The `sp-lint` CLI.
+//!
+//! ```text
+//! sp-lint --workspace [--deny-warnings] [--json <path>] [--root <dir>]
+//! sp-lint --list
+//! ```
+//!
+//! `--workspace` lints every `.rs` file under the repo root (excluding
+//! `target/` and the lint fixtures). Exit status is non-zero when any
+//! error-severity finding survives waivers, or any warning does under
+//! `--deny-warnings`.
+
+#![forbid(unsafe_code)]
+
+use sp_lint::{lints, runner, walk, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: sp-lint --workspace [--deny-warnings] [--json <path>] [--root <dir>] | --list"
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut deny_warnings = false;
+    let mut list = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--list" => list = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("unknown argument `{a}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for lint in lints::all() {
+            println!(
+                "{:28} {:7} {}",
+                lint.id(),
+                lint.severity().label(),
+                lint.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let root = root
+        .or_else(find_repo_root)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let files = match walk::workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "sp-lint: failed to read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = runner::run(&Config::repo(), &files);
+
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "sp-lint: {} file(s), {} finding(s), {} waived",
+        report.files,
+        report.findings.len(),
+        report.waived
+    );
+    if let Some(path) = json {
+        let doc = report.to_value().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("sp-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding a `Cargo.toml` with a `[workspace]` table), so the
+/// binary works from any crate directory.
+fn find_repo_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

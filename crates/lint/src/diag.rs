@@ -1,0 +1,103 @@
+//! Diagnostics: findings, severities, and machine-readable output.
+
+use sp_json::Value;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the run only under `--deny-warnings`.
+    Warning,
+    /// Always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in human and JSON output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint (or by the waiver machinery).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The lint id (`float-eps`, `panic-path`, …).
+    pub lint: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending code.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding in the `path:line: severity[lint] message`
+    /// style used by the CLI.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}] {}",
+            self.path,
+            self.line,
+            self.severity.label(),
+            self.lint,
+            self.message
+        )
+    }
+
+    /// The finding as a JSON object for `--json` output.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("lint".to_owned(), Value::String(self.lint.to_owned())),
+            (
+                "severity".to_owned(),
+                Value::String(self.severity.label().to_owned()),
+            ),
+            ("path".to_owned(), Value::String(self.path.clone())),
+            ("line".to_owned(), Value::Number(f64::from(self.line))),
+            ("message".to_owned(), Value::String(self.message.clone())),
+        ])
+    }
+}
+
+/// A whole run's outcome: surviving findings plus waiver accounting.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that were not waived, sorted by `(path, line, lint)`.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by waivers.
+    pub waived: usize,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// `true` when the run should fail.
+    #[must_use]
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.findings.iter().any(|f| {
+            f.severity == Severity::Error || (deny_warnings && f.severity == Severity::Warning)
+        })
+    }
+
+    /// The report as a JSON document for the CI artifact.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "findings".to_owned(),
+                Value::Array(self.findings.iter().map(Finding::to_value).collect()),
+            ),
+            ("waived".to_owned(), Value::Number(self.waived as f64)),
+            ("files".to_owned(), Value::Number(self.files as f64)),
+        ])
+    }
+}

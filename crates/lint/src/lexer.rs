@@ -1,0 +1,455 @@
+//! A small Rust lexer producing a flat token stream with line and byte
+//! positions.
+//!
+//! The lexer understands exactly as much Rust as the lints need to be
+//! reliable on this workspace: identifiers (including raw identifiers),
+//! lifetimes vs. character literals, all string literal flavours
+//! (plain, raw, byte, byte-raw) with escapes, nested block comments,
+//! numeric literals with underscores/exponents/suffixes, and maximal-
+//! munch multi-character punctuation (`==`, `<=`, `::`, `..=`, `<<`,
+//! …). It does **not** build an AST — the lint layer works on token
+//! patterns plus brace-matched spans ([`crate::tokens`]).
+//!
+//! Comments are emitted as tokens (not skipped) because the waiver
+//! syntax (`// sp-lint: allow(...)`) lives in comments.
+
+/// The coarse classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (`42`, `1.0e-9`, `0xff_u64`).
+    Number,
+    /// A string literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly multi-character (`==`, `::`, `{`).
+    Punct,
+    /// A `//` comment, including doc comments, up to (not including)
+    /// the newline.
+    LineComment,
+    /// A `/* ... */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub pos: usize,
+}
+
+impl Tok {
+    /// `true` if this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character punctuation, longest first so maximal munch works by
+/// trying in order.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src` into a flat token stream.
+///
+/// Unrecognised bytes (which should not occur in valid Rust) are
+/// emitted as single-character [`TokKind::Punct`] tokens so the lexer
+/// never stalls or panics on arbitrary input.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => self.string(self.pos),
+                b'\'' => self.lifetime_or_char(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, start_line: u32) {
+        // An escape skip (`pos += 2`) at end-of-input can overshoot;
+        // clamp so truncated input yields a truncated token, not a
+        // panic.
+        self.pos = self.pos.min(self.bytes.len());
+        self.out.push(Tok {
+            kind,
+            text: self.src[start..self.pos].to_owned(),
+            line: start_line,
+            pos: start,
+        });
+    }
+
+    fn bump_lines(&mut self, start: usize) {
+        self.line += self.bytes[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.emit(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.emit(TokKind::BlockComment, start, line);
+        self.bump_lines(start);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `br"..."`, `b"..."`, `b'x'`, and
+    /// raw identifiers `r#ident`. Returns `false` (consuming nothing)
+    /// when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.pos;
+        let mut look = start + 1;
+        // A leading `b` may be followed by `r` (raw byte string).
+        if self.bytes[start] == b'b' && self.bytes.get(look) == Some(&b'r') {
+            look += 1;
+        }
+        let has_r = self.bytes[start] == b'r' || look == start + 2;
+        if !has_r {
+            // b"..." or b'x' (or a plain identifier starting with b).
+            return match self.bytes.get(look) {
+                Some(&b'"') => {
+                    self.pos = look;
+                    self.string(start);
+                    true
+                }
+                Some(&b'\'') => {
+                    self.pos = look;
+                    self.char_literal(start);
+                    true
+                }
+                _ => false,
+            };
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(look) == Some(&b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        match self.bytes.get(look) {
+            Some(&b'"') => {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                let line = self.line;
+                self.pos = look + 1;
+                while self.pos < self.bytes.len() {
+                    if self.bytes[self.pos] == b'"'
+                        && self
+                            .bytes
+                            .get(self.pos + 1..self.pos + 1 + hashes)
+                            .is_some_and(|tail| tail.iter().all(|&c| c == b'#'))
+                    {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Str, start, line);
+                self.bump_lines(start);
+                true
+            }
+            Some(&c) if hashes > 0 && (c == b'_' || c.is_ascii_alphabetic()) => {
+                // r#ident raw identifier.
+                self.pos = look;
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos] == b'_'
+                        || self.bytes[self.pos].is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start, self.line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes an escaped string whose opening `"` is at `self.pos`;
+    /// the emitted token starts at `start` (covers a `b` prefix).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.emit(TokKind::Str, start, line);
+        self.bump_lines(start);
+    }
+
+    /// At a `'`: a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`).
+    fn lifetime_or_char(&mut self) {
+        let start = self.pos;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic()) && after != Some(b'\'');
+        if is_lifetime {
+            self.pos += 2;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos] == b'_' || self.bytes[self.pos].is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.emit(TokKind::Lifetime, start, self.line);
+        } else {
+            self.char_literal(start);
+        }
+    }
+
+    /// Consumes a char/byte literal starting at the `'` at `self.pos`.
+    fn char_literal(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+            // \u{...} escapes.
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+        } else {
+            // One (possibly multi-byte UTF-8) character.
+            self.pos += 1;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Char, start, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos] == b'_' || self.bytes[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Ident, start, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        // Fraction: a '.' followed by a digit (not `..` or a method).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        // Exponent sign: `1.0e-9` leaves us right after `e`.
+        if matches!(
+            self.bytes.get(self.pos.wrapping_sub(1)),
+            Some(&b'e' | &b'E')
+        ) && matches!(self.peek(0), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        self.emit(TokKind::Number, start, self.line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                self.pos += p.len();
+                self.emit(TokKind::Punct, start, self.line);
+                return;
+            }
+        }
+        // Single character (any char, so non-ASCII bytes cannot stall).
+        let ch_len = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        self.pos += ch_len;
+        self.emit(TokKind::Punct, start, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let toks = kinds("let x = a_1 + 2.5e-3;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a_1".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Number, "2.5e-3".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_punct_maximal_munch() {
+        let toks = kinds("a <= b == c .. d ..= e << 2");
+        let puncts: Vec<String> = toks
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(puncts, vec!["<=", "==", "..", "..=", "<<"]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = kinds(r#"f("a \" b", 'x', '\n', b"y")"#);
+        let strs: Vec<(TokKind, String)> = toks
+            .into_iter()
+            .filter(|(k, _)| matches!(k, TokKind::Str | TokKind::Char))
+            .collect();
+        assert_eq!(strs[0], (TokKind::Str, r#""a \" b""#.into()));
+        assert_eq!(strs[1], (TokKind::Char, "'x'".into()));
+        assert_eq!(strs[2], (TokKind::Char, r"'\n'".into()));
+        assert_eq!(strs[3].0, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r###"let s = r#"内部 "quoted" text"#; r#match"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quoted")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'a'"));
+    }
+
+    #[test]
+    fn comments_nested_and_line_tracking() {
+        let src = "a\n// line one\n/* outer /* inner */ still */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert!(toks[2].text.contains("inner"));
+        assert_eq!(toks[3].text, "b");
+        assert_eq!(toks[3].line, 4);
+    }
+
+    #[test]
+    fn comparison_inside_string_is_not_a_punct() {
+        let toks = kinds(r#"let s = "a < b == c";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Punct && (t == "<" || t == "=="))));
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_bytes() {
+        for src in ["'", "\"unterminated", "r#\"open", "/* open", "é¢€"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! `counter-coverage`: every counter struct field reaches every
+//! merge/persistence site.
+//!
+//! `SessionStats` grows a field almost every PR; forgetting to thread
+//! the new counter through a merge or snapshot site silently zeroes it
+//! in aggregated output and the bench gate only notices if the counter
+//! is one it tracks. Sites annotate themselves with
+//! `// sp-lint: counters(SessionStats)`; this lint cross-references
+//! the struct's field list against the identifiers in each annotated
+//! item body and flags (a) sites missing fields, (b) counter structs
+//! with no site at all, and (c) markers naming unknown structs.
+
+use crate::config::Config;
+use crate::diag::Severity;
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{emit, Lint};
+use crate::source::{magic_payload, SourceFile, MAGIC};
+use crate::tokens::{code_indices, match_brace};
+
+/// The `counter-coverage` lint.
+pub struct CounterCoverage;
+
+/// Field names of `struct <name> { ... }` in `tokens`, if declared.
+fn struct_fields(tokens: &[Tok], name: &str) -> Option<(u32, Vec<String>)> {
+    let code = code_indices(tokens);
+    for (c, &k) in code.iter().enumerate() {
+        if tokens[k].kind != TokKind::Ident || tokens[k].text != "struct" {
+            continue;
+        }
+        let named = code
+            .get(c + 1)
+            .is_some_and(|&j| tokens[j].kind == TokKind::Ident && tokens[j].text == name);
+        let open = code.get(c + 2).copied();
+        let (true, Some(open)) = (named, open.filter(|&j| tokens[j].text == "{")) else {
+            continue;
+        };
+        let close = match_brace(tokens, open);
+        let mut fields = Vec::new();
+        let mut depth = 0i32;
+        let body: Vec<usize> = code
+            .iter()
+            .copied()
+            .filter(|&j| j > open && j < close)
+            .collect();
+        for (b, &j) in body.iter().enumerate() {
+            match tokens[j].text.as_str() {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                // Nested generics close with a single `>>` token.
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            // A field is `ident :` at depth 0 of the body, not
+            // preceded by `:` (which would make it a path segment).
+            if depth == 0
+                && tokens[j].kind == TokKind::Ident
+                && body.get(b + 1).is_some_and(|&n| tokens[n].text == ":")
+                && (b == 0 || tokens[body[b - 1]].text != ":")
+            {
+                fields.push(tokens[j].text.clone());
+            }
+        }
+        return Some((tokens[k].line, fields));
+    }
+    None
+}
+
+/// `counters(<name>)` markers in a file: `(line, struct name, body
+/// identifiers of the next item)`.
+fn marker_sites(file: &SourceFile) -> Vec<(u32, String, Vec<String>)> {
+    let mut sites = Vec::new();
+    for (k, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some(payload) = magic_payload(&t.text) else {
+            continue;
+        };
+        let Some(name) = payload
+            .strip_prefix("counters(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            continue;
+        };
+        // Cover the next item's `{ ... }` body.
+        let idents = file.tokens[k + 1..]
+            .iter()
+            .position(|p| p.text == "{" && !p.is_comment())
+            .map(|rel| {
+                let open = k + 1 + rel;
+                let close = match_brace(&file.tokens, open);
+                file.tokens[open..=close]
+                    .iter()
+                    .filter(|p| p.kind == TokKind::Ident)
+                    .map(|p| p.text.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        sites.push((t.line, name.trim().to_owned(), idents));
+    }
+    sites
+}
+
+impl Lint for CounterCoverage {
+    fn id(&self) -> &'static str {
+        "counter-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "counter-struct fields missing from annotated merge/persistence sites"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check_workspace(
+        &self,
+        cfg: &Config,
+        files: &[SourceFile],
+        out: &mut Vec<crate::diag::Finding>,
+    ) {
+        for struct_name in &cfg.counter_structs {
+            let decl = files
+                .iter()
+                .find_map(|f| struct_fields(&f.tokens, struct_name).map(|d| (f, d)));
+            let Some((decl_file, (decl_line, fields))) = decl else {
+                continue;
+            };
+            let mut site_count = 0usize;
+            for f in files {
+                for (line, name, idents) in marker_sites(f) {
+                    if name != *struct_name {
+                        continue;
+                    }
+                    site_count += 1;
+                    let missing: Vec<&String> = fields
+                        .iter()
+                        .filter(|field| !idents.iter().any(|i| i == *field))
+                        .collect();
+                    if !missing.is_empty() {
+                        let list: Vec<&str> = missing.iter().map(|s| s.as_str()).collect();
+                        emit(
+                            out,
+                            self,
+                            f,
+                            line,
+                            format!(
+                                "counters({struct_name}) site does not mention field(s): {}",
+                                list.join(", ")
+                            ),
+                        );
+                    }
+                }
+            }
+            if site_count == 0 {
+                emit(
+                    out,
+                    self,
+                    decl_file,
+                    decl_line,
+                    format!(
+                        "counter struct `{struct_name}` has no `{MAGIC} counters(..)` \
+                         merge/persistence site in the workspace"
+                    ),
+                );
+            }
+        }
+        // Markers naming structs that are not configured counter
+        // structs are almost certainly typos.
+        for f in files {
+            for (line, name, _) in marker_sites(f) {
+                if !cfg.counter_structs.contains(&name) {
+                    emit(
+                        out,
+                        self,
+                        f,
+                        line,
+                        format!("counters({name}) names an unknown counter struct"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `float-eps`: raw comparisons on distance/cost floats.
+//!
+//! The paper's best-response and path-length logic is numerically
+//! fragile: a raw `==` / `<` / `<=` between two accumulated `f64`
+//! distances silently flips near ties and destroys determinism across
+//! summation orders. Inside the numeric crates every comparison whose
+//! operands look like distances or costs must go through an eps helper
+//! (relative tolerance, like `EDGE_ON_PATH_EPS`) or carry a waiver
+//! explaining why exactness is sound (e.g. values copied, not
+//! recomputed).
+
+use crate::config::{in_scope, Config};
+use crate::diag::Severity;
+use crate::lexer::TokKind;
+use crate::lints::{emit, Lint};
+use crate::source::SourceFile;
+use crate::tokens::idents_on_line;
+
+/// The `float-eps` lint.
+pub struct FloatEps;
+
+/// Comparison puncts that are always comparisons regardless of
+/// spacing.
+const ALWAYS_CMP: &[&str] = &["==", "!=", "<=", ">="];
+/// Puncts that are comparisons only when space-separated (unspaced
+/// `<` / `>` are generics in rustfmt output).
+const SPACED_CMP: &[&str] = &["<", ">"];
+
+/// `true` when the identifier names a distance/cost-like value.
+/// Vocabulary entries ending in `_` match as prefixes only (`d_` must
+/// not fire on `old_links`); others match as substrings.
+fn is_float_vocab(ident: &str, vocab: &[String]) -> bool {
+    let lc = ident.to_ascii_lowercase();
+    vocab.iter().any(|v| {
+        if v.ends_with('_') {
+            lc.starts_with(v.as_str())
+        } else {
+            lc.contains(v.as_str())
+        }
+    })
+}
+
+/// `true` when the identifier names a tolerance, exempting the line.
+fn is_eps_vocab(ident: &str) -> bool {
+    let lc = ident.to_ascii_lowercase();
+    lc == "eps"
+        || lc == "tol"
+        || lc.starts_with("eps")
+        || lc.ends_with("_eps")
+        || lc.contains("toleran")
+}
+
+impl Lint for FloatEps {
+    fn id(&self) -> &'static str {
+        "float-eps"
+    }
+
+    fn description(&self) -> &'static str {
+        "raw ==/</<= comparison on distance/cost floats outside eps helpers"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<crate::diag::Finding>) {
+        if !in_scope(&file.path, &cfg.float_paths) {
+            return;
+        }
+        let bytes = file.text.as_bytes();
+        let mut last_line = 0u32;
+        for t in &file.tokens {
+            if t.kind != TokKind::Punct || t.line == last_line || file.in_test(t.line) {
+                continue;
+            }
+            let spaced_cmp = SPACED_CMP.contains(&t.text.as_str())
+                && t.pos > 0
+                && bytes.get(t.pos - 1) == Some(&b' ')
+                && bytes.get(t.pos + t.text.len()) == Some(&b' ');
+            if !(ALWAYS_CMP.contains(&t.text.as_str()) || spaced_cmp) {
+                continue;
+            }
+            let idents = idents_on_line(&file.tokens, t.line);
+            if idents.iter().any(|i| is_eps_vocab(i)) {
+                continue;
+            }
+            let Some(hit) = idents.iter().find(|i| is_float_vocab(i, &cfg.float_vocab)) else {
+                continue;
+            };
+            last_line = t.line;
+            emit(
+                out,
+                self,
+                file,
+                t.line,
+                format!(
+                    "raw `{}` comparison involving `{hit}`; route it through an \
+                     eps helper or waive with the reason exactness is sound",
+                    t.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `forbid-unsafe`: every crate root carries `#![forbid(unsafe_code)]`
+//! and no file uses `unsafe` at all.
+//!
+//! The workspace is pure safe Rust by policy — the simulation is CPU
+//! arithmetic over adjacency arrays and needs no `unsafe`. The
+//! attribute makes the policy compiler-enforced per crate; this lint
+//! keeps the attribute from silently disappearing and catches `unsafe`
+//! tokens in any linted file (belt and braces for files added before
+//! their crate root regains the attribute).
+
+use crate::config::Config;
+use crate::diag::Severity;
+use crate::lexer::TokKind;
+use crate::lints::{emit, Lint};
+use crate::source::SourceFile;
+use crate::tokens::code_indices;
+
+/// The `forbid-unsafe` lint.
+pub struct ForbidUnsafe;
+
+/// `true` for paths that are crate roots or binary roots.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || ((path.contains("/src/bin/") || path.starts_with("src/bin/")) && path.ends_with(".rs"))
+}
+
+impl Lint for ForbidUnsafe {
+    fn id(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots must carry #![forbid(unsafe_code)]; no file may use `unsafe`"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<crate::diag::Finding>) {
+        if !cfg.check_unsafe {
+            return;
+        }
+        for t in &file.tokens {
+            if t.kind == TokKind::Ident && t.text == "unsafe" {
+                emit(
+                    out,
+                    self,
+                    file,
+                    t.line,
+                    "`unsafe` is banned workspace-wide".to_owned(),
+                );
+            }
+        }
+        if !is_crate_root(&file.path) {
+            return;
+        }
+        // `# ! [ forbid ( unsafe_code ) ]`
+        let code = code_indices(&file.tokens);
+        let has = code.windows(7).any(|w| {
+            let txt = |i: usize| file.tokens[w[i]].text.as_str();
+            txt(0) == "#"
+                && txt(1) == "!"
+                && txt(2) == "["
+                && txt(3) == "forbid"
+                && txt(4) == "("
+                && txt(5) == "unsafe_code"
+                && txt(6) == ")"
+        });
+        if !has {
+            emit(
+                out,
+                self,
+                file,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            );
+        }
+    }
+}

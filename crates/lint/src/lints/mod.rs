@@ -1,0 +1,61 @@
+//! The lint registry.
+//!
+//! Each lint implements [`Lint`]; [`all`] returns the registry the
+//! runner iterates. Per-file lints get every file one at a time,
+//! workspace lints (counter coverage) see the whole file set at once.
+
+use crate::config::Config;
+use crate::diag::{Finding, Severity};
+use crate::source::SourceFile;
+
+mod counter_coverage;
+mod float_eps;
+mod forbid_unsafe;
+mod lock_hygiene;
+mod nondet_iter;
+mod panic_path;
+
+/// A single static-analysis check.
+pub trait Lint {
+    /// Stable kebab-case id used in waivers and output.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Default severity of this lint's findings.
+    fn severity(&self) -> Severity;
+    /// Per-file pass. Default: nothing.
+    fn check_file(&self, _cfg: &Config, _file: &SourceFile, _out: &mut Vec<Finding>) {}
+    /// Whole-workspace pass, run after all per-file passes. Default:
+    /// nothing.
+    fn check_workspace(&self, _cfg: &Config, _files: &[SourceFile], _out: &mut Vec<Finding>) {}
+}
+
+/// The full lint registry, in reporting order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(float_eps::FloatEps),
+        Box::new(nondet_iter::NondetIter),
+        Box::new(panic_path::PanicPath),
+        Box::new(lock_hygiene::LockHygiene),
+        Box::new(counter_coverage::CounterCoverage),
+        Box::new(forbid_unsafe::ForbidUnsafe),
+    ]
+}
+
+/// Convenience for lints: push a finding.
+pub(crate) fn emit(
+    out: &mut Vec<Finding>,
+    lint: &dyn Lint,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+) {
+    out.push(Finding {
+        lint: lint.id(),
+        severity: lint.severity(),
+        path: file.path.clone(),
+        line,
+        message,
+    });
+}

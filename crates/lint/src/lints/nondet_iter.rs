@@ -1,0 +1,101 @@
+//! `nondeterministic-iteration`: hash-order traversal in
+//! result-producing modules.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`, so any
+//! traversal that feeds a response, a trace, or an eviction decision
+//! makes output differ across processes. In the scoped modules every
+//! hash-container traversal must either go through a sorted view or be
+//! waived with an argument for order-insensitivity (e.g. commutative
+//! accumulation).
+
+use crate::config::{in_scope, Config};
+use crate::diag::Severity;
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{emit, Lint};
+use crate::source::SourceFile;
+use crate::tokens::code_indices;
+use std::collections::HashSet;
+
+/// The `nondeterministic-iteration` lint.
+pub struct NondetIter;
+
+/// Methods that traverse in hash order whatever the receiver.
+const MAP_ONLY_METHODS: &[&str] = &["keys", "values", "values_mut"];
+/// Traversal methods flagged only on receivers known to be hash
+/// containers (they also exist on `Vec` and friends).
+const GENERIC_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "drain", "retain"];
+
+/// Identifiers declared as `HashMap`/`HashSet` in this file — struct
+/// fields (`name: HashMap<...>`) and locals
+/// (`let [mut] name = HashMap::new()` / `::with_capacity(...)`).
+fn hash_named(tokens: &[Tok], code: &[usize]) -> HashSet<String> {
+    let mut named = HashSet::new();
+    for (c, &k) in code.iter().enumerate() {
+        let t = &tokens[k];
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // `name : HashMap` (field or typed let).
+        if c >= 2 && tokens[code[c - 1]].text == ":" && tokens[code[c - 2]].kind == TokKind::Ident {
+            named.insert(tokens[code[c - 2]].text.clone());
+        }
+        // `let [mut] name = HashMap::new()` — scan back over `=`.
+        if c >= 2 && tokens[code[c - 1]].text == "=" && tokens[code[c - 2]].kind == TokKind::Ident {
+            named.insert(tokens[code[c - 2]].text.clone());
+        }
+    }
+    named
+}
+
+impl Lint for NondetIter {
+    fn id(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet hash-order traversal in result-producing modules"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<crate::diag::Finding>) {
+        if !in_scope(&file.path, &cfg.nondet_paths) {
+            return;
+        }
+        let code = code_indices(&file.tokens);
+        let named = hash_named(&file.tokens, &code);
+        for (c, &k) in code.iter().enumerate() {
+            let t = &file.tokens[k];
+            if t.kind != TokKind::Ident || file.in_test(t.line) {
+                continue;
+            }
+            // `<recv> . <method> (` — method position.
+            let is_method = c >= 2
+                && file.tokens[code[c - 1]].text == "."
+                && code.get(c + 1).is_some_and(|&j| file.tokens[j].text == "(");
+            if !is_method {
+                continue;
+            }
+            let recv = &file.tokens[code[c - 2]];
+            let map_only = MAP_ONLY_METHODS.contains(&t.text.as_str());
+            let generic = GENERIC_METHODS.contains(&t.text.as_str())
+                && recv.kind == TokKind::Ident
+                && named.contains(&recv.text);
+            if map_only || generic {
+                emit(
+                    out,
+                    self,
+                    file,
+                    t.line,
+                    format!(
+                        "hash-order traversal `.{}()` in a result-producing module; \
+                         sort the view or waive with an order-insensitivity argument",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! `panic-path`: panicking constructs on the serve request path.
+//!
+//! A panic inside the request path kills a worker thread and strands
+//! the session's FIFO; remote input must never be able to trigger one.
+//! In scoped files (and the frame codec module of `sp-json`) this lint
+//! flags `.unwrap()`, `.expect("...")`, panicking macros, and slice
+//! indexing. Test code is exempt; deliberate startup-time panics carry
+//! waivers.
+
+use crate::config::{in_scope, Config};
+use crate::diag::Severity;
+use crate::lexer::TokKind;
+use crate::lints::{emit, Lint};
+use crate::source::SourceFile;
+use crate::tokens::{code_indices, mod_range, LineRange};
+
+/// The `panic-path` lint.
+pub struct PanicPath;
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = ..`, `for x in [..]`, `return [..]`).
+const KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "const", "static",
+];
+
+/// Macros that panic when reached.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+impl Lint for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/slice-indexing on the serve request path"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<crate::diag::Finding>) {
+        let whole_file = in_scope(&file.path, &cfg.panic_paths);
+        let module: Option<LineRange> = cfg
+            .panic_modules
+            .iter()
+            .find(|(p, _)| *p == file.path)
+            .and_then(|(_, m)| mod_range(&file.tokens, m));
+        if !whole_file && module.is_none() {
+            return;
+        }
+        let in_range = |line: u32| whole_file || module.is_some_and(|r| r.contains(line));
+        let code = code_indices(&file.tokens);
+        for (c, &k) in code.iter().enumerate() {
+            let t = &file.tokens[k];
+            if !in_range(t.line) || file.in_test(t.line) {
+                continue;
+            }
+            let next = |n: usize| code.get(c + n).map(|&j| &file.tokens[j]);
+            let prev = |n: usize| c.checked_sub(n).map(|i| &file.tokens[code[i]]);
+            if t.kind == TokKind::Ident {
+                let after_dot = prev(1).is_some_and(|p| p.text == ".");
+                // `.unwrap()`
+                if t.text == "unwrap"
+                    && after_dot
+                    && next(1).is_some_and(|p| p.text == "(")
+                    && next(2).is_some_and(|p| p.text == ")")
+                {
+                    emit(
+                        out,
+                        self,
+                        file,
+                        t.line,
+                        "`.unwrap()` on the request path; return a typed error instead".to_owned(),
+                    );
+                }
+                // `.expect("...")` — string-literal arg only, so parser
+                // methods like `self.expect(b'"')` stay clean.
+                if t.text == "expect"
+                    && after_dot
+                    && next(1).is_some_and(|p| p.text == "(")
+                    && next(2).is_some_and(|p| p.kind == TokKind::Str)
+                {
+                    emit(
+                        out,
+                        self,
+                        file,
+                        t.line,
+                        "`.expect(..)` on the request path; return a typed error instead"
+                            .to_owned(),
+                    );
+                }
+                // `panic!(` and friends.
+                if PANIC_MACROS.contains(&t.text.as_str()) && next(1).is_some_and(|p| p.text == "!")
+                {
+                    emit(
+                        out,
+                        self,
+                        file,
+                        t.line,
+                        format!(
+                            "`{}!` on the request path; return a typed error instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // Slice/array indexing: `expr[` where expr ends in an
+            // identifier or a closing bracket. Attribute `#[...]`,
+            // array literals, slice patterns, and types are preceded by
+            // other puncts and stay clean.
+            if t.kind == TokKind::Punct
+                && t.text == "["
+                && prev(1).is_some_and(|p| {
+                    p.line == t.line
+                        && ((p.kind == TokKind::Ident && !KEYWORDS.contains(&p.text.as_str()))
+                            || p.text == ")"
+                            || p.text == "]")
+                })
+            {
+                emit(
+                    out,
+                    self,
+                    file,
+                    t.line,
+                    "slice indexing on the request path can panic; use `get`/slice \
+                     patterns or waive with a bounds argument"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Loaded source files and the inline-waiver syntax.
+//!
+//! A waiver is a line comment of the form
+//!
+//! ```text
+//! // sp-lint: allow(panic-path, reason = "poison recovery cannot panic")
+//! ```
+//!
+//! placed either at the end of the offending line or on its own line
+//! immediately above it. The `reason` is mandatory and non-empty — a
+//! waiver without a justification is a `malformed-waiver` finding, and
+//! a waiver that suppresses nothing is a `stale-waiver` finding (the
+//! violation it excused has been fixed, so the waiver must go).
+//!
+//! The sibling marker form `// sp-lint: counters(StructName)` declares
+//! a counter-coverage site; it is consumed by the `counter-coverage`
+//! lint, not the waiver machinery.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::tokens::{test_ranges, LineRange};
+
+/// One parsed `sp-lint: allow(...)` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The lint id the waiver suppresses.
+    pub lint: String,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// Lines the waiver covers: its own line, plus — when the comment
+    /// stands alone — every line of the following statement head (up to
+    /// its top-level `;` or `{`).
+    pub covers: Vec<u32>,
+}
+
+/// A source file prepared for linting: text, tokens, test spans, and
+/// parsed waivers.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The raw source text.
+    pub text: String,
+    /// The lexed token stream (comments included).
+    pub tokens: Vec<Tok>,
+    /// Line spans of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<LineRange>,
+    /// `true` for files that are test-context by location
+    /// (`tests/`, `benches/`, `examples/` directories).
+    pub is_test_context: bool,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Lines of `sp-lint:` comments that parse as neither a waiver nor
+    /// a marker, with a description of what is wrong.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Prepares `text` as the file at `path` (workspace-relative).
+    #[must_use]
+    pub fn from_text(path: &str, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let ranges = test_ranges(&tokens);
+        let is_test_context = path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+        let (waivers, malformed) = parse_waivers(&tokens);
+        SourceFile {
+            path: path.to_owned(),
+            text,
+            tokens,
+            test_ranges: ranges,
+            is_test_context,
+            waivers,
+            malformed,
+        }
+    }
+
+    /// `true` if `line` is test-only code (a test-context file or a
+    /// line inside a `#[cfg(test)]`/`#[test]` item).
+    #[must_use]
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_context || self.test_ranges.iter().any(|r| r.contains(line))
+    }
+}
+
+/// The comment prefix shared by waivers and markers.
+pub const MAGIC: &str = "sp-lint:";
+
+/// Extracts the payload of an `sp-lint:` comment, if the comment is
+/// one ("// sp-lint: allow(x, ...)" → "allow(x, ...)"). Doc comments
+/// (`///`, `//!`) are prose — they talk *about* the syntax without
+/// invoking it — so only plain `//` comments carry waivers or markers.
+pub(crate) fn magic_payload(comment: &str) -> Option<&str> {
+    let rest = comment.strip_prefix("//")?;
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None;
+    }
+    let at = rest.find(MAGIC)?;
+    Some(rest[at + MAGIC.len()..].trim())
+}
+
+/// Parses one `allow(<lint>, reason = "...")` payload.
+fn parse_allow(payload: &str) -> Result<(String, String), String> {
+    let inner = payload
+        .strip_prefix("allow(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .ok_or("expected `allow(<lint>, reason = \"...\")`")?;
+    let (lint, rest) = inner
+        .split_once(',')
+        .ok_or("waiver needs a `reason = \"...\"` after the lint id")?;
+    let lint = lint.trim();
+    if lint.is_empty() {
+        return Err("waiver names no lint".to_owned());
+    }
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or("waiver needs `reason = \"...\"`")?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or("waiver reason must be a quoted string")?;
+    if reason.trim().is_empty() {
+        return Err("waiver reason must not be empty".to_owned());
+    }
+    Ok((lint.to_owned(), reason.to_owned()))
+}
+
+/// Scans the token stream for waiver comments. Returns the parsed
+/// waivers plus the malformed `sp-lint:` comments.
+fn parse_waivers(tokens: &[Tok]) -> (Vec<Waiver>, Vec<(u32, String)>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some(payload) = magic_payload(&t.text) else {
+            continue;
+        };
+        if payload.starts_with("counters(") {
+            continue; // coverage marker, handled by its lint
+        }
+        match parse_allow(payload) {
+            Err(e) => malformed.push((t.line, e)),
+            Ok((lint, reason)) => {
+                let mut covers = vec![t.line];
+                // A standalone comment (no code token earlier on its
+                // line) also covers the statement that follows it — up
+                // to the `;` or block-opening `{` at nesting depth
+                // zero, so a chain rustfmt wrapped across lines stays
+                // covered.
+                let standalone = !tokens[..k]
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.line == t.line)
+                    .any(|p| !p.is_comment());
+                if standalone {
+                    let mut depth = 0i32;
+                    for p in tokens[k + 1..].iter().filter(|p| !p.is_comment()) {
+                        covers.push(p.line);
+                        match p.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            "{" if depth > 0 => depth += 1,
+                            "{" => break,
+                            ")" | "]" | "}" => {
+                                depth -= 1;
+                                if depth < 0 {
+                                    break;
+                                }
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    covers.dedup();
+                }
+                waivers.push(Waiver {
+                    lint,
+                    reason,
+                    line: t.line,
+                    covers,
+                });
+            }
+        }
+    }
+    (waivers, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let f = SourceFile::from_text(
+            "crates/x/src/a.rs",
+            "let x = m.lock(); // sp-lint: allow(lock-hygiene, reason = \"test double\")\n".into(),
+        );
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].lint, "lock-hygiene");
+        assert_eq!(f.waivers[0].covers, vec![1]);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let src =
+            "// sp-lint: allow(float-eps, reason = \"argmin\")\n// another comment\nif a < b {}\n";
+        let f = SourceFile::from_text("crates/x/src/a.rs", src.into());
+        assert_eq!(f.waivers[0].covers, vec![1, 3]);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_wrapped_statement() {
+        let src = "// sp-lint: allow(nondeterministic-iteration, reason = \"sorted below\")\nlet entries: Vec<E> =\n    lock(shard).values().cloned().collect();\nnext_statement();\n";
+        let f = SourceFile::from_text("crates/x/src/a.rs", src.into());
+        assert_eq!(f.waivers[0].covers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported() {
+        for bad in [
+            "// sp-lint: allow(float-eps)\n",
+            "// sp-lint: allow(float-eps, reason = \"\")\n",
+            "// sp-lint: allow(, reason = \"x\")\n",
+            "// sp-lint: allow(float-eps, reason = unquoted)\n",
+            "// sp-lint: disallow(x)\n",
+        ] {
+            let f = SourceFile::from_text("crates/x/src/a.rs", bad.into());
+            assert!(f.waivers.is_empty(), "{bad}");
+            assert_eq!(f.malformed.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn counters_marker_is_not_a_waiver() {
+        let f = SourceFile::from_text(
+            "crates/x/src/a.rs",
+            "// sp-lint: counters(SessionStats)\nfn merge() {}\n".into(),
+        );
+        assert!(f.waivers.is_empty());
+        assert!(f.malformed.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Brace-matched span utilities over the flat token stream — the
+//! "token tree" layer the lints navigate with.
+//!
+//! Rather than building a nested tree, the helpers here answer the
+//! structural questions the lints actually ask: *where does this brace
+//! block end*, *which lines belong to `#[cfg(test)]` items*, *where is
+//! `mod frame { ... }`*, and *which identifiers appear on a line*.
+
+use crate::lexer::{Tok, TokKind};
+
+/// An inclusive 1-based line range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    /// First line of the range.
+    pub start: u32,
+    /// Last line of the range.
+    pub end: u32,
+}
+
+impl LineRange {
+    /// `true` if `line` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// Index of the token closing the `{` group opened at `open` (which
+/// must point at a `{` punct). Returns the last token index if the
+/// group never closes (malformed input never panics the linter).
+#[must_use]
+pub fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// `true` if the non-comment token at `idx` is an identifier equal to
+/// `text`.
+fn is_ident(tokens: &[Tok], idx: usize, text: &str) -> bool {
+    tokens
+        .get(idx)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+/// `true` if the token at `idx` is the punct `text`.
+fn is_punct(tokens: &[Tok], idx: usize, text: &str) -> bool {
+    tokens
+        .get(idx)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Indices of non-comment tokens, in order — the view most structural
+/// scans want (comments can sit between any two tokens).
+#[must_use]
+pub fn code_indices(tokens: &[Tok]) -> Vec<usize> {
+    (0..tokens.len())
+        .filter(|&k| !tokens[k].is_comment())
+        .collect()
+}
+
+/// Line ranges of items annotated `#[cfg(test)]` or `#[test]` — the
+/// spans every code lint exempts. The range runs from the attribute to
+/// the closing brace of the next `{ ... }` group (or to the end of the
+/// attribute's statement for brace-less items).
+#[must_use]
+pub fn test_ranges(tokens: &[Tok]) -> Vec<LineRange> {
+    let code = code_indices(tokens);
+    let mut out = Vec::new();
+    let mut c = 0usize;
+    while c < code.len() {
+        let k = code[c];
+        // `#[cfg(test)]`: # [ cfg ( test ) ] — `#[test]`: # [ test ]
+        let is_cfg_test = is_punct(tokens, k, "#")
+            && is_punct(tokens, code.get(c + 1).copied().unwrap_or(usize::MAX), "[")
+            && ((is_ident(
+                tokens,
+                code.get(c + 2).copied().unwrap_or(usize::MAX),
+                "cfg",
+            ) && is_punct(tokens, code.get(c + 3).copied().unwrap_or(usize::MAX), "(")
+                && is_ident(
+                    tokens,
+                    code.get(c + 4).copied().unwrap_or(usize::MAX),
+                    "test",
+                ))
+                || (is_ident(
+                    tokens,
+                    code.get(c + 2).copied().unwrap_or(usize::MAX),
+                    "test",
+                ) && is_punct(tokens, code.get(c + 3).copied().unwrap_or(usize::MAX), "]")));
+        if !is_cfg_test {
+            c += 1;
+            continue;
+        }
+        // Find the `{` opening the annotated item's body and match it.
+        let mut open = None;
+        for &j in &code[c..] {
+            if is_punct(tokens, j, "{") {
+                open = Some(j);
+                break;
+            }
+            if is_punct(tokens, j, ";") {
+                break; // brace-less item (e.g. a `use` under cfg(test))
+            }
+        }
+        match open {
+            Some(j) => {
+                let close = match_brace(tokens, j);
+                out.push(LineRange {
+                    start: tokens[k].line,
+                    end: tokens[close].line,
+                });
+                // Continue scanning after the item body: nested
+                // attributes inside it are already covered.
+                while c < code.len() && code[c] <= close {
+                    c += 1;
+                }
+            }
+            None => {
+                out.push(LineRange {
+                    start: tokens[k].line,
+                    end: tokens[k].line,
+                });
+                c += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The line range of `mod <name> { ... }`, if the file declares one
+/// with a body.
+#[must_use]
+pub fn mod_range(tokens: &[Tok], name: &str) -> Option<LineRange> {
+    let code = code_indices(tokens);
+    for (c, &k) in code.iter().enumerate() {
+        if is_ident(tokens, k, "mod")
+            && code.get(c + 1).is_some_and(|&j| is_ident(tokens, j, name))
+            && code.get(c + 2).is_some_and(|&j| is_punct(tokens, j, "{"))
+        {
+            let close = match_brace(tokens, code[c + 2]);
+            return Some(LineRange {
+                start: tokens[k].line,
+                end: tokens[close].line,
+            });
+        }
+    }
+    None
+}
+
+/// All identifier texts on `line` (1-based), in order.
+#[must_use]
+pub fn idents_on_line(tokens: &[Tok], line: u32) -> Vec<&str> {
+    tokens
+        .iter()
+        .filter(|t| t.line == line && t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn brace_matching_nested() {
+        let toks = lex("fn f() { if x { y(); } z(); } fn g() {}");
+        let open = toks
+            .iter()
+            .position(|t| t.text == "{")
+            .expect("has a brace");
+        let close = match_brace(&toks, open);
+        assert_eq!(toks[close].text, "}");
+        // The matched close is the one before `fn g`.
+        assert!(toks[close + 1].text == "fn");
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let ranges = test_ranges(&lex(src));
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].contains(2));
+        assert!(ranges[0].contains(4));
+        assert!(!ranges[0].contains(1));
+        assert!(!ranges[0].contains(6));
+    }
+
+    #[test]
+    fn test_ranges_cover_test_fns() {
+        let src = "#[test]\nfn probe() {\n    boom();\n}\nfn live() {}\n";
+        let ranges = test_ranges(&lex(src));
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].contains(3));
+        assert!(!ranges[0].contains(5));
+    }
+
+    #[test]
+    fn mod_range_finds_named_module() {
+        let src = "mod a {}\npub mod frame {\n    fn x() {}\n}\n";
+        let r = mod_range(&lex(src), "frame").expect("found");
+        assert_eq!((r.start, r.end), (2, 4));
+        assert!(mod_range(&lex(src), "absent").is_none());
+    }
+}

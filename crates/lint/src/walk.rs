@@ -1,0 +1,52 @@
+//! Workspace discovery: every `.rs` file under the repo root, minus
+//! build output and the lint crate's violation fixtures.
+
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Loads every workspace `.rs` file under `root` as a [`SourceFile`]
+/// with forward-slash paths relative to `root`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk or file reads.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::from_text(&rel, text));
+    }
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Fixture: counter-coverage sites.
+
+/// Counters the merge site below must mention in full.
+pub struct FixStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub spills: u64,
+}
+
+impl FixStats {
+    /// Merge that forgets `spills`.
+    // sp-lint: counters(FixStats)
+    pub fn merge(&mut self, other: &FixStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+// sp-lint: counters(NoSuchStats)
+pub fn snapshot(s: &FixStats) -> (u64, u64) {
+    (s.hits, s.misses)
+}
+
+/// A counter struct with no merge/persistence site at all.
+pub struct OrphanStats {
+    pub drops: u64,
+}

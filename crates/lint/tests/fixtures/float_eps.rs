@@ -1,0 +1,18 @@
+//! Fixture: raw float comparisons on distance/cost values.
+
+pub fn check(dist_a: f64, dist_b: f64, eps: f64) -> bool {
+    let exact = dist_a == dist_b;
+    let lt = dist_a < dist_b;
+    let within = (dist_a - dist_b).abs() <= eps;
+    let nonneg = cost_of(2) >= 0.0;
+    exact || lt || within || nonneg
+}
+
+fn cost_of(x: u32) -> f64 {
+    f64::from(x)
+}
+
+pub fn waived(d_src: f64, d_dst: f64) -> bool {
+    // sp-lint: allow(float-eps, reason = "values copied, not recomputed")
+    d_src == d_dst
+}

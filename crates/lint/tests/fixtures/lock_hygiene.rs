@@ -1,0 +1,27 @@
+//! Fixture: I/O while a lock guard is live.
+
+use std::fs;
+use std::sync::Mutex;
+
+pub fn spill_under_lock(state: &Mutex<Vec<u8>>) {
+    let guard = state.lock().unwrap();
+    fs::write("/tmp/spill", &*guard).ok();
+}
+
+pub fn spill_after_release(state: &Mutex<Vec<u8>>) {
+    let guard = state.lock().unwrap();
+    let bytes = guard.clone();
+    drop(guard);
+    fs::write("/tmp/spill", &bytes).ok();
+}
+
+pub fn helper_acquired(state: &Mutex<Vec<u8>>) {
+    let guard = lock_unpoisoned(state);
+    write_frame(&guard);
+}
+
+pub fn waived_hold(state: &Mutex<Vec<u8>>) {
+    let guard = lock_unpoisoned(state);
+    // sp-lint: allow(lock-hygiene, reason = "deliberate hold: single-writer spill")
+    fs::write("/tmp/spill", &*guard).ok();
+}

@@ -1,0 +1,26 @@
+//! Fixture: hash-order traversal in a result-producing module.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn names(table: &HashMap<String, u64>) -> Vec<String> {
+    let mut out: Vec<String> = table.keys().cloned().collect();
+    out.sort();
+    out
+}
+
+pub fn drain_all(mut seen: HashSet<u64>) -> usize {
+    let mut n = 0;
+    for v in seen.drain() {
+        n += usize::from(v > 0);
+    }
+    n
+}
+
+pub fn vec_iter(items: &[u64]) -> u64 {
+    items.iter().sum()
+}
+
+pub fn waived_sum(table: &HashMap<String, u64>) -> u64 {
+    // sp-lint: allow(nondeterministic-iteration, reason = "addition is commutative")
+    table.values().sum()
+}

@@ -1,0 +1,19 @@
+//! Fixture: panicking constructs on the request path.
+
+pub fn handle(input: &str, row: &[u64]) -> u64 {
+    let n: u64 = input.parse().unwrap();
+    let first = *row.first().expect("row must not be empty");
+    if n > 9 {
+        panic!("out of range");
+    }
+    row[0] + first + n
+}
+
+pub fn typed(input: &str) -> Result<u64, String> {
+    input.parse().map_err(|_| "bad number".to_owned())
+}
+
+pub fn waived_get(row: &[u64]) -> u64 {
+    // sp-lint: allow(panic-path, reason = "index 0 guarded by caller invariant")
+    row[0]
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing the forbid attribute, using `unsafe`.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,16 @@
+//! Fixture: stale and malformed waivers.
+
+// sp-lint: allow(panic-path, reason = "nothing here panics anymore")
+pub fn fine() -> u64 {
+    7
+}
+
+// sp-lint: allow(float-eps)
+pub fn also_fine() -> u64 {
+    9
+}
+
+// sp-lint: allow(no-such-lint, reason = "typo in the lint id")
+pub fn still_fine() -> u64 {
+    11
+}

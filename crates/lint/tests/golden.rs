@@ -1,0 +1,146 @@
+//! Golden-diagnostic tests: every fixture violation is detected at
+//! exactly the expected `(path, line, lint)` position, waivers suppress
+//! exactly the violations they cover, and the waiver machinery reports
+//! stale and malformed waivers.
+//!
+//! The fixtures live under `tests/fixtures/` (which the workspace
+//! walker skips) and are linted under synthetic `crates/fix/src/...`
+//! paths so the path-scoped lints see them as production code.
+
+#![forbid(unsafe_code)]
+
+use sp_lint::{run, Config, Severity, SourceFile};
+use std::fs;
+use std::path::Path;
+
+/// Loads a fixture file, presenting it as living at `as_path`.
+fn fixture(name: &str, as_path: &str) -> SourceFile {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text = fs::read_to_string(dir.join(name)).expect("fixture readable");
+    SourceFile::from_text(as_path, text)
+}
+
+/// A config scoping each lint to its own fixture file.
+fn fix_config() -> Config {
+    let s = |v: &[&str]| v.iter().map(|&x| x.to_owned()).collect();
+    let mut cfg = Config::none();
+    cfg.float_paths = s(&["crates/fix/src/float_eps.rs"]);
+    cfg.float_vocab = s(&["dist", "cost", "d_"]);
+    cfg.nondet_paths = s(&["crates/fix/src/nondet_iter.rs"]);
+    cfg.panic_paths = s(&["crates/fix/src/panic_path.rs"]);
+    cfg.lock_paths = s(&["crates/fix/src/lock_hygiene.rs"]);
+    cfg.lock_fns = s(&["lock_unpoisoned"]);
+    cfg.io_markers = s(&["fs::write", "write_frame"]);
+    cfg.counter_structs = s(&["FixStats", "OrphanStats"]);
+    cfg.check_unsafe = true;
+    cfg
+}
+
+fn all_fixtures() -> Vec<SourceFile> {
+    vec![
+        fixture("float_eps.rs", "crates/fix/src/float_eps.rs"),
+        fixture("nondet_iter.rs", "crates/fix/src/nondet_iter.rs"),
+        fixture("panic_path.rs", "crates/fix/src/panic_path.rs"),
+        fixture("lock_hygiene.rs", "crates/fix/src/lock_hygiene.rs"),
+        fixture("counter_coverage.rs", "crates/fix/src/counter_coverage.rs"),
+        fixture("unsafe_crate/src/lib.rs", "crates/fix_unsafe/src/lib.rs"),
+    ]
+}
+
+#[test]
+fn golden_positions() {
+    let report = run(&fix_config(), &all_fixtures());
+    let got: Vec<(&str, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.lint))
+        .collect();
+    let expect = vec![
+        ("crates/fix/src/counter_coverage.rs", 12, "counter-coverage"),
+        ("crates/fix/src/counter_coverage.rs", 19, "counter-coverage"),
+        ("crates/fix/src/counter_coverage.rs", 25, "counter-coverage"),
+        ("crates/fix/src/float_eps.rs", 4, "float-eps"),
+        ("crates/fix/src/float_eps.rs", 5, "float-eps"),
+        ("crates/fix/src/float_eps.rs", 7, "float-eps"),
+        ("crates/fix/src/lock_hygiene.rs", 8, "lock-hygiene"),
+        ("crates/fix/src/lock_hygiene.rs", 20, "lock-hygiene"),
+        (
+            "crates/fix/src/nondet_iter.rs",
+            6,
+            "nondeterministic-iteration",
+        ),
+        (
+            "crates/fix/src/nondet_iter.rs",
+            13,
+            "nondeterministic-iteration",
+        ),
+        ("crates/fix/src/panic_path.rs", 4, "panic-path"),
+        ("crates/fix/src/panic_path.rs", 5, "panic-path"),
+        ("crates/fix/src/panic_path.rs", 7, "panic-path"),
+        ("crates/fix/src/panic_path.rs", 9, "panic-path"),
+        ("crates/fix_unsafe/src/lib.rs", 1, "forbid-unsafe"),
+        ("crates/fix_unsafe/src/lib.rs", 4, "forbid-unsafe"),
+    ];
+    assert_eq!(got, expect);
+    // One waived violation per fixture that carries a live waiver.
+    assert_eq!(report.waived, 4);
+    assert_eq!(report.files, 6);
+}
+
+#[test]
+fn severities_and_deny_warnings() {
+    let report = run(&fix_config(), &all_fixtures());
+    for f in &report.findings {
+        let want = match f.lint {
+            "panic-path" | "lock-hygiene" | "forbid-unsafe" => Severity::Error,
+            "float-eps" | "nondeterministic-iteration" | "counter-coverage" => Severity::Warning,
+            other => panic!("unexpected lint {other}"),
+        };
+        assert_eq!(f.severity, want, "{}", f.render());
+    }
+    // Errors fail the run regardless of --deny-warnings.
+    assert!(report.failed(false));
+
+    // A warnings-only report fails only under --deny-warnings.
+    let warn_only = run(
+        &fix_config(),
+        &[fixture("float_eps.rs", "crates/fix/src/float_eps.rs")],
+    );
+    assert!(warn_only
+        .findings
+        .iter()
+        .all(|f| f.severity == Severity::Warning));
+    assert!(!warn_only.failed(false));
+    assert!(warn_only.failed(true));
+}
+
+#[test]
+fn waiver_staleness_and_malformedness() {
+    let files = vec![fixture("waivers.rs", "crates/fix/src/waivers.rs")];
+    let report = run(&fix_config(), &files);
+    let got: Vec<(u32, &str, Severity)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.lint, f.severity))
+        .collect();
+    let expect = vec![
+        (3, "stale-waiver", Severity::Warning),
+        (8, "malformed-waiver", Severity::Error),
+        (13, "malformed-waiver", Severity::Error),
+    ];
+    assert_eq!(got, expect);
+    assert_eq!(report.waived, 0);
+}
+
+#[test]
+fn waivers_do_not_leak_across_lints() {
+    // A waiver for lint A does not suppress lint B on the same line:
+    // a float comparison under a panic-path waiver still fires.
+    let src = "// sp-lint: allow(panic-path, reason = \"not a panic site\")\n\
+               let close = dist_a == dist_b;\n";
+    let file = SourceFile::from_text("crates/fix/src/float_eps.rs", src.to_owned());
+    let report = run(&fix_config(), &[file]);
+    let lints: Vec<&str> = report.findings.iter().map(|f| f.lint).collect();
+    assert!(lints.contains(&"float-eps"), "{lints:?}");
+    assert!(lints.contains(&"stale-waiver"), "{lints:?}");
+}

@@ -13,6 +13,8 @@
 //! single-threaded no-eviction reference in-process and fails unless
 //! the served responses are bit-identical.
 
+#![forbid(unsafe_code)]
+
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 

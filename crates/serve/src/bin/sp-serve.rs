@@ -8,6 +8,8 @@
 //! Binds, prints the resolved address on stdout (`listening on …`), and
 //! serves until killed. See the crate README for the wire protocol.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -119,11 +119,13 @@ fn parse_peer(v: &Value, key: &str) -> Result<PeerId, String> {
 fn parse_index_pair(v: &Value, what: &str) -> Result<(PeerId, PeerId), String> {
     let pair = v
         .as_array()
-        .filter(|p| p.len() == 2)
         .ok_or_else(|| format!("{what} must be a [from, to] pair"))?;
-    match (pair[0].as_usize(), pair[1].as_usize()) {
-        (Some(a), Some(b)) => Ok((PeerId::new(a), PeerId::new(b))),
-        _ => Err(format!("{what} must hold peer indices")),
+    match pair {
+        [a, b] => match (a.as_usize(), b.as_usize()) {
+            (Some(a), Some(b)) => Ok((PeerId::new(a), PeerId::new(b))),
+            _ => Err(format!("{what} must hold peer indices")),
+        },
+        _ => Err(format!("{what} must be a [from, to] pair")),
     }
 }
 

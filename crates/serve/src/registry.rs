@@ -40,7 +40,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use sp_core::GameSession;
@@ -62,6 +62,15 @@ const ENTRY_OVERHEAD_BYTES: usize = 256;
 /// concurrent worker grabbed before giving up for this round (the next
 /// completed request retries).
 const EVICT_RETRIES: usize = 8;
+
+/// Locks a mutex, recovering from poisoning. Every registry lock
+/// protects state that is valid after any panic point (queues and
+/// options mutated in single steps), so continuing with the inner value
+/// is always sound — and it keeps the request path free of panics: one
+/// crashed worker must not take the whole service down with it.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of a [`SessionRegistry`].
 #[derive(Debug, Clone)]
@@ -219,6 +228,7 @@ impl SessionRegistry {
                 std::thread::Builder::new()
                     .name(format!("sp-serve-worker-{k}"))
                     .spawn(move || registry.worker_loop())
+                    // sp-lint: allow(panic-path, reason = "startup-time spawn before any request is accepted; no remote input reaches this")
                     .expect("failed to spawn worker thread")
             })
             .collect()
@@ -231,22 +241,18 @@ impl SessionRegistry {
     /// # Errors
     ///
     /// Fails once [`SessionRegistry::shutdown`] has been called.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread poisoned the entry lock.
     pub fn submit(&self, request: Request) -> Result<mpsc::Receiver<Value>, String> {
         if self.stop.load(Ordering::Acquire) {
             return Err("registry is shutting down".to_owned());
         }
         let entry = self.entry(&request.session);
         let (tx, rx) = mpsc::channel();
-        let mut st = entry.state.lock().expect("entry lock poisoned");
+        let mut st = lock_unpoisoned(&entry.state);
         while st.queue.len() >= self.config.queue_capacity {
             if self.stop.load(Ordering::Acquire) {
                 return Err("registry is shutting down".to_owned());
             }
-            st = entry.space.wait(st).expect("entry lock poisoned");
+            st = entry.space.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         // Final stop check *under the entry lock*: shutdown() drains
         // this queue under the same lock after setting the flag, so a
@@ -275,19 +281,16 @@ impl SessionRegistry {
         self.stop.store(true, Ordering::Release);
         self.ready_cv.notify_all();
         for shard in &self.shards {
-            let entries: Vec<Arc<SessionEntry>> = shard
-                .lock()
-                .expect("shard lock poisoned")
-                .values()
-                .cloned()
-                .collect();
+            // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: every entry's queue is cleared, no output depends on visit order")
+            let entries: Vec<Arc<SessionEntry>> =
+                lock_unpoisoned(shard).values().cloned().collect();
             for e in entries {
                 // Drain queued jobs so their reply senders drop and the
                 // waiting receivers disconnect — a submit racing the
                 // stop flag must not strand its connection thread in
                 // `recv()` forever. (A worker mid-process simply finds
                 // an empty queue when it re-locks.)
-                e.state.lock().expect("entry lock poisoned").queue.clear();
+                lock_unpoisoned(&e.state).queue.clear();
                 e.space.notify_all();
             }
         }
@@ -298,14 +301,11 @@ impl SessionRegistry {
     pub fn stats(&self) -> RegistryStats {
         let mut resident = 0usize;
         for shard in &self.shards {
-            let entries: Vec<Arc<SessionEntry>> = shard
-                .lock()
-                .expect("shard lock poisoned")
-                .values()
-                .cloned()
-                .collect();
+            // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: commutative count of resident entries")
+            let entries: Vec<Arc<SessionEntry>> =
+                lock_unpoisoned(shard).values().cloned().collect();
             for e in entries {
-                let st = e.state.lock().expect("entry lock poisoned");
+                let st = lock_unpoisoned(&e.state);
                 if st.resident.is_some() || st.busy {
                     resident += 1;
                 }
@@ -333,9 +333,8 @@ impl SessionRegistry {
     }
 
     fn entry(&self, name: &str) -> Arc<SessionEntry> {
-        let mut shard = self.shards[self.shard_of(name)]
-            .lock()
-            .expect("shard lock poisoned");
+        // sp-lint: allow(panic-path, reason = "shard_of takes the hash modulo SHARDS, the array length")
+        let mut shard = lock_unpoisoned(&self.shards[self.shard_of(name)]);
         Arc::clone(shard.entry(name.to_owned()).or_insert_with(|| {
             Arc::new(SessionEntry {
                 name: name.to_owned(),
@@ -346,17 +345,14 @@ impl SessionRegistry {
     }
 
     fn push_ready(&self, entry: Arc<SessionEntry>) {
-        self.ready
-            .lock()
-            .expect("ready lock poisoned")
-            .push_back(entry);
+        lock_unpoisoned(&self.ready).push_back(entry);
         self.ready_cv.notify_one();
     }
 
     fn worker_loop(&self) {
         loop {
             let entry = {
-                let mut q = self.ready.lock().expect("ready lock poisoned");
+                let mut q = lock_unpoisoned(&self.ready);
                 loop {
                     if let Some(e) = q.pop_front() {
                         break e;
@@ -364,7 +360,10 @@ impl SessionRegistry {
                     if self.stop.load(Ordering::Acquire) {
                         return;
                     }
-                    q = self.ready_cv.wait(q).expect("ready lock poisoned");
+                    q = self
+                        .ready_cv
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             self.process(&entry);
@@ -412,7 +411,7 @@ impl SessionRegistry {
     /// Executes one job with the session checked out of its entry.
     fn process(&self, entry: &Arc<SessionEntry>) {
         let (job, resident, created, dirty) = {
-            let mut st = entry.state.lock().expect("entry lock poisoned");
+            let mut st = lock_unpoisoned(&entry.state);
             let Some(job) = st.queue.pop_front() else {
                 st.scheduled = false;
                 return;
@@ -423,7 +422,7 @@ impl SessionRegistry {
         };
         let outcome = self.run_job(&entry.name, &job.request, resident, created, dirty);
         {
-            let mut st = entry.state.lock().expect("entry lock poisoned");
+            let mut st = lock_unpoisoned(&entry.state);
             st.busy = false;
             st.created = outcome.created;
             st.dirty = outcome.dirty;
@@ -614,18 +613,19 @@ impl SessionRegistry {
         }
     }
 
-    /// Picks the least-recently-used evictable entry, if any.
+    /// Picks the least-recently-used evictable entry, if any. The
+    /// victim is the minimum of `(last_used, name)` — the name
+    /// tie-break makes the choice independent of shard iteration
+    /// order, so eviction sequences replay identically across runs.
     fn pick_lru(&self) -> Option<Arc<SessionEntry>> {
         let mut best: Option<(u64, Arc<SessionEntry>)> = None;
         for shard in &self.shards {
-            let entries: Vec<Arc<SessionEntry>> = shard
-                .lock()
-                .expect("shard lock poisoned")
-                .values()
-                .cloned()
-                .collect();
+            // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: victim is the unique (last_used, name) minimum over the snapshot")
+            let mut entries: Vec<Arc<SessionEntry>> =
+                lock_unpoisoned(shard).values().cloned().collect();
+            entries.sort_by(|a, b| a.name.cmp(&b.name));
             for e in entries {
-                let st = e.state.lock().expect("entry lock poisoned");
+                let st = lock_unpoisoned(&e.state);
                 let evictable =
                     st.resident.is_some() && !st.busy && !st.scheduled && st.queue.is_empty();
                 if !evictable {
@@ -633,7 +633,10 @@ impl SessionRegistry {
                 }
                 let stamp = st.last_used;
                 drop(st);
-                if best.as_ref().is_none_or(|(b, _)| stamp < *b) {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(b, prev)| (stamp, e.name.as_str()) < (*b, prev.name.as_str()));
+                if better {
                     best = Some((stamp, e));
                 }
             }
@@ -653,17 +656,18 @@ impl SessionRegistry {
             // (no queued work), and holding the lock keeps a racing
             // submit from scheduling the session while its file is
             // half-written.
-            let mut st = victim.state.lock().expect("entry lock poisoned");
+            let mut st = lock_unpoisoned(&victim.state);
             let evictable =
                 st.resident.is_some() && !st.busy && !st.scheduled && st.queue.is_empty();
-            if !evictable {
+            let session = if evictable { st.resident.take() } else { None };
+            let Some(mut session) = session else {
                 misses += 1;
                 if misses > EVICT_RETRIES {
                     return;
                 }
                 continue;
-            }
-            let mut session = st.resident.take().expect("checked evictable");
+            };
+            // sp-lint: allow(lock-hygiene, reason = "deliberate hold-across-spill: entry is idle and the lock blocks a racing submit while the file is half-written")
             match self.spill(&victim.name, &mut session, st.dirty) {
                 Ok(()) => {
                     st.dirty = false;

@@ -85,6 +85,7 @@ impl Server {
                             .spawn(move || handle_connection(stream, &registry));
                     }
                 })
+                // sp-lint: allow(panic-path, reason = "startup-time spawn before any connection is accepted; no remote input reaches this")
                 .expect("failed to spawn accept thread")
         };
         Ok(Server {

@@ -149,14 +149,16 @@ pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
         .and_then(Value::as_array)
         .ok_or("snapshot needs an 'overlay_rows' array")?
     {
-        let pair = entry
+        let [src, row] = entry
             .as_array()
-            .filter(|p| p.len() == 2)
-            .ok_or("overlay_rows entries must be [source, row] pairs")?;
-        let u = pair[0]
+            .ok_or("overlay_rows entries must be [source, row] pairs")?
+        else {
+            return Err("overlay_rows entries must be [source, row] pairs".to_owned());
+        };
+        let u = src
             .as_usize()
             .ok_or("overlay row source must be an index")?;
-        overlay_rows.push((u, decode_row(&pair[1], "overlay row")?));
+        overlay_rows.push((u, decode_row(row, "overlay row")?));
     }
     let mut residual_rows: Vec<(usize, usize, Vec<f64>)> = Vec::new();
     for entry in v
@@ -164,17 +166,17 @@ pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
         .and_then(Value::as_array)
         .ok_or("snapshot needs a 'residual_rows' array")?
     {
-        let triple = entry
+        let [excluded, src, row] = entry
             .as_array()
-            .filter(|p| p.len() == 3)
-            .ok_or("residual_rows entries must be [excluded, source, row] triples")?;
-        let i = triple[0]
+            .ok_or("residual_rows entries must be [excluded, source, row] triples")?
+        else {
+            return Err("residual_rows entries must be [excluded, source, row] triples".to_owned());
+        };
+        let i = excluded
             .as_usize()
             .ok_or("residual excluded peer must be an index")?;
-        let s = triple[1]
-            .as_usize()
-            .ok_or("residual source must be an index")?;
-        residual_rows.push((i, s, decode_row(&triple[2], "residual row")?));
+        let s = src.as_usize().ok_or("residual source must be an index")?;
+        residual_rows.push((i, s, decode_row(row, "residual row")?));
     }
 
     GameSession::restore(

@@ -61,17 +61,17 @@ pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String
             .iter()
             .map(|pair| {
                 let xy = f64_array(pair, "points_2d entries")?;
-                if xy.len() != 2 {
-                    return Err("points_2d entries must be [x, y] pairs".to_owned());
+                match xy.as_slice() {
+                    [x, y] => Ok(Point2::new(*x, *y)),
+                    _ => Err("points_2d entries must be [x, y] pairs".to_owned()),
                 }
-                Ok(Point2::new(xy[0], xy[1]))
             })
             .collect::<Result<_, String>>()?;
         let space = Euclidean2D::new(pts).map_err(|e| e.to_string())?;
         Game::from_space(&space, alpha).map_err(|e| e.to_string())?
     } else {
         let rows = matrix
-            .expect("one geometry present")
+            .ok_or("spec needs positions_1d, points_2d, or matrix")?
             .as_array()
             .ok_or("matrix must be an array of rows")?;
         let n = rows.len();
@@ -100,11 +100,13 @@ pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String
                 .map(|pair| {
                     let p = pair
                         .as_array()
-                        .filter(|p| p.len() == 2)
                         .ok_or("links entries must be [from, to] pairs")?;
-                    match (p[0].as_usize(), p[1].as_usize()) {
-                        (Some(a), Some(b)) => Ok((a, b)),
-                        _ => Err("links entries must be [from, to] index pairs".to_owned()),
+                    match p {
+                        [a, b] => match (a.as_usize(), b.as_usize()) {
+                            (Some(a), Some(b)) => Ok((a, b)),
+                            _ => Err("links entries must be [from, to] index pairs".to_owned()),
+                        },
+                        _ => Err("links entries must be [from, to] pairs".to_owned()),
                     }
                 })
                 .collect::<Result<_, String>>()?;

@@ -64,7 +64,9 @@ pub fn validate_name(name: &str) -> Result<(), String> {
         ));
     }
     let mut chars = name.chars();
-    let first = chars.next().expect("non-empty");
+    let Some(first) = chars.next() else {
+        return Err("session name must not be empty".to_owned());
+    };
     if !first.is_ascii_alphanumeric() {
         return Err("session name must start with an ASCII alphanumeric".to_owned());
     }

@@ -12,6 +12,8 @@
 //! stdin. All commands print JSON to stdout, so the tool composes with
 //! `jq` and friends.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read;
 use std::process::ExitCode;
 

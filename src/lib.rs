@@ -53,6 +53,8 @@
 //! remain available as thin wrappers that build a throwaway session per
 //! call.
 
+#![forbid(unsafe_code)]
+
 pub use sp_analysis as analysis;
 pub use sp_constructions as constructions;
 pub use sp_core as core;
