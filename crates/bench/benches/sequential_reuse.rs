@@ -38,9 +38,13 @@ const N: usize = 64;
 const MAX_ROUNDS: usize = 12;
 
 fn instance(n: usize, seed: u64) -> (Game, StrategyProfile) {
+    instance_at_alpha(n, seed, 1.0)
+}
+
+fn instance_at_alpha(n: usize, seed: u64, alpha: f64) -> (Game, StrategyProfile) {
     let mut rng = StdRng::seed_from_u64(seed);
     let space = generators::uniform_square(n, 100.0, &mut rng);
-    let game = Game::from_space(&space, 1.0).expect("valid placement");
+    let game = Game::from_space(&space, alpha).expect("valid placement");
     // A sparse random starting overlay (~3 out-links per peer): the run
     // then performs a realistic mix of adds, drops, and rewires before
     // settling.
@@ -154,6 +158,7 @@ fn bench_sequential_reuse(c: &mut Criterion) {
     );
 
     bench_monitored_mover(c, &game, &start);
+    bench_lazy_oracle(c);
 }
 
 /// The lazy-refill scenario (ROADMAP open item resolved in PR 5): a
@@ -226,6 +231,76 @@ fn bench_monitored_mover(c: &mut Criterion, game: &Game, start: &StrategyProfile
     assert!(
         skip_rate > 0.5,
         "lazy refills should absorb most invalidations here, got {skip_rate:.2}"
+    );
+}
+
+/// The certified-lower-bound oracle (PR 7 satellite): with
+/// [`GameSession::set_lazy_oracle`] on, `first_improving_move` rejects
+/// hopeless candidate rows from a certified bound without materialising
+/// their exact `G_{-i}` distances, and pays the exact evaluation only
+/// for survivors — bit-identically to the eager scan. Measured at
+/// α = 4, the regime where cross-move row reuse is weakest (~1.5×, see
+/// the module doc), so bound-driven rejection matters most. The gated
+/// counters: candidates absorbed by the certified bound (`hits`, must
+/// stay high), exact evaluations paid (`count`, must not regress), and
+/// their ratio as the headline reduction (`x`).
+fn bench_lazy_oracle(c: &mut Criterion) {
+    const ALPHA: f64 = 4.0;
+    let (game, start) = instance_at_alpha(N, 42, ALPHA);
+    let run = |lazy: bool| {
+        let config = DynamicsConfig {
+            rule: ResponseRule::BetterResponse,
+            max_rounds: MAX_ROUNDS,
+            oracle_reuse: true,
+            ..DynamicsConfig::default()
+        };
+        let mut session = GameSession::new(game.clone(), start.clone()).expect("sizes match");
+        session.set_lazy_oracle(lazy);
+        let mut runner = DynamicsRunner::new(&game, config);
+        let out = runner.run_session(&mut session);
+        (out, session.stats())
+    };
+
+    let mut group = c.benchmark_group("lazy_oracle_dynamics");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("eager", N), &N, |b, _| {
+        b.iter(|| run(false));
+    });
+    group.bench_with_input(BenchmarkId::new("lazy", N), &N, |b, _| {
+        b.iter(|| run(true));
+    });
+    group.finish();
+
+    let (eager_out, _) = run(false);
+    let (lazy_out, lazy_stats) = run(true);
+    assert_eq!(eager_out.profile, lazy_out.profile, "lazy oracle diverged");
+    assert_eq!(eager_out.termination, lazy_out.termination);
+    assert_eq!(eager_out.steps, lazy_out.steps);
+    assert_eq!(eager_out.moves, lazy_out.moves);
+
+    let rejects = lazy_stats.lazy_certified_rejects;
+    let evals = lazy_stats.lazy_exact_evals;
+    let reduction = (rejects + evals) as f64 / evals.max(1) as f64;
+    println!(
+        "lazy oracle (alpha={ALPHA}): {} activations — {} candidates certified away, \
+         {} exact evaluations paid ({reduction:.1}x fewer evals than the eager scan)",
+        lazy_out.steps, rejects, evals,
+    );
+    c.report_value(
+        &format!("lazy_certified_rejects/{N}"),
+        rejects as f64,
+        "hits",
+    );
+    c.report_value(&format!("lazy_exact_evals/{N}"), evals as f64, "count");
+    c.report_value(&format!("lazy_eval_reduction/{N}"), reduction, "x");
+    assert!(
+        rejects > 0 && evals > 0,
+        "the lazy scan must both reject and evaluate: {lazy_stats:?}"
+    );
+    assert!(
+        reduction >= 1.5,
+        "certified bounds must absorb a meaningful share of candidate evaluations, \
+         got {reduction:.2}x ({rejects} rejects vs {evals} evals)"
     );
 }
 

@@ -21,9 +21,10 @@
 //! they do not. A counter **regresses** when it moves in its unit's
 //! "worse" direction by more than 15%:
 //!
-//! * count-like units (`sweeps`, `rebuilds`, `rows`, `visits`, …):
-//!   more work is worse;
-//! * `x` (reduction factors) and `ratio` (hit rates): less is worse.
+//! * count-like units (`sweeps`, `rebuilds`, `rows`, `visits`, `bytes`,
+//!   …): more work (or memory) is worse;
+//! * `x` (reduction factors), `ratio` (hit rates), and `hits` (queries
+//!   absorbed by a cache or certified bound): less is worse.
 //!
 //! Unknown units are reported and skipped. A baseline suite or counter
 //! missing from the fresh run fails the comparison (lost coverage is a
@@ -168,9 +169,14 @@ fn more_is_worse(unit: &str) -> Option<bool> {
         // sp-serve service counters: all count work or backlog, so more
         // is worse — and for a fixed deterministic workload they must
         // not drift at all.
+        // `bytes` is peak session memory at the gated instance size —
+        // the large-n counter proving the sparse path never grew a
+        // matrix — so more is worse like the work counters.
         "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" | "requests"
-        | "sessions" | "depth" => Some(true),
-        "x" | "ratio" => Some(false),
+        | "sessions" | "depth" | "bytes" => Some(true),
+        // `hits` counts queries a cache or certified bound absorbed:
+        // fewer means the short-circuit stopped firing.
+        "x" | "ratio" | "hits" => Some(false),
         _ => None,
     }
 }

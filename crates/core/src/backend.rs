@@ -1,0 +1,211 @@
+//! Pluggable distance backends behind [`GameSession`].
+//!
+//! Every cost in the locality game is stretch-based, so the session's
+//! real job is answering overlay-distance queries and keeping those
+//! answers valid while the profile mutates. This module splits that job
+//! into a trait with two implementations:
+//!
+//! * [`DenseBackend`] — the exact two-tier `OracleCache` (overlay rows +
+//!   retained residual rows) the workspace has carried since PR 1.
+//!   **Bit-identical to the pre-refactor behaviour, and the default.**
+//! * [`SparseBackend`] — landmark distance
+//!   sketches with certified upper/lower bounds, exact bounded-radius
+//!   sweeps for near rows, and metric-window candidate pruning.
+//!   `O(n · (landmarks + degree + window))` memory; never materialises
+//!   an `n × n` matrix unless an explicit escape hatch is called.
+//!
+//! Both implementations repair their cached rows through the **same**
+//! invalidation discipline — the [`sp_graph::edge_on_path`] tightness
+//! predicate decides row survival after a removal, and additions fold in
+//! by decrease-only relaxation — so the backends cannot drift apart.
+//!
+//! # Choosing a mode
+//!
+//! Use **dense** (the default, [`GameSession::new`]) when `n` is at most
+//! a few thousand: every query is exact, equilibrium checks are
+//! authoritative, and the `8n²`-byte matrix is affordable. Use
+//! **sparse** ([`GameSession::new_sparse`]) for large instances driven
+//! by better-response dynamics: `local_response` evaluates only moves a
+//! peer could plausibly want (metric-window candidates, bounded-ball
+//! evaluation, sketch estimates for far demand), while `is_nash` /
+//! `nash_gap` / `best_response` remain **certified** — they fall back to
+//! exact per-peer `G_{-i}` sweeps (`O(n)` memory at a time), so sparse
+//! verdicts are never heuristic. Queries that inherently need the full
+//! matrix (`overlay_distances`, `stretch_matrix`) materialise a
+//! documented transient escape hatch and are meant for small-instance
+//! debugging only.
+//!
+//! [`GameSession`]: crate::GameSession
+//! [`GameSession::new`]: crate::GameSession::new
+//! [`GameSession::new_sparse`]: crate::GameSession::new_sparse
+
+use crate::oracle_cache::OracleCache;
+use crate::sparse::SparseBackend;
+
+/// Which evaluation backend a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendMode {
+    /// Exact dense evaluation over the full overlay distance matrix.
+    Dense,
+    /// Landmark-sketch evaluation with certified bounds and exact
+    /// fallbacks; `O(n)`-per-row memory.
+    Sparse,
+}
+
+impl BackendMode {
+    /// The wire name used by `sp-serve` (`"dense"` / `"sparse"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendMode::Dense => "dense",
+            BackendMode::Sparse => "sparse",
+        }
+    }
+}
+
+/// The contract a distance backend owes [`GameSession`](crate::GameSession).
+///
+/// A backend owns whatever cached distance state it needs and keeps two
+/// promises:
+///
+/// 1. **Exactness where claimed** — any row or bound it serves is either
+///    exact for the current overlay or explicitly a certified bound
+///    (never a silent approximation);
+/// 2. **Repair over rebuild** — after a committed edge diff the backend
+///    restores its invariants incrementally via the shared
+///    [`sp_graph::edge_on_path`] discipline rather than discarding
+///    state wholesale.
+///
+/// The session routes queries per [`BackendMode`]; this trait carries
+/// the mode-independent surface (identification, accounting, bulk
+/// invalidation).
+pub trait DistanceBackend {
+    /// Which mode this backend implements.
+    fn mode(&self) -> BackendMode;
+    /// Semantic bytes of cached distance state (deterministic across
+    /// machines; the `sp-serve` registry budgets sessions with it).
+    fn memory_bytes(&self) -> usize;
+    /// Drops every cached row/sketch (profile replaced wholesale).
+    fn invalidate(&mut self);
+}
+
+/// The exact dense backend: a thin named wrapper around the two-tier
+/// `OracleCache` so the cache itself stays private to the crate.
+#[derive(Debug, Clone)]
+pub struct DenseBackend {
+    pub(crate) cache: OracleCache,
+}
+
+impl DenseBackend {
+    pub(crate) fn new(n: usize) -> Self {
+        DenseBackend {
+            cache: OracleCache::new(n),
+        }
+    }
+
+    pub(crate) fn from_cache(cache: OracleCache) -> Self {
+        DenseBackend { cache }
+    }
+}
+
+impl DistanceBackend for DenseBackend {
+    fn mode(&self) -> BackendMode {
+        BackendMode::Dense
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cache.memory_bytes()
+    }
+
+    fn invalidate(&mut self) {
+        self.cache.invalidate_all();
+    }
+}
+
+/// The backend a session actually holds: a closed enum (not a trait
+/// object) so the dense hot path keeps static dispatch and the borrow
+/// checker can reason field-granularly.
+#[derive(Debug, Clone)]
+pub(crate) enum SessionBackend {
+    Dense(DenseBackend),
+    Sparse(Box<SparseBackend>),
+}
+
+impl SessionBackend {
+    pub(crate) fn mode(&self) -> BackendMode {
+        match self {
+            SessionBackend::Dense(b) => b.mode(),
+            SessionBackend::Sparse(b) => b.mode(),
+        }
+    }
+
+    pub(crate) fn memory_bytes(&self) -> usize {
+        match self {
+            SessionBackend::Dense(b) => b.memory_bytes(),
+            SessionBackend::Sparse(b) => b.memory_bytes(),
+        }
+    }
+
+    pub(crate) fn invalidate(&mut self) {
+        match self {
+            SessionBackend::Dense(b) => b.invalidate(),
+            SessionBackend::Sparse(b) => b.invalidate(),
+        }
+    }
+
+    pub(crate) fn is_sparse(&self) -> bool {
+        matches!(self, SessionBackend::Sparse(_))
+    }
+
+    /// The dense cache; internal dense-only code paths reach it through
+    /// here after mode routing has already happened.
+    pub(crate) fn dense(&self) -> &OracleCache {
+        match self {
+            SessionBackend::Dense(b) => &b.cache,
+            SessionBackend::Sparse(_) => {
+                unreachable!("dense cache requested from a sparse session (routing bug)")
+            }
+        }
+    }
+
+    /// Mutable twin of [`SessionBackend::dense`].
+    pub(crate) fn dense_mut(&mut self) -> &mut OracleCache {
+        match self {
+            SessionBackend::Dense(b) => &mut b.cache,
+            SessionBackend::Sparse(_) => {
+                unreachable!("dense cache requested from a sparse session (routing bug)")
+            }
+        }
+    }
+
+    /// The sparse state; same routing contract as [`SessionBackend::dense`].
+    pub(crate) fn sparse(&self) -> &SparseBackend {
+        match self {
+            SessionBackend::Sparse(b) => b,
+            SessionBackend::Dense(_) => {
+                unreachable!("sparse state requested from a dense session (routing bug)")
+            }
+        }
+    }
+
+    /// Mutable twin of [`SessionBackend::sparse`].
+    pub(crate) fn sparse_mut(&mut self) -> &mut SparseBackend {
+        match self {
+            SessionBackend::Sparse(b) => b,
+            SessionBackend::Dense(_) => {
+                unreachable!("sparse state requested from a dense session (routing bug)")
+            }
+        }
+    }
+
+    /// The most recently materialised exact distance row for source `u`,
+    /// whichever backend holds it: the dense overlay row (must be valid)
+    /// or the sparse transient row buffer (must have been computed for
+    /// `u` since the last mutation).
+    pub(crate) fn stored_row(&self, u: usize) -> &[f64] {
+        match self {
+            SessionBackend::Dense(b) => b.cache.row(u),
+            SessionBackend::Sparse(b) => b.row_ref(u),
+        }
+    }
+}

@@ -2,7 +2,7 @@ use sp_facility::{
     solve_branch_and_bound, solve_enumeration, solve_greedy, solve_local_search, FacilityError,
     FacilityProblem,
 };
-use sp_graph::{CsrGraph, DijkstraScratch};
+use sp_graph::{edge_on_path, CsrGraph, DijkstraScratch};
 
 use crate::oracle_cache::OracleCache;
 use crate::session::EDGE_ON_PATH_EPS;
@@ -216,11 +216,8 @@ impl ResponseOracle {
             let overlay = cache.row_is_valid(v).then(|| {
                 let cached = cache.row(v);
                 let d_vi = cached[i];
-                let clean = out.iter().all(|&(t, w)| {
-                    !(d_vi.is_finite()
-                        && d_vi + w <= cached[t] + EDGE_ON_PATH_EPS * (1.0 + cached[t].abs()))
-                });
-                clean
+                out.iter()
+                    .all(|&(t, w)| !edge_on_path(d_vi, w, cached[t], EDGE_ON_PATH_EPS))
             });
             let d_iv = game.distance(i, v);
             let assign = |residual: &[f64]| -> Vec<f64> {
@@ -364,6 +361,356 @@ impl ResponseOracle {
     pub(crate) fn candidates(&self) -> &[usize] {
         &self.candidates
     }
+}
+
+/// Accounting for one [`first_improving_move_lazy`] scan: the exact-tier
+/// row sourcing it shares with [`ResponseOracle::build_from_cache`], plus
+/// the bound-tier outcomes unique to the lazy path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LazyScan {
+    /// Exact-tier row accounting (overlay reuse / residual hits / sweeps).
+    pub(crate) reuse: OracleReuse,
+    /// Candidate moves rejected on a certified lower bound alone — no
+    /// exact row for the new link target was ever materialised.
+    pub(crate) certified_rejects: usize,
+    /// Candidate moves whose lower bound passed the improvement test and
+    /// therefore paid exact escalation.
+    pub(crate) exact_evals: usize,
+}
+
+/// A candidate row in the lazy scan, already assignment-converted
+/// (`(d_iv + D(v, j)) / d_met(i, j)` over client positions).
+enum LazyRow {
+    /// Not yet touched by any evaluation.
+    Unresolved,
+    /// A certified **lower bound** on the exact assignment row: either a
+    /// valid-but-dirty overlay row (`d_G(v, ·) ≤ D_{G_{-i}}(v, ·)` since
+    /// removing `i`'s links only lengthens paths) or the metric row
+    /// (`d_met(v, ·) ≤ D_{G_{-i}}(v, ·)` by the triangle inequality).
+    Lower(Vec<f64>),
+    /// The exact residual assignment row (overlay-clean, residual-tier,
+    /// or freshly swept — the same three tiers as
+    /// [`ResponseOracle::build_from_cache`]).
+    Exact(Vec<f64>),
+}
+
+/// Lazily resolved candidate rows for one `(profile, peer)` scan.
+///
+/// Unlike [`ResponseOracle::build_from_cache`], which materialises every
+/// candidate row up front (and therefore pays a fresh `G_{-i}` sweep for
+/// every row a move by a hub peer dirtied), this store resolves rows to
+/// the *weakest sufficient tier*: certified lower bounds serve rejection,
+/// and only candidates whose bound survives the improvement test pay for
+/// exact rows. Every exact row comes from the identical tier order as the
+/// eager build, so any move this scan **accepts** is bit-identical (same
+/// links, same cost) to the eager scan's acceptance.
+struct LazyRows<'a> {
+    game: &'a Game,
+    profile: &'a StrategyProfile,
+    peer: PeerId,
+    /// `peer`'s out-links `(target, weight)` for the overlay-clean test.
+    out: Vec<(usize, f64)>,
+    candidates: Vec<usize>,
+    rows: Vec<LazyRow>,
+    g_minus: Option<CsrGraph>,
+}
+
+impl<'a> LazyRows<'a> {
+    fn new(game: &'a Game, profile: &'a StrategyProfile, peer: PeerId) -> Self {
+        let i = peer.index();
+        let out: Vec<(usize, f64)> = profile
+            .strategy(peer)
+            .iter()
+            .map(|t| (t.index(), game.distance(i, t.index())))
+            .collect();
+        let candidates: Vec<usize> = (0..game.n()).filter(|&v| v != i).collect();
+        let rows = (0..candidates.len()).map(|_| LazyRow::Unresolved).collect();
+        LazyRows {
+            game,
+            profile,
+            peer,
+            out,
+            candidates,
+            rows,
+            g_minus: None,
+        }
+    }
+
+    fn assign(&self, v: usize, residual: &[f64]) -> Vec<f64> {
+        let i = self.peer.index();
+        let d_iv = self.game.distance(i, v);
+        self.candidates
+            .iter()
+            .map(|&j| (d_iv + residual[j]) / self.game.distance(i, j))
+            .collect()
+    }
+
+    /// Tries the two *free exact* tiers (overlay-clean, residual) shared
+    /// with [`ResponseOracle::build_from_cache`]. Returns the exact row
+    /// on a hit.
+    fn try_free_exact(
+        &mut self,
+        k: usize,
+        cache: &mut OracleCache,
+        scan: &mut LazyScan,
+    ) -> Option<Vec<f64>> {
+        let i = self.peer.index();
+        let v = self.candidates[k];
+        let overlay = cache.row_is_valid(v).then(|| {
+            let cached = cache.row(v);
+            let d_vi = cached[i];
+            self.out
+                .iter()
+                .all(|&(t, w)| !edge_on_path(d_vi, w, cached[t], EDGE_ON_PATH_EPS))
+        });
+        if overlay == Some(true) {
+            scan.reuse.rows_reused += 1;
+            return Some(self.assign(v, cache.row(v)));
+        }
+        if let Some(residual) = cache.residual_row(i, v) {
+            scan.reuse.residual_hits += 1;
+            return Some(self.assign(v, residual));
+        }
+        None
+    }
+
+    /// Ensures `rows[k]` holds at least a certified lower bound. Free
+    /// exact tiers are preferred (they cost the same `O(n)` conversion);
+    /// otherwise a valid-but-dirty overlay row, and failing that the
+    /// metric row, serve as the bound — neither pays a sweep.
+    fn ensure_bound(&mut self, k: usize, cache: &mut OracleCache, scan: &mut LazyScan) {
+        if !matches!(self.rows[k], LazyRow::Unresolved) {
+            return;
+        }
+        if let Some(exact) = self.try_free_exact(k, cache, scan) {
+            self.rows[k] = LazyRow::Exact(exact);
+            return;
+        }
+        let v = self.candidates[k];
+        let lower = if cache.row_is_valid(v) {
+            // Valid but dirty: a lower bound on the residual row.
+            self.assign(v, cache.row(v))
+        } else {
+            // Metric lower bound: `D_{G_{-i}}(v, j) ≥ d_met(v, j)`.
+            let metric: Vec<f64> = (0..self.game.n())
+                .map(|j| self.game.distance(v, j))
+                .collect();
+            self.assign(v, &metric)
+        };
+        self.rows[k] = LazyRow::Lower(lower);
+    }
+
+    /// Ensures `rows[k]` is exact, sweeping `G_{-i}` if no free tier
+    /// serves it (and retaining the swept row in the residual tier,
+    /// exactly like the eager build).
+    fn ensure_exact(
+        &mut self,
+        k: usize,
+        cache: &mut OracleCache,
+        scratch: &mut DijkstraScratch,
+        scan: &mut LazyScan,
+    ) {
+        if matches!(self.rows[k], LazyRow::Exact(_)) {
+            return;
+        }
+        let from_free = if matches!(self.rows[k], LazyRow::Unresolved) {
+            self.try_free_exact(k, cache, scan)
+        } else {
+            // A `Lower` row already failed both free tiers; nothing in the
+            // cache changes mid-scan except residual rows we store
+            // ourselves, one per candidate, so re-checking cannot hit.
+            None
+        };
+        if let Some(exact) = from_free {
+            self.rows[k] = LazyRow::Exact(exact);
+            return;
+        }
+        scan.reuse.rows_swept += 1;
+        if self.g_minus.is_none() {
+            let g = topology_without_peer(self.game, self.profile, self.peer)
+                .expect("peer bounds checked by caller");
+            self.g_minus = Some(CsrGraph::from_digraph(&g));
+        }
+        let csr = self.g_minus.as_ref().expect("built above");
+        let v = self.candidates[k];
+        let buf = csr.dijkstra_row_with(v, scratch);
+        let row = self.assign(v, buf);
+        cache.store_residual(self.peer.index(), v, buf);
+        self.rows[k] = LazyRow::Exact(row);
+    }
+
+    /// `FacilityProblem::cost_of` replicated over the lazy rows: open
+    /// costs accumulate per facility, then one ascending client pass
+    /// taking the per-client min over open rows. With all-exact rows the
+    /// result is bit-identical to the eager oracle's `eval`.
+    fn cost_with(&self, open: &[usize]) -> f64 {
+        let alpha = self.game.alpha();
+        let mut total = 0.0;
+        for _ in open {
+            total += alpha;
+        }
+        for c in 0..self.candidates.len() {
+            let mut best = f64::INFINITY;
+            for &k in open {
+                let row = match &self.rows[k] {
+                    LazyRow::Lower(r) | LazyRow::Exact(r) => r,
+                    LazyRow::Unresolved => unreachable!("open rows are resolved before eval"),
+                };
+                let a = row[c];
+                if a < best {
+                    best = a;
+                }
+            }
+            total += best;
+        }
+        total
+    }
+
+    /// Exact cost of opening `open` (facility positions).
+    fn eval_exact(
+        &mut self,
+        open: &[usize],
+        cache: &mut OracleCache,
+        scratch: &mut DijkstraScratch,
+        scan: &mut LazyScan,
+    ) -> f64 {
+        for &k in open {
+            self.ensure_exact(k, cache, scratch, scan);
+        }
+        self.cost_with(open)
+    }
+
+    /// Certified lower bound on the cost of opening `open`: per-entry
+    /// `lower ≤ exact` makes every per-client min and hence the total a
+    /// lower bound, so a bound that fails the improvement test certifies
+    /// the exact cost fails it too.
+    fn eval_lower(&mut self, open: &[usize], cache: &mut OracleCache, scan: &mut LazyScan) -> f64 {
+        for &k in open {
+            self.ensure_bound(k, cache, scan);
+        }
+        self.cost_with(open)
+    }
+
+    fn positions(&self, links: &LinkSet) -> Vec<usize> {
+        links
+            .iter()
+            .map(|p| {
+                self.candidates
+                    .binary_search(&p.index())
+                    .expect("link target must be a valid candidate")
+            })
+            .collect()
+    }
+}
+
+/// Satellite-2 lazy better-response scan: [`first_improving_move`]
+/// semantics with per-candidate row resolution.
+///
+/// The eager cached scan ([`ResponseOracle::build_from_cache`] +
+/// [`ResponseOracle::first_improving_move`]) materialises **every**
+/// candidate row before evaluating a single move, so one hub move that
+/// dirties most overlay rows forces ~`n` fresh sweeps on the next scan
+/// even though (at high `α`) almost every candidate move is hopeless.
+/// This variant rejects candidate adds/swaps on **certified lower
+/// bounds** — dirty overlay rows and metric rows, both provably `≤` the
+/// exact residual rows — and escalates to exact rows only for candidates
+/// whose bound survives the improvement test. Drops evaluate exact
+/// directly (their rows are the current links', needed anyway).
+///
+/// Guarantee: the scan visits moves in the identical drop/add/swap order
+/// with the identical improvement predicate, rejection by bound is sound
+/// (`bound ≤ exact`, and the predicate is monotone in cost), and every
+/// accepted move's cost comes from exact rows sourced by the same tier
+/// order as the eager build — so the returned move (or `None`) is
+/// **bit-identical** to the eager scan's.
+pub(crate) fn first_improving_move_lazy(
+    game: &Game,
+    profile: &StrategyProfile,
+    peer: PeerId,
+    cache: &mut OracleCache,
+    scratch: &mut DijkstraScratch,
+    tol: f64,
+) -> Result<(Option<BestResponse>, LazyScan), CoreError> {
+    let n = game.n();
+    if peer.index() >= n {
+        return Err(CoreError::PeerOutOfBounds {
+            peer: peer.index(),
+            n,
+        });
+    }
+    let mut scan = LazyScan::default();
+    let mut rows = LazyRows::new(game, profile, peer);
+    let current = profile.strategy(peer);
+    let current_open = rows.positions(current);
+    let current_cost = rows.eval_exact(&current_open, cache, scratch, &mut scan);
+    let improves = |cost: f64| -> bool {
+        if cost.is_infinite() {
+            return false;
+        }
+        if current_cost.is_infinite() {
+            return true;
+        }
+        cost < current_cost - tol * (1.0 + current_cost.abs())
+    };
+    let wrap = |links: LinkSet, cost: f64| BestResponse {
+        peer,
+        links,
+        cost,
+        current_cost,
+        exact: false,
+    };
+
+    // Drops: all rows involved are current-link rows, already exact.
+    for j in current.iter() {
+        let cand = current.without(j);
+        let open = rows.positions(&cand);
+        let c = rows.eval_exact(&open, cache, scratch, &mut scan);
+        if improves(c) {
+            return Ok((Some(wrap(cand, c)), scan));
+        }
+    }
+    // Adds: bound first, escalate only on a surviving bound.
+    let candidates = rows.candidates.clone();
+    for &v in &candidates {
+        let vp = PeerId::new(v);
+        if current.contains(vp) {
+            continue;
+        }
+        let cand = current.with(vp);
+        let open = rows.positions(&cand);
+        let lb = rows.eval_lower(&open, cache, &mut scan);
+        if !improves(lb) {
+            scan.certified_rejects += 1;
+            continue;
+        }
+        scan.exact_evals += 1;
+        let c = rows.eval_exact(&open, cache, scratch, &mut scan);
+        if improves(c) {
+            return Ok((Some(wrap(cand, c)), scan));
+        }
+    }
+    // Swaps.
+    for j in current.iter() {
+        for &v in &candidates {
+            let vp = PeerId::new(v);
+            if current.contains(vp) {
+                continue;
+            }
+            let cand = current.without(j).with(vp);
+            let open = rows.positions(&cand);
+            let lb = rows.eval_lower(&open, cache, &mut scan);
+            if !improves(lb) {
+                scan.certified_rejects += 1;
+                continue;
+            }
+            scan.exact_evals += 1;
+            let c = rows.eval_exact(&open, cache, scratch, &mut scan);
+            if improves(c) {
+                return Ok((Some(wrap(cand, c)), scan));
+            }
+        }
+    }
+    Ok((None, scan))
 }
 
 /// Computes `peer`'s best response to `profile` (all other strategies

@@ -59,6 +59,7 @@ impl TrafficDemands {
     #[must_use]
     pub fn uniform(n: usize) -> Self {
         TrafficDemands {
+            // sp-lint: allow(dense-alloc, reason = "demand weights are inherently pairwise; weighted games are dense-backend only")
             weights: DistanceMatrix::new_filled(n, 1.0),
         }
     }
@@ -76,6 +77,7 @@ impl TrafficDemands {
             hot_weight.is_finite() && hot_weight >= 0.0,
             "hot weight must be finite non-negative"
         );
+        // sp-lint: allow(dense-alloc, reason = "demand weights are inherently pairwise; weighted games are dense-backend only")
         let mut m = DistanceMatrix::new_filled(n, 1.0);
         for i in 0..n {
             if i != hot {

@@ -38,7 +38,15 @@
 //!   reduction to uncapacitated facility location (see `sp-facility`), or
 //!   approximately via greedy/local-search;
 //! * [`is_nash`] / [`nash_gap`] — (exact) Nash-equilibrium verification;
-//! * [`poa`] — bounds used for Price-of-Anarchy bracketing.
+//! * [`poa`] — bounds used for Price-of-Anarchy bracketing;
+//! * [`backend`] — **pluggable evaluation backends**: the exact dense
+//!   [`OracleCache`]-backed default, and the [`SparseBackend`] landmark
+//!   mode ([`GameSession::new_sparse`]) that answers large-`n`
+//!   better-response dynamics in `O(n · (landmarks + window))` memory
+//!   without ever materialising the `O(n²)` distance matrix (see the
+//!   module docs for the mode-selection guidance).
+//!
+//! [`OracleCache`]: crate::backend::DenseBackend
 //!
 //! The free functions are retained as thin, source-compatible wrappers —
 //! each builds a throwaway [`GameSession`] — so one-shot callers keep the
@@ -88,6 +96,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod best_response;
 mod cost;
 pub mod demand;
@@ -97,15 +106,18 @@ mod oracle_cache;
 mod peer;
 pub mod poa;
 mod session;
+mod sparse;
 mod strategy;
 mod topology;
 
+pub use backend::{BackendMode, DenseBackend, DistanceBackend};
 pub use best_response::{best_response, first_improving_move, BestResponse, BestResponseMethod};
 pub use cost::{all_peer_costs, peer_cost, social_cost, SocialCost};
 pub use error::CoreError;
 pub use game::Game;
 pub use peer::{LinkSet, PeerId};
 pub use session::{GameSession, Move, SessionSnapshot, SessionStats};
+pub use sparse::{SparseBackend, SparseParams};
 pub use strategy::StrategyProfile;
 pub use topology::{
     max_stretch, overlay_distances, stretch_matrix, topology, topology_without_peer,

@@ -50,7 +50,7 @@
 
 use std::collections::HashMap;
 
-use sp_graph::{CsrGraph, DijkstraScratch, DistanceMatrix};
+use sp_graph::{edge_on_path, CsrGraph, DijkstraScratch, DistanceMatrix};
 
 use crate::session::EDGE_ON_PATH_EPS;
 
@@ -318,11 +318,11 @@ impl OracleCache {
             let row = self.dist.row(u);
 
             // A removed link (i, j) can only affect u's distances when u
-            // reaches i and the link was tight on some shortest path.
-            let broken = removed.iter().any(|&(i, j, w)| {
-                let d_ui = row[i];
-                d_ui.is_finite() && d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs())
-            });
+            // reaches i and the link was tight on some shortest path —
+            // the one tightness predicate every backend shares.
+            let broken = removed
+                .iter()
+                .any(|&(i, j, w)| edge_on_path(row[i], w, row[j], EDGE_ON_PATH_EPS));
             if broken {
                 self.row_valid[u] = false;
                 counts.rows_invalidated += 1;
@@ -351,10 +351,7 @@ impl OracleCache {
         // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: each entry's keep/drop decision depends only on that entry; the counter is a commutative sum")
         self.residual.retain(|&(excluded, _source), row| {
             let broken = removed.iter().any(|&(i, j, w)| {
-                i != excluded && {
-                    let d_ui = row[i];
-                    d_ui.is_finite() && d_ui + w <= row[j] + EDGE_ON_PATH_EPS * (1.0 + row[j].abs())
-                }
+                i != excluded && edge_on_path(row[i], w, row[j], EDGE_ON_PATH_EPS)
             });
             if broken {
                 residual_invalidated += 1;

@@ -50,15 +50,29 @@
 //!
 //! [`SessionStats`] counts the sweeps actually performed, so benchmarks
 //! and tests can verify the cache earns its keep.
+//!
+//! # Backends
+//!
+//! Everything above describes the **dense** backend — the default, and
+//! the exact reference. A session can instead be created in **sparse**
+//! mode ([`GameSession::new_sparse`]), which swaps the `O(n²)` distance
+//! matrix for landmark sketches plus bounded-radius sweeps (see
+//! [`crate::backend`] for the mode-selection guidance). Sparse sessions
+//! answer the heuristic [`GameSession::local_response`] without ever
+//! materialising a matrix, and route the certified queries
+//! (`best_response`, `nash_gap`, `is_nash`) through exact per-peer
+//! `G_{-i}` sweeps — `O(n)` memory at a time — counted in
+//! [`SessionStats::sparse_exact_fallbacks`].
 
 use std::sync::Arc;
 
 use sp_graph::{CsrGraph, DiGraph, DijkstraScratch, DistanceMatrix};
 
-use crate::best_response::{OracleReuse, ResponseOracle};
+use crate::backend::{BackendMode, DenseBackend, SessionBackend};
+use crate::best_response::{first_improving_move_lazy, OracleReuse, ResponseOracle};
 use crate::cost::peer_cost_from_distances;
 use crate::equilibrium::{Deviation, NashReport, NashTest};
-use crate::oracle_cache::OracleCache;
+use crate::sparse::{LocalCounts, SparseBackend, SparseParams};
 use crate::{
     BestResponse, BestResponseMethod, CoreError, Game, LinkSet, PeerId, SocialCost, StrategyProfile,
 };
@@ -176,6 +190,32 @@ pub struct SessionStats {
     /// `1` when this session was rebuilt by [`GameSession::restore`]
     /// (registries count restores by summing this over live sessions).
     pub snapshot_restores: usize,
+    /// Landmark sketch rows swept by a sparse backend — the initial
+    /// `2·L` build rows plus every row the post-move repair rebuilt
+    /// (also counted in [`SessionStats::full_sssp`]).
+    pub sparse_sketch_rows: usize,
+    /// Bounded-radius Dijkstra sweeps performed by
+    /// [`GameSession::local_response`] candidate evaluation.
+    pub sparse_ball_sweeps: usize,
+    /// Demand entries a sparse candidate evaluation answered with a
+    /// certified sketch upper bound instead of an exact distance.
+    pub sparse_sketch_hits: usize,
+    /// Candidate moves a sparse [`GameSession::local_response`] pruned on
+    /// the stretch-floor bound without evaluating them.
+    pub sparse_pruned_candidates: usize,
+    /// Certified queries on a sparse session that fell back to exact
+    /// `G_{-i}` evaluation (`best_response`, `nash_gap`, `is_nash`,
+    /// `first_improving_move`, and `local_response` on instances small
+    /// enough that the window covers every peer).
+    pub sparse_exact_fallbacks: usize,
+    /// Candidate moves the lazy oracle scan
+    /// ([`GameSession::set_lazy_oracle`]) rejected on a certified lower
+    /// bound alone — each one skips materialising an exact row that the
+    /// eager scan would have swept or converted.
+    pub lazy_certified_rejects: usize,
+    /// Candidate moves whose lazy lower bound survived the improvement
+    /// test and therefore paid exact escalation.
+    pub lazy_exact_evals: usize,
 }
 
 impl SessionStats {
@@ -217,6 +257,13 @@ impl SessionStats {
             seq_refills_skipped,
             snapshot_exports,
             snapshot_restores,
+            sparse_sketch_rows,
+            sparse_ball_sweeps,
+            sparse_sketch_hits,
+            sparse_pruned_candidates,
+            sparse_exact_fallbacks,
+            lazy_certified_rejects,
+            lazy_exact_evals,
         } = *other;
         self.csr_rebuilds += csr_rebuilds;
         self.full_sssp += full_sssp;
@@ -238,6 +285,13 @@ impl SessionStats {
         self.seq_refills_skipped += seq_refills_skipped;
         self.snapshot_exports += snapshot_exports;
         self.snapshot_restores += snapshot_restores;
+        self.sparse_sketch_rows += sparse_sketch_rows;
+        self.sparse_ball_sweeps += sparse_ball_sweeps;
+        self.sparse_sketch_hits += sparse_sketch_hits;
+        self.sparse_pruned_candidates += sparse_pruned_candidates;
+        self.sparse_exact_fallbacks += sparse_exact_fallbacks;
+        self.lazy_certified_rejects += lazy_certified_rejects;
+        self.lazy_exact_evals += lazy_exact_evals;
     }
 }
 
@@ -298,15 +352,22 @@ pub struct GameSession {
     /// Overlay CSR snapshot; `None` when no query has needed it yet (or
     /// after a full reset).
     csr: Option<CsrGraph>,
-    /// The two-tier row cache: overlay distance rows (per-row validity)
-    /// plus retained residual `G_{-i}` oracle rows. Repaired — never
-    /// discarded — by [`GameSession::apply`] / `apply_batch`.
-    cache: OracleCache,
+    /// The pluggable distance backend. Dense sessions hold the two-tier
+    /// row cache (overlay distance rows with per-row validity plus
+    /// retained residual `G_{-i}` oracle rows); sparse sessions hold
+    /// landmark sketches and bounded-sweep state. Both are repaired —
+    /// never discarded — by [`GameSession::apply`] / `apply_batch`.
+    backend: SessionBackend,
     /// Cached stretch matrix; cleared by every profile mutation.
     stretch: Option<DistanceMatrix>,
     scratch: DijkstraScratch,
     /// Worker-thread override for bulk row refills; `None` = auto.
     parallelism: Option<usize>,
+    /// When set (dense sessions only), [`GameSession::first_improving_move`]
+    /// runs the lazy certified-bound scan instead of the eager cached
+    /// oracle build. Off by default; opt in via
+    /// [`GameSession::set_lazy_oracle`].
+    lazy_oracle: bool,
     stats: SessionStats,
 }
 
@@ -337,10 +398,11 @@ impl GameSession {
             game: Arc::new(game),
             profile,
             csr: None,
-            cache: OracleCache::new(n),
+            backend: SessionBackend::Dense(DenseBackend::new(n)),
             stretch: None,
             scratch: DijkstraScratch::new(),
             parallelism: None,
+            lazy_oracle: false,
             stats: SessionStats::default(),
         })
     }
@@ -353,6 +415,76 @@ impl GameSession {
     /// Same as [`GameSession::new`].
     pub fn from_refs(game: &Game, profile: &StrategyProfile) -> Result<Self, CoreError> {
         GameSession::new(game.clone(), profile.clone())
+    }
+
+    /// Creates a session on the **sparse** landmark backend with default
+    /// [`SparseParams`] — the mode for instances too large for the dense
+    /// `8n²`-byte matrix. See [`crate::backend`] for when to pick which
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameSession::new`].
+    pub fn new_sparse(game: Game, profile: StrategyProfile) -> Result<Self, CoreError> {
+        GameSession::new_sparse_with(game, profile, SparseParams::default())
+    }
+
+    /// Like [`GameSession::new_sparse`] with explicit tuning parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameSession::new`].
+    pub fn new_sparse_with(
+        game: Game,
+        profile: StrategyProfile,
+        params: SparseParams,
+    ) -> Result<Self, CoreError> {
+        if profile.n() != game.n() {
+            return Err(CoreError::ProfileSizeMismatch {
+                expected: game.n(),
+                actual: profile.n(),
+            });
+        }
+        let backend = SessionBackend::Sparse(Box::new(SparseBackend::new(&game, params)));
+        Ok(GameSession {
+            game: Arc::new(game),
+            profile,
+            csr: None,
+            backend,
+            stretch: None,
+            scratch: DijkstraScratch::new(),
+            parallelism: None,
+            lazy_oracle: false,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Which backend this session evaluates on.
+    #[must_use]
+    pub fn backend_mode(&self) -> BackendMode {
+        self.backend.mode()
+    }
+
+    /// The sparse tuning parameters, when this is a sparse session
+    /// (`None` on dense sessions) — what a service persists so a
+    /// restored session behaves identically.
+    #[must_use]
+    pub fn sparse_params(&self) -> Option<SparseParams> {
+        if self.backend.is_sparse() {
+            Some(*self.backend.sparse().params())
+        } else {
+            None
+        }
+    }
+
+    /// Routes [`GameSession::first_improving_move`] through the lazy
+    /// certified-bound oracle scan (dense sessions only; sparse sessions
+    /// ignore the flag — their fallback path is already exact). The lazy
+    /// scan returns **bit-identical** moves while skipping exact row
+    /// materialisation for candidates rejected on a certified lower
+    /// bound; see [`SessionStats::lazy_certified_rejects`].
+    pub fn set_lazy_oracle(&mut self, on: bool) {
+        self.lazy_oracle = on;
     }
 
     /// The game being evaluated.
@@ -406,14 +538,23 @@ impl GameSession {
     /// never affects the other.
     #[must_use]
     pub fn fork_readonly(&self) -> GameSession {
+        let backend = match &self.backend {
+            SessionBackend::Dense(b) => {
+                SessionBackend::Dense(DenseBackend::from_cache(b.cache.fork()))
+            }
+            // Sparse state is already O(n); clone it wholesale so the
+            // fork answers sketch queries without resweeping landmarks.
+            SessionBackend::Sparse(b) => SessionBackend::Sparse(b.clone()),
+        };
         GameSession {
             game: Arc::clone(&self.game),
             profile: self.profile.clone(),
             csr: self.csr.clone(),
-            cache: self.cache.fork(),
+            backend,
             stretch: None,
             scratch: DijkstraScratch::new(),
             parallelism: Some(1),
+            lazy_oracle: self.lazy_oracle,
             stats: SessionStats::default(),
         }
     }
@@ -439,7 +580,9 @@ impl GameSession {
     /// rows are *retained* (work), never the value any tier serves
     /// (bit-identity is cap-independent).
     pub fn set_residual_budget(&mut self, bytes: usize) {
-        self.cache.set_budget(bytes);
+        if !self.backend.is_sparse() {
+            self.backend.dense_mut().set_budget(bytes);
+        }
     }
 
     /// Semantic size of this session's mutable state in bytes: the
@@ -463,7 +606,7 @@ impl GameSession {
             (n + 1) * usize_b + c.edge_count() * (usize_b + f64_b)
         });
         let stretch = self.stretch.as_ref().map_or(0, |_| n * n * f64_b);
-        profile + csr + stretch + self.cache.memory_bytes()
+        profile + csr + stretch + self.backend.memory_bytes()
     }
 
     /// Captures the session's mutable state — profile plus both warm
@@ -472,15 +615,27 @@ impl GameSession {
     #[must_use]
     pub fn snapshot(&mut self) -> SessionSnapshot {
         self.stats.snapshot_exports += 1;
+        if self.backend.is_sparse() {
+            // Sparse sessions carry no spillable row tiers: the sketch is
+            // cheap to rebuild (2·L sweeps) and is never part of the
+            // bit-identity contract, so the snapshot is just the profile.
+            return SessionSnapshot {
+                profile: self.profile.clone(),
+                overlay_rows: Vec::new(),
+                residual_rows: Vec::new(),
+            };
+        }
         SessionSnapshot {
             profile: self.profile.clone(),
             overlay_rows: self
-                .cache
+                .backend
+                .dense()
                 .valid_rows()
                 .map(|(u, row)| (u, row.to_vec()))
                 .collect(),
             residual_rows: self
-                .cache
+                .backend
+                .dense()
                 .residual_rows_sorted()
                 .into_iter()
                 .map(|(i, v, row)| (i, v, row.to_vec()))
@@ -522,7 +677,7 @@ impl GameSession {
                     row.len()
                 )));
             }
-            session.cache.restore_row(*u, row);
+            session.backend.dense_mut().restore_row(*u, row);
         }
         let mut last_key: Option<(usize, usize)> = None;
         for (i, v, row) in snapshot.residual_rows {
@@ -541,8 +696,25 @@ impl GameSession {
                     row.len()
                 )));
             }
-            session.cache.restore_residual(i, v, row);
+            session.backend.dense_mut().restore_residual(i, v, row);
         }
+        session.stats.snapshot_restores = 1;
+        Ok(session)
+    }
+
+    /// Rebuilds a **sparse** session from a profile-only snapshot (what
+    /// [`GameSession::snapshot`] produces for sparse sessions). Work
+    /// counters start fresh except [`SessionStats::snapshot_restores`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GameSession::new_sparse_with`].
+    pub fn restore_sparse(
+        game: Game,
+        profile: StrategyProfile,
+        params: SparseParams,
+    ) -> Result<Self, CoreError> {
+        let mut session = GameSession::new_sparse_with(game, profile, params)?;
         session.stats.snapshot_restores = 1;
         Ok(session)
     }
@@ -568,7 +740,7 @@ impl GameSession {
 
     fn invalidate_all(&mut self) {
         self.csr = None;
-        self.cache.invalidate_all();
+        self.backend.invalidate();
         self.stretch = None;
     }
 
@@ -739,15 +911,39 @@ impl GameSession {
     ) {
         self.stretch = None;
 
+        if self.backend.is_sparse() {
+            // Same lazy bail-out shape as the dense tier: with nothing
+            // cached, dropping the CSR is strictly cheaper than
+            // rebuilding it just to repair an empty sketch.
+            if self.csr.is_none() || !self.backend.sparse().has_cached_state() {
+                self.csr = None;
+                self.backend.invalidate();
+                return;
+            }
+            self.rebuild_csr();
+            let csr = self.csr.as_ref().expect("just rebuilt");
+            let repair = self
+                .backend
+                .sparse_mut()
+                .repair(csr, added, removed, &mut self.scratch);
+            self.stats.rows_invalidated += repair.rows_rebuilt;
+            self.stats.rows_preserved += repair.rows_preserved;
+            self.stats.full_sssp += repair.rows_rebuilt;
+            self.stats.sparse_sketch_rows += repair.rows_rebuilt;
+            return;
+        }
+
         // Residual rows can outlive every overlay row (a removal that is
         // tight for all sources invalidates the whole overlay tier while
         // the residual tier repairs in place), so the lazy bail-out must
         // check both tiers: wiping live residual rows here would re-pay
         // sweeps the cache already earned.
-        if self.csr.is_none() || (!self.cache.any_valid_row() && !self.cache.has_residual_rows()) {
+        if self.csr.is_none()
+            || (!self.backend.dense().any_valid_row() && !self.backend.dense().has_residual_rows())
+        {
             // Nothing cached worth repairing; stay lazy.
             self.csr = None;
-            self.cache.invalidate_all();
+            self.backend.invalidate();
             return;
         }
 
@@ -755,9 +951,10 @@ impl GameSession {
         // next to the sweeps it lets us keep).
         self.rebuild_csr();
         let csr = self.csr.as_ref().expect("just rebuilt");
-        let counts = self
-            .cache
-            .repair_after_edges(csr, added, removed, &mut self.scratch);
+        let counts =
+            self.backend
+                .dense_mut()
+                .repair_after_edges(csr, added, removed, &mut self.scratch);
         self.stats.rows_invalidated += counts.rows_invalidated;
         self.stats.rows_preserved += counts.rows_preserved;
         self.stats.incremental_relaxations += counts.incremental_relaxations;
@@ -785,14 +982,30 @@ impl GameSession {
         }
     }
 
-    /// Makes row `u` of the distance matrix valid and returns it.
+    /// Makes an exact distance row for source `u` available and returns
+    /// it: the cached overlay row (dense) or the transient single-row
+    /// buffer (sparse — the row stays valid until the next mutation).
     fn row(&mut self, u: usize) -> &[f64] {
         self.ensure_csr();
         let csr = self.csr.as_ref().expect("ensured above");
-        if self.cache.ensure_row(csr, u, &mut self.scratch) {
+        if self.backend.is_sparse() {
+            if self
+                .backend
+                .sparse_mut()
+                .compute_row(csr, u, &mut self.scratch)
+            {
+                self.stats.full_sssp += 1;
+            }
+            return self.backend.sparse().row_ref(u);
+        }
+        if self
+            .backend
+            .dense_mut()
+            .ensure_row(csr, u, &mut self.scratch)
+        {
             self.stats.full_sssp += 1;
         }
-        self.cache.row(u)
+        self.backend.dense().row(u)
     }
 
     /// Overrides the worker-thread count for every sharded code path:
@@ -832,7 +1045,11 @@ impl GameSession {
     /// full sweep each, sharded over worker threads when there are
     /// enough of them to pay for the spawns.
     fn ensure_all_rows(&mut self) {
-        let invalid = self.cache.invalid_row_count();
+        debug_assert!(
+            !self.backend.is_sparse(),
+            "ensure_all_rows materialises the full matrix; sparse paths must not reach it"
+        );
+        let invalid = self.backend.dense().invalid_row_count();
         if invalid == 0 {
             return;
         }
@@ -840,8 +1057,8 @@ impl GameSession {
         if workers > 1 && (self.parallelism.is_some() || invalid >= PAR_ROWS_MIN) {
             self.ensure_csr();
             let csr = self.csr.as_ref().expect("ensured above");
-            csr.dijkstra_rows_with(self.cache.invalid_jobs(), workers);
-            self.cache.mark_all_valid();
+            csr.dijkstra_rows_with(self.backend.dense_mut().invalid_jobs(), workers);
+            self.backend.dense_mut().mark_all_valid();
             self.stats.full_sssp += invalid;
             self.stats.parallel_passes += 1;
             self.stats.parallel_rows += invalid;
@@ -866,7 +1083,7 @@ impl GameSession {
             });
         }
         let _ = self.row(peer.index());
-        let row = self.cache.row(peer.index());
+        let row = self.backend.stored_row(peer.index());
         Ok(peer_cost_from_distances(
             &self.game,
             &self.profile,
@@ -875,9 +1092,19 @@ impl GameSession {
         ))
     }
 
-    /// Individual costs of every peer (fills the whole distance cache).
+    /// Individual costs of every peer. Dense sessions fill the whole
+    /// distance cache; sparse sessions stream one transient row per peer
+    /// (`O(n)` memory, `n` sweeps).
     #[must_use]
     pub fn all_peer_costs(&mut self) -> Vec<f64> {
+        if self.backend.is_sparse() {
+            return (0..self.game.n())
+                .map(|u| {
+                    self.peer_cost(PeerId::new(u))
+                        .expect("peer index in range by construction")
+                })
+                .collect();
+        }
         self.ensure_all_rows();
         (0..self.game.n())
             .map(|u| {
@@ -885,21 +1112,43 @@ impl GameSession {
                     &self.game,
                     &self.profile,
                     PeerId::new(u),
-                    self.cache.row(u),
+                    self.backend.dense().row(u),
                 )
             })
             .collect()
     }
 
     /// Social cost of the current profile, decomposed into link and
-    /// stretch terms.
+    /// stretch terms. Sparse sessions stream the summation one transient
+    /// row at a time — `n` sweeps, never an `n × n` matrix.
     #[must_use]
     pub fn social_cost(&mut self) -> SocialCost {
+        if self.backend.is_sparse() {
+            let n = self.game.n();
+            let mut stretch_cost = 0.0f64;
+            'souter: for u in 0..n {
+                let _ = self.row(u);
+                let row = self.backend.stored_row(u);
+                for j in 0..n {
+                    if j != u {
+                        stretch_cost += row[j] / self.game.distance(u, j);
+                    }
+                }
+                if stretch_cost.is_infinite() {
+                    stretch_cost = f64::INFINITY;
+                    break 'souter;
+                }
+            }
+            return SocialCost {
+                link_cost: self.game.alpha() * self.profile.link_count() as f64,
+                stretch_cost,
+            };
+        }
         self.ensure_all_rows();
         let n = self.game.n();
         let mut stretch_cost = 0.0f64;
         'outer: for u in 0..n {
-            let row = self.cache.row(u);
+            let row = self.backend.dense().row(u);
             for j in 0..n {
                 if j != u {
                     stretch_cost += row[j] / self.game.distance(u, j);
@@ -917,23 +1166,54 @@ impl GameSession {
     }
 
     /// The overlay distance matrix `d_G(i, j)` (fills every row).
+    ///
+    /// On a **sparse** session this is the documented `O(n²)` escape
+    /// hatch — the matrix is materialised transiently for small-instance
+    /// debugging and dropped again on the next mutation. Large-`n`
+    /// sparse flows must stay on `local_response` / `peer_cost` /
+    /// `social_cost`, which never call this.
     pub fn overlay_distances(&mut self) -> &DistanceMatrix {
+        if self.backend.is_sparse() {
+            self.ensure_csr();
+            if !self.backend.sparse().escape_ready() {
+                self.stats.full_sssp += self.game.n();
+            }
+            let csr = self.csr.as_ref().expect("ensured above");
+            return self
+                .backend
+                .sparse_mut()
+                .escape_matrix(csr, &mut self.scratch);
+        }
         self.ensure_all_rows();
-        self.cache.matrix()
+        self.backend.dense().matrix()
     }
 
     /// The stretch matrix `d_G(i, j) / d(i, j)` (cached until the next
-    /// profile mutation).
+    /// profile mutation). Sparse sessions route through the
+    /// [`GameSession::overlay_distances`] escape hatch.
     pub fn stretch_matrix(&mut self) -> &DistanceMatrix {
         if self.stretch.is_none() {
-            self.ensure_all_rows();
             let n = self.game.n();
+            // sp-lint: allow(dense-alloc, reason = "the stretch matrix is inherently n^2; sparse flows never request it")
             let mut s = DistanceMatrix::new_filled(n, 1.0);
-            for i in 0..n {
-                let row = self.cache.row(i);
-                for j in 0..n {
-                    if i != j {
-                        s[(i, j)] = row[j] / self.game.distance(i, j);
+            if self.backend.is_sparse() {
+                let game = Arc::clone(&self.game);
+                let d = self.overlay_distances();
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            s[(i, j)] = d[(i, j)] / game.distance(i, j);
+                        }
+                    }
+                }
+            } else {
+                self.ensure_all_rows();
+                for i in 0..n {
+                    let row = self.backend.dense().row(i);
+                    for j in 0..n {
+                        if i != j {
+                            s[(i, j)] = row[j] / self.game.distance(i, j);
+                        }
                     }
                 }
             }
@@ -1056,10 +1336,10 @@ impl GameSession {
         let mut need: Vec<usize> = Vec::new();
         let mut skipped = 0usize;
         for u in 0..n {
-            if self.cache.row_is_valid(u) {
+            if self.backend.dense().row_is_valid(u) {
                 continue;
             }
-            if u != i && self.cache.residual_row(i, u).is_some() {
+            if u != i && self.backend.dense().residual_row(i, u).is_some() {
                 skipped += 1;
             } else {
                 need.push(u);
@@ -1073,8 +1353,8 @@ impl GameSession {
         if workers > 1 && (self.parallelism.is_some() || need.len() >= PAR_ROWS_MIN) {
             self.ensure_csr();
             let csr = self.csr.as_ref().expect("ensured above");
-            csr.dijkstra_rows_with(self.cache.jobs_for(&need), workers);
-            self.cache.mark_rows_valid(&need);
+            csr.dijkstra_rows_with(self.backend.dense_mut().jobs_for(&need), workers);
+            self.backend.dense_mut().mark_rows_valid(&need);
             self.stats.full_sssp += need.len();
             self.stats.parallel_passes += 1;
             self.stats.parallel_rows += need.len();
@@ -1097,7 +1377,7 @@ impl GameSession {
             &self.game,
             &self.profile,
             peer,
-            &mut self.cache,
+            self.backend.dense_mut(),
             &mut self.scratch,
         )?;
         self.stats.oracle_builds += 1;
@@ -1124,6 +1404,16 @@ impl GameSession {
         let current_cost = self.peer_cost(peer)?;
         if self.game.n() <= 1 {
             return Ok(Self::trivial_response(peer, current_cost));
+        }
+        if self.backend.is_sparse() {
+            // Certified queries on a sparse session pay an exact fresh
+            // `G_{-i}` oracle — `O(n)` memory, never an n×n matrix — so
+            // the verdict carries the same guarantees as dense mode.
+            self.stats.sparse_exact_fallbacks += 1;
+            let oracle =
+                ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
+            self.stats.oracle_builds += 1;
+            return self.finish_response(peer, method, &oracle, current_cost);
         }
         let oracle = self.cached_oracle(peer, counter)?;
         self.finish_response(peer, method, &oracle, current_cost)
@@ -1208,7 +1498,9 @@ impl GameSession {
         if peers.is_empty() {
             return Ok(Vec::new());
         }
-        if n <= 1 {
+        if n <= 1 || self.backend.is_sparse() {
+            // Sparse sessions evaluate the round sequentially through the
+            // exact fallback path — no frozen matrix to fan out over.
             return peers
                 .iter()
                 .map(|&p| self.best_response(p, method))
@@ -1293,6 +1585,30 @@ impl GameSession {
         if self.too_small_for_moves(peer)? {
             return Ok(None);
         }
+        if self.backend.is_sparse() {
+            self.stats.sparse_exact_fallbacks += 1;
+            return self.first_improving_move_uncached(peer, tol);
+        }
+        if self.lazy_oracle {
+            // Satellite path: certified lower bounds reject hopeless
+            // candidates without materialising their exact rows; the
+            // accepted move (or `None`) is bit-identical to the eager
+            // scan below.
+            let (mv, scan) = first_improving_move_lazy(
+                &self.game,
+                &self.profile,
+                peer,
+                self.backend.dense_mut(),
+                &mut self.scratch,
+                tol,
+            )?;
+            self.stats.oracle_builds += 1;
+            self.stats.seq_oracle_hits += scan.reuse.hits();
+            self.stats.seq_oracle_swept += scan.reuse.rows_swept;
+            self.stats.lazy_certified_rejects += scan.certified_rejects;
+            self.stats.lazy_exact_evals += scan.exact_evals;
+            return Ok(mv);
+        }
         let oracle = self.cached_oracle(peer, OracleCounter::Sequential)?;
         Ok(oracle.first_improving_move(peer, self.profile.strategy(peer), tol))
     }
@@ -1316,6 +1632,108 @@ impl GameSession {
             ResponseOracle::build_with(&self.game, &self.profile, peer, &mut self.scratch)?;
         self.stats.oracle_builds += 1;
         Ok(oracle.first_improving_move(peer, self.profile.strategy(peer), tol))
+    }
+
+    /// Builds the landmark sketch (and transpose) of a sparse session if
+    /// absent, charging the `2·L` landmark sweeps to the stats.
+    fn ensure_sparse_ready(&mut self) {
+        self.ensure_csr();
+        let csr = self.csr.as_ref().expect("ensured above");
+        let swept = self
+            .backend
+            .sparse_mut()
+            .ensure_ready(csr, &mut self.scratch);
+        if swept > 0 {
+            self.stats.full_sssp += swept;
+            self.stats.sparse_sketch_rows += swept;
+        }
+    }
+
+    /// Certified bounds `(lower, upper)` on the overlay distance
+    /// `d_G(u, v)` under the current profile: `lower ≤ d_G(u, v) ≤
+    /// upper` always holds. Dense sessions answer exactly
+    /// (`lower == upper`); sparse sessions combine the landmark sketch
+    /// with the metric lower bound without sweeping from `u`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PeerOutOfBounds`] for out-of-range peers.
+    pub fn dist_bounds(&mut self, u: PeerId, v: PeerId) -> Result<(f64, f64), CoreError> {
+        let n = self.game.n();
+        for p in [u, v] {
+            if p.index() >= n {
+                return Err(CoreError::PeerOutOfBounds { peer: p.index(), n });
+            }
+        }
+        if self.backend.is_sparse() {
+            self.ensure_sparse_ready();
+            return Ok(self
+                .backend
+                .sparse()
+                .dist_bounds(&self.game, u.index(), v.index()));
+        }
+        let d = self.row(u.index())[v.index()];
+        Ok((d, d))
+    }
+
+    /// The sparse session's native better response: a **deterministic
+    /// heuristic** move for `peer` evaluated against its metric window
+    /// only — exact distances inside a bounded ball, certified sketch
+    /// upper bounds beyond it, stretch-floor pruning for hopeless
+    /// candidates — or `None` when no evaluated move improves.
+    ///
+    /// Cost model: `O(window · ball_cap · log)` per call, independent of
+    /// `n` once the sketch is built. Never materialises a matrix. The
+    /// returned move carries `exact: false` — large-`n` dynamics trade
+    /// per-move optimality for tractability, converging on the same
+    /// better-response principle the paper's dynamics use.
+    ///
+    /// On a **dense** session this simply forwards to
+    /// [`GameSession::first_improving_move`] (exact), so driver code can
+    /// call it unconditionally. Sparse sessions whose window already
+    /// covers every peer (`window + 1 ≥ n`) also route to the exact scan
+    /// — a sparse session on a small instance decides **bit-identically**
+    /// to a dense one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PeerOutOfBounds`] for out-of-range peers.
+    pub fn local_response(
+        &mut self,
+        peer: PeerId,
+        tol: f64,
+    ) -> Result<Option<BestResponse>, CoreError> {
+        if peer.index() >= self.game.n() {
+            return Err(CoreError::PeerOutOfBounds {
+                peer: peer.index(),
+                n: self.game.n(),
+            });
+        }
+        if self.too_small_for_moves(peer)? {
+            return Ok(None);
+        }
+        if !self.backend.is_sparse() {
+            return self.first_improving_move(peer, tol);
+        }
+        if self.backend.sparse().window() + 1 >= self.game.n() {
+            self.stats.sparse_exact_fallbacks += 1;
+            return self.first_improving_move_uncached(peer, tol);
+        }
+        self.ensure_sparse_ready();
+        let csr = self.csr.as_ref().expect("sketch build ensured the CSR");
+        let mut counts = LocalCounts::default();
+        let result = self.backend.sparse_mut().local_response(
+            &self.game,
+            &self.profile,
+            csr,
+            peer,
+            tol,
+            &mut counts,
+        );
+        self.stats.sparse_ball_sweeps += counts.ball_sweeps;
+        self.stats.sparse_sketch_hits += counts.sketch_hits;
+        self.stats.sparse_pruned_candidates += counts.pruned;
+        Ok(result)
     }
 
     /// The largest improvement any single peer can gain by deviating

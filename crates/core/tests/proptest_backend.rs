@@ -1,0 +1,244 @@
+//! Property tests pinning the sparse backend to the dense reference.
+//!
+//! Three contracts hold for every instance, not just the benchmarked
+//! ones:
+//!
+//! 1. **Certified bounds bracket.** A sparse session's
+//!    [`GameSession::dist_bounds`] always satisfies
+//!    `lower ≤ exact ≤ upper`, where "exact" is the dense session's
+//!    answer on the same game and profile.
+//! 2. **Small instances collapse to exact.** When the metric window
+//!    already covers every peer (`window + 1 ≥ n`), a sparse session's
+//!    [`GameSession::local_response`] decides **bit-identically** to the
+//!    dense [`GameSession::first_improving_move`].
+//! 3. **Lazy oracle is invisible.** With
+//!    [`GameSession::set_lazy_oracle`] on, `first_improving_move` stays
+//!    bit-identical to the eager scan across arbitrary interleaved
+//!    applies, at every `α` regime the generator draws.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sp_core::{Game, GameSession, Move, PeerId, SparseParams, StrategyProfile};
+
+/// CI's determinism matrix sets `SP_TEST_PARALLELISM` to pin every
+/// worker-count parameter these tests would otherwise draw, so the whole
+/// suite runs at forced parallelism extremes (1 and 8).
+fn forced_parallelism() -> Option<usize> {
+    std::env::var("SP_TEST_PARALLELISM").ok()?.parse().ok()
+}
+
+/// A random 1-D game (strictly increasing positions, so both the line
+/// store and the dense store accept it), a random profile, and a random
+/// move script.
+#[allow(clippy::type_complexity)]
+fn arb_line_instance(
+) -> impl Strategy<Value = (Vec<f64>, f64, StrategyProfile, Vec<(u8, usize, usize)>)> {
+    (3usize..=9, 0u64..10_000, 0.1f64..8.0).prop_flat_map(|(n, seed, alpha)| {
+        let max_links = (n * (n - 1)).min(18);
+        (
+            proptest::collection::vec((0..n, 0..n), 0..=max_links),
+            proptest::collection::vec((0u8..2, 0..n, 0..n), 0..10),
+        )
+            .prop_map(move |(pairs, script)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Strictly positive increments keep positions distinct,
+                // which `Game::from_line_positions` requires.
+                let mut at = 0.0;
+                let positions: Vec<f64> = (0..n)
+                    .map(|_| {
+                        at += rng.random_range(0.1..5.0);
+                        at
+                    })
+                    .collect();
+                let links: Vec<(usize, usize)> =
+                    pairs.into_iter().filter(|&(u, v)| u != v).collect();
+                let profile = StrategyProfile::from_links(n, &links).unwrap();
+                (positions, alpha, profile, script)
+            })
+    })
+}
+
+/// Sparse tuning small enough to exercise the certified-bound paths
+/// (tight ball caps, few landmarks) on the tiny generated games.
+fn arb_params() -> impl Strategy<Value = SparseParams> {
+    (1usize..=4, 2usize..=12, 1usize..=8).prop_map(|(landmarks, ball_cap, window)| SparseParams {
+        landmarks,
+        ball_cap,
+        window,
+        ..SparseParams::default()
+    })
+}
+
+/// Replays one scripted `(kind, from, to)` triple on both sessions.
+fn play_both(a: &mut GameSession, b: &mut GameSession, kind: u8, from: usize, to: usize) {
+    if from == to {
+        return;
+    }
+    let mv = match kind {
+        0 => Move::AddLink {
+            from: PeerId::new(from),
+            to: PeerId::new(to),
+        },
+        _ => Move::RemoveLink {
+            from: PeerId::new(from),
+            to: PeerId::new(to),
+        },
+    };
+    a.apply(mv.clone())
+        .expect("script only uses in-bounds peers");
+    b.apply(mv).expect("script only uses in-bounds peers");
+}
+
+/// Asserts two optional best responses are bit-identical.
+fn assert_same_response(
+    label: &str,
+    peer: usize,
+    got: Option<&sp_core::BestResponse>,
+    want: Option<&sp_core::BestResponse>,
+) -> Result<(), TestCaseError> {
+    match (got, want) {
+        (None, None) => Ok(()),
+        (Some(g), Some(w)) => {
+            prop_assert_eq!(
+                g.links.iter().collect::<Vec<_>>(),
+                w.links.iter().collect::<Vec<_>>(),
+                "{} peer {}: links diverged",
+                label,
+                peer
+            );
+            prop_assert_eq!(
+                g.cost.to_bits(),
+                w.cost.to_bits(),
+                "{} peer {}: cost bits diverged ({} vs {})",
+                label,
+                peer,
+                g.cost,
+                w.cost
+            );
+            prop_assert_eq!(
+                g.current_cost.to_bits(),
+                w.current_cost.to_bits(),
+                "{} peer {}: current_cost bits diverged",
+                label,
+                peer
+            );
+            Ok(())
+        }
+        (g, w) => {
+            prop_assert!(
+                false,
+                "{} peer {}: one side moved, the other did not (got {:?}, want {:?})",
+                label,
+                peer,
+                g.map(|r| r.improvement()),
+                w.map(|r| r.improvement())
+            );
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sparse `dist_bounds` brackets the dense exact distance for every
+    /// ordered pair, after an arbitrary shared move script.
+    #[test]
+    fn sparse_bounds_bracket_the_exact_distance(
+        (positions, alpha, profile, script) in arb_line_instance(),
+        params in arb_params(),
+    ) {
+        let n = positions.len();
+        let sparse_game = Game::from_line_positions(positions.clone(), alpha).unwrap();
+        let dense_game = Game::from_line_positions(positions, alpha).unwrap();
+        let mut sparse =
+            GameSession::new_sparse_with(sparse_game, profile.clone(), params).unwrap();
+        let mut dense = GameSession::new(dense_game, profile).unwrap();
+        for &(kind, from, to) in &script {
+            play_both(&mut sparse, &mut dense, kind, from, to);
+        }
+        // The bounds are certified in real arithmetic; the float
+        // evaluations of the two sides accumulate independent rounding,
+        // so the bracket is checked up to a relative epsilon.
+        fn leq(a: f64, b: f64) -> bool {
+            (a.is_infinite() && b.is_infinite()) || a - b <= 1e-9 * (1.0 + b.abs())
+        }
+        for u in 0..n {
+            for v in 0..n {
+                let (lo, hi) = sparse.dist_bounds(PeerId::new(u), PeerId::new(v)).unwrap();
+                let (exact, exact_hi) = dense.dist_bounds(PeerId::new(u), PeerId::new(v)).unwrap();
+                prop_assert_eq!(exact.to_bits(), exact_hi.to_bits(), "dense must answer exactly");
+                prop_assert!(
+                    leq(lo, exact),
+                    "pair ({},{}) lower bound {} above exact {}",
+                    u, v, lo, exact
+                );
+                prop_assert!(
+                    leq(exact, hi),
+                    "pair ({},{}) exact {} above upper bound {}",
+                    u, v, exact, hi
+                );
+            }
+        }
+    }
+
+    /// With the window covering every peer, the sparse local response is
+    /// bit-identical to the dense exact first improving move — for every
+    /// peer, after every prefix of the move script.
+    #[test]
+    fn full_window_sparse_decides_bit_identically(
+        (positions, alpha, profile, script) in arb_line_instance(),
+        workers in 1usize..=4,
+    ) {
+        let n = positions.len();
+        let params = SparseParams {
+            window: n, // window + 1 ≥ n: the exact-scan route
+            ..SparseParams::default()
+        };
+        let sparse_game = Game::from_line_positions(positions.clone(), alpha).unwrap();
+        let dense_game = Game::from_line_positions(positions, alpha).unwrap();
+        let mut sparse =
+            GameSession::new_sparse_with(sparse_game, profile.clone(), params).unwrap();
+        let mut dense = GameSession::new(dense_game, profile).unwrap();
+        let workers = forced_parallelism().unwrap_or(workers);
+        sparse.set_parallelism(Some(workers));
+        dense.set_parallelism(Some(workers));
+        for step in 0..=script.len() {
+            for peer in 0..n {
+                let s = sparse.local_response(PeerId::new(peer), 1e-9).unwrap();
+                let d = dense.first_improving_move(PeerId::new(peer), 1e-9).unwrap();
+                assert_same_response("full-window", peer, s.as_ref(), d.as_ref())?;
+            }
+            if let Some(&(kind, from, to)) = script.get(step) {
+                play_both(&mut sparse, &mut dense, kind, from, to);
+            }
+        }
+    }
+
+    /// The lazy certified-bound oracle returns the same move, bitwise,
+    /// as the eager scan — across interleaved applies and the full `α`
+    /// range the generator draws.
+    #[test]
+    fn lazy_oracle_is_bit_identical_to_eager(
+        (positions, alpha, profile, script) in arb_line_instance(),
+    ) {
+        let n = positions.len();
+        let game_a = Game::from_line_positions(positions.clone(), alpha).unwrap();
+        let game_b = Game::from_line_positions(positions, alpha).unwrap();
+        let mut lazy = GameSession::new(game_a, profile.clone()).unwrap();
+        lazy.set_lazy_oracle(true);
+        let mut eager = GameSession::new(game_b, profile).unwrap();
+        for step in 0..=script.len() {
+            for peer in 0..n {
+                let l = lazy.first_improving_move(PeerId::new(peer), 1e-9).unwrap();
+                let e = eager.first_improving_move(PeerId::new(peer), 1e-9).unwrap();
+                assert_same_response("lazy-oracle", peer, l.as_ref(), e.as_ref())?;
+            }
+            if let Some(&(kind, from, to)) = script.get(step) {
+                play_both(&mut lazy, &mut eager, kind, from, to);
+            }
+        }
+        // The lazy path must actually have run its certified scan.
+        prop_assert!(lazy.stats().oracle_builds > 0);
+    }
+}

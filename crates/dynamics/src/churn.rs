@@ -35,6 +35,7 @@ pub fn subgame(game: &Game, alive: &[usize]) -> Game {
         assert!(!seen[i], "duplicate peer {i} in alive set");
         seen[i] = true;
     }
+    // sp-lint: allow(dense-alloc, reason = "the alive sub-game is rebuilt dense by design; churn scenarios run at dense-backend sizes")
     let m = DistanceMatrix::from_fn(alive.len(), |a, b| game.distance(alive[a], alive[b]));
     Game::new(m, game.alpha()).expect("restriction of a valid game is valid")
 }

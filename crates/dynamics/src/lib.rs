@@ -52,6 +52,12 @@
 //! [`churn::ChurnSimulator::settle_rounds`] re-stabilises through the
 //! same round engine.
 //!
+//! For instances too large for any full-matrix engine, the
+//! [`large_scale`] driver polls `GameSession::local_response` per peer
+//! and commits each round through one `apply_batch` — on a sparse
+//! session ([`sp_core::GameSession::new_sparse`]) that is `O(n)`
+//! transient memory per round, no `n × n` state ever.
+//!
 //! # Example
 //!
 //! ```
@@ -73,6 +79,7 @@
 
 pub mod churn;
 mod engine;
+pub mod large_scale;
 mod schedule;
 pub mod simultaneous;
 pub mod stats;

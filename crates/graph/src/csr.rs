@@ -28,9 +28,9 @@ pub struct CsrGraph {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    dist: f64,
-    node: usize,
+pub(crate) struct Entry {
+    pub(crate) dist: f64,
+    pub(crate) node: usize,
 }
 
 impl Eq for Entry {}
@@ -98,6 +98,45 @@ impl CsrGraph {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1
+    }
+
+    /// The reverse graph: every edge `u → v` becomes `v → u` with the
+    /// same weight.
+    ///
+    /// Distances *to* a node `t` in `self` are distances *from* `t` in
+    /// the transpose, so one forward sweep on the transpose yields the
+    /// column `d(·, t)` — the backward half of a landmark sketch. The
+    /// construction is a counting sort over the edge arrays, `O(n + m)`,
+    /// and the transpose's out-edges are emitted in ascending source
+    /// order, so the result is deterministic.
+    #[must_use]
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let mut offsets = vec![0usize; n + 1];
+        for &t in &self.targets {
+            offsets[t + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; m];
+        let mut weights = vec![0.0f64; m];
+        for u in 0..n {
+            let (ts, ws) = self.out_neighbors(u);
+            for (&v, &w) in ts.iter().zip(ws) {
+                let slot = cursor[v];
+                cursor[v] += 1;
+                targets[slot] = u;
+                weights[slot] = w;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of directed edges.
@@ -522,5 +561,38 @@ mod tests {
         let csr = CsrGraph::from_digraph(&DiGraph::new(0));
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let mut g = DiGraph::new(5);
+        for (u, v, w) in [(0, 1, 2.0), (1, 2, 3.0), (3, 1, 0.5), (4, 0, 1.0)] {
+            g.add_edge(u, v, w);
+        }
+        let csr = CsrGraph::from_digraph(&g);
+        let t = csr.transpose();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.edge_count(), 4);
+        let (ts, ws) = t.out_neighbors(1);
+        assert_eq!(ts, &[0, 3]);
+        assert_eq!(ws, &[2.0, 0.5]);
+        assert_eq!(t.transpose(), csr, "double transpose is the identity");
+    }
+
+    #[test]
+    fn transpose_sweep_yields_columns() {
+        let g = builders::complete_graph(7, |i, j| ((i * 3 + j * 5) % 4 + 1) as f64);
+        let csr = CsrGraph::from_digraph(&g);
+        let t = csr.transpose();
+        for target in 0..7 {
+            let back = t.dijkstra(target);
+            for source in 0..7 {
+                assert_eq!(
+                    back[source],
+                    csr.dijkstra(source)[target],
+                    "d({source}, {target})"
+                );
+            }
+        }
     }
 }

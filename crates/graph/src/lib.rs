@@ -19,6 +19,10 @@
 //! * [`tarjan_scc`] / [`Condensation`] — strongly connected components.
 //! * [`is_strongly_connected`], [`reachable_from`], traversal orders.
 //! * [`builders`] — canonical topologies (path, cycle, star, complete, …).
+//! * [`BoundedDijkstra`] / [`LandmarkSketch`] /
+//!   [`farthest_point_landmarks`] — bounded-radius sweeps with
+//!   completeness certificates and landmark distance sketches, the
+//!   substrate of `sp-core`'s sparse evaluation backend.
 //!
 //! Nodes are plain `usize` indices in `0..n`; higher layers wrap them in
 //! domain newtypes (`PeerId` in `sp-core`).
@@ -52,6 +56,7 @@ mod hash;
 mod matrix;
 pub mod measures;
 mod scc;
+mod sparse;
 mod traversal;
 
 pub use csr::{CsrGraph, DijkstraScratch};
@@ -61,6 +66,10 @@ pub use error::GraphError;
 pub use hash::{fnv1a, fnv1a_extend, FNV1A_BASIS};
 pub use matrix::DistanceMatrix;
 pub use scc::{tarjan_scc, Condensation};
+pub use sparse::{
+    edge_on_path, farthest_point_landmarks, BoundedDijkstra, BoundedSweep, LandmarkSketch,
+    SketchRepair,
+};
 pub use traversal::{bfs_order, dfs_postorder, dfs_preorder, reachable_from};
 
 /// All-pairs shortest paths by running Dijkstra from every node.

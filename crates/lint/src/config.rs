@@ -31,6 +31,13 @@ pub struct Config {
     /// Qualified-name substrings treated as I/O or encode/decode work
     /// that must not run under a lock guard (`fs::write`, `.spill`, …).
     pub io_markers: Vec<String>,
+    /// Files/dirs where `dense-alloc` applies — the crates that must
+    /// stay runnable against the sparse backend without quadratic
+    /// allocations.
+    pub dense_alloc_paths: Vec<String>,
+    /// Files inside `dense_alloc_paths` that *are* the dense backend —
+    /// quadratic state is their job, so the lint skips them wholesale.
+    pub dense_alloc_exempt: Vec<String>,
     /// Counter structs whose fields every `// sp-lint: counters(X)`
     /// site must mention in full.
     pub counter_structs: Vec<String>,
@@ -85,6 +92,17 @@ impl Config {
                 "session_to_value",
                 "session_from_value",
             ]),
+            dense_alloc_paths: s(&[
+                "crates/core/src/",
+                "crates/dynamics/src/",
+                "crates/serve/src/",
+            ]),
+            dense_alloc_exempt: s(&[
+                // The dense backend itself: the overlay distance matrix
+                // and its residual tier are the quadratic state the
+                // rest of the workspace is banned from re-growing.
+                "crates/core/src/oracle_cache.rs",
+            ]),
             counter_structs: s(&["SessionStats"]),
             check_unsafe: true,
         }
@@ -103,6 +121,8 @@ impl Config {
             lock_paths: Vec::new(),
             lock_fns: Vec::new(),
             io_markers: Vec::new(),
+            dense_alloc_paths: Vec::new(),
+            dense_alloc_exempt: Vec::new(),
             counter_structs: Vec::new(),
             check_unsafe: false,
         }

@@ -9,6 +9,7 @@ use crate::diag::{Finding, Severity};
 use crate::source::SourceFile;
 
 mod counter_coverage;
+mod dense_alloc;
 mod float_eps;
 mod forbid_unsafe;
 mod lock_hygiene;
@@ -35,6 +36,7 @@ pub trait Lint {
 pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(float_eps::FloatEps),
+        Box::new(dense_alloc::DenseAlloc),
         Box::new(nondet_iter::NondetIter),
         Box::new(panic_path::PanicPath),
         Box::new(lock_hygiene::LockHygiene),

@@ -1,0 +1,36 @@
+//! Fixture: quadratic allocations outside the dense backend.
+
+pub fn quadratic_buffer(n: usize) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(n * n);
+    flat.push(0.0);
+    flat
+}
+
+pub fn quadratic_macro(len: usize) -> Vec<u32> {
+    vec![0; len * len]
+}
+
+pub fn matrix_ctor(n: usize) -> sp_graph::DistanceMatrix {
+    DistanceMatrix::new_filled(n, f64::INFINITY)
+}
+
+pub fn linear_is_fine(n: usize, window: usize) -> Vec<f64> {
+    // Mixed products are rectangular working sets, not the matrix.
+    let mut near = Vec::with_capacity(n * window);
+    near.push(1.0);
+    near
+}
+
+pub fn waived_escape_hatch(n: usize) -> Vec<f64> {
+    // sp-lint: allow(dense-alloc, reason = "documented escape hatch, never on the sparse scale path")
+    vec![f64::INFINITY; n * n]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let n = 4;
+        let _ = vec![0.0f64; n * n];
+    }
+}

@@ -26,6 +26,7 @@ fn fix_config() -> Config {
     let mut cfg = Config::none();
     cfg.float_paths = s(&["crates/fix/src/float_eps.rs"]);
     cfg.float_vocab = s(&["dist", "cost", "d_"]);
+    cfg.dense_alloc_paths = s(&["crates/fix/src/dense_alloc.rs"]);
     cfg.nondet_paths = s(&["crates/fix/src/nondet_iter.rs"]);
     cfg.panic_paths = s(&["crates/fix/src/panic_path.rs"]);
     cfg.lock_paths = s(&["crates/fix/src/lock_hygiene.rs"]);
@@ -38,6 +39,7 @@ fn fix_config() -> Config {
 
 fn all_fixtures() -> Vec<SourceFile> {
     vec![
+        fixture("dense_alloc.rs", "crates/fix/src/dense_alloc.rs"),
         fixture("float_eps.rs", "crates/fix/src/float_eps.rs"),
         fixture("nondet_iter.rs", "crates/fix/src/nondet_iter.rs"),
         fixture("panic_path.rs", "crates/fix/src/panic_path.rs"),
@@ -59,6 +61,9 @@ fn golden_positions() {
         ("crates/fix/src/counter_coverage.rs", 12, "counter-coverage"),
         ("crates/fix/src/counter_coverage.rs", 19, "counter-coverage"),
         ("crates/fix/src/counter_coverage.rs", 25, "counter-coverage"),
+        ("crates/fix/src/dense_alloc.rs", 4, "dense-alloc"),
+        ("crates/fix/src/dense_alloc.rs", 10, "dense-alloc"),
+        ("crates/fix/src/dense_alloc.rs", 14, "dense-alloc"),
         ("crates/fix/src/float_eps.rs", 4, "float-eps"),
         ("crates/fix/src/float_eps.rs", 5, "float-eps"),
         ("crates/fix/src/float_eps.rs", 7, "float-eps"),
@@ -83,8 +88,8 @@ fn golden_positions() {
     ];
     assert_eq!(got, expect);
     // One waived violation per fixture that carries a live waiver.
-    assert_eq!(report.waived, 4);
-    assert_eq!(report.files, 6);
+    assert_eq!(report.waived, 5);
+    assert_eq!(report.files, 7);
 }
 
 #[test]
@@ -93,7 +98,9 @@ fn severities_and_deny_warnings() {
     for f in &report.findings {
         let want = match f.lint {
             "panic-path" | "lock-hygiene" | "forbid-unsafe" => Severity::Error,
-            "float-eps" | "nondeterministic-iteration" | "counter-coverage" => Severity::Warning,
+            "float-eps" | "dense-alloc" | "nondeterministic-iteration" | "counter-coverage" => {
+                Severity::Warning
+            }
             other => panic!("unexpected lint {other}"),
         };
         assert_eq!(f.severity, want, "{}", f.render());

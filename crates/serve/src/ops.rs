@@ -14,7 +14,9 @@
 //! come from the shared builders here so the envelopes still compare
 //! equal.
 
-use sp_core::{BestResponse, BestResponseMethod, GameSession, LinkSet, Move, PeerId, SocialCost};
+use sp_core::{
+    BackendMode, BestResponse, BestResponseMethod, GameSession, LinkSet, Move, PeerId, SocialCost,
+};
 use sp_dynamics::{
     run_config_on_session, DynamicsConfig, DynamicsOutcome, ResponseRule, Termination,
 };
@@ -261,8 +263,12 @@ pub fn tune_for_service(session: &mut GameSession) {
 ///
 /// Returns the spec error message.
 pub fn build_session(body: &Value) -> Result<GameSession, String> {
-    let (game, profile) = spec::build_embedded(body)?;
-    let mut session = GameSession::new(game, profile).map_err(|e| e.to_string())?;
+    let (game, profile, mode) = spec::build_embedded(body)?;
+    let mut session = match mode {
+        BackendMode::Dense => GameSession::new(game, profile),
+        BackendMode::Sparse => GameSession::new_sparse(game, profile),
+    }
+    .map_err(|e| e.to_string())?;
     tune_for_service(&mut session);
     Ok(session)
 }
@@ -322,13 +328,14 @@ pub fn create_result(session: &GameSession) -> Value {
         "n": session.n(),
         "alpha": session.game().alpha(),
         "links": session.profile().link_count(),
+        "mode": session.backend_mode().as_str(),
     })
 }
 
 /// The canonical `load` result body.
 #[must_use]
-pub fn loaded_result() -> Value {
-    json!({ "loaded": true })
+pub fn loaded_result(session: &GameSession) -> Value {
+    json!({ "loaded": true, "mode": session.backend_mode().as_str() })
 }
 
 /// The canonical `snapshot` result body.

@@ -24,8 +24,10 @@
 //! # Memory budget and eviction
 //!
 //! Every slot's footprint is accounted semantically —
-//! [`GameSession::memory_bytes`] plus the game's O(n²) latency matrix
-//! plus a fixed per-entry overhead — in the same machine-independent
+//! [`GameSession::memory_bytes`] plus the game's metric store
+//! (`8n²` for a dense matrix, `8n` for implicit line positions — see
+//! `Game::metric_bytes`) plus a fixed per-entry overhead — in the same
+//! machine-independent
 //! style as the core's `OracleCache` budget, so eviction behaviour is
 //! reproducible across hosts. When the total exceeds
 //! [`RegistryConfig::memory_budget`], the least-recently-used idle
@@ -36,8 +38,9 @@
 //! transparently, bit-identically. Sessions whose state already matches
 //! their spill file (not *dirty*) skip the file write.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io;
+use std::ops::Bound;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -62,6 +65,10 @@ const ENTRY_OVERHEAD_BYTES: usize = 256;
 /// concurrent worker grabbed before giving up for this round (the next
 /// completed request retries).
 const EVICT_RETRIES: usize = 8;
+
+/// How many eviction-index entries `pick_lru` copies out per probe
+/// round; the index lock is never held while entry locks are taken.
+const EVICT_PROBE_BATCH: usize = 8;
 
 /// Locks a mutex, recovering from poisoning. Every registry lock
 /// protects state that is valid after any panic point (queues and
@@ -177,6 +184,13 @@ struct JobOutcome {
 /// module docs for the ordering, backpressure, and eviction contracts.
 pub struct SessionRegistry {
     shards: Vec<Mutex<HashMap<String, Arc<SessionEntry>>>>,
+    /// Ordered eviction index: one `(last_used, name)` pair per
+    /// *resident* session, kept in sync under the owning entry's state
+    /// lock. `pick_lru` walks it ascending instead of scanning and
+    /// sorting every shard. Lock order is entry state → index,
+    /// everywhere; readers that need entry locks first snapshot a batch
+    /// and drop the index lock.
+    evict_index: Mutex<BTreeSet<(u64, String)>>,
     ready: Mutex<VecDeque<Arc<SessionEntry>>>,
     ready_cv: Condvar,
     stop: AtomicBool,
@@ -200,6 +214,7 @@ impl SessionRegistry {
         std::fs::create_dir_all(&config.spill_dir)?;
         Ok(Arc::new(SessionRegistry {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            evict_index: Mutex::new(BTreeSet::new()),
             ready: Mutex::new(VecDeque::new()),
             ready_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -332,6 +347,15 @@ impl SessionRegistry {
         (sp_graph::fnv1a(name.as_bytes()) % SHARDS as u64) as usize
     }
 
+    /// Finds an existing entry without creating one (the eviction path
+    /// must not mint entries for names it merely probes).
+    fn lookup(&self, name: &str) -> Option<Arc<SessionEntry>> {
+        // sp-lint: allow(panic-path, reason = "shard_of takes the hash modulo SHARDS, the array length")
+        lock_unpoisoned(&self.shards[self.shard_of(name)])
+            .get(name)
+            .cloned()
+    }
+
     fn entry(&self, name: &str) -> Arc<SessionEntry> {
         // sp-lint: allow(panic-path, reason = "shard_of takes the hash modulo SHARDS, the array length")
         let mut shard = lock_unpoisoned(&self.shards[self.shard_of(name)]);
@@ -383,8 +407,11 @@ impl SessionRegistry {
     }
 
     fn slot_bytes(session: &GameSession) -> usize {
-        let n = session.n();
-        session.memory_bytes() + n * n * std::mem::size_of::<f64>() + ENTRY_OVERHEAD_BYTES
+        // `metric_bytes` is `8n²` for a dense matrix store — identical
+        // to the historical accounting — and `8n` for implicit line
+        // positions, which is what lets thousands of sparse sessions
+        // share a budget that one dense session would blow.
+        session.memory_bytes() + session.game().metric_bytes() + ENTRY_OVERHEAD_BYTES
     }
 
     fn spill_path(&self, name: &str) -> PathBuf {
@@ -429,7 +456,18 @@ impl SessionRegistry {
             let new_bytes = outcome.resident.as_ref().map_or(0, |s| Self::slot_bytes(s));
             self.account(&mut st, new_bytes);
             st.resident = outcome.resident;
+            let old_stamp = st.last_used;
             st.last_used = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            // Re-key the eviction index (entry lock → index lock, the
+            // global lock order): drop the old stamp's pair, insert the
+            // fresh one iff the session stayed resident.
+            {
+                let mut index = lock_unpoisoned(&self.evict_index);
+                index.remove(&(old_stamp, entry.name.clone()));
+                if st.resident.is_some() {
+                    index.insert((st.last_used, entry.name.clone()));
+                }
+            }
             if st.queue.is_empty() {
                 st.scheduled = false;
             } else {
@@ -555,7 +593,7 @@ impl SessionRegistry {
 
         match &request.op {
             SessionOp::Load => JobOutcome {
-                response: wire::ok_response(id, ops::loaded_result()),
+                response: wire::ok_response(id, ops::loaded_result(&resident)),
                 resident: Some(resident),
                 created,
                 dirty,
@@ -614,34 +652,53 @@ impl SessionRegistry {
     }
 
     /// Picks the least-recently-used evictable entry, if any. The
-    /// victim is the minimum of `(last_used, name)` — the name
-    /// tie-break makes the choice independent of shard iteration
-    /// order, so eviction sequences replay identically across runs.
+    /// victim is the minimum of `(last_used, name)` among evictable
+    /// sessions — the name tie-break makes the choice independent of
+    /// map iteration order, so eviction sequences replay identically
+    /// across runs.
+    ///
+    /// The candidates come from the ordered eviction index, walked
+    /// ascending in small snapshot batches (the index lock is released
+    /// before any entry lock is taken, honouring the entry → index
+    /// lock order). The first still-current, evictable pair *is* the
+    /// minimum — the common case costs `O(log sessions)` plus a couple
+    /// of probes, where the old implementation copied and sorted every
+    /// shard on every call. Pairs whose stamp no longer matches the
+    /// entry were re-keyed by a racing worker after the snapshot; their
+    /// fresh pair sits further right, so skipping them is exact, not a
+    /// heuristic.
     fn pick_lru(&self) -> Option<Arc<SessionEntry>> {
-        let mut best: Option<(u64, Arc<SessionEntry>)> = None;
-        for shard in &self.shards {
-            // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: victim is the unique (last_used, name) minimum over the snapshot")
-            let mut entries: Vec<Arc<SessionEntry>> =
-                lock_unpoisoned(shard).values().cloned().collect();
-            entries.sort_by(|a, b| a.name.cmp(&b.name));
-            for e in entries {
-                let st = lock_unpoisoned(&e.state);
-                let evictable =
-                    st.resident.is_some() && !st.busy && !st.scheduled && st.queue.is_empty();
-                if !evictable {
-                    continue;
+        let mut cursor: Option<(u64, String)> = None;
+        loop {
+            let batch: Vec<(u64, String)> = {
+                let index = lock_unpoisoned(&self.evict_index);
+                match &cursor {
+                    None => index.iter().take(EVICT_PROBE_BATCH).cloned().collect(),
+                    Some(c) => index
+                        .range((Bound::Excluded(c.clone()), Bound::Unbounded))
+                        .take(EVICT_PROBE_BATCH)
+                        .cloned()
+                        .collect(),
                 }
-                let stamp = st.last_used;
+            };
+            let last = batch.last().cloned()?;
+            for (stamp, name) in batch {
+                let Some(e) = self.lookup(&name) else {
+                    continue;
+                };
+                let st = lock_unpoisoned(&e.state);
+                let evictable = st.resident.is_some()
+                    && !st.busy
+                    && !st.scheduled
+                    && st.queue.is_empty()
+                    && st.last_used == stamp;
                 drop(st);
-                let better = best
-                    .as_ref()
-                    .is_none_or(|(b, prev)| (stamp, e.name.as_str()) < (*b, prev.name.as_str()));
-                if better {
-                    best = Some((stamp, e));
+                if evictable {
+                    return Some(e);
                 }
             }
+            cursor = Some(last);
         }
-        best.map(|(_, e)| e)
     }
 
     /// Evicts LRU sessions until the total drops under the budget (or
@@ -672,6 +729,9 @@ impl SessionRegistry {
                 Ok(()) => {
                     st.dirty = false;
                     self.account(&mut st, 0);
+                    // The session is no longer resident: its pair leaves
+                    // the eviction index (entry lock → index lock).
+                    lock_unpoisoned(&self.evict_index).remove(&(st.last_used, victim.name.clone()));
                     self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
@@ -784,6 +844,53 @@ mod tests {
         // value a never-evicted session would give.
         let fresh = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "a" }));
         assert_eq!(fresh["ok"], true);
+        registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sparse_sessions_round_trip_and_account_linearly() {
+        let dir = test_dir("sparse");
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_dir: dir.clone(),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        let workers = registry.spawn_workers(2);
+        let n = 400;
+        let positions = Value::Array((0..n).map(|i| Value::Number(f64::from(i))).collect());
+        let r = submit_and_wait(
+            &registry,
+            json!({
+                "op": "create", "session": "big", "alpha": 0.8, "mode": "sparse",
+                "positions_1d": positions,
+                "links": [[0, 1], [1, 0], [1, 2], [2, 1]],
+            }),
+        );
+        assert_eq!(r["ok"], true, "{r}");
+        assert_eq!(r["result"]["mode"].as_str(), Some("sparse"));
+        // A dense 400-peer slot charges ≥ 2 × 400² × 8 B (metric +
+        // overlay matrix); the sparse slot must stay well under one
+        // such matrix.
+        let dense_matrix = n as usize * n as usize * std::mem::size_of::<f64>();
+        assert!(
+            registry.stats().resident_bytes < dense_matrix / 2,
+            "sparse slot accounted {} bytes",
+            registry.stats().resident_bytes
+        );
+        let sc1 = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "big" }));
+        assert_eq!(sc1["ok"], true, "{sc1}");
+        // Spill to the v2 file and restore transparently, bit-identically.
+        let r = submit_and_wait(&registry, json!({ "op": "evict", "session": "big" }));
+        assert_eq!(r["ok"], true, "{r}");
+        let r = submit_and_wait(&registry, json!({ "op": "load", "session": "big" }));
+        assert_eq!(r["ok"], true, "{r}");
+        assert_eq!(r["result"]["mode"].as_str(), Some("sparse"));
+        let sc2 = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "big" }));
+        assert_eq!(sc2, sc1, "restored sparse session must answer identically");
         registry.shutdown();
         for w in workers {
             w.join().unwrap();

@@ -18,7 +18,7 @@
 //! [`sp_json::encode_f64`]. Row order in the file is deterministic, so
 //! equal sessions produce byte-identical files.
 //!
-//! Format (`"format": "sp-serve/session-snapshot/v1"`):
+//! Dense format (`"format": "sp-serve/session-snapshot/v1"`):
 //!
 //! ```json
 //! {
@@ -30,21 +30,56 @@
 //!   "residual_rows": [[0, 1, [ "inf", 0.0 ]]]
 //! }
 //! ```
+//!
+//! Sparse sessions ([`sp_core::GameSession::new_sparse`]) use the v2
+//! format: no matrix, no row tiers — the landmark sketch is cheap to
+//! rebuild and is deliberately outside the bit-identity contract, so
+//! the file carries only what reconstruction needs (geometry, profile,
+//! tuning parameters). A 10⁵-peer sparse session spills kilobytes of
+//! positions where a dense matrix would spill gigabytes:
+//!
+//! ```json
+//! {
+//!   "format": "sp-serve/session-snapshot/v2-sparse",
+//!   "alpha": 2.0,
+//!   "positions_1d": [0.0, 1.5, 4.0],
+//!   "profile": [[1], [], []],
+//!   "params": { "landmarks": 8, "ball_cap": 64, "window": 16,
+//!               "unreach_penalty": 1000000.0 }
+//! }
+//! ```
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use sp_core::{Game, GameSession, SessionSnapshot, StrategyProfile};
+use sp_core::{BackendMode, Game, GameSession, SessionSnapshot, SparseParams, StrategyProfile};
 use sp_graph::DistanceMatrix;
 use sp_json::{decode_f64, encode_f64, Value};
 
-/// The format tag written into (and required from) every snapshot file.
+/// The format tag of dense-session snapshot files.
 pub const FORMAT: &str = "sp-serve/session-snapshot/v1";
 
-/// Serialises a session (game + profile + warm cache tiers) to a value.
+/// The format tag of sparse-session snapshot files.
+pub const FORMAT_V2_SPARSE: &str = "sp-serve/session-snapshot/v2-sparse";
+
+fn profile_value(profile: &StrategyProfile) -> Value {
+    Value::Array(
+        profile
+            .iter()
+            .map(|(_, links)| Value::Array(links.iter().map(|t| Value::from(t.index())).collect()))
+            .collect(),
+    )
+}
+
+/// Serialises a session to a value: game + profile + warm cache tiers
+/// for dense sessions (v1), geometry + profile + tuning parameters for
+/// sparse ones (v2).
 #[must_use]
 pub fn session_to_value(session: &mut GameSession) -> Value {
+    if session.backend_mode() == BackendMode::Sparse {
+        return sparse_session_to_value(session);
+    }
     let game = session.game_arc();
     let n = game.n();
     let matrix: Value = Value::Array(
@@ -53,12 +88,7 @@ pub fn session_to_value(session: &mut GameSession) -> Value {
             .collect(),
     );
     let snap = session.snapshot();
-    let profile: Value = Value::Array(
-        snap.profile
-            .iter()
-            .map(|(_, links)| Value::Array(links.iter().map(|t| Value::from(t.index())).collect()))
-            .collect(),
-    );
+    let profile = profile_value(&snap.profile);
     let row_value = |row: &[f64]| Value::Array(row.iter().map(|&x| encode_f64(x)).collect());
     let overlay: Value = Value::Array(
         snap.overlay_rows
@@ -82,6 +112,56 @@ pub fn session_to_value(session: &mut GameSession) -> Value {
     ])
 }
 
+/// The v2 body: geometry, profile, and [`SparseParams`] — everything a
+/// [`GameSession::restore_sparse`] needs, nothing quadratic. Sparse
+/// sessions built over a dense matrix store (possible through the core
+/// API, not through the service spec) fall back to persisting the
+/// matrix so the file stays self-contained.
+fn sparse_session_to_value(session: &mut GameSession) -> Value {
+    let game = session.game_arc();
+    let profile = profile_value(&session.snapshot().profile);
+    let params = session.sparse_params().unwrap_or_default();
+    let geometry = match game.line_positions() {
+        Some(pos) => (
+            "positions_1d".to_owned(),
+            Value::Array(pos.iter().map(|&x| Value::Number(x)).collect()),
+        ),
+        None => {
+            let n = game.n();
+            (
+                "matrix".to_owned(),
+                Value::Array(
+                    (0..n)
+                        .map(|i| {
+                            Value::Array(
+                                (0..n).map(|j| Value::Number(game.distance(i, j))).collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            )
+        }
+    };
+    Value::Object(vec![
+        ("format".to_owned(), Value::from(FORMAT_V2_SPARSE)),
+        ("alpha".to_owned(), Value::Number(game.alpha())),
+        geometry,
+        ("profile".to_owned(), profile),
+        (
+            "params".to_owned(),
+            Value::Object(vec![
+                ("landmarks".to_owned(), Value::from(params.landmarks)),
+                ("ball_cap".to_owned(), Value::from(params.ball_cap)),
+                ("window".to_owned(), Value::from(params.window)),
+                (
+                    "unreach_penalty".to_owned(),
+                    encode_f64(params.unreach_penalty),
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn decode_row(v: &Value, what: &str) -> Result<Vec<f64>, String> {
     v.as_array()
         .ok_or_else(|| format!("{what} must be an array"))?
@@ -90,7 +170,8 @@ fn decode_row(v: &Value, what: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-/// Rebuilds a session from a value produced by [`session_to_value`].
+/// Rebuilds a session from a value produced by [`session_to_value`],
+/// dispatching on the format tag (v1 dense, v2 sparse).
 ///
 /// # Errors
 ///
@@ -99,19 +180,26 @@ fn decode_row(v: &Value, what: &str) -> Result<Vec<f64>, String> {
 /// rejects as inconsistent.
 pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
     match v.get("format").and_then(Value::as_str) {
-        Some(f) if f == FORMAT => {}
-        Some(f) => return Err(format!("unsupported snapshot format {f:?}")),
-        None => return Err("snapshot is missing its format tag".to_owned()),
+        Some(f) if f == FORMAT => dense_session_from_value(v),
+        Some(f) if f == FORMAT_V2_SPARSE => sparse_session_from_value(v),
+        Some(f) => Err(format!("unsupported snapshot format {f:?}")),
+        None => Err("snapshot is missing its format tag".to_owned()),
     }
-    let alpha = v
-        .get("alpha")
+}
+
+fn parse_alpha(v: &Value) -> Result<f64, String> {
+    v.get("alpha")
         .and_then(Value::as_f64)
-        .ok_or("snapshot needs a numeric 'alpha'")?;
+        .ok_or_else(|| "snapshot needs a numeric 'alpha'".to_owned())
+}
+
+fn parse_matrix_game(v: &Value, alpha: f64) -> Result<Game, String> {
     let rows = v
         .get("matrix")
         .and_then(Value::as_array)
         .ok_or("snapshot needs a 'matrix' array")?;
     let n = rows.len();
+    // sp-lint: allow(dense-alloc, reason = "decoding the explicitly dense v1 matrix wire format; sparse snapshots take the v2 positions path")
     let mut flat = Vec::with_capacity(n * n);
     for row in rows {
         let r = row.as_array().ok_or("matrix rows must be arrays")?;
@@ -123,8 +211,10 @@ pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
         }
     }
     let matrix = DistanceMatrix::from_row_major(n, flat).map_err(|e| e.to_string())?;
-    let game = Game::new(matrix, alpha).map_err(|e| e.to_string())?;
+    Game::new(matrix, alpha).map_err(|e| e.to_string())
+}
 
+fn parse_profile(v: &Value, n: usize) -> Result<StrategyProfile, String> {
     let strategies = v
         .get("profile")
         .and_then(Value::as_array)
@@ -141,7 +231,14 @@ pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
             links.push((i, t.as_usize().ok_or("profile links must be peer indices")?));
         }
     }
-    let profile = StrategyProfile::from_links(n, &links).map_err(|e| e.to_string())?;
+    StrategyProfile::from_links(n, &links).map_err(|e| e.to_string())
+}
+
+fn dense_session_from_value(v: &Value) -> Result<GameSession, String> {
+    let alpha = parse_alpha(v)?;
+    let game = parse_matrix_game(v, alpha)?;
+    let n = game.n();
+    let profile = parse_profile(v, n)?;
 
     let mut overlay_rows: Vec<(usize, Vec<f64>)> = Vec::new();
     for entry in v
@@ -188,6 +285,39 @@ pub fn session_from_value(v: &Value) -> Result<GameSession, String> {
         },
     )
     .map_err(|e| e.to_string())
+}
+
+fn sparse_session_from_value(v: &Value) -> Result<GameSession, String> {
+    let alpha = parse_alpha(v)?;
+    let game = match v.get("positions_1d").filter(|p| !p.is_null()) {
+        Some(p) => {
+            let positions = p
+                .as_array()
+                .ok_or("positions_1d must be an array")?
+                .iter()
+                .map(|x| x.as_f64().ok_or("positions_1d entries must be numbers"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Game::from_line_positions(positions, alpha).map_err(|e| e.to_string())?
+        }
+        None => parse_matrix_game(v, alpha)?,
+    };
+    let profile = parse_profile(v, game.n())?;
+    let pv = v.get("params").ok_or("sparse snapshot needs 'params'")?;
+    let field = |key: &str| {
+        pv.get(key)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| format!("params needs a non-negative integer {key:?}"))
+    };
+    let params = SparseParams {
+        landmarks: field("landmarks")?,
+        ball_cap: field("ball_cap")?,
+        window: field("window")?,
+        unreach_penalty: pv
+            .get("unreach_penalty")
+            .and_then(decode_f64)
+            .ok_or("params needs a numeric 'unreach_penalty'")?,
+    };
+    GameSession::restore_sparse(game, profile, params).map_err(|e| e.to_string())
 }
 
 /// Writes a session snapshot to `path` atomically (temp file + rename),
@@ -271,6 +401,43 @@ mod tests {
         assert_eq!(back.profile(), s.profile());
         assert_eq!(back.snapshot().overlay_rows, s.snapshot().overlay_rows);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sparse_roundtrip_restores_mode_profile_and_params() {
+        let positions: Vec<f64> = (0..40).map(|i| f64::from(i) * 1.25).collect();
+        let game = Game::from_line_positions(positions, 0.8).unwrap();
+        let mut s = GameSession::new_sparse(game, StrategyProfile::empty(40)).unwrap();
+        s.apply(Move::AddLink {
+            from: PeerId::new(0),
+            to: PeerId::new(1),
+        })
+        .unwrap();
+        s.apply(Move::AddLink {
+            from: PeerId::new(1),
+            to: PeerId::new(2),
+        })
+        .unwrap();
+        let v = session_to_value(&mut s);
+        assert_eq!(
+            v.get("format").and_then(Value::as_str),
+            Some(FORMAT_V2_SPARSE)
+        );
+        assert!(
+            v.get("matrix").is_none(),
+            "sparse snapshots must not carry a quadratic matrix"
+        );
+        let text = v.to_string_compact();
+        let mut back = session_from_value(&text.parse().unwrap()).unwrap();
+        assert_eq!(back.backend_mode(), sp_core::BackendMode::Sparse);
+        assert_eq!(back.profile(), s.profile());
+        assert_eq!(back.sparse_params(), s.sparse_params());
+        assert_eq!(back.game(), s.game());
+        assert_eq!(
+            back.social_cost().total().to_bits(),
+            s.social_cost().total().to_bits()
+        );
+        assert_eq!(back.stats().snapshot_restores, 1);
     }
 
     #[test]

@@ -8,8 +8,15 @@
 //! { "op": "create", "session": "s0", "alpha": 2.0,
 //!   "points_2d": [[0,0],[3,4],[10,0]], "links": [[0,1],[1,2]] }
 //! ```
+//!
+//! An optional `"mode"` field selects the session's evaluation backend:
+//! `"dense"` (the default — exact, `O(n²)` matrix) or `"sparse"`
+//! (landmark sketches, `O(n)` memory; see `sp_core::backend`). Sparse
+//! mode requires `positions_1d`: only the line geometry has the
+//! implicit `O(n)` metric store the sparse backend exists to exploit —
+//! `points_2d` and `matrix` would drag the `O(n²)` table back in.
 
-use sp_core::{Game, StrategyProfile};
+use sp_core::{BackendMode, Game, StrategyProfile};
 use sp_graph::DistanceMatrix;
 use sp_json::Value;
 use sp_metric::{Euclidean2D, LineSpace, Point2};
@@ -25,19 +32,43 @@ fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-/// Builds the game and initial profile described by the fields of
-/// `request` (which may carry other, non-spec fields like `op` and
-/// `session` — they are ignored here).
+/// Parses the optional `"mode"` field of a `create` request.
+///
+/// # Errors
+///
+/// Returns a message on an unknown mode name or a non-string field.
+pub fn parse_mode(request: &Value) -> Result<BackendMode, String> {
+    match request.get("mode").filter(|m| !m.is_null()) {
+        None => Ok(BackendMode::Dense),
+        Some(m) => match m.as_str() {
+            Some("dense") => Ok(BackendMode::Dense),
+            Some("sparse") => Ok(BackendMode::Sparse),
+            Some(other) => Err(format!("unknown mode {other:?}")),
+            None => Err("mode must be a string".to_owned()),
+        },
+    }
+}
+
+/// Builds the game, initial profile, and backend mode described by the
+/// fields of `request` (which may carry other, non-spec fields like
+/// `op` and `session` — they are ignored here).
+///
+/// Dense mode stores line geometries as a precomputed matrix (the
+/// historical, bit-identically accounted representation); sparse mode
+/// keeps the positions themselves so the game's metric store stays
+/// `O(n)`.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message when the geometry fields are absent
-/// or ambiguous, malformed, or geometrically invalid.
-pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String> {
+/// or ambiguous, malformed, or geometrically invalid, or when sparse
+/// mode is asked for without `positions_1d`.
+pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile, BackendMode), String> {
     let alpha = request
         .get("alpha")
         .and_then(Value::as_f64)
         .ok_or("create needs a numeric 'alpha' field")?;
+    let mode = parse_mode(request)?;
     let field = |key: &str| request.get(key).filter(|f| !f.is_null());
     let positions_1d = field("positions_1d");
     let points_2d = field("points_2d");
@@ -50,10 +81,18 @@ pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String
             "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
         ));
     }
+    if mode == BackendMode::Sparse && positions_1d.is_none() {
+        return Err("sparse mode requires a positions_1d geometry".to_owned());
+    }
 
     let game = if let Some(p) = positions_1d {
-        let space = LineSpace::new(f64_array(p, "positions_1d")?).map_err(|e| e.to_string())?;
-        Game::from_space(&space, alpha).map_err(|e| e.to_string())?
+        let positions = f64_array(p, "positions_1d")?;
+        if mode == BackendMode::Sparse {
+            Game::from_line_positions(positions, alpha).map_err(|e| e.to_string())?
+        } else {
+            let space = LineSpace::new(positions).map_err(|e| e.to_string())?;
+            Game::from_space(&space, alpha).map_err(|e| e.to_string())?
+        }
     } else if let Some(p) = points_2d {
         let pts: Vec<Point2> = p
             .as_array()
@@ -75,6 +114,7 @@ pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String
             .as_array()
             .ok_or("matrix must be an array of rows")?;
         let n = rows.len();
+        // sp-lint: allow(dense-alloc, reason = "decoding an explicit dense matrix spec; sparse mode requires positions_1d and never reaches this arm")
         let mut flat = Vec::with_capacity(n * n);
         for row in rows {
             let r = f64_array(row, "matrix rows")?;
@@ -113,7 +153,7 @@ pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile), String
             StrategyProfile::from_links(game.n(), &pairs).map_err(|e| e.to_string())?
         }
     };
-    Ok((game, profile))
+    Ok((game, profile, mode))
 }
 
 #[cfg(test)]
@@ -124,18 +164,54 @@ mod tests {
     #[test]
     fn builds_each_geometry() {
         let line = json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0] });
-        let (g, p) = build_embedded(&line).unwrap();
+        let (g, p, mode) = build_embedded(&line).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(p.link_count(), 0);
+        assert_eq!(mode, BackendMode::Dense);
 
         let pts = json!({ "alpha": 2.0, "points_2d": [[0, 0], [3, 4]], "links": [[0, 1]] });
-        let (g, p) = build_embedded(&pts).unwrap();
+        let (g, p, _) = build_embedded(&pts).unwrap();
         assert_eq!(g.distance(0, 1), 5.0);
         assert_eq!(p.link_count(), 1);
 
         let m = json!({ "alpha": 1.0, "matrix": [[0, 2], [2, 0]] });
-        let (g, _) = build_embedded(&m).unwrap();
+        let (g, _, _) = build_embedded(&m).unwrap();
         assert_eq!(g.distance(1, 0), 2.0);
+    }
+
+    #[test]
+    fn sparse_mode_keeps_the_line_metric_implicit() {
+        let line = json!({
+            "alpha": 1.0, "mode": "sparse", "positions_1d": [0.0, 1.0, 3.0, 7.0]
+        });
+        let (g, _, mode) = build_embedded(&line).unwrap();
+        assert_eq!(mode, BackendMode::Sparse);
+        assert!(g.line_positions().is_some(), "sparse must keep O(n) store");
+        assert_eq!(g.distance(0, 3), 7.0);
+
+        // Dense line specs keep the historical matrix store (and its
+        // historical byte accounting in the registry).
+        let dense = json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0] });
+        let (g, _, _) = build_embedded(&dense).unwrap();
+        assert!(g.line_positions().is_none());
+
+        // Sparse needs positions; other geometries and junk modes fail.
+        assert!(build_embedded(
+            &json!({ "alpha": 1.0, "mode": "sparse", "matrix": [[0, 1], [1, 0]] })
+        )
+        .is_err());
+        assert!(build_embedded(
+            &json!({ "alpha": 1.0, "mode": "sparse", "points_2d": [[0, 0], [3, 4]] })
+        )
+        .is_err());
+        assert!(build_embedded(
+            &json!({ "alpha": 1.0, "mode": "exotic", "positions_1d": [0.0, 1.0] })
+        )
+        .is_err());
+        assert!(
+            build_embedded(&json!({ "alpha": 1.0, "mode": 7, "positions_1d": [0.0, 1.0] }))
+                .is_err()
+        );
     }
 
     #[test]

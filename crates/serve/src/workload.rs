@@ -275,7 +275,7 @@ fn reference_respond(sessions: &mut HashMap<String, GameSession>, body: &Value) 
                 return wire::err_response(id, &format!("unknown session {:?}", parsed.session));
             };
             match op {
-                SessionOp::Load => wire::ok_response(id, ops::loaded_result()),
+                SessionOp::Load => wire::ok_response(id, ops::loaded_result(session)),
                 SessionOp::Snapshot => wire::ok_response(id, ops::persisted_result()),
                 SessionOp::Evict => wire::ok_response(id, ops::evicted_result()),
                 _ => match ops::execute_query(op, session) {
