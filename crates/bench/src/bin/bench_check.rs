@@ -172,11 +172,16 @@ fn more_is_worse(unit: &str) -> Option<bool> {
         // `bytes` is peak session memory at the gated instance size —
         // the large-n counter proving the sparse path never grew a
         // matrix — so more is worse like the work counters.
+        // `wakeups` counts syscall-equivalent scheduler wakeups in the
+        // serve I/O model: more wakeups means the reactor's batching
+        // regressed toward one-wakeup-per-request.
         "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" | "requests"
-        | "sessions" | "depth" | "bytes" => Some(true),
+        | "sessions" | "depth" | "bytes" | "wakeups" => Some(true),
         // `hits` counts queries a cache or certified bound absorbed:
-        // fewer means the short-circuit stopped firing.
-        "x" | "ratio" | "hits" => Some(false),
+        // fewer means the short-circuit stopped firing. `frames` counts
+        // pipelined frames that shared a wakeup — fewer means the
+        // pipeline window stopped carrying traffic.
+        "x" | "ratio" | "hits" | "frames" => Some(false),
         _ => None,
     }
 }

@@ -658,7 +658,19 @@ pub mod frame {
     /// [`MAX_FRAME_BYTES`].
     pub fn write_frame<W: Write>(w: &mut W, value: &Value) -> io::Result<()> {
         let payload = value.to_string_compact();
-        let bytes = payload.as_bytes();
+        write_frame_bytes(w, payload.as_bytes())
+    }
+
+    /// Writes one frame with an arbitrary (not necessarily JSON)
+    /// payload: big-endian `u32` length, then the payload bytes. The
+    /// binary wire protocol shares this envelope with JSON frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; fails with
+    /// [`io::ErrorKind::InvalidData`] if the payload exceeds
+    /// [`MAX_FRAME_BYTES`].
+    pub fn write_frame_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
         if bytes.len() > MAX_FRAME_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -672,6 +684,29 @@ pub mod frame {
         w.flush()
     }
 
+    /// Prepends the length prefix of `bytes` onto `out` followed by the
+    /// payload itself — the buffered-writer flavour of
+    /// [`write_frame_bytes`] for callers that batch many frames into
+    /// one `write` syscall (the reactor's pipelined responses).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] if the payload exceeds
+    /// [`MAX_FRAME_BYTES`]; never touches a transport.
+    pub fn append_frame_bytes(out: &mut Vec<u8>, bytes: &[u8]) -> io::Result<()> {
+        if bytes.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
+            ));
+        }
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds u32"))?;
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(bytes);
+        Ok(())
+    }
+
     /// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the
     /// peer closed between frames); a stream ending mid-frame, an
     /// oversized length prefix, or an invalid JSON payload is an
@@ -682,6 +717,21 @@ pub mod frame {
     ///
     /// See above.
     pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Value>> {
+        let Some(payload) = read_frame_bytes(r)? else {
+            return Ok(None);
+        };
+        parse_frame_payload(&payload).map(Some)
+    }
+
+    /// Reads one frame's raw payload bytes without interpreting them.
+    /// Returns `Ok(None)` on a clean end-of-stream; a stream ending
+    /// mid-frame or an oversized length prefix is an error, as in
+    /// [`read_frame`].
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn read_frame_bytes<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         let mut len_buf = [0u8; 4];
         // Distinguish "no more frames" from "truncated frame" by hand:
         // EOF on the first byte of the prefix is a clean close.
@@ -709,11 +759,87 @@ pub mod frame {
         }
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload)?;
-        let text = String::from_utf8(payload)
+        Ok(Some(payload))
+    }
+
+    /// Parses a frame payload (from [`read_frame_bytes`] or a
+    /// [`FrameBuffer`]) as the JSON value [`write_frame`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Non-UTF-8 or non-JSON payloads are [`io::ErrorKind::InvalidData`].
+    pub fn parse_frame_payload(payload: &[u8]) -> io::Result<Value> {
+        let text = std::str::from_utf8(payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        super::parse(&text)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        super::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// An incremental frame splitter for nonblocking transports.
+    ///
+    /// Blocking readers can sit in [`read_frame`] until a whole frame
+    /// arrives; a reactor cannot. It feeds whatever bytes the socket
+    /// had ([`FrameBuffer::extend`]) and pulls zero or more complete
+    /// frames out ([`FrameBuffer::next_frame`]), with partial frames
+    /// accumulating inside the buffer until their remainder shows up.
+    #[derive(Debug, Default)]
+    pub struct FrameBuffer {
+        buf: Vec<u8>,
+        /// Consumed prefix of `buf`; compacted opportunistically so the
+        /// buffer doesn't grow without bound on a long-lived connection.
+        pos: usize,
+    }
+
+    impl FrameBuffer {
+        /// An empty buffer.
+        #[must_use]
+        pub fn new() -> FrameBuffer {
+            FrameBuffer::default()
+        }
+
+        /// Appends bytes received from the transport.
+        pub fn extend(&mut self, bytes: &[u8]) {
+            // Compact before growing: everything before `pos` is dead.
+            if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+            self.buf.extend_from_slice(bytes);
+        }
+
+        /// Bytes buffered but not yet returned as frames.
+        #[must_use]
+        pub fn pending_bytes(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Extracts the next complete frame payload, if one is fully
+        /// buffered. `Ok(None)` means "need more bytes".
+        ///
+        /// # Errors
+        ///
+        /// A length prefix exceeding [`MAX_FRAME_BYTES`] poisons the
+        /// stream (there is no way to resynchronise) and is reported as
+        /// a message; the caller should drop the connection.
+        pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, String> {
+            let pending = self.buf.get(self.pos..).unwrap_or(&[]);
+            let Some(prefix) = pending.get(..4) else {
+                return Ok(None);
+            };
+            let mut len_buf = [0u8; 4];
+            len_buf.copy_from_slice(prefix);
+            let len = u32::from_be_bytes(len_buf) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(format!(
+                    "announced frame of {len} bytes exceeds MAX_FRAME_BYTES"
+                ));
+            }
+            let Some(payload) = pending.get(4..4 + len) else {
+                return Ok(None);
+            };
+            let frame = payload.to_vec();
+            self.pos += 4 + len;
+            Ok(Some(frame))
+        }
     }
 }
 
@@ -853,6 +979,60 @@ mod tests {
         bad.extend_from_slice(b"{x}");
         let mut r = &bad[..];
         assert!(frame::read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_splits_byte_dribbles() {
+        // Two frames, delivered one byte at a time, come out whole and
+        // in order — the reactor's read path in miniature.
+        let a = json!({ "op": "ping" });
+        let b = json!({ "op": "stats", "id": 2 });
+        let mut wire: Vec<u8> = Vec::new();
+        frame::write_frame(&mut wire, &a).unwrap();
+        frame::append_frame_bytes(&mut wire, b.to_string_compact().as_bytes()).unwrap();
+
+        let mut fb = frame::FrameBuffer::new();
+        let mut out = Vec::new();
+        for byte in wire {
+            fb.extend(&[byte]);
+            while let Some(payload) = fb.next_frame().unwrap() {
+                out.push(frame::parse_frame_payload(&payload).unwrap());
+            }
+        }
+        assert_eq!(out, vec![a, b]);
+        assert_eq!(fb.pending_bytes(), 0);
+
+        // One delivery holding many frames also splits fully.
+        let mut wire: Vec<u8> = Vec::new();
+        for i in 0..5usize {
+            frame::append_frame_bytes(&mut wire, format!("{i}").as_bytes()).unwrap();
+        }
+        fb.extend(&wire);
+        let mut n = 0;
+        while let Some(p) = fb.next_frame().unwrap() {
+            assert_eq!(p, format!("{n}").as_bytes());
+            n += 1;
+        }
+        assert_eq!(n, 5);
+
+        // An oversized prefix poisons the stream.
+        let mut poisoned = frame::FrameBuffer::new();
+        poisoned.extend(&(frame::MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(poisoned.next_frame().is_err());
+    }
+
+    #[test]
+    fn raw_frame_bytes_round_trip() {
+        let mut wire: Vec<u8> = Vec::new();
+        frame::write_frame_bytes(&mut wire, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        frame::write_frame_bytes(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(
+            frame::read_frame_bytes(&mut r).unwrap(),
+            Some(vec![0xDE, 0xAD, 0xBE, 0xEF])
+        );
+        assert_eq!(frame::read_frame_bytes(&mut r).unwrap(), Some(vec![]));
+        assert_eq!(frame::read_frame_bytes(&mut r).unwrap(), None);
     }
 
     #[test]

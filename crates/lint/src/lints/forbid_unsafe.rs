@@ -7,8 +7,15 @@
 //! keeps the attribute from silently disappearing and catches `unsafe`
 //! tokens in any linted file (belt and braces for files added before
 //! their crate root regains the attribute).
+//!
+//! One carve-out: files in [`Config::unsafe_exempt`] are FFI shims
+//! (the `sp-net` epoll bindings) whose `unsafe` blocks carry `SAFETY:`
+//! arguments. The token scan skips them, and a crate root with an
+//! exempt sibling under the same `src/` may downgrade the attribute to
+//! `#![deny(unsafe_code)]` — the strongest form that still lets the
+//! shim's module-level `#![allow(unsafe_code)]` take effect.
 
-use crate::config::Config;
+use crate::config::{in_scope, Config};
 use crate::diag::Severity;
 use crate::lexer::TokKind;
 use crate::lints::{emit, Lint};
@@ -42,28 +49,39 @@ impl Lint for ForbidUnsafe {
         if !cfg.check_unsafe {
             return;
         }
-        for t in &file.tokens {
-            if t.kind == TokKind::Ident && t.text == "unsafe" {
-                emit(
-                    out,
-                    self,
-                    file,
-                    t.line,
-                    "`unsafe` is banned workspace-wide".to_owned(),
-                );
+        if !in_scope(&file.path, &cfg.unsafe_exempt) {
+            for t in &file.tokens {
+                if t.kind == TokKind::Ident && t.text == "unsafe" {
+                    emit(
+                        out,
+                        self,
+                        file,
+                        t.line,
+                        "`unsafe` is banned workspace-wide".to_owned(),
+                    );
+                }
             }
         }
         if !is_crate_root(&file.path) {
             return;
         }
-        // `# ! [ forbid ( unsafe_code ) ]`
+        // A root whose crate hosts an exempt FFI shim (same `src/`
+        // directory) may use `deny` so the shim's `allow` can apply.
+        let dir_of = |p: &str| p.rsplit_once('/').map_or("", |(d, _)| d).to_owned();
+        let root_dir = dir_of(&file.path);
+        let deny_ok = !root_dir.is_empty()
+            && cfg
+                .unsafe_exempt
+                .iter()
+                .any(|e| dir_of(e) == root_dir || e.starts_with(&format!("{root_dir}/")));
+        // `# ! [ forbid ( unsafe_code ) ]` (or `deny` where exempted)
         let code = code_indices(&file.tokens);
         let has = code.windows(7).any(|w| {
             let txt = |i: usize| file.tokens[w[i]].text.as_str();
             txt(0) == "#"
                 && txt(1) == "!"
                 && txt(2) == "["
-                && txt(3) == "forbid"
+                && (txt(3) == "forbid" || (deny_ok && txt(3) == "deny"))
                 && txt(4) == "("
                 && txt(5) == "unsafe_code"
                 && txt(6) == ")"

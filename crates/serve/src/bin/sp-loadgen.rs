@@ -3,35 +3,41 @@
 //! ```text
 //! sp-loadgen --addr HOST:PORT [--clients C] [--sessions S]
 //!            [--requests R] [--peers N] [--seed SEED]
-//!            [--quick | --acceptance] [--verify]
+//!            [--proto 1|2] [--quick | --acceptance] [--verify]
 //! ```
 //!
 //! Builds the deterministic mixed workload (`sp_serve::workload`),
-//! replays it over `C` connections (session `i` is driven by client
-//! `i % C`, preserving per-session order), and prints throughput plus
-//! the server's registry counters. With `--verify` it also executes the
-//! single-threaded no-eviction reference in-process and fails unless
-//! the served responses are bit-identical.
+//! replays it over `C` connections speaking the requested protocol
+//! version (1 = JSON, 2 = compact binary; session `i` is driven by
+//! client `i % C`, preserving per-session order), and prints throughput,
+//! **per-op latency histograms** (fixed machine-independent HDR-style
+//! buckets — p50/p99/p999), and the server's registry counters; the same
+//! numbers are emitted as one sp-json object on the final line. With
+//! `--verify` it also executes the single-threaded no-eviction reference
+//! in-process and fails unless the served responses are bit-identical.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
-use sp_json::json;
+use sp_json::{json, Value};
+use sp_serve::latency::{format_ns, Histogram};
 use sp_serve::server::call_once;
 use sp_serve::workload::{self, WorkloadConfig};
 
 struct Args {
     addr: String,
     clients: usize,
+    proto: u8,
     verify: bool,
     cfg: WorkloadConfig,
 }
 
 fn usage() -> String {
     "usage: sp-loadgen --addr HOST:PORT [--clients C] [--sessions S] [--requests R] \
-     [--peers N] [--seed SEED] [--quick | --acceptance] [--verify]"
+     [--peers N] [--seed SEED] [--proto 1|2] [--quick | --acceptance] [--verify]"
         .to_owned()
 }
 
@@ -39,6 +45,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         addr: String::new(),
         clients: 8,
+        proto: 1,
         verify: false,
         cfg: WorkloadConfig::quick(),
     };
@@ -51,11 +58,18 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         match a.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--clients" => args.clients = parse_usize("--clients", value("--clients")?)?,
+            "--proto" => {
+                args.proto = match value("--proto")?.as_str() {
+                    "1" => 1,
+                    "2" => 2,
+                    other => return Err(format!("bad --proto value {other:?} (1|2)")),
+                };
+            }
             "--sessions" => {
-                explicit.push(("sessions", parse_usize("--sessions", value("--sessions")?)?))
+                explicit.push(("sessions", parse_usize("--sessions", value("--sessions")?)?));
             }
             "--requests" => {
-                explicit.push(("requests", parse_usize("--requests", value("--requests")?)?))
+                explicit.push(("requests", parse_usize("--requests", value("--requests")?)?));
             }
             "--peers" => explicit.push(("peers", parse_usize("--peers", value("--peers")?)?)),
             "--seed" => {
@@ -94,6 +108,22 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Aggregates per-op latency histograms keyed by op name, iterating in
+/// script order so the key order is deterministic for a given workload.
+fn per_op_histograms(
+    script: &[workload::ScriptRequest],
+    latencies: &[u64],
+) -> BTreeMap<&'static str, Histogram> {
+    let mut by_op: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for (r, &nanos) in script.iter().zip(latencies) {
+        by_op
+            .entry(r.request.code().name())
+            .or_default()
+            .record(nanos);
+    }
+    by_op
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -110,11 +140,16 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "workload: {} requests over {} sessions of {} peers (seed {}), {} clients",
-        args.cfg.requests, args.cfg.sessions, args.cfg.peers, args.cfg.seed, args.clients,
+        "workload: {} requests over {} sessions of {} peers (seed {}), {} clients, protocol {}",
+        args.cfg.requests,
+        args.cfg.sessions,
+        args.cfg.peers,
+        args.cfg.seed,
+        args.clients,
+        args.proto,
     );
     let script = workload::build_script(&args.cfg);
-    let outcome = match workload::replay(addr, &script, args.clients) {
+    let outcome = match workload::replay(addr, &script, args.clients, args.proto) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("sp-loadgen: replay failed: {e}");
@@ -124,7 +159,7 @@ fn main() -> ExitCode {
     let failed = outcome
         .responses
         .iter()
-        .filter(|r| r.get("ok") != Some(&sp_json::Value::Bool(true)))
+        .filter(|r| r.get("ok") != Some(&Value::Bool(true)))
         .count();
     let secs = outcome.wall.as_secs_f64();
     println!(
@@ -134,10 +169,38 @@ fn main() -> ExitCode {
         script.len() as f64 / secs.max(1e-9),
         failed,
     );
+    let by_op = per_op_histograms(&script, &outcome.latencies);
+    println!("per-op latency (closed-loop, includes queueing):");
+    for (op, h) in &by_op {
+        println!(
+            "  {op:>13}  n={:<6} p50={:>8} p99={:>8} p999={:>8} max={:>8}",
+            h.count(),
+            format_ns(h.value_at_quantile(0.50)),
+            format_ns(h.value_at_quantile(0.99)),
+            format_ns(h.value_at_quantile(0.999)),
+            format_ns(h.max()),
+        );
+    }
     match call_once(addr, &json!({ "op": "stats" })) {
         Ok(stats) => println!("server stats: {}", stats["result"]),
         Err(e) => eprintln!("sp-loadgen: stats query failed: {e}"),
     }
+    // Machine-readable summary: one sp-json object on the last line.
+    let latency_value = Value::Object(
+        by_op
+            .iter()
+            .map(|(op, h)| ((*op).to_owned(), h.to_value()))
+            .collect(),
+    );
+    let summary = json!({
+        "requests": script.len(),
+        "proto": usize::from(args.proto),
+        "clients": args.clients,
+        "wall_s": secs,
+        "failed": failed,
+        "latency_ns": latency_value,
+    });
+    println!("summary: {}", summary.to_string_compact());
     if failed > 0 {
         eprintln!("sp-loadgen: {failed} request(s) returned errors");
         return ExitCode::FAILURE;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M]
-//!          [--spill-dir DIR] [--queue-cap Q]
+//!          [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded]
 //! ```
 //!
 //! Binds, prints the resolved address on stdout (`listening on …`), and
@@ -13,11 +13,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sp_serve::server::{Server, ServerConfig};
+use sp_serve::server::{IoModel, Server, ServerConfig};
 
 fn usage() -> String {
     "usage: sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M] \
-     [--spill-dir DIR] [--queue-cap Q]"
+     [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded]"
         .to_owned()
 }
 
@@ -48,6 +48,13 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServerConfig, Str
                     .parse()
                     .map_err(|_| "bad --queue-cap value".to_owned())?;
             }
+            "--io" => {
+                config.io = match value("--io")?.as_str() {
+                    "reactor" => IoModel::Reactor,
+                    "threaded" => IoModel::Threaded,
+                    other => return Err(format!("bad --io value {other:?} (reactor|threaded)")),
+                };
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -73,10 +80,15 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "listening on {} ({} workers, {} MiB budget)",
+        "listening on {} ({} workers, {} MiB budget, {} I/O)",
         server.local_addr(),
         workers,
         budget >> 20,
+        if server.uses_reactor() {
+            "reactor"
+        } else {
+            "threaded"
+        },
     );
     // Serve until the process is killed: the accept loop and worker
     // pool run on their own threads, so just park this one.

@@ -1,22 +1,31 @@
-//! A minimal blocking client for the sp-serve wire protocol.
+//! A minimal blocking client for the sp-serve wire protocol, speaking
+//! either codec.
+//!
+//! [`Client::connect`] gives the historical implicit-protocol-1
+//! connection; [`Client::connect_proto`] performs the versioned
+//! handshake (JSON `hello`, typed verdict) and switches to the compact
+//! binary codec for protocol 2. Either way, calls are synchronous — one
+//! request, one response — which is exactly the closed-loop behaviour
+//! the load generator wants; parallelism comes from opening several
+//! clients.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use sp_json::{frame, Value};
+use sp_json::{frame, json, Value};
 
-/// One TCP connection speaking length-prefixed sp-json frames.
-///
-/// Calls are synchronous — one request, one response — which is exactly
-/// the closed-loop behaviour the load generator wants; parallelism
-/// comes from opening several clients.
+use crate::wire::{json as wire_json, Codec, Request, PROTO_BINARY, PROTO_JSON};
+
+/// One TCP connection to an sp-serve instance.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    codec: Codec,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects speaking implicit protocol 1 (JSON frames, no
+    /// handshake) — every pre-negotiation client did exactly this.
     ///
     /// # Errors
     ///
@@ -28,22 +37,100 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
+            codec: Codec::Json,
         })
     }
 
-    /// Sends one request and blocks for its response.
+    /// Connects and negotiates `proto` (1 = JSON, 2 = binary) with a
+    /// first-frame `hello`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; a server that rejects the version
+    /// surfaces as [`io::ErrorKind::InvalidData`] carrying the typed
+    /// error message.
+    pub fn connect_proto<A: ToSocketAddrs>(addr: A, proto: u8) -> io::Result<Client> {
+        let mut client = Client::connect(addr)?;
+        if proto == PROTO_JSON {
+            return Ok(client);
+        }
+        // The hello travels — and is answered — in JSON regardless of
+        // the version asked for; only afterwards does the codec switch.
+        let verdict = client.call(&json!({ "op": "hello", "proto": usize::from(proto) }))?;
+        if verdict.get("ok") != Some(&Value::Bool(true)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server rejected protocol {proto}: {verdict}"),
+            ));
+        }
+        if proto == PROTO_BINARY {
+            client.codec = Codec::Binary;
+        }
+        Ok(client)
+    }
+
+    /// The codec this connection speaks after negotiation.
+    #[must_use]
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Sends one raw protocol-1 JSON request and blocks for its
+    /// response. Only valid on JSON connections (the historical API,
+    /// kept for tools that hold untyped `Value`s).
     ///
     /// # Errors
     ///
     /// Propagates framing/transport errors; the server closing before
-    /// responding is [`io::ErrorKind::UnexpectedEof`].
+    /// responding is [`io::ErrorKind::UnexpectedEof`]; calling this on a
+    /// binary connection is [`io::ErrorKind::InvalidInput`].
     pub fn call(&mut self, request: &Value) -> io::Result<Value> {
+        if self.codec != Codec::Json {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "raw JSON calls are only valid on protocol-1 connections",
+            ));
+        }
         frame::write_frame(&mut self.writer, request)?;
-        frame::read_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed before responding",
-            )
-        })
+        frame::read_frame(&mut self.reader)?.ok_or_else(closed_early)
     }
+
+    /// Sends one typed request through the negotiated codec and blocks
+    /// for its response, returned as the **JSON value the response
+    /// encodes to**. On protocol 1 this is the server's literal payload
+    /// parsed; on protocol 2 the binary response is decoded and
+    /// re-encoded through the shared JSON encoder — so comparing the
+    /// returned values across protocols is exactly the codec-equivalence
+    /// check the replay harness runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; an undecodable response payload is
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn call_request(&mut self, request: &Request) -> io::Result<Value> {
+        frame::write_frame_bytes(&mut self.writer, &self.codec.encode_request(request))?;
+        let payload = frame::read_frame_bytes(&mut self.reader)?.ok_or_else(closed_early)?;
+        match self.codec {
+            Codec::Json => frame::parse_frame_payload(&payload),
+            Codec::Binary => {
+                let resp = self
+                    .codec
+                    .decode_response(&payload, request.code())
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("undecodable binary response: {}", e.error),
+                        )
+                    })?;
+                Ok(wire_json::encode_response(&resp))
+            }
+        }
+    }
+}
+
+fn closed_early() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "server closed before responding",
+    )
 }

@@ -17,13 +17,22 @@
 //!   session at a time), distinct sessions run in parallel across the
 //!   pool, and per-session queues are **bounded** — a full queue blocks
 //!   the submitter, which is the service's backpressure.
-//! * [`wire`] / [`server`] / [`client`] — a length-prefixed sp-json
-//!   protocol over plain `std::net` TCP (frame layout and every
-//!   request/response schema are documented in this crate's README)
-//!   with ops `create` / `load` / `apply` / `apply_batch` /
-//!   `best_response` / `nash_gap` / `social_cost` / `stretch` /
-//!   `run_dynamics` / `snapshot` / `evict` plus registry-level `stats`
-//!   and `ping`.
+//! * [`wire`] / [`server`] / [`client`] — the typed protocol layer
+//!   (re-exporting `sp-wire`'s [`wire::Request`] / [`wire::Response`]
+//!   enums, stable [`wire::ErrorCode`]s, and both codecs) over
+//!   length-prefixed frames on plain `std::net` TCP, with ops `create`
+//!   / `load` / `apply` / `apply_batch` / `best_response` / `nash_gap`
+//!   / `social_cost` / `stretch` / `run_dynamics` / `snapshot` /
+//!   `evict` plus registry-level `stats`, `ping`, and the versioned
+//!   `hello` handshake (protocol 1 = JSON, protocol 2 = compact
+//!   binary; frame layout, op-code table, and the negotiation diagram
+//!   are in this crate's README).
+//! * [`reactor`] (Linux) — the default connection engine: one epoll
+//!   event loop on nonblocking sockets driving every connection, with
+//!   per-connection read/write buffers and **pipelined frames**
+//!   (responses always return in request order). The portable
+//!   thread-per-connection model remains as
+//!   [`server::IoModel::Threaded`] and answers identically.
 //! * [`workload`] — a deterministic mixed-workload generator, a
 //!   single-threaded no-eviction **reference executor**, and a
 //!   closed-loop multi-connection replayer; the `sp-loadgen` bin wraps
@@ -41,7 +50,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod latency;
 pub mod ops;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod snapshot;

@@ -1,4 +1,4 @@
-//! Parsing and execution of session requests.
+//! Execution of typed session operations.
 //!
 //! The split matters for the determinism contract: everything that
 //! *computes* — [`execute_query`] and the canonical result builders —
@@ -13,231 +13,19 @@
 //! and eviction vs. keep-everything-resident); their response bodies
 //! come from the shared builders here so the envelopes still compare
 //! equal.
+//!
+//! Parsing no longer lives here: requests arrive as typed
+//! [`sp_wire::Request`] values, decoded by whichever codec the
+//! connection negotiated.
 
-use sp_core::{
-    BackendMode, BestResponse, BestResponseMethod, GameSession, LinkSet, Move, PeerId, SocialCost,
-};
-use sp_dynamics::{
-    run_config_on_session, DynamicsConfig, DynamicsOutcome, ResponseRule, Termination,
-};
-use sp_json::{encode_f64, json, Value};
+use sp_core::{BackendMode, GameSession, LinkSet, SocialCost};
+use sp_dynamics::{run_config_on_session, DynamicsConfig, ResponseRule};
 
 use crate::spec;
-use crate::wire;
-
-/// A parsed session-targeted request.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Echoed back in the response envelope.
-    pub id: Option<f64>,
-    /// The session the request addresses.
-    pub session: String,
-    /// What to do.
-    pub op: SessionOp,
-}
-
-/// The session operations of the wire protocol.
-#[derive(Debug, Clone)]
-pub enum SessionOp {
-    /// Create the session from an embedded game spec (the raw request
-    /// body is kept: the spec fields live beside `op`/`session`).
-    Create {
-        /// The original request object, holding the spec fields.
-        body: Value,
-    },
-    /// Ensure the session is resident, restoring from its snapshot file
-    /// if needed (explicit cold start).
-    Load,
-    /// Apply one move.
-    Apply {
-        /// The move.
-        mv: Move,
-    },
-    /// Apply a batch of moves as one cache transaction.
-    ApplyBatch {
-        /// The moves, in order.
-        moves: Vec<Move>,
-    },
-    /// Best response of one peer against the frozen rest.
-    BestResponse {
-        /// The responding peer.
-        peer: PeerId,
-        /// UFL solve method.
-        method: BestResponseMethod,
-    },
-    /// Largest unilateral improvement over all peers.
-    NashGap {
-        /// UFL solve method.
-        method: BestResponseMethod,
-    },
-    /// Social cost of the current profile.
-    SocialCost,
-    /// Maximum stretch of the current profile.
-    Stretch,
-    /// Run sequential dynamics in-place on the session.
-    RunDynamics {
-        /// Full engine configuration (parsed from the request fields).
-        config: DynamicsConfig,
-    },
-    /// Persist the session to its snapshot file, keeping it resident.
-    Snapshot,
-    /// Persist the session and drop it from memory.
-    Evict,
-}
-
-impl SessionOp {
-    /// Whether the op changes the session's logical state (profile or
-    /// existence) — what decides if a later spill must rewrite the file.
-    #[must_use]
-    pub fn is_mutating(&self) -> bool {
-        matches!(
-            self,
-            SessionOp::Create { .. }
-                | SessionOp::Apply { .. }
-                | SessionOp::ApplyBatch { .. }
-                | SessionOp::RunDynamics { .. }
-        )
-    }
-}
-
-fn parse_method(v: &Value) -> Result<BestResponseMethod, String> {
-    match v.get("method").and_then(Value::as_str) {
-        None => Ok(BestResponseMethod::Greedy),
-        Some("exact") => Ok(BestResponseMethod::Exact),
-        Some("enumeration") => Ok(BestResponseMethod::ExactEnumeration),
-        Some("greedy") => Ok(BestResponseMethod::Greedy),
-        Some("local_search") => Ok(BestResponseMethod::LocalSearch),
-        Some(other) => Err(format!("unknown method {other:?}")),
-    }
-}
-
-fn parse_peer(v: &Value, key: &str) -> Result<PeerId, String> {
-    v.get(key)
-        .and_then(Value::as_usize)
-        .map(PeerId::new)
-        .ok_or_else(|| format!("missing peer index field {key:?}"))
-}
-
-fn parse_index_pair(v: &Value, what: &str) -> Result<(PeerId, PeerId), String> {
-    let pair = v
-        .as_array()
-        .ok_or_else(|| format!("{what} must be a [from, to] pair"))?;
-    match pair {
-        [a, b] => match (a.as_usize(), b.as_usize()) {
-            (Some(a), Some(b)) => Ok((PeerId::new(a), PeerId::new(b))),
-            _ => Err(format!("{what} must hold peer indices")),
-        },
-        _ => Err(format!("{what} must be a [from, to] pair")),
-    }
-}
-
-/// Parses one move object: `{"set": {"peer": i, "links": [..]}}`,
-/// `{"add": [from, to]}`, or `{"remove": [from, to]}`.
-///
-/// # Errors
-///
-/// Returns a message naming the malformed field.
-pub fn parse_move(v: &Value) -> Result<Move, String> {
-    if let Some(set) = v.get("set") {
-        let peer = parse_peer(set, "peer")?;
-        let links: LinkSet = set
-            .get("links")
-            .and_then(Value::as_array)
-            .ok_or("set move needs a 'links' array")?
-            .iter()
-            .map(|t| t.as_usize().ok_or("links must hold peer indices"))
-            .collect::<Result<Vec<usize>, _>>()?
-            .into_iter()
-            .collect();
-        return Ok(Move::SetStrategy { peer, links });
-    }
-    if let Some(add) = v.get("add") {
-        let (from, to) = parse_index_pair(add, "add move")?;
-        return Ok(Move::AddLink { from, to });
-    }
-    if let Some(remove) = v.get("remove") {
-        let (from, to) = parse_index_pair(remove, "remove move")?;
-        return Ok(Move::RemoveLink { from, to });
-    }
-    Err("move must be one of {set, add, remove}".to_owned())
-}
-
-fn parse_dynamics_config(v: &Value) -> Result<DynamicsConfig, String> {
-    let mut config = DynamicsConfig {
-        record_trace: false,
-        ..DynamicsConfig::default()
-    };
-    match v.get("rule").and_then(Value::as_str) {
-        None | Some("better") => config.rule = ResponseRule::BetterResponse,
-        Some("best") => config.rule = ResponseRule::BestResponseWith(parse_method(v)?),
-        Some(other) => return Err(format!("unknown dynamics rule {other:?}")),
-    }
-    if let Some(r) = v.get("max_rounds") {
-        config.max_rounds = r
-            .as_usize()
-            .ok_or("max_rounds must be a non-negative integer")?;
-    }
-    if let Some(t) = v.get("tolerance") {
-        config.tolerance = t.as_f64().ok_or("tolerance must be a number")?;
-    }
-    if let Some(d) = v.get("detect_cycles") {
-        config.detect_cycles = d.as_bool().ok_or("detect_cycles must be a boolean")?;
-    }
-    Ok(config)
-}
-
-/// Parses a session request object (the server has already routed
-/// registry-level ops like `stats`/`ping` elsewhere).
-///
-/// # Errors
-///
-/// Returns a message naming the malformed field; the caller wraps it in
-/// an error envelope.
-pub fn parse_request(v: &Value) -> Result<Request, String> {
-    let id = wire::request_id(v);
-    let op_name = v
-        .get("op")
-        .and_then(Value::as_str)
-        .ok_or("request needs a string 'op' field")?;
-    let session = v
-        .get("session")
-        .and_then(Value::as_str)
-        .ok_or("request needs a string 'session' field")?
-        .to_owned();
-    wire::validate_name(&session)?;
-    let op = match op_name {
-        "create" => SessionOp::Create { body: v.clone() },
-        "load" => SessionOp::Load,
-        "apply" => SessionOp::Apply {
-            mv: parse_move(v.get("move").ok_or("apply needs a 'move' object")?)?,
-        },
-        "apply_batch" => SessionOp::ApplyBatch {
-            moves: v
-                .get("moves")
-                .and_then(Value::as_array)
-                .ok_or("apply_batch needs a 'moves' array")?
-                .iter()
-                .map(parse_move)
-                .collect::<Result<_, _>>()?,
-        },
-        "best_response" => SessionOp::BestResponse {
-            peer: parse_peer(v, "peer")?,
-            method: parse_method(v)?,
-        },
-        "nash_gap" => SessionOp::NashGap {
-            method: parse_method(v)?,
-        },
-        "social_cost" => SessionOp::SocialCost,
-        "stretch" => SessionOp::Stretch,
-        "run_dynamics" => SessionOp::RunDynamics {
-            config: parse_dynamics_config(v)?,
-        },
-        "snapshot" => SessionOp::Snapshot,
-        "evict" => SessionOp::Evict,
-        other => return Err(format!("unknown op {other:?}")),
-    };
-    Ok(Request { id, session, op })
-}
+use crate::wire::{
+    DynamicsBody, DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, ResultBody, SessionOp,
+    SocialCostBody, WireError,
+};
 
 /// Per-session budget for the retained-residual oracle tier under the
 /// service. The core default (64 MiB) assumes one hot session per
@@ -256,217 +44,237 @@ pub fn tune_for_service(session: &mut GameSession) {
     session.set_residual_budget(SERVICE_RESIDUAL_BUDGET);
 }
 
-/// Builds a fresh session from a `create` request body, tuned via
+/// Resolves a wire-level dynamics spec against the engine defaults
+/// (traces off — the service never ships them).
+#[must_use]
+pub fn dynamics_config(spec: &DynamicsSpec) -> DynamicsConfig {
+    let mut config = DynamicsConfig {
+        record_trace: false,
+        ..DynamicsConfig::default()
+    };
+    config.rule = match spec.rule {
+        DynamicsRule::Better => ResponseRule::BetterResponse,
+        DynamicsRule::Best(method) => ResponseRule::BestResponseWith(method),
+    };
+    if let Some(r) = spec.max_rounds {
+        config.max_rounds = r;
+    }
+    if let Some(t) = spec.tolerance {
+        config.tolerance = t;
+    }
+    if let Some(d) = spec.detect_cycles {
+        config.detect_cycles = d;
+    }
+    config
+}
+
+fn core_err(e: impl std::fmt::Display) -> WireError {
+    WireError::new(ErrorCode::Core, e.to_string())
+}
+
+/// Builds a fresh session from a typed `create` spec, tuned via
 /// [`tune_for_service`].
 ///
 /// # Errors
 ///
-/// Returns the spec error message.
-pub fn build_session(body: &Value) -> Result<GameSession, String> {
-    let (game, profile, mode) = spec::build_embedded(body)?;
-    let mut session = match mode {
+/// Spec problems come back as [`ErrorCode::BadSpec`], engine rejections
+/// as [`ErrorCode::Core`].
+pub fn build_session(spec: &GameSpec) -> Result<GameSession, WireError> {
+    let (game, profile) = spec::build(spec)?;
+    let mut session = match spec.mode {
         BackendMode::Dense => GameSession::new(game, profile),
         BackendMode::Sparse => GameSession::new_sparse(game, profile),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(core_err)?;
     tune_for_service(&mut session);
     Ok(session)
 }
 
-fn links_value(links: &LinkSet) -> Value {
-    Value::Array(links.iter().map(|t| Value::from(t.index())).collect())
+fn links_vec(links: &LinkSet) -> Vec<usize> {
+    links.iter().map(|t| t.index()).collect()
 }
 
-fn social_cost_value(sc: &SocialCost) -> Value {
-    json!({
-        "link_cost": encode_f64(sc.link_cost),
-        "stretch_cost": encode_f64(sc.stretch_cost),
-        "total": encode_f64(sc.total()),
-    })
-}
-
-fn best_response_value(br: &BestResponse) -> Value {
-    json!({
-        "peer": br.peer.index(),
-        "links": links_value(&br.links),
-        "cost": encode_f64(br.cost),
-        "current_cost": encode_f64(br.current_cost),
-        "exact": br.exact,
-    })
-}
-
-fn termination_value(t: &Termination) -> Value {
-    match t {
-        Termination::Converged { rounds } => json!({ "kind": "converged", "rounds": *rounds }),
-        Termination::Cycle {
-            first_seen_step,
-            period_steps,
-            moves_in_cycle,
-        } => json!({
-            "kind": "cycle",
-            "first_seen_step": *first_seen_step,
-            "period_steps": *period_steps,
-            "moves_in_cycle": *moves_in_cycle,
-        }),
-        Termination::RoundLimit => json!({ "kind": "round_limit" }),
+fn social_cost_body(sc: &SocialCost) -> SocialCostBody {
+    SocialCostBody {
+        link_cost: sc.link_cost,
+        stretch_cost: sc.stretch_cost,
+        total: sc.total(),
     }
-}
-
-fn dynamics_value(out: &DynamicsOutcome, after: &SocialCost) -> Value {
-    json!({
-        "termination": termination_value(&out.termination),
-        "steps": out.steps,
-        "moves": out.moves,
-        "social_cost": social_cost_value(after),
-    })
 }
 
 /// The canonical `create` result body.
 #[must_use]
-pub fn create_result(session: &GameSession) -> Value {
-    json!({
-        "n": session.n(),
-        "alpha": session.game().alpha(),
-        "links": session.profile().link_count(),
-        "mode": session.backend_mode().as_str(),
-    })
+pub fn create_result(session: &GameSession) -> ResultBody {
+    ResultBody::Created {
+        n: session.n(),
+        alpha: session.game().alpha(),
+        links: session.profile().link_count(),
+        mode: session.backend_mode(),
+    }
 }
 
 /// The canonical `load` result body.
 #[must_use]
-pub fn loaded_result(session: &GameSession) -> Value {
-    json!({ "loaded": true, "mode": session.backend_mode().as_str() })
-}
-
-/// The canonical `snapshot` result body.
-#[must_use]
-pub fn persisted_result() -> Value {
-    json!({ "persisted": true })
-}
-
-/// The canonical `evict` result body.
-#[must_use]
-pub fn evicted_result() -> Value {
-    json!({ "evicted": true })
+pub fn loaded_result(session: &GameSession) -> ResultBody {
+    ResultBody::Loaded {
+        mode: session.backend_mode(),
+    }
 }
 
 /// Executes a **query or mutation** op against a resident session and
-/// returns its result body. Lifecycle ops (`create`/`load`/`snapshot`/
-/// `evict`) are placement decisions and must be handled by the caller;
-/// passing one here is an error.
+/// returns its typed result body. Lifecycle ops (`create`/`load`/
+/// `snapshot`/`evict`) are placement decisions and must be handled by
+/// the caller; passing one here is an error.
 ///
 /// # Errors
 ///
-/// Core errors are rendered into their display strings.
-pub fn execute_query(op: &SessionOp, session: &mut GameSession) -> Result<Value, String> {
+/// Engine rejections come back as [`ErrorCode::Core`] with the engine's
+/// display string as the message.
+pub fn execute_query(op: &SessionOp, session: &mut GameSession) -> Result<ResultBody, WireError> {
     match op {
         SessionOp::Apply { mv } => {
-            let previous = session.apply(mv.clone()).map_err(|e| e.to_string())?;
-            Ok(json!({ "previous": links_value(&previous) }))
+            let previous = session.apply(mv.clone()).map_err(core_err)?;
+            Ok(ResultBody::Applied {
+                previous: links_vec(&previous),
+            })
         }
         SessionOp::ApplyBatch { moves } => {
-            let previous = session.apply_batch(moves).map_err(|e| e.to_string())?;
-            Ok(json!({
-                "previous": Value::Array(previous.iter().map(links_value).collect()),
-            }))
+            let previous = session.apply_batch(moves).map_err(core_err)?;
+            Ok(ResultBody::BatchApplied {
+                previous: previous.iter().map(links_vec).collect(),
+            })
         }
         SessionOp::BestResponse { peer, method } => {
-            let br = session
-                .best_response(*peer, *method)
-                .map_err(|e| e.to_string())?;
-            Ok(best_response_value(&br))
+            let br = session.best_response(*peer, *method).map_err(core_err)?;
+            Ok(ResultBody::BestResponse(crate::wire::BestResponseBody {
+                peer: br.peer.index(),
+                links: links_vec(&br.links),
+                cost: br.cost,
+                current_cost: br.current_cost,
+                exact: br.exact,
+            }))
         }
         SessionOp::NashGap { method } => {
-            let gap = session.nash_gap(*method).map_err(|e| e.to_string())?;
-            Ok(json!({ "gap": encode_f64(gap) }))
+            let gap = session.nash_gap(*method).map_err(core_err)?;
+            Ok(ResultBody::NashGap { gap })
         }
-        SessionOp::SocialCost => Ok(social_cost_value(&session.social_cost())),
-        SessionOp::Stretch => Ok(json!({ "max_stretch": encode_f64(session.max_stretch()) })),
-        SessionOp::RunDynamics { config } => {
+        SessionOp::SocialCost => Ok(ResultBody::SocialCost(social_cost_body(
+            &session.social_cost(),
+        ))),
+        SessionOp::Stretch => Ok(ResultBody::Stretch {
+            max_stretch: session.max_stretch(),
+        }),
+        SessionOp::RunDynamics(spec) => {
             if session.n() == 0 {
-                return Err("cannot run dynamics on an empty game".to_owned());
+                return Err(WireError::new(
+                    ErrorCode::Core,
+                    "cannot run dynamics on an empty game",
+                ));
             }
-            let out = run_config_on_session(config.clone(), session);
+            let out = run_config_on_session(dynamics_config(spec), session);
             let after = session.social_cost();
-            Ok(dynamics_value(&out, &after))
+            Ok(ResultBody::Dynamics(DynamicsBody {
+                termination: out.termination,
+                steps: out.steps,
+                moves: out.moves,
+                social_cost: social_cost_body(&after),
+            }))
         }
-        SessionOp::Create { .. } | SessionOp::Load | SessionOp::Snapshot | SessionOp::Evict => {
-            Err("lifecycle op reached execute_query".to_owned())
-        }
+        SessionOp::Create(_) | SessionOp::Load | SessionOp::Snapshot | SessionOp::Evict => Err(
+            WireError::new(ErrorCode::BadRequest, "lifecycle op reached execute_query"),
+        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{json, Request, SessionRequest};
+    use sp_json::json;
+
+    fn decode_session(v: &sp_json::Value) -> SessionRequest {
+        let Request::Session(s) = json::decode_request(v).expect("well-formed") else {
+            panic!("expected a session request");
+        };
+        s
+    }
 
     #[test]
-    fn parses_and_executes_a_round_trip() {
-        let create = json!({
+    fn decodes_and_executes_a_round_trip() {
+        let create = decode_session(&json!({
             "op": "create", "session": "s0", "alpha": 1.0,
             "positions_1d": [0.0, 1.0, 3.0],
             "links": [[0, 1], [1, 0], [1, 2], [2, 1]],
-        });
-        let req = parse_request(&create).unwrap();
-        let SessionOp::Create { body } = &req.op else {
+        }));
+        let SessionOp::Create(spec) = &create.op else {
             panic!("expected create")
         };
-        let mut session = build_session(body).unwrap();
-        assert_eq!(create_result(&session)["n"], 3usize);
+        let mut session = build_session(spec).unwrap();
+        let ResultBody::Created { n, .. } = create_result(&session) else {
+            panic!("expected created body")
+        };
+        assert_eq!(n, 3);
 
-        let apply = parse_request(&json!({
+        let apply = decode_session(&json!({
             "op": "apply", "session": "s0", "id": 1,
             "move": json!({ "add": [0, 2] }),
-        }))
-        .unwrap();
-        let r = execute_query(&apply.op, &mut session).unwrap();
-        assert_eq!(r["previous"].as_array().unwrap().len(), 1);
-
-        let sc = parse_request(&json!({ "op": "social_cost", "session": "s0" })).unwrap();
-        let r = execute_query(&sc.op, &mut session).unwrap();
-        assert!(r["total"].as_f64().unwrap() > 0.0);
-
-        let br = parse_request(&json!({
-            "op": "best_response", "session": "s0", "peer": 2, "method": "exact",
-        }))
-        .unwrap();
-        let r = execute_query(&br.op, &mut session).unwrap();
-        assert_eq!(r["peer"], 2usize);
-        assert_eq!(r["exact"], true);
-
-        let dyn_req = parse_request(&json!({
-            "op": "run_dynamics", "session": "s0", "rule": "better", "max_rounds": 3,
-        }))
-        .unwrap();
-        let r = execute_query(&dyn_req.op, &mut session).unwrap();
-        assert!(r["termination"]["kind"].as_str().is_some());
-    }
-
-    #[test]
-    fn rejects_malformed_requests() {
-        assert!(parse_request(&json!({ "session": "x" })).is_err());
-        assert!(parse_request(&json!({ "op": "social_cost" })).is_err());
-        assert!(parse_request(&json!({ "op": "warp", "session": "x" })).is_err());
-        assert!(parse_request(&json!({ "op": "apply", "session": "x" })).is_err());
-        assert!(parse_request(
-            &json!({ "op": "apply", "session": "x", "move": json!({ "warp": 1 }) })
-        )
-        .is_err());
-        assert!(parse_request(&json!({ "op": "social_cost", "session": "../x" })).is_err());
-        assert!(parse_request(
-            &json!({ "op": "best_response", "session": "x", "peer": 0, "method": "psychic" })
-        )
-        .is_err());
-    }
-
-    #[test]
-    fn mutating_classification() {
-        assert!(parse_move(&json!({ "add": [0, 1] })).is_ok());
-        let mv = SessionOp::Apply {
-            mv: parse_move(&json!({ "remove": [0, 1] })).unwrap(),
+        }));
+        let ResultBody::Applied { previous } = execute_query(&apply.op, &mut session).unwrap()
+        else {
+            panic!("expected applied body")
         };
-        assert!(mv.is_mutating());
-        assert!(!SessionOp::SocialCost.is_mutating());
-        assert!(!SessionOp::Evict.is_mutating());
+        assert_eq!(previous.len(), 1);
+
+        let sc = decode_session(&json!({ "op": "social_cost", "session": "s0" }));
+        let ResultBody::SocialCost(sc) = execute_query(&sc.op, &mut session).unwrap() else {
+            panic!("expected social cost body")
+        };
+        assert!(sc.total > 0.0);
+
+        let br = decode_session(&json!({
+            "op": "best_response", "session": "s0", "peer": 2, "method": "exact",
+        }));
+        let ResultBody::BestResponse(br) = execute_query(&br.op, &mut session).unwrap() else {
+            panic!("expected best response body")
+        };
+        assert_eq!(br.peer, 2);
+        assert!(br.exact);
+
+        let dyn_req = decode_session(&json!({
+            "op": "run_dynamics", "session": "s0", "rule": "better", "max_rounds": 3,
+        }));
+        let ResultBody::Dynamics(d) = execute_query(&dyn_req.op, &mut session).unwrap() else {
+            panic!("expected dynamics body")
+        };
+        assert!(d.steps >= d.moves);
+    }
+
+    #[test]
+    fn dynamics_spec_resolves_against_engine_defaults() {
+        let resolved = dynamics_config(&DynamicsSpec {
+            rule: DynamicsRule::Better,
+            max_rounds: Some(1),
+            tolerance: None,
+            detect_cycles: Some(false),
+        });
+        assert!(matches!(resolved.rule, ResponseRule::BetterResponse));
+        assert_eq!(resolved.max_rounds, 1);
+        assert!(!resolved.detect_cycles);
+        assert!(!resolved.record_trace);
+        // Unset fields inherit the engine default.
+        assert_eq!(resolved.tolerance, DynamicsConfig::default().tolerance);
+    }
+
+    #[test]
+    fn lifecycle_ops_cannot_reach_execute_query() {
+        let mut session = build_session(&GameSpec {
+            alpha: 1.0,
+            geometry: crate::wire::Geometry::Line(vec![0.0, 1.0]),
+            links: Vec::new(),
+            mode: BackendMode::Dense,
+        })
+        .unwrap();
+        let e = execute_query(&SessionOp::Evict, &mut session).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
     }
 }

@@ -18,8 +18,13 @@
 //!
 //! Per-session queues are bounded ([`RegistryConfig::queue_capacity`]).
 //! [`SessionRegistry::submit`] blocks the caller until space frees up —
-//! in the TCP server each connection thread submits synchronously, so a
-//! flooding client stalls itself, not the pool.
+//! in the threaded TCP server each connection thread submits
+//! synchronously, so a flooding client stalls itself, not the pool.
+//! The epoll reactor must never block its event loop, so it uses
+//! [`SessionRegistry::submit_with`], which enqueues unconditionally;
+//! its backpressure is the per-connection pipeline window (the reactor
+//! stops *reading* a connection with too many frames in flight), which
+//! bounds queue growth to `window × connections` per session.
 //!
 //! # Memory budget and eviction
 //!
@@ -47,11 +52,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use sp_core::GameSession;
-use sp_json::{json, Value};
 
-use crate::ops::{self, Request, SessionOp};
+use crate::ops;
 use crate::snapshot;
-use crate::wire;
+use crate::wire::{
+    ErrorCode, Response, ResultBody, ServiceStats, SessionOp, SessionRequest, WireError,
+};
 
 /// Number of map shards; requests hash on the session name, so sixteen
 /// shards keep map contention negligible next to the work itself.
@@ -79,6 +85,10 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn shutdown_error() -> WireError {
+    WireError::new(ErrorCode::Shutdown, "registry is shutting down")
+}
+
 /// Configuration of a [`SessionRegistry`].
 #[derive(Debug, Clone)]
 pub struct RegistryConfig {
@@ -87,7 +97,8 @@ pub struct RegistryConfig {
     pub memory_budget: usize,
     /// Directory for spill/snapshot files (created on registry start).
     pub spill_dir: PathBuf,
-    /// Per-session request queue bound; submitters block when full.
+    /// Per-session request queue bound; blocking submitters wait when
+    /// full.
     pub queue_capacity: usize,
 }
 
@@ -101,10 +112,40 @@ impl Default for RegistryConfig {
     }
 }
 
-/// A queued request plus the channel its response goes back on.
+/// Where a finished job's response goes: a blocking channel (the
+/// threaded server parks a connection thread on `recv`) or a callback
+/// (the reactor encodes the frame and wakes its event loop — it has no
+/// thread to park).
+pub enum Responder {
+    /// Deliver by sending on a channel.
+    Channel(mpsc::Sender<Response>),
+    /// Deliver by invoking a closure on the worker thread.
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl Responder {
+    /// Wraps a completion closure.
+    #[must_use]
+    pub fn callback(f: impl FnOnce(Response) + Send + 'static) -> Responder {
+        Responder::Callback(Box::new(f))
+    }
+
+    fn deliver(self, response: Response) {
+        match self {
+            // The submitter may have hung up (shutdown race, dead
+            // connection); that's fine.
+            Responder::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Responder::Callback(f) => f(response),
+        }
+    }
+}
+
+/// A queued request plus where its response goes.
 struct Job {
-    request: Request,
-    reply: mpsc::Sender<Value>,
+    request: SessionRequest,
+    reply: Responder,
 }
 
 /// Mutable per-session state, guarded by the entry mutex.
@@ -157,24 +198,24 @@ pub struct RegistryStats {
 }
 
 impl RegistryStats {
-    /// Renders the stats as the `stats` op's result body.
+    /// The wire-protocol rendering of these counters.
     #[must_use]
-    pub fn to_value(&self) -> Value {
-        json!({
-            "requests_served": self.requests_served as usize,
-            "sessions_created": self.sessions_created as usize,
-            "sessions_evicted": self.sessions_evicted as usize,
-            "sessions_restored": self.sessions_restored as usize,
-            "queue_depth_hwm": self.queue_depth_hwm,
-            "resident_sessions": self.resident_sessions,
-            "resident_bytes": self.resident_bytes,
-        })
+    pub fn to_wire(&self) -> ServiceStats {
+        ServiceStats {
+            requests_served: self.requests_served,
+            sessions_created: self.sessions_created,
+            sessions_evicted: self.sessions_evicted,
+            sessions_restored: self.sessions_restored,
+            queue_depth_hwm: self.queue_depth_hwm,
+            resident_sessions: self.resident_sessions,
+            resident_bytes: self.resident_bytes,
+        }
     }
 }
 
 /// What a worker carries back from executing one job.
 struct JobOutcome {
-    response: Value,
+    response: Response,
     resident: Option<Box<GameSession>>,
     created: bool,
     dirty: bool,
@@ -255,30 +296,74 @@ impl SessionRegistry {
     ///
     /// # Errors
     ///
-    /// Fails once [`SessionRegistry::shutdown`] has been called.
-    pub fn submit(&self, request: Request) -> Result<mpsc::Receiver<Value>, String> {
+    /// Fails with [`ErrorCode::Shutdown`] once
+    /// [`SessionRegistry::shutdown`] has been called.
+    pub fn submit(&self, request: SessionRequest) -> Result<mpsc::Receiver<Response>, WireError> {
         if self.stop.load(Ordering::Acquire) {
-            return Err("registry is shutting down".to_owned());
+            return Err(shutdown_error());
         }
         let entry = self.entry(&request.session);
         let (tx, rx) = mpsc::channel();
         let mut st = lock_unpoisoned(&entry.state);
         while st.queue.len() >= self.config.queue_capacity {
             if self.stop.load(Ordering::Acquire) {
-                return Err("registry is shutting down".to_owned());
+                return Err(shutdown_error());
             }
             st = entry.space.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
+        let job = Job {
+            request,
+            reply: Responder::Channel(tx),
+        };
+        if let Err((_, e)) = self.push_job(entry.clone(), st, job) {
+            return Err(e);
+        }
+        Ok(rx)
+    }
+
+    /// Enqueues a request **without blocking** and delivers the
+    /// response through `reply` when a worker finishes it (or
+    /// immediately, with [`ErrorCode::Shutdown`], if the registry is
+    /// stopping). The caller is responsible for bounding its own
+    /// in-flight work — this is the reactor's entry point, and the
+    /// reactor's pipeline window is that bound.
+    pub fn submit_with(&self, request: SessionRequest, reply: Responder) {
+        if self.stop.load(Ordering::Acquire) {
+            let id = request.id;
+            reply.deliver(Response::err(id, shutdown_error()));
+            return;
+        }
+        let entry = self.entry(&request.session);
+        let st = lock_unpoisoned(&entry.state);
+        if let Err(e) = self.push_job(entry.clone(), st, Job { request, reply }) {
+            // push_job only fails on the shutdown race, and hands the
+            // job back inside the error.
+            let (job, _) = e;
+            let id = job.request.id;
+            job.reply.deliver(Response::err(id, shutdown_error()));
+        }
+    }
+
+    /// The common enqueue tail: final stop check under the entry lock,
+    /// push, record the depth high-water mark, schedule. Returns the
+    /// job on the shutdown race so the caller can fail it properly.
+    #[allow(clippy::result_large_err)]
+    fn push_job(
+        &self,
+        entry: Arc<SessionEntry>,
+        mut st: MutexGuard<'_, EntryState>,
+        job: Job,
+    ) -> Result<(), (Job, WireError)> {
         // Final stop check *under the entry lock*: shutdown() drains
         // this queue under the same lock after setting the flag, so a
         // push that observes `stop == false` here is ordered before the
         // drain (which will then clear it) — a job can never be
         // enqueued after the drain has passed, which would strand its
-        // submitter in `recv()` with no worker left to serve it.
+        // submitter waiting on a response no worker is left to serve.
         if self.stop.load(Ordering::Acquire) {
-            return Err("registry is shutting down".to_owned());
+            return Err((job, shutdown_error()));
         }
-        st.queue.push_back(Job { request, reply: tx });
+        st.queue.push_back(job);
         self.queue_depth_hwm
             .fetch_max(st.queue.len(), Ordering::Relaxed);
         if !st.scheduled {
@@ -286,11 +371,11 @@ impl SessionRegistry {
             drop(st);
             self.push_ready(entry);
         }
-        Ok(rx)
+        Ok(())
     }
 
     /// Stops the worker pool: in-flight requests finish, queued requests
-    /// are abandoned (their receivers disconnect), blocked submitters
+    /// are answered with [`ErrorCode::Shutdown`], blocked submitters
     /// wake with an error.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
@@ -300,12 +385,17 @@ impl SessionRegistry {
             let entries: Vec<Arc<SessionEntry>> =
                 lock_unpoisoned(shard).values().cloned().collect();
             for e in entries {
-                // Drain queued jobs so their reply senders drop and the
-                // waiting receivers disconnect — a submit racing the
-                // stop flag must not strand its connection thread in
-                // `recv()` forever. (A worker mid-process simply finds
-                // an empty queue when it re-locks.)
-                lock_unpoisoned(&e.state).queue.clear();
+                // Drain queued jobs and answer each with a typed
+                // shutdown error — a submit racing the stop flag must
+                // not strand its connection (thread blocked in `recv`,
+                // or reactor sequence slot never completed). (A worker
+                // mid-process simply finds an empty queue when it
+                // re-locks.)
+                let drained: Vec<Job> = lock_unpoisoned(&e.state).queue.drain(..).collect();
+                for job in drained {
+                    let id = job.request.id;
+                    job.reply.deliver(Response::err(id, shutdown_error()));
+                }
                 e.space.notify_all();
             }
         }
@@ -486,8 +576,7 @@ impl SessionRegistry {
         // Count before replying: a submitter that reads `stats` right
         // after its response must see this request in the counter.
         self.requests_served.fetch_add(1, Ordering::Relaxed);
-        // The submitter may have hung up (shutdown race); that's fine.
-        let _ = job.reply.send(outcome.response);
+        job.reply.deliver(outcome.response);
     }
 
     /// The lifecycle-aware execution of one request. Queries and
@@ -497,33 +586,37 @@ impl SessionRegistry {
     fn run_job(
         &self,
         name: &str,
-        request: &Request,
+        request: &SessionRequest,
         resident: Option<Box<GameSession>>,
         created: bool,
         dirty: bool,
     ) -> JobOutcome {
         let id = request.id;
-        if let SessionOp::Create { body } = &request.op {
+        if let SessionOp::Create(spec) = &request.op {
             if created {
+                let e = WireError::new(
+                    ErrorCode::SessionExists,
+                    format!("session {name:?} already exists"),
+                );
                 return JobOutcome {
-                    response: wire::err_response(id, &format!("session {name:?} already exists")),
+                    response: Response::err(id, e),
                     resident,
                     created,
                     dirty,
                 };
             }
-            return match ops::build_session(body) {
+            return match ops::build_session(spec) {
                 Ok(session) => {
                     self.sessions_created.fetch_add(1, Ordering::Relaxed);
                     JobOutcome {
-                        response: wire::ok_response(id, ops::create_result(&session)),
+                        response: Response::ok(id, ops::create_result(&session)),
                         resident: Some(Box::new(session)),
                         created: true,
                         dirty: true,
                     }
                 }
                 Err(e) => JobOutcome {
-                    response: wire::err_response(id, &e),
+                    response: Response::err(id, e),
                     resident,
                     created,
                     dirty,
@@ -542,11 +635,11 @@ impl SessionRegistry {
             && matches!(request.op, SessionOp::Snapshot | SessionOp::Evict)
         {
             let result = match request.op {
-                SessionOp::Snapshot => ops::persisted_result(),
-                _ => ops::evicted_result(),
+                SessionOp::Snapshot => ResultBody::Persisted,
+                _ => ResultBody::Evicted,
             };
             return JobOutcome {
-                response: wire::ok_response(id, result),
+                response: Response::ok(id, result),
                 resident: None,
                 created,
                 dirty,
@@ -561,8 +654,12 @@ impl SessionRegistry {
             Some(s) => s,
             None => {
                 if !created && !matches!(request.op, SessionOp::Load) {
+                    let e = WireError::new(
+                        ErrorCode::UnknownSession,
+                        format!("unknown session {name:?}"),
+                    );
                     return JobOutcome {
-                        response: wire::err_response(id, &format!("unknown session {name:?}")),
+                        response: Response::err(id, e),
                         resident: None,
                         created,
                         dirty,
@@ -577,11 +674,12 @@ impl SessionRegistry {
                         Box::new(s)
                     }
                     Err(e) => {
+                        let e = WireError::new(
+                            ErrorCode::Io,
+                            format!("cannot restore session {name:?}: {e}"),
+                        );
                         return JobOutcome {
-                            response: wire::err_response(
-                                id,
-                                &format!("cannot restore session {name:?}: {e}"),
-                            ),
+                            response: Response::err(id, e),
                             resident: None,
                             created,
                             dirty,
@@ -593,20 +691,23 @@ impl SessionRegistry {
 
         match &request.op {
             SessionOp::Load => JobOutcome {
-                response: wire::ok_response(id, ops::loaded_result(&resident)),
+                response: Response::ok(id, ops::loaded_result(&resident)),
                 resident: Some(resident),
                 created,
                 dirty,
             },
             SessionOp::Snapshot => match self.spill(name, &mut resident, dirty) {
                 Ok(()) => JobOutcome {
-                    response: wire::ok_response(id, ops::persisted_result()),
+                    response: Response::ok(id, ResultBody::Persisted),
                     resident: Some(resident),
                     created,
                     dirty: false,
                 },
                 Err(e) => JobOutcome {
-                    response: wire::err_response(id, &format!("snapshot failed: {e}")),
+                    response: Response::err(
+                        id,
+                        WireError::new(ErrorCode::Io, format!("snapshot failed: {e}")),
+                    ),
                     resident: Some(resident),
                     created,
                     dirty,
@@ -616,14 +717,17 @@ impl SessionRegistry {
                 Ok(()) => {
                     self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
                     JobOutcome {
-                        response: wire::ok_response(id, ops::evicted_result()),
+                        response: Response::ok(id, ResultBody::Evicted),
                         resident: None,
                         created,
                         dirty: false,
                     }
                 }
                 Err(e) => JobOutcome {
-                    response: wire::err_response(id, &format!("evict failed: {e}")),
+                    response: Response::err(
+                        id,
+                        WireError::new(ErrorCode::Io, format!("evict failed: {e}")),
+                    ),
                     resident: Some(resident),
                     created,
                     dirty,
@@ -633,7 +737,7 @@ impl SessionRegistry {
                 let mutating = op.is_mutating();
                 match ops::execute_query(op, &mut resident) {
                     Ok(result) => JobOutcome {
-                        response: wire::ok_response(id, result),
+                        response: Response::ok(id, result),
                         resident: Some(resident),
                         created,
                         dirty: dirty || mutating,
@@ -641,7 +745,7 @@ impl SessionRegistry {
                     Err(e) => JobOutcome {
                         // A failed mutation (validation happens up
                         // front) leaves the session untouched.
-                        response: wire::err_response(id, &e),
+                        response: Response::err(id, e),
                         resident: Some(resident),
                         created,
                         dirty,
@@ -748,7 +852,8 @@ impl SessionRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_json::json;
+    use crate::wire::{json, Request};
+    use sp_json::{json, Value};
 
     fn test_dir(tag: &str) -> PathBuf {
         let dir =
@@ -757,10 +862,16 @@ mod tests {
         dir
     }
 
+    fn decode_session(body: &Value) -> SessionRequest {
+        match json::decode_request(body).expect("well-formed") {
+            Request::Session(s) => s,
+            other => panic!("expected a session request, got {other:?}"),
+        }
+    }
+
     fn submit_and_wait(registry: &SessionRegistry, body: Value) -> Value {
-        let request = ops::parse_request(&body).expect("well-formed");
-        let rx = registry.submit(request).expect("accepting");
-        rx.recv().expect("response")
+        let rx = registry.submit(decode_session(&body)).expect("accepting");
+        json::encode_response(&rx.recv().expect("response"))
     }
 
     fn create_body(name: &str, positions: &[f64]) -> Value {
@@ -785,6 +896,7 @@ mod tests {
         assert_eq!(r["ok"], true, "{r}");
         let r = submit_and_wait(&registry, create_body("a", &[0.0, 1.0, 3.0]));
         assert_eq!(r["ok"], false, "duplicate create must fail");
+        assert_eq!(r["code"].as_str(), Some("session_exists"));
 
         // Ordering: apply, then read — the read must see the apply.
         let r = submit_and_wait(
@@ -810,6 +922,7 @@ mod tests {
             json!({ "op": "social_cost", "session": "ghost" }),
         );
         assert_eq!(r["ok"], false);
+        assert_eq!(r["code"].as_str(), Some("unknown_session"));
 
         registry.shutdown();
         for w in workers {
@@ -911,25 +1024,70 @@ mod tests {
         let mut receivers = Vec::new();
         receivers.push(
             registry
-                .submit(ops::parse_request(&create_body("q", &[0.0, 1.0, 2.0])).unwrap())
+                .submit(decode_session(&create_body("q", &[0.0, 1.0, 2.0])))
                 .unwrap(),
         );
         for _ in 0..7 {
             receivers.push(
                 registry
-                    .submit(
-                        ops::parse_request(&json!({ "op": "social_cost", "session": "q" }))
-                            .unwrap(),
-                    )
+                    .submit(decode_session(
+                        &json!({ "op": "social_cost", "session": "q" }),
+                    ))
                     .unwrap(),
             );
         }
         assert_eq!(registry.stats().queue_depth_hwm, 8);
         let workers = registry.spawn_workers(2);
         for rx in receivers {
-            assert_eq!(rx.recv().unwrap()["ok"], true);
+            assert!(rx.recv().unwrap().outcome.is_ok());
         }
         registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn callback_responders_deliver_on_the_worker() {
+        let dir = test_dir("callback");
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_dir: dir.clone(),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        let workers = registry.spawn_workers(1);
+        let (tx, rx) = mpsc::channel::<Response>();
+        let tx2 = tx.clone();
+        registry.submit_with(
+            decode_session(&create_body("cb", &[0.0, 1.0, 2.0])),
+            Responder::callback(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        registry.submit_with(
+            decode_session(&json!({ "op": "social_cost", "session": "cb", "id": 1 })),
+            Responder::callback(move |r| {
+                let _ = tx2.send(r);
+            }),
+        );
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert!(first.outcome.is_ok(), "{first:?}");
+        assert_eq!(second.id, Some(1));
+        assert!(second.outcome.is_ok(), "{second:?}");
+
+        registry.shutdown();
+        // Post-shutdown submits answer immediately with a typed error.
+        let (tx, rx) = mpsc::channel::<Response>();
+        registry.submit_with(
+            decode_session(&json!({ "op": "social_cost", "session": "cb" })),
+            Responder::callback(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        let r = rx.recv().unwrap();
+        assert_eq!(r.outcome.unwrap_err().code, ErrorCode::Shutdown);
         for w in workers {
             w.join().unwrap();
         }

@@ -1,13 +1,23 @@
-//! The TCP front end: accept loop, per-connection framing, and routing
-//! into the [`SessionRegistry`] scheduler.
+//! The TCP front end: accepting connections, per-connection framing and
+//! protocol negotiation, and routing typed requests into the
+//! [`SessionRegistry`] scheduler.
 //!
-//! Each connection gets its own reader thread that handles frames
-//! **synchronously**: read one request, route it, wait for the
-//! response, write it back. Per-connection responses therefore arrive
-//! in request order, and a client that wants pipelining across sessions
-//! simply opens more connections (what `sp-loadgen` does). Registry
-//! -level ops (`stats`, `ping`) answer inline without touching the
-//! scheduler.
+//! Two interchangeable I/O models serve the same protocol:
+//!
+//! * [`IoModel::Reactor`] (default on Linux) — one epoll event loop
+//!   ([`crate::reactor`]) drives every connection on nonblocking
+//!   sockets; frames are pipelined (many requests in flight per
+//!   connection, responses written back **in request order**) and
+//!   completed responses are batched into single writes.
+//! * [`IoModel::Threaded`] — one thread per connection handling frames
+//!   synchronously: read a request, route it, wait, write the response.
+//!   This is the historical model, the portable fallback, and the
+//!   simplest possible reference for the reactor's observable
+//!   behaviour — both models answer any request sequence identically.
+//!
+//! Either way, registry-level ops (`ping`, `stats`, `hello`) answer
+//! inline without touching the scheduler, and per-connection responses
+//! arrive in request order.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -15,11 +25,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use sp_json::{frame, json, Value};
+use sp_json::{frame, Value};
 
-use crate::ops;
 use crate::registry::{RegistryConfig, SessionRegistry};
-use crate::wire;
+use crate::wire::{
+    json, ConnProtocol, ErrorCode, FrameAction, Request, Response, ResultBody, WireError,
+    PROTO_BINARY, PROTO_JSON,
+};
+
+/// Which connection I/O engine a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// The epoll reactor: one event loop, nonblocking sockets,
+    /// pipelined frames. Falls back to [`IoModel::Threaded`] off Linux.
+    Reactor,
+    /// One blocking thread per connection.
+    Threaded,
+}
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -28,6 +50,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker-pool size for the registry scheduler.
     pub workers: usize,
+    /// Connection I/O engine.
+    pub io: IoModel,
     /// Registry (budget, spill dir, queue bound) configuration.
     pub registry: RegistryConfig,
 }
@@ -39,23 +63,33 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2),
+            io: IoModel::Reactor,
             registry: RegistryConfig::default(),
         }
     }
 }
 
-/// A running sp-serve instance: listener, connection threads, and the
+enum IoHandles {
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_handle: JoinHandle<()>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+/// A running sp-serve instance: listener, connection engine, and the
 /// registry worker pool.
 pub struct Server {
     local_addr: SocketAddr,
     registry: Arc<SessionRegistry>,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    io: Option<IoHandles>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and the accept loop, and returns.
+    /// Binds, spawns the worker pool and the connection engine, and
+    /// returns.
     ///
     /// # Errors
     ///
@@ -65,34 +99,11 @@ impl Server {
         let worker_handles = registry.spawn_workers(config.workers);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = {
-            let registry = Arc::clone(&registry);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("sp-serve-accept".to_owned())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let registry = Arc::clone(&registry);
-                        // Connection threads exit when the peer closes;
-                        // they are deliberately detached.
-                        let _ = std::thread::Builder::new()
-                            .name("sp-serve-conn".to_owned())
-                            .spawn(move || handle_connection(stream, &registry));
-                    }
-                })
-                // sp-lint: allow(panic-path, reason = "startup-time spawn before any connection is accepted; no remote input reaches this")
-                .expect("failed to spawn accept thread")
-        };
+        let io = start_io(config.io, listener, &registry)?;
         Ok(Server {
             local_addr,
             registry,
-            stop,
-            accept_handle: Some(accept_handle),
+            io: Some(io),
             worker_handles,
         })
     }
@@ -109,14 +120,38 @@ impl Server {
         &self.registry
     }
 
-    /// Stops accepting, shuts the scheduler down, and joins the pool.
+    /// `true` when the epoll reactor (not the threaded fallback) is
+    /// serving connections.
+    #[must_use]
+    pub fn uses_reactor(&self) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            matches!(self.io, Some(IoHandles::Reactor(_)))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            false
+        }
+    }
+
+    /// Stops accepting, shuts the scheduler down, and joins everything.
     /// Connections still open observe errors and close themselves.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Nudge the accept loop out of its blocking accept.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        // Stop the I/O engine first so no new work reaches the registry
+        // after its shutdown drain starts.
+        match self.io.take() {
+            Some(IoHandles::Threaded {
+                stop,
+                accept_handle,
+            }) => {
+                stop.store(true, Ordering::Release);
+                // Nudge the accept loop out of its blocking accept.
+                let _ = TcpStream::connect(self.local_addr);
+                let _ = accept_handle.join();
+            }
+            #[cfg(target_os = "linux")]
+            Some(IoHandles::Reactor(handle)) => handle.shutdown(),
+            None => {}
         }
         self.registry.shutdown();
         for h in self.worker_handles.drain(..) {
@@ -125,23 +160,104 @@ impl Server {
     }
 }
 
-/// Computes the response for one already-parsed request frame — the
-/// single routing point shared by every connection.
+fn start_io(
+    io: IoModel,
+    listener: TcpListener,
+    registry: &Arc<SessionRegistry>,
+) -> io::Result<IoHandles> {
+    #[cfg(target_os = "linux")]
+    if io == IoModel::Reactor {
+        return match crate::reactor::spawn(listener, Arc::clone(registry)) {
+            Ok(handle) => Ok(IoHandles::Reactor(handle)),
+            // An epoll-less environment (exotic sandbox) degrades to
+            // the portable model instead of refusing to serve.
+            Err((e, listener)) if e.kind() == io::ErrorKind::Unsupported => {
+                start_threaded(listener, registry)
+            }
+            Err((e, _)) => Err(e),
+        };
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = io; // only one model exists off Linux
+    start_threaded(listener, registry)
+}
+
+fn start_threaded(listener: TcpListener, registry: &Arc<SessionRegistry>) -> io::Result<IoHandles> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_handle = {
+        let registry = Arc::clone(registry);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("sp-serve-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = Arc::clone(&registry);
+                    // Connection threads exit when the peer closes;
+                    // they are deliberately detached.
+                    let _ = std::thread::Builder::new()
+                        .name("sp-serve-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &registry));
+                }
+            })
+            // sp-lint: allow(panic-path, reason = "startup-time spawn before any connection is accepted; no remote input reaches this")
+            .expect("failed to spawn accept thread")
+    };
+    Ok(IoHandles::Threaded {
+        stop,
+        accept_handle,
+    })
+}
+
+/// Computes the response for one typed request — the single routing
+/// point shared by both I/O models and the legacy [`respond`] entry.
+/// Session requests block on the scheduler; everything else answers
+/// inline.
+#[must_use]
+pub fn respond_request(registry: &SessionRegistry, request: Request) -> Response {
+    match request {
+        // A hello that reaches the router (rather than the negotiation
+        // state machine) is answered statelessly: the version echo
+        // without a codec switch. Only [`ConnProtocol`] can switch.
+        Request::Hello { id, proto } => match proto {
+            PROTO_JSON | PROTO_BINARY => Response::ok(id, ResultBody::Hello { proto }),
+            other => Response::err(
+                id,
+                WireError::new(
+                    ErrorCode::BadProto,
+                    format!("unsupported protocol version {other}"),
+                ),
+            ),
+        },
+        Request::Ping { id } => Response::ok(id, ResultBody::Pong),
+        Request::Stats { id } => Response::ok(id, ResultBody::Stats(registry.stats().to_wire())),
+        Request::Session(req) => {
+            let id = req.id;
+            match registry.submit(req) {
+                Err(e) => Response::err(id, e),
+                Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                    Response::err(
+                        id,
+                        WireError::new(ErrorCode::Shutdown, "server shutting down"),
+                    )
+                }),
+            }
+        }
+    }
+}
+
+/// The protocol-1 convenience router: decodes a JSON request value,
+/// routes it, and encodes the JSON response value. Kept for tests and
+/// tools that hold `Value`s; the connection handlers speak
+/// [`respond_request`] through a [`ConnProtocol`].
 #[must_use]
 pub fn respond(registry: &SessionRegistry, request: &Value) -> Value {
-    let id = wire::request_id(request);
-    match request.get("op").and_then(Value::as_str) {
-        Some("ping") => wire::ok_response(id, json!({ "pong": true })),
-        Some("stats") => wire::ok_response(id, registry.stats().to_value()),
-        _ => match ops::parse_request(request) {
-            Err(e) => wire::err_response(id, &e),
-            Ok(parsed) => match registry.submit(parsed) {
-                Err(e) => wire::err_response(id, &e),
-                Ok(rx) => rx
-                    .recv()
-                    .unwrap_or_else(|_| wire::err_response(id, "server shutting down")),
-            },
-        },
+    match json::decode_request(request) {
+        Ok(req) => json::encode_response(&respond_request(registry, req)),
+        Err(e) => json::encode_response(&Response::err(e.id, e.error)),
     }
 }
 
@@ -151,22 +267,45 @@ fn handle_connection(stream: TcpStream, registry: &SessionRegistry) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let mut proto = ConnProtocol::new();
     loop {
-        let request = match frame::read_frame(&mut reader) {
-            Ok(Some(v)) => v,
-            // Clean close, a mid-frame error, or malformed JSON all end
-            // the connection; framing errors are not recoverable.
+        let payload = match frame::read_frame_bytes(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close or a mid-frame transport error both end the
+            // connection (undecodable *payloads* get typed replies via
+            // the protocol state machine below; only the length-prefix
+            // envelope itself is unrecoverable).
             Ok(None) | Err(_) => return,
         };
-        let response = respond(registry, &request);
-        if frame::write_frame(&mut writer, &response).is_err() {
-            return;
+        match proto.on_frame(&payload) {
+            FrameAction::Request(request) => {
+                // Capture the codec before routing: a negotiated switch
+                // can only happen on hello frames, which never reach
+                // here, but the discipline keeps response encoding
+                // tied to the codec the request arrived under.
+                let codec = proto.codec();
+                let response = respond_request(registry, request);
+                if frame::write_frame_bytes(&mut writer, &codec.encode_response(&response)).is_err()
+                {
+                    return;
+                }
+            }
+            FrameAction::Reply(bytes) => {
+                if frame::write_frame_bytes(&mut writer, &bytes).is_err() {
+                    return;
+                }
+            }
+            FrameAction::Reject(bytes) => {
+                // Typed reject, then close — never a silent hangup.
+                let _ = frame::write_frame_bytes(&mut writer, &bytes);
+                return;
+            }
         }
     }
 }
 
-/// Connects, sends one request frame, and waits for the response — the
-/// one-shot convenience the CLI-style tools use.
+/// Connects, sends one protocol-1 request frame, and waits for the
+/// response — the one-shot convenience the CLI-style tools use.
 ///
 /// # Errors
 ///

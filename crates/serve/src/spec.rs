@@ -1,233 +1,165 @@
-//! Game specifications embedded in `create` requests.
+//! Building games from typed [`GameSpec`]s.
 //!
-//! A `create` request carries the instance inline, in the same shape the
-//! CLI's `GameSpec` uses: `alpha` plus exactly one of `positions_1d`,
-//! `points_2d`, or `matrix`, and optional initial `links`:
+//! Structural validation (shapes, "exactly one geometry", sparse-needs-
+//! line) lives in the codecs — [`sp_wire::json::parse_game_spec`] and
+//! the binary decoder — which is why this module receives a typed spec,
+//! not a JSON object. What stays here is *semantic* validation, the
+//! part only game construction can decide: matrix squareness and
+//! symmetry, metric axioms, link bounds. Failures carry
+//! [`ErrorCode::BadSpec`] with the historical messages.
 //!
-//! ```json
-//! { "op": "create", "session": "s0", "alpha": 2.0,
-//!   "points_2d": [[0,0],[3,4],[10,0]], "links": [[0,1],[1,2]] }
-//! ```
-//!
-//! An optional `"mode"` field selects the session's evaluation backend:
-//! `"dense"` (the default — exact, `O(n²)` matrix) or `"sparse"`
-//! (landmark sketches, `O(n)` memory; see `sp_core::backend`). Sparse
-//! mode requires `positions_1d`: only the line geometry has the
-//! implicit `O(n)` metric store the sparse backend exists to exploit —
-//! `points_2d` and `matrix` would drag the `O(n²)` table back in.
+//! Dense mode stores line geometries as a precomputed matrix (the
+//! historical, bit-identically accounted representation); sparse mode
+//! keeps the positions themselves so the game's metric store stays
+//! `O(n)` (see `sp_core::backend` — sparse requires the line geometry,
+//! which both codecs already enforce, and this builder re-checks).
 
 use sp_core::{BackendMode, Game, StrategyProfile};
 use sp_graph::DistanceMatrix;
-use sp_json::Value;
 use sp_metric::{Euclidean2D, LineSpace, Point2};
 
-fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, String> {
-    v.as_array()
-        .ok_or_else(|| format!("{what} must be an array"))?
-        .iter()
-        .map(|x| {
-            x.as_f64()
-                .ok_or_else(|| format!("{what} entries must be numbers"))
-        })
-        .collect()
+use crate::wire::{ErrorCode, GameSpec, Geometry, WireError};
+
+fn bad(message: String) -> WireError {
+    WireError::new(ErrorCode::BadSpec, message)
 }
 
-/// Parses the optional `"mode"` field of a `create` request.
+/// Builds the game and initial profile described by a typed spec.
 ///
 /// # Errors
 ///
-/// Returns a message on an unknown mode name or a non-string field.
-pub fn parse_mode(request: &Value) -> Result<BackendMode, String> {
-    match request.get("mode").filter(|m| !m.is_null()) {
-        None => Ok(BackendMode::Dense),
-        Some(m) => match m.as_str() {
-            Some("dense") => Ok(BackendMode::Dense),
-            Some("sparse") => Ok(BackendMode::Sparse),
-            Some(other) => Err(format!("unknown mode {other:?}")),
-            None => Err("mode must be a string".to_owned()),
-        },
-    }
-}
-
-/// Builds the game, initial profile, and backend mode described by the
-/// fields of `request` (which may carry other, non-spec fields like
-/// `op` and `session` — they are ignored here).
-///
-/// Dense mode stores line geometries as a precomputed matrix (the
-/// historical, bit-identically accounted representation); sparse mode
-/// keeps the positions themselves so the game's metric store stays
-/// `O(n)`.
-///
-/// # Errors
-///
-/// Returns a human-readable message when the geometry fields are absent
-/// or ambiguous, malformed, or geometrically invalid, or when sparse
-/// mode is asked for without `positions_1d`.
-pub fn build_embedded(request: &Value) -> Result<(Game, StrategyProfile, BackendMode), String> {
-    let alpha = request
-        .get("alpha")
-        .and_then(Value::as_f64)
-        .ok_or("create needs a numeric 'alpha' field")?;
-    let mode = parse_mode(request)?;
-    let field = |key: &str| request.get(key).filter(|f| !f.is_null());
-    let positions_1d = field("positions_1d");
-    let points_2d = field("points_2d");
-    let matrix = field("matrix");
-    let geoms = usize::from(positions_1d.is_some())
-        + usize::from(points_2d.is_some())
-        + usize::from(matrix.is_some());
-    if geoms != 1 {
-        return Err(format!(
-            "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
+/// Returns a [`ErrorCode::BadSpec`] error when the geometry is
+/// semantically invalid (non-square or asymmetric matrix, bad metric,
+/// out-of-bounds links) or when sparse mode is asked for without a line
+/// geometry.
+pub fn build(spec: &GameSpec) -> Result<(Game, StrategyProfile), WireError> {
+    if spec.mode == BackendMode::Sparse && !matches!(spec.geometry, Geometry::Line(_)) {
+        return Err(bad(
+            "sparse mode requires a positions_1d geometry".to_owned()
         ));
     }
-    if mode == BackendMode::Sparse && positions_1d.is_none() {
-        return Err("sparse mode requires a positions_1d geometry".to_owned());
-    }
-
-    let game = if let Some(p) = positions_1d {
-        let positions = f64_array(p, "positions_1d")?;
-        if mode == BackendMode::Sparse {
-            Game::from_line_positions(positions, alpha).map_err(|e| e.to_string())?
-        } else {
-            let space = LineSpace::new(positions).map_err(|e| e.to_string())?;
-            Game::from_space(&space, alpha).map_err(|e| e.to_string())?
-        }
-    } else if let Some(p) = points_2d {
-        let pts: Vec<Point2> = p
-            .as_array()
-            .ok_or("points_2d must be an array")?
-            .iter()
-            .map(|pair| {
-                let xy = f64_array(pair, "points_2d entries")?;
-                match xy.as_slice() {
-                    [x, y] => Ok(Point2::new(*x, *y)),
-                    _ => Err("points_2d entries must be [x, y] pairs".to_owned()),
-                }
-            })
-            .collect::<Result<_, String>>()?;
-        let space = Euclidean2D::new(pts).map_err(|e| e.to_string())?;
-        Game::from_space(&space, alpha).map_err(|e| e.to_string())?
-    } else {
-        let rows = matrix
-            .ok_or("spec needs positions_1d, points_2d, or matrix")?
-            .as_array()
-            .ok_or("matrix must be an array of rows")?;
-        let n = rows.len();
-        // sp-lint: allow(dense-alloc, reason = "decoding an explicit dense matrix spec; sparse mode requires positions_1d and never reaches this arm")
-        let mut flat = Vec::with_capacity(n * n);
-        for row in rows {
-            let r = f64_array(row, "matrix rows")?;
-            if r.len() != n {
-                return Err(format!(
-                    "matrix must be square: row of {} in a {n}x{n} matrix",
-                    r.len()
-                ));
+    let game = match &spec.geometry {
+        Geometry::Line(positions) => {
+            if spec.mode == BackendMode::Sparse {
+                Game::from_line_positions(positions.clone(), spec.alpha)
+                    .map_err(|e| bad(e.to_string()))?
+            } else {
+                let space = LineSpace::new(positions.clone()).map_err(|e| bad(e.to_string()))?;
+                Game::from_space(&space, spec.alpha).map_err(|e| bad(e.to_string()))?
             }
-            flat.extend_from_slice(&r);
         }
-        let m = DistanceMatrix::from_row_major(n, flat).map_err(|e| e.to_string())?;
-        Game::new(m, alpha).map_err(|e| e.to_string())?
+        Geometry::Points2D(points) => {
+            let pts: Vec<Point2> = points.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let space = Euclidean2D::new(pts).map_err(|e| bad(e.to_string()))?;
+            Game::from_space(&space, spec.alpha).map_err(|e| bad(e.to_string()))?
+        }
+        Geometry::Matrix(rows) => {
+            let n = rows.len();
+            // sp-lint: allow(dense-alloc, reason = "decoding an explicit dense matrix spec; sparse mode requires positions_1d and never reaches this arm")
+            let mut flat = Vec::with_capacity(n * n);
+            for row in rows {
+                if row.len() != n {
+                    return Err(bad(format!(
+                        "matrix must be square: row of {} in a {n}x{n} matrix",
+                        row.len()
+                    )));
+                }
+                flat.extend_from_slice(row);
+            }
+            let m = DistanceMatrix::from_row_major(n, flat).map_err(|e| bad(e.to_string()))?;
+            Game::new(m, spec.alpha).map_err(|e| bad(e.to_string()))?
+        }
     };
 
-    let profile = match field("links") {
-        None => StrategyProfile::empty(game.n()),
-        Some(l) => {
-            let pairs: Vec<(usize, usize)> = l
-                .as_array()
-                .ok_or("links must be an array")?
-                .iter()
-                .map(|pair| {
-                    let p = pair
-                        .as_array()
-                        .ok_or("links entries must be [from, to] pairs")?;
-                    match p {
-                        [a, b] => match (a.as_usize(), b.as_usize()) {
-                            (Some(a), Some(b)) => Ok((a, b)),
-                            _ => Err("links entries must be [from, to] index pairs".to_owned()),
-                        },
-                        _ => Err("links entries must be [from, to] pairs".to_owned()),
-                    }
-                })
-                .collect::<Result<_, String>>()?;
-            StrategyProfile::from_links(game.n(), &pairs).map_err(|e| e.to_string())?
-        }
+    let profile = if spec.links.is_empty() {
+        StrategyProfile::empty(game.n())
+    } else {
+        StrategyProfile::from_links(game.n(), &spec.links).map_err(|e| bad(e.to_string()))?
     };
-    Ok((game, profile, mode))
+    Ok((game, profile))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_json::json;
+
+    fn line_spec(positions: Vec<f64>, mode: BackendMode) -> GameSpec {
+        GameSpec {
+            alpha: 1.0,
+            geometry: Geometry::Line(positions),
+            links: Vec::new(),
+            mode,
+        }
+    }
 
     #[test]
     fn builds_each_geometry() {
-        let line = json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0, 3.0] });
-        let (g, p, mode) = build_embedded(&line).unwrap();
+        let (g, p) = build(&line_spec(vec![0.0, 1.0, 3.0], BackendMode::Dense)).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(p.link_count(), 0);
-        assert_eq!(mode, BackendMode::Dense);
 
-        let pts = json!({ "alpha": 2.0, "points_2d": [[0, 0], [3, 4]], "links": [[0, 1]] });
-        let (g, p, _) = build_embedded(&pts).unwrap();
+        let (g, p) = build(&GameSpec {
+            alpha: 2.0,
+            geometry: Geometry::Points2D(vec![(0.0, 0.0), (3.0, 4.0)]),
+            links: vec![(0, 1)],
+            mode: BackendMode::Dense,
+        })
+        .unwrap();
         assert_eq!(g.distance(0, 1), 5.0);
         assert_eq!(p.link_count(), 1);
 
-        let m = json!({ "alpha": 1.0, "matrix": [[0, 2], [2, 0]] });
-        let (g, _, _) = build_embedded(&m).unwrap();
+        let (g, _) = build(&GameSpec {
+            alpha: 1.0,
+            geometry: Geometry::Matrix(vec![vec![0.0, 2.0], vec![2.0, 0.0]]),
+            links: Vec::new(),
+            mode: BackendMode::Dense,
+        })
+        .unwrap();
         assert_eq!(g.distance(1, 0), 2.0);
     }
 
     #[test]
     fn sparse_mode_keeps_the_line_metric_implicit() {
-        let line = json!({
-            "alpha": 1.0, "mode": "sparse", "positions_1d": [0.0, 1.0, 3.0, 7.0]
-        });
-        let (g, _, mode) = build_embedded(&line).unwrap();
-        assert_eq!(mode, BackendMode::Sparse);
+        let (g, _) = build(&line_spec(vec![0.0, 1.0, 3.0, 7.0], BackendMode::Sparse)).unwrap();
         assert!(g.line_positions().is_some(), "sparse must keep O(n) store");
         assert_eq!(g.distance(0, 3), 7.0);
 
         // Dense line specs keep the historical matrix store (and its
         // historical byte accounting in the registry).
-        let dense = json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0] });
-        let (g, _, _) = build_embedded(&dense).unwrap();
+        let (g, _) = build(&line_spec(vec![0.0, 1.0], BackendMode::Dense)).unwrap();
         assert!(g.line_positions().is_none());
 
-        // Sparse needs positions; other geometries and junk modes fail.
-        assert!(build_embedded(
-            &json!({ "alpha": 1.0, "mode": "sparse", "matrix": [[0, 1], [1, 0]] })
-        )
-        .is_err());
-        assert!(build_embedded(
-            &json!({ "alpha": 1.0, "mode": "sparse", "points_2d": [[0, 0], [3, 4]] })
-        )
-        .is_err());
-        assert!(build_embedded(
-            &json!({ "alpha": 1.0, "mode": "exotic", "positions_1d": [0.0, 1.0] })
-        )
-        .is_err());
-        assert!(
-            build_embedded(&json!({ "alpha": 1.0, "mode": 7, "positions_1d": [0.0, 1.0] }))
-                .is_err()
-        );
+        // Sparse needs a line geometry even if a caller bypasses the
+        // codec-level check by constructing the spec directly.
+        let e = build(&GameSpec {
+            alpha: 1.0,
+            geometry: Geometry::Matrix(vec![vec![0.0, 1.0], vec![1.0, 0.0]]),
+            links: Vec::new(),
+            mode: BackendMode::Sparse,
+        })
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadSpec);
     }
 
     #[test]
-    fn rejects_bad_specs() {
-        assert!(build_embedded(&json!({ "alpha": 1.0 })).is_err());
-        assert!(build_embedded(&json!({
-            "alpha": 1.0,
-            "positions_1d": [0.0, 1.0],
-            "matrix": [[0, 1], [1, 0]]
-        }))
-        .is_err());
-        assert!(build_embedded(&json!({ "alpha": 1.0, "matrix": [[0, 1]] })).is_err());
-        assert!(build_embedded(&json!({ "positions_1d": [0.0, 1.0] })).is_err());
-        assert!(build_embedded(
-            &json!({ "alpha": 1.0, "positions_1d": [0.0, 1.0], "links": [[0, 5]] })
-        )
-        .is_err());
+    fn rejects_bad_specs_semantically() {
+        let e = build(&GameSpec {
+            alpha: 1.0,
+            geometry: Geometry::Matrix(vec![vec![0.0, 1.0]]),
+            links: Vec::new(),
+            mode: BackendMode::Dense,
+        })
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadSpec);
+        assert!(e.message.contains("square"), "{e}");
+
+        let e = build(&GameSpec {
+            alpha: 1.0,
+            geometry: Geometry::Line(vec![0.0, 1.0]),
+            links: vec![(0, 5)],
+            mode: BackendMode::Dense,
+        })
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadSpec);
     }
 }

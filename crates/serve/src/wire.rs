@@ -1,79 +1,221 @@
-//! Request/response envelopes for the sp-serve wire protocol.
+//! The server's view of the wire protocol: the typed types re-exported
+//! from [`sp_wire`], the codec switch, and the per-connection
+//! negotiation state machine.
 //!
-//! Frames are length-prefixed compact JSON ([`sp_json::frame`]). Every
-//! request is an object with a string `"op"`, an optional numeric
-//! `"id"` (echoed back verbatim), and — for session ops — a string
-//! `"session"`. Every response is either
+//! Frames are length-prefixed payloads ([`sp_json::frame`]); what the
+//! payload *is* depends on the negotiated codec:
 //!
-//! ```json
-//! { "id": 7, "ok": true, "result": { … } }
-//! { "id": 7, "ok": false, "error": "…" }
-//! ```
+//! * [`Codec::Json`] (protocol 1, the default) — compact JSON, the
+//!   historical protocol. A connection that never says `hello` speaks
+//!   it implicitly, so every pre-typed client keeps working unchanged.
+//! * [`Codec::Binary`] (protocol 2) — the compact binary codec
+//!   ([`sp_wire::binary`]). Opted into by making the **first** frame a
+//!   JSON `{"op": "hello", "proto": 2}`; the server answers in JSON (so
+//!   the client reads the verdict with the codec it already speaks) and
+//!   both sides switch.
 //!
-//! Envelope construction lives here so the server workers and the
-//! single-threaded reference executor produce **byte-identical**
-//! responses — the replay test compares them wholesale.
+//! [`ConnProtocol`] encodes those rules once, for both the threaded
+//! connection handler and the epoll reactor: feed it each decoded
+//! payload, get back a [`FrameAction`] saying whether to route a typed
+//! request, write an inline reply, or write a typed reject and close.
 
-use sp_json::Value;
+pub use sp_wire::{
+    binary, json, validate_name, BestResponseBody, DecodeError, DynamicsBody, DynamicsRule,
+    DynamicsSpec, ErrorCode, GameSpec, Geometry, OpCode, Request, Response, ResultBody,
+    ServiceStats, SessionOp, SessionRequest, SocialCostBody, WireError, MAX_NAME_LEN, PROTO_BINARY,
+    PROTO_JSON,
+};
 
-/// Largest session-name length the registry accepts.
-pub const MAX_NAME_LEN: usize = 64;
+pub use sp_wire::json::request_id;
 
-/// A successful response wrapping `result`, echoing `id` when present.
-#[must_use]
-pub fn ok_response(id: Option<f64>, result: Value) -> Value {
-    let mut fields: Vec<(String, Value)> = Vec::with_capacity(3);
-    if let Some(id) = id {
-        fields.push(("id".to_owned(), Value::Number(id)));
-    }
-    fields.push(("ok".to_owned(), Value::Bool(true)));
-    fields.push(("result".to_owned(), result));
-    Value::Object(fields)
+/// One of the two interchangeable frame-payload serializations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Protocol 1: compact JSON payloads.
+    Json,
+    /// Protocol 2: compact binary payloads.
+    Binary,
 }
 
-/// An error response carrying `message`, echoing `id` when present.
-#[must_use]
-pub fn err_response(id: Option<f64>, message: &str) -> Value {
-    let mut fields: Vec<(String, Value)> = Vec::with_capacity(3);
-    if let Some(id) = id {
-        fields.push(("id".to_owned(), Value::Number(id)));
+impl Codec {
+    /// The protocol version this codec implements.
+    #[must_use]
+    pub fn proto(self) -> u8 {
+        match self {
+            Codec::Json => PROTO_JSON,
+            Codec::Binary => PROTO_BINARY,
+        }
     }
-    fields.push(("ok".to_owned(), Value::Bool(false)));
-    fields.push(("error".to_owned(), Value::from(message)));
-    Value::Object(fields)
+
+    /// Encodes a request into a frame payload.
+    #[must_use]
+    pub fn encode_request(self, request: &Request) -> Vec<u8> {
+        match self {
+            Codec::Json => json::encode_request(request)
+                .to_string_compact()
+                .into_bytes(),
+            Codec::Binary => binary::encode_request(request),
+        }
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed failure (an unparseable JSON payload is
+    /// [`ErrorCode::BadFrame`]) with whatever request id survived.
+    pub fn decode_request(self, payload: &[u8]) -> Result<Request, DecodeError> {
+        match self {
+            Codec::Json => {
+                let v = sp_json::frame::parse_frame_payload(payload).map_err(|e| DecodeError {
+                    id: None,
+                    error: WireError::new(
+                        ErrorCode::BadFrame,
+                        format!("malformed JSON frame: {e}"),
+                    ),
+                })?;
+                json::decode_request(&v)
+            }
+            Codec::Binary => binary::decode_request(payload),
+        }
+    }
+
+    /// Encodes a response into a frame payload.
+    #[must_use]
+    pub fn encode_response(self, response: &Response) -> Vec<u8> {
+        match self {
+            Codec::Json => json::encode_response(response)
+                .to_string_compact()
+                .into_bytes(),
+            Codec::Binary => binary::encode_response(response),
+        }
+    }
+
+    /// Decodes a response frame payload. JSON result bodies are not
+    /// self-describing, so the caller supplies the op the response
+    /// answers (the binary codec carries it and ignores the hint).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ErrorCode::BadFrame`] failure on any shape mismatch.
+    pub fn decode_response(self, payload: &[u8], op: OpCode) -> Result<Response, DecodeError> {
+        match self {
+            Codec::Json => {
+                let v = sp_json::frame::parse_frame_payload(payload).map_err(|e| DecodeError {
+                    id: None,
+                    error: WireError::new(
+                        ErrorCode::BadFrame,
+                        format!("malformed JSON frame: {e}"),
+                    ),
+                })?;
+                json::decode_response(&v, op)
+            }
+            Codec::Binary => binary::decode_response(payload),
+        }
+    }
 }
 
-/// The `"id"` field of a request, if present and numeric.
-#[must_use]
-pub fn request_id(request: &Value) -> Option<f64> {
-    request.get("id").and_then(Value::as_f64)
+/// What the connection handler should do with one incoming frame.
+#[derive(Debug)]
+pub enum FrameAction {
+    /// A routable request: dispatch it and write the encoded response.
+    Request(Request),
+    /// An inline reply (hello verdicts, non-fatal decode errors): write
+    /// the payload in order and keep the connection open.
+    Reply(Vec<u8>),
+    /// A typed reject: write the payload in order, then close. Fatal
+    /// failures — undecodable frames, failed negotiation — are answered
+    /// before the close, never with a silent hangup.
+    Reject(Vec<u8>),
 }
 
-/// Validates a session name: 1–[`MAX_NAME_LEN`] chars, leading
-/// alphanumeric, then alphanumerics plus `.`, `_`, `-`. Names become
-/// spill file names, so anything that could escape the spill directory
-/// is rejected at the door.
-///
-/// # Errors
-///
-/// Returns a human-readable message naming the constraint violated.
-pub fn validate_name(name: &str) -> Result<(), String> {
-    if name.is_empty() || name.len() > MAX_NAME_LEN {
-        return Err(format!(
-            "session name must be 1..={MAX_NAME_LEN} characters"
-        ));
+/// Per-connection protocol state: the active codec plus whether the
+/// next frame is still eligible to be a `hello`.
+#[derive(Debug)]
+pub struct ConnProtocol {
+    codec: Codec,
+    first: bool,
+}
+
+impl Default for ConnProtocol {
+    fn default() -> Self {
+        ConnProtocol::new()
     }
-    let mut chars = name.chars();
-    let Some(first) = chars.next() else {
-        return Err("session name must not be empty".to_owned());
-    };
-    if !first.is_ascii_alphanumeric() {
-        return Err("session name must start with an ASCII alphanumeric".to_owned());
+}
+
+impl ConnProtocol {
+    /// A fresh connection: implicit protocol 1 until a first-frame
+    /// `hello` says otherwise.
+    #[must_use]
+    pub fn new() -> ConnProtocol {
+        ConnProtocol {
+            codec: Codec::Json,
+            first: true,
+        }
     }
-    if !chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')) {
-        return Err("session name may only contain ASCII alphanumerics, '.', '_', '-'".to_owned());
+
+    /// The codec currently in force (for encoding routed responses).
+    #[must_use]
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
-    Ok(())
+
+    /// Consumes one frame payload and decides what to do with it,
+    /// applying the negotiation rules: a first-frame `hello` answers in
+    /// the pre-switch codec and then switches; a later `hello` is a
+    /// non-fatal error; an unsupported version or an undecodable frame
+    /// is a typed reject.
+    pub fn on_frame(&mut self, payload: &[u8]) -> FrameAction {
+        let decoded = self.codec.decode_request(payload);
+        let first = std::mem::replace(&mut self.first, false);
+        match decoded {
+            Ok(Request::Hello { id, proto }) => {
+                if !first {
+                    let e = WireError::new(
+                        ErrorCode::BadProto,
+                        "hello must be the first frame of a connection",
+                    );
+                    return FrameAction::Reply(self.codec.encode_response(&Response::err(id, e)));
+                }
+                match proto {
+                    PROTO_JSON => {
+                        let ok = Response::ok(id, ResultBody::Hello { proto: PROTO_JSON });
+                        FrameAction::Reply(self.codec.encode_response(&ok))
+                    }
+                    PROTO_BINARY => {
+                        // The verdict travels in the codec the client
+                        // spoke when asking; everything after is binary.
+                        let ok = Response::ok(
+                            id,
+                            ResultBody::Hello {
+                                proto: PROTO_BINARY,
+                            },
+                        );
+                        let bytes = self.codec.encode_response(&ok);
+                        self.codec = Codec::Binary;
+                        FrameAction::Reply(bytes)
+                    }
+                    other => {
+                        let e = WireError::new(
+                            ErrorCode::BadProto,
+                            format!("unsupported protocol version {other}"),
+                        );
+                        FrameAction::Reject(self.codec.encode_response(&Response::err(id, e)))
+                    }
+                }
+            }
+            Ok(request) => FrameAction::Request(request),
+            Err(DecodeError { id, error }) => {
+                let fatal = matches!(error.code, ErrorCode::BadFrame | ErrorCode::BadProto);
+                let bytes = self.codec.encode_response(&Response::err(id, error));
+                if fatal {
+                    FrameAction::Reject(bytes)
+                } else {
+                    FrameAction::Reply(bytes)
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,26 +223,113 @@ mod tests {
     use super::*;
     use sp_json::json;
 
-    #[test]
-    fn envelopes() {
-        let ok = ok_response(Some(3.0), json!({ "x": 1 }));
-        assert_eq!(ok["id"], 3.0);
-        assert_eq!(ok["ok"], true);
-        assert_eq!(ok["result"]["x"], 1);
-        let err = err_response(None, "boom");
-        assert_eq!(err["ok"], false);
-        assert_eq!(err["error"], "boom");
-        assert!(err.get("id").is_none());
+    fn json_payload(v: &sp_json::Value) -> Vec<u8> {
+        v.to_string_compact().into_bytes()
+    }
+
+    fn parse(bytes: &[u8]) -> sp_json::Value {
+        sp_json::frame::parse_frame_payload(bytes).expect("JSON payload")
     }
 
     #[test]
-    fn name_validation() {
-        assert!(validate_name("s0012").is_ok());
-        assert!(validate_name("a.b-c_D9").is_ok());
-        assert!(validate_name("").is_err());
-        assert!(validate_name(".hidden").is_err());
-        assert!(validate_name("a/b").is_err());
-        assert!(validate_name("a b").is_err());
-        assert!(validate_name(&"x".repeat(65)).is_err());
+    fn implicit_v1_needs_no_hello() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(&json!({ "op": "ping", "id": 1 })));
+        assert!(matches!(
+            action,
+            FrameAction::Request(Request::Ping { id: Some(1) })
+        ));
+        assert_eq!(conn.codec(), Codec::Json);
+    }
+
+    #[test]
+    fn explicit_v1_hello_replies_and_stays_json() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(
+            &json!({ "op": "hello", "proto": 1, "id": 0 }),
+        ));
+        let FrameAction::Reply(bytes) = action else {
+            panic!("hello must be answered inline, got {action:?}");
+        };
+        let v = parse(&bytes);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["result"]["proto"], 1usize);
+        assert_eq!(conn.codec(), Codec::Json);
+    }
+
+    #[test]
+    fn v2_hello_switches_to_binary_after_the_json_verdict() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(&json!({ "op": "hello", "proto": 2 })));
+        let FrameAction::Reply(bytes) = action else {
+            panic!("hello must be answered inline");
+        };
+        // The verdict itself is JSON (pre-switch codec)…
+        let v = parse(&bytes);
+        assert_eq!(v["result"]["proto"], 2usize);
+        // …and the connection is binary from here on.
+        assert_eq!(conn.codec(), Codec::Binary);
+        let ping = Codec::Binary.encode_request(&Request::Ping { id: Some(9) });
+        let action = conn.on_frame(&ping);
+        assert!(matches!(
+            action,
+            FrameAction::Request(Request::Ping { id: Some(9) })
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_a_typed_reject() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(
+            &json!({ "op": "hello", "proto": 9, "id": 3 }),
+        ));
+        let FrameAction::Reject(bytes) = action else {
+            panic!("unsupported proto must reject, got {action:?}");
+        };
+        let v = parse(&bytes);
+        assert_eq!(v["ok"], false);
+        assert_eq!(v["id"], 3.0);
+        assert_eq!(v["code"].as_str(), Some("bad_proto"));
+    }
+
+    #[test]
+    fn malformed_hello_and_garbage_frames_reject_with_codes() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(&json!({ "op": "hello" })));
+        let FrameAction::Reject(bytes) = action else {
+            panic!("missing proto must reject");
+        };
+        assert_eq!(parse(&bytes)["code"].as_str(), Some("bad_proto"));
+
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(b"not json at all");
+        let FrameAction::Reject(bytes) = action else {
+            panic!("garbage must reject");
+        };
+        assert_eq!(parse(&bytes)["code"].as_str(), Some("bad_frame"));
+    }
+
+    #[test]
+    fn midstream_hello_is_a_nonfatal_error() {
+        let mut conn = ConnProtocol::new();
+        let _ = conn.on_frame(&json_payload(&json!({ "op": "ping" })));
+        let action = conn.on_frame(&json_payload(&json!({ "op": "hello", "proto": 2 })));
+        let FrameAction::Reply(bytes) = action else {
+            panic!("mid-stream hello must be a non-fatal error");
+        };
+        let v = parse(&bytes);
+        assert_eq!(v["ok"], false);
+        assert_eq!(v["code"].as_str(), Some("bad_proto"));
+        assert_eq!(conn.codec(), Codec::Json, "no switch mid-stream");
+    }
+
+    #[test]
+    fn nonfatal_decode_errors_keep_the_connection() {
+        let mut conn = ConnProtocol::new();
+        let action = conn.on_frame(&json_payload(&json!({ "op": "warp", "session": "x" })));
+        let FrameAction::Reply(bytes) = action else {
+            panic!("unknown op is an error reply, not a hangup");
+        };
+        assert_eq!(parse(&bytes)["code"].as_str(), Some("unknown_op"));
     }
 }

@@ -4,10 +4,12 @@
 //! The three pieces exist to make one claim testable: a concurrent
 //! sp-serve under memory pressure (evict/restore cycles, worker-pool
 //! interleaving) answers **bit-identically** to a single-threaded
-//! executor that keeps every session resident forever. The script is a
-//! pure function of [`WorkloadConfig`]; each session's requests form a
-//! deterministic subsequence; and replay partitions sessions across
-//! client connections (session `i` belongs to client `i % clients`), so
+//! executor that keeps every session resident forever — through either
+//! codec. The script is a pure function of [`WorkloadConfig`] built as
+//! typed [`Request`]s (what travels is whatever the negotiated codec
+//! encodes them to); each session's requests form a deterministic
+//! subsequence; and replay partitions sessions across client
+//! connections (session `i` belongs to client `i % clients`), so
 //! per-session order — the only order that matters — is preserved
 //! however the pool schedules.
 //!
@@ -23,12 +25,15 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use rand::prelude::*;
-use sp_core::GameSession;
-use sp_json::{json, Value};
+use sp_core::{BackendMode, BestResponseMethod, GameSession, Move, PeerId};
+use sp_json::Value;
 
 use crate::client::Client;
-use crate::ops::{self, SessionOp};
-use crate::wire;
+use crate::ops;
+use crate::wire::{
+    json, DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, Geometry, Request, Response, ResultBody,
+    SessionOp, SessionRequest, WireError, PROTO_JSON,
+};
 
 /// Parameters of a generated workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,13 +75,13 @@ impl WorkloadConfig {
 }
 
 /// One scripted request: which session it addresses (by index) and the
-/// full request body to send.
+/// typed request to send.
 #[derive(Debug, Clone)]
 pub struct ScriptRequest {
     /// Index of the session this request addresses.
     pub session_index: usize,
-    /// The request object (already carrying `op`, `session`, `id`).
-    pub body: Value,
+    /// The typed request (already carrying op, session, and id).
+    pub request: Request,
 }
 
 /// The canonical name of session `i`.
@@ -98,35 +103,38 @@ fn distinct_points(n: usize, rng: &mut StdRng) -> Vec<(f64, f64)> {
     points
 }
 
-fn create_body(i: usize, cfg: &WorkloadConfig, id: usize, rng: &mut StdRng) -> Value {
+// NOTE for every generator below: the *order of RNG draws* is part of
+// the workload's identity. The committed bench counters and the replay
+// gate both assume `build_script` reproduces the historical byte
+// streams exactly, so draws must stay in the order the old JSON
+// builders made them (points, then alpha; peer, then targets; ...).
+
+fn create_request(i: usize, cfg: &WorkloadConfig, id: usize, rng: &mut StdRng) -> Request {
     let n = cfg.peers;
     let points = distinct_points(n, rng);
-    let points_v = Value::Array(
-        points
-            .iter()
-            .map(|&(x, y)| Value::Array(vec![Value::Number(x), Value::Number(y)]))
-            .collect(),
-    );
     // A bidirectional ring keeps the starting overlay connected, so the
     // early cost queries are finite and the dynamics have structure to
     // chew on; the mutation mix then adds and removes chords freely.
-    let mut links: Vec<Value> = Vec::with_capacity(2 * n);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(2 * n);
     for p in 0..n {
         let q = (p + 1) % n;
-        links.push(Value::Array(vec![Value::from(p), Value::from(q)]));
-        links.push(Value::Array(vec![Value::from(q), Value::from(p)]));
+        links.push((p, q));
+        links.push((q, p));
     }
-    json!({
-        "id": id,
-        "op": "create",
-        "session": session_name(i),
-        "alpha": 1.0 + f64::from(rng.random_range(0u32..30)) / 10.0,
-        "points_2d": points_v,
-        "links": Value::Array(links),
+    let alpha = 1.0 + f64::from(rng.random_range(0u32..30)) / 10.0;
+    Request::Session(SessionRequest {
+        id: Some(id as u64),
+        session: session_name(i),
+        op: SessionOp::Create(GameSpec {
+            alpha,
+            geometry: Geometry::Points2D(points),
+            links,
+            mode: BackendMode::Dense,
+        }),
     })
 }
 
-fn random_move(n: usize, rng: &mut StdRng) -> Value {
+fn random_move(n: usize, rng: &mut StdRng) -> Move {
     let peer = rng.random_range(0..n);
     let other = |rng: &mut StdRng| {
         let mut t = rng.random_range(0..n);
@@ -136,8 +144,14 @@ fn random_move(n: usize, rng: &mut StdRng) -> Value {
         t
     };
     match rng.random_range(0u32..10) {
-        0..=3 => json!({ "add": [peer, other(rng)] }),
-        4..=6 => json!({ "remove": [peer, other(rng)] }),
+        0..=3 => Move::AddLink {
+            from: PeerId::new(peer),
+            to: PeerId::new(other(rng)),
+        },
+        4..=6 => Move::RemoveLink {
+            from: PeerId::new(peer),
+            to: PeerId::new(other(rng)),
+        },
         _ => {
             let k = rng.random_range(1usize..=3);
             let mut targets: Vec<usize> = Vec::new();
@@ -147,16 +161,19 @@ fn random_move(n: usize, rng: &mut StdRng) -> Value {
                     targets.push(t);
                 }
             }
-            json!({ "set": json!({ "peer": peer, "links": Value::from(targets) }) })
+            Move::SetStrategy {
+                peer: PeerId::new(peer),
+                links: targets.into_iter().collect(),
+            }
         }
     }
 }
 
-fn method_str(rng: &mut StdRng) -> &'static str {
+fn random_method(rng: &mut StdRng) -> BestResponseMethod {
     if rng.random_range(0u32..4) == 0 {
-        "local_search"
+        BestResponseMethod::LocalSearch
     } else {
-        "greedy"
+        BestResponseMethod::Greedy
     }
 }
 
@@ -175,7 +192,7 @@ pub fn build_script(cfg: &WorkloadConfig) -> Vec<ScriptRequest> {
     for i in 0..cfg.sessions {
         script.push(ScriptRequest {
             session_index: i,
-            body: create_body(i, cfg, script.len(), &mut rng),
+            request: create_request(i, cfg, script.len(), &mut rng),
         });
     }
     let n = cfg.peers;
@@ -196,39 +213,42 @@ pub fn build_script(cfg: &WorkloadConfig) -> Vec<ScriptRequest> {
         let session = session_name(i);
         let id = script.len();
         let r = rng.random_range(0u32..1000);
-        let body = match r {
-            0..=339 => json!({
-                "id": id, "op": "apply", "session": session,
-                "move": random_move(n, &mut rng),
-            }),
+        let op = match r {
+            0..=339 => SessionOp::Apply {
+                mv: random_move(n, &mut rng),
+            },
             340..=459 => {
                 let k = rng.random_range(2usize..=4);
-                let moves: Vec<Value> = (0..k).map(|_| random_move(n, &mut rng)).collect();
-                json!({
-                    "id": id, "op": "apply_batch", "session": session,
-                    "moves": Value::Array(moves),
-                })
+                SessionOp::ApplyBatch {
+                    moves: (0..k).map(|_| random_move(n, &mut rng)).collect(),
+                }
             }
-            460..=679 => json!({ "id": id, "op": "social_cost", "session": session }),
-            680..=789 => json!({
-                "id": id, "op": "best_response", "session": session,
-                "peer": rng.random_range(0..n), "method": method_str(&mut rng),
-            }),
-            790..=849 => json!({ "id": id, "op": "stretch", "session": session }),
-            850..=899 => json!({ "id": id, "op": "snapshot", "session": session }),
-            900..=959 => json!({ "id": id, "op": "evict", "session": session }),
-            960..=989 => json!({ "id": id, "op": "load", "session": session }),
-            990..=995 => json!({
-                "id": id, "op": "nash_gap", "session": session, "method": "greedy",
-            }),
-            _ => json!({
-                "id": id, "op": "run_dynamics", "session": session,
-                "rule": "better", "max_rounds": 1, "detect_cycles": false,
+            460..=679 => SessionOp::SocialCost,
+            680..=789 => SessionOp::BestResponse {
+                peer: PeerId::new(rng.random_range(0..n)),
+                method: random_method(&mut rng),
+            },
+            790..=849 => SessionOp::Stretch,
+            850..=899 => SessionOp::Snapshot,
+            900..=959 => SessionOp::Evict,
+            960..=989 => SessionOp::Load,
+            990..=995 => SessionOp::NashGap {
+                method: BestResponseMethod::Greedy,
+            },
+            _ => SessionOp::RunDynamics(DynamicsSpec {
+                rule: DynamicsRule::Better,
+                max_rounds: Some(1),
+                tolerance: None,
+                detect_cycles: Some(false),
             }),
         };
         script.push(ScriptRequest {
             session_index: i,
-            body,
+            request: Request::Session(SessionRequest {
+                id: Some(id as u64),
+                session,
+                op,
+            }),
         });
     }
     script
@@ -239,67 +259,97 @@ pub fn build_script(cfg: &WorkloadConfig) -> Vec<ScriptRequest> {
 /// bodies without touching placement. This is the ground truth the
 /// served run must match bit for bit.
 #[must_use]
-pub fn reference_responses(script: &[ScriptRequest]) -> Vec<Value> {
+pub fn reference_typed(script: &[ScriptRequest]) -> Vec<Response> {
     let mut sessions: HashMap<String, GameSession> = HashMap::new();
     script
         .iter()
-        .map(|r| reference_respond(&mut sessions, &r.body))
+        .map(|r| reference_respond(&mut sessions, &r.request))
         .collect()
 }
 
-fn reference_respond(sessions: &mut HashMap<String, GameSession>, body: &Value) -> Value {
-    let id = wire::request_id(body);
-    let parsed = match ops::parse_request(body) {
-        Ok(p) => p,
-        Err(e) => return wire::err_response(id, &e),
+/// [`reference_typed`] rendered through the shared JSON encoder — the
+/// `Value` form the verify path compares against served responses.
+#[must_use]
+pub fn reference_responses(script: &[ScriptRequest]) -> Vec<Value> {
+    reference_typed(script)
+        .iter()
+        .map(json::encode_response)
+        .collect()
+}
+
+fn reference_respond(sessions: &mut HashMap<String, GameSession>, request: &Request) -> Response {
+    let Request::Session(req) = request else {
+        return Response::err(
+            request.id(),
+            WireError::new(
+                ErrorCode::BadRequest,
+                "reference executor only handles session requests",
+            ),
+        );
     };
-    match &parsed.op {
-        SessionOp::Create { body } => {
-            if sessions.contains_key(&parsed.session) {
-                return wire::err_response(
+    let id = req.id;
+    let name = &req.session;
+    match &req.op {
+        SessionOp::Create(spec) => {
+            if sessions.contains_key(name) {
+                return Response::err(
                     id,
-                    &format!("session {:?} already exists", parsed.session),
+                    WireError::new(
+                        ErrorCode::SessionExists,
+                        format!("session {name:?} already exists"),
+                    ),
                 );
             }
-            match ops::build_session(body) {
+            match ops::build_session(spec) {
                 Ok(s) => {
                     let result = ops::create_result(&s);
-                    sessions.insert(parsed.session.clone(), s);
-                    wire::ok_response(id, result)
+                    sessions.insert(name.clone(), s);
+                    Response::ok(id, result)
                 }
-                Err(e) => wire::err_response(id, &e),
+                Err(e) => Response::err(id, e),
             }
         }
         op => {
-            let Some(session) = sessions.get_mut(&parsed.session) else {
-                return wire::err_response(id, &format!("unknown session {:?}", parsed.session));
+            let Some(session) = sessions.get_mut(name) else {
+                return Response::err(
+                    id,
+                    WireError::new(
+                        ErrorCode::UnknownSession,
+                        format!("unknown session {name:?}"),
+                    ),
+                );
             };
             match op {
-                SessionOp::Load => wire::ok_response(id, ops::loaded_result(session)),
-                SessionOp::Snapshot => wire::ok_response(id, ops::persisted_result()),
-                SessionOp::Evict => wire::ok_response(id, ops::evicted_result()),
+                SessionOp::Load => Response::ok(id, ops::loaded_result(session)),
+                SessionOp::Snapshot => Response::ok(id, ResultBody::Persisted),
+                SessionOp::Evict => Response::ok(id, ResultBody::Evicted),
                 _ => match ops::execute_query(op, session) {
-                    Ok(result) => wire::ok_response(id, result),
-                    Err(e) => wire::err_response(id, &e),
+                    Ok(result) => Response::ok(id, result),
+                    Err(e) => Response::err(id, e),
                 },
             }
         }
     }
 }
 
-/// The outcome of a replay: per-request responses (script order) plus
-/// wall-clock.
+/// The outcome of a replay: per-request responses and latencies (script
+/// order) plus wall-clock.
 #[derive(Debug)]
 pub struct ReplayOutcome {
-    /// One response per script request, in script order.
+    /// One response per script request, in script order, as the JSON
+    /// rendering of what the server sent (parsed for protocol 1,
+    /// decoded-and-re-encoded for protocol 2).
     pub responses: Vec<Value>,
+    /// Closed-loop latency of each request in nanoseconds, script order.
+    pub latencies: Vec<u64>,
     /// End-to-end wall time of the replay.
     pub wall: Duration,
 }
 
 /// Replays the script against a live server over `clients` closed-loop
-/// connections. Session `i` is driven by client `i % clients`, so each
-/// session's requests arrive in script order regardless of scheduling.
+/// connections speaking protocol `proto` (1 = JSON, 2 = binary).
+/// Session `i` is driven by client `i % clients`, so each session's
+/// requests arrive in script order regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -312,21 +362,26 @@ pub fn replay(
     addr: SocketAddr,
     script: &[ScriptRequest],
     clients: usize,
+    proto: u8,
 ) -> io::Result<ReplayOutcome> {
     let clients = clients.max(1);
     let start = Instant::now();
-    let mut slots: Vec<Option<Value>> = vec![None; script.len()];
-    let results: Vec<io::Result<Vec<(usize, Value)>>> = std::thread::scope(|scope| {
+    let mut responses: Vec<Option<Value>> = vec![None; script.len()];
+    let mut latencies: Vec<u64> = vec![0; script.len()];
+    let results: Vec<io::Result<Vec<(usize, Value, u64)>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                scope.spawn(move || -> io::Result<Vec<(usize, Value)>> {
-                    let mut client = Client::connect(addr)?;
+                scope.spawn(move || -> io::Result<Vec<(usize, Value, u64)>> {
+                    let mut client = Client::connect_proto(addr, proto)?;
                     let mut out = Vec::new();
                     for (k, r) in script.iter().enumerate() {
                         if r.session_index % clients != c {
                             continue;
                         }
-                        out.push((k, client.call(&r.body)?));
+                        let sent = Instant::now();
+                        let response = client.call_request(&r.request)?;
+                        let nanos = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        out.push((k, response, nanos));
                     }
                     Ok(out)
                 })
@@ -338,18 +393,27 @@ pub fn replay(
             .collect()
     });
     for result in results {
-        for (k, v) in result? {
-            slots[k] = Some(v);
+        for (k, v, nanos) in result? {
+            if let Some(slot) = responses.get_mut(k) {
+                *slot = Some(v);
+            }
+            if let Some(slot) = latencies.get_mut(k) {
+                *slot = nanos;
+            }
         }
     }
     Ok(ReplayOutcome {
-        responses: slots
+        responses: responses
             .into_iter()
             .map(|s| s.expect("every script request is owned by exactly one client"))
             .collect(),
+        latencies,
         wall: start.elapsed(),
     })
 }
+
+/// The default protocol for callers that don't care about codecs.
+pub const DEFAULT_PROTO: u8 = PROTO_JSON;
 
 /// Compares a served response vector against the reference, returning
 /// the index and pair of the first mismatch.
@@ -383,12 +447,12 @@ mod tests {
         let b = build_script(&cfg);
         assert_eq!(a.len(), 400);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.body, y.body);
+            assert_eq!(x.request, y.request);
             assert_eq!(x.session_index, y.session_index);
         }
-        let mut ops_seen: HashSet<String> = HashSet::new();
+        let mut ops_seen: HashSet<&'static str> = HashSet::new();
         for r in &a {
-            ops_seen.insert(r.body["op"].as_str().unwrap().to_owned());
+            ops_seen.insert(r.request.code().name());
         }
         for op in [
             "create",
@@ -402,6 +466,30 @@ mod tests {
             "load",
         ] {
             assert!(ops_seen.contains(op), "mix never produced {op:?}");
+        }
+    }
+
+    #[test]
+    fn script_round_trips_both_codecs() {
+        // The script IS the proptest corpus in miniature: every request
+        // the mix can produce must survive both codecs unchanged.
+        let cfg = WorkloadConfig {
+            sessions: 4,
+            requests: 200,
+            peers: 8,
+            seed: 11,
+        };
+        for r in build_script(&cfg) {
+            let v = json::encode_request(&r.request);
+            assert_eq!(
+                json::decode_request(&v).expect("JSON round trip"),
+                r.request
+            );
+            let b = crate::wire::binary::encode_request(&r.request);
+            assert_eq!(
+                crate::wire::binary::decode_request(&b).expect("binary round trip"),
+                r.request
+            );
         }
     }
 

@@ -1,22 +1,26 @@
 //! End-to-end replay equivalence: a concurrent sp-serve under memory
 //! pressure answers bit-identically to a single-threaded, no-eviction
-//! reference executor.
+//! reference executor — through **either codec and either I/O engine**.
 //!
-//! `acceptance_replay_is_bit_identical_under_eviction` is the PR's
-//! acceptance gate: the mixed 10k-request workload over 256 sessions
-//! runs against a live TCP server with a 64 MiB registry budget — far
-//! below the workload's resident footprint, so the registry must
-//! continuously evict LRU sessions to disk and restore them on their
-//! next request — across 8 closed-loop client connections and a
-//! multi-worker scheduler. Every one of the 10k responses must equal,
-//! bit for bit, what the reference executor computes with every session
-//! permanently resident.
+//! The two `acceptance_replay_*` tests are the acceptance gate: the
+//! mixed 10k-request workload over 256 sessions runs against a live TCP
+//! server with a 64 MiB registry budget — far below the workload's
+//! resident footprint, so the registry must continuously evict LRU
+//! sessions to disk and restore them on their next request — across 8
+//! closed-loop client connections and a multi-worker scheduler, once
+//! over protocol 1 (JSON frames) and once over protocol 2 (compact
+//! binary frames). Every one of the 10k responses must equal, bit for
+//! bit, what the reference executor computes with every session
+//! permanently resident (binary responses are decoded and re-encoded
+//! through the shared JSON encoder for the comparison, which is exactly
+//! the codec-equivalence claim).
 
 use std::path::PathBuf;
 
 use sp_json::{json, Value};
 use sp_serve::registry::RegistryConfig;
-use sp_serve::server::{call_once, Server, ServerConfig};
+use sp_serve::server::{call_once, IoModel, Server, ServerConfig};
+use sp_serve::wire::{Request, SessionOp, PROTO_BINARY, PROTO_JSON};
 use sp_serve::workload::{self, WorkloadConfig};
 
 fn test_dir(tag: &str) -> PathBuf {
@@ -31,6 +35,8 @@ fn run_replay(
     budget: usize,
     workers: usize,
     clients: usize,
+    io: IoModel,
+    proto: u8,
 ) -> (
     Vec<Value>,
     Vec<Value>,
@@ -41,6 +47,7 @@ fn run_replay(
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers,
+        io,
         registry: RegistryConfig {
             memory_budget: budget,
             spill_dir: dir.clone(),
@@ -51,11 +58,15 @@ fn run_replay(
     let addr = server.local_addr();
 
     let script = workload::build_script(cfg);
-    let explicit_evicts = script.iter().filter(|r| r.body["op"] == "evict").count();
-    let outcome = workload::replay(addr, &script, clients).expect("replay completes");
+    let explicit_evicts = script
+        .iter()
+        .filter(|r| matches!(&r.request, Request::Session(s) if matches!(s.op, SessionOp::Evict)))
+        .count();
+    let outcome = workload::replay(addr, &script, clients, proto).expect("replay completes");
     let stats = server.registry().stats();
 
-    // Protocol sanity: the registry-level ops answer inline.
+    // Protocol sanity: the registry-level ops answer inline (over a
+    // fresh implicit protocol-1 connection, whatever the replay spoke).
     let pong = call_once(addr, &json!({ "op": "ping", "id": 1 })).unwrap();
     assert_eq!(pong["ok"], true);
     assert_eq!(pong["result"]["pong"], true);
@@ -72,18 +83,18 @@ fn assert_identical(served: &[Value], reference: &[Value]) {
     }
 }
 
-/// Small smoke: generous budget (explicit `evict` ops still force
-/// spill/restore cycles), several workers and clients.
-#[test]
-fn quick_replay_is_bit_identical() {
-    let cfg = WorkloadConfig::quick();
-    let (served, reference, stats, _) = run_replay("quick", &cfg, 64 << 20, 4, 4);
+fn assert_quick_outcome(
+    cfg: &WorkloadConfig,
+    served: &[Value],
+    reference: &[Value],
+    stats: &sp_serve::registry::RegistryStats,
+) {
     assert_eq!(served.len(), cfg.requests);
     assert!(
         served.iter().all(|r| r["ok"] == true),
         "quick workload must not produce errors"
     );
-    assert_identical(&served, &reference);
+    assert_identical(served, reference);
     assert!(
         stats.sessions_evicted > 0,
         "evict ops must spill: {stats:?}"
@@ -95,13 +106,54 @@ fn quick_replay_is_bit_identical() {
     assert_eq!(stats.requests_served, cfg.requests as u64);
 }
 
-/// The acceptance gate (see module docs): 10k requests, 256 sessions,
-/// 64 MiB budget, bit-identical to the no-eviction reference.
+/// Small smoke on the default (reactor) engine: generous budget
+/// (explicit `evict` ops still force spill/restore cycles), several
+/// workers and clients.
 #[test]
-fn acceptance_replay_is_bit_identical_under_eviction() {
+fn quick_replay_is_bit_identical() {
+    let cfg = WorkloadConfig::quick();
+    let (served, reference, stats, _) =
+        run_replay("quick", &cfg, 64 << 20, 4, 4, IoModel::Reactor, PROTO_JSON);
+    assert_quick_outcome(&cfg, &served, &reference, &stats);
+}
+
+/// The same smoke over the negotiated binary protocol.
+#[test]
+fn quick_replay_is_bit_identical_over_binary() {
+    let cfg = WorkloadConfig::quick();
+    let (served, reference, stats, _) = run_replay(
+        "quick-bin",
+        &cfg,
+        64 << 20,
+        4,
+        4,
+        IoModel::Reactor,
+        PROTO_BINARY,
+    );
+    assert_quick_outcome(&cfg, &served, &reference, &stats);
+}
+
+/// The same smoke on the portable thread-per-connection engine: both
+/// I/O models must answer any request sequence identically.
+#[test]
+fn quick_replay_is_bit_identical_on_threaded_io() {
+    let cfg = WorkloadConfig::quick();
+    let (served, reference, stats, _) = run_replay(
+        "quick-threaded",
+        &cfg,
+        64 << 20,
+        4,
+        4,
+        IoModel::Threaded,
+        PROTO_JSON,
+    );
+    assert_quick_outcome(&cfg, &served, &reference, &stats);
+}
+
+fn acceptance_replay(tag: &str, proto: u8) {
     let cfg = WorkloadConfig::acceptance();
     let (served, reference, stats, explicit_evicts) =
-        run_replay("acceptance", &cfg, 64 << 20, 4, 8);
+        run_replay(tag, &cfg, 64 << 20, 4, 8, IoModel::Reactor, proto);
     assert_eq!(served.len(), 10_000);
     assert!(
         served.iter().all(|r| r["ok"] == true),
@@ -128,4 +180,19 @@ fn acceptance_replay_is_bit_identical_under_eviction() {
         "registry ended far above budget: {stats:?}"
     );
     assert_eq!(stats.requests_served, 10_000);
+}
+
+/// The acceptance gate (see module docs) over protocol 1: 10k requests,
+/// 256 sessions, 64 MiB budget, bit-identical to the no-eviction
+/// reference.
+#[test]
+fn acceptance_replay_is_bit_identical_under_eviction() {
+    acceptance_replay("acceptance", PROTO_JSON);
+}
+
+/// The acceptance gate again over protocol 2: the same 10k script
+/// through the compact binary codec, still bit-identical.
+#[test]
+fn acceptance_replay_is_bit_identical_over_binary() {
+    acceptance_replay("acceptance-bin", PROTO_BINARY);
 }

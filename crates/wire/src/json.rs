@@ -1,0 +1,949 @@
+//! The JSON codec (protocol version 1).
+//!
+//! Frames are compact JSON objects behind the shared length prefix.
+//! Requests carry a string `"op"`, an optional integer `"id"`, and —
+//! for session ops — a string `"session"` plus op-specific fields.
+//! Responses are the historical envelopes
+//!
+//! ```json
+//! { "id": 7, "ok": true, "result": { … } }
+//! { "id": 7, "ok": false, "error": "…", "code": "…" }
+//! ```
+//!
+//! (The `"code"` field is new with the typed protocol; v1 clients that
+//! only look at `"error"` are unaffected.)
+//!
+//! Decoding is deliberately lenient the way the pre-typed server was:
+//! unknown fields are ignored, field order is free, and an `"id"` that
+//! is not a non-negative integer is treated as absent. Encoding is
+//! canonical — one fixed key order per op — so the same typed value
+//! always produces the same bytes.
+
+use sp_core::{BackendMode, BestResponseMethod, LinkSet, Move, PeerId};
+use sp_dynamics::Termination;
+use sp_json::{decode_f64, encode_f64, json, Value};
+
+use crate::{
+    method_from_name, method_name, validate_name, BestResponseBody, DecodeError, DynamicsBody,
+    DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, Geometry, OpCode, Request, Response,
+    ResultBody, ServiceStats, SessionOp, SessionRequest, WireError,
+};
+
+/// The request `"id"` as the protocol's integer id: present and a
+/// non-negative integer, else absent. (Historical clients could send
+/// any numeric id; fractional ids were never produced by first-party
+/// tools and are narrowed out here so both codecs agree on the type.)
+#[must_use]
+pub fn request_id(request: &Value) -> Option<u64> {
+    let x = request.get("id").and_then(Value::as_f64)?;
+    (x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64).then_some(x as u64)
+}
+
+fn id_value(id: u64) -> Value {
+    // Ids travel as JSON numbers; f64 represents every id the protocol
+    // accepts from JSON (they were parsed out of an f64 to begin with).
+    Value::Number(id as f64)
+}
+
+// ---------------------------------------------------------------------
+// Request encoding
+// ---------------------------------------------------------------------
+
+fn links_value(links: &LinkSet) -> Value {
+    Value::Array(links.iter().map(|t| Value::from(t.index())).collect())
+}
+
+fn pair_value(a: usize, b: usize) -> Value {
+    Value::Array(vec![Value::from(a), Value::from(b)])
+}
+
+fn move_value(mv: &Move) -> Value {
+    match mv {
+        Move::SetStrategy { peer, links } => json!({
+            "set": json!({ "peer": peer.index(), "links": links_value(links) }),
+        }),
+        Move::AddLink { from, to } => json!({ "add": pair_value(from.index(), to.index()) }),
+        Move::RemoveLink { from, to } => json!({ "remove": pair_value(from.index(), to.index()) }),
+    }
+}
+
+fn geometry_fields(fields: &mut Vec<(String, Value)>, g: &Geometry) {
+    match g {
+        Geometry::Line(positions) => fields.push((
+            "positions_1d".to_owned(),
+            Value::Array(positions.iter().map(|x| Value::Number(*x)).collect()),
+        )),
+        Geometry::Points2D(points) => fields.push((
+            "points_2d".to_owned(),
+            Value::Array(
+                points
+                    .iter()
+                    .map(|(x, y)| Value::Array(vec![Value::Number(*x), Value::Number(*y)]))
+                    .collect(),
+            ),
+        )),
+        Geometry::Matrix(rows) => fields.push((
+            "matrix".to_owned(),
+            Value::Array(
+                rows.iter()
+                    .map(|r| Value::Array(r.iter().map(|x| Value::Number(*x)).collect()))
+                    .collect(),
+            ),
+        )),
+    }
+}
+
+/// Encodes a request in the canonical key order: `id`, `op`,
+/// `session`, then op-specific fields.
+#[must_use]
+pub fn encode_request(request: &Request) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if let Some(id) = request.id() {
+        fields.push(("id".to_owned(), id_value(id)));
+    }
+    fields.push(("op".to_owned(), Value::from(request.code().name())));
+    match request {
+        Request::Hello { proto, .. } => {
+            fields.push(("proto".to_owned(), Value::from(usize::from(*proto))));
+        }
+        Request::Ping { .. } | Request::Stats { .. } => {}
+        Request::Session(s) => {
+            fields.push(("session".to_owned(), Value::from(s.session.as_str())));
+            match &s.op {
+                SessionOp::Create(spec) => {
+                    fields.push(("alpha".to_owned(), Value::Number(spec.alpha)));
+                    if spec.mode == BackendMode::Sparse {
+                        fields.push(("mode".to_owned(), Value::from(spec.mode.as_str())));
+                    }
+                    geometry_fields(&mut fields, &spec.geometry);
+                    if !spec.links.is_empty() {
+                        fields.push((
+                            "links".to_owned(),
+                            Value::Array(
+                                spec.links.iter().map(|&(a, b)| pair_value(a, b)).collect(),
+                            ),
+                        ));
+                    }
+                }
+                SessionOp::Load
+                | SessionOp::SocialCost
+                | SessionOp::Stretch
+                | SessionOp::Snapshot
+                | SessionOp::Evict => {}
+                SessionOp::Apply { mv } => fields.push(("move".to_owned(), move_value(mv))),
+                SessionOp::ApplyBatch { moves } => fields.push((
+                    "moves".to_owned(),
+                    Value::Array(moves.iter().map(move_value).collect()),
+                )),
+                SessionOp::BestResponse { peer, method } => {
+                    fields.push(("peer".to_owned(), Value::from(peer.index())));
+                    fields.push(("method".to_owned(), Value::from(method_name(*method))));
+                }
+                SessionOp::NashGap { method } => {
+                    fields.push(("method".to_owned(), Value::from(method_name(*method))));
+                }
+                SessionOp::RunDynamics(spec) => {
+                    match spec.rule {
+                        DynamicsRule::Better => {
+                            fields.push(("rule".to_owned(), Value::from("better")));
+                        }
+                        DynamicsRule::Best(method) => {
+                            fields.push(("rule".to_owned(), Value::from("best")));
+                            fields.push(("method".to_owned(), Value::from(method_name(method))));
+                        }
+                    }
+                    if let Some(r) = spec.max_rounds {
+                        fields.push(("max_rounds".to_owned(), Value::from(r)));
+                    }
+                    if let Some(t) = spec.tolerance {
+                        fields.push(("tolerance".to_owned(), Value::Number(t)));
+                    }
+                    if let Some(d) = spec.detect_cycles {
+                        fields.push(("detect_cycles".to_owned(), Value::Bool(d)));
+                    }
+                }
+            }
+        }
+    }
+    Value::Object(fields)
+}
+
+// ---------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------
+
+fn parse_method(v: &Value) -> Result<BestResponseMethod, WireError> {
+    match v.get("method").and_then(Value::as_str) {
+        None => Ok(BestResponseMethod::Greedy),
+        Some(name) => method_from_name(name)
+            .ok_or_else(|| WireError::new(ErrorCode::BadField, format!("unknown method {name:?}"))),
+    }
+}
+
+fn parse_peer(v: &Value, key: &str) -> Result<PeerId, WireError> {
+    v.get(key)
+        .and_then(Value::as_usize)
+        .map(PeerId::new)
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadField,
+                format!("missing peer index field {key:?}"),
+            )
+        })
+}
+
+fn parse_index_pair(v: &Value, what: &str) -> Result<(PeerId, PeerId), WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadField, m);
+    let pair = v
+        .as_array()
+        .ok_or_else(|| bad(format!("{what} must be a [from, to] pair")))?;
+    match pair {
+        [a, b] => match (a.as_usize(), b.as_usize()) {
+            (Some(a), Some(b)) => Ok((PeerId::new(a), PeerId::new(b))),
+            _ => Err(bad(format!("{what} must hold peer indices"))),
+        },
+        _ => Err(bad(format!("{what} must be a [from, to] pair"))),
+    }
+}
+
+/// Parses one move object: `{"set": {"peer": i, "links": [..]}}`,
+/// `{"add": [from, to]}`, or `{"remove": [from, to]}`.
+///
+/// # Errors
+///
+/// Returns a [`ErrorCode::BadField`] error naming the malformed field.
+pub fn parse_move(v: &Value) -> Result<Move, WireError> {
+    let bad = |m: &str| WireError::new(ErrorCode::BadField, m);
+    if let Some(set) = v.get("set") {
+        let peer = parse_peer(set, "peer")?;
+        let links: LinkSet = set
+            .get("links")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("set move needs a 'links' array"))?
+            .iter()
+            .map(|t| {
+                t.as_usize()
+                    .ok_or_else(|| bad("links must hold peer indices"))
+            })
+            .collect::<Result<Vec<usize>, _>>()?
+            .into_iter()
+            .collect();
+        return Ok(Move::SetStrategy { peer, links });
+    }
+    if let Some(add) = v.get("add") {
+        let (from, to) = parse_index_pair(add, "add move")?;
+        return Ok(Move::AddLink { from, to });
+    }
+    if let Some(remove) = v.get("remove") {
+        let (from, to) = parse_index_pair(remove, "remove move")?;
+        return Ok(Move::RemoveLink { from, to });
+    }
+    Err(bad("move must be one of {set, add, remove}"))
+}
+
+fn parse_dynamics_spec(v: &Value) -> Result<DynamicsSpec, WireError> {
+    let bad = |m: &str| WireError::new(ErrorCode::BadField, m);
+    let rule = match v.get("rule").and_then(Value::as_str) {
+        None | Some("better") => DynamicsRule::Better,
+        Some("best") => DynamicsRule::Best(parse_method(v)?),
+        Some(other) => {
+            return Err(WireError::new(
+                ErrorCode::BadField,
+                format!("unknown dynamics rule {other:?}"),
+            ))
+        }
+    };
+    let max_rounds = match v.get("max_rounds") {
+        None => None,
+        Some(r) => Some(
+            r.as_usize()
+                .ok_or_else(|| bad("max_rounds must be a non-negative integer"))?,
+        ),
+    };
+    let tolerance = match v.get("tolerance") {
+        None => None,
+        Some(t) => Some(
+            t.as_f64()
+                .ok_or_else(|| bad("tolerance must be a number"))?,
+        ),
+    };
+    let detect_cycles = match v.get("detect_cycles") {
+        None => None,
+        Some(d) => Some(
+            d.as_bool()
+                .ok_or_else(|| bad("detect_cycles must be a boolean"))?,
+        ),
+    };
+    Ok(DynamicsSpec {
+        rule,
+        max_rounds,
+        tolerance,
+        detect_cycles,
+    })
+}
+
+fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, WireError> {
+    v.as_array()
+        .ok_or_else(|| WireError::new(ErrorCode::BadSpec, format!("{what} must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64().ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::BadSpec,
+                    format!("{what} entries must be numbers"),
+                )
+            })
+        })
+        .collect()
+}
+
+fn parse_mode(request: &Value) -> Result<BackendMode, WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadSpec, m);
+    match request.get("mode").filter(|m| !m.is_null()) {
+        None => Ok(BackendMode::Dense),
+        Some(m) => match m.as_str() {
+            Some("dense") => Ok(BackendMode::Dense),
+            Some("sparse") => Ok(BackendMode::Sparse),
+            Some(other) => Err(bad(format!("unknown mode {other:?}"))),
+            None => Err(bad("mode must be a string".to_owned())),
+        },
+    }
+}
+
+/// Parses the spec fields of a `create` request into a typed
+/// [`GameSpec`]. Structural validation (shapes, exactly one geometry,
+/// sparse-needs-line) happens here with the historical error messages;
+/// *semantic* validation (matrix symmetry, link bounds, …) stays with
+/// game construction in the server.
+///
+/// # Errors
+///
+/// Returns a [`ErrorCode::BadSpec`] error naming the problem.
+pub fn parse_game_spec(v: &Value) -> Result<GameSpec, WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadSpec, m);
+    let alpha = v
+        .get("alpha")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| bad("create needs a numeric 'alpha' field".to_owned()))?;
+    let mode = parse_mode(v)?;
+    let field = |key: &str| v.get(key).filter(|f| !f.is_null());
+    let positions_1d = field("positions_1d");
+    let points_2d = field("points_2d");
+    let matrix = field("matrix");
+    let geoms = usize::from(positions_1d.is_some())
+        + usize::from(points_2d.is_some())
+        + usize::from(matrix.is_some());
+    if geoms != 1 {
+        return Err(bad(format!(
+            "exactly one of positions_1d / points_2d / matrix must be given, found {geoms}"
+        )));
+    }
+    if mode == BackendMode::Sparse && positions_1d.is_none() {
+        return Err(bad(
+            "sparse mode requires a positions_1d geometry".to_owned()
+        ));
+    }
+
+    let geometry = if let Some(p) = positions_1d {
+        Geometry::Line(f64_array(p, "positions_1d")?)
+    } else if let Some(p) = points_2d {
+        let points = p
+            .as_array()
+            .ok_or_else(|| bad("points_2d must be an array".to_owned()))?
+            .iter()
+            .map(|pair| {
+                let xy = f64_array(pair, "points_2d entries")?;
+                match xy.as_slice() {
+                    [x, y] => Ok((*x, *y)),
+                    _ => Err(bad("points_2d entries must be [x, y] pairs".to_owned())),
+                }
+            })
+            .collect::<Result<_, WireError>>()?;
+        Geometry::Points2D(points)
+    } else {
+        let rows = matrix
+            .ok_or_else(|| bad("spec needs positions_1d, points_2d, or matrix".to_owned()))?
+            .as_array()
+            .ok_or_else(|| bad("matrix must be an array of rows".to_owned()))?
+            .iter()
+            .map(|row| f64_array(row, "matrix rows"))
+            .collect::<Result<_, WireError>>()?;
+        Geometry::Matrix(rows)
+    };
+
+    let links = match field("links") {
+        None => Vec::new(),
+        Some(l) => l
+            .as_array()
+            .ok_or_else(|| bad("links must be an array".to_owned()))?
+            .iter()
+            .map(|pair| {
+                let p = pair
+                    .as_array()
+                    .ok_or_else(|| bad("links entries must be [from, to] pairs".to_owned()))?;
+                match p {
+                    [a, b] => match (a.as_usize(), b.as_usize()) {
+                        (Some(a), Some(b)) => Ok((a, b)),
+                        _ => Err(bad(
+                            "links entries must be [from, to] index pairs".to_owned()
+                        )),
+                    },
+                    _ => Err(bad("links entries must be [from, to] pairs".to_owned())),
+                }
+            })
+            .collect::<Result<_, WireError>>()?,
+    };
+    Ok(GameSpec {
+        alpha,
+        geometry,
+        links,
+        mode,
+    })
+}
+
+/// Decodes one request frame.
+///
+/// # Errors
+///
+/// Returns the typed failure together with whatever `id` the frame
+/// carried, so the caller can build a proper error envelope.
+pub fn decode_request(v: &Value) -> Result<Request, DecodeError> {
+    let id = request_id(v);
+    let fail = |code: ErrorCode, m: String| {
+        Err(DecodeError {
+            id,
+            error: WireError::new(code, m),
+        })
+    };
+    let Some(op_name) = v.get("op").and_then(Value::as_str) else {
+        return fail(
+            ErrorCode::BadRequest,
+            "request needs a string 'op' field".to_owned(),
+        );
+    };
+    let Some(code) = OpCode::from_name(op_name) else {
+        return fail(ErrorCode::UnknownOp, format!("unknown op {op_name:?}"));
+    };
+    match code {
+        OpCode::Hello => {
+            let Some(proto) = v.get("proto").and_then(Value::as_usize) else {
+                return fail(
+                    ErrorCode::BadProto,
+                    "hello needs an integer 'proto' field".to_owned(),
+                );
+            };
+            let Ok(proto) = u8::try_from(proto) else {
+                return fail(
+                    ErrorCode::BadProto,
+                    format!("unsupported protocol version {proto}"),
+                );
+            };
+            return Ok(Request::Hello { id, proto });
+        }
+        OpCode::Ping => return Ok(Request::Ping { id }),
+        OpCode::Stats => return Ok(Request::Stats { id }),
+        _ => {}
+    }
+    let Some(session) = v.get("session").and_then(Value::as_str) else {
+        return fail(
+            ErrorCode::BadRequest,
+            "request needs a string 'session' field".to_owned(),
+        );
+    };
+    let session = session.to_owned();
+    if let Err(e) = validate_name(&session) {
+        return Err(DecodeError { id, error: e });
+    }
+    let wrap = |r: Result<SessionOp, WireError>| match r {
+        Ok(op) => Ok(Request::Session(SessionRequest {
+            id,
+            session: session.clone(),
+            op,
+        })),
+        Err(error) => Err(DecodeError { id, error }),
+    };
+    match code {
+        OpCode::Create => wrap(parse_game_spec(v).map(SessionOp::Create)),
+        OpCode::Load => wrap(Ok(SessionOp::Load)),
+        OpCode::Apply => wrap(
+            v.get("move")
+                .ok_or_else(|| WireError::new(ErrorCode::BadField, "apply needs a 'move' object"))
+                .and_then(parse_move)
+                .map(|mv| SessionOp::Apply { mv }),
+        ),
+        OpCode::ApplyBatch => wrap(
+            v.get("moves")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadField, "apply_batch needs a 'moves' array")
+                })
+                .and_then(|moves| {
+                    moves
+                        .iter()
+                        .map(parse_move)
+                        .collect::<Result<Vec<Move>, WireError>>()
+                })
+                .map(|moves| SessionOp::ApplyBatch { moves }),
+        ),
+        OpCode::BestResponse => wrap(parse_peer(v, "peer").and_then(|peer| {
+            Ok(SessionOp::BestResponse {
+                peer,
+                method: parse_method(v)?,
+            })
+        })),
+        OpCode::NashGap => wrap(parse_method(v).map(|method| SessionOp::NashGap { method })),
+        OpCode::SocialCost => wrap(Ok(SessionOp::SocialCost)),
+        OpCode::Stretch => wrap(Ok(SessionOp::Stretch)),
+        OpCode::RunDynamics => wrap(parse_dynamics_spec(v).map(SessionOp::RunDynamics)),
+        OpCode::Snapshot => wrap(Ok(SessionOp::Snapshot)),
+        OpCode::Evict => wrap(Ok(SessionOp::Evict)),
+        // Already returned above; kept as a typed error so no panic can
+        // live on the request path.
+        OpCode::Hello | OpCode::Ping | OpCode::Stats => fail(
+            ErrorCode::BadRequest,
+            format!("op {op_name:?} cannot target a session"),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------
+
+fn social_cost_value(sc: &crate::SocialCostBody) -> Value {
+    json!({
+        "link_cost": encode_f64(sc.link_cost),
+        "stretch_cost": encode_f64(sc.stretch_cost),
+        "total": encode_f64(sc.total),
+    })
+}
+
+fn termination_value(t: &Termination) -> Value {
+    match t {
+        Termination::Converged { rounds } => json!({ "kind": "converged", "rounds": *rounds }),
+        Termination::Cycle {
+            first_seen_step,
+            period_steps,
+            moves_in_cycle,
+        } => json!({
+            "kind": "cycle",
+            "first_seen_step": *first_seen_step,
+            "period_steps": *period_steps,
+            "moves_in_cycle": *moves_in_cycle,
+        }),
+        Termination::RoundLimit => json!({ "kind": "round_limit" }),
+    }
+}
+
+fn usize_array(xs: &[usize]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::from(x)).collect())
+}
+
+/// Encodes a result body exactly as the historical untyped builders in
+/// `sp-serve` did — the bit-identity contract compares these bytes.
+#[must_use]
+pub fn encode_result(body: &ResultBody) -> Value {
+    match body {
+        ResultBody::Hello { proto } => json!({ "proto": usize::from(*proto) }),
+        ResultBody::Pong => json!({ "pong": true }),
+        ResultBody::Stats(s) => json!({
+            "requests_served": s.requests_served as usize,
+            "sessions_created": s.sessions_created as usize,
+            "sessions_evicted": s.sessions_evicted as usize,
+            "sessions_restored": s.sessions_restored as usize,
+            "queue_depth_hwm": s.queue_depth_hwm,
+            "resident_sessions": s.resident_sessions,
+            "resident_bytes": s.resident_bytes,
+        }),
+        ResultBody::Created {
+            n,
+            alpha,
+            links,
+            mode,
+        } => json!({
+            "n": *n,
+            "alpha": Value::Number(*alpha),
+            "links": *links,
+            "mode": mode.as_str(),
+        }),
+        ResultBody::Loaded { mode } => json!({ "loaded": true, "mode": mode.as_str() }),
+        ResultBody::Applied { previous } => json!({ "previous": usize_array(previous) }),
+        ResultBody::BatchApplied { previous } => json!({
+            "previous": Value::Array(previous.iter().map(|row| usize_array(row)).collect()),
+        }),
+        ResultBody::BestResponse(br) => json!({
+            "peer": br.peer,
+            "links": usize_array(&br.links),
+            "cost": encode_f64(br.cost),
+            "current_cost": encode_f64(br.current_cost),
+            "exact": br.exact,
+        }),
+        ResultBody::NashGap { gap } => json!({ "gap": encode_f64(*gap) }),
+        ResultBody::SocialCost(sc) => social_cost_value(sc),
+        ResultBody::Stretch { max_stretch } => {
+            json!({ "max_stretch": encode_f64(*max_stretch) })
+        }
+        ResultBody::Dynamics(d) => json!({
+            "termination": termination_value(&d.termination),
+            "steps": d.steps,
+            "moves": d.moves,
+            "social_cost": social_cost_value(&d.social_cost),
+        }),
+        ResultBody::Persisted => json!({ "persisted": true }),
+        ResultBody::Evicted => json!({ "evicted": true }),
+    }
+}
+
+/// Encodes a response envelope: `{id?, ok, result}` on success,
+/// `{id?, ok, error, code}` on failure.
+#[must_use]
+pub fn encode_response(response: &Response) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(4);
+    if let Some(id) = response.id {
+        fields.push(("id".to_owned(), id_value(id)));
+    }
+    match &response.outcome {
+        Ok(body) => {
+            fields.push(("ok".to_owned(), Value::Bool(true)));
+            fields.push(("result".to_owned(), encode_result(body)));
+        }
+        Err(e) => {
+            fields.push(("ok".to_owned(), Value::Bool(false)));
+            fields.push(("error".to_owned(), Value::from(e.message.as_str())));
+            fields.push(("code".to_owned(), Value::from(e.code.as_str())));
+        }
+    }
+    Value::Object(fields)
+}
+
+// ---------------------------------------------------------------------
+// Response decoding
+// ---------------------------------------------------------------------
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, WireError> {
+    v.get(key).and_then(decode_f64).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadFrame,
+            format!("result needs a numeric {key:?} field"),
+        )
+    })
+}
+
+fn need_usize(v: &Value, key: &str) -> Result<usize, WireError> {
+    v.get(key).and_then(Value::as_usize).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadFrame,
+            format!("result needs an integer {key:?} field"),
+        )
+    })
+}
+
+fn need_usize_array(v: &Value) -> Result<Vec<usize>, WireError> {
+    v.as_array()
+        .ok_or_else(|| WireError::new(ErrorCode::BadFrame, "expected an index array"))?
+        .iter()
+        .map(|x| {
+            x.as_usize()
+                .ok_or_else(|| WireError::new(ErrorCode::BadFrame, "expected peer indices"))
+        })
+        .collect()
+}
+
+fn decode_mode(v: &Value) -> Result<BackendMode, WireError> {
+    match v.get("mode").and_then(Value::as_str) {
+        Some("dense") => Ok(BackendMode::Dense),
+        Some("sparse") => Ok(BackendMode::Sparse),
+        _ => Err(WireError::new(
+            ErrorCode::BadFrame,
+            "result needs a backend 'mode' field",
+        )),
+    }
+}
+
+fn decode_social_cost(v: &Value) -> Result<crate::SocialCostBody, WireError> {
+    Ok(crate::SocialCostBody {
+        link_cost: need_f64(v, "link_cost")?,
+        stretch_cost: need_f64(v, "stretch_cost")?,
+        total: need_f64(v, "total")?,
+    })
+}
+
+fn decode_termination(v: &Value) -> Result<Termination, WireError> {
+    match v.get("kind").and_then(Value::as_str) {
+        Some("converged") => Ok(Termination::Converged {
+            rounds: need_usize(v, "rounds")?,
+        }),
+        Some("cycle") => Ok(Termination::Cycle {
+            first_seen_step: need_usize(v, "first_seen_step")?,
+            period_steps: need_usize(v, "period_steps")?,
+            moves_in_cycle: need_usize(v, "moves_in_cycle")?,
+        }),
+        Some("round_limit") => Ok(Termination::RoundLimit),
+        _ => Err(WireError::new(
+            ErrorCode::BadFrame,
+            "unknown dynamics termination kind",
+        )),
+    }
+}
+
+fn decode_result(v: &Value, op: OpCode) -> Result<ResultBody, WireError> {
+    Ok(match op {
+        OpCode::Hello => ResultBody::Hello {
+            proto: u8::try_from(need_usize(v, "proto")?).map_err(|_| {
+                WireError::new(ErrorCode::BadFrame, "hello result proto out of range")
+            })?,
+        },
+        OpCode::Ping => ResultBody::Pong,
+        OpCode::Stats => ResultBody::Stats(ServiceStats {
+            requests_served: need_usize(v, "requests_served")? as u64,
+            sessions_created: need_usize(v, "sessions_created")? as u64,
+            sessions_evicted: need_usize(v, "sessions_evicted")? as u64,
+            sessions_restored: need_usize(v, "sessions_restored")? as u64,
+            queue_depth_hwm: need_usize(v, "queue_depth_hwm")?,
+            resident_sessions: need_usize(v, "resident_sessions")?,
+            resident_bytes: need_usize(v, "resident_bytes")?,
+        }),
+        OpCode::Create => ResultBody::Created {
+            n: need_usize(v, "n")?,
+            alpha: need_f64(v, "alpha")?,
+            links: need_usize(v, "links")?,
+            mode: decode_mode(v)?,
+        },
+        OpCode::Load => ResultBody::Loaded {
+            mode: decode_mode(v)?,
+        },
+        OpCode::Apply => ResultBody::Applied {
+            previous: v
+                .get("previous")
+                .map(need_usize_array)
+                .transpose()?
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadFrame, "apply result needs 'previous'")
+                })?,
+        },
+        OpCode::ApplyBatch => ResultBody::BatchApplied {
+            previous: v
+                .get("previous")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadFrame, "apply_batch result needs 'previous'")
+                })?
+                .iter()
+                .map(need_usize_array)
+                .collect::<Result<_, _>>()?,
+        },
+        OpCode::BestResponse => ResultBody::BestResponse(BestResponseBody {
+            peer: need_usize(v, "peer")?,
+            links: v
+                .get("links")
+                .map(need_usize_array)
+                .transpose()?
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadFrame, "best_response result needs 'links'")
+                })?,
+            cost: need_f64(v, "cost")?,
+            current_cost: need_f64(v, "current_cost")?,
+            exact: v.get("exact").and_then(Value::as_bool).ok_or_else(|| {
+                WireError::new(ErrorCode::BadFrame, "best_response result needs 'exact'")
+            })?,
+        }),
+        OpCode::NashGap => ResultBody::NashGap {
+            gap: need_f64(v, "gap")?,
+        },
+        OpCode::SocialCost => ResultBody::SocialCost(decode_social_cost(v)?),
+        OpCode::Stretch => ResultBody::Stretch {
+            max_stretch: need_f64(v, "max_stretch")?,
+        },
+        OpCode::RunDynamics => {
+            let termination = v.get("termination").ok_or_else(|| {
+                WireError::new(ErrorCode::BadFrame, "dynamics result needs 'termination'")
+            })?;
+            ResultBody::Dynamics(DynamicsBody {
+                termination: decode_termination(termination)?,
+                steps: need_usize(v, "steps")?,
+                moves: need_usize(v, "moves")?,
+                social_cost: v
+                    .get("social_cost")
+                    .map(decode_social_cost)
+                    .transpose()?
+                    .ok_or_else(|| {
+                        WireError::new(ErrorCode::BadFrame, "dynamics result needs 'social_cost'")
+                    })?,
+            })
+        }
+        OpCode::Snapshot => ResultBody::Persisted,
+        OpCode::Evict => ResultBody::Evicted,
+    })
+}
+
+/// Decodes one response frame. The `op` hint names the request the
+/// response answers — JSON result bodies are not self-describing (an
+/// empty `{"previous": []}` could be `apply` or `apply_batch`), so the
+/// caller, who matched the response to its request, supplies it.
+///
+/// # Errors
+///
+/// Returns a [`ErrorCode::BadFrame`] failure (with the frame's `id`
+/// when present) on any shape mismatch.
+pub fn decode_response(v: &Value, op: OpCode) -> Result<Response, DecodeError> {
+    let id = request_id(v);
+    let fail = |error: WireError| DecodeError { id, error };
+    let Some(ok) = v.get("ok").and_then(Value::as_bool) else {
+        return Err(fail(WireError::new(
+            ErrorCode::BadFrame,
+            "response needs a boolean 'ok' field",
+        )));
+    };
+    if ok {
+        let result = v.get("result").ok_or_else(|| {
+            fail(WireError::new(
+                ErrorCode::BadFrame,
+                "ok response needs 'result'",
+            ))
+        })?;
+        let body = decode_result(result, op).map_err(fail)?;
+        Ok(Response::ok(id, body))
+    } else {
+        let message = v
+            .get("error")
+            .and_then(Value::as_str)
+            .ok_or_else(|| {
+                fail(WireError::new(
+                    ErrorCode::BadFrame,
+                    "error response needs 'error'",
+                ))
+            })?
+            .to_owned();
+        // Pre-typed servers sent no "code"; classify those as the
+        // generic envelope-level failure.
+        let code = v
+            .get("code")
+            .and_then(Value::as_str)
+            .and_then(ErrorCode::parse)
+            .unwrap_or(ErrorCode::BadRequest);
+        Ok(Response::err(id, WireError { code, message }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_canonically() {
+        let req = Request::Session(SessionRequest {
+            id: Some(7),
+            session: "s0".to_owned(),
+            op: SessionOp::BestResponse {
+                peer: PeerId::new(3),
+                method: BestResponseMethod::LocalSearch,
+            },
+        });
+        let v = encode_request(&req);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"id":7,"op":"best_response","session":"s0","peer":3,"method":"local_search"}"#
+        );
+        assert_eq!(decode_request(&v).unwrap(), req);
+    }
+
+    #[test]
+    fn create_encoding_matches_the_historical_shape() {
+        let req = Request::Session(SessionRequest {
+            id: None,
+            session: "s1".to_owned(),
+            op: SessionOp::Create(GameSpec {
+                alpha: 1.5,
+                geometry: Geometry::Line(vec![0.0, 2.0]),
+                links: vec![(0, 1), (1, 0)],
+                mode: BackendMode::Dense,
+            }),
+        });
+        let v = encode_request(&req);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"op":"create","session":"s1","alpha":1.5,"positions_1d":[0,2],"links":[[0,1],[1,0]]}"#
+        );
+        assert_eq!(decode_request(&v).unwrap(), req);
+    }
+
+    #[test]
+    fn decode_errors_carry_codes_and_ids() {
+        let e = decode_request(&json!({ "id": 4, "session": "x" })).unwrap_err();
+        assert_eq!(e.id, Some(4));
+        assert_eq!(e.error.code, ErrorCode::BadRequest);
+
+        let e = decode_request(&json!({ "op": "warp", "session": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::UnknownOp);
+        assert_eq!(e.error.message, "unknown op \"warp\"");
+
+        let e = decode_request(&json!({ "op": "social_cost", "session": "../x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadName);
+
+        let e = decode_request(&json!({ "op": "apply", "session": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadField);
+
+        let e = decode_request(&json!({ "op": "create", "session": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadSpec);
+
+        let e = decode_request(&json!({ "op": "hello", "proto": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadProto);
+    }
+
+    #[test]
+    fn response_envelopes_round_trip() {
+        let ok = Response::ok(
+            Some(3),
+            ResultBody::Applied {
+                previous: vec![1, 4],
+            },
+        );
+        let v = encode_response(&ok);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"id":3,"ok":true,"result":{"previous":[1,4]}}"#
+        );
+        assert_eq!(decode_response(&v, OpCode::Apply).unwrap(), ok);
+
+        let err = Response::err(
+            None,
+            WireError::new(ErrorCode::UnknownSession, "unknown session \"x\""),
+        );
+        let v = encode_response(&err);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"ok":false,"error":"unknown session \"x\"","code":"unknown_session"}"#
+        );
+        assert_eq!(decode_response(&v, OpCode::SocialCost).unwrap(), err);
+    }
+
+    #[test]
+    fn infinities_survive_result_round_trips() {
+        let body = ResultBody::Stretch {
+            max_stretch: f64::INFINITY,
+        };
+        let v = encode_result(&body);
+        assert_eq!(v.to_string_compact(), r#"{"max_stretch":"inf"}"#);
+        assert_eq!(decode_result(&v, OpCode::Stretch).unwrap(), body);
+    }
+
+    #[test]
+    fn dynamics_round_trip() {
+        let body = ResultBody::Dynamics(DynamicsBody {
+            termination: Termination::Cycle {
+                first_seen_step: 4,
+                period_steps: 2,
+                moves_in_cycle: 2,
+            },
+            steps: 9,
+            moves: 5,
+            social_cost: crate::SocialCostBody {
+                link_cost: 3.0,
+                stretch_cost: f64::INFINITY,
+                total: f64::INFINITY,
+            },
+        });
+        let v = encode_result(&body);
+        assert_eq!(decode_result(&v, OpCode::RunDynamics).unwrap(), body);
+    }
+}
