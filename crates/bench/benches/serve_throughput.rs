@@ -30,9 +30,10 @@
 //! Snapshot committed as `BENCH_serve_throughput.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sp_core::BackendMode;
+use sp_core::{BackendMode, Move, PeerId};
+use sp_serve::config::{Durability, ServeConfig};
 use sp_serve::registry::{RegistryConfig, SessionRegistry};
-use sp_serve::server::{Server, ServerConfig};
+use sp_serve::server::Server;
 use sp_serve::wire::{Codec, GameSpec, Geometry, SessionOp, SessionRequest, PROTO_JSON};
 use sp_serve::workload::{self, WorkloadConfig};
 
@@ -80,16 +81,12 @@ fn run_served(
     clients: usize,
 ) -> (Vec<sp_json::Value>, sp_serve::registry::RegistryStats) {
     let dir = spill_dir(tag);
-    let server = Server::start(ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        workers,
-        registry: RegistryConfig {
-            memory_budget: budget,
-            spill_dir: dir.clone(),
-            ..RegistryConfig::default()
-        },
-        ..ServerConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::new()
+            .workers(workers)
+            .memory_budget(budget)
+            .spill_dir(dir.clone()),
+    )
     .expect("server starts");
     let script = workload::build_script(cfg);
     let outcome =
@@ -166,6 +163,144 @@ fn bench_serve_throughput(c: &mut Criterion) {
         "serve_counters/sessions_restored",
         stats.sessions_restored as f64,
         "sessions",
+    );
+
+    // ---- WAL counter pass: durability accounting + recovery replay -----
+    // The same fixed single-worker/single-client workload with the
+    // write-ahead log on (fsync elided — the commit cadence, not the
+    // syscall, is what the counters measure). Closed-loop execution
+    // makes every counter deterministic: records appended, group-commit
+    // batches, logical fsync points. Shutting the server down and
+    // recovering a fresh registry from the same spill directory then
+    // pins how many records startup replays — the committed proof the
+    // recovery path actually runs.
+    let wal_mode = Durability::Wal {
+        group_commit: BURST,
+        fsync: false,
+    };
+    let dir = spill_dir("wal");
+    let server = Server::start(
+        ServeConfig::new()
+            .workers(1)
+            .memory_budget(COUNTER_BUDGET)
+            .spill_dir(dir.clone())
+            .durability(wal_mode),
+    )
+    .expect("server starts");
+    let script = workload::build_script(&COUNTER_CFG);
+    let outcome =
+        workload::replay(server.local_addr(), &script, 1, PROTO_JSON).expect("replay runs");
+    if let Err((k, s, r)) = workload::verify(&outcome.responses, &reference) {
+        panic!(
+            "WAL-mode response {k} diverged from reference:\n  served:    {s}\n  reference: {r}"
+        );
+    }
+    let wal_stats = server.registry().stats();
+    server.shutdown();
+    assert!(
+        wal_stats.wal_records > 0 && wal_stats.wal_batches > 0 && wal_stats.wal_fsyncs > 0,
+        "the WAL pass must log, batch, and commit: {wal_stats:?}"
+    );
+    let recovered = SessionRegistry::new(RegistryConfig {
+        memory_budget: COUNTER_BUDGET,
+        spill_dir: dir.clone(),
+        durability: wal_mode,
+        ..RegistryConfig::default()
+    })
+    .expect("recovery succeeds");
+    let replays = recovered.stats().wal_replays;
+    assert!(
+        replays > 0,
+        "recovery must replay the records appended since each session's last compaction"
+    );
+    recovered.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "WAL workload: {} records appended over {} batches ({} commit points), \
+         {} replayed on recovery — all responses bit-identical to the reference",
+        wal_stats.wal_records, wal_stats.wal_batches, wal_stats.wal_fsyncs, replays,
+    );
+    c.report_value("wal/records", wal_stats.wal_records as f64, "records");
+    c.report_value("wal/batches", wal_stats.wal_batches as f64, "batches");
+    c.report_value("wal/fsyncs", wal_stats.wal_fsyncs as f64, "fsyncs");
+    c.report_value("wal/replays", replays as f64, "records");
+
+    // ---- group-commit counter: a pipelined burst is one commit ---------
+    // BURST mutating requests queued before the single worker starts
+    // drain as one scheduler batch (the batch cap equals the configured
+    // group commit), so the whole burst costs exactly one commit point —
+    // the group-commit payoff, pinned as a counter.
+    let dir = spill_dir("wal-burst");
+    let registry = SessionRegistry::new(RegistryConfig {
+        spill_dir: dir.clone(),
+        durability: wal_mode,
+        ..RegistryConfig::default()
+    })
+    .expect("registry starts");
+    let mut receivers = Vec::new();
+    receivers.push(
+        registry
+            .submit(SessionRequest {
+                id: None,
+                session: "burst".to_owned(),
+                op: SessionOp::Create(GameSpec {
+                    alpha: 1.0,
+                    geometry: Geometry::Line(vec![0.0, 1.0, 3.0, 4.0]),
+                    links: vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+                    mode: BackendMode::Dense,
+                }),
+            })
+            .expect("accepting"),
+    );
+    for k in 1..BURST {
+        // Alternate adding and removing the same chord so every move in
+        // the burst is valid when its turn comes.
+        let mv = if k % 2 == 1 {
+            Move::AddLink {
+                from: PeerId::new(0),
+                to: PeerId::new(2),
+            }
+        } else {
+            Move::RemoveLink {
+                from: PeerId::new(0),
+                to: PeerId::new(2),
+            }
+        };
+        receivers.push(
+            registry
+                .submit(SessionRequest {
+                    id: None,
+                    session: "burst".to_owned(),
+                    op: SessionOp::Apply { mv },
+                })
+                .expect("accepting"),
+        );
+    }
+    let workers = registry.spawn_workers(1);
+    for rx in receivers {
+        assert!(
+            rx.recv().expect("response").outcome.is_ok(),
+            "burst request failed"
+        );
+    }
+    let burst_stats = registry.stats();
+    registry.shutdown();
+    for w in workers {
+        w.join().expect("worker joins");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        burst_stats.wal_records, BURST as u64,
+        "every burst request must append one record: {burst_stats:?}"
+    );
+    assert_eq!(
+        burst_stats.wal_fsyncs, 1,
+        "a full pipelined burst must group-commit as one point: {burst_stats:?}"
+    );
+    c.report_value(
+        "wal/burst_commit_points",
+        burst_stats.wal_fsyncs as f64,
+        "fsyncs",
     );
 
     // ---- queue-depth counter: a scripted burst into an idle pool -------

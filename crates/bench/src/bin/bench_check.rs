@@ -175,8 +175,15 @@ fn more_is_worse(unit: &str) -> Option<bool> {
         // `wakeups` counts syscall-equivalent scheduler wakeups in the
         // serve I/O model: more wakeups means the reactor's batching
         // regressed toward one-wakeup-per-request.
+        // `records`, `batches`, and `fsyncs` are the WAL counters for a
+        // fixed deterministic workload: records appended, group-commit
+        // batches, and durability sync points. All count write-path
+        // work — drift upward means ops started logging twice, group
+        // commit stopped grouping, or recovery replays grew.
         "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" | "requests"
-        | "sessions" | "depth" | "bytes" | "wakeups" => Some(true),
+        | "sessions" | "depth" | "bytes" | "wakeups" | "records" | "batches" | "fsyncs" => {
+            Some(true)
+        }
         // `hits` counts queries a cache or certified bound absorbed:
         // fewer means the short-circuit stopped firing. `frames` counts
         // pipelined frames that shared a wakeup — fewer means the

@@ -78,6 +78,11 @@ impl Config {
                 "crates/serve/src/snapshot.rs",
                 "crates/serve/src/spec.rs",
                 "crates/serve/src/reactor.rs",
+                // The durability layer: recovery and the audit ops read
+                // attacker-tamperable files, so corruption must surface
+                // as typed errors, never a panic.
+                "crates/serve/src/wal.rs",
+                "crates/serve/src/config.rs",
                 // The protocol layer: both codecs sit on every request
                 // path, so a malformed frame must surface as a typed
                 // `WireError`, never a panic.

@@ -4,6 +4,7 @@
 //! sp-loadgen --addr HOST:PORT [--clients C] [--sessions S]
 //!            [--requests R] [--peers N] [--seed SEED]
 //!            [--proto 1|2] [--quick | --acceptance] [--verify]
+//!            [--crash-at K | --resume-at K]
 //! ```
 //!
 //! Builds the deterministic mixed workload (`sp_serve::workload`),
@@ -15,6 +16,15 @@
 //! numbers are emitted as one sp-json object on the final line. With
 //! `--verify` it also executes the single-threaded no-eviction reference
 //! in-process and fails unless the served responses are bit-identical.
+//!
+//! The crash gate splits one script across a server restart:
+//! `--crash-at K` replays (and verifies) only requests `[0, K)` — every
+//! one acknowledged before exit, so a `kill -9` immediately afterwards
+//! models a crash with K committed requests — and `--resume-at K`
+//! replays `[K, end)` against the restarted server and verifies against
+//! the *same* reference slice, proving the recovered state is
+//! bit-identical to never having crashed. Resume mode finishes with a
+//! `wal_verify` audit sweep over every workload session.
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +33,9 @@ use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
 use sp_json::{json, Value};
+use sp_serve::client::ServeClient;
 use sp_serve::latency::{format_ns, Histogram};
-use sp_serve::server::call_once;
+use sp_serve::wire::{json as wire_json, Request, ResultBody};
 use sp_serve::workload::{self, WorkloadConfig};
 
 struct Args {
@@ -32,12 +43,15 @@ struct Args {
     clients: usize,
     proto: u8,
     verify: bool,
+    crash_at: Option<usize>,
+    resume_at: Option<usize>,
     cfg: WorkloadConfig,
 }
 
 fn usage() -> String {
     "usage: sp-loadgen --addr HOST:PORT [--clients C] [--sessions S] [--requests R] \
-     [--peers N] [--seed SEED] [--proto 1|2] [--quick | --acceptance] [--verify]"
+     [--peers N] [--seed SEED] [--proto 1|2] [--quick | --acceptance] [--verify] \
+     [--crash-at K | --resume-at K]"
         .to_owned()
 }
 
@@ -47,6 +61,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         clients: 8,
         proto: 1,
         verify: false,
+        crash_at: None,
+        resume_at: None,
         cfg: WorkloadConfig::quick(),
     };
     let mut it = raw.into_iter();
@@ -90,6 +106,12 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 };
             }
             "--verify" => args.verify = true,
+            "--crash-at" => {
+                args.crash_at = Some(parse_usize("--crash-at", value("--crash-at")?)?);
+            }
+            "--resume-at" => {
+                args.resume_at = Some(parse_usize("--resume-at", value("--resume-at")?)?);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -104,6 +126,9 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     }
     if args.addr.is_empty() {
         return Err(format!("--addr is required\n{}", usage()));
+    }
+    if args.crash_at.is_some() && args.resume_at.is_some() {
+        return Err("--crash-at and --resume-at are mutually exclusive".to_owned());
     }
     Ok(args)
 }
@@ -122,6 +147,25 @@ fn per_op_histograms(
             .record(nanos);
     }
     by_op
+}
+
+/// Audits every workload session's WAL over the wire: `wal_verify`
+/// re-scans each log (CRC + hash chain) server-side. Any failure —
+/// including `bad_frame`/`chain_broken` from a tampered log — is fatal.
+fn audit_sessions(addr: std::net::SocketAddr, proto: u8, sessions: usize) -> Result<(), String> {
+    let mut client =
+        ServeClient::connect(addr, proto).map_err(|e| format!("audit connect failed: {e}"))?;
+    let mut records = 0u64;
+    for i in 0..sessions {
+        let name = workload::session_name(i);
+        match client.wal_verify(&name) {
+            Ok(ResultBody::WalVerified { records: n, .. }) => records += n,
+            Ok(other) => return Err(format!("{name}: unexpected audit body {other:?}")),
+            Err(e) => return Err(format!("{name}: wal_verify failed: {e}")),
+        }
+    }
+    println!("wal audit: {sessions} session logs verified clean ({records} records)");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -149,7 +193,31 @@ fn main() -> ExitCode {
         args.proto,
     );
     let script = workload::build_script(&args.cfg);
-    let outcome = match workload::replay(addr, &script, args.clients, args.proto) {
+    // The crash gate replays a window of the full script; the mapping of
+    // session i to client i % C depends only on session_index, so a
+    // window replays over the same connections it would in a full run.
+    let lo = args.resume_at.unwrap_or(0);
+    let hi = args.crash_at.unwrap_or(script.len());
+    if lo > script.len() || hi > script.len() || lo >= hi {
+        eprintln!(
+            "sp-loadgen: window [{lo}, {hi}) is empty or outside the {}-request script",
+            script.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let window = &script[lo..hi];
+    if lo > 0 || hi < script.len() {
+        println!(
+            "window: requests [{lo}, {hi}) of {} ({} mode)",
+            script.len(),
+            if args.crash_at.is_some() {
+                "crash"
+            } else {
+                "resume"
+            },
+        );
+    }
+    let outcome = match workload::replay(addr, window, args.clients, args.proto) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("sp-loadgen: replay failed: {e}");
@@ -164,12 +232,12 @@ fn main() -> ExitCode {
     let secs = outcome.wall.as_secs_f64();
     println!(
         "replayed {} requests in {:.2}s ({:.0} req/s), {} failed",
-        script.len(),
+        window.len(),
         secs,
-        script.len() as f64 / secs.max(1e-9),
+        window.len() as f64 / secs.max(1e-9),
         failed,
     );
-    let by_op = per_op_histograms(&script, &outcome.latencies);
+    let by_op = per_op_histograms(window, &outcome.latencies);
     println!("per-op latency (closed-loop, includes queueing):");
     for (op, h) in &by_op {
         println!(
@@ -181,8 +249,16 @@ fn main() -> ExitCode {
             format_ns(h.max()),
         );
     }
-    match call_once(addr, &json!({ "op": "stats" })) {
-        Ok(stats) => println!("server stats: {}", stats["result"]),
+    match ServeClient::connect(addr, args.proto)
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| {
+            c.request(&Request::Stats { id: None })
+                .map_err(|e| e.to_string())
+        }) {
+        Ok(response) => println!(
+            "server stats: {}",
+            wire_json::encode_response(&response)["result"]
+        ),
         Err(e) => eprintln!("sp-loadgen: stats query failed: {e}"),
     }
     // Machine-readable summary: one sp-json object on the last line.
@@ -193,7 +269,8 @@ fn main() -> ExitCode {
             .collect(),
     );
     let summary = json!({
-        "requests": script.len(),
+        "requests": window.len(),
+        "offset": lo,
         "proto": usize::from(args.proto),
         "clients": args.clients,
         "wall_s": secs,
@@ -207,15 +284,25 @@ fn main() -> ExitCode {
     }
     if args.verify {
         println!("verifying against the single-threaded no-eviction reference…");
+        // The reference executes the *full* script — recovery means the
+        // served window must match the same window of a run that never
+        // crashed — then only the replayed window is compared.
         let reference = workload::reference_responses(&script);
-        match workload::verify(&outcome.responses, &reference) {
-            Ok(()) => println!("verify: all {} responses bit-identical", script.len()),
+        match workload::verify(&outcome.responses, &reference[lo..hi]) {
+            Ok(()) => println!("verify: all {} responses bit-identical", window.len()),
             Err((k, served, expected)) => {
                 eprintln!(
-                    "verify: response {k} diverged\n  served:    {served}\n  reference: {expected}"
+                    "verify: response {} diverged\n  served:    {served}\n  reference: {expected}",
+                    lo + k,
                 );
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if args.resume_at.is_some() {
+        if let Err(e) = audit_sessions(addr, args.proto, args.cfg.sessions) {
+            eprintln!("sp-loadgen: wal audit failed: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -3,61 +3,98 @@
 //! ```text
 //! sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M]
 //!          [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded]
+//!          [--durability off|wal] [--group-commit N] [--no-fsync]
 //! ```
 //!
 //! Binds, prints the resolved address on stdout (`listening on …`), and
-//! serves until killed. See the crate README for the wire protocol.
+//! serves until killed. With `--durability wal`, startup first recovers
+//! every session from its snapshot + write-ahead log (so a `kill -9`
+//! loses nothing acknowledged), and each state-mutating op is logged
+//! before its response — group-committed every `--group-commit` jobs
+//! per worker. `--no-fsync` keeps the WAL cadence but skips the
+//! syscall (benchmarks, throwaway data). See the crate README for the
+//! wire protocol and the WAL format.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sp_serve::server::{IoModel, Server, ServerConfig};
+use sp_serve::config::{Durability, ServeConfig};
+use sp_serve::server::{IoModel, Server};
 
 fn usage() -> String {
     "usage: sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M] \
-     [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded]"
+     [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded] \
+     [--durability off|wal] [--group-commit N] [--no-fsync]"
         .to_owned()
 }
 
-fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
-    let mut config = ServerConfig {
-        addr: "127.0.0.1:7171".to_owned(),
-        ..ServerConfig::default()
-    };
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::new().addr("127.0.0.1:7171");
+    let mut group_commit: Option<usize> = None;
+    let mut fsync = true;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
         match a.as_str() {
-            "--addr" => config.addr = value("--addr")?,
+            "--addr" => config = config.addr(value("--addr")?),
             "--workers" => {
-                config.workers = value("--workers")?
+                let workers = value("--workers")?
                     .parse()
                     .map_err(|_| "bad --workers value".to_owned())?;
+                config = config.workers(workers);
             }
             "--budget-mib" => {
                 let mib: usize = value("--budget-mib")?
                     .parse()
                     .map_err(|_| "bad --budget-mib value".to_owned())?;
-                config.registry.memory_budget = mib << 20;
+                config = config.memory_budget(mib << 20);
             }
-            "--spill-dir" => config.registry.spill_dir = PathBuf::from(value("--spill-dir")?),
+            "--spill-dir" => config = config.spill_dir(value("--spill-dir")?),
             "--queue-cap" => {
-                config.registry.queue_capacity = value("--queue-cap")?
+                let cap = value("--queue-cap")?
                     .parse()
                     .map_err(|_| "bad --queue-cap value".to_owned())?;
+                config = config.queue_capacity(cap);
             }
             "--io" => {
-                config.io = match value("--io")?.as_str() {
+                config = config.io(match value("--io")?.as_str() {
                     "reactor" => IoModel::Reactor,
                     "threaded" => IoModel::Threaded,
                     other => return Err(format!("bad --io value {other:?} (reactor|threaded)")),
-                };
+                });
             }
+            "--durability" => {
+                config = config.durability(match value("--durability")?.as_str() {
+                    "off" => Durability::Off,
+                    "wal" => Durability::wal(),
+                    other => return Err(format!("bad --durability value {other:?} (off|wal)")),
+                });
+            }
+            "--group-commit" => {
+                let n: usize = value("--group-commit")?
+                    .parse()
+                    .map_err(|_| "bad --group-commit value".to_owned())?;
+                group_commit = Some(n.max(1));
+            }
+            "--no-fsync" => fsync = false,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
+    }
+    // The WAL tuning flags refine --durability wal rather than imply
+    // it: `--no-fsync` alone must not silently switch logging on.
+    if let Durability::Wal {
+        group_commit: default_gc,
+        ..
+    } = config.durability
+    {
+        config = config.durability(Durability::Wal {
+            group_commit: group_commit.unwrap_or(default_gc),
+            fsync,
+        });
+    } else if group_commit.is_some() {
+        return Err("--group-commit only applies with --durability wal".to_owned());
     }
     Ok(config)
 }
@@ -70,8 +107,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let budget = config.registry.memory_budget;
+    let budget = config.memory_budget;
     let workers = config.workers;
+    let durability = config.durability;
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -79,8 +117,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let recovered = server.registry().stats().wal_replays;
     println!(
-        "listening on {} ({} workers, {} MiB budget, {} I/O)",
+        "listening on {} ({} workers, {} MiB budget, {} I/O, durability {})",
         server.local_addr(),
         workers,
         budget >> 20,
@@ -88,6 +127,16 @@ fn main() -> ExitCode {
             "reactor"
         } else {
             "threaded"
+        },
+        match durability {
+            Durability::Off => "off".to_owned(),
+            Durability::Wal {
+                group_commit,
+                fsync,
+            } => format!(
+                "wal (group commit {group_commit}, fsync {}, {recovered} records replayed)",
+                if fsync { "on" } else { "off" },
+            ),
         },
     );
     // Serve until the process is killed: the accept loop and worker

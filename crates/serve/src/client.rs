@@ -1,23 +1,40 @@
-//! A minimal blocking client for the sp-serve wire protocol, speaking
-//! either codec.
+//! Blocking clients for the sp-serve wire protocol, speaking either
+//! codec.
 //!
-//! [`Client::connect`] gives the historical implicit-protocol-1
-//! connection; [`Client::connect_proto`] performs the versioned
-//! handshake (JSON `hello`, typed verdict) and switches to the compact
-//! binary codec for protocol 2. Either way, calls are synchronous — one
-//! request, one response — which is exactly the closed-loop behaviour
-//! the load generator wants; parallelism comes from opening several
-//! clients.
+//! [`ServeClient`] is the public API: one typed method per op, each
+//! returning `Result<ResultBody, WireError>`, with connection setup and
+//! protocol negotiation hidden behind [`ServeClient::connect`]. Calls
+//! are synchronous — one request, one response — which is exactly the
+//! closed-loop behaviour the load generator wants; parallelism comes
+//! from opening several clients.
+//!
+//! ```no_run
+//! use sp_serve::client::ServeClient;
+//! use sp_serve::wire::PROTO_BINARY;
+//!
+//! let mut client = ServeClient::connect("127.0.0.1:7171", PROTO_BINARY).unwrap();
+//! client.ping().unwrap();
+//! let cost = client.social_cost("alice").unwrap();
+//! let head = client.wal_head("alice").unwrap();
+//! # let _ = (cost, head);
+//! ```
+//!
+//! The raw frame-level `Client` underneath is crate-internal: tools
+//! and tests talk types, not hand-assembled frames.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use sp_core::{BestResponseMethod, Move, PeerId};
 use sp_json::{frame, json, Value};
 
-use crate::wire::{json as wire_json, Codec, Request, PROTO_BINARY, PROTO_JSON};
+use crate::wire::{
+    Codec, DynamicsSpec, ErrorCode, GameSpec, Request, Response, ResultBody, ServiceStats,
+    SessionOp, SessionRequest, WireError, PROTO_BINARY, PROTO_JSON,
+};
 
-/// One TCP connection to an sp-serve instance.
-pub struct Client {
+/// One TCP connection to an sp-serve instance, at the frame level.
+pub(crate) struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     codec: Codec,
@@ -94,38 +111,6 @@ impl Client {
         frame::write_frame(&mut self.writer, request)?;
         frame::read_frame(&mut self.reader)?.ok_or_else(closed_early)
     }
-
-    /// Sends one typed request through the negotiated codec and blocks
-    /// for its response, returned as the **JSON value the response
-    /// encodes to**. On protocol 1 this is the server's literal payload
-    /// parsed; on protocol 2 the binary response is decoded and
-    /// re-encoded through the shared JSON encoder — so comparing the
-    /// returned values across protocols is exactly the codec-equivalence
-    /// check the replay harness runs.
-    ///
-    /// # Errors
-    ///
-    /// Propagates transport errors; an undecodable response payload is
-    /// [`io::ErrorKind::InvalidData`].
-    pub fn call_request(&mut self, request: &Request) -> io::Result<Value> {
-        frame::write_frame_bytes(&mut self.writer, &self.codec.encode_request(request))?;
-        let payload = frame::read_frame_bytes(&mut self.reader)?.ok_or_else(closed_early)?;
-        match self.codec {
-            Codec::Json => frame::parse_frame_payload(&payload),
-            Codec::Binary => {
-                let resp = self
-                    .codec
-                    .decode_response(&payload, request.code())
-                    .map_err(|e| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("undecodable binary response: {}", e.error),
-                        )
-                    })?;
-                Ok(wire_json::encode_response(&resp))
-            }
-        }
-    }
 }
 
 fn closed_early() -> io::Error {
@@ -133,4 +118,225 @@ fn closed_early() -> io::Error {
         io::ErrorKind::UnexpectedEof,
         "server closed before responding",
     )
+}
+
+/// The typed sp-serve client: one method per op, everything returning
+/// `Result<ResultBody, WireError>` — transport failures surface as
+/// [`ErrorCode::Io`] errors, so callers handle exactly one error shape.
+/// Works identically over either protocol; negotiation happens inside
+/// [`ServeClient::connect`] and never concerns the caller again.
+pub struct ServeClient {
+    inner: Client,
+}
+
+impl ServeClient {
+    /// Connects and negotiates `proto` (1 = JSON, 2 = compact binary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/negotiation failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, proto: u8) -> io::Result<ServeClient> {
+        Ok(ServeClient {
+            inner: Client::connect_proto(addr, proto)?,
+        })
+    }
+
+    /// The negotiated protocol version.
+    #[must_use]
+    pub fn proto(&self) -> u8 {
+        self.inner.codec().proto()
+    }
+
+    /// Sends one typed request and blocks for its full typed response
+    /// (id echo included) — the escape hatch for pre-built requests;
+    /// the per-op methods below are the everyday surface.
+    ///
+    /// # Errors
+    ///
+    /// Transport and response-decode failures become [`ErrorCode::Io`]
+    /// / [`ErrorCode::BadFrame`] errors; server-side failures arrive
+    /// inside the response's own `outcome`.
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        let payload = self.inner.codec.encode_request(request);
+        frame::write_frame_bytes(&mut self.inner.writer, &payload)
+            .map_err(|e| WireError::new(ErrorCode::Io, format!("send failed: {e}")))?;
+        let reply = frame::read_frame_bytes(&mut self.inner.reader)
+            .map_err(|e| WireError::new(ErrorCode::Io, format!("receive failed: {e}")))?
+            .ok_or_else(|| WireError::new(ErrorCode::Io, "server closed before responding"))?;
+        self.inner
+            .codec
+            .decode_response(&reply, request.code())
+            .map_err(|e| e.error)
+    }
+
+    fn op(&mut self, session: &str, op: SessionOp) -> Result<ResultBody, WireError> {
+        self.request(&Request::Session(SessionRequest {
+            id: None,
+            session: session.to_owned(),
+            op,
+        }))?
+        .outcome
+    }
+
+    /// `ping` — liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn ping(&mut self) -> Result<ResultBody, WireError> {
+        self.request(&Request::Ping { id: None })?.outcome
+    }
+
+    /// `stats` — the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn stats(&mut self) -> Result<ServiceStats, WireError> {
+        match self.request(&Request::Stats { id: None })?.outcome? {
+            ResultBody::Stats(stats) => Ok(stats),
+            other => Err(WireError::new(
+                ErrorCode::BadFrame,
+                format!("stats answered with an unexpected body: {other:?}"),
+            )),
+        }
+    }
+
+    /// `create` — build a session from an embedded game spec.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn create(&mut self, session: &str, spec: GameSpec) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Create(spec))
+    }
+
+    /// `load` — make the session resident (explicit cold start).
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn load(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Load)
+    }
+
+    /// `apply` — apply one move.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn apply(&mut self, session: &str, mv: Move) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Apply { mv })
+    }
+
+    /// `apply_batch` — apply moves as one cache transaction.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn apply_batch(
+        &mut self,
+        session: &str,
+        moves: Vec<Move>,
+    ) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::ApplyBatch { moves })
+    }
+
+    /// `best_response` — one peer's best response against the frozen
+    /// rest.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn best_response(
+        &mut self,
+        session: &str,
+        peer: PeerId,
+        method: BestResponseMethod,
+    ) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::BestResponse { peer, method })
+    }
+
+    /// `nash_gap` — the largest unilateral improvement over all peers.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn nash_gap(
+        &mut self,
+        session: &str,
+        method: BestResponseMethod,
+    ) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::NashGap { method })
+    }
+
+    /// `social_cost` — the current profile's social cost.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn social_cost(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::SocialCost)
+    }
+
+    /// `stretch` — the current profile's maximum stretch.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn stretch(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Stretch)
+    }
+
+    /// `run_dynamics` — run sequential dynamics in place.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn run_dynamics(
+        &mut self,
+        session: &str,
+        spec: DynamicsSpec,
+    ) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::RunDynamics(spec))
+    }
+
+    /// `snapshot` — persist the session, keeping it resident.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn snapshot(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Snapshot)
+    }
+
+    /// `evict` — persist the session and drop it from memory.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures.
+    pub fn evict(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::Evict)
+    }
+
+    /// `wal_head` — the session's WAL record count and chain head.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures ([`ErrorCode::BadRequest`]
+    /// when the server runs without durability).
+    pub fn wal_head(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::WalHead)
+    }
+
+    /// `wal_verify` — re-scan the session's WAL, checking every CRC
+    /// and chain link; the audit op.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures; a tampered log is
+    /// [`ErrorCode::BadFrame`] or [`ErrorCode::ChainBroken`].
+    pub fn wal_verify(&mut self, session: &str) -> Result<ResultBody, WireError> {
+        self.op(session, SessionOp::WalVerify)
+    }
 }

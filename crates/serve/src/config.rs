@@ -1,0 +1,245 @@
+//! The one front door for configuring a server: a builder-style
+//! [`ServeConfig`] parsed once (in `sp-serve`) and threaded through
+//! server → reactor → registry, so a new knob is one field and one
+//! builder method instead of signature churn across four files.
+//!
+//! ```no_run
+//! use sp_serve::config::{Durability, ServeConfig};
+//! use sp_serve::server::Server;
+//!
+//! let server = Server::start(
+//!     ServeConfig::new()
+//!         .addr("127.0.0.1:7171")
+//!         .workers(4)
+//!         .memory_budget(64 << 20)
+//!         .durability(Durability::wal()),
+//! ).unwrap();
+//! # server.shutdown();
+//! ```
+
+use std::path::PathBuf;
+
+use crate::registry::RegistryConfig;
+use crate::server::IoModel;
+use crate::wire::PROTO_JSON;
+
+/// Whether (and how) sessions keep a write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// No WAL: acknowledged work since the last spill dies with the
+    /// process. The historical behaviour, and the default.
+    Off,
+    /// Per-session write-ahead logging ([`crate::wal`]): every
+    /// state-mutating op is appended before its response is released,
+    /// synced once per worker drain batch.
+    Wal {
+        /// Upper bound on jobs a worker drains (and therefore acks)
+        /// per commit — the group-commit batch size.
+        group_commit: usize,
+        /// Whether commits actually `fsync`. Turning this off keeps
+        /// the exact commit cadence (and counters) while eliding the
+        /// syscall — for benches and tests on throwaway data.
+        fsync: bool,
+    },
+}
+
+impl Durability {
+    /// The production WAL setting: group commit of 32, real fsyncs.
+    #[must_use]
+    pub fn wal() -> Durability {
+        Durability::Wal {
+            group_commit: 32,
+            fsync: true,
+        }
+    }
+
+    /// Whether write-ahead logging is on.
+    #[must_use]
+    pub fn is_wal(&self) -> bool {
+        matches!(self, Durability::Wal { .. })
+    }
+
+    /// Whether commits issue real fsyncs.
+    #[must_use]
+    pub fn fsync(&self) -> bool {
+        matches!(self, Durability::Wal { fsync: true, .. })
+    }
+
+    /// The worker drain-batch bound: the group-commit size under WAL,
+    /// 1 otherwise (each job commits — trivially — on its own, which
+    /// is byte-for-byte the historical scheduling).
+    #[must_use]
+    pub fn batch_cap(&self) -> usize {
+        match *self {
+            Durability::Off => 1,
+            Durability::Wal { group_commit, .. } => group_commit.max(1),
+        }
+    }
+}
+
+/// Everything a [`crate::server::Server`] needs, with builder-style
+/// setters. `ServeConfig::new()` is a working local default (ephemeral
+/// port, reactor I/O, durability off).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 lets the OS pick (tests do).
+    pub addr: String,
+    /// Worker-pool size for the registry scheduler.
+    pub workers: usize,
+    /// Connection I/O engine.
+    pub io: IoModel,
+    /// Default wire protocol version tools built on this config speak
+    /// (1 = JSON, 2 = binary). The server always accepts both.
+    pub proto: u8,
+    /// Global budget for resident sessions, in bytes.
+    pub memory_budget: usize,
+    /// Directory for spill/snapshot/WAL files.
+    pub spill_dir: PathBuf,
+    /// Per-session request queue bound.
+    pub queue_capacity: usize,
+    /// Write-ahead logging mode.
+    pub durability: Durability,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let registry = RegistryConfig::default();
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2),
+            io: IoModel::Reactor,
+            proto: PROTO_JSON,
+            memory_budget: registry.memory_budget,
+            spill_dir: registry.spill_dir,
+            queue_capacity: registry.queue_capacity,
+            durability: registry.durability,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (alias of `Default`, reads better in
+    /// builder chains).
+    #[must_use]
+    pub fn new() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    /// Sets the bind address.
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the connection I/O engine.
+    #[must_use]
+    pub fn io(mut self, io: IoModel) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Sets the default wire protocol version for tools.
+    #[must_use]
+    pub fn proto(mut self, proto: u8) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Sets the resident-session memory budget, in bytes.
+    #[must_use]
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the spill/snapshot/WAL directory.
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = dir.into();
+        self
+    }
+
+    /// Sets the per-session request queue bound.
+    #[must_use]
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the write-ahead logging mode.
+    #[must_use]
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// The registry-level slice of this configuration.
+    #[must_use]
+    pub fn registry(&self) -> RegistryConfig {
+        RegistryConfig {
+            memory_budget: self.memory_budget,
+            spill_dir: self.spill_dir.clone(),
+            queue_capacity: self.queue_capacity,
+            durability: self.durability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_threads_every_knob_into_the_registry_slice() {
+        let cfg = ServeConfig::new()
+            .addr("127.0.0.1:7171")
+            .workers(3)
+            .io(IoModel::Threaded)
+            .proto(2)
+            .memory_budget(1 << 20)
+            .spill_dir("/tmp/x")
+            .queue_capacity(9)
+            .durability(Durability::Wal {
+                group_commit: 16,
+                fsync: false,
+            });
+        assert_eq!(cfg.addr, "127.0.0.1:7171");
+        assert_eq!((cfg.workers, cfg.proto), (3, 2));
+        let reg = cfg.registry();
+        assert_eq!(reg.memory_budget, 1 << 20);
+        assert_eq!(reg.spill_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(reg.queue_capacity, 9);
+        assert!(reg.durability.is_wal());
+        assert!(!reg.durability.fsync());
+        assert_eq!(reg.durability.batch_cap(), 16);
+    }
+
+    #[test]
+    fn durability_defaults_and_caps() {
+        assert!(!Durability::Off.is_wal());
+        assert_eq!(Durability::Off.batch_cap(), 1);
+        assert!(Durability::wal().is_wal());
+        assert!(Durability::wal().fsync());
+        assert_eq!(
+            Durability::Wal {
+                group_commit: 0,
+                fsync: true
+            }
+            .batch_cap(),
+            1,
+            "a zero group commit still drains one job at a time"
+        );
+        assert_eq!(ServeConfig::new().proto, PROTO_JSON);
+        assert!(!ServeConfig::new().durability.is_wal());
+    }
+}

@@ -39,6 +39,18 @@
 //!   it, and the replay integration test proves a 10k-request run over
 //!   256 sessions under a 64 MiB budget (forcing evict/restore cycles)
 //!   answers bit-identically to the reference.
+//! * [`wal`] + [`config::Durability`] — per-session **write-ahead
+//!   logging**: every state-mutating op is appended (CRC-framed,
+//!   fnv1a hash-chained) before its response is released, synced once
+//!   per worker drain batch (group commit), compacted into the
+//!   snapshot on spill, and replayed from the tail on startup — so a
+//!   `kill -9` loses nothing acknowledged, and the chain doubles as a
+//!   tamper-evident audit trail queryable via `wal_head` /
+//!   `wal_verify`.
+//! * [`config::ServeConfig`] — the one builder-style front door for
+//!   every server knob (address, workers, I/O engine, protocol,
+//!   budget, durability), parsed once in `sp-serve` and threaded
+//!   through server → reactor → registry.
 //!
 //! Determinism is the design axis throughout: session ops never depend
 //! on registry state, responses never leak scheduling, and floating
@@ -50,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod config;
 pub mod latency;
 pub mod ops;
 #[cfg(target_os = "linux")]
@@ -58,5 +71,6 @@ pub mod registry;
 pub mod server;
 pub mod snapshot;
 pub mod spec;
+pub mod wal;
 pub mod wire;
 pub mod workload;

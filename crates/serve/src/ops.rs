@@ -180,9 +180,15 @@ pub fn execute_query(op: &SessionOp, session: &mut GameSession) -> Result<Result
                 social_cost: social_cost_body(&after),
             }))
         }
-        SessionOp::Create(_) | SessionOp::Load | SessionOp::Snapshot | SessionOp::Evict => Err(
-            WireError::new(ErrorCode::BadRequest, "lifecycle op reached execute_query"),
-        ),
+        SessionOp::Create(_)
+        | SessionOp::Load
+        | SessionOp::Snapshot
+        | SessionOp::Evict
+        | SessionOp::WalHead
+        | SessionOp::WalVerify => Err(WireError::new(
+            ErrorCode::BadRequest,
+            "lifecycle op reached execute_query",
+        )),
     }
 }
 

@@ -530,8 +530,8 @@ mod tests {
 
     use sp_json::{frame, json, Value};
 
-    use crate::registry::RegistryConfig;
-    use crate::server::{IoModel, Server, ServerConfig};
+    use crate::config::ServeConfig;
+    use crate::server::{IoModel, Server};
     use crate::wire::{binary, Codec, Request, SessionOp};
 
     fn test_dir(tag: &str) -> PathBuf {
@@ -543,15 +543,12 @@ mod tests {
 
     fn start(tag: &str) -> (Server, PathBuf) {
         let dir = test_dir(tag);
-        let server = Server::start(ServerConfig {
-            workers: 2,
-            io: IoModel::Reactor,
-            registry: RegistryConfig {
-                spill_dir: dir.clone(),
-                ..RegistryConfig::default()
-            },
-            ..ServerConfig::default()
-        })
+        let server = Server::start(
+            ServeConfig::new()
+                .workers(2)
+                .io(IoModel::Reactor)
+                .spill_dir(dir.clone()),
+        )
         .expect("server starts");
         assert!(server.uses_reactor(), "linux test host must have epoll");
         (server, dir)

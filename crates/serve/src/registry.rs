@@ -53,10 +53,12 @@ use std::thread::JoinHandle;
 
 use sp_core::GameSession;
 
+use crate::config::Durability;
 use crate::ops;
 use crate::snapshot;
+use crate::wal::{self, SessionWal};
 use crate::wire::{
-    ErrorCode, Response, ResultBody, ServiceStats, SessionOp, SessionRequest, WireError,
+    ErrorCode, Request, Response, ResultBody, ServiceStats, SessionOp, SessionRequest, WireError,
 };
 
 /// Number of map shards; requests hash on the session name, so sixteen
@@ -100,6 +102,11 @@ pub struct RegistryConfig {
     /// Per-session request queue bound; blocking submitters wait when
     /// full.
     pub queue_capacity: usize,
+    /// Write-ahead logging mode ([`crate::wal`]). Under
+    /// [`Durability::Wal`], every state-mutating op appends a WAL
+    /// record before its response is released, startup replays
+    /// snapshot + WAL tail, and spill doubles as WAL compaction.
+    pub durability: Durability,
 }
 
 impl Default for RegistryConfig {
@@ -108,6 +115,7 @@ impl Default for RegistryConfig {
             memory_budget: 64 << 20,
             spill_dir: PathBuf::from("sp-serve-spill"),
             queue_capacity: 64,
+            durability: Durability::Off,
         }
     }
 }
@@ -168,6 +176,10 @@ struct EntryState {
     bytes: usize,
     /// LRU stamp (global logical clock).
     last_used: u64,
+    /// The session's write-ahead log, opened lazily on its first
+    /// logged op (or eagerly by startup recovery). Shared so the
+    /// group-commit batch can sync it after the entry lock is gone.
+    wal: Option<Arc<Mutex<SessionWal>>>,
 }
 
 struct SessionEntry {
@@ -195,6 +207,17 @@ pub struct RegistryStats {
     pub resident_sessions: usize,
     /// Bytes currently charged against the budget.
     pub resident_bytes: usize,
+    /// WAL records appended (all sessions).
+    pub wal_records: u64,
+    /// Worker drain batches that carried at least one WAL append —
+    /// the group-commit unit.
+    pub wal_batches: u64,
+    /// WAL commit points that had pending records to sync. With
+    /// `fsync` off the syscall is elided but the cadence (and this
+    /// counter) is identical.
+    pub wal_fsyncs: u64,
+    /// WAL records replayed by startup recovery.
+    pub wal_replays: u64,
 }
 
 impl RegistryStats {
@@ -243,17 +266,38 @@ pub struct SessionRegistry {
     sessions_evicted: AtomicU64,
     sessions_restored: AtomicU64,
     queue_depth_hwm: AtomicUsize,
+    wal_records: AtomicU64,
+    wal_batches: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_replays: AtomicU64,
+}
+
+/// A finished job whose response is held back until its batch's WAL
+/// commit — append-before-acknowledge made concrete. Jobs without a
+/// WAL append carry `wal: None` and just ride along.
+struct PendingReply {
+    reply: Responder,
+    response: Response,
+    wal: Option<Arc<Mutex<SessionWal>>>,
 }
 
 impl SessionRegistry {
-    /// Creates a registry (and its spill directory).
+    /// Creates a registry (and its spill directory). Under
+    /// [`Durability::Wal`], every WAL file in the spill directory is
+    /// recovered before this returns: torn tails truncated, snapshots
+    /// loaded, and the WAL tail past each snapshot's mark replayed
+    /// through the normal ops dispatch — workers start on a state
+    /// provably equal to everything the previous process acknowledged.
     ///
     /// # Errors
     ///
-    /// Propagates spill-directory creation failures.
+    /// Propagates spill-directory creation failures; WAL recovery
+    /// fails (`InvalidData`) on corruption *before* a log's final
+    /// record or on a replayed op the session now rejects — recovery
+    /// must not guess at lost state.
     pub fn new(config: RegistryConfig) -> io::Result<Arc<Self>> {
         std::fs::create_dir_all(&config.spill_dir)?;
-        Ok(Arc::new(SessionRegistry {
+        let registry = Arc::new(SessionRegistry {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             evict_index: Mutex::new(BTreeSet::new()),
             ready: Mutex::new(VecDeque::new()),
@@ -270,7 +314,15 @@ impl SessionRegistry {
             sessions_evicted: AtomicU64::new(0),
             sessions_restored: AtomicU64::new(0),
             queue_depth_hwm: AtomicUsize::new(0),
-        }))
+            wal_records: AtomicU64::new(0),
+            wal_batches: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            wal_replays: AtomicU64::new(0),
+        });
+        if registry.config.durability.is_wal() {
+            registry.recover_sessions()?;
+        }
+        Ok(registry)
     }
 
     /// Spawns `count` worker threads draining the ready queue. Callable
@@ -424,6 +476,10 @@ impl SessionRegistry {
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             resident_sessions: resident,
             resident_bytes: self.total_bytes.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_batches: self.wal_batches.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_replays: self.wal_replays.load(Ordering::Relaxed),
         }
     }
 
@@ -464,6 +520,12 @@ impl SessionRegistry {
     }
 
     fn worker_loop(&self) {
+        // The drain-batch bound is the group-commit size: every job a
+        // worker finishes between two WAL commits shares one fsync.
+        // Without WAL the bound is 1, which reproduces the historical
+        // process-then-deliver sequencing exactly.
+        let cap = self.config.durability.batch_cap();
+        let mut batch: Vec<PendingReply> = Vec::new();
         loop {
             let entry = {
                 let mut q = lock_unpoisoned(&self.ready);
@@ -480,7 +542,59 @@ impl SessionRegistry {
                         .unwrap_or_else(PoisonError::into_inner);
                 }
             };
-            self.process(&entry);
+            self.process(&entry, &mut batch);
+            // Opportunistic drain: keep taking ready work while it's
+            // there (never blocking — queued submitters must not wait
+            // on an idle batch) until the commit bound fills.
+            while batch.len() < cap {
+                let Some(e) = lock_unpoisoned(&self.ready).pop_front() else {
+                    break;
+                };
+                self.process(&e, &mut batch);
+            }
+            self.commit_batch(&mut batch);
+        }
+    }
+
+    /// The group-commit point: one [`SessionWal::commit`] per distinct
+    /// log touched by the batch, then every held-back response is
+    /// delivered. A failed commit turns the affected responses into
+    /// typed I/O errors — an un-synced op is never acknowledged.
+    fn commit_batch(&self, batch: &mut Vec<PendingReply>) {
+        let mut wals: Vec<Arc<Mutex<SessionWal>>> = Vec::new();
+        for p in batch.iter() {
+            if let Some(w) = &p.wal {
+                if !wals.iter().any(|x| Arc::ptr_eq(x, w)) {
+                    wals.push(Arc::clone(w));
+                }
+            }
+        }
+        if !wals.is_empty() {
+            self.wal_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        for w in &wals {
+            let committed = lock_unpoisoned(w).commit();
+            match committed {
+                Ok(true) => {
+                    self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                // Already synced (a spill inside this batch committed
+                // for us) — nothing pending is fine.
+                Ok(false) => {}
+                Err(e) => {
+                    for p in batch.iter_mut() {
+                        if p.wal.as_ref().is_some_and(|x| Arc::ptr_eq(x, w)) {
+                            p.response = Response::err(
+                                p.response.id,
+                                WireError::new(ErrorCode::Io, format!("wal commit failed: {e}")),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for p in batch.drain(..) {
+            p.reply.deliver(p.response);
         }
     }
 
@@ -516,18 +630,82 @@ impl SessionRegistry {
             .join(format!("{name}-{tag:016x}.json"))
     }
 
-    /// Writes the session's spill file unless a current one exists.
-    fn spill(&self, name: &str, session: &mut GameSession, dirty: bool) -> io::Result<()> {
-        let path = self.spill_path(name);
-        if dirty || !path.exists() {
-            snapshot::save(&path, session)?;
-        }
-        Ok(())
+    /// The session's WAL file: snapshot naming, `.wal` extension.
+    fn wal_path(&self, name: &str) -> PathBuf {
+        let tag = sp_graph::fnv1a(name.as_bytes());
+        self.config.spill_dir.join(format!("{name}-{tag:016x}.wal"))
     }
 
-    /// Executes one job with the session checked out of its entry.
-    fn process(&self, entry: &Arc<SessionEntry>) {
-        let (job, resident, created, dirty) = {
+    /// The session's WAL handle, opened lazily on first use. Only
+    /// called under [`Durability::Wal`]; startup recovery has already
+    /// installed handles for every log that existed on disk, so a
+    /// missing handle here really is a brand-new session.
+    fn wal_for(
+        &self,
+        name: &str,
+        slot: &mut Option<Arc<Mutex<SessionWal>>>,
+    ) -> io::Result<Arc<Mutex<SessionWal>>> {
+        if let Some(w) = slot {
+            return Ok(Arc::clone(w));
+        }
+        let wal = SessionWal::create(&self.wal_path(name), self.config.durability.fsync())?;
+        let wal = Arc::new(Mutex::new(wal));
+        *slot = Some(Arc::clone(&wal));
+        Ok(wal)
+    }
+
+    /// Writes the session's spill file unless a current one exists.
+    ///
+    /// With a WAL this is the flush-then-spill + compaction sequence,
+    /// in exactly this order:
+    ///
+    /// 1. **commit** — unflushed appends hit disk before the snapshot
+    ///    that claims to cover them can exist (the eviction edge: an
+    ///    idle session may hold records appended this batch but not
+    ///    yet group-committed);
+    /// 2. **snapshot with mark** — the file records the WAL position
+    ///    it captures, so a crash between steps 2 and 3 just makes
+    ///    recovery skip the tail records the snapshot already covers;
+    /// 3. **compact** — the log is rewritten as a bare header carrying
+    ///    the same `(records, head)`, so the audit chain spans the
+    ///    truncation.
+    fn spill(
+        &self,
+        name: &str,
+        session: &mut GameSession,
+        dirty: bool,
+        wal: Option<&Arc<Mutex<SessionWal>>>,
+    ) -> io::Result<()> {
+        let path = self.spill_path(name);
+        let Some(wal) = wal else {
+            if dirty || !path.exists() {
+                snapshot::save(&path, session)?;
+            }
+            return Ok(());
+        };
+        let mut w = lock_unpoisoned(wal);
+        if w.commit()? {
+            self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        if dirty || !path.exists() {
+            // sp-lint: allow(lock-hygiene, reason = "deliberate hold-across-save: the commit -> snapshot -> compact sequence must be atomic against concurrent appends or the mark could cover records it never flushed")
+            snapshot::save_with_mark(&path, session, w.head().records)?;
+        }
+        // A clean session skips the save: its records since the
+        // snapshot are all non-mutating (anything else would have set
+        // `dirty`), so the file — whatever mark it carries — already
+        // equals the state at the new base. Compaction is still
+        // correct, and keeps evict-heavy workloads from growing logs.
+        w.compact_to_mark()
+    }
+
+    /// Executes one job with the session checked out of its entry. The
+    /// finished reply is *pushed onto `out`*, not delivered — delivery
+    /// waits for the caller's [`SessionRegistry::commit_batch`], which
+    /// is what makes the WAL append (done here, while the session is
+    /// checked out) precede the acknowledgement.
+    fn process(&self, entry: &Arc<SessionEntry>, out: &mut Vec<PendingReply>) {
+        let (job, resident, created, dirty, mut wal) = {
             let mut st = lock_unpoisoned(&entry.state);
             let Some(job) = st.queue.pop_front() else {
                 st.scheduled = false;
@@ -535,14 +713,55 @@ impl SessionRegistry {
             };
             entry.space.notify_one();
             st.busy = true;
-            (job, st.resident.take(), st.created, st.dirty)
+            (
+                job,
+                st.resident.take(),
+                st.created,
+                st.dirty,
+                st.wal.clone(),
+            )
         };
-        let outcome = self.run_job(&entry.name, &job.request, resident, created, dirty);
+        let mut outcome = self.run_job(
+            &entry.name,
+            &job.request,
+            resident,
+            created,
+            dirty,
+            &mut wal,
+        );
+        // Append-before-acknowledge: a successful logged op goes into
+        // the session's WAL here — before the entry unlocks, before
+        // the reply is even queued. Failures flip the response to a
+        // typed I/O error (and poison the log) rather than ever
+        // acknowledging an op the log does not witness.
+        let mut reply_wal = None;
+        if self.config.durability.is_wal()
+            && job.request.op.is_wal_logged()
+            && outcome.response.outcome.is_ok()
+        {
+            let appended = self.wal_for(&entry.name, &mut wal).and_then(|w| {
+                lock_unpoisoned(&w).append(&Request::Session(job.request.clone()))?;
+                Ok(w)
+            });
+            match appended {
+                Ok(w) => {
+                    self.wal_records.fetch_add(1, Ordering::Relaxed);
+                    reply_wal = Some(w);
+                }
+                Err(e) => {
+                    outcome.response = Response::err(
+                        job.request.id,
+                        WireError::new(ErrorCode::Io, format!("wal append failed: {e}")),
+                    );
+                }
+            }
+        }
         {
             let mut st = lock_unpoisoned(&entry.state);
             st.busy = false;
             st.created = outcome.created;
             st.dirty = outcome.dirty;
+            st.wal = wal;
             let new_bytes = outcome.resident.as_ref().map_or(0, |s| Self::slot_bytes(s));
             self.account(&mut st, new_bytes);
             st.resident = outcome.resident;
@@ -576,7 +795,11 @@ impl SessionRegistry {
         // Count before replying: a submitter that reads `stats` right
         // after its response must see this request in the counter.
         self.requests_served.fetch_add(1, Ordering::Relaxed);
-        job.reply.deliver(outcome.response);
+        out.push(PendingReply {
+            reply: job.reply,
+            response: outcome.response,
+            wal: reply_wal,
+        });
     }
 
     /// The lifecycle-aware execution of one request. Queries and
@@ -590,8 +813,23 @@ impl SessionRegistry {
         resident: Option<Box<GameSession>>,
         created: bool,
         dirty: bool,
+        wal: &mut Option<Arc<Mutex<SessionWal>>>,
     ) -> JobOutcome {
         let id = request.id;
+
+        // The audit ops answer from the log alone — no residency, no
+        // restore. Routed through the scheduler like everything else so
+        // the answer is serialised against the session's own appends.
+        if matches!(request.op, SessionOp::WalHead | SessionOp::WalVerify) {
+            let response = self.wal_audit(name, request, created, wal.as_ref());
+            return JobOutcome {
+                response,
+                resident,
+                created,
+                dirty,
+            };
+        }
+
         if let SessionOp::Create(spec) = &request.op {
             if created {
                 let e = WireError::new(
@@ -696,7 +934,7 @@ impl SessionRegistry {
                 created,
                 dirty,
             },
-            SessionOp::Snapshot => match self.spill(name, &mut resident, dirty) {
+            SessionOp::Snapshot => match self.spill(name, &mut resident, dirty, wal.as_ref()) {
                 Ok(()) => JobOutcome {
                     response: Response::ok(id, ResultBody::Persisted),
                     resident: Some(resident),
@@ -713,7 +951,12 @@ impl SessionRegistry {
                     dirty,
                 },
             },
-            SessionOp::Evict => match self.spill(name, &mut resident, dirty) {
+            // The explicit evict spills (compacting the WAL to a mark
+            // covering everything so far) *before* `process` appends
+            // the evict record itself — so a recovered tail may end
+            // with a trailing evict, which replay treats as a
+            // placement-only no-op.
+            SessionOp::Evict => match self.spill(name, &mut resident, dirty, wal.as_ref()) {
                 Ok(()) => {
                     self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
                     JobOutcome {
@@ -753,6 +996,178 @@ impl SessionRegistry {
                 }
             }
         }
+    }
+
+    /// Answers `wal_head` / `wal_verify` for one session.
+    fn wal_audit(
+        &self,
+        name: &str,
+        request: &SessionRequest,
+        created: bool,
+        wal: Option<&Arc<Mutex<SessionWal>>>,
+    ) -> Response {
+        let id = request.id;
+        if !created {
+            return Response::err(
+                id,
+                WireError::new(
+                    ErrorCode::UnknownSession,
+                    format!("unknown session {name:?}"),
+                ),
+            );
+        }
+        if !self.config.durability.is_wal() {
+            return Response::err(
+                id,
+                WireError::new(ErrorCode::BadRequest, "write-ahead logging is disabled"),
+            );
+        }
+        // A created session with no log yet: restored from a pre-WAL
+        // snapshot and not yet touched by a logged op. Its chain is
+        // the empty one.
+        let head = match wal {
+            None => Ok(wal::WalHead {
+                records: 0,
+                head_hash: wal::genesis(),
+            }),
+            Some(w) => {
+                let w = lock_unpoisoned(w);
+                match request.op {
+                    SessionOp::WalVerify => w.verify(),
+                    _ => Ok(w.head()),
+                }
+            }
+        };
+        match head {
+            Err(e) => Response::err(id, e),
+            Ok(h) => {
+                let body = match request.op {
+                    SessionOp::WalVerify => ResultBody::WalVerified {
+                        records: h.records,
+                        head_hash: h.head_hash,
+                    },
+                    _ => ResultBody::WalHead {
+                        records: h.records,
+                        head_hash: h.head_hash,
+                    },
+                };
+                Response::ok(id, body)
+            }
+        }
+    }
+
+    /// Startup recovery: finds every `<name>-<tag>.wal` in the spill
+    /// directory and rebuilds its session. Runs on the constructing
+    /// thread before any worker exists, so no locks are contended;
+    /// sessions recover in sorted-name order for determinism.
+    fn recover_sessions(&self) -> io::Result<()> {
+        let mut logs: Vec<(String, PathBuf)> = Vec::new();
+        for dirent in std::fs::read_dir(&self.config.spill_dir)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            // The stem is `<name>-<fnv1a(name):016x>`; recomputing the
+            // tag authenticates the name half (and skips stray files).
+            let Some((name, tag)) = stem.rsplit_once('-') else {
+                continue;
+            };
+            if u64::from_str_radix(tag, 16).ok() != Some(sp_graph::fnv1a(name.as_bytes())) {
+                continue;
+            }
+            logs.push((name.to_owned(), path));
+        }
+        logs.sort();
+        for (name, path) in logs {
+            self.recover_session(&name, &path)?;
+        }
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Rebuilds one session: snapshot (if any) + the WAL tail past the
+    /// snapshot's mark, replayed through the normal ops dispatch.
+    fn recover_session(&self, name: &str, wal_path: &std::path::Path) -> io::Result<()> {
+        let replay_error = |seq: u64, what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wal replay of {name:?} record {seq}: {what}"),
+            )
+        };
+        let (wal, base_seq, tail) = SessionWal::recover(wal_path, self.config.durability.fsync())?;
+        let snap_path = self.spill_path(name);
+        let (mut resident, mark, mut created) = if snap_path.exists() {
+            let (mut s, mark) = snapshot::load_with_mark(&snap_path)?;
+            ops::tune_for_service(&mut s);
+            self.sessions_restored.fetch_add(1, Ordering::Relaxed);
+            (Some(Box::new(s)), mark, true)
+        } else {
+            (None, 0, false)
+        };
+        let mut dirty = false;
+        let mut replayed = 0u64;
+        for (k, req) in tail.iter().enumerate() {
+            let seq = base_seq + 1 + k as u64;
+            if seq <= mark {
+                // The snapshot was written after this record (crash
+                // between snapshot save and WAL truncation) — already
+                // applied, replaying would double-apply.
+                continue;
+            }
+            let Request::Session(sr) = req else {
+                return Err(replay_error(seq, "not a session op"));
+            };
+            replayed += 1;
+            match &sr.op {
+                SessionOp::Create(spec) => {
+                    if created {
+                        return Err(replay_error(seq, "create on an existing session"));
+                    }
+                    let s = ops::build_session(spec).map_err(|e| replay_error(seq, &e.message))?;
+                    resident = Some(Box::new(s));
+                    created = true;
+                    dirty = true;
+                }
+                // Placement-only records: the state they acknowledged
+                // is already either resident or inside the snapshot.
+                SessionOp::Evict => {}
+                SessionOp::Load => {
+                    if resident.is_none() {
+                        let mut s = snapshot::load(&snap_path)?;
+                        ops::tune_for_service(&mut s);
+                        resident = Some(Box::new(s));
+                        created = true;
+                    }
+                }
+                op => {
+                    let Some(session) = resident.as_mut() else {
+                        return Err(replay_error(seq, "mutation on a non-resident session"));
+                    };
+                    // The record was acknowledged, so it must apply
+                    // cleanly now — anything else is divergence.
+                    ops::execute_query(op, session).map_err(|e| replay_error(seq, &e.message))?;
+                    dirty = true;
+                }
+            }
+        }
+        self.wal_replays.fetch_add(replayed, Ordering::Relaxed);
+
+        let entry = self.entry(name);
+        let mut st = lock_unpoisoned(&entry.state);
+        st.created = created;
+        st.dirty = dirty;
+        st.wal = Some(Arc::new(Mutex::new(wal)));
+        let new_bytes = resident.as_ref().map_or(0, |s| Self::slot_bytes(s));
+        self.account(&mut st, new_bytes);
+        st.resident = resident;
+        st.last_used = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if st.resident.is_some() {
+            lock_unpoisoned(&self.evict_index).insert((st.last_used, entry.name.clone()));
+        }
+        Ok(())
     }
 
     /// Picks the least-recently-used evictable entry, if any. The
@@ -828,8 +1243,13 @@ impl SessionRegistry {
                 }
                 continue;
             };
+            // The budget path hits the eviction edge head-on: an idle
+            // session can hold appended-but-uncommitted WAL records
+            // (appends precede the batch-end commit), and `spill`
+            // flushes them before the snapshot — never the reverse.
+            let victim_wal = st.wal.clone();
             // sp-lint: allow(lock-hygiene, reason = "deliberate hold-across-spill: entry is idle and the lock blocks a racing submit while the file is half-written")
-            match self.spill(&victim.name, &mut session, st.dirty) {
+            match self.spill(&victim.name, &mut session, st.dirty, victim_wal.as_ref()) {
                 Ok(()) => {
                     st.dirty = false;
                     self.account(&mut st, 0);

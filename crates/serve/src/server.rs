@@ -20,14 +20,15 @@
 //! arrive in request order.
 
 use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use sp_json::{frame, Value};
 
-use crate::registry::{RegistryConfig, SessionRegistry};
+use crate::config::ServeConfig;
+use crate::registry::SessionRegistry;
 use crate::wire::{
     json, ConnProtocol, ErrorCode, FrameAction, Request, Response, ResultBody, WireError,
     PROTO_BINARY, PROTO_JSON,
@@ -41,32 +42,6 @@ pub enum IoModel {
     Reactor,
     /// One blocking thread per connection.
     Threaded,
-}
-
-/// Configuration of a [`Server`].
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Bind address; use port 0 to let the OS pick (tests do).
-    pub addr: String,
-    /// Worker-pool size for the registry scheduler.
-    pub workers: usize,
-    /// Connection I/O engine.
-    pub io: IoModel,
-    /// Registry (budget, spill dir, queue bound) configuration.
-    pub registry: RegistryConfig,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            workers: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(2),
-            io: IoModel::Reactor,
-            registry: RegistryConfig::default(),
-        }
-    }
 }
 
 enum IoHandles {
@@ -93,9 +68,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind/spill-directory failures.
-    pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let registry = SessionRegistry::new(config.registry)?;
+    /// Propagates bind/spill-directory failures, and (under
+    /// [`crate::config::Durability::Wal`]) startup WAL recovery
+    /// failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let registry = SessionRegistry::new(config.registry())?;
         let worker_handles = registry.spawn_workers(config.workers);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -302,15 +279,4 @@ fn handle_connection(stream: TcpStream, registry: &SessionRegistry) {
             }
         }
     }
-}
-
-/// Connects, sends one protocol-1 request frame, and waits for the
-/// response — the one-shot convenience the CLI-style tools use.
-///
-/// # Errors
-///
-/// Propagates connection and framing errors; an empty response stream
-/// is [`io::ErrorKind::UnexpectedEof`].
-pub fn call_once<A: ToSocketAddrs>(addr: A, request: &Value) -> io::Result<Value> {
-    crate::client::Client::connect(addr)?.call(request)
 }

@@ -327,7 +327,27 @@ fn sparse_session_from_value(v: &Value) -> Result<GameSession, String> {
 ///
 /// Propagates filesystem errors.
 pub fn save(path: &Path, session: &mut GameSession) -> io::Result<()> {
-    let value = session_to_value(session);
+    save_with_mark(path, session, 0)
+}
+
+/// [`save`], additionally recording the WAL compaction mark: the
+/// session's WAL record count at the moment of the snapshot. Recovery
+/// replays only WAL records *after* the mark, which is what makes the
+/// crash window between "snapshot written" and "WAL truncated" safe —
+/// records at or below the mark are already inside the snapshot, and
+/// the mark says so. A zero mark is omitted from the file (byte-for-
+/// byte the historical format, which non-WAL deployments still write).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_with_mark(path: &Path, session: &mut GameSession, mark: u64) -> io::Result<()> {
+    let mut value = session_to_value(session);
+    if mark > 0 {
+        if let Value::Object(fields) = &mut value {
+            fields.push(("wal_mark".to_owned(), Value::Number(mark as f64)));
+        }
+    }
     let tmp = path.with_extension("json.tmp");
     fs::write(&tmp, value.to_string_compact())?;
     fs::rename(&tmp, path)
@@ -340,11 +360,27 @@ pub fn save(path: &Path, session: &mut GameSession) -> io::Result<()> {
 /// Propagates filesystem errors; malformed content surfaces as
 /// [`io::ErrorKind::InvalidData`].
 pub fn load(path: &Path) -> io::Result<GameSession> {
+    Ok(load_with_mark(path)?.0)
+}
+
+/// [`load`], also returning the WAL compaction mark recorded by
+/// [`save_with_mark`] (0 when absent — every pre-WAL snapshot).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; malformed content surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_with_mark(path: &Path) -> io::Result<(GameSession, u64)> {
     let text = fs::read_to_string(path)?;
     let value: Value = text
         .parse()
         .map_err(|e: sp_json::JsonError| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    session_from_value(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    // Marks are WAL record counts; far below 2^53, so the JSON number
+    // round-trips exactly.
+    let mark = value.get("wal_mark").and_then(Value::as_usize).unwrap_or(0) as u64;
+    let session =
+        session_from_value(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((session, mark))
 }
 
 #[cfg(test)]

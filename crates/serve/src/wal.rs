@@ -1,0 +1,620 @@
+//! The per-session write-ahead log: durability for acknowledged ops
+//! plus a tamper-evident audit chain over them.
+//!
+//! # Why a WAL
+//!
+//! The registry spills sessions lazily (LRU under a budget), so before
+//! this module a crash lost every move applied since a session's last
+//! spill — acknowledged work the service then silently forgot, which
+//! the selfish-peer dynamics make *plausibly wrong* rather than loudly
+//! broken. The contract here is append-before-acknowledge: every
+//! state-mutating op ([`crate::wire::SessionOp::is_wal_logged`]) is written to the
+//! session's log before its response is released, so a recovered
+//! process can replay exactly the acknowledged history.
+//!
+//! # File format
+//!
+//! One log file per session, a flat sequence of frames sharing the
+//! length-prefix + CRC envelope; the **first** frame is the header:
+//!
+//! ```text
+//! file   := frame*                       (frame 0 is the header)
+//! frame  := len:u32le  body  crc32:u32le (CRC-32/IEEE over body)
+//! header := "SPWAL01"  varint(base_seq)  varint(base_hash)
+//! record := varint(seq)  varint(prev_hash)  varint(req_len)  request
+//! ```
+//!
+//! `request` is the op verbatim as [`sp_wire::binary::encode_request`]
+//! bytes — the WAL speaks the wire grammar (LEB128 varints,
+//! bounds-checked decode) instead of inventing a second codec, and
+//! replay feeds the decoded requests back through the normal ops
+//! dispatch.
+//!
+//! # The hash chain
+//!
+//! Each record's `prev_hash` carries the chain value before it, and the
+//! chain advances by folding the record body into the running FNV-1a
+//! state: `head' = fnv1a_extend(head, body)`. A fresh log starts at
+//! [`genesis`]. Compaction (snapshot spill) rewrites the file as a bare
+//! header carrying the *current* `(records, head)` — so the chain and
+//! the record count span truncations, and `wal_head` answers the same
+//! before and after a spill. Tampering with any byte of any surviving
+//! record breaks its CRC ([`ErrorCode::BadFrame`]) or, if the CRC is
+//! recomputed, the chain ([`ErrorCode::ChainBroken`]).
+//!
+//! # Torn tails
+//!
+//! Appends are sequential `write_all`s, so a crash mid-append leaves a
+//! *truncated* final frame, never garbage mid-log. [`SessionWal::recover`]
+//! therefore treats an incomplete final frame (or a final frame whose
+//! CRC fails) as a clean end-of-log and truncates it away; the record
+//! was never acknowledged (acknowledgement waits for the group commit),
+//! so dropping it is exactly correct. Anything malformed *before* the
+//! final frame is real corruption and fails recovery loudly.
+//! [`SessionWal::verify`] — the audit path — is strict everywhere.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use sp_graph::{fnv1a, fnv1a_extend};
+
+use crate::wire::binary::{self, Reader, Writer};
+use crate::wire::{ErrorCode, Request, WireError};
+
+/// Magic leading the header frame body (format version 01).
+pub const MAGIC: &[u8; 7] = b"SPWAL01";
+
+/// Upper bound on one frame body; a length field beyond this is treated
+/// as corruption (or a tear) rather than an allocation request.
+const MAX_FRAME_BODY: usize = 1 << 26;
+
+/// The chain value of an empty, never-compacted log.
+#[must_use]
+pub fn genesis() -> u64 {
+    fnv1a(b"sp-serve/wal/v1")
+}
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), computed bitwise — frame
+/// bodies are small (one request), so a table buys nothing here.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes one record body: `seq`, the chain value before the record,
+/// and the request verbatim in the binary wire codec.
+#[must_use]
+pub fn record_body(seq: u64, prev_hash: u64, request: &Request) -> Vec<u8> {
+    let req = binary::encode_request(request);
+    let mut w = Writer::new();
+    w.varint(seq);
+    w.varint(prev_hash);
+    w.usize(req.len());
+    w.bytes(&req);
+    w.into_vec()
+}
+
+/// Decodes one record body back into `(seq, prev_hash, request)`.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadFrame`] on truncation, a hostile length, trailing
+/// bytes, or an undecodable embedded request.
+pub fn parse_record_body(body: &[u8]) -> Result<(u64, u64, Request), WireError> {
+    let mut r = Reader::new(body);
+    let seq = r.varint()?;
+    let prev_hash = r.varint()?;
+    let len = r.count(1)?;
+    let req = binary::decode_request(r.bytes(len)?).map_err(|e| e.error)?;
+    r.finish()?;
+    Ok((seq, prev_hash, req))
+}
+
+fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&u32::try_from(body.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+fn header_frame(base_seq: u64, base_hash: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.varint(base_seq);
+    w.varint(base_hash);
+    frame_bytes(&w.into_vec())
+}
+
+fn chain_broken(msg: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::ChainBroken, msg)
+}
+
+fn bad_frame(msg: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::BadFrame, msg)
+}
+
+/// One step of a sequential frame scan.
+enum ScanFrame<'a> {
+    /// A complete frame whose CRC checks out.
+    Ok(&'a [u8]),
+    /// The bytes from `pos` to EOF do not form a complete valid frame —
+    /// a torn tail if nothing follows, corruption otherwise.
+    Torn,
+}
+
+/// Reads the frame starting at `*pos`, advancing `*pos` past it.
+/// Returns `None` at a clean EOF.
+fn scan_frame<'a>(data: &'a [u8], pos: &mut usize) -> Option<ScanFrame<'a>> {
+    let start = *pos;
+    if start == data.len() {
+        return None;
+    }
+    let Some(len_bytes) = data.get(start..start + 4) else {
+        return Some(ScanFrame::Torn);
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap_or([0; 4])) as usize;
+    if len > MAX_FRAME_BODY {
+        return Some(ScanFrame::Torn);
+    }
+    let body_end = start + 4 + len;
+    let Some(body) = data.get(start + 4..body_end) else {
+        return Some(ScanFrame::Torn);
+    };
+    let Some(crc_bytes) = data.get(body_end..body_end + 4) else {
+        return Some(ScanFrame::Torn);
+    };
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap_or([0; 4]));
+    if crc != crc32(body) {
+        return Some(ScanFrame::Torn);
+    }
+    *pos = body_end + 4;
+    Some(ScanFrame::Ok(body))
+}
+
+fn parse_header(body: &[u8]) -> Result<(u64, u64), WireError> {
+    let mut r = Reader::new(body);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(bad_frame("wal header magic mismatch"));
+    }
+    let base_seq = r.varint()?;
+    let base_hash = r.varint()?;
+    r.finish()?;
+    Ok((base_seq, base_hash))
+}
+
+/// A parse of a whole log file: the compaction base, the surviving
+/// tail records, and where the valid prefix ends.
+struct LogScan {
+    base_seq: u64,
+    /// `(seq, request)` for each intact tail record, in order.
+    records: Vec<(u64, Request)>,
+    /// Chain head after the last intact record.
+    head_hash: u64,
+    /// Byte offset where the valid prefix ends (tear starts here).
+    valid_len: u64,
+    /// Whether bytes past `valid_len` exist (a torn final frame).
+    torn: bool,
+}
+
+/// Scans `data` as a log file. `strict` is the audit mode: a torn tail
+/// (or any other anomaly) is an error instead of an end-of-log.
+fn scan_log(data: &[u8], strict: bool) -> Result<LogScan, WireError> {
+    let mut pos = 0usize;
+    let (base_seq, base_hash) = match scan_frame(data, &mut pos) {
+        Some(ScanFrame::Ok(body)) => parse_header(body)?,
+        Some(ScanFrame::Torn) | None => {
+            // The header is written atomically (temp file + rename), so
+            // it can never be torn by a crashed append — only corrupted.
+            return Err(bad_frame("wal header missing or corrupt"));
+        }
+    };
+    let mut records = Vec::new();
+    let mut seq = base_seq;
+    let mut head = base_hash;
+    loop {
+        let frame_start = pos;
+        match scan_frame(data, &mut pos) {
+            None => {
+                return Ok(LogScan {
+                    base_seq,
+                    records,
+                    head_hash: head,
+                    valid_len: frame_start as u64,
+                    torn: false,
+                });
+            }
+            Some(ScanFrame::Torn) => {
+                if strict {
+                    return Err(bad_frame(format!(
+                        "wal frame at byte {frame_start} is truncated or fails its CRC"
+                    )));
+                }
+                return Ok(LogScan {
+                    base_seq,
+                    records,
+                    head_hash: head,
+                    valid_len: frame_start as u64,
+                    torn: true,
+                });
+            }
+            Some(ScanFrame::Ok(body)) => {
+                let (rec_seq, prev_hash, request) = parse_record_body(body)?;
+                if rec_seq != seq + 1 {
+                    return Err(chain_broken(format!(
+                        "wal record carries seq {rec_seq}, chain expects {}",
+                        seq + 1
+                    )));
+                }
+                if prev_hash != head {
+                    return Err(chain_broken(format!(
+                        "wal record {rec_seq} chains from {prev_hash:016x}, head is {head:016x}"
+                    )));
+                }
+                seq = rec_seq;
+                head = fnv1a_extend(head, body);
+                records.push((rec_seq, request));
+            }
+        }
+    }
+}
+
+/// Atomically (re)writes `path` as a bare header carrying `(base_seq,
+/// base_hash)` and reopens it for appending.
+fn write_fresh(path: &Path, fsync: bool, base_seq: u64, base_hash: u64) -> io::Result<File> {
+    let tmp = path.with_extension("wal.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&header_frame(base_seq, base_hash))?;
+        if fsync {
+            f.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    OpenOptions::new().append(true).open(path)
+}
+
+/// The state a `wal_head` / `wal_verify` response reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalHead {
+    /// Records appended since genesis (spans compactions).
+    pub records: u64,
+    /// The chain head after the last record.
+    pub head_hash: u64,
+}
+
+/// One session's open write-ahead log: an append handle plus the live
+/// chain state. Appends buffer in the OS; [`SessionWal::commit`] is the
+/// durability point (group commit calls it once per worker drain
+/// batch).
+pub struct SessionWal {
+    path: PathBuf,
+    file: File,
+    fsync: bool,
+    records: u64,
+    head_hash: u64,
+    /// Bytes appended since the last commit — the flush-then-spill
+    /// invariant tracks this.
+    pending: bool,
+    /// Set after a failed append: the file may end in a torn frame, so
+    /// further appends would corrupt the log mid-stream.
+    broken: bool,
+}
+
+impl SessionWal {
+    /// Creates a fresh log at `path` (genesis chain, empty tail),
+    /// atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, fsync: bool) -> io::Result<SessionWal> {
+        let file = write_fresh(path, fsync, 0, genesis())?;
+        Ok(SessionWal {
+            path: path.to_path_buf(),
+            file,
+            fsync,
+            records: 0,
+            head_hash: genesis(),
+            pending: false,
+            broken: false,
+        })
+    }
+
+    /// Opens an existing log, tolerating a torn final frame (truncated
+    /// away — it was never acknowledged). Returns the log positioned
+    /// for appending, the compaction base `base_seq`, and the surviving
+    /// tail requests (seqs `base_seq + 1 ..`).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors propagate; corruption *before* the final frame
+    /// (bad header, mid-log CRC or chain failure) is
+    /// [`io::ErrorKind::InvalidData`] — recovery must not guess.
+    pub fn recover(path: &Path, fsync: bool) -> io::Result<(SessionWal, u64, Vec<Request>)> {
+        let data = fs::read(path)?;
+        let scan = scan_log(&data, false)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.message))?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        if scan.torn {
+            file.set_len(scan.valid_len)?;
+        }
+        let records = scan.base_seq + scan.records.len() as u64;
+        let wal = SessionWal {
+            path: path.to_path_buf(),
+            file,
+            fsync,
+            records,
+            head_hash: scan.head_hash,
+            pending: false,
+            broken: false,
+        };
+        let tail = scan.records.into_iter().map(|(_, r)| r).collect();
+        Ok((wal, scan.base_seq, tail))
+    }
+
+    /// The live chain state.
+    #[must_use]
+    pub fn head(&self) -> WalHead {
+        WalHead {
+            records: self.records,
+            head_hash: self.head_hash,
+        }
+    }
+
+    /// Whether appends since the last [`SessionWal::commit`] are still
+    /// awaiting their durability point.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Appends one request record (no sync — durability waits for
+    /// [`SessionWal::commit`]). Must be called *before* the op's
+    /// response is released.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors; a failed append poisons the log (the
+    /// file may end mid-frame), so every later append fails too rather
+    /// than writing records after a tear.
+    pub fn append(&mut self, request: &Request) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::other(
+                "wal is poisoned by an earlier failed append",
+            ));
+        }
+        let body = record_body(self.records + 1, self.head_hash, request);
+        match self.file.write_all(&frame_bytes(&body)) {
+            Ok(()) => {
+                self.records += 1;
+                self.head_hash = fnv1a_extend(self.head_hash, &body);
+                self.pending = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// The durability point: syncs pending appends to disk (when the
+    /// log was opened with `fsync`; otherwise the cadence is identical
+    /// but the syscall is elided — benches and tests run that way).
+    /// Returns whether there was anything pending, i.e. whether this
+    /// commit was a sync point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fsync` failures (pending stays set).
+    pub fn commit(&mut self) -> io::Result<bool> {
+        if !self.pending {
+            return Ok(false);
+        }
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        self.pending = false;
+        Ok(true)
+    }
+
+    /// Compaction: rewrites the file as a bare header carrying the
+    /// current `(records, head_hash)` — the snapshot the caller just
+    /// wrote covers everything up to here, so the tail records are
+    /// truncated to the mark while the chain continues uninterrupted.
+    /// Callers must [`SessionWal::commit`] first (flush-then-spill).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact_to_mark(&mut self) -> io::Result<()> {
+        self.file = write_fresh(&self.path, self.fsync, self.records, self.head_hash)?;
+        self.pending = false;
+        self.broken = false;
+        Ok(())
+    }
+
+    /// The audit check: re-reads the whole file from disk and walks it
+    /// strictly — header magic and CRC, every record's CRC, seq
+    /// continuity, the `prev_hash` chain, and finally that the file's
+    /// head equals the live in-memory head.
+    ///
+    /// # Errors
+    ///
+    /// Structural damage (truncation, CRC failure, undecodable record)
+    /// is [`ErrorCode::BadFrame`]; a record that parses but breaks the
+    /// chain — or a file that disagrees with the live head — is
+    /// [`ErrorCode::ChainBroken`]; unreadable files are
+    /// [`ErrorCode::Io`].
+    pub fn verify(&self) -> Result<WalHead, WireError> {
+        let data = fs::read(&self.path)
+            .map_err(|e| WireError::new(ErrorCode::Io, format!("cannot read wal: {e}")))?;
+        let scan = scan_log(&data, true)?;
+        let records = scan.base_seq + scan.records.len() as u64;
+        if records != self.records || scan.head_hash != self.head_hash {
+            return Err(chain_broken(format!(
+                "wal file ends at ({records}, {:016x}) but the live chain head is ({}, {:016x})",
+                scan.head_hash, self.records, self.head_hash
+            )));
+        }
+        Ok(self.head())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{SessionOp, SessionRequest};
+    use sp_core::{Move, PeerId};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sp-serve-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("s.wal")
+    }
+
+    fn apply_req(k: u64) -> Request {
+        Request::Session(SessionRequest {
+            id: Some(k),
+            session: "s".to_owned(),
+            op: SessionOp::Apply {
+                mv: Move::AddLink {
+                    from: PeerId::new(0),
+                    to: PeerId::new(k as usize + 1),
+                },
+            },
+        })
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_body_round_trips() {
+        let req = apply_req(7);
+        let body = record_body(3, 0xDEAD_BEEF, &req);
+        let (seq, prev, back) = parse_record_body(&body).unwrap();
+        assert_eq!((seq, prev), (3, 0xDEAD_BEEF));
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn append_recover_replays_the_tail() {
+        let path = tmp("tail");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        for k in 0..5 {
+            wal.append(&apply_req(k)).unwrap();
+        }
+        assert!(wal.commit().unwrap());
+        assert!(!wal.commit().unwrap(), "second commit has nothing pending");
+        let head = wal.head();
+        assert_eq!(head.records, 5);
+        drop(wal);
+
+        let (wal, base, tail) = SessionWal::recover(&path, false).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail[2], apply_req(2));
+        assert_eq!(wal.head(), head, "recovery reproduces the chain head");
+        assert!(wal.verify().is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_the_chain_across_truncation() {
+        let path = tmp("compact");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        for k in 0..3 {
+            wal.append(&apply_req(k)).unwrap();
+        }
+        wal.commit().unwrap();
+        let head = wal.head();
+        wal.compact_to_mark().unwrap();
+        assert_eq!(wal.head(), head, "compaction keeps records and head");
+        wal.append(&apply_req(3)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+
+        let (wal, base, tail) = SessionWal::recover(&path, false).unwrap();
+        assert_eq!(base, 3, "tail restarts at the compaction mark");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(wal.head().records, 4);
+        assert!(wal.verify().is_ok());
+    }
+
+    #[test]
+    fn torn_final_record_is_a_clean_end_of_log_at_every_offset() {
+        let path = tmp("torn");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        wal.append(&apply_req(0)).unwrap();
+        let intact_len = fs::metadata(&path).unwrap().len();
+        wal.append(&apply_req(1)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+
+        for cut in intact_len..fs::metadata(&path).unwrap().len() {
+            fs::write(&path, &full[..cut as usize]).unwrap();
+            let (wal, _, tail) = SessionWal::recover(&path, false).expect("torn tail must recover");
+            assert_eq!(tail.len(), 1, "cut at {cut} must drop only the torn record");
+            assert_eq!(wal.head().records, 1);
+            assert!(
+                wal.verify().is_ok(),
+                "recovery truncates the tear, so verify is clean"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected_with_a_typed_error() {
+        let path = tmp("corrupt");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        for k in 0..3 {
+            wal.append(&apply_req(k)).unwrap();
+        }
+        wal.commit().unwrap();
+        let clean = fs::read(&path).unwrap();
+        assert!(wal.verify().is_ok());
+
+        for i in 0..clean.len() {
+            let mut bent = clean.clone();
+            bent[i] ^= 0x40;
+            fs::write(&path, &bent).unwrap();
+            let e = wal
+                .verify()
+                .expect_err(&format!("flipping byte {i} must fail verification"));
+            assert!(
+                matches!(e.code, ErrorCode::BadFrame | ErrorCode::ChainBroken),
+                "byte {i}: unexpected error {e:?}"
+            );
+        }
+        fs::write(&path, &clean).unwrap();
+        assert!(wal.verify().is_ok(), "restoring the bytes restores the log");
+    }
+
+    #[test]
+    fn verify_catches_a_log_swapped_under_a_live_head() {
+        let path = tmp("swap");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        wal.append(&apply_req(0)).unwrap();
+        wal.commit().unwrap();
+        // An attacker replacing the file with a *self-consistent* but
+        // shorter log still trips the live-head cross-check.
+        fs::write(&path, header_frame(0, genesis())).unwrap();
+        let e = wal.verify().unwrap_err();
+        assert_eq!(e.code, ErrorCode::ChainBroken);
+    }
+}

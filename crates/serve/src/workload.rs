@@ -28,7 +28,7 @@ use rand::prelude::*;
 use sp_core::{BackendMode, BestResponseMethod, GameSession, Move, PeerId};
 use sp_json::Value;
 
-use crate::client::Client;
+use crate::client::ServeClient;
 use crate::ops;
 use crate::wire::{
     json, DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, Geometry, Request, Response, ResultBody,
@@ -337,8 +337,9 @@ fn reference_respond(sessions: &mut HashMap<String, GameSession>, request: &Requ
 #[derive(Debug)]
 pub struct ReplayOutcome {
     /// One response per script request, in script order, as the JSON
-    /// rendering of what the server sent (parsed for protocol 1,
-    /// decoded-and-re-encoded for protocol 2).
+    /// rendering of the typed response the server sent — the shared
+    /// encoder on both sides is what makes cross-protocol comparison
+    /// exact.
     pub responses: Vec<Value>,
     /// Closed-loop latency of each request in nanoseconds, script order.
     pub latencies: Vec<u64>,
@@ -372,16 +373,21 @@ pub fn replay(
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || -> io::Result<Vec<(usize, Value, u64)>> {
-                    let mut client = Client::connect_proto(addr, proto)?;
+                    let mut client = ServeClient::connect(addr, proto)?;
                     let mut out = Vec::new();
                     for (k, r) in script.iter().enumerate() {
                         if r.session_index % clients != c {
                             continue;
                         }
                         let sent = Instant::now();
-                        let response = client.call_request(&r.request)?;
+                        // Transport/decode failures abort the replay;
+                        // server-side errors are part of the response
+                        // and flow into the comparison like any other.
+                        let response = client.request(&r.request).map_err(|e| {
+                            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                        })?;
                         let nanos = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        out.push((k, response, nanos));
+                        out.push((k, json::encode_response(&response), nanos));
                     }
                     Ok(out)
                 })

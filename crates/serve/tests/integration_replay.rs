@@ -17,10 +17,11 @@
 
 use std::path::PathBuf;
 
-use sp_json::{json, Value};
-use sp_serve::registry::RegistryConfig;
-use sp_serve::server::{call_once, IoModel, Server, ServerConfig};
-use sp_serve::wire::{Request, SessionOp, PROTO_BINARY, PROTO_JSON};
+use sp_json::Value;
+use sp_serve::client::ServeClient;
+use sp_serve::config::ServeConfig;
+use sp_serve::server::{IoModel, Server};
+use sp_serve::wire::{Request, ResultBody, SessionOp, PROTO_BINARY, PROTO_JSON};
 use sp_serve::workload::{self, WorkloadConfig};
 
 fn test_dir(tag: &str) -> PathBuf {
@@ -44,16 +45,14 @@ fn run_replay(
     usize,
 ) {
     let dir = test_dir(tag);
-    let server = Server::start(ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        workers,
-        io,
-        registry: RegistryConfig {
-            memory_budget: budget,
-            spill_dir: dir.clone(),
-            queue_capacity: 32,
-        },
-    })
+    let server = Server::start(
+        ServeConfig::new()
+            .workers(workers)
+            .io(io)
+            .memory_budget(budget)
+            .spill_dir(dir.clone())
+            .queue_capacity(32),
+    )
     .expect("server starts");
     let addr = server.local_addr();
 
@@ -66,10 +65,9 @@ fn run_replay(
     let stats = server.registry().stats();
 
     // Protocol sanity: the registry-level ops answer inline (over a
-    // fresh implicit protocol-1 connection, whatever the replay spoke).
-    let pong = call_once(addr, &json!({ "op": "ping", "id": 1 })).unwrap();
-    assert_eq!(pong["ok"], true);
-    assert_eq!(pong["result"]["pong"], true);
+    // fresh typed connection, whatever the replay spoke).
+    let mut client = ServeClient::connect(addr, PROTO_JSON).expect("ping connection");
+    assert_eq!(client.ping(), Ok(ResultBody::Pong));
 
     server.shutdown();
     let reference = workload::reference_responses(&script);

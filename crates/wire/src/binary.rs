@@ -60,20 +60,34 @@ fn bad(m: impl Into<String>) -> WireError {
 // Writer
 // ---------------------------------------------------------------------
 
-struct Writer {
+/// The binary codec's primitive encoder: LEB128 varints, little-endian
+/// IEEE-754 floats, length-prefixed UTF-8 strings. Public so other
+/// on-disk formats (the sp-serve write-ahead log) can share the exact
+/// wire grammar instead of inventing a second varint.
+pub struct Writer {
     buf: Vec<u8>,
 }
 
+impl Default for Writer {
+    fn default() -> Writer {
+        Writer::new()
+    }
+}
+
 impl Writer {
-    fn new() -> Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
         Writer { buf: Vec::new() }
     }
 
-    fn u8(&mut self, b: u8) {
+    /// Appends one raw byte.
+    pub fn u8(&mut self, b: u8) {
         self.buf.push(b);
     }
 
-    fn varint(&mut self, mut x: u64) {
+    /// Appends a LEB128 varint (≤ 10 bytes).
+    pub fn varint(&mut self, mut x: u64) {
         loop {
             let byte = (x & 0x7F) as u8;
             x >>= 7;
@@ -85,17 +99,44 @@ impl Writer {
         }
     }
 
-    fn usize(&mut self, x: usize) {
+    /// Appends a `usize` as a varint.
+    pub fn usize(&mut self, x: usize) {
         self.varint(x as u64);
     }
 
-    fn f64(&mut self, x: f64) {
+    /// Appends IEEE-754 bits, little-endian (lossless, ±∞ included).
+    pub fn f64(&mut self, x: f64) {
         self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
     }
 
-    fn string(&mut self, s: &str) {
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
         self.usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes with no framing (the caller has already
+    /// written a length, or the bytes run to the end of the record).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -103,21 +144,33 @@ impl Writer {
 // Reader
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+/// The binary codec's bounds-checked decoder, the inverse of
+/// [`Writer`]. Every failure is a typed [`ErrorCode::BadFrame`] error —
+/// never a panic, never an attacker-sized allocation.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    /// A reader over one frame payload.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    /// Reads one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
         let b = *self
             .buf
             .get(self.pos)
@@ -126,7 +179,13 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn varint(&mut self) -> Result<u64, WireError> {
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] on truncation, overlong encodings, or
+    /// u64 overflow.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
         let mut x: u64 = 0;
         for shift in (0..64).step_by(7) {
             let byte = self.u8()?;
@@ -142,14 +201,25 @@ impl<'a> Reader<'a> {
         Err(bad("varint longer than 10 bytes"))
     }
 
-    fn usize(&mut self) -> Result<usize, WireError> {
+    /// Reads a varint that must fit a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] as [`Reader::varint`], plus range
+    /// overflow on 32-bit targets.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
         usize::try_from(self.varint()?).map_err(|_| bad("integer out of range"))
     }
 
     /// A collection count, sanity-checked against the bytes actually
     /// present (each element costs ≥ `min_bytes_each`) so a hostile
     /// count cannot drive a huge allocation from a tiny frame.
-    fn count(&mut self, min_bytes_each: usize) -> Result<usize, WireError> {
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] when the claimed count could not fit the
+    /// remaining payload.
+    pub fn count(&mut self, min_bytes_each: usize) -> Result<usize, WireError> {
         let n = self.usize()?;
         if n > self.remaining() / min_bytes_each.max(1) {
             return Err(bad("collection count exceeds frame size"));
@@ -157,7 +227,12 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn f64(&mut self) -> Result<f64, WireError> {
+    /// Reads IEEE-754 bits, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] on truncation.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
         let end = self
             .pos
             .checked_add(8)
@@ -171,7 +246,12 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, WireError> {
         let len = self.count(1)?;
         let end = self.pos + len;
         let bytes = self
@@ -185,7 +265,32 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn finish(&self) -> Result<(), WireError> {
+    /// Reads `n` raw bytes as a borrowed slice (length decided by the
+    /// caller, e.g. from a varint it just read — the WAL record codec
+    /// embeds whole request payloads this way).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] on truncation.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| bad("frame truncated"))?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| bad("frame truncated"))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadFrame`] when trailing bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
         if self.remaining() != 0 {
             return Err(bad(format!(
                 "{} trailing bytes after frame payload",
@@ -416,7 +521,9 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                 | SessionOp::SocialCost
                 | SessionOp::Stretch
                 | SessionOp::Snapshot
-                | SessionOp::Evict => {}
+                | SessionOp::Evict
+                | SessionOp::WalHead
+                | SessionOp::WalVerify => {}
                 SessionOp::Apply { mv } => write_move(&mut w, mv),
                 SessionOp::ApplyBatch { moves } => {
                     w.usize(moves.len());
@@ -590,6 +697,8 @@ fn read_session_op(r: &mut Reader<'_>, code: OpCode) -> Result<SessionOp, WireEr
         }
         OpCode::Snapshot => SessionOp::Snapshot,
         OpCode::Evict => SessionOp::Evict,
+        OpCode::WalHead => SessionOp::WalHead,
+        OpCode::WalVerify => SessionOp::WalVerify,
         // The caller routed registry-level ops before calling; reaching
         // here means the tag byte named one in session position.
         OpCode::Hello | OpCode::Ping | OpCode::Stats => {
@@ -651,6 +760,8 @@ fn result_tag(body: &ResultBody) -> u8 {
         ResultBody::Dynamics(_) => OpCode::RunDynamics,
         ResultBody::Persisted => OpCode::Snapshot,
         ResultBody::Evicted => OpCode::Evict,
+        ResultBody::WalHead { .. } => OpCode::WalHead,
+        ResultBody::WalVerified { .. } => OpCode::WalVerify,
     }) as u8
 }
 
@@ -710,6 +821,11 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                     w.usize(d.steps);
                     w.usize(d.moves);
                     write_social_cost(&mut w, &d.social_cost);
+                }
+                ResultBody::WalHead { records, head_hash }
+                | ResultBody::WalVerified { records, head_hash } => {
+                    w.varint(*records);
+                    w.varint(*head_hash);
                 }
             }
         }
@@ -806,6 +922,14 @@ fn read_result(r: &mut Reader<'_>, tag: u8) -> Result<ResultBody, WireError> {
         }),
         OpCode::Snapshot => ResultBody::Persisted,
         OpCode::Evict => ResultBody::Evicted,
+        OpCode::WalHead => ResultBody::WalHead {
+            records: r.varint()?,
+            head_hash: r.varint()?,
+        },
+        OpCode::WalVerify => ResultBody::WalVerified {
+            records: r.varint()?,
+            head_hash: r.varint()?,
+        },
     })
 }
 
@@ -875,6 +999,16 @@ mod tests {
             },
         }));
         round_trip_request(&Request::Session(SessionRequest {
+            id: Some(5),
+            session: "s3".to_owned(),
+            op: SessionOp::WalHead,
+        }));
+        round_trip_request(&Request::Session(SessionRequest {
+            id: None,
+            session: "s4".to_owned(),
+            op: SessionOp::WalVerify,
+        }));
+        round_trip_request(&Request::Session(SessionRequest {
             id: Some(3),
             session: "s2".to_owned(),
             op: SessionOp::RunDynamics(DynamicsSpec {
@@ -915,6 +1049,25 @@ mod tests {
         round_trip_response(&Response::err(
             Some(2),
             WireError::new(ErrorCode::UnknownSession, "unknown session \"x\""),
+        ));
+        // The 64-bit chain hash must survive the varint path verbatim.
+        round_trip_response(&Response::ok(
+            Some(7),
+            ResultBody::WalHead {
+                records: 1_000_003,
+                head_hash: u64::MAX - 11,
+            },
+        ));
+        round_trip_response(&Response::ok(
+            None,
+            ResultBody::WalVerified {
+                records: 0,
+                head_hash: 0xcbf2_9ce4_8422_2325,
+            },
+        ));
+        round_trip_response(&Response::err(
+            Some(8),
+            WireError::new(ErrorCode::ChainBroken, "record 3: crc mismatch"),
         ));
     }
 

@@ -129,7 +129,9 @@ pub fn encode_request(request: &Request) -> Value {
                 | SessionOp::SocialCost
                 | SessionOp::Stretch
                 | SessionOp::Snapshot
-                | SessionOp::Evict => {}
+                | SessionOp::Evict
+                | SessionOp::WalHead
+                | SessionOp::WalVerify => {}
                 SessionOp::Apply { mv } => fields.push(("move".to_owned(), move_value(mv))),
                 SessionOp::ApplyBatch { moves } => fields.push((
                     "moves".to_owned(),
@@ -497,6 +499,8 @@ pub fn decode_request(v: &Value) -> Result<Request, DecodeError> {
         OpCode::RunDynamics => wrap(parse_dynamics_spec(v).map(SessionOp::RunDynamics)),
         OpCode::Snapshot => wrap(Ok(SessionOp::Snapshot)),
         OpCode::Evict => wrap(Ok(SessionOp::Evict)),
+        OpCode::WalHead => wrap(Ok(SessionOp::WalHead)),
+        OpCode::WalVerify => wrap(Ok(SessionOp::WalVerify)),
         // Already returned above; kept as a typed error so no panic can
         // live on the request path.
         OpCode::Hello | OpCode::Ping | OpCode::Stats => fail(
@@ -591,6 +595,17 @@ pub fn encode_result(body: &ResultBody) -> Value {
         }),
         ResultBody::Persisted => json!({ "persisted": true }),
         ResultBody::Evicted => json!({ "evicted": true }),
+        // The chain hash is a full u64; JSON numbers are f64, so it
+        // travels as a fixed-width hex string to stay lossless.
+        ResultBody::WalHead { records, head_hash } => json!({
+            "records": *records as usize,
+            "head_hash": format!("{head_hash:016x}"),
+        }),
+        ResultBody::WalVerified { records, head_hash } => json!({
+            "verified": true,
+            "records": *records as usize,
+            "head_hash": format!("{head_hash:016x}"),
+        }),
     }
 }
 
@@ -636,6 +651,18 @@ fn need_usize(v: &Value, key: &str) -> Result<usize, WireError> {
             format!("result needs an integer {key:?} field"),
         )
     })
+}
+
+fn need_hash(v: &Value, key: &str) -> Result<u64, WireError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadFrame,
+                format!("result needs a hex-string {key:?} field"),
+            )
+        })
 }
 
 fn need_usize_array(v: &Value) -> Result<Vec<usize>, WireError> {
@@ -773,6 +800,14 @@ fn decode_result(v: &Value, op: OpCode) -> Result<ResultBody, WireError> {
         }
         OpCode::Snapshot => ResultBody::Persisted,
         OpCode::Evict => ResultBody::Evicted,
+        OpCode::WalHead => ResultBody::WalHead {
+            records: need_usize(v, "records")? as u64,
+            head_hash: need_hash(v, "head_hash")?,
+        },
+        OpCode::WalVerify => ResultBody::WalVerified {
+            records: need_usize(v, "records")? as u64,
+            head_hash: need_hash(v, "head_hash")?,
+        },
     })
 }
 
@@ -925,6 +960,27 @@ mod tests {
         let v = encode_result(&body);
         assert_eq!(v.to_string_compact(), r#"{"max_stretch":"inf"}"#);
         assert_eq!(decode_result(&v, OpCode::Stretch).unwrap(), body);
+    }
+
+    #[test]
+    fn wal_results_round_trip_losslessly() {
+        let head = ResultBody::WalHead {
+            records: 42,
+            head_hash: u64::MAX - 3,
+        };
+        let v = encode_result(&head);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"records":42,"head_hash":"fffffffffffffffc"}"#
+        );
+        assert_eq!(decode_result(&v, OpCode::WalHead).unwrap(), head);
+
+        let verified = ResultBody::WalVerified {
+            records: 0,
+            head_hash: 0xcbf2_9ce4_8422_2325,
+        };
+        let v = encode_result(&verified);
+        assert_eq!(decode_result(&v, OpCode::WalVerify).unwrap(), verified);
     }
 
     #[test]

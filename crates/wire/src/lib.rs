@@ -84,6 +84,10 @@ pub enum OpCode {
     Snapshot = 0x19,
     /// Persist the session and drop it from memory.
     Evict = 0x1A,
+    /// Read the session's WAL head: record count + chain head hash.
+    WalHead = 0x1B,
+    /// Re-scan the session's WAL, verifying CRCs and the hash chain.
+    WalVerify = 0x1C,
 }
 
 impl OpCode {
@@ -105,6 +109,8 @@ impl OpCode {
             OpCode::RunDynamics => "run_dynamics",
             OpCode::Snapshot => "snapshot",
             OpCode::Evict => "evict",
+            OpCode::WalHead => "wal_head",
+            OpCode::WalVerify => "wal_verify",
         }
     }
 
@@ -126,6 +132,8 @@ impl OpCode {
             "run_dynamics" => OpCode::RunDynamics,
             "snapshot" => OpCode::Snapshot,
             "evict" => OpCode::Evict,
+            "wal_head" => OpCode::WalHead,
+            "wal_verify" => OpCode::WalVerify,
             _ => return None,
         })
     }
@@ -148,6 +156,8 @@ impl OpCode {
             0x18 => OpCode::RunDynamics,
             0x19 => OpCode::Snapshot,
             0x1A => OpCode::Evict,
+            0x1B => OpCode::WalHead,
+            0x1C => OpCode::WalVerify,
             _ => return None,
         })
     }
@@ -183,6 +193,8 @@ pub enum ErrorCode {
     BadProto = 11,
     /// The frame payload could not be decoded at all.
     BadFrame = 12,
+    /// The write-ahead log failed verification (CRC or hash chain).
+    ChainBroken = 13,
 }
 
 impl ErrorCode {
@@ -202,6 +214,7 @@ impl ErrorCode {
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::BadProto => "bad_proto",
             ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::ChainBroken => "chain_broken",
         }
     }
 
@@ -222,6 +235,7 @@ impl ErrorCode {
             "shutdown" => ErrorCode::Shutdown,
             "bad_proto" => ErrorCode::BadProto,
             "bad_frame" => ErrorCode::BadFrame,
+            "chain_broken" => ErrorCode::ChainBroken,
             _ => return None,
         })
     }
@@ -242,6 +256,7 @@ impl ErrorCode {
             10 => ErrorCode::Shutdown,
             11 => ErrorCode::BadProto,
             12 => ErrorCode::BadFrame,
+            13 => ErrorCode::ChainBroken,
             _ => return None,
         })
     }
@@ -376,6 +391,10 @@ pub enum SessionOp {
     Snapshot,
     /// Persist the session and drop it from memory.
     Evict,
+    /// Read the session's WAL head (record count + chain head hash).
+    WalHead,
+    /// Re-scan the session's WAL, verifying every CRC and chain link.
+    WalVerify,
 }
 
 impl SessionOp {
@@ -394,6 +413,8 @@ impl SessionOp {
             SessionOp::RunDynamics(_) => OpCode::RunDynamics,
             SessionOp::Snapshot => OpCode::Snapshot,
             SessionOp::Evict => OpCode::Evict,
+            SessionOp::WalHead => OpCode::WalHead,
+            SessionOp::WalVerify => OpCode::WalVerify,
         }
     }
 
@@ -407,6 +428,24 @@ impl SessionOp {
                 | SessionOp::Apply { .. }
                 | SessionOp::ApplyBatch { .. }
                 | SessionOp::RunDynamics(_)
+        )
+    }
+
+    /// Whether the op is recorded in the session's write-ahead log.
+    /// Broader than [`SessionOp::is_mutating`]: `load` and `evict` do
+    /// not dirty the snapshot, but they are lifecycle transitions the
+    /// audit chain must witness — a verifier replaying the log has to
+    /// see the same residency history the service acknowledged.
+    #[must_use]
+    pub fn is_wal_logged(&self) -> bool {
+        matches!(
+            self,
+            SessionOp::Create(_)
+                | SessionOp::Load
+                | SessionOp::Apply { .. }
+                | SessionOp::ApplyBatch { .. }
+                | SessionOp::RunDynamics(_)
+                | SessionOp::Evict
         )
     }
 }
@@ -588,6 +627,21 @@ pub enum ResultBody {
     Persisted,
     /// `evict`.
     Evicted,
+    /// `wal_head`: the audit chain's current head.
+    WalHead {
+        /// Records appended to the chain since its genesis (compaction
+        /// does not reset this — the chain spans truncations).
+        records: u64,
+        /// fnv1a hash chaining every record header back to genesis.
+        head_hash: u64,
+    },
+    /// `wal_verify`: the log re-scanned clean end to end.
+    WalVerified {
+        /// Records the verifier walked.
+        records: u64,
+        /// Chain head after the walk (matches `wal_head`).
+        head_hash: u64,
+    },
 }
 
 /// One response frame, fully typed.
@@ -692,6 +746,8 @@ mod tests {
             OpCode::RunDynamics,
             OpCode::Snapshot,
             OpCode::Evict,
+            OpCode::WalHead,
+            OpCode::WalVerify,
         ] {
             assert_eq!(OpCode::from_name(op.name()), Some(op));
             assert_eq!(OpCode::from_u8(op as u8), Some(op));
@@ -715,6 +771,7 @@ mod tests {
             ErrorCode::Shutdown,
             ErrorCode::BadProto,
             ErrorCode::BadFrame,
+            ErrorCode::ChainBroken,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
@@ -747,5 +804,20 @@ mod tests {
         assert!(!SessionOp::SocialCost.is_mutating());
         assert!(!SessionOp::Evict.is_mutating());
         assert_eq!(mv.code(), OpCode::Apply);
+    }
+
+    #[test]
+    fn wal_logged_classification() {
+        // The WAL witnesses every lifecycle transition, not just the
+        // snapshot-dirtying ops.
+        assert!(SessionOp::Load.is_wal_logged());
+        assert!(SessionOp::Evict.is_wal_logged());
+        // Pure queries and the audit ops themselves stay out of the log.
+        assert!(!SessionOp::SocialCost.is_wal_logged());
+        assert!(!SessionOp::Snapshot.is_wal_logged());
+        assert!(!SessionOp::WalHead.is_wal_logged());
+        assert!(!SessionOp::WalVerify.is_wal_logged());
+        assert_eq!(SessionOp::WalHead.code(), OpCode::WalHead);
+        assert_eq!(SessionOp::WalVerify.code(), OpCode::WalVerify);
     }
 }
