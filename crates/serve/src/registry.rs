@@ -559,7 +559,13 @@ impl SessionRegistry {
     /// The group-commit point: one [`SessionWal::commit`] per distinct
     /// log touched by the batch, then every held-back response is
     /// delivered. A failed commit turns the affected responses into
-    /// typed I/O errors — an un-synced op is never acknowledged.
+    /// typed I/O errors — an un-synced op is never acknowledged — and
+    /// poisons the log (inside [`SessionWal::commit`]): a later batch
+    /// must not retry the sync, because a "successful" fsync after a
+    /// failed one may not cover the records these clients were told
+    /// failed, and it would make them durable and replayable anyway.
+    /// The poisoned session is quarantined by [`SessionRegistry::run_job`]
+    /// until a restart recovers from what actually reached disk.
     fn commit_batch(&self, batch: &mut Vec<PendingReply>) {
         let mut wals: Vec<Arc<Mutex<SessionWal>>> = Vec::new();
         for p in batch.iter() {
@@ -664,8 +670,12 @@ impl SessionRegistry {
     ///    idle session may hold records appended this batch but not
     ///    yet group-committed);
     /// 2. **snapshot with mark** — the file records the WAL position
-    ///    it captures, so a crash between steps 2 and 3 just makes
-    ///    recovery skip the tail records the snapshot already covers;
+    ///    it captures, and under durability fsync it is synced to disk
+    ///    (data, then directory entry) before step 3 may truncate the
+    ///    records it covers: a crash between steps 2 and 3 just makes
+    ///    recovery skip the tail records the snapshot already covers,
+    ///    and power loss can never keep the truncation while losing
+    ///    the snapshot;
     /// 3. **compact** — the log is rewritten as a bare header carrying
     ///    the same `(records, head)`, so the audit chain spans the
     ///    truncation.
@@ -689,7 +699,12 @@ impl SessionRegistry {
         }
         if dirty || !path.exists() {
             // sp-lint: allow(lock-hygiene, reason = "deliberate hold-across-save: the commit -> snapshot -> compact sequence must be atomic against concurrent appends or the mark could cover records it never flushed")
-            snapshot::save_with_mark(&path, session, w.head().records)?;
+            snapshot::save_with_mark(
+                &path,
+                session,
+                w.head().records,
+                self.config.durability.fsync(),
+            )?;
         }
         // A clean session skips the save: its records since the
         // snapshot are all non-mutating (anything else would have set
@@ -732,8 +747,11 @@ impl SessionRegistry {
         // Append-before-acknowledge: a successful logged op goes into
         // the session's WAL here — before the entry unlocks, before
         // the reply is even queued. Failures flip the response to a
-        // typed I/O error (and poison the log) rather than ever
-        // acknowledging an op the log does not witness.
+        // typed I/O error and poison the log rather than ever
+        // acknowledging an op it does not witness; the mutated
+        // resident state is installed below but unobservable — the
+        // poisoned log quarantines the session (`run_job` fails every
+        // later op) so reads can never serve the un-logged mutation.
         let mut reply_wal = None;
         if self.config.durability.is_wal()
             && job.request.op.is_wal_logged()
@@ -824,6 +842,29 @@ impl SessionRegistry {
             let response = self.wal_audit(name, request, created, wal.as_ref());
             return JobOutcome {
                 response,
+                resident,
+                created,
+                dirty,
+            };
+        }
+
+        // A poisoned log quarantines its session: after a failed append
+        // or commit, resident state may hold mutations the durable log
+        // does not witness (the op ran, the record didn't make it), so
+        // serving *any* further op — reads included — could expose
+        // un-logged state as if it were acknowledged. Every op fails
+        // typed until a restart rebuilds the session from what actually
+        // reached disk.
+        if wal.as_ref().is_some_and(|w| lock_unpoisoned(w).is_broken()) {
+            let e = WireError::new(
+                ErrorCode::Io,
+                format!(
+                    "session {name:?} wal is poisoned by an earlier append or commit \
+                     failure; restart the server to recover the durable state"
+                ),
+            );
+            return JobOutcome {
+                response: Response::err(id, e),
                 resident,
                 created,
                 dirty,
@@ -1032,9 +1073,20 @@ impl SessionRegistry {
             }),
             Some(w) => {
                 let w = lock_unpoisoned(w);
-                match request.op {
-                    SessionOp::WalVerify => w.verify(),
-                    _ => Ok(w.head()),
+                if w.is_broken() {
+                    // A poisoned log's live head counts records whose
+                    // durability is unknown — neither audit op may
+                    // vouch for it (`verify` refuses on its own; the
+                    // head must not dodge the check).
+                    Err(WireError::new(
+                        ErrorCode::Io,
+                        "wal is poisoned by an earlier failed append or commit",
+                    ))
+                } else {
+                    match request.op {
+                        SessionOp::WalVerify => w.verify(),
+                        _ => Ok(w.head()),
+                    }
                 }
             }
         };
@@ -1424,6 +1476,61 @@ mod tests {
         assert_eq!(r["result"]["mode"].as_str(), Some("sparse"));
         let sc2 = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "big" }));
         assert_eq!(sc2, sc1, "restored sparse session must answer identically");
+        registry.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_poisoned_wal_quarantines_its_session() {
+        let dir = test_dir("poison");
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_dir: dir.clone(),
+            durability: Durability::Wal {
+                group_commit: 8,
+                fsync: false,
+            },
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        let workers = registry.spawn_workers(1);
+        let r = submit_and_wait(&registry, create_body("p", &[0.0, 1.0, 3.0]));
+        assert_eq!(r["ok"], true, "{r}");
+
+        // Fault injection: poison the session's log exactly as a failed
+        // append or group-commit fsync would.
+        {
+            let entry = registry.entry("p");
+            let wal = lock_unpoisoned(&entry.state)
+                .wal
+                .clone()
+                .expect("create opened the log");
+            lock_unpoisoned(&wal).poison_for_test();
+        }
+
+        // Every op — reads, mutations, spills, audits — fails typed:
+        // resident state may hold mutations the log does not witness,
+        // so nothing may serve (or persist) it.
+        for body in [
+            json!({ "op": "social_cost", "session": "p" }),
+            json!({ "op": "apply", "session": "p", "move": json!({ "add": [0, 2] }) }),
+            json!({ "op": "evict", "session": "p" }),
+            json!({ "op": "wal_head", "session": "p" }),
+            json!({ "op": "wal_verify", "session": "p" }),
+        ] {
+            let r = submit_and_wait(&registry, body.clone());
+            assert_eq!(r["ok"], false, "{body} must fail on a poisoned wal");
+            assert_eq!(r["code"].as_str(), Some("io"), "{r}");
+        }
+
+        // Other sessions are untouched by the quarantine.
+        let r = submit_and_wait(&registry, create_body("q", &[0.0, 1.0, 3.0]));
+        assert_eq!(r["ok"], true, "{r}");
+        let r = submit_and_wait(&registry, json!({ "op": "social_cost", "session": "q" }));
+        assert_eq!(r["ok"], true, "{r}");
+
         registry.shutdown();
         for w in workers {
             w.join().unwrap();

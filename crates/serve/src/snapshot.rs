@@ -50,7 +50,7 @@
 //! ```
 
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
 use sp_core::{BackendMode, Game, GameSession, SessionSnapshot, SparseParams, StrategyProfile};
@@ -321,13 +321,15 @@ fn sparse_session_from_value(v: &Value) -> Result<GameSession, String> {
 }
 
 /// Writes a session snapshot to `path` atomically (temp file + rename),
-/// so a crash mid-spill never leaves a truncated snapshot behind.
+/// so a crash mid-spill never leaves a truncated snapshot behind. No
+/// fsync — the non-WAL spill path, where durability is best-effort by
+/// contract.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn save(path: &Path, session: &mut GameSession) -> io::Result<()> {
-    save_with_mark(path, session, 0)
+    save_with_mark(path, session, 0, false)
 }
 
 /// [`save`], additionally recording the WAL compaction mark: the
@@ -338,10 +340,24 @@ pub fn save(path: &Path, session: &mut GameSession) -> io::Result<()> {
 /// the mark says so. A zero mark is omitted from the file (byte-for-
 /// byte the historical format, which non-WAL deployments still write).
 ///
+/// Under `fsync` the snapshot is made *durable*, not just atomic: the
+/// temp file is synced before the rename and the directory entry after
+/// it. The WAL compaction that follows a spill truncates records the
+/// snapshot claims to cover, so the snapshot must be on disk — not in
+/// the page cache — before that truncation can happen; otherwise power
+/// loss could keep the (durably renamed) truncated log while losing
+/// the snapshot, making acknowledged records at or below the mark
+/// unrecoverable.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save_with_mark(path: &Path, session: &mut GameSession, mark: u64) -> io::Result<()> {
+pub fn save_with_mark(
+    path: &Path,
+    session: &mut GameSession,
+    mark: u64,
+    fsync: bool,
+) -> io::Result<()> {
     let mut value = session_to_value(session);
     if mark > 0 {
         if let Value::Object(fields) = &mut value {
@@ -349,8 +365,18 @@ pub fn save_with_mark(path: &Path, session: &mut GameSession, mark: u64) -> io::
         }
     }
     let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, value.to_string_compact())?;
-    fs::rename(&tmp, path)
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(value.to_string_compact().as_bytes())?;
+        if fsync {
+            f.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if fsync {
+        crate::wal::sync_parent_dir(path)?;
+    }
+    Ok(())
 }
 
 /// Reads a session snapshot from `path`.

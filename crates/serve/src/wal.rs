@@ -50,8 +50,23 @@
 //! CRC fails) as a clean end-of-log and truncates it away; the record
 //! was never acknowledged (acknowledgement waits for the group commit),
 //! so dropping it is exactly correct. Anything malformed *before* the
-//! final frame is real corruption and fails recovery loudly.
+//! final frame is real corruption and fails recovery loudly — the two
+//! are told apart by looking past the anomaly: a genuine tear is the
+//! final frame cut short, so if any complete valid frame starts
+//! anywhere after the bad bytes, the log is corrupt, not torn, and
+//! truncating there would silently drop acknowledged records.
 //! [`SessionWal::verify`] — the audit path — is strict everywhere.
+//!
+//! # Poisoning
+//!
+//! A failed append may leave the file ending mid-frame, and a failed
+//! fsync may have dropped the dirty pages — after either, a later
+//! "successful" operation could retroactively make records durable
+//! that clients were already told failed. Both therefore *poison* the
+//! log: every subsequent [`SessionWal::append`], [`SessionWal::commit`],
+//! [`SessionWal::compact_to_mark`], and [`SessionWal::verify`] fails
+//! until the process restarts and recovers from what actually reached
+//! disk.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -239,6 +254,21 @@ fn scan_log(data: &[u8], strict: bool) -> Result<LogScan, WireError> {
                         "wal frame at byte {frame_start} is truncated or fails its CRC"
                     )));
                 }
+                // A genuine tear is the *final* frame cut short, so
+                // nothing after it can parse. If a complete valid frame
+                // starts anywhere in the remaining bytes, this is
+                // mid-log corruption — truncating here would silently
+                // drop acknowledged records (and a later audit of the
+                // truncated file would pass, destroying the evidence).
+                for start in frame_start + 1..data.len() {
+                    let mut p = start;
+                    if matches!(scan_frame(data, &mut p), Some(ScanFrame::Ok(_))) {
+                        return Err(bad_frame(format!(
+                            "wal frame at byte {frame_start} is corrupt but a valid frame \
+                             follows at byte {start} — mid-log corruption, not a torn tail"
+                        )));
+                    }
+                }
                 return Ok(LogScan {
                     base_seq,
                     records,
@@ -268,6 +298,17 @@ fn scan_log(data: &[u8], strict: bool) -> Result<LogScan, WireError> {
     }
 }
 
+/// Makes a rename into `path`'s directory durable: the file's data
+/// blocks are synced by the caller, but the directory *entry* the
+/// rename installed lives in the directory inode — without syncing
+/// that too, power loss can forget the file ever existed.
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
 /// Atomically (re)writes `path` as a bare header carrying `(base_seq,
 /// base_hash)` and reopens it for appending.
 fn write_fresh(path: &Path, fsync: bool, base_seq: u64, base_hash: u64) -> io::Result<File> {
@@ -280,6 +321,9 @@ fn write_fresh(path: &Path, fsync: bool, base_seq: u64, base_hash: u64) -> io::R
         }
     }
     fs::rename(&tmp, path)?;
+    if fsync {
+        sync_parent_dir(path)?;
+    }
     OpenOptions::new().append(true).open(path)
 }
 
@@ -305,9 +349,16 @@ pub struct SessionWal {
     /// Bytes appended since the last commit — the flush-then-spill
     /// invariant tracks this.
     pending: bool,
-    /// Set after a failed append: the file may end in a torn frame, so
-    /// further appends would corrupt the log mid-stream.
+    /// Set after a failed append (the file may end in a torn frame) or
+    /// a failed commit (the kernel may have dropped the dirty pages):
+    /// every further append, commit, compaction, and verification
+    /// fails, so nothing can retroactively acknowledge the lost
+    /// records. See the module docs on poisoning.
     broken: bool,
+}
+
+fn poisoned() -> io::Error {
+    io::Error::other("wal is poisoned by an earlier failed append or commit")
 }
 
 impl SessionWal {
@@ -378,6 +429,21 @@ impl SessionWal {
         self.pending
     }
 
+    /// Whether the log is poisoned by an earlier failed append or
+    /// commit (the registry quarantines the session while this holds).
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Poisons the log as a failed append/commit would — fault
+    /// injection for tests (real write and fsync failures need a
+    /// misbehaving filesystem).
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&mut self) {
+        self.broken = true;
+    }
+
     /// Appends one request record (no sync — durability waits for
     /// [`SessionWal::commit`]). Must be called *before* the op's
     /// response is released.
@@ -389,9 +455,7 @@ impl SessionWal {
     /// than writing records after a tear.
     pub fn append(&mut self, request: &Request) -> io::Result<()> {
         if self.broken {
-            return Err(io::Error::other(
-                "wal is poisoned by an earlier failed append",
-            ));
+            return Err(poisoned());
         }
         let body = record_body(self.records + 1, self.head_hash, request);
         match self.file.write_all(&frame_bytes(&body)) {
@@ -416,13 +480,23 @@ impl SessionWal {
     ///
     /// # Errors
     ///
-    /// Propagates `fsync` failures (pending stays set).
+    /// A failed `fsync` poisons the log and propagates: the kernel may
+    /// have dropped the dirty pages, so a later "successful" sync
+    /// cannot be trusted to cover these records — retrying would let a
+    /// future commit retroactively make records durable (and
+    /// replayable) that clients were already told failed.
     pub fn commit(&mut self) -> io::Result<bool> {
+        if self.broken {
+            return Err(poisoned());
+        }
         if !self.pending {
             return Ok(false);
         }
         if self.fsync {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                self.broken = true;
+                return Err(e);
+            }
         }
         self.pending = false;
         Ok(true)
@@ -436,11 +510,16 @@ impl SessionWal {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors. A poisoned log refuses to
+    /// compact: the in-memory `(records, head)` may count records that
+    /// never durably reached disk, and baking them into a fresh header
+    /// would forge an audit chain over ops clients were told failed.
     pub fn compact_to_mark(&mut self) -> io::Result<()> {
+        if self.broken {
+            return Err(poisoned());
+        }
         self.file = write_fresh(&self.path, self.fsync, self.records, self.head_hash)?;
         self.pending = false;
-        self.broken = false;
         Ok(())
     }
 
@@ -455,8 +534,15 @@ impl SessionWal {
     /// is [`ErrorCode::BadFrame`]; a record that parses but breaks the
     /// chain — or a file that disagrees with the live head — is
     /// [`ErrorCode::ChainBroken`]; unreadable files are
-    /// [`ErrorCode::Io`].
+    /// [`ErrorCode::Io`], as is a poisoned log (the live head counts
+    /// records whose durability is unknown, so no audit can pass).
     pub fn verify(&self) -> Result<WalHead, WireError> {
+        if self.broken {
+            return Err(WireError::new(
+                ErrorCode::Io,
+                "wal is poisoned by an earlier failed append or commit",
+            ));
+        }
         let data = fs::read(&self.path)
             .map_err(|e| WireError::new(ErrorCode::Io, format!("cannot read wal: {e}")))?;
         let scan = scan_log(&data, true)?;
@@ -603,6 +689,83 @@ mod tests {
         }
         fs::write(&path, &clean).unwrap();
         assert!(wal.verify().is_ok(), "restoring the bytes restores the log");
+    }
+
+    /// Frame boundaries of a committed log (offset of each frame,
+    /// including the header at 0).
+    fn frame_offsets(data: &[u8]) -> Vec<usize> {
+        let mut offsets = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            offsets.push(pos);
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4 + len + 4;
+        }
+        assert_eq!(pos, data.len(), "committed log ends on a frame boundary");
+        offsets
+    }
+
+    #[test]
+    fn mid_log_corruption_fails_recovery_instead_of_truncating() {
+        let path = tmp("midlog");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        for k in 0..3 {
+            wal.append(&apply_req(k)).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        let clean = fs::read(&path).unwrap();
+        let offsets = frame_offsets(&clean);
+        let last_frame = *offsets.last().unwrap();
+
+        // Any flipped byte *before* the final frame (header included)
+        // must fail recovery loudly — truncating there would silently
+        // drop the acknowledged records that follow, and a later audit
+        // of the truncated file would pass.
+        for i in 0..last_frame {
+            let mut bent = clean.clone();
+            bent[i] ^= 0x40;
+            fs::write(&path, &bent).unwrap();
+            let e = match SessionWal::recover(&path, false) {
+                Err(e) => e,
+                Ok(_) => panic!("flipping byte {i} must fail recovery"),
+            };
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "byte {i}: {e}");
+        }
+        // Whereas the same flip inside the final frame is
+        // indistinguishable from a tear and recovers to the prefix.
+        let mut bent = clean.clone();
+        bent[last_frame + 4] ^= 0x40;
+        fs::write(&path, &bent).unwrap();
+        let (wal, _, tail) = SessionWal::recover(&path, false).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(wal.head().records, 2);
+    }
+
+    #[test]
+    fn a_poisoned_log_refuses_append_commit_compact_and_verify() {
+        let path = tmp("poison");
+        let mut wal = SessionWal::create(&path, false).unwrap();
+        wal.append(&apply_req(0)).unwrap();
+        wal.commit().unwrap();
+        wal.poison_for_test();
+
+        assert!(wal.append(&apply_req(1)).is_err(), "append must refuse");
+        assert!(wal.commit().is_err(), "commit must not retry the sync");
+        assert!(
+            wal.compact_to_mark().is_err(),
+            "compaction must not bake an untrusted head into a fresh header"
+        );
+        let e = wal
+            .verify()
+            .expect_err("no audit of a poisoned log can pass");
+        assert_eq!(e.code, ErrorCode::Io);
+
+        // Restarting recovers from what actually reached disk.
+        drop(wal);
+        let (wal, _, tail) = SessionWal::recover(&path, false).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert!(wal.verify().is_ok());
     }
 
     #[test]
