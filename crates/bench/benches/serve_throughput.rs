@@ -27,11 +27,19 @@
 //! the two I/O engines (the reactor's batched pipelining vs the
 //! threaded engine's one-wakeup-per-request baseline).
 //!
+//! PR 10 adds the **observability counters**: the fixed workload with
+//! `--obs` on under the deterministic tick clock, every `ObsMetricSet`
+//! counter cross-checked against the registry's own stats and gated —
+//! spans completed, queue waits, WAL appends, commit batches, slow
+//! logs, evictions, restores.
+//!
 //! Snapshot committed as `BENCH_serve_throughput.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp_core::{BackendMode, Move, PeerId};
+use sp_serve::client::ServeClient;
 use sp_serve::config::{Durability, ServeConfig};
+use sp_serve::obs::ObsConfig;
 use sp_serve::registry::{RegistryConfig, SessionRegistry};
 use sp_serve::server::Server;
 use sp_serve::wire::{Codec, GameSpec, Geometry, SessionOp, SessionRequest, PROTO_JSON};
@@ -435,6 +443,96 @@ fn bench_serve_throughput(c: &mut Criterion) {
         pipelined_frames as f64,
         "frames",
     );
+
+    // ---- obs counter pass: deterministic tracing accounting ------------
+    // The fixed workload once more with observability **on**: the tick
+    // clock replaces wall time (so span durations are deterministic),
+    // the slow threshold is 0 (every span is "slow", pinning the
+    // slow-log counter to the span count), and quiet suppresses the log
+    // lines themselves. Responses must stay bit-identical — tracing
+    // observes the pipeline, it never steers it — and every
+    // `ObsMetricSet` counter is cross-checked against the registry's
+    // own stats for the same run, which makes all seven
+    // machine-independent and gateable.
+    let dir = spill_dir("obs");
+    let server = Server::start(
+        ServeConfig::new()
+            .workers(1)
+            .memory_budget(COUNTER_BUDGET)
+            .spill_dir(dir.clone())
+            .durability(wal_mode)
+            .obs(ObsConfig {
+                enabled: true,
+                slow_ns: Some(0),
+                tick: true,
+                quiet: true,
+            }),
+    )
+    .expect("server starts");
+    let outcome =
+        workload::replay(server.local_addr(), &script, 1, PROTO_JSON).expect("replay runs");
+    let obs_reference = workload::reference_responses(&script);
+    if let Err((k, s, r)) = workload::verify(&outcome.responses, &obs_reference) {
+        panic!(
+            "obs-mode response {k} diverged from reference:\n  served:    {s}\n  reference: {r}"
+        );
+    }
+    let mut client =
+        ServeClient::connect(server.local_addr(), PROTO_JSON).expect("metrics connection");
+    let metrics = client.metrics().expect("metrics answers with --obs on");
+    let obs_stats = server.registry().stats();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let get = |name: &str| -> u64 {
+        metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    // sp-lint: counters(ObsMetricSet)
+    {
+        let spans_completed = get("obs.spans_completed");
+        let queue_wait_events = get("obs.queue_wait_events");
+        let wal_append_events = get("obs.wal_append_events");
+        let fsync_batches = get("obs.fsync_batches");
+        let slow_logged = get("obs.slow_logged");
+        let sessions_evicted = get("obs.sessions_evicted");
+        let sessions_restored = get("obs.sessions_restored");
+        assert_eq!(
+            spans_completed, COUNTER_CFG.requests as u64,
+            "every replayed request must complete exactly one span"
+        );
+        assert_eq!(
+            queue_wait_events, spans_completed,
+            "every scripted request rides the scheduler queue once"
+        );
+        assert_eq!(
+            slow_logged, spans_completed,
+            "a 0ns threshold must mark every span slow"
+        );
+        assert_eq!(wal_append_events, obs_stats.wal_records);
+        assert_eq!(fsync_batches, obs_stats.wal_fsyncs);
+        assert_eq!(sessions_evicted, obs_stats.sessions_evicted);
+        assert_eq!(sessions_restored, obs_stats.sessions_restored);
+        println!(
+            "obs workload: {spans_completed} spans, {queue_wait_events} queue waits, \
+             {wal_append_events} WAL appends over {fsync_batches} commit batches, \
+             {sessions_evicted} evicted / {sessions_restored} restored, \
+             {slow_logged} slow-logged — all responses bit-identical to the reference"
+        );
+        c.report_value("obs/spans_completed", spans_completed as f64, "spans");
+        c.report_value("obs/queue_wait_events", queue_wait_events as f64, "events");
+        c.report_value("obs/wal_append_events", wal_append_events as f64, "events");
+        c.report_value("obs/fsync_batches", fsync_batches as f64, "batches");
+        c.report_value("obs/slow_logged", slow_logged as f64, "spans");
+        c.report_value("obs/sessions_evicted", sessions_evicted as f64, "sessions");
+        c.report_value(
+            "obs/sessions_restored",
+            sessions_restored as f64,
+            "sessions",
+        );
+    }
 }
 
 criterion_group!(benches, bench_serve_throughput);

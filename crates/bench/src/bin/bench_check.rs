@@ -180,10 +180,14 @@ fn more_is_worse(unit: &str) -> Option<bool> {
         // batches, and durability sync points. All count write-path
         // work — drift upward means ops started logging twice, group
         // commit stopped grouping, or recovery replays grew.
+        // `spans` and `events` are the observability counters under the
+        // tick clock: completed request spans, queue waits, WAL append
+        // events. For the fixed workload they are exact request/record
+        // counts, so any drift means instrumentation fired twice (or
+        // stopped firing — the benches assert the floors).
         "sweeps" | "rebuilds" | "rows" | "visits" | "count" | "moves" | "steps" | "requests"
-        | "sessions" | "depth" | "bytes" | "wakeups" | "records" | "batches" | "fsyncs" => {
-            Some(true)
-        }
+        | "sessions" | "depth" | "bytes" | "wakeups" | "records" | "batches" | "fsyncs"
+        | "spans" | "events" => Some(true),
         // `hits` counts queries a cache or certified bound absorbed:
         // fewer means the short-circuit stopped firing. `frames` counts
         // pipelined frames that shared a wakeup — fewer means the

@@ -87,6 +87,11 @@ impl Config {
                 // path, so a malformed frame must surface as a typed
                 // `WireError`, never a panic.
                 "crates/wire/src/",
+                // The observability layer rides every hot path when
+                // enabled, so a span stamp or metric update must never
+                // be able to take a request down with it.
+                "crates/obs/src/",
+                "crates/serve/src/obs.rs",
             ]),
             panic_modules: vec![("crates/json/src/lib.rs".to_owned(), "frame".to_owned())],
             lock_paths: s(&["crates/serve/src/"]),
@@ -118,7 +123,7 @@ impl Config {
                 // rest of the workspace is banned from re-growing.
                 "crates/core/src/oracle_cache.rs",
             ]),
-            counter_structs: s(&["SessionStats"]),
+            counter_structs: s(&["SessionStats", "ObsMetricSet"]),
             check_unsafe: true,
             unsafe_exempt: s(&[
                 // The epoll/eventfd FFI shim: the one module allowed to

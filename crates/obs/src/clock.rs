@@ -1,0 +1,102 @@
+//! Injectable time sources.
+//!
+//! Observability that reads `Instant::now()` directly can never be
+//! tested deterministically: span *counts* would still be reproducible
+//! but anything derived from a threshold (slow-request logs) would
+//! flap with machine load. Threading a [`Clock`] through instead makes
+//! the timing source a config knob — production uses [`WallClock`],
+//! benchmarks and tests use [`TickClock`], whose readings are a pure
+//! function of how many readings came before.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) epoch. Monotone
+    /// non-decreasing across calls.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since construction, via
+/// [`Instant`].
+#[derive(Debug)]
+pub struct WallClock {
+    base: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> WallClock {
+        WallClock {
+            base: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate rather than wrap: u64 nanoseconds cover ~584 years.
+        u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// The deterministic clock: every reading advances an atomic counter by
+/// a fixed step, so the k-th reading (across all threads combined) is
+/// `k * step_ns` regardless of host speed. Orderings between threads
+/// still race — which is why deterministic gates compare *counts*
+/// derived from tick clocks, never individual readings.
+#[derive(Debug)]
+pub struct TickClock {
+    next: AtomicU64,
+    step_ns: u64,
+}
+
+impl TickClock {
+    /// A tick clock advancing `step_ns` per reading (0 is pinned to 1
+    /// so time never stands still).
+    #[must_use]
+    pub fn new(step_ns: u64) -> TickClock {
+        TickClock {
+            next: AtomicU64::new(0),
+            step_ns: step_ns.max(1),
+        }
+    }
+}
+
+impl Clock for TickClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step_ns, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tick_clock_is_a_pure_function_of_reading_count() {
+        let c = TickClock::new(100);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 200);
+        let z = TickClock::new(0);
+        assert_eq!(z.now_ns(), 0);
+        assert_eq!(z.now_ns(), 1);
+    }
+}

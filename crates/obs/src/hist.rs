@@ -1,4 +1,4 @@
-//! Fixed-layout latency histograms for the load generator.
+//! Fixed-layout latency histograms.
 //!
 //! The bucket layout is **machine-independent**: logarithmic octaves of
 //! nanoseconds, each split into [`SUB_BUCKETS`] linear sub-buckets —
@@ -110,6 +110,16 @@ impl Histogram {
     #[must_use]
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Smallest recorded value (exact, not bucketed); 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// The value at quantile `q` in `[0, 1]`: the recorded upper bound
@@ -225,5 +235,27 @@ mod tests {
         }
         assert_eq!(h.value_at_quantile(0.125), 0);
         assert_eq!(h.value_at_quantile(1.0), 7);
+    }
+
+    /// The exact report shape the load generator's `summary:` line
+    /// embeds — pinned so moving the histogram between crates (or any
+    /// future refactor) cannot silently change loadgen output bytes.
+    #[test]
+    fn to_value_bytes_are_pinned() {
+        let mut h = Histogram::new();
+        for v in [10u64, 200, 3_000, 40_000, 500_000] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.to_value().to_string_compact(),
+            r#"{"count":5,"min_ns":10,"p50_ns":3071,"p99_ns":500000,"p999_ns":500000,"max_ns":500000}"#
+        );
+        assert_eq!(
+            Histogram::new().to_value().to_string_compact(),
+            r#"{"count":0,"min_ns":0,"p50_ns":0,"p99_ns":0,"p999_ns":0,"max_ns":0}"#,
+        );
+        assert_eq!(format_ns(9_999), "9999ns");
+        assert_eq!(format_ns(10_000), "10.0us");
+        assert_eq!(format_ns(10_000_000), "10.0ms");
     }
 }

@@ -1,0 +1,35 @@
+//! `sp-obs` — first-party observability primitives.
+//!
+//! Everything a service needs to explain its own latency, with zero
+//! external dependencies and determinism as a design constraint:
+//!
+//! * [`Histogram`] — the fixed-bucket log-linear latency histogram
+//!   (moved here from `sp-serve` so server and load generator share one
+//!   implementation; bucket layout and quantile readout are unchanged).
+//! * [`MetricsRegistry`] — named counters, gauges, and histograms.
+//!   Handles are `Arc`s registered once at startup; the hot path is a
+//!   single relaxed atomic op, and snapshots iterate in sorted name
+//!   order so their encoding is deterministic.
+//! * [`Span`] / [`ActiveSpan`] / [`TraceSink`] — per-request phase
+//!   timestamps (decode → queue → execute → wal → fsync → encode →
+//!   flush) recorded into fixed-size striped ring buffers. Recording
+//!   never allocates; rings overwrite oldest-first.
+//! * [`Clock`] — the injectable time source: [`WallClock`] for
+//!   production, [`TickClock`] for machine-independent tests and
+//!   benchmarks (every reading advances a counter by a fixed step, so
+//!   span and metric *counts* are bit-reproducible).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod hist;
+mod metrics;
+mod span;
+
+pub use clock::{Clock, TickClock, WallClock};
+pub use hist::{format_ns, Histogram, SUB_BUCKETS};
+pub use metrics::{
+    Counter, Gauge, HistogramCell, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{ActiveSpan, Phase, Span, SpanHandle, SpanRing, TraceSink, PHASES, SPAN_PHASES};

@@ -1,0 +1,241 @@
+//! The named metrics registry: counters, gauges, and latency
+//! histograms.
+//!
+//! Registration returns an `Arc` handle; callers hold the handle and
+//! touch it with single relaxed atomic ops on the hot path — the
+//! registry's own maps are only locked at registration and snapshot
+//! time, never on the request path. Snapshots iterate in sorted name
+//! order, so encoding a snapshot is deterministic for deterministic
+//! counter values.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-or-high-water gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v` (high-water-mark use).
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        // Metric state is a bag of monotone numbers; a panicked writer
+        // cannot leave it inconsistent in any way a reader must fear.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A registered histogram: a [`Histogram`] behind its own mutex (one
+/// metric, one lock — never shared across metrics).
+#[derive(Debug, Default)]
+pub struct HistogramCell(Mutex<Histogram>);
+
+impl HistogramCell {
+    /// Records one nanosecond value.
+    pub fn record(&self, value_ns: u64) {
+        lock_unpoisoned(&self.0).record(value_ns);
+    }
+
+    /// A point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        lock_unpoisoned(&self.0).clone()
+    }
+
+    /// The standard summary of the current contents.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary::of(&lock_unpoisoned(&self.0))
+    }
+}
+
+/// The fixed summary a histogram exports (ns units throughout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+    /// 99.9th percentile (bucket upper bound).
+    pub p999_ns: u64,
+    /// Largest recorded value (exact).
+    pub max_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises `h`.
+    #[must_use]
+    pub fn of(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count(),
+            min_ns: h.min(),
+            p50_ns: h.value_at_quantile(0.50),
+            p99_ns: h.value_at_quantile(0.99),
+            p999_ns: h.value_at_quantile(0.999),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Named metric storage. `counter` / `gauge` / `histogram` get-or-create
+/// by name and hand back shared handles; [`MetricsRegistry::snapshot`]
+/// reads everything in sorted name order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock_unpoisoned(&self.counters)
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock_unpoisoned(&self.gauges)
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<HistogramCell> {
+        Arc::clone(
+            lock_unpoisoned(&self.histograms)
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// Every metric's current value, sorted by name within each kind.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock_unpoisoned(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock_unpoisoned(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lock_unpoisoned(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time reading of every registered metric, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_snapshots_sort() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("b.two");
+        let c2 = reg.counter("b.two");
+        c1.inc();
+        c2.add(4);
+        reg.counter("a.one").add(7);
+        reg.gauge("depth").raise(3);
+        reg.gauge("depth").raise(2); // lower: high-water keeps 3
+        reg.histogram("lat").record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.one".to_owned(), 7), ("b.two".to_owned(), 5)]
+        );
+        assert_eq!(snap.gauges, vec![("depth".to_owned(), 3)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.counter("b.two"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

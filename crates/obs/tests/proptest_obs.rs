@@ -1,0 +1,223 @@
+//! Property tests for the observability primitives.
+//!
+//! Two families of contracts:
+//!
+//! 1. **Histogram merge is a commutative monoid action.** Merging is
+//!    associative and order-independent, and recording a stream through
+//!    any sharding (including actual worker threads, with the shard
+//!    count forced by `SP_TEST_PARALLELISM` in CI's determinism matrix)
+//!    then merging produces a histogram bit-identical to sequential
+//!    recording. This is what lets per-worker latency cells be merged
+//!    into one `metrics` report without a global lock.
+//! 2. **Span well-formedness.** Stamps taken from a monotone clock
+//!    yield monotone non-decreasing phase offsets, never-entered phases
+//!    stay 0, a tick clock's first reading is pinned away from the
+//!    0 = never-entered sentinel, and the span ring overwrites
+//!    oldest-first.
+
+use proptest::prelude::*;
+use sp_obs::{Clock, Histogram, Phase, Span, SpanRing, TickClock, PHASES, SPAN_PHASES};
+
+/// CI's determinism matrix sets `SP_TEST_PARALLELISM` to pin every
+/// worker-count parameter these tests would otherwise draw, so the whole
+/// suite runs at forced parallelism extremes (1 and 8).
+fn forced_parallelism() -> Option<usize> {
+    std::env::var("SP_TEST_PARALLELISM").ok()?.parse().ok()
+}
+
+/// A histogram's full observable surface: the pinned wire report plus a
+/// fine quantile grid. Two histograms with equal fingerprints answer
+/// every query this crate exposes identically.
+fn fingerprint(h: &Histogram) -> String {
+    let mut out = h.to_value().to_string_compact();
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        out.push_str(&format!(";q{q}={}", h.value_at_quantile(q)));
+    }
+    format!("{out};count={};min={};max={}", h.count(), h.min(), h.max())
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Latency-shaped draws: spread across the full bucket range, including
+/// the 0/1 edge and values past the u32 octaves.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,
+            10u64..10_000,
+            100_000u64..100_000_000,
+            Just(u64::MAX),
+            0u64..=u64::MAX,
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent(
+        shards in proptest::collection::vec(arb_values(), 1..6),
+        rot in 0usize..6,
+    ) {
+        let hs: Vec<Histogram> = shards.iter().map(|s| record_all(s)).collect();
+        let mut forward = Histogram::new();
+        for h in &hs {
+            forward.merge(h);
+        }
+        let mut reversed = Histogram::new();
+        for h in hs.iter().rev() {
+            reversed.merge(h);
+        }
+        let mut rotated = Histogram::new();
+        for k in 0..hs.len() {
+            if let Some(h) = hs.get((k + rot) % hs.len()) {
+                rotated.merge(h);
+            }
+        }
+        let want = fingerprint(&forward);
+        prop_assert_eq!(&fingerprint(&reversed), &want);
+        prop_assert_eq!(&fingerprint(&rotated), &want);
+    }
+
+    /// Sharded (threaded) recording merges to the sequential histogram,
+    /// for every shard count — or exactly the forced one in the
+    /// determinism matrix.
+    #[test]
+    fn histogram_sharded_recording_matches_sequential(
+        values in arb_values(),
+        drawn_shards in 1usize..=8,
+    ) {
+        let shards = forced_parallelism().unwrap_or(drawn_shards);
+        let sequential = record_all(&values);
+        let handles: Vec<_> = (0..shards)
+            .map(|k| {
+                let mine: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(k)
+                    .step_by(shards)
+                    .collect();
+                std::thread::spawn(move || record_all(&mine))
+            })
+            .collect();
+        let mut merged = Histogram::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(h) => merged.merge(&h),
+                Err(_) => return Err(TestCaseError::Fail("shard thread panicked".to_owned())),
+            }
+        }
+        prop_assert_eq!(fingerprint(&merged), fingerprint(&sequential));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any subset of phases stamped from a monotone clock yields a
+    /// well-formed span: stamped offsets are monotone non-decreasing in
+    /// pipeline order, skipped phases stay 0, the first reading of a
+    /// tick clock never collides with the never-entered sentinel, and
+    /// `total_ns` is the last-minus-first stamped offset.
+    #[test]
+    fn spans_from_monotone_clocks_are_well_formed(
+        seq in 0u64..=u64::MAX,
+        op in 0u8..=u8::MAX,
+        entered in proptest::collection::vec(proptest::bool::ANY, SPAN_PHASES..=SPAN_PHASES),
+        step in 1u64..5_000,
+    ) {
+        let clock = TickClock::new(step);
+        let active = sp_obs::ActiveSpan::new(seq, op);
+        for (phase, on) in PHASES.iter().zip(&entered) {
+            if *on {
+                active.stamp(*phase, clock.now_ns());
+            }
+        }
+        let span = active.snapshot();
+        prop_assert_eq!(span.seq, seq);
+        prop_assert_eq!(span.op, op);
+        // Sentinel discipline: stamped ⇔ nonzero.
+        for (&stamp, on) in span.stamps.iter().zip(&entered) {
+            prop_assert_eq!(stamp != 0, *on);
+        }
+        // Offsets of entered phases never run backwards.
+        let offsets = span.offsets_ns();
+        let mut last = 0u64;
+        for (&off, on) in offsets.iter().zip(&entered) {
+            if *on {
+                prop_assert!(off >= last, "offset {off} < {last}");
+                last = off;
+            }
+        }
+        let decode_entered = entered.first().copied().unwrap_or(false);
+        if decode_entered {
+            prop_assert_eq!(span.total_ns(), last);
+        }
+    }
+
+    /// The ring keeps exactly the most recent `cap` spans, oldest
+    /// first, across arbitrary push counts (including wraparound).
+    #[test]
+    fn span_ring_overwrites_oldest_first(
+        cap in 1usize..32,
+        pushes in 0usize..100,
+    ) {
+        let mut ring = SpanRing::with_capacity(cap);
+        for k in 0..pushes {
+            let mut span = Span {
+                seq: k as u64,
+                op: (k % 251) as u8,
+                ..Span::default()
+            };
+            span.stamps = [k as u64 + 1; SPAN_PHASES];
+            ring.push(span);
+        }
+        let held = ring.spans();
+        prop_assert_eq!(held.len(), pushes.min(cap));
+        prop_assert_eq!(ring.len(), pushes.min(cap));
+        prop_assert_eq!(ring.is_empty(), pushes == 0);
+        let first_kept = pushes.saturating_sub(cap);
+        for (i, span) in held.iter().enumerate() {
+            prop_assert_eq!(span.seq, (first_kept + i) as u64);
+        }
+    }
+
+    /// Phase round-trips: every phase index maps back to itself and
+    /// carries a distinct name.
+    #[test]
+    fn phases_are_distinctly_named(a in 0usize..SPAN_PHASES, b in 0usize..SPAN_PHASES) {
+        let (pa, pb) = match (PHASES.get(a), PHASES.get(b)) {
+            (Some(&pa), Some(&pb)) => (pa, pb),
+            _ => return Err(TestCaseError::Fail("phase index out of range".to_owned())),
+        };
+        prop_assert_eq!(pa as usize, a);
+        prop_assert_eq!(Phase::name(pa) == Phase::name(pb), a == b);
+    }
+}

@@ -4,7 +4,7 @@
 //! sp-loadgen --addr HOST:PORT [--clients C] [--sessions S]
 //!            [--requests R] [--peers N] [--seed SEED]
 //!            [--proto 1|2] [--quick | --acceptance] [--verify]
-//!            [--crash-at K | --resume-at K]
+//!            [--server-metrics] [--crash-at K | --resume-at K]
 //! ```
 //!
 //! Builds the deterministic mixed workload (`sp_serve::workload`),
@@ -33,8 +33,8 @@ use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
 use sp_json::{json, Value};
+use sp_obs::{format_ns, Histogram};
 use sp_serve::client::ServeClient;
-use sp_serve::latency::{format_ns, Histogram};
 use sp_serve::wire::{json as wire_json, Request, ResultBody};
 use sp_serve::workload::{self, WorkloadConfig};
 
@@ -43,6 +43,7 @@ struct Args {
     clients: usize,
     proto: u8,
     verify: bool,
+    server_metrics: bool,
     crash_at: Option<usize>,
     resume_at: Option<usize>,
     cfg: WorkloadConfig,
@@ -51,7 +52,7 @@ struct Args {
 fn usage() -> String {
     "usage: sp-loadgen --addr HOST:PORT [--clients C] [--sessions S] [--requests R] \
      [--peers N] [--seed SEED] [--proto 1|2] [--quick | --acceptance] [--verify] \
-     [--crash-at K | --resume-at K]"
+     [--server-metrics] [--crash-at K | --resume-at K]"
         .to_owned()
 }
 
@@ -61,6 +62,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         clients: 8,
         proto: 1,
         verify: false,
+        server_metrics: false,
         crash_at: None,
         resume_at: None,
         cfg: WorkloadConfig::quick(),
@@ -106,6 +108,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 };
             }
             "--verify" => args.verify = true,
+            "--server-metrics" => args.server_metrics = true,
             "--crash-at" => {
                 args.crash_at = Some(parse_usize("--crash-at", value("--crash-at")?)?);
             }
@@ -147,6 +150,50 @@ fn per_op_histograms(
             .record(nanos);
     }
     by_op
+}
+
+/// Fetches and prints the server's metrics registry (`metrics` op) and
+/// the slow end of its trace ring (`trace_tail`): counters and gauges
+/// as `name=value` lines, histograms and spans with human-readable
+/// latencies. Requires the server to run with `--obs`.
+fn print_server_metrics(addr: std::net::SocketAddr, proto: u8) -> Result<(), String> {
+    let mut client =
+        ServeClient::connect(addr, proto).map_err(|e| format!("metrics connect failed: {e}"))?;
+    let body = client
+        .metrics()
+        .map_err(|e| format!("metrics query failed: {e} (is the server running with --obs?)"))?;
+    println!(
+        "server metrics: {} counters, {} gauges, {} histograms",
+        body.counters.len(),
+        body.gauges.len(),
+        body.histograms.len(),
+    );
+    for (name, v) in body.counters.iter().chain(&body.gauges) {
+        println!("  {name} = {v}");
+    }
+    for h in &body.histograms {
+        println!(
+            "  {:>24}  n={:<6} p50={:>8} p99={:>8} max={:>8}",
+            h.name,
+            h.count,
+            format_ns(h.p50_ns),
+            format_ns(h.p99_ns),
+            format_ns(h.max_ns),
+        );
+    }
+    let spans = client
+        .trace_tail(Some(8), None)
+        .map_err(|e| format!("trace_tail query failed: {e}"))?;
+    println!("trace tail ({} spans):", spans.len());
+    for s in &spans {
+        println!(
+            "  seq={:<8} op={:<14} total={}",
+            s.seq,
+            s.op,
+            format_ns(s.total_ns),
+        );
+    }
+    Ok(())
 }
 
 /// Audits every workload session's WAL over the wire: `wal_verify`
@@ -260,6 +307,12 @@ fn main() -> ExitCode {
             wire_json::encode_response(&response)["result"]
         ),
         Err(e) => eprintln!("sp-loadgen: stats query failed: {e}"),
+    }
+    if args.server_metrics {
+        if let Err(e) = print_server_metrics(addr, args.proto) {
+            eprintln!("sp-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     // Machine-readable summary: one sp-json object on the last line.
     let latency_value = Value::Object(

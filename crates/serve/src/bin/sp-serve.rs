@@ -4,6 +4,7 @@
 //! sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M]
 //!          [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded]
 //!          [--durability off|wal] [--group-commit N] [--no-fsync]
+//!          [--obs] [--slow-ms MS]
 //! ```
 //!
 //! Binds, prints the resolved address on stdout (`listening on …`), and
@@ -12,20 +13,25 @@
 //! loses nothing acknowledged), and each state-mutating op is logged
 //! before its response — group-committed every `--group-commit` jobs
 //! per worker. `--no-fsync` keeps the WAL cadence but skips the
-//! syscall (benchmarks, throwaway data). See the crate README for the
-//! wire protocol and the WAL format.
+//! syscall (benchmarks, throwaway data). `--obs` turns on request
+//! tracing and the server-side metrics registry (the `metrics` /
+//! `trace_tail` ops); `--slow-ms` additionally logs one structured
+//! line per request at least that slow. See the crate README for the
+//! wire protocol, the WAL format, and the span phase diagram.
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
 use sp_serve::config::{Durability, ServeConfig};
+use sp_serve::obs::ObsConfig;
 use sp_serve::server::{IoModel, Server};
 
 fn usage() -> String {
     "usage: sp-serve [--addr HOST:PORT] [--workers K] [--budget-mib M] \
      [--spill-dir DIR] [--queue-cap Q] [--io reactor|threaded] \
-     [--durability off|wal] [--group-commit N] [--no-fsync]"
+     [--durability off|wal] [--group-commit N] [--no-fsync] \
+     [--obs] [--slow-ms MS]"
         .to_owned()
 }
 
@@ -33,6 +39,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServeConfig, Stri
     let mut config = ServeConfig::new().addr("127.0.0.1:7171");
     let mut group_commit: Option<usize> = None;
     let mut fsync = true;
+    let mut obs = false;
+    let mut slow_ms: Option<u64> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
@@ -78,6 +86,13 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServeConfig, Stri
                 group_commit = Some(n.max(1));
             }
             "--no-fsync" => fsync = false,
+            "--obs" => obs = true,
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|_| "bad --slow-ms value".to_owned())?;
+                slow_ms = Some(ms);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -95,6 +110,17 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<ServeConfig, Stri
         });
     } else if group_commit.is_some() {
         return Err("--group-commit only applies with --durability wal".to_owned());
+    }
+    // Same refinement discipline: --slow-ms tunes --obs, it must not
+    // silently switch observability on.
+    if obs {
+        config = config.obs(ObsConfig {
+            enabled: true,
+            slow_ns: slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            ..ObsConfig::default()
+        });
+    } else if slow_ms.is_some() {
+        return Err("--slow-ms only applies with --obs".to_owned());
     }
     Ok(config)
 }

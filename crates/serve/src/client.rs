@@ -29,8 +29,9 @@ use sp_core::{BestResponseMethod, Move, PeerId};
 use sp_json::{frame, json, Value};
 
 use crate::wire::{
-    Codec, DynamicsSpec, ErrorCode, GameSpec, Request, Response, ResultBody, ServiceStats,
-    SessionOp, SessionRequest, WireError, PROTO_BINARY, PROTO_JSON,
+    Codec, DynamicsSpec, ErrorCode, GameSpec, MetricsBody, Request, Response, ResultBody,
+    ServiceStats, SessionOp, SessionRequest, TraceSpanBody, WireError, PROTO_BINARY, PROTO_JSON,
+    TRACE_TAIL_DEFAULT_LIMIT,
 };
 
 /// One TCP connection to an sp-serve instance, at the frame level.
@@ -198,6 +199,50 @@ impl ServeClient {
             other => Err(WireError::new(
                 ErrorCode::BadFrame,
                 format!("stats answered with an unexpected body: {other:?}"),
+            )),
+        }
+    }
+
+    /// `metrics` — the server-side metrics registry snapshot (requires
+    /// the server to run with observability enabled).
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures — `bad_request` when the
+    /// server runs without `--obs`.
+    pub fn metrics(&mut self) -> Result<MetricsBody, WireError> {
+        match self.request(&Request::Metrics { id: None })?.outcome? {
+            ResultBody::Metrics(body) => Ok(body),
+            other => Err(WireError::new(
+                ErrorCode::BadFrame,
+                format!("metrics answered with an unexpected body: {other:?}"),
+            )),
+        }
+    }
+
+    /// `trace_tail` — the last completed request spans, optionally
+    /// only those at least `slow_ns` slow. `limit = None` asks for the
+    /// protocol default ([`TRACE_TAIL_DEFAULT_LIMIT`]).
+    ///
+    /// # Errors
+    ///
+    /// Typed transport or server failures — `bad_request` when the
+    /// server runs without `--obs`.
+    pub fn trace_tail(
+        &mut self,
+        limit: Option<usize>,
+        slow_ns: Option<u64>,
+    ) -> Result<Vec<TraceSpanBody>, WireError> {
+        let request = Request::TraceTail {
+            id: None,
+            limit: limit.unwrap_or(TRACE_TAIL_DEFAULT_LIMIT),
+            slow_ns,
+        };
+        match self.request(&request)?.outcome? {
+            ResultBody::TraceTail { spans } => Ok(spans),
+            other => Err(WireError::new(
+                ErrorCode::BadFrame,
+                format!("trace_tail answered with an unexpected body: {other:?}"),
             )),
         }
     }

@@ -19,6 +19,7 @@
 
 use std::path::PathBuf;
 
+use crate::obs::ObsConfig;
 use crate::registry::RegistryConfig;
 use crate::server::IoModel;
 use crate::wire::PROTO_JSON;
@@ -99,6 +100,8 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Write-ahead logging mode.
     pub durability: Durability,
+    /// Observability: request spans, metrics, slow-request logging.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +118,7 @@ impl Default for ServeConfig {
             spill_dir: registry.spill_dir,
             queue_capacity: registry.queue_capacity,
             durability: registry.durability,
+            obs: registry.obs,
         }
     }
 }
@@ -183,6 +187,13 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the observability configuration.
+    #[must_use]
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The registry-level slice of this configuration.
     #[must_use]
     pub fn registry(&self) -> RegistryConfig {
@@ -191,6 +202,7 @@ impl ServeConfig {
             spill_dir: self.spill_dir.clone(),
             queue_capacity: self.queue_capacity,
             durability: self.durability,
+            obs: self.obs,
         }
     }
 }
@@ -212,6 +224,12 @@ mod tests {
             .durability(Durability::Wal {
                 group_commit: 16,
                 fsync: false,
+            })
+            .obs(ObsConfig {
+                enabled: true,
+                slow_ns: Some(5),
+                tick: true,
+                quiet: true,
             });
         assert_eq!(cfg.addr, "127.0.0.1:7171");
         assert_eq!((cfg.workers, cfg.proto), (3, 2));
@@ -222,6 +240,9 @@ mod tests {
         assert!(reg.durability.is_wal());
         assert!(!reg.durability.fsync());
         assert_eq!(reg.durability.batch_cap(), 16);
+        assert!(reg.obs.enabled && reg.obs.tick && reg.obs.quiet);
+        assert_eq!(reg.obs.slow_ns, Some(5));
+        assert!(!ServeConfig::new().obs.enabled, "obs is off by default");
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //!   `kill -9` loses nothing acknowledged, and the chain doubles as a
 //!   tamper-evident audit trail queryable via `wal_head` /
 //!   `wal_verify`.
+//! * [`obs`] (over the `sp-obs` crate) — opt-in observability:
+//!   per-request **spans** stamped at every pipeline seam (decode →
+//!   enqueue → dequeue → execute → wal → fsync → encode → flush) into
+//!   fixed-size ring buffers, a named metrics registry (counters,
+//!   gauges, fixed-bucket latency histograms), and two wire ops —
+//!   `metrics` (0x1D) and `trace_tail` (0x1E) — that export both.
+//!   Observation never steers: with `--obs` on, responses stay
+//!   bit-identical to an unobserved run.
 //! * [`config::ServeConfig`] — the one builder-style front door for
 //!   every server knob (address, workers, I/O engine, protocol,
 //!   budget, durability), parsed once in `sp-serve` and threaded
@@ -63,7 +71,7 @@
 
 pub mod client;
 pub mod config;
-pub mod latency;
+pub mod obs;
 pub mod ops;
 #[cfg(target_os = "linux")]
 pub mod reactor;

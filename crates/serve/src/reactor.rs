@@ -34,7 +34,7 @@
 //! opportunistically; a short write leaves write interest registered
 //! and the loop resumes exactly where it stopped.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -44,9 +44,11 @@ use std::thread::JoinHandle;
 
 use sp_json::frame::{self, FrameBuffer};
 use sp_net::{Interest, Poller, WakeHandle};
+use sp_obs::{Phase, SpanHandle};
 
+use crate::obs::ServeObs;
 use crate::registry::{Responder, SessionRegistry};
-use crate::server::respond_request;
+use crate::server::respond_request_traced;
 use crate::wire::{ConnProtocol, ErrorCode, FrameAction, Request, Response, WireError};
 
 /// Token of the listening socket.
@@ -87,12 +89,17 @@ impl Notifier {
     }
 }
 
+/// An encoded response payload plus the request's trace span, which
+/// rides along until the flush stamp.
+type CompletedResponse = (Vec<u8>, Option<SpanHandle>);
+
 /// The slice of connection state a worker callback can reach: the
 /// ordered completion map plus the wakeup route back to the loop.
 struct ConnShared {
     token: u64,
     notifier: Arc<Notifier>,
-    completed: Mutex<BTreeMap<u64, Vec<u8>>>,
+    /// Completed responses keyed by sequence number.
+    completed: Mutex<BTreeMap<u64, CompletedResponse>>,
     closed: AtomicBool,
 }
 
@@ -100,19 +107,19 @@ impl ConnShared {
     /// Called from worker threads: park the encoded response and wake
     /// the loop. After the connection closed this is a silent drop —
     /// there is nowhere left to write.
-    fn complete(&self, seq: u64, payload: Vec<u8>) {
+    fn complete(&self, seq: u64, payload: Vec<u8>, span: Option<SpanHandle>) {
         if self.closed.load(Ordering::Acquire) {
             return;
         }
-        lock_unpoisoned(&self.completed).insert(seq, payload);
+        lock_unpoisoned(&self.completed).insert(seq, (payload, span));
         self.notifier.notify(self.token);
     }
 
     /// Called from the reactor thread itself (inline replies): park the
     /// response without the redundant self-wakeup — the loop flushes
     /// within the same pump.
-    fn complete_local(&self, seq: u64, payload: Vec<u8>) {
-        lock_unpoisoned(&self.completed).insert(seq, payload);
+    fn complete_local(&self, seq: u64, payload: Vec<u8>, span: Option<SpanHandle>) {
+        lock_unpoisoned(&self.completed).insert(seq, (payload, span));
     }
 }
 
@@ -135,6 +142,16 @@ struct Conn {
     closing: bool,
     /// The peer half-closed; serve the pipeline out, then close.
     read_closed: bool,
+    /// Lifetime bytes appended to `wbuf` (cumulative, survives the
+    /// buffer's clear-on-drain).
+    buffered_total: u64,
+    /// Lifetime bytes the socket accepted.
+    written_total: u64,
+    /// Spans awaiting their flush stamp, each keyed by the
+    /// `buffered_total` value at which its response's last byte ends —
+    /// once `written_total` reaches that offset, the socket has taken
+    /// the whole response and the span completes.
+    pending_spans: VecDeque<(u64, SpanHandle)>,
 }
 
 impl Conn {
@@ -159,6 +176,9 @@ struct Reactor {
     poller: Poller,
     listener: TcpListener,
     registry: Arc<SessionRegistry>,
+    /// The registry's observability state, cached so the hot loop never
+    /// re-derives it per frame.
+    obs: Option<Arc<ServeObs>>,
     notifier: Arc<Notifier>,
     stop: Arc<AtomicBool>,
     conns: HashMap<u64, Conn>,
@@ -228,6 +248,9 @@ impl Reactor {
                             interest: Interest::READABLE,
                             closing: false,
                             read_closed: false,
+                            buffered_total: 0,
+                            written_total: 0,
+                            pending_spans: VecDeque::new(),
                         },
                     );
                 }
@@ -239,6 +262,9 @@ impl Reactor {
     }
 
     fn drain_wake(&mut self) {
+        if let Some(obs) = &self.obs {
+            obs.reactor_wakeups().inc();
+        }
         self.notifier.wake.drain();
         let dirty: Vec<u64> = std::mem::take(&mut lock_unpoisoned(&self.notifier.dirty));
         for token in dirty {
@@ -296,6 +322,7 @@ impl Reactor {
 
     fn process_frames(&mut self, token: u64) {
         let registry = Arc::clone(&self.registry);
+        let obs = self.obs.clone();
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -314,13 +341,16 @@ impl Reactor {
                     conn.next_seq += 1;
                     let e = WireError::new(ErrorCode::BadFrame, message);
                     let bytes = conn.proto.codec().encode_response(&Response::err(None, e));
-                    conn.shared.complete_local(seq, bytes);
+                    conn.shared.complete_local(seq, bytes, None);
                     conn.closing = true;
                     return;
                 }
             };
             let seq = conn.next_seq;
             conn.next_seq += 1;
+            if let Some(obs) = &obs {
+                obs.reactor_pipeline_hwm().raise(conn.outstanding());
+            }
             match conn.proto.on_frame(&payload) {
                 FrameAction::Request(Request::Session(req)) => {
                     // The codec is pinned at dispatch time: a later
@@ -328,24 +358,36 @@ impl Reactor {
                     // encoded (and hello is first-frame-only anyway).
                     let codec = conn.proto.codec();
                     let shared = Arc::clone(&conn.shared);
-                    registry.submit_with(
+                    let span = obs.as_ref().map(|o| o.begin_span(req.op.code() as u8));
+                    let cb_obs = obs.clone();
+                    let cb_span = span.clone();
+                    registry.submit_with_traced(
                         req,
                         Responder::callback(move |resp| {
-                            shared.complete(seq, codec.encode_response(&resp));
+                            let bytes = codec.encode_response(&resp);
+                            if let (Some(o), Some(s)) = (&cb_obs, &cb_span) {
+                                o.stamp(s, Phase::Encode);
+                            }
+                            shared.complete(seq, bytes, cb_span);
                         }),
+                        span,
                     );
                 }
                 FrameAction::Request(other) => {
                     // ping/stats/hello-echo: answered inline, without a
                     // round trip through the worker pool.
                     let codec = conn.proto.codec();
-                    let resp = respond_request(&registry, other);
-                    conn.shared
-                        .complete_local(seq, codec.encode_response(&resp));
+                    let span = obs.as_ref().map(|o| o.begin_span(other.code() as u8));
+                    let resp = respond_request_traced(&registry, other, span.clone());
+                    let bytes = codec.encode_response(&resp);
+                    if let (Some(o), Some(s)) = (&obs, &span) {
+                        o.stamp(s, Phase::Encode);
+                    }
+                    conn.shared.complete_local(seq, bytes, span);
                 }
-                FrameAction::Reply(bytes) => conn.shared.complete_local(seq, bytes),
+                FrameAction::Reply(bytes) => conn.shared.complete_local(seq, bytes, None),
                 FrameAction::Reject(bytes) => {
-                    conn.shared.complete_local(seq, bytes);
+                    conn.shared.complete_local(seq, bytes, None);
                     conn.closing = true;
                 }
             }
@@ -360,13 +402,18 @@ impl Reactor {
         // one buffer, so many pipelined responses leave in one write.
         loop {
             let next = lock_unpoisoned(&conn.shared.completed).remove(&conn.next_write_seq);
-            let Some(bytes) = next else { break };
+            let Some((bytes, span)) = next else { break };
+            let before = conn.wbuf.len();
             if frame::append_frame_bytes(&mut conn.wbuf, &bytes).is_err() {
                 // Unreachable for payloads this process encoded, but a
                 // frame that cannot be framed can only end the
                 // connection.
                 conn.closing = true;
                 break;
+            }
+            conn.buffered_total += (conn.wbuf.len() - before) as u64;
+            if let Some(span) = span {
+                conn.pending_spans.push_back((conn.buffered_total, span));
             }
             conn.next_write_seq += 1;
         }
@@ -378,7 +425,10 @@ impl Reactor {
                     fatal = true;
                     break;
                 }
-                Ok(n) => conn.wpos += n,
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.written_total += n as u64;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -390,6 +440,20 @@ impl Reactor {
         if !fatal && conn.wpos >= conn.wbuf.len() {
             conn.wbuf.clear();
             conn.wpos = 0;
+        }
+        // Every span whose response the socket has now fully accepted
+        // gets its flush stamp and completes.
+        if let Some(obs) = &self.obs {
+            while conn
+                .pending_spans
+                .front()
+                .is_some_and(|(end, _)| *end <= conn.written_total)
+            {
+                if let Some((_, span)) = conn.pending_spans.pop_front() {
+                    obs.stamp(&span, Phase::Flush);
+                    obs.finish_span(&span);
+                }
+            }
         }
         if fatal {
             self.close_conn(token);
@@ -501,10 +565,12 @@ pub fn spawn(
         return give_back(e, listener);
     }
     let stop = Arc::new(AtomicBool::new(false));
+    let obs = registry.obs().cloned();
     let mut reactor = Reactor {
         poller,
         listener,
         registry,
+        obs,
         notifier: Arc::clone(&notifier),
         stop: Arc::clone(&stop),
         conns: HashMap::new(),

@@ -51,9 +51,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use sp_core::GameSession;
+use sp_core::{GameSession, SessionStats};
+use sp_obs::{Phase, SpanHandle};
 
 use crate::config::Durability;
+use crate::obs::{ObsConfig, ServeObs};
 use crate::ops;
 use crate::snapshot;
 use crate::wal::{self, SessionWal};
@@ -107,6 +109,11 @@ pub struct RegistryConfig {
     /// record before its response is released, startup replays
     /// snapshot + WAL tail, and spill doubles as WAL compaction.
     pub durability: Durability,
+    /// Observability ([`crate::obs`]): request spans, the metrics
+    /// registry, and slow-request logging. Off by default — with it
+    /// off no span is ever allocated and every instrumentation site
+    /// is a skipped `Option` check.
+    pub obs: ObsConfig,
 }
 
 impl Default for RegistryConfig {
@@ -116,6 +123,7 @@ impl Default for RegistryConfig {
             spill_dir: PathBuf::from("sp-serve-spill"),
             queue_capacity: 64,
             durability: Durability::Off,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -154,6 +162,9 @@ impl Responder {
 struct Job {
     request: SessionRequest,
     reply: Responder,
+    /// The request's trace span, when observability is on and the
+    /// connection engine started one at decode time.
+    span: Option<SpanHandle>,
 }
 
 /// Mutable per-session state, guarded by the entry mutex.
@@ -180,6 +191,13 @@ struct EntryState {
     /// logged op (or eagerly by startup recovery). Shared so the
     /// group-commit batch can sync it after the entry lock is gone.
     wal: Option<Arc<Mutex<SessionWal>>>,
+    /// Work counters accumulated by *departed* incarnations of this
+    /// session (evicted or spilled residents). A restored session's
+    /// live counters start from zero, so without this carry an
+    /// evict/restore cycle would silently reset the session's work
+    /// history; [`SessionRegistry::work_stats`] reports
+    /// `carried + resident`.
+    carried: SessionStats,
 }
 
 struct SessionEntry {
@@ -270,6 +288,9 @@ pub struct SessionRegistry {
     wal_batches: AtomicU64,
     wal_fsyncs: AtomicU64,
     wal_replays: AtomicU64,
+    /// The observability state; `None` when [`RegistryConfig::obs`] is
+    /// disabled, which keeps every instrumentation site free.
+    obs: Option<Arc<ServeObs>>,
 }
 
 /// A finished job whose response is held back until its batch's WAL
@@ -279,6 +300,7 @@ struct PendingReply {
     reply: Responder,
     response: Response,
     wal: Option<Arc<Mutex<SessionWal>>>,
+    span: Option<SpanHandle>,
 }
 
 impl SessionRegistry {
@@ -297,6 +319,7 @@ impl SessionRegistry {
     /// must not guess at lost state.
     pub fn new(config: RegistryConfig) -> io::Result<Arc<Self>> {
         std::fs::create_dir_all(&config.spill_dir)?;
+        let obs = ServeObs::new(&config.obs);
         let registry = Arc::new(SessionRegistry {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             evict_index: Mutex::new(BTreeSet::new()),
@@ -318,6 +341,7 @@ impl SessionRegistry {
             wal_batches: AtomicU64::new(0),
             wal_fsyncs: AtomicU64::new(0),
             wal_replays: AtomicU64::new(0),
+            obs,
         });
         if registry.config.durability.is_wal() {
             registry.recover_sessions()?;
@@ -351,6 +375,21 @@ impl SessionRegistry {
     /// Fails with [`ErrorCode::Shutdown`] once
     /// [`SessionRegistry::shutdown`] has been called.
     pub fn submit(&self, request: SessionRequest) -> Result<mpsc::Receiver<Response>, WireError> {
+        self.submit_traced(request, None)
+    }
+
+    /// [`SessionRegistry::submit`] carrying the request's trace span
+    /// (stamped at each scheduler seam when observability is on).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ErrorCode::Shutdown`] once
+    /// [`SessionRegistry::shutdown`] has been called.
+    pub fn submit_traced(
+        &self,
+        request: SessionRequest,
+        span: Option<SpanHandle>,
+    ) -> Result<mpsc::Receiver<Response>, WireError> {
         if self.stop.load(Ordering::Acquire) {
             return Err(shutdown_error());
         }
@@ -366,6 +405,7 @@ impl SessionRegistry {
         let job = Job {
             request,
             reply: Responder::Channel(tx),
+            span,
         };
         if let Err((_, e)) = self.push_job(entry.clone(), st, job) {
             return Err(e);
@@ -380,6 +420,17 @@ impl SessionRegistry {
     /// in-flight work — this is the reactor's entry point, and the
     /// reactor's pipeline window is that bound.
     pub fn submit_with(&self, request: SessionRequest, reply: Responder) {
+        self.submit_with_traced(request, reply, None);
+    }
+
+    /// [`SessionRegistry::submit_with`] carrying the request's trace
+    /// span.
+    pub fn submit_with_traced(
+        &self,
+        request: SessionRequest,
+        reply: Responder,
+        span: Option<SpanHandle>,
+    ) {
         if self.stop.load(Ordering::Acquire) {
             let id = request.id;
             reply.deliver(Response::err(id, shutdown_error()));
@@ -387,7 +438,12 @@ impl SessionRegistry {
         }
         let entry = self.entry(&request.session);
         let st = lock_unpoisoned(&entry.state);
-        if let Err(e) = self.push_job(entry.clone(), st, Job { request, reply }) {
+        let job = Job {
+            request,
+            reply,
+            span,
+        };
+        if let Err(e) = self.push_job(entry.clone(), st, job) {
             // push_job only fails on the shutdown race, and hands the
             // job back inside the error.
             let (job, _) = e;
@@ -415,9 +471,15 @@ impl SessionRegistry {
         if self.stop.load(Ordering::Acquire) {
             return Err((job, shutdown_error()));
         }
+        if let (Some(obs), Some(span)) = (&self.obs, &job.span) {
+            obs.stamp(span, Phase::Enqueue);
+        }
         st.queue.push_back(job);
         self.queue_depth_hwm
             .fetch_max(st.queue.len(), Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.queue_depth_hwm().raise(st.queue.len() as u64);
+        }
         if !st.scheduled {
             st.scheduled = true;
             drop(st);
@@ -487,6 +549,57 @@ impl SessionRegistry {
     #[must_use]
     pub fn config(&self) -> &RegistryConfig {
         &self.config
+    }
+
+    /// The observability state, when [`RegistryConfig::obs`] enabled it.
+    #[must_use]
+    pub fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Aggregated per-session work counters across every session the
+    /// registry knows: each entry's live resident counters plus the
+    /// `carried` counters of its departed (evicted/spilled)
+    /// incarnations — so an evict/restore cycle never resets a
+    /// session's work history.
+    #[must_use]
+    pub fn work_stats(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for shard in &self.shards {
+            // sp-lint: allow(nondeterministic-iteration, reason = "order-insensitive: SessionStats::merge is commutative per-field addition")
+            let entries: Vec<Arc<SessionEntry>> =
+                lock_unpoisoned(shard).values().cloned().collect();
+            for e in entries {
+                let st = lock_unpoisoned(&e.state);
+                total.merge(&st.carried);
+                if let Some(session) = &st.resident {
+                    total.merge(&session.stats());
+                }
+            }
+        }
+        total
+    }
+
+    /// The aggregated work counters the `metrics` op injects, as
+    /// `work.*` name/value pairs. A deliberate subset of
+    /// [`SessionStats`]: the coarse per-op work drivers, not the
+    /// cache-internals fine structure (`stats` and the core's own
+    /// reporting keep the full set).
+    #[must_use]
+    pub fn work_counters(&self) -> Vec<(String, u64)> {
+        let w = self.work_stats();
+        [
+            ("work.batch_applies", w.batch_applies),
+            ("work.csr_rebuilds", w.csr_rebuilds),
+            ("work.full_sssp", w.full_sssp),
+            ("work.incremental_relaxations", w.incremental_relaxations),
+            ("work.oracle_builds", w.oracle_builds),
+            ("work.snapshot_exports", w.snapshot_exports),
+            ("work.snapshot_restores", w.snapshot_restores),
+        ]
+        .into_iter()
+        .map(|(name, v)| (name.to_owned(), v as u64))
+        .collect()
     }
 
     fn shard_of(&self, name: &str) -> usize {
@@ -577,12 +690,32 @@ impl SessionRegistry {
         }
         if !wals.is_empty() {
             self.wal_batches.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.wal_batch_jobs().record(batch.len() as u64);
+            }
         }
         for w in &wals {
+            let commit_start = self.obs.as_ref().map(|o| o.now_ns());
             let committed = lock_unpoisoned(w).commit();
+            if let (Some(obs), Some(start)) = (&self.obs, commit_start) {
+                obs.wal_fsync_ns()
+                    .record(obs.now_ns().saturating_sub(start));
+            }
             match committed {
                 Ok(true) => {
                     self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &self.obs {
+                        obs.set().fsync_batches.inc();
+                        // The fsync covered every record this batch
+                        // appended to this log: stamp those spans.
+                        for p in batch.iter() {
+                            if let (Some(pw), Some(span)) = (&p.wal, &p.span) {
+                                if Arc::ptr_eq(pw, w) {
+                                    obs.stamp(span, Phase::Fsync);
+                                }
+                            }
+                        }
+                    }
                 }
                 // Already synced (a spill inside this batch committed
                 // for us) — nothing pending is fine.
@@ -736,6 +869,16 @@ impl SessionRegistry {
                 st.wal.clone(),
             )
         };
+        if let Some(obs) = &self.obs {
+            obs.set().queue_wait_events.inc();
+            if let Some(span) = &job.span {
+                obs.stamp(span, Phase::Dequeue);
+            }
+        }
+        // Work counters of a session this job evicts, captured before
+        // the residency drop so they can be folded into the entry's
+        // `carried` tally below.
+        let mut departed: Option<SessionStats> = None;
         let mut outcome = self.run_job(
             &entry.name,
             &job.request,
@@ -743,7 +886,11 @@ impl SessionRegistry {
             created,
             dirty,
             &mut wal,
+            &mut departed,
         );
+        if let (Some(obs), Some(span)) = (&self.obs, &job.span) {
+            obs.stamp(span, Phase::Execute);
+        }
         // Append-before-acknowledge: a successful logged op goes into
         // the session's WAL here — before the entry unlocks, before
         // the reply is even queued. Failures flip the response to a
@@ -764,6 +911,12 @@ impl SessionRegistry {
             match appended {
                 Ok(w) => {
                     self.wal_records.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &self.obs {
+                        obs.set().wal_append_events.inc();
+                        if let Some(span) = &job.span {
+                            obs.stamp(span, Phase::Wal);
+                        }
+                    }
                     reply_wal = Some(w);
                 }
                 Err(e) => {
@@ -780,6 +933,9 @@ impl SessionRegistry {
             st.created = outcome.created;
             st.dirty = outcome.dirty;
             st.wal = wal;
+            if let Some(stats) = &departed {
+                st.carried.merge(stats);
+            }
             let new_bytes = outcome.resident.as_ref().map_or(0, |s| Self::slot_bytes(s));
             self.account(&mut st, new_bytes);
             st.resident = outcome.resident;
@@ -817,13 +973,17 @@ impl SessionRegistry {
             reply: job.reply,
             response: outcome.response,
             wal: reply_wal,
+            span: job.span,
         });
     }
 
     /// The lifecycle-aware execution of one request. Queries and
     /// mutations restore a spilled session transparently; `create`
     /// builds, `snapshot`/`evict` persist, `load` is an explicit
-    /// restore.
+    /// restore. When an op drops a resident session (explicit evict),
+    /// its work counters land in `departed` for the caller to fold
+    /// into the entry's carried tally.
+    #[allow(clippy::too_many_arguments)]
     fn run_job(
         &self,
         name: &str,
@@ -832,6 +992,7 @@ impl SessionRegistry {
         created: bool,
         dirty: bool,
         wal: &mut Option<Arc<Mutex<SessionWal>>>,
+        departed: &mut Option<SessionStats>,
     ) -> JobOutcome {
         let id = request.id;
 
@@ -948,6 +1109,9 @@ impl SessionRegistry {
                     Ok(mut s) => {
                         ops::tune_for_service(&mut s);
                         self.sessions_restored.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &self.obs {
+                            obs.set().sessions_restored.inc();
+                        }
                         created = true;
                         dirty = false;
                         Box::new(s)
@@ -1000,6 +1164,12 @@ impl SessionRegistry {
             SessionOp::Evict => match self.spill(name, &mut resident, dirty, wal.as_ref()) {
                 Ok(()) => {
                     self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &self.obs {
+                        obs.set().sessions_evicted.inc();
+                    }
+                    // The session leaves residency here; its work
+                    // counters survive in the entry's carried tally.
+                    *departed = Some(resident.stats());
                     JobOutcome {
                         response: Response::ok(id, ResultBody::Evicted),
                         resident: None,
@@ -1155,6 +1325,9 @@ impl SessionRegistry {
             let (mut s, mark) = snapshot::load_with_mark(&snap_path)?;
             ops::tune_for_service(&mut s);
             self.sessions_restored.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.set().sessions_restored.inc();
+            }
             (Some(Box::new(s)), mark, true)
         } else {
             (None, 0, false)
@@ -1304,11 +1477,18 @@ impl SessionRegistry {
             match self.spill(&victim.name, &mut session, st.dirty, victim_wal.as_ref()) {
                 Ok(()) => {
                     st.dirty = false;
+                    // The dropped resident's work counters survive in
+                    // the entry's carried tally (the restore starts a
+                    // fresh session whose live counters are zero).
+                    st.carried.merge(&session.stats());
                     self.account(&mut st, 0);
                     // The session is no longer resident: its pair leaves
                     // the eviction index (entry lock → index lock).
                     lock_unpoisoned(&self.evict_index).remove(&(st.last_used, victim.name.clone()));
                     self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &self.obs {
+                        obs.set().sessions_evicted.inc();
+                    }
                 }
                 Err(_) => {
                     // Disk trouble: keep the session resident and stop

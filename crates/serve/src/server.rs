@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use sp_json::{frame, Value};
+use sp_obs::{Phase, SpanHandle};
 
 use crate::config::ServeConfig;
 use crate::registry::SessionRegistry;
@@ -195,7 +196,33 @@ fn start_threaded(listener: TcpListener, registry: &Arc<SessionRegistry>) -> io:
 /// inline.
 #[must_use]
 pub fn respond_request(registry: &SessionRegistry, request: Request) -> Response {
-    match request {
+    respond_request_traced(registry, request, None)
+}
+
+/// [`respond_request`] carrying the request's trace span. Session
+/// requests hand the span to the scheduler (which stamps the queue and
+/// execution phases); inline ops stamp [`Phase::Execute`] themselves.
+#[must_use]
+pub(crate) fn respond_request_traced(
+    registry: &SessionRegistry,
+    request: Request,
+    span: Option<SpanHandle>,
+) -> Response {
+    let response = match request {
+        // The session path delegates the span to the scheduler and
+        // returns before the inline Execute stamp below.
+        Request::Session(req) => {
+            let id = req.id;
+            return match registry.submit_traced(req, span) {
+                Err(e) => Response::err(id, e),
+                Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                    Response::err(
+                        id,
+                        WireError::new(ErrorCode::Shutdown, "server shutting down"),
+                    )
+                }),
+            };
+        }
         // A hello that reaches the router (rather than the negotiation
         // state machine) is answered statelessly: the version echo
         // without a codec switch. Only [`ConnProtocol`] can switch.
@@ -211,19 +238,33 @@ pub fn respond_request(registry: &SessionRegistry, request: Request) -> Response
         },
         Request::Ping { id } => Response::ok(id, ResultBody::Pong),
         Request::Stats { id } => Response::ok(id, ResultBody::Stats(registry.stats().to_wire())),
-        Request::Session(req) => {
-            let id = req.id;
-            match registry.submit(req) {
-                Err(e) => Response::err(id, e),
-                Ok(rx) => rx.recv().unwrap_or_else(|_| {
-                    Response::err(
-                        id,
-                        WireError::new(ErrorCode::Shutdown, "server shutting down"),
-                    )
-                }),
-            }
-        }
+        Request::Metrics { id } => match registry.obs() {
+            None => Response::err(
+                id,
+                WireError::new(ErrorCode::BadRequest, "observability is disabled"),
+            ),
+            Some(obs) => Response::ok(
+                id,
+                ResultBody::Metrics(obs.metrics_body(&registry.work_counters())),
+            ),
+        },
+        Request::TraceTail { id, limit, slow_ns } => match registry.obs() {
+            None => Response::err(
+                id,
+                WireError::new(ErrorCode::BadRequest, "observability is disabled"),
+            ),
+            Some(obs) => Response::ok(
+                id,
+                ResultBody::TraceTail {
+                    spans: obs.trace_tail_body(limit, slow_ns),
+                },
+            ),
+        },
+    };
+    if let (Some(obs), Some(span)) = (registry.obs(), &span) {
+        obs.stamp(span, Phase::Execute);
     }
+    response
 }
 
 /// The protocol-1 convenience router: decodes a JSON request value,
@@ -261,10 +302,22 @@ fn handle_connection(stream: TcpStream, registry: &SessionRegistry) {
                 // here, but the discipline keeps response encoding
                 // tied to the codec the request arrived under.
                 let codec = proto.codec();
-                let response = respond_request(registry, request);
-                if frame::write_frame_bytes(&mut writer, &codec.encode_response(&response)).is_err()
-                {
+                let obs = registry.obs().cloned();
+                let span = obs.as_ref().map(|o| o.begin_span(request.code() as u8));
+                let response = respond_request_traced(registry, request, span.clone());
+                let bytes = codec.encode_response(&response);
+                if let (Some(obs), Some(span)) = (&obs, &span) {
+                    obs.stamp(span, Phase::Encode);
+                }
+                // `write_frame_bytes` flushes before returning, so a
+                // successful write really did hand the response to the
+                // socket — the flush stamp is honest.
+                if frame::write_frame_bytes(&mut writer, &bytes).is_err() {
                     return;
+                }
+                if let (Some(obs), Some(span)) = (&obs, &span) {
+                    obs.stamp(span, Phase::Flush);
+                    obs.finish_span(span);
                 }
             }
             FrameAction::Reply(bytes) => {

@@ -21,9 +21,9 @@
 
 pub use sp_wire::{
     binary, json, validate_name, BestResponseBody, DecodeError, DynamicsBody, DynamicsRule,
-    DynamicsSpec, ErrorCode, GameSpec, Geometry, OpCode, Request, Response, ResultBody,
-    ServiceStats, SessionOp, SessionRequest, SocialCostBody, WireError, MAX_NAME_LEN, PROTO_BINARY,
-    PROTO_JSON,
+    DynamicsSpec, ErrorCode, GameSpec, Geometry, MetricHistogramBody, MetricsBody, OpCode, Request,
+    Response, ResultBody, ServiceStats, SessionOp, SessionRequest, SocialCostBody, TraceSpanBody,
+    WireError, MAX_NAME_LEN, PROTO_BINARY, PROTO_JSON, TRACE_PHASES, TRACE_TAIL_DEFAULT_LIMIT,
 };
 
 pub use sp_wire::json::request_id;

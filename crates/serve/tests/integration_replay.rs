@@ -14,12 +14,18 @@
 //! permanently resident (binary responses are decoded and re-encoded
 //! through the shared JSON encoder for the comparison, which is exactly
 //! the codec-equivalence claim).
+//!
+//! Every server here runs with **observability on** (quiet wall-clock
+//! spans): the bit-identity assertions double as the proof that tracing
+//! observes the pipeline without steering it — `--obs` must never
+//! change a response byte, on either engine, through either codec.
 
 use std::path::PathBuf;
 
 use sp_json::Value;
 use sp_serve::client::ServeClient;
 use sp_serve::config::ServeConfig;
+use sp_serve::obs::ObsConfig;
 use sp_serve::server::{IoModel, Server};
 use sp_serve::wire::{Request, ResultBody, SessionOp, PROTO_BINARY, PROTO_JSON};
 use sp_serve::workload::{self, WorkloadConfig};
@@ -51,7 +57,12 @@ fn run_replay(
             .io(io)
             .memory_budget(budget)
             .spill_dir(dir.clone())
-            .queue_capacity(32),
+            .queue_capacity(32)
+            .obs(ObsConfig {
+                enabled: true,
+                quiet: true,
+                ..ObsConfig::default()
+            }),
     )
     .expect("server starts");
     let addr = server.local_addr();
@@ -68,6 +79,38 @@ fn run_replay(
     // fresh typed connection, whatever the replay spoke).
     let mut client = ServeClient::connect(addr, PROTO_JSON).expect("ping connection");
     assert_eq!(client.ping(), Ok(ResultBody::Pong));
+
+    // Observability sanity: the replay's spans landed in the registry
+    // and the tail is well-formed (monotone phase offsets).
+    let metrics = client.metrics().expect("metrics answers with --obs on");
+    let spans_completed = metrics
+        .counters
+        .iter()
+        .find(|(name, _)| name == "obs.spans_completed")
+        .map_or(0, |&(_, v)| v);
+    // A conn thread finishes its span just *after* the response bytes
+    // reach the client, so the final response per connection may still
+    // be mid-finish when `metrics` answers — allow that much slack.
+    let floor = (cfg.requests - clients) as u64;
+    assert!(
+        spans_completed >= floor,
+        "every replayed request must complete a span: {spans_completed} < {floor}"
+    );
+    let tail = client.trace_tail(None, None).expect("trace_tail answers");
+    assert!(!tail.is_empty(), "trace tail must hold recent spans");
+    for span in &tail {
+        let mut last = 0u64;
+        for &off in &span.phases_ns {
+            if off != 0 {
+                assert!(off >= last, "phase offsets ran backwards: {span:?}");
+                last = off;
+            }
+        }
+        assert_eq!(
+            span.total_ns, last,
+            "total must be the last stamp: {span:?}"
+        );
+    }
 
     server.shutdown();
     let reference = workload::reference_responses(&script);

@@ -24,8 +24,9 @@ use sp_dynamics::Termination;
 
 use crate::{
     BestResponseBody, DecodeError, DynamicsBody, DynamicsRule, DynamicsSpec, ErrorCode, GameSpec,
-    Geometry, OpCode, Request, Response, ResultBody, ServiceStats, SessionOp, SessionRequest,
-    SocialCostBody, WireError,
+    Geometry, MetricHistogramBody, MetricsBody, OpCode, Request, Response, ResultBody,
+    ServiceStats, SessionOp, SessionRequest, SocialCostBody, TraceSpanBody, WireError,
+    TRACE_PHASES,
 };
 
 const FLAG_HAS_ID: u8 = 0b0000_0001;
@@ -47,6 +48,8 @@ const RULE_BEST: u8 = 1;
 const DYN_HAS_MAX_ROUNDS: u8 = 0b0000_0001;
 const DYN_HAS_TOLERANCE: u8 = 0b0000_0010;
 const DYN_HAS_DETECT_CYCLES: u8 = 0b0000_0100;
+
+const TRACE_HAS_SLOW_NS: u8 = 0b0000_0001;
 
 const TERM_CONVERGED: u8 = 0;
 const TERM_CYCLE: u8 = 1;
@@ -503,7 +506,18 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     write_header(&mut w, request.code() as u8, request.id());
     match request {
         Request::Hello { proto, .. } => w.u8(*proto),
-        Request::Ping { .. } | Request::Stats { .. } => {}
+        Request::Ping { .. } | Request::Stats { .. } | Request::Metrics { .. } => {}
+        Request::TraceTail { limit, slow_ns, .. } => {
+            w.usize(*limit);
+            w.u8(if slow_ns.is_some() {
+                TRACE_HAS_SLOW_NS
+            } else {
+                0
+            });
+            if let Some(s) = slow_ns {
+                w.varint(*s);
+            }
+        }
         Request::Session(s) => {
             w.string(&s.session);
             match &s.op {
@@ -614,6 +628,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         }
         OpCode::Ping => Request::Ping { id },
         OpCode::Stats => Request::Stats { id },
+        OpCode::Metrics => Request::Metrics { id },
+        OpCode::TraceTail => {
+            let limit = r.usize().map_err(fail)?;
+            let flags = r.u8().map_err(fail)?;
+            if flags & !TRACE_HAS_SLOW_NS != 0 {
+                return Err(fail(bad(format!("unknown trace_tail flags {flags:#04x}"))));
+            }
+            let slow_ns = if flags & TRACE_HAS_SLOW_NS != 0 {
+                Some(r.varint().map_err(fail)?)
+            } else {
+                None
+            };
+            Request::TraceTail { id, limit, slow_ns }
+        }
         _ => {
             let session = r.string().map_err(fail)?;
             crate::validate_name(&session).map_err(fail)?;
@@ -701,7 +729,7 @@ fn read_session_op(r: &mut Reader<'_>, code: OpCode) -> Result<SessionOp, WireEr
         OpCode::WalVerify => SessionOp::WalVerify,
         // The caller routed registry-level ops before calling; reaching
         // here means the tag byte named one in session position.
-        OpCode::Hello | OpCode::Ping | OpCode::Stats => {
+        OpCode::Hello | OpCode::Ping | OpCode::Stats | OpCode::Metrics | OpCode::TraceTail => {
             return Err(bad(format!("op {:?} cannot target a session", code.name())))
         }
     })
@@ -762,6 +790,8 @@ fn result_tag(body: &ResultBody) -> u8 {
         ResultBody::Evicted => OpCode::Evict,
         ResultBody::WalHead { .. } => OpCode::WalHead,
         ResultBody::WalVerified { .. } => OpCode::WalVerify,
+        ResultBody::Metrics(_) => OpCode::Metrics,
+        ResultBody::TraceTail { .. } => OpCode::TraceTail,
     }) as u8
 }
 
@@ -826,6 +856,39 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 | ResultBody::WalVerified { records, head_hash } => {
                     w.varint(*records);
                     w.varint(*head_hash);
+                }
+                ResultBody::Metrics(m) => {
+                    w.usize(m.counters.len());
+                    for (name, value) in &m.counters {
+                        w.string(name);
+                        w.varint(*value);
+                    }
+                    w.usize(m.gauges.len());
+                    for (name, value) in &m.gauges {
+                        w.string(name);
+                        w.varint(*value);
+                    }
+                    w.usize(m.histograms.len());
+                    for h in &m.histograms {
+                        w.string(&h.name);
+                        w.varint(h.count);
+                        w.varint(h.min_ns);
+                        w.varint(h.p50_ns);
+                        w.varint(h.p99_ns);
+                        w.varint(h.p999_ns);
+                        w.varint(h.max_ns);
+                    }
+                }
+                ResultBody::TraceTail { spans } => {
+                    w.usize(spans.len());
+                    for s in spans {
+                        w.varint(s.seq);
+                        w.string(&s.op);
+                        w.varint(s.total_ns);
+                        for &p in &s.phases_ns {
+                            w.varint(p);
+                        }
+                    }
                 }
             }
         }
@@ -930,6 +993,56 @@ fn read_result(r: &mut Reader<'_>, tag: u8) -> Result<ResultBody, WireError> {
             records: r.varint()?,
             head_hash: r.varint()?,
         },
+        OpCode::Metrics => {
+            let n = r.count(2)?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                counters.push((r.string()?, r.varint()?));
+            }
+            let n = r.count(2)?;
+            let mut gauges = Vec::with_capacity(n);
+            for _ in 0..n {
+                gauges.push((r.string()?, r.varint()?));
+            }
+            let n = r.count(7)?;
+            let mut histograms = Vec::with_capacity(n);
+            for _ in 0..n {
+                histograms.push(MetricHistogramBody {
+                    name: r.string()?,
+                    count: r.varint()?,
+                    min_ns: r.varint()?,
+                    p50_ns: r.varint()?,
+                    p99_ns: r.varint()?,
+                    p999_ns: r.varint()?,
+                    max_ns: r.varint()?,
+                });
+            }
+            ResultBody::Metrics(MetricsBody {
+                counters,
+                gauges,
+                histograms,
+            })
+        }
+        OpCode::TraceTail => {
+            let n = r.count(3 + TRACE_PHASES)?;
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                let seq = r.varint()?;
+                let op = r.string()?;
+                let total_ns = r.varint()?;
+                let mut phases_ns = [0u64; TRACE_PHASES];
+                for p in &mut phases_ns {
+                    *p = r.varint()?;
+                }
+                spans.push(TraceSpanBody {
+                    seq,
+                    op,
+                    total_ns,
+                    phases_ns,
+                });
+            }
+            ResultBody::TraceTail { spans }
+        }
     })
 }
 
@@ -1018,6 +1131,79 @@ mod tests {
                 detect_cycles: Some(false),
             }),
         }));
+        round_trip_request(&Request::Metrics { id: Some(6) });
+        round_trip_request(&Request::TraceTail {
+            id: None,
+            limit: 16,
+            slow_ns: Some(2_000_000),
+        });
+        round_trip_request(&Request::TraceTail {
+            id: Some(1),
+            limit: 0,
+            slow_ns: None,
+        });
+    }
+
+    #[test]
+    fn observability_results_round_trip() {
+        round_trip_response(&Response::ok(
+            Some(12),
+            ResultBody::Metrics(MetricsBody {
+                counters: vec![
+                    ("obs.spans_completed".to_owned(), u64::MAX - 5),
+                    ("wal.fsync_batches".to_owned(), 0),
+                ],
+                gauges: vec![("queue.depth_hwm".to_owned(), 9)],
+                histograms: vec![MetricHistogramBody {
+                    name: "op.ping".to_owned(),
+                    count: 3,
+                    min_ns: 100,
+                    p50_ns: 127,
+                    p99_ns: 255,
+                    p999_ns: 255,
+                    max_ns: 240,
+                }],
+            }),
+        ));
+        round_trip_response(&Response::ok(
+            None,
+            ResultBody::Metrics(MetricsBody::default()),
+        ));
+        round_trip_response(&Response::ok(
+            Some(13),
+            ResultBody::TraceTail {
+                spans: vec![TraceSpanBody {
+                    seq: 77,
+                    op: "best_response".to_owned(),
+                    total_ns: 1_000_000,
+                    phases_ns: [0, 10, 20, 900_000, 0, 0, 990_000, 1_000_000],
+                }],
+            },
+        ));
+        round_trip_response(&Response::ok(
+            Some(1),
+            ResultBody::TraceTail { spans: vec![] },
+        ));
+    }
+
+    #[test]
+    fn metrics_in_session_position_is_rejected() {
+        let mut w = Writer::new();
+        w.u8(OpCode::Metrics as u8);
+        w.u8(0);
+        // A metrics request has an empty body; a trailing string is
+        // garbage, rejected by the exhaustive-consumption check.
+        w.string("s0");
+        let e = decode_request(&w.buf).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadFrame);
+
+        let mut w = Writer::new();
+        w.u8(OpCode::TraceTail as u8);
+        w.u8(0);
+        w.usize(4);
+        w.u8(0xFE); // unknown flags
+        let e = decode_request(&w.buf).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadFrame);
     }
 
     #[test]

@@ -25,8 +25,9 @@ use sp_json::{decode_f64, encode_f64, json, Value};
 
 use crate::{
     method_from_name, method_name, validate_name, BestResponseBody, DecodeError, DynamicsBody,
-    DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, Geometry, OpCode, Request, Response,
-    ResultBody, ServiceStats, SessionOp, SessionRequest, WireError,
+    DynamicsRule, DynamicsSpec, ErrorCode, GameSpec, Geometry, MetricHistogramBody, MetricsBody,
+    OpCode, Request, Response, ResultBody, ServiceStats, SessionOp, SessionRequest, TraceSpanBody,
+    WireError, TRACE_PHASES, TRACE_TAIL_DEFAULT_LIMIT,
 };
 
 /// The request `"id"` as the protocol's integer id: present and a
@@ -106,7 +107,13 @@ pub fn encode_request(request: &Request) -> Value {
         Request::Hello { proto, .. } => {
             fields.push(("proto".to_owned(), Value::from(usize::from(*proto))));
         }
-        Request::Ping { .. } | Request::Stats { .. } => {}
+        Request::Ping { .. } | Request::Stats { .. } | Request::Metrics { .. } => {}
+        Request::TraceTail { limit, slow_ns, .. } => {
+            fields.push(("limit".to_owned(), Value::from(*limit)));
+            if let Some(s) = slow_ns {
+                fields.push(("slow_ns".to_owned(), Value::from(*s as usize)));
+            }
+        }
         Request::Session(s) => {
             fields.push(("session".to_owned(), Value::from(s.session.as_str())));
             match &s.op {
@@ -444,6 +451,34 @@ pub fn decode_request(v: &Value) -> Result<Request, DecodeError> {
         }
         OpCode::Ping => return Ok(Request::Ping { id }),
         OpCode::Stats => return Ok(Request::Stats { id }),
+        OpCode::Metrics => return Ok(Request::Metrics { id }),
+        OpCode::TraceTail => {
+            let limit = match v.get("limit").filter(|l| !l.is_null()) {
+                None => TRACE_TAIL_DEFAULT_LIMIT,
+                Some(l) => match l.as_usize() {
+                    Some(x) => x,
+                    None => {
+                        return fail(
+                            ErrorCode::BadField,
+                            "limit must be a non-negative integer".to_owned(),
+                        )
+                    }
+                },
+            };
+            let slow_ns = match v.get("slow_ns").filter(|s| !s.is_null()) {
+                None => None,
+                Some(s) => match s.as_usize() {
+                    Some(x) => Some(x as u64),
+                    None => {
+                        return fail(
+                            ErrorCode::BadField,
+                            "slow_ns must be a non-negative integer".to_owned(),
+                        )
+                    }
+                },
+            };
+            return Ok(Request::TraceTail { id, limit, slow_ns });
+        }
         _ => {}
     }
     let Some(session) = v.get("session").and_then(Value::as_str) else {
@@ -503,7 +538,7 @@ pub fn decode_request(v: &Value) -> Result<Request, DecodeError> {
         OpCode::WalVerify => wrap(Ok(SessionOp::WalVerify)),
         // Already returned above; kept as a typed error so no panic can
         // live on the request path.
-        OpCode::Hello | OpCode::Ping | OpCode::Stats => fail(
+        OpCode::Hello | OpCode::Ping | OpCode::Stats | OpCode::Metrics | OpCode::TraceTail => fail(
             ErrorCode::BadRequest,
             format!("op {op_name:?} cannot target a session"),
         ),
@@ -605,6 +640,57 @@ pub fn encode_result(body: &ResultBody) -> Value {
             "verified": true,
             "records": *records as usize,
             "head_hash": format!("{head_hash:016x}"),
+        }),
+        ResultBody::Metrics(m) => {
+            let counters: Vec<(String, Value)> = m
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), Value::from(*c as usize)))
+                .collect();
+            let gauges: Vec<(String, Value)> = m
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), Value::from(*g as usize)))
+                .collect();
+            let histograms: Vec<(String, Value)> = m
+                .histograms
+                .iter()
+                .map(|h| {
+                    (
+                        h.name.clone(),
+                        json!({
+                            "count": h.count as usize,
+                            "min_ns": h.min_ns as usize,
+                            "p50_ns": h.p50_ns as usize,
+                            "p99_ns": h.p99_ns as usize,
+                            "p999_ns": h.p999_ns as usize,
+                            "max_ns": h.max_ns as usize,
+                        }),
+                    )
+                })
+                .collect();
+            json!({
+                "counters": Value::Object(counters),
+                "gauges": Value::Object(gauges),
+                "histograms": Value::Object(histograms),
+            })
+        }
+        ResultBody::TraceTail { spans } => json!({
+            "spans": Value::Array(
+                spans
+                    .iter()
+                    .map(|s| {
+                        json!({
+                            "seq": s.seq as usize,
+                            "op": s.op.as_str(),
+                            "total_ns": s.total_ns as usize,
+                            "phases_ns": Value::Array(
+                                s.phases_ns.iter().map(|&p| Value::from(p as usize)).collect(),
+                            ),
+                        })
+                    })
+                    .collect(),
+            ),
         }),
     }
 }
@@ -713,6 +799,53 @@ fn decode_termination(v: &Value) -> Result<Termination, WireError> {
     }
 }
 
+fn metric_pairs(v: &Value, key: &str) -> Result<Vec<(String, u64)>, WireError> {
+    v.get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadFrame,
+                format!("metrics result needs an object {key:?} field"),
+            )
+        })?
+        .iter()
+        .map(|(k, x)| {
+            x.as_usize().map(|n| (k.clone(), n as u64)).ok_or_else(|| {
+                WireError::new(ErrorCode::BadFrame, "metric values must be integers")
+            })
+        })
+        .collect()
+}
+
+fn decode_trace_span(v: &Value) -> Result<TraceSpanBody, WireError> {
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::new(ErrorCode::BadFrame, "trace span needs a string 'op' field"))?
+        .to_owned();
+    let offsets = v
+        .get("phases_ns")
+        .map(need_usize_array)
+        .transpose()?
+        .ok_or_else(|| WireError::new(ErrorCode::BadFrame, "trace span needs 'phases_ns'"))?;
+    if offsets.len() != TRACE_PHASES {
+        return Err(WireError::new(
+            ErrorCode::BadFrame,
+            format!("trace span phases_ns must have {TRACE_PHASES} entries"),
+        ));
+    }
+    let mut phases_ns = [0u64; TRACE_PHASES];
+    for (dst, src) in phases_ns.iter_mut().zip(&offsets) {
+        *dst = *src as u64;
+    }
+    Ok(TraceSpanBody {
+        seq: need_usize(v, "seq")? as u64,
+        op,
+        total_ns: need_usize(v, "total_ns")? as u64,
+        phases_ns,
+    })
+}
+
 fn decode_result(v: &Value, op: OpCode) -> Result<ResultBody, WireError> {
     Ok(match op {
         OpCode::Hello => ResultBody::Hello {
@@ -807,6 +940,46 @@ fn decode_result(v: &Value, op: OpCode) -> Result<ResultBody, WireError> {
         OpCode::WalVerify => ResultBody::WalVerified {
             records: need_usize(v, "records")? as u64,
             head_hash: need_hash(v, "head_hash")?,
+        },
+        OpCode::Metrics => {
+            let histograms = v
+                .get("histograms")
+                .and_then(Value::as_object)
+                .ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::BadFrame,
+                        "metrics result needs an object 'histograms' field",
+                    )
+                })?
+                .iter()
+                .map(|(name, h)| {
+                    Ok(MetricHistogramBody {
+                        name: name.clone(),
+                        count: need_usize(h, "count")? as u64,
+                        min_ns: need_usize(h, "min_ns")? as u64,
+                        p50_ns: need_usize(h, "p50_ns")? as u64,
+                        p99_ns: need_usize(h, "p99_ns")? as u64,
+                        p999_ns: need_usize(h, "p999_ns")? as u64,
+                        max_ns: need_usize(h, "max_ns")? as u64,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?;
+            ResultBody::Metrics(MetricsBody {
+                counters: metric_pairs(v, "counters")?,
+                gauges: metric_pairs(v, "gauges")?,
+                histograms,
+            })
+        }
+        OpCode::TraceTail => ResultBody::TraceTail {
+            spans: v
+                .get("spans")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadFrame, "trace_tail result needs 'spans'")
+                })?
+                .iter()
+                .map(decode_trace_span)
+                .collect::<Result<_, _>>()?,
         },
     })
 }
@@ -981,6 +1154,103 @@ mod tests {
         };
         let v = encode_result(&verified);
         assert_eq!(decode_result(&v, OpCode::WalVerify).unwrap(), verified);
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_round_trip() {
+        let req = Request::Metrics { id: Some(9) };
+        let v = encode_request(&req);
+        assert_eq!(v.to_string_compact(), r#"{"id":9,"op":"metrics"}"#);
+        assert_eq!(decode_request(&v).unwrap(), req);
+
+        let req = Request::TraceTail {
+            id: None,
+            limit: 5,
+            slow_ns: Some(2_000_000),
+        };
+        let v = encode_request(&req);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"op":"trace_tail","limit":5,"slow_ns":2000000}"#
+        );
+        assert_eq!(decode_request(&v).unwrap(), req);
+
+        // An omitted limit defaults; omitted slow_ns means no filter.
+        let v = json!({ "op": "trace_tail" });
+        assert_eq!(
+            decode_request(&v).unwrap(),
+            Request::TraceTail {
+                id: None,
+                limit: TRACE_TAIL_DEFAULT_LIMIT,
+                slow_ns: None,
+            }
+        );
+
+        let e = decode_request(&json!({ "op": "trace_tail", "limit": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadField);
+        let e = decode_request(&json!({ "op": "trace_tail", "slow_ns": "x" })).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadField);
+    }
+
+    #[test]
+    fn metrics_results_round_trip() {
+        let body = ResultBody::Metrics(MetricsBody {
+            counters: vec![
+                ("obs.spans_completed".to_owned(), 12),
+                ("wal.fsync_batches".to_owned(), 3),
+            ],
+            gauges: vec![("queue.depth_hwm".to_owned(), 4)],
+            histograms: vec![MetricHistogramBody {
+                name: "op.ping".to_owned(),
+                count: 2,
+                min_ns: 10,
+                p50_ns: 11,
+                p99_ns: 11,
+                p999_ns: 11,
+                max_ns: 11,
+            }],
+        });
+        let v = encode_result(&body);
+        assert_eq!(
+            v.to_string_compact(),
+            concat!(
+                r#"{"counters":{"obs.spans_completed":12,"wal.fsync_batches":3},"#,
+                r#""gauges":{"queue.depth_hwm":4},"#,
+                r#""histograms":{"op.ping":{"count":2,"min_ns":10,"p50_ns":11,"#,
+                r#""p99_ns":11,"p999_ns":11,"max_ns":11}}}"#
+            )
+        );
+        assert_eq!(decode_result(&v, OpCode::Metrics).unwrap(), body);
+    }
+
+    #[test]
+    fn trace_tail_results_round_trip() {
+        let body = ResultBody::TraceTail {
+            spans: vec![TraceSpanBody {
+                seq: 41,
+                op: "social_cost".to_owned(),
+                total_ns: 900,
+                phases_ns: [0, 100, 200, 300, 0, 0, 800, 900],
+            }],
+        };
+        let v = encode_result(&body);
+        assert_eq!(
+            v.to_string_compact(),
+            concat!(
+                r#"{"spans":[{"seq":41,"op":"social_cost","total_ns":900,"#,
+                r#""phases_ns":[0,100,200,300,0,0,800,900]}]}"#
+            )
+        );
+        assert_eq!(decode_result(&v, OpCode::TraceTail).unwrap(), body);
+
+        let short =
+            json!({ "seq": 1, "op": "ping", "total_ns": 2, "phases_ns": usize_array(&[1, 2]) });
+        let e = decode_result(
+            &json!({ "spans": Value::Array(vec![short]) }),
+            OpCode::TraceTail,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadFrame);
     }
 
     #[test]

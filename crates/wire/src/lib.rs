@@ -88,6 +88,11 @@ pub enum OpCode {
     WalHead = 0x1B,
     /// Re-scan the session's WAL, verifying CRCs and the hash chain.
     WalVerify = 0x1C,
+    /// Server-side metrics registry snapshot, answered inline.
+    Metrics = 0x1D,
+    /// Last-N completed request spans with phase breakdowns, answered
+    /// inline (opt-in slow-threshold filter).
+    TraceTail = 0x1E,
 }
 
 impl OpCode {
@@ -111,6 +116,8 @@ impl OpCode {
             OpCode::Evict => "evict",
             OpCode::WalHead => "wal_head",
             OpCode::WalVerify => "wal_verify",
+            OpCode::Metrics => "metrics",
+            OpCode::TraceTail => "trace_tail",
         }
     }
 
@@ -134,6 +141,8 @@ impl OpCode {
             "evict" => OpCode::Evict,
             "wal_head" => OpCode::WalHead,
             "wal_verify" => OpCode::WalVerify,
+            "metrics" => OpCode::Metrics,
+            "trace_tail" => OpCode::TraceTail,
             _ => return None,
         })
     }
@@ -158,6 +167,8 @@ impl OpCode {
             0x1A => OpCode::Evict,
             0x1B => OpCode::WalHead,
             0x1C => OpCode::WalVerify,
+            0x1D => OpCode::Metrics,
+            0x1E => OpCode::TraceTail,
             _ => return None,
         })
     }
@@ -482,6 +493,21 @@ pub enum Request {
         /// Echoed back.
         id: Option<u64>,
     },
+    /// Server-side metrics registry snapshot (requires the server to
+    /// run with observability enabled).
+    Metrics {
+        /// Echoed back.
+        id: Option<u64>,
+    },
+    /// The last completed request spans, phase breakdowns included.
+    TraceTail {
+        /// Echoed back.
+        id: Option<u64>,
+        /// Maximum number of spans to return.
+        limit: usize,
+        /// Only spans at least this slow (total ns); `None` = all.
+        slow_ns: Option<u64>,
+    },
     /// A session-targeted operation.
     Session(SessionRequest),
 }
@@ -491,7 +517,11 @@ impl Request {
     #[must_use]
     pub fn id(&self) -> Option<u64> {
         match self {
-            Request::Hello { id, .. } | Request::Ping { id } | Request::Stats { id } => *id,
+            Request::Hello { id, .. }
+            | Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::TraceTail { id, .. } => *id,
             Request::Session(s) => s.id,
         }
     }
@@ -503,6 +533,8 @@ impl Request {
             Request::Hello { .. } => OpCode::Hello,
             Request::Ping { .. } => OpCode::Ping,
             Request::Stats { .. } => OpCode::Stats,
+            Request::Metrics { .. } => OpCode::Metrics,
+            Request::TraceTail { .. } => OpCode::TraceTail,
             Request::Session(s) => s.op.code(),
         }
     }
@@ -527,6 +559,66 @@ pub struct ServiceStats {
     pub resident_sessions: usize,
     /// Bytes currently charged against the budget.
     pub resident_bytes: usize,
+}
+
+/// The span count a `trace_tail` request asks for when it names no
+/// explicit `limit`.
+pub const TRACE_TAIL_DEFAULT_LIMIT: usize = 32;
+
+/// Number of span phases a `trace_tail` result reports per span —
+/// fixed by the protocol, like the op-code table.
+pub const TRACE_PHASES: usize = 8;
+
+/// The phase names, in pipeline order, matching the `phases_ns` array
+/// of a [`TraceSpanBody`].
+pub const TRACE_PHASE_NAMES: [&str; TRACE_PHASES] = [
+    "decode", "enqueue", "dequeue", "execute", "wal", "fsync", "encode", "flush",
+];
+
+/// One histogram's summary inside a `metrics` result (ns units).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricHistogramBody {
+    /// Metric name.
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+    /// 99.9th percentile (bucket upper bound).
+    pub p999_ns: u64,
+    /// Largest recorded value (exact).
+    pub max_ns: u64,
+}
+
+/// The body of a `metrics` result: every registered metric, sorted by
+/// name within each kind, so identical registry state encodes to
+/// identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsBody {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<MetricHistogramBody>,
+}
+
+/// One completed request span inside a `trace_tail` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpanBody {
+    /// Global request sequence number (assigned at decode).
+    pub seq: u64,
+    /// The op the request carried.
+    pub op: String,
+    /// Total span duration (decode to flush).
+    pub total_ns: u64,
+    /// Per-phase offsets from the decode stamp, in
+    /// [`TRACE_PHASE_NAMES`] order; 0 = phase never entered.
+    pub phases_ns: [u64; TRACE_PHASES],
 }
 
 /// The body of a `best_response` result.
@@ -642,6 +734,13 @@ pub enum ResultBody {
         /// Chain head after the walk (matches `wal_head`).
         head_hash: u64,
     },
+    /// `metrics`: the server's metrics registry snapshot.
+    Metrics(MetricsBody),
+    /// `trace_tail`: the last completed request spans, oldest first.
+    TraceTail {
+        /// Spans, ascending by sequence number.
+        spans: Vec<TraceSpanBody>,
+    },
 }
 
 /// One response frame, fully typed.
@@ -748,6 +847,8 @@ mod tests {
             OpCode::Evict,
             OpCode::WalHead,
             OpCode::WalVerify,
+            OpCode::Metrics,
+            OpCode::TraceTail,
         ] {
             assert_eq!(OpCode::from_name(op.name()), Some(op));
             assert_eq!(OpCode::from_u8(op as u8), Some(op));
